@@ -1,0 +1,184 @@
+//! Grid aggregation (paper §5.1, after SAGA [57]) — the visualization
+//! representative: collapse every `grid_size` consecutive elements into one
+//! aggregate for multi-resolution rendering.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// Aggregate of one grid cell.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct GridCell {
+    /// Sum of the cell's elements.
+    pub sum: f64,
+    /// Elements aggregated so far.
+    pub count: u64,
+    /// Elements the cell will receive in total; used by the early-emission
+    /// trigger.
+    pub expected: u64,
+}
+
+impl RedObj for GridCell {
+    fn trigger(&self) -> bool {
+        self.expected > 0 && self.count == self.expected
+    }
+}
+
+/// Structural aggregation: element `i` belongs to grid cell `i / grid_size`;
+/// the output is each cell's mean. Keys come from *global* element
+/// positions, so the aggregation is consistent across rank partitions.
+///
+/// Unit chunk: 1 element. Output: `out[cell] = mean`.
+#[derive(Debug, Clone)]
+pub struct GridAggregation {
+    grid_size: usize,
+    /// Global element count; lets boundary cells (the final partial cell)
+    /// compute their true expected size for the trigger.
+    total_len: usize,
+}
+
+impl GridAggregation {
+    /// Aggregate `total_len` global elements into cells of `grid_size`.
+    ///
+    /// # Panics
+    /// Panics if `grid_size == 0`.
+    pub fn new(grid_size: usize, total_len: usize) -> Self {
+        assert!(grid_size > 0, "grid_size must be positive");
+        GridAggregation { grid_size, total_len }
+    }
+
+    /// Number of output cells.
+    pub fn cells(&self) -> usize {
+        self.total_len.div_ceil(self.grid_size)
+    }
+
+    fn expected_in_cell(&self, cell: usize) -> u64 {
+        let start = cell * self.grid_size;
+        let end = ((cell + 1) * self.grid_size).min(self.total_len);
+        end.saturating_sub(start) as u64
+    }
+}
+
+impl Analytics for GridAggregation {
+    type In = f64;
+    type Red = GridCell;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_key(&self, chunk: &Chunk, _data: &[f64], _com: &ComMap<GridCell>) -> Key {
+        (chunk.global_start / self.grid_size) as Key
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<GridCell>) {
+        let cell = obj.get_or_insert_with(|| GridCell {
+            sum: 0.0,
+            count: 0,
+            expected: self.expected_in_cell(key as usize),
+        });
+        cell.sum += data[chunk.local_start];
+        cell.count += 1;
+    }
+
+    fn merge(&self, red: &GridCell, com: &mut GridCell) {
+        com.sum += red.sum;
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &GridCell, out: &mut f64) {
+        *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    fn oracle(grid: usize, data: &[f64]) -> Vec<f64> {
+        data.chunks(grid).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+    }
+
+    #[test]
+    fn cells_counts_partial_tail() {
+        assert_eq!(GridAggregation::new(10, 100).cells(), 10);
+        assert_eq!(GridAggregation::new(10, 101).cells(), 11);
+        assert_eq!(GridAggregation::new(10, 5).cells(), 1);
+    }
+
+    #[test]
+    fn trigger_fires_only_when_cell_complete() {
+        let full = GridCell { sum: 1.0, count: 10, expected: 10 };
+        let partial = GridCell { sum: 1.0, count: 9, expected: 10 };
+        assert!(full.trigger());
+        assert!(!partial.trigger());
+    }
+
+    #[test]
+    fn aggregation_matches_oracle() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).cos()).collect();
+        let app = GridAggregation::new(25, data.len());
+        let cells = app.cells();
+        let expected = oracle(25, &data);
+
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(app, SchedArgs::new(4, 1), pool).unwrap();
+        let mut out = vec![0.0f64; cells];
+        s.run(&data, &mut out).unwrap();
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interior_cells_emit_early() {
+        // Cells entirely inside one split trigger during reduction; with a
+        // single thread every cell completes locally, so the combination map
+        // ends empty.
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let app = GridAggregation::new(10, data.len());
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(app, SchedArgs::new(1, 1), pool).unwrap();
+        let mut out = vec![0.0f64; 10];
+        s.run(&data, &mut out).unwrap();
+        assert_eq!(s.combination_map().len(), 0);
+        assert!((out[0] - 4.5).abs() < 1e-12);
+        assert!((out[9] - 94.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_boundary_cells_resolve_through_combination() {
+        // 2 threads, grid cells of 7 over 100 elements: some cells straddle
+        // the split boundary and must be merged.
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let app = GridAggregation::new(7, data.len());
+        let cells = app.cells();
+        let expected = oracle(7, &data);
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let mut s = Scheduler::new(app, SchedArgs::new(2, 1), pool).unwrap();
+        let mut out = vec![0.0f64; cells];
+        s.run(&data, &mut out).unwrap();
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_oracle_on_random_inputs(
+            data in proptest::collection::vec(-50.0f64..50.0, 1..400),
+            grid in 1usize..20,
+            threads in 1usize..5,
+        ) {
+            let app = GridAggregation::new(grid, data.len());
+            let cells = app.cells();
+            let expected = oracle(grid, &data);
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s = Scheduler::new(app, SchedArgs::new(threads, 1), pool).unwrap();
+            let mut out = vec![0.0f64; cells];
+            s.run(&data, &mut out).unwrap();
+            for (a, b) in out.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! 3-D structural grid aggregation (paper §5.8, after SAGA [57]).
+//!
+//! The 1-D [`crate::GridAggregation`] collapses consecutive elements; real
+//! multi-resolution visualization collapses *spatial blocks* of the 3-D
+//! field. This application demonstrates the paper's §5.8 point that Smart's
+//! unit chunks "natively preserve array positional information": the key is
+//! derived purely from the chunk's global index interpreted as `(x, y, z)`
+//! coordinates, so blocks assemble correctly across split and rank
+//! boundaries with no special handling.
+
+use crate::grid::GridCell;
+use smart_core::{Analytics, Chunk, ComMap, Key};
+
+// Re-export to make the reduction object story explicit: a 3-D block is
+// still a sum/count/expected aggregate.
+pub use crate::grid::GridCell as BlockCell;
+
+/// Dimensions helper for a plane-major `nx × ny × nz` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims3 {
+    /// Fastest-varying extent.
+    pub nx: usize,
+    /// Middle extent.
+    pub ny: usize,
+    /// Slowest-varying extent (the decomposed axis).
+    pub nz: usize,
+}
+
+impl Dims3 {
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global linear index → `(x, y, z)`.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let plane = self.nx * self.ny;
+        (idx % self.nx, (idx / self.nx) % self.ny, idx / plane)
+    }
+}
+
+/// Aggregate `bx × by × bz` spatial blocks of a 3-D field into their means.
+///
+/// Unit chunk: 1 element. Output: `out[block] = mean`, with blocks numbered
+/// block-row-major.
+#[derive(Debug, Clone)]
+pub struct Grid3DAggregation {
+    dims: Dims3,
+    bx: usize,
+    by: usize,
+    bz: usize,
+}
+
+impl Grid3DAggregation {
+    /// Aggregate `dims` into blocks of `(bx, by, bz)`.
+    ///
+    /// # Panics
+    /// Panics if any block extent is zero.
+    pub fn new(dims: Dims3, (bx, by, bz): (usize, usize, usize)) -> Self {
+        assert!(bx > 0 && by > 0 && bz > 0, "block extents must be positive");
+        assert!(!dims.is_empty(), "field must be non-empty");
+        Grid3DAggregation { dims, bx, by, bz }
+    }
+
+    /// Blocks along each axis.
+    pub fn blocks(&self) -> (usize, usize, usize) {
+        (
+            self.dims.nx.div_ceil(self.bx),
+            self.dims.ny.div_ceil(self.by),
+            self.dims.nz.div_ceil(self.bz),
+        )
+    }
+
+    /// Total output blocks.
+    pub fn num_blocks(&self) -> usize {
+        let (a, b, c) = self.blocks();
+        a * b * c
+    }
+
+    /// Block id of a global element index.
+    pub fn block_of(&self, idx: usize) -> usize {
+        let (x, y, z) = self.dims.coords(idx);
+        let (nbx, nby, _) = self.blocks();
+        (z / self.bz) * nby * nbx + (y / self.by) * nbx + x / self.bx
+    }
+
+    /// Elements a block will receive (edge blocks truncate).
+    pub fn expected_in_block(&self, block: usize) -> u64 {
+        let (nbx, nby, _) = self.blocks();
+        let bz_i = block / (nbx * nby);
+        let by_i = (block / nbx) % nby;
+        let bx_i = block % nbx;
+        let span = |b: usize, extent: usize, size: usize| {
+            let lo = b * size;
+            let hi = ((b + 1) * size).min(extent);
+            hi - lo
+        };
+        (span(bx_i, self.dims.nx, self.bx)
+            * span(by_i, self.dims.ny, self.by)
+            * span(bz_i, self.dims.nz, self.bz)) as u64
+    }
+}
+
+impl Analytics for Grid3DAggregation {
+    type In = f64;
+    type Red = GridCell;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_key(&self, chunk: &Chunk, _data: &[f64], _com: &ComMap<GridCell>) -> Key {
+        self.block_of(chunk.global_start) as Key
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<GridCell>) {
+        let cell = obj.get_or_insert_with(|| GridCell {
+            sum: 0.0,
+            count: 0,
+            expected: self.expected_in_block(key as usize),
+        });
+        cell.sum += data[chunk.local_start];
+        cell.count += 1;
+    }
+
+    fn merge(&self, red: &GridCell, com: &mut GridCell) {
+        com.sum += red.sum;
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &GridCell, out: &mut f64) {
+        *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    fn oracle(app: &Grid3DAggregation, data: &[f64]) -> Vec<f64> {
+        let mut sum = vec![0.0; app.num_blocks()];
+        let mut cnt = vec![0u64; app.num_blocks()];
+        for (i, &v) in data.iter().enumerate() {
+            let b = app.block_of(i);
+            sum[b] += v;
+            cnt[b] += 1;
+        }
+        sum.iter().zip(&cnt).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let d = Dims3 { nx: 4, ny: 3, nz: 2 };
+        assert_eq!(d.coords(0), (0, 0, 0));
+        assert_eq!(d.coords(5), (1, 1, 0));
+        assert_eq!(d.coords(12), (0, 0, 1));
+        assert_eq!(d.coords(23), (3, 2, 1));
+        assert_eq!(d.len(), 24);
+    }
+
+    #[test]
+    fn block_numbering_and_expected_sizes() {
+        let app = Grid3DAggregation::new(Dims3 { nx: 4, ny: 4, nz: 4 }, (2, 2, 2));
+        assert_eq!(app.blocks(), (2, 2, 2));
+        assert_eq!(app.num_blocks(), 8);
+        for b in 0..8 {
+            assert_eq!(app.expected_in_block(b), 8);
+        }
+        // Truncated edge blocks.
+        let app = Grid3DAggregation::new(Dims3 { nx: 5, ny: 4, nz: 4 }, (2, 2, 2));
+        assert_eq!(app.blocks(), (3, 2, 2));
+        assert_eq!(app.expected_in_block(2), 4); // 1×2×2 sliver in x
+    }
+
+    #[test]
+    fn aggregation_matches_oracle() {
+        let dims = Dims3 { nx: 8, ny: 6, nz: 4 };
+        let data: Vec<f64> = (0..dims.len()).map(|i| (i as f64).sin() * 10.0).collect();
+        let app = Grid3DAggregation::new(dims, (3, 2, 2));
+        let expected = oracle(&app, &data);
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let blocks = app.num_blocks();
+        let mut s = Scheduler::new(app, SchedArgs::new(4, 1), pool).unwrap();
+        let mut out = vec![0.0; blocks];
+        s.run(&data, &mut out).unwrap();
+        for (a, b) in out.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocks_assemble_across_rank_partitions() {
+        // A z-decomposed field whose blocks span rank boundaries (bz = 2
+        // with one z-plane per rank means every block needs two ranks).
+        let dims = Dims3 { nx: 4, ny: 4, nz: 4 };
+        let data: Vec<f64> = (0..dims.len()).map(|i| i as f64).collect();
+        let reference = {
+            let app = Grid3DAggregation::new(dims, (2, 2, 2));
+            oracle(&app, &data)
+        };
+
+        let results = smart_comm::run_cluster(4, |mut comm| {
+            let app = Grid3DAggregation::new(dims, (2, 2, 2));
+            let blocks = app.num_blocks();
+            let plane = dims.nx * dims.ny;
+            let lo = comm.rank() * plane;
+            let hi = lo + plane;
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let args = SchedArgs::new(1, 1).with_partition(lo, dims.len());
+            let mut s = Scheduler::new(app, args, pool).unwrap();
+            let mut out = vec![0.0; blocks];
+            s.run_dist(&mut comm, &data[lo..hi], &mut out).unwrap();
+            out
+        });
+        for out in &results {
+            for (a, b) in out.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-12, "{out:?} vs {reference:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_blocks_emit_early_single_thread() {
+        let dims = Dims3 { nx: 4, ny: 4, nz: 4 };
+        let data: Vec<f64> = vec![1.0; dims.len()];
+        let app = Grid3DAggregation::new(dims, (4, 4, 1)); // one block per plane
+        let blocks = app.num_blocks();
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(app, SchedArgs::new(1, 1), pool).unwrap();
+        let mut out = vec![0.0; blocks];
+        s.run(&data, &mut out).unwrap();
+        // Plane blocks are contiguous in memory → all trigger early.
+        assert_eq!(s.combination_map().len(), 0);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_oracle_on_random_fields(
+            nx in 1usize..7, ny in 1usize..7, nz in 1usize..7,
+            bx in 1usize..4, by in 1usize..4, bz in 1usize..4,
+            threads in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let dims = Dims3 { nx, ny, nz };
+            let data: Vec<f64> = (0..dims.len())
+                .map(|i| ((i as u64).wrapping_mul(seed | 1) % 1000) as f64)
+                .collect();
+            let app = Grid3DAggregation::new(dims, (bx, by, bz));
+            let expected = oracle(&app, &data);
+            let blocks = app.num_blocks();
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s = Scheduler::new(app, SchedArgs::new(threads, 1), pool).unwrap();
+            let mut out = vec![0.0; blocks];
+            s.run(&data, &mut out).unwrap();
+            for (a, b) in out.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Equi-width histogram (paper Listing 3) — the statistical-analytics
+//! representative.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// One histogram bucket: a single count (paper Listing 3's `Bucket`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Bucket {
+    /// Elements that fell into this bucket.
+    pub count: u64,
+}
+
+impl RedObj for Bucket {}
+
+/// Equi-width histogram over `[min, max)` with `buckets` buckets.
+/// Out-of-range values clamp into the first/last bucket.
+///
+/// Unit chunk: 1 element. Output: `out[bucket] = count`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min: f64,
+    width: f64,
+    buckets: usize,
+}
+
+impl Histogram {
+    /// Histogram with `buckets` equal buckets spanning `[min, max)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `max <= min`.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(max > min, "empty value range");
+        Histogram { min, width: (max - min) / buckets as f64, buckets }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket a value falls into (clamped).
+    pub fn bucket_of(&self, v: f64) -> usize {
+        if !v.is_finite() || v < self.min {
+            return 0;
+        }
+        (((v - self.min) / self.width) as usize).min(self.buckets - 1)
+    }
+}
+
+impl Analytics for Histogram {
+    type In = f64;
+    type Red = Bucket;
+    type Out = u64;
+    type Extra = ();
+
+    fn gen_key(&self, chunk: &Chunk, data: &[f64], _com: &ComMap<Bucket>) -> Key {
+        self.bucket_of(data[chunk.local_start]) as Key
+    }
+
+    fn accumulate(&self, _chunk: &Chunk, _data: &[f64], _key: Key, obj: &mut Option<Bucket>) {
+        obj.get_or_insert_with(Bucket::default).count += 1;
+    }
+
+    fn merge(&self, red: &Bucket, com: &mut Bucket) {
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &Bucket, out: &mut u64) {
+        *out = obj.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    /// Sequential oracle.
+    fn oracle(h: &Histogram, data: &[f64]) -> Vec<u64> {
+        let mut counts = vec![0u64; h.buckets()];
+        for &v in data {
+            counts[h.bucket_of(v)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn bucket_of_clamps() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.bucket_of(-5.0), 0);
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(9.99), 9);
+        assert_eq!(h.bucket_of(10.0), 9);
+        assert_eq!(h.bucket_of(1e12), 9);
+        assert_eq!(h.bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn smart_histogram_matches_oracle() {
+        let h = Histogram::new(-3.0, 3.0, 12);
+        let data: Vec<f64> = (0..5000).map(|i| ((i * 37) % 600) as f64 / 100.0 - 3.0).collect();
+        let expected = oracle(&h, &data);
+
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(h, SchedArgs::new(4, 1), pool).unwrap();
+        let mut out = vec![0u64; 12];
+        s.run(&data, &mut out).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn histogram_accumulates_across_time_steps() {
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let mut s =
+            Scheduler::new(Histogram::new(0.0, 1.0, 2), SchedArgs::new(2, 1), pool).unwrap();
+        let mut out = vec![0u64; 2];
+        s.run(&[0.1, 0.9], &mut out).unwrap();
+        s.run(&[0.2, 0.8], &mut out).unwrap();
+        assert_eq!(out, vec![2, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_oracle_on_random_data(
+            data in proptest::collection::vec(-100.0f64..100.0, 0..500),
+            threads in 1usize..5,
+        ) {
+            // Trim to a multiple of chunk size 1 (always true) and run.
+            let h = Histogram::new(-100.0, 100.0, 23);
+            let expected = oracle(&h, &data);
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s = Scheduler::new(h, SchedArgs::new(threads, 1), pool).unwrap();
+            let mut out = vec![0u64; 23];
+            s.run(&data, &mut out).unwrap();
+            prop_assert_eq!(out, expected);
+        }
+
+        #[test]
+        fn total_count_equals_input_len(
+            data in proptest::collection::vec(any::<f64>(), 0..300)
+        ) {
+            let h = Histogram::new(-1.0, 1.0, 7);
+            let counts = oracle(&h, &data);
+            prop_assert_eq!(counts.iter().sum::<u64>() as usize, data.len());
+        }
+    }
+}

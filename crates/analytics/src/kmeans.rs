@@ -1,0 +1,316 @@
+//! K-means clustering (paper Listing 4) — the clustering-analytics
+//! representative and the paper's canonical iterative application.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// One cluster (paper Listing 4's `ClusterObj`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClusterObj {
+    /// Current centroid coordinates.
+    pub centroid: Vec<f64>,
+    /// Sum of member points this iteration (distributive field).
+    pub sum: Vec<f64>,
+    /// Member count this iteration (distributive field).
+    pub size: u64,
+}
+
+impl ClusterObj {
+    /// Recompute the centroid from `sum`/`size`, then reset both — the
+    /// paper's `update()`.
+    pub fn update(&mut self) {
+        if self.size > 0 {
+            for (c, s) in self.centroid.iter_mut().zip(&self.sum) {
+                *c = s / self.size as f64;
+            }
+        }
+        self.sum.iter_mut().for_each(|s| *s = 0.0);
+        self.size = 0;
+    }
+}
+
+impl RedObj for ClusterObj {}
+
+/// Lloyd's k-means over flat `dims`-dimensional points.
+///
+/// Unit chunk: `dims` doubles (one point). Extra data: the `k × dims`
+/// initial centroids, flattened. Each scheduler iteration is one Lloyd
+/// round. Output: `out[j] = centroid j`.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    dims: usize,
+}
+
+impl KMeans {
+    /// `k` clusters over `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `dims == 0`.
+    pub fn new(k: usize, dims: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(dims > 0, "dims must be positive");
+        KMeans { k, dims }
+    }
+
+    /// Cluster count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Point dimensionality (also the unit-chunk size).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    #[inline]
+    fn dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Index of the centroid nearest to `point` among the map's clusters.
+    pub fn nearest(&self, point: &[f64], com: &ComMap<ClusterObj>) -> Key {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for j in 0..self.k {
+            if let Some(c) = com.get(j as Key) {
+                let d = Self::dist2(point, &c.centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+        }
+        best as Key
+    }
+
+    /// Sum of squared distances from each point to its nearest centroid —
+    /// the k-means objective, used as a monotonicity oracle in tests.
+    pub fn objective(&self, centroids: &[Vec<f64>], points: &[f64]) -> f64 {
+        points
+            .chunks_exact(self.dims)
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| Self::dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    }
+}
+
+impl Analytics for KMeans {
+    type In = f64;
+    type Red = ClusterObj;
+    type Out = Vec<f64>;
+    type Extra = Vec<f64>;
+
+    fn gen_key(&self, chunk: &Chunk, data: &[f64], com: &ComMap<ClusterObj>) -> Key {
+        self.nearest(chunk.slice(data), com)
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<ClusterObj>) {
+        let obj = obj.as_mut().expect("clusters seeded by process_extra_data and distributed");
+        for (s, x) in obj.sum.iter_mut().zip(chunk.slice(data)) {
+            *s += x;
+        }
+        obj.size += 1;
+    }
+
+    fn merge(&self, red: &ClusterObj, com: &mut ClusterObj) {
+        for (c, r) in com.sum.iter_mut().zip(&red.sum) {
+            *c += r;
+        }
+        com.size += red.size;
+    }
+
+    fn process_extra_data(&self, extra: Option<&Vec<f64>>, com: &mut ComMap<ClusterObj>) {
+        let init = extra.expect("k-means requires initial centroids as extra data");
+        assert_eq!(init.len(), self.k * self.dims, "extra data must be k*dims centroids");
+        for (j, c) in init.chunks_exact(self.dims).enumerate() {
+            com.insert(
+                j as Key,
+                ClusterObj { centroid: c.to_vec(), sum: vec![0.0; self.dims], size: 0 },
+            );
+        }
+    }
+
+    fn post_combine(&self, com: &mut ComMap<ClusterObj>) {
+        for (_, obj) in com.iter_mut() {
+            obj.update();
+        }
+    }
+
+    fn convert(&self, obj: &ClusterObj, out: &mut Vec<f64>) {
+        out.clone_from(&obj.centroid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_core::{SchedArgs, Scheduler};
+    use smart_sim::ClusteredEmulator;
+
+    /// Sequential Lloyd oracle, identical math (including empty-cluster
+    /// handling: an empty cluster keeps its centroid).
+    fn oracle(k: usize, dims: usize, init: &[f64], points: &[f64], iters: usize) -> Vec<Vec<f64>> {
+        let mut centroids: Vec<Vec<f64>> =
+            init.chunks_exact(dims).map(|c| c.to_vec()).collect();
+        for _ in 0..iters {
+            let mut sums = vec![vec![0.0; dims]; k];
+            let mut sizes = vec![0u64; k];
+            for p in points.chunks_exact(dims) {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (j, c) in centroids.iter().enumerate() {
+                    let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                for (s, x) in sums[best].iter_mut().zip(p) {
+                    *s += x;
+                }
+                sizes[best] += 1;
+            }
+            for j in 0..k {
+                if sizes[j] > 0 {
+                    for d in 0..dims {
+                        centroids[j][d] = sums[j][d] / sizes[j] as f64;
+                    }
+                }
+            }
+        }
+        centroids
+    }
+
+    fn run_smart(
+        k: usize,
+        dims: usize,
+        init: &[f64],
+        points: &[f64],
+        iters: usize,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let app = KMeans::new(k, dims);
+        let args = SchedArgs::new(threads, dims).with_extra(init.to_vec()).with_iters(iters);
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(app, args, pool).unwrap();
+        let mut out = vec![Vec::new(); k];
+        s.run(points, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn one_iteration_matches_oracle() {
+        let mut emu = ClusteredEmulator::new(2, 3, 4, 0.8);
+        let pts = emu.step(300);
+        let init: Vec<f64> = pts[..3 * 4].to_vec(); // first 3 points
+        let got = run_smart(3, 4, &init, &pts, 1, 2);
+        let want = oracle(3, 4, &init, &pts, 1);
+        for (a, b) in got.iter().zip(&want) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9, "{got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ten_iterations_match_oracle_any_thread_count() {
+        let mut emu = ClusteredEmulator::new(7, 4, 2, 1.0);
+        let pts = emu.step(500);
+        let init: Vec<f64> = pts[..4 * 2].to_vec();
+        let want = oracle(4, 2, &init, &pts, 10);
+        for threads in [1, 2, 4] {
+            let got = run_smart(4, 2, &init, &pts, 10, threads);
+            for (a, b) in got.iter().zip(&want) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-7, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_is_monotone_nonincreasing() {
+        let mut emu = ClusteredEmulator::new(13, 4, 3, 1.5);
+        let pts = emu.step(800);
+        let init: Vec<f64> = pts[..4 * 3].to_vec();
+        let app = KMeans::new(4, 3);
+        let mut prev = f64::INFINITY;
+        for iters in 1..=8 {
+            let cents = run_smart(4, 3, &init, &pts, iters, 2);
+            let obj = app.objective(&cents, &pts);
+            assert!(obj <= prev + 1e-6, "objective rose at iter {iters}: {obj} > {prev}");
+            prev = obj;
+        }
+    }
+
+    #[test]
+    fn recovers_planted_centroids() {
+        let mut emu = ClusteredEmulator::new(3, 3, 2, 0.3);
+        let pts = emu.step(3000);
+        // Perturbed planted centroids as init.
+        let init: Vec<f64> =
+            emu.true_centroids().iter().flat_map(|c| c.iter().map(|x| x + 1.0)).collect();
+        let cents = run_smart(3, 2, &init, &pts, 15, 4);
+        for planted in emu.true_centroids() {
+            let nearest = cents
+                .iter()
+                .map(|c| c.iter().zip(planted).map(|(a, b)| (a - b).powi(2)).sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.1, "planted centroid not recovered: d² = {nearest}");
+        }
+    }
+
+    #[test]
+    fn empty_cluster_keeps_centroid() {
+        // Far-away initial centroid attracts nothing and must not move.
+        let pts = vec![0.0, 0.0, 1.0, 1.0];
+        let init = vec![0.5, 0.5, 100.0, 100.0];
+        let cents = run_smart(2, 2, &init, &pts, 3, 1);
+        assert_eq!(cents[1], vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn distributed_matches_single_rank() {
+        let mut emu = ClusteredEmulator::new(29, 3, 4, 1.0);
+        let pts = emu.step(600);
+        let init: Vec<f64> = pts[..3 * 4].to_vec();
+        let reference = run_smart(3, 4, &init, &pts, 6, 2);
+
+        let results = smart_comm::run_cluster(4, |mut comm| {
+            let app = KMeans::new(3, 4);
+            let per = (pts.len() / 4 / comm.size()) * 4;
+            let lo = comm.rank() * per;
+            let hi = if comm.rank() + 1 == comm.size() { pts.len() } else { lo + per };
+            let args = SchedArgs::new(1, 4).with_extra(init.clone()).with_iters(6);
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let mut s = Scheduler::new(app, args, pool).unwrap();
+            let mut out = vec![Vec::new(); 3];
+            s.run_dist(&mut comm, &pts[lo..hi], &mut out).unwrap();
+            out
+        });
+        for rank_out in &results {
+            for (a, b) in rank_out.iter().zip(&reference) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initial centroids")]
+    fn missing_extra_data_panics() {
+        let app = KMeans::new(2, 2);
+        let pool = smart_pool::shared_pool(1).unwrap();
+        // No extra data but iterative → distribution on; process_extra_data
+        // fires and demands centroids.
+        let args: SchedArgs<Vec<f64>> = SchedArgs::new(1, 2).with_iters(2);
+        let mut s = Scheduler::new(app, args, pool).unwrap();
+        let _ = s.run(&[0.0, 0.0], &mut []);
+    }
+}

@@ -1,0 +1,44 @@
+//! # smart-analytics
+//!
+//! The nine analytics applications of the Smart paper's evaluation (§5.1),
+//! written against the `smart-core` API — one per in-situ use-case class:
+//!
+//! | class | application | module |
+//! |---|---|---|
+//! | visualization | grid aggregation | [`grid`] |
+//! | statistical | histogram | [`histogram`] |
+//! | similarity | mutual information | [`mutual_info`] |
+//! | feature | logistic regression | [`logistic`] |
+//! | clustering | k-means | [`kmeans`] |
+//! | window-based | moving average, moving median, Gaussian kernel smoothing, Savitzky–Golay | [`window`] |
+//! | window-based (§4.1's Θ(K) case) | K-nearest-neighbor smoother | [`knn`] |
+//! | statistical (pre-jobs) | value range, central moments | [`stats`] |
+//! | visualization (3-D structural) | block aggregation | [`grid3d`] |
+//!
+//! Exactly as the paper argues (§3.5), each application is a reduction
+//! object plus a handful of sequential callbacks; no parallelization code
+//! appears anywhere in this crate. The same implementations run in time
+//! sharing, space sharing, and offline modes.
+
+pub mod grid;
+pub mod grid3d;
+pub mod histogram;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod logistic;
+pub mod mutual_info;
+pub mod stats;
+pub mod window;
+
+pub use grid::{GridAggregation, GridCell};
+pub use grid3d::{Dims3, Grid3DAggregation};
+pub use histogram::{Bucket, Histogram};
+pub use kmeans::{ClusterObj, KMeans};
+pub use logistic::{LogisticRegression, LrObj};
+pub use mutual_info::{Cell, MutualInformation};
+pub use knn::{KnnObj, KnnSmoother};
+pub use stats::{Moments, MomentsObj, MomentsSummary, RangeObj, ValueRange};
+pub use window::{
+    GaussianSmoother, MovingAverage, MovingMedian, SavitzkyGolay, WinMedianObj, WinObj, WinWeightedObj,
+};

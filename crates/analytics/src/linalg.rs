@@ -1,0 +1,203 @@
+//! Small dense linear algebra: just enough to derive Savitzky–Golay
+//! smoothing coefficients (least-squares polynomial fit over a window).
+
+/// Solve `A x = b` for a small dense system by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n × n`.
+///
+/// Returns `None` if the matrix is numerically singular.
+#[allow(clippy::needless_range_loop)] // split-borrow elimination in-place
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite pivots")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Savitzky–Golay *smoothing* coefficients for a window of `2h + 1` points
+/// and a fit polynomial of degree `order`.
+///
+/// The smoothed center value is `Σᵢ c[i] · x[i]` over the window; the
+/// coefficients are the center row of the least-squares projection
+/// `A (AᵀA)⁻¹ Aᵀ` with `A[i][j] = (i − h)ʲ`.
+///
+/// # Panics
+/// Panics if the window is even/zero or `order ≥ window`.
+pub fn savgol_coefficients(window: usize, order: usize) -> Vec<f64> {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    assert!(order < window, "order must be below the window size");
+    let h = (window / 2) as i64;
+    let m = order + 1;
+
+    // Normal equations: (AᵀA) y = e₀, coefficients c_i = Σ_j y_j · i^j.
+    let mut ata = vec![vec![0.0; m]; m];
+    for (r, row) in ata.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (-h..=h).map(|i| (i as f64).powi((r + c) as i32)).sum();
+        }
+    }
+    let mut e0 = vec![0.0; m];
+    e0[0] = 1.0;
+    let y = solve(ata, e0).expect("SG normal equations are nonsingular for order < window");
+
+    (-h..=h)
+        .map(|i| (0..m).map(|j| y[j] * (i as f64).powi(j as i32)).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 1.0]];
+        let x = solve(a, vec![1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn savgol_5_2_matches_published_coefficients() {
+        // Classic table: window 5, quadratic → (−3, 12, 17, 12, −3)/35.
+        let c = savgol_coefficients(5, 2);
+        let want = [-3.0, 12.0, 17.0, 12.0, -3.0].map(|v| v / 35.0);
+        for (a, b) in c.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn savgol_7_2_matches_published_coefficients() {
+        // Window 7, quadratic → (−2, 3, 6, 7, 6, 3, −2)/21.
+        let c = savgol_coefficients(7, 2);
+        let want = [-2.0, 3.0, 6.0, 7.0, 6.0, 3.0, -2.0].map(|v| v / 21.0);
+        for (a, b) in c.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn savgol_order_zero_is_moving_average() {
+        let c = savgol_coefficients(9, 0);
+        for v in &c {
+            assert!((v - 1.0 / 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        let _ = savgol_coefficients(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn excessive_order_rejected() {
+        let _ = savgol_coefficients(5, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn coefficients_sum_to_one(hw in 1usize..13, order in 0usize..5) {
+            let window = 2 * hw + 1;
+            prop_assume!(order < window);
+            let c = savgol_coefficients(window, order);
+            let sum: f64 = c.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+        }
+
+        #[test]
+        fn coefficients_are_symmetric(hw in 1usize..13, order in 0usize..5) {
+            let window = 2 * hw + 1;
+            prop_assume!(order < window);
+            let c = savgol_coefficients(window, order);
+            for i in 0..window / 2 {
+                prop_assert!((c[i] - c[window - 1 - i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn filter_reproduces_polynomials_exactly(hw in 1usize..8, order in 1usize..4) {
+            // An SG filter of degree `order` must reproduce any polynomial of
+            // that degree exactly at the window center.
+            let window = 2 * hw + 1;
+            prop_assume!(order < window);
+            let c = savgol_coefficients(window, order);
+            let poly = |x: f64| 1.0 + 2.0 * x + if order >= 2 { 0.5 * x * x } else { 0.0 };
+            let center = 10.0;
+            let smoothed: f64 = (0..window)
+                .map(|i| c[i] * poly(center + i as f64 - hw as f64))
+                .sum();
+            prop_assert!((smoothed - poly(center)).abs() < 1e-6, "{smoothed}");
+        }
+
+        #[test]
+        fn solve_random_diagonally_dominant(
+            n in 1usize..6,
+            seed in proptest::collection::vec(-1.0f64..1.0, 36 + 6)
+        ) {
+            // Build a diagonally dominant (hence nonsingular) system, solve,
+            // and verify the residual.
+            let mut a = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                let mut row_sum = 0.0;
+                for j in 0..n {
+                    a[i][j] = seed[i * 6 + j];
+                    row_sum += a[i][j].abs();
+                }
+                a[i][i] = row_sum + 1.0;
+            }
+            let b: Vec<f64> = seed[36..36 + n].to_vec();
+            let x = solve(a.clone(), b.clone()).expect("dominant system solvable");
+            for i in 0..n {
+                let ax: f64 = (0..n).map(|j| a[i][j] * x[j]).sum();
+                prop_assert!((ax - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Mutual information between two co-simulated variables (paper §5.1) —
+//! the similarity-analytics representative.
+//!
+//! The input is a stream of `(x, y)` pairs (unit chunk = 2 elements). The
+//! reduction builds the joint 2-D histogram; the mutual information
+//!
+//! ```text
+//! I(X;Y) = Σᵢⱼ p(i,j) · ln( p(i,j) / (p(i)·p(j)) )
+//! ```
+//!
+//! is computed from the combination map afterwards — the "nuanced MapReduce
+//! pipeline" pattern the paper mentions (§5.8): the Smart job produces the
+//! joint distribution, a cheap sequential epilogue derives the statistic.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// One cell of the joint histogram.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Cell {
+    /// Pairs observed in this cell.
+    pub count: u64,
+}
+
+impl RedObj for Cell {}
+
+/// Joint-histogram construction for mutual information.
+///
+/// `x` is bucketed over `[x_min, x_max)` into `x_buckets` buckets and `y`
+/// likewise; the key is the flattened 2-D cell index.
+#[derive(Debug, Clone)]
+pub struct MutualInformation {
+    x_min: f64,
+    x_width: f64,
+    x_buckets: usize,
+    y_min: f64,
+    y_width: f64,
+    y_buckets: usize,
+}
+
+impl MutualInformation {
+    /// Joint histogram of `x_buckets × y_buckets` cells (paper: 100 × 100).
+    ///
+    /// # Panics
+    /// Panics on zero bucket counts or empty value ranges.
+    pub fn new(
+        (x_min, x_max, x_buckets): (f64, f64, usize),
+        (y_min, y_max, y_buckets): (f64, f64, usize),
+    ) -> Self {
+        assert!(x_buckets > 0 && y_buckets > 0, "need at least one bucket per axis");
+        assert!(x_max > x_min && y_max > y_min, "empty value range");
+        MutualInformation {
+            x_min,
+            x_width: (x_max - x_min) / x_buckets as f64,
+            x_buckets,
+            y_min,
+            y_width: (y_max - y_min) / y_buckets as f64,
+            y_buckets,
+        }
+    }
+
+    /// Total joint cells.
+    pub fn cells(&self) -> usize {
+        self.x_buckets * self.y_buckets
+    }
+
+    fn bucket(v: f64, min: f64, width: f64, n: usize) -> usize {
+        if !v.is_finite() || v < min {
+            return 0;
+        }
+        (((v - min) / width) as usize).min(n - 1)
+    }
+
+    /// The joint cell of a pair.
+    pub fn cell_of(&self, x: f64, y: f64) -> usize {
+        let xi = Self::bucket(x, self.x_min, self.x_width, self.x_buckets);
+        let yi = Self::bucket(y, self.y_min, self.y_width, self.y_buckets);
+        xi * self.y_buckets + yi
+    }
+
+    /// Mutual information (nats) from a finished combination map.
+    pub fn mutual_information(&self, com: &ComMap<Cell>) -> f64 {
+        let mut joint = vec![0u64; self.cells()];
+        for (key, cell) in com.iter() {
+            if let Ok(idx) = usize::try_from(key) {
+                if idx < joint.len() {
+                    joint[idx] = cell.count;
+                }
+            }
+        }
+        let n: u64 = joint.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let mut px = vec![0.0f64; self.x_buckets];
+        let mut py = vec![0.0f64; self.y_buckets];
+        for xi in 0..self.x_buckets {
+            for yi in 0..self.y_buckets {
+                let p = joint[xi * self.y_buckets + yi] as f64 / nf;
+                px[xi] += p;
+                py[yi] += p;
+            }
+        }
+        let mut mi = 0.0;
+        for xi in 0..self.x_buckets {
+            for yi in 0..self.y_buckets {
+                let p = joint[xi * self.y_buckets + yi] as f64 / nf;
+                if p > 0.0 {
+                    mi += p * (p / (px[xi] * py[yi])).ln();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+}
+
+impl Analytics for MutualInformation {
+    type In = f64;
+    type Red = Cell;
+    type Out = u64;
+    type Extra = ();
+
+    fn gen_key(&self, chunk: &Chunk, data: &[f64], _com: &ComMap<Cell>) -> Key {
+        let pair = chunk.slice(data);
+        self.cell_of(pair[0], pair[1]) as Key
+    }
+
+    fn accumulate(&self, _chunk: &Chunk, _data: &[f64], _key: Key, obj: &mut Option<Cell>) {
+        obj.get_or_insert_with(Cell::default).count += 1;
+    }
+
+    fn merge(&self, red: &Cell, com: &mut Cell) {
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &Cell, out: &mut u64) {
+        *out = obj.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    fn app() -> MutualInformation {
+        MutualInformation::new((0.0, 1.0, 10), (0.0, 1.0, 10))
+    }
+
+    fn run_pairs(mi: &MutualInformation, pairs: &[(f64, f64)], threads: usize) -> f64 {
+        let data: Vec<f64> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(mi.clone(), SchedArgs::new(threads, 2), pool).unwrap();
+        s.run(&data, &mut []).unwrap();
+        mi.mutual_information(s.combination_map())
+    }
+
+    #[test]
+    fn identical_variables_have_high_mi() {
+        let pairs: Vec<(f64, f64)> = (0..2000).map(|i| {
+            let v = (i % 1000) as f64 / 1000.0;
+            (v, v)
+        }).collect();
+        let mi = run_pairs(&app(), &pairs, 4);
+        // X == Y uniform over 10 buckets → I = H(X) = ln(10) ≈ 2.30.
+        assert!((mi - (10.0f64).ln()).abs() < 0.05, "mi = {mi}");
+    }
+
+    #[test]
+    fn independent_variables_have_near_zero_mi() {
+        // Deterministic low-discrepancy-ish fill of the unit square.
+        let pairs: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| (((i * 37) % 1000) as f64 / 1000.0, ((i * 61) % 997) as f64 / 997.0))
+            .collect();
+        let mi = run_pairs(&app(), &pairs, 4);
+        assert!(mi < 0.1, "mi = {mi}");
+    }
+
+    #[test]
+    fn mi_is_nonnegative_and_empty_map_is_zero() {
+        let m = app();
+        assert_eq!(m.mutual_information(&ComMap::new()), 0.0);
+    }
+
+    #[test]
+    fn joint_counts_match_direct_tally() {
+        let m = app();
+        let pairs: Vec<(f64, f64)> =
+            (0..500).map(|i| ((i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0)).collect();
+        let data: Vec<f64> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();
+
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let mut s = Scheduler::new(m.clone(), SchedArgs::new(2, 2), pool).unwrap();
+        s.run(&data, &mut []).unwrap();
+
+        let mut expected = vec![0u64; m.cells()];
+        for &(x, y) in &pairs {
+            expected[m.cell_of(x, y)] += 1;
+        }
+        for (key, cell) in s.combination_map().iter() {
+            assert_eq!(cell.count, expected[key as usize], "cell {key}");
+        }
+        let total: u64 = s.combination_map().iter().map(|(_, c)| c.count).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn odd_length_input_is_rejected() {
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(app(), SchedArgs::new(1, 2), pool).unwrap();
+        assert!(s.run(&[1.0, 2.0, 3.0], &mut []).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn mi_nonnegative_and_bounded_by_entropy(
+            pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..300)
+        ) {
+            let m = app();
+            let mi = run_pairs(&m, &pairs, 2);
+            prop_assert!(mi >= 0.0);
+            // I(X;Y) ≤ min(H(X), H(Y)) ≤ ln(buckets)
+            prop_assert!(mi <= (10.0f64).ln() + 1e-9, "mi = {mi}");
+        }
+
+        #[test]
+        fn thread_count_invariant(
+            pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..200)
+        ) {
+            let m = app();
+            let a = run_pairs(&m, &pairs, 1);
+            let b = run_pairs(&m, &pairs, 4);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Scalar statistics: value range and central moments.
+//!
+//! Two small but load-bearing applications:
+//!
+//! * [`ValueRange`] — global min/max. The paper's histogram assumes "the
+//!   minimum element value can be taken as a priori knowledge or be
+//!   retrieved by an earlier Smart analytics job" (§3.5) — this *is* that
+//!   earlier job (see the `adaptive_histogram` example).
+//! * [`Moments`] — one-pass mean/variance/skewness/kurtosis from raw power
+//!   sums, the "statistics like averages" in-situ use case (§2.2). Power
+//!   sums are distributive, so `merge` is exact regardless of how splits
+//!   and ranks carve the data.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// Running minimum and maximum.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RangeObj {
+    /// Smallest element seen.
+    pub min: f64,
+    /// Largest element seen.
+    pub max: f64,
+    /// Elements seen.
+    pub count: u64,
+}
+
+impl Default for RangeObj {
+    fn default() -> Self {
+        RangeObj { min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+    }
+}
+
+impl RedObj for RangeObj {}
+
+/// Global min/max under a single key.
+///
+/// Unit chunk: 1 element. Output: none (read the combination map or use
+/// [`ValueRange::range`]).
+#[derive(Debug, Clone, Default)]
+pub struct ValueRange;
+
+impl ValueRange {
+    /// Extract `(min, max)` from a finished combination map; `None` if no
+    /// elements were reduced.
+    pub fn range(com: &ComMap<RangeObj>) -> Option<(f64, f64)> {
+        com.get(0).filter(|o| o.count > 0).map(|o| (o.min, o.max))
+    }
+}
+
+impl Analytics for ValueRange {
+    type In = f64;
+    type Red = RangeObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<RangeObj>) {
+        let o = obj.get_or_insert_with(RangeObj::default);
+        let v = data[chunk.local_start];
+        o.min = o.min.min(v);
+        o.max = o.max.max(v);
+        o.count += 1;
+    }
+
+    fn merge(&self, red: &RangeObj, com: &mut RangeObj) {
+        com.min = com.min.min(red.min);
+        com.max = com.max.max(red.max);
+        com.count += red.count;
+    }
+}
+
+/// Raw power sums up to order 4.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct MomentsObj {
+    /// Σx
+    pub s1: f64,
+    /// Σx²
+    pub s2: f64,
+    /// Σx³
+    pub s3: f64,
+    /// Σx⁴
+    pub s4: f64,
+    /// Elements seen.
+    pub count: u64,
+}
+
+impl RedObj for MomentsObj {}
+
+/// Derived statistics from the power sums.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Skewness (0 for symmetric distributions).
+    pub skewness: f64,
+    /// Excess kurtosis (0 for a normal distribution).
+    pub excess_kurtosis: f64,
+    /// Elements summarized.
+    pub count: u64,
+}
+
+/// One-pass central moments under a single key.
+///
+/// Unit chunk: 1 element.
+#[derive(Debug, Clone, Default)]
+pub struct Moments;
+
+impl Moments {
+    /// Derive the summary from a finished combination map.
+    pub fn summary(com: &ComMap<MomentsObj>) -> Option<MomentsSummary> {
+        let o = com.get(0)?;
+        if o.count == 0 {
+            return None;
+        }
+        let n = o.count as f64;
+        let mean = o.s1 / n;
+        let m2 = o.s2 / n - mean * mean;
+        let m3 = o.s3 / n - 3.0 * mean * o.s2 / n + 2.0 * mean.powi(3);
+        let m4 = o.s4 / n - 4.0 * mean * o.s3 / n + 6.0 * mean * mean * o.s2 / n
+            - 3.0 * mean.powi(4);
+        let variance = m2.max(0.0);
+        let sd = variance.sqrt();
+        Some(MomentsSummary {
+            mean,
+            variance,
+            skewness: if sd > 0.0 { m3 / sd.powi(3) } else { 0.0 },
+            excess_kurtosis: if variance > 0.0 { m4 / (variance * variance) - 3.0 } else { 0.0 },
+            count: o.count,
+        })
+    }
+}
+
+impl Analytics for Moments {
+    type In = f64;
+    type Red = MomentsObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<MomentsObj>) {
+        let o = obj.get_or_insert_with(MomentsObj::default);
+        let v = data[chunk.local_start];
+        let v2 = v * v;
+        o.s1 += v;
+        o.s2 += v2;
+        o.s3 += v2 * v;
+        o.s4 += v2 * v2;
+        o.count += 1;
+    }
+
+    fn merge(&self, red: &MomentsObj, com: &mut MomentsObj) {
+        com.s1 += red.s1;
+        com.s2 += red.s2;
+        com.s3 += red.s3;
+        com.s4 += red.s4;
+        com.count += red.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    fn run_range(data: &[f64], threads: usize) -> Option<(f64, f64)> {
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(ValueRange, SchedArgs::new(threads, 1), pool).unwrap();
+        s.run(data, &mut []).unwrap();
+        ValueRange::range(s.combination_map())
+    }
+
+    fn run_moments(data: &[f64], threads: usize) -> Option<MomentsSummary> {
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(Moments, SchedArgs::new(threads, 1), pool).unwrap();
+        s.run(data, &mut []).unwrap();
+        Moments::summary(s.combination_map())
+    }
+
+    #[test]
+    fn range_finds_extremes() {
+        let data = [3.0, -7.5, 0.0, 12.25, 5.0];
+        assert_eq!(run_range(&data, 2), Some((-7.5, 12.25)));
+    }
+
+    #[test]
+    fn range_of_empty_is_none() {
+        assert_eq!(run_range(&[], 1), None);
+    }
+
+    #[test]
+    fn range_distributed_matches_local() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 83) % 101) as f64 - 50.0).collect();
+        let expected = run_range(&data, 1).unwrap();
+        let results = smart_comm::run_cluster(3, |mut comm| {
+            let share = data.len() / comm.size();
+            let lo = comm.rank() * share;
+            let hi = if comm.rank() + 1 == comm.size() { data.len() } else { lo + share };
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let mut s = Scheduler::new(ValueRange, SchedArgs::new(1, 1), pool).unwrap();
+            s.run_dist(&mut comm, &data[lo..hi], &mut []).unwrap();
+            ValueRange::range(s.combination_map()).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn moments_of_known_distribution() {
+        // Uniform over {0..999}: mean 499.5, variance (n²-1)/12.
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let m = run_moments(&data, 3).unwrap();
+        assert_eq!(m.count, 1000);
+        assert!((m.mean - 499.5).abs() < 1e-9);
+        assert!((m.variance - (1000.0 * 1000.0 - 1.0) / 12.0).abs() < 1e-3);
+        assert!(m.skewness.abs() < 1e-9, "uniform is symmetric: {}", m.skewness);
+        // Uniform excess kurtosis = -6/5.
+        assert!((m.excess_kurtosis + 1.2).abs() < 0.01, "{}", m.excess_kurtosis);
+    }
+
+    #[test]
+    fn moments_of_constant_data() {
+        let m = run_moments(&[4.0; 50], 2).unwrap();
+        assert_eq!(m.mean, 4.0);
+        assert!(m.variance.abs() < 1e-9);
+        assert_eq!(m.skewness, 0.0);
+    }
+
+    #[test]
+    fn moments_of_empty_is_none() {
+        assert!(run_moments(&[], 1).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn range_matches_iterator_minmax(
+            data in proptest::collection::vec(-1000.0f64..1000.0, 1..300),
+            threads in 1usize..5,
+        ) {
+            let (min, max) = run_range(&data, threads).unwrap();
+            let emin = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let emax = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(min, emin);
+            prop_assert_eq!(max, emax);
+        }
+
+        #[test]
+        fn moments_match_two_pass_oracle(
+            data in proptest::collection::vec(-10.0f64..10.0, 2..300),
+            threads in 1usize..5,
+        ) {
+            let m = run_moments(&data, threads).unwrap();
+            let n = data.len() as f64;
+            let mean = data.iter().sum::<f64>() / n;
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((m.mean - mean).abs() < 1e-9);
+            prop_assert!((m.variance - var).abs() < 1e-6, "{} vs {}", m.variance, var);
+        }
+
+        #[test]
+        fn moments_thread_invariant(
+            data in proptest::collection::vec(-5.0f64..5.0, 1..200),
+        ) {
+            let a = run_moments(&data, 1).unwrap();
+            let b = run_moments(&data, 4).unwrap();
+            prop_assert!((a.mean - b.mean).abs() < 1e-12);
+            prop_assert!((a.variance - b.variance).abs() < 1e-9);
+        }
+    }
+}

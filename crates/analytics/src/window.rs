@@ -1,0 +1,572 @@
+//! Window-based analytics (paper §4, §5.1): moving average (Listing 5),
+//! moving median, Gaussian kernel smoothing, and the Savitzky–Golay filter.
+//!
+//! All four map each element to every window position it contributes to
+//! (`gen_keys`, the paper's flatMap analogue) and lean on the early-emission
+//! trigger: a window's reduction object is converted into `out[center]` and
+//! erased as soon as it has received all of its contributions, capping live
+//! objects at O(window) instead of O(input) — the optimization Fig. 11
+//! evaluates.
+//!
+//! One refinement over the paper's Listing 5: the trigger compares against
+//! the window's *feasible* size (truncated at the global array edges), not
+//! the nominal `WIN_SIZE`, so the O(window) edge keys can also emit early.
+//! Interior keys behave identically to the paper.
+
+use crate::linalg::savgol_coefficients;
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// Shared window geometry: half-width plus the global element count.
+#[derive(Debug, Clone, Copy)]
+struct WindowSpec {
+    half: usize,
+    total_len: usize,
+}
+
+impl WindowSpec {
+    fn new(window: usize, total_len: usize) -> Self {
+        assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+        assert!(total_len > 0, "total_len must be positive");
+        WindowSpec { half: window / 2, total_len }
+    }
+
+    fn window(&self) -> usize {
+        2 * self.half + 1
+    }
+
+    /// Keys (window centers) an element at global position `gs` feeds.
+    fn keys_for(&self, gs: usize, keys: &mut Vec<Key>) {
+        let lo = gs.saturating_sub(self.half);
+        let hi = (gs + self.half).min(self.total_len - 1);
+        for k in lo..=hi {
+            keys.push(k as Key);
+        }
+    }
+
+    /// Elements the (possibly edge-truncated) window centered at `key`
+    /// will receive in total.
+    fn expected_at(&self, key: Key) -> u64 {
+        let k = key as usize;
+        let lo = k.saturating_sub(self.half);
+        let hi = (k + self.half).min(self.total_len - 1);
+        (hi - lo + 1) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Moving average (paper Listing 5)
+// ---------------------------------------------------------------------------
+
+/// Algebraic window object: Θ(1) per window (paper §4.1's moving-average
+/// case).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct WinObj {
+    /// Running sum of window members.
+    pub sum: f64,
+    /// Members received so far.
+    pub count: u64,
+    /// Members the window will receive in total.
+    pub expected: u64,
+}
+
+impl RedObj for WinObj {
+    fn trigger(&self) -> bool {
+        self.expected > 0 && self.count == self.expected
+    }
+}
+
+/// Moving average over a sliding window of odd size.
+///
+/// Unit chunk: 1 element. Output: `out[i] = mean of the window centered at
+/// global element i` (edge windows truncate).
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    spec: WindowSpec,
+}
+
+impl MovingAverage {
+    /// Window of `window` (odd) elements over a `total_len`-element dataset.
+    pub fn new(window: usize, total_len: usize) -> Self {
+        MovingAverage { spec: WindowSpec::new(window, total_len) }
+    }
+}
+
+impl Analytics for MovingAverage {
+    type In = f64;
+    type Red = WinObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinObj>, keys: &mut Vec<Key>) {
+        self.spec.keys_for(chunk.global_start, keys);
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<WinObj>) {
+        let w = obj.get_or_insert_with(|| WinObj {
+            sum: 0.0,
+            count: 0,
+            expected: self.spec.expected_at(key),
+        });
+        w.sum += data[chunk.local_start];
+        w.count += 1;
+    }
+
+    fn merge(&self, red: &WinObj, com: &mut WinObj) {
+        com.sum += red.sum;
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &WinObj, out: &mut f64) {
+        *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Moving median
+// ---------------------------------------------------------------------------
+
+/// Holistic window object: Θ(window) per window — the paper's point that
+/// median cannot be computed from a constant-size summary (§4.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct WinMedianObj {
+    /// All window members seen so far.
+    pub vals: Vec<f64>,
+    /// Members the window will receive in total.
+    pub expected: u64,
+}
+
+impl RedObj for WinMedianObj {
+    fn trigger(&self) -> bool {
+        self.expected > 0 && self.vals.len() as u64 == self.expected
+    }
+}
+
+/// Moving median over a sliding window of odd size.
+#[derive(Debug, Clone)]
+pub struct MovingMedian {
+    spec: WindowSpec,
+}
+
+impl MovingMedian {
+    /// Window of `window` (odd) elements over a `total_len`-element dataset.
+    pub fn new(window: usize, total_len: usize) -> Self {
+        MovingMedian { spec: WindowSpec::new(window, total_len) }
+    }
+}
+
+impl Analytics for MovingMedian {
+    type In = f64;
+    type Red = WinMedianObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinMedianObj>, keys: &mut Vec<Key>) {
+        self.spec.keys_for(chunk.global_start, keys);
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<WinMedianObj>) {
+        let w = obj.get_or_insert_with(|| WinMedianObj {
+            vals: Vec::with_capacity(self.spec.window()),
+            expected: self.spec.expected_at(key),
+        });
+        w.vals.push(data[chunk.local_start]);
+    }
+
+    fn merge(&self, red: &WinMedianObj, com: &mut WinMedianObj) {
+        com.vals.extend_from_slice(&red.vals);
+    }
+
+    fn convert(&self, obj: &WinMedianObj, out: &mut f64) {
+        *out = median(&obj.vals);
+    }
+}
+
+/// Median of a slice (average of the middle two for even lengths).
+pub fn median(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mut v = vals.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in window data"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offset-weighted windows: Gaussian kernel smoothing & Savitzky–Golay
+// ---------------------------------------------------------------------------
+
+/// Window object for offset-weighted kernels: a weighted accumulator plus a
+/// plain sum for edge fallback. Still Θ(1) per window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct WinWeightedObj {
+    /// Kernel-weighted accumulator.
+    pub acc: f64,
+    /// Companion accumulator (kernel mass for Gaussian; raw sum for SG).
+    pub aux: f64,
+    /// Members received so far.
+    pub count: u64,
+    /// Members the window will receive in total.
+    pub expected: u64,
+}
+
+impl RedObj for WinWeightedObj {
+    fn trigger(&self) -> bool {
+        self.expected > 0 && self.count == self.expected
+    }
+}
+
+/// Gaussian kernel smoother (positional Nadaraya–Watson): the output at
+/// position `i` is `Σⱼ K(j−i)·xⱼ / Σⱼ K(j−i)` over the window, with
+/// `K(d) = exp(−d²/2σ²)`, `σ = window/6` — the paper's "Gaussian kernel
+/// density estimation" window application.
+#[derive(Debug, Clone)]
+pub struct GaussianSmoother {
+    spec: WindowSpec,
+    inv_two_sigma2: f64,
+}
+
+impl GaussianSmoother {
+    /// Window of `window` (odd) elements over a `total_len`-element dataset.
+    pub fn new(window: usize, total_len: usize) -> Self {
+        let spec = WindowSpec::new(window, total_len);
+        let sigma = window as f64 / 6.0;
+        GaussianSmoother { spec, inv_two_sigma2: 1.0 / (2.0 * sigma * sigma) }
+    }
+
+    /// Kernel weight for a positional offset.
+    pub fn weight(&self, offset: f64) -> f64 {
+        (-offset * offset * self.inv_two_sigma2).exp()
+    }
+}
+
+impl Analytics for GaussianSmoother {
+    type In = f64;
+    type Red = WinWeightedObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinWeightedObj>, keys: &mut Vec<Key>) {
+        self.spec.keys_for(chunk.global_start, keys);
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<WinWeightedObj>) {
+        let w = obj.get_or_insert_with(|| WinWeightedObj {
+            acc: 0.0,
+            aux: 0.0,
+            count: 0,
+            expected: self.spec.expected_at(key),
+        });
+        let offset = chunk.global_start as f64 - key as f64;
+        let weight = self.weight(offset);
+        w.acc += weight * data[chunk.local_start];
+        w.aux += weight;
+        w.count += 1;
+    }
+
+    fn merge(&self, red: &WinWeightedObj, com: &mut WinWeightedObj) {
+        com.acc += red.acc;
+        com.aux += red.aux;
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &WinWeightedObj, out: &mut f64) {
+        *out = if obj.aux > 0.0 { obj.acc / obj.aux } else { 0.0 };
+    }
+}
+
+/// Savitzky–Golay smoothing filter (paper [39]): least-squares polynomial
+/// fit over the window, evaluated at the center. Full windows apply the
+/// precomputed convolution coefficients; truncated edge windows fall back to
+/// the window mean (standard practice).
+#[derive(Debug, Clone)]
+pub struct SavitzkyGolay {
+    spec: WindowSpec,
+    coeffs: Vec<f64>,
+}
+
+impl SavitzkyGolay {
+    /// Filter of odd `window` size fitting a degree-`order` polynomial.
+    pub fn new(window: usize, order: usize, total_len: usize) -> Self {
+        let spec = WindowSpec::new(window, total_len);
+        SavitzkyGolay { spec, coeffs: savgol_coefficients(window, order) }
+    }
+
+    /// The precomputed smoothing coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+impl Analytics for SavitzkyGolay {
+    type In = f64;
+    type Red = WinWeightedObj;
+    type Out = f64;
+    type Extra = ();
+
+    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinWeightedObj>, keys: &mut Vec<Key>) {
+        self.spec.keys_for(chunk.global_start, keys);
+    }
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], key: Key, obj: &mut Option<WinWeightedObj>) {
+        let w = obj.get_or_insert_with(|| WinWeightedObj {
+            acc: 0.0,
+            aux: 0.0,
+            count: 0,
+            expected: self.spec.expected_at(key),
+        });
+        let x = data[chunk.local_start];
+        // Offset within the window: 0..window, center at `half`.
+        let idx = (chunk.global_start as i64 - key + self.spec.half as i64) as usize;
+        w.acc += self.coeffs[idx] * x;
+        w.aux += x;
+        w.count += 1;
+    }
+
+    fn merge(&self, red: &WinWeightedObj, com: &mut WinWeightedObj) {
+        com.acc += red.acc;
+        com.aux += red.aux;
+        com.count += red.count;
+    }
+
+    fn convert(&self, obj: &WinWeightedObj, out: &mut f64) {
+        *out = if obj.count == self.spec.window() as u64 {
+            obj.acc
+        } else if obj.count > 0 {
+            obj.aux / obj.count as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    fn run_app<A>(app: A, data: &[f64], threads: usize, disable_trigger: bool) -> Vec<f64>
+    where
+        A: Analytics<In = f64, Out = f64, Extra = ()>,
+    {
+        let pool = smart_pool::shared_pool(4).unwrap();
+        let args = SchedArgs::new(threads, 1).with_trigger_disabled(disable_trigger);
+        let mut s = Scheduler::new(app, args, pool).unwrap();
+        let mut out = vec![0.0f64; data.len()];
+        s.run2(data, &mut out).unwrap();
+        out
+    }
+
+    fn oracle_moving_average(data: &[f64], window: usize) -> Vec<f64> {
+        let half = window / 2;
+        (0..data.len())
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half).min(data.len() - 1);
+                data[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+            })
+            .collect()
+    }
+
+    fn oracle_moving_median(data: &[f64], window: usize) -> Vec<f64> {
+        let half = window / 2;
+        (0..data.len())
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half).min(data.len() - 1);
+                median(&data[lo..=hi])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moving_average_matches_oracle() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 7) % 31) as f64).collect();
+        for window in [3, 7, 25] {
+            let got = run_app(MovingAverage::new(window, data.len()), &data, 4, false);
+            let want = oracle_moving_average(&data, window);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-10, "window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn moving_average_trigger_and_no_trigger_agree() {
+        let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.7).sin()).collect();
+        let with = run_app(MovingAverage::new(7, data.len()), &data, 3, false);
+        let without = run_app(MovingAverage::new(7, data.len()), &data, 3, true);
+        for (a, b) in with.iter().zip(&without) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_emission_keeps_map_small() {
+        let data: Vec<f64> = vec![1.0; 10_000];
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s =
+            Scheduler::new(MovingAverage::new(25, data.len()), SchedArgs::new(1, 1), pool)
+                .unwrap();
+        let mut out = vec![0.0f64; data.len()];
+        s.run2(&data, &mut out).unwrap();
+        // Everything triggered during the single split's pass.
+        assert_eq!(s.combination_map().len(), 0);
+
+        // Without the trigger, the map holds every window — the O(N)
+        // blow-up Fig. 11 measures.
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(
+            MovingAverage::new(25, data.len()),
+            SchedArgs::new(1, 1).with_trigger_disabled(true),
+            pool,
+        )
+        .unwrap();
+        s.run2(&data, &mut out).unwrap();
+        assert_eq!(s.combination_map().len(), data.len());
+    }
+
+    #[test]
+    fn moving_median_matches_oracle() {
+        let data: Vec<f64> = (0..150).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        for window in [3, 11] {
+            let got = run_app(MovingMedian::new(window, data.len()), &data, 4, false);
+            let want = oracle_moving_median(&data, window);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-12, "window {window} pos {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn moving_median_suppresses_impulse_noise() {
+        let mut data: Vec<f64> = vec![1.0; 99];
+        data[50] = 1000.0; // impulse
+        let got = run_app(MovingMedian::new(5, data.len()), &data, 2, false);
+        assert_eq!(got[50], 1.0, "median filter must reject the outlier");
+    }
+
+    #[test]
+    fn median_helper_handles_edge_cases() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn gaussian_smoother_preserves_constants() {
+        let data = vec![4.2; 120];
+        let got = run_app(GaussianSmoother::new(9, data.len()), &data, 3, false);
+        for v in &got {
+            assert!((v - 4.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_smoother_reduces_variance() {
+        let data: Vec<f64> =
+            (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let got = run_app(GaussianSmoother::new(11, data.len()), &data, 4, false);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&got[20..480]) < 0.05 * var(&data));
+    }
+
+    #[test]
+    fn gaussian_center_weight_dominates() {
+        let g = GaussianSmoother::new(7, 100);
+        assert!(g.weight(0.0) > g.weight(1.0));
+        assert!(g.weight(1.0) > g.weight(3.0));
+        assert_eq!(g.weight(0.0), 1.0);
+    }
+
+    #[test]
+    fn savitzky_golay_reproduces_quadratics_in_the_interior() {
+        let data: Vec<f64> =
+            (0..100).map(|i| 2.0 + 0.5 * i as f64 + 0.01 * (i * i) as f64).collect();
+        let got = run_app(SavitzkyGolay::new(7, 2, data.len()), &data, 3, false);
+        for i in 3..97 {
+            assert!((got[i] - data[i]).abs() < 1e-8, "pos {i}: {} vs {}", got[i], data[i]);
+        }
+    }
+
+    #[test]
+    fn savitzky_golay_matches_direct_convolution() {
+        let data: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin() * 5.0).collect();
+        let sg = SavitzkyGolay::new(5, 2, data.len());
+        let c = sg.coefficients().to_vec();
+        let got = run_app(sg, &data, 2, false);
+        for i in 2..78 {
+            let direct: f64 = (0..5).map(|j| c[j] * data[i + j - 2]).sum();
+            assert!((got[i] - direct).abs() < 1e-10, "pos {i}");
+        }
+    }
+
+    #[test]
+    fn savitzky_golay_edges_fall_back_to_mean() {
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let got = run_app(SavitzkyGolay::new(5, 2, data.len()), &data, 1, false);
+        // Position 0's truncated window covers 0..=2 → mean 1.0.
+        assert!((got[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_rejected() {
+        let _ = MovingAverage::new(4, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn moving_average_thread_and_trigger_invariant(
+            data in proptest::collection::vec(-10.0f64..10.0, 1..200),
+            hw in 1usize..6,
+            threads in 1usize..5,
+        ) {
+            let window = 2 * hw + 1;
+            let base = oracle_moving_average(&data, window);
+            let got = run_app(MovingAverage::new(window, data.len()), &data, threads, false);
+            let got_nt = run_app(MovingAverage::new(window, data.len()), &data, threads, true);
+            for ((a, b), c) in got.iter().zip(&base).zip(&got_nt) {
+                prop_assert!((a - b).abs() < 1e-9);
+                prop_assert!((a - c).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn moving_median_matches_oracle_prop(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..120),
+            hw in 1usize..5,
+            threads in 1usize..4,
+        ) {
+            let window = 2 * hw + 1;
+            let want = oracle_moving_median(&data, window);
+            let got = run_app(MovingMedian::new(window, data.len()), &data, threads, false);
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn smoothers_stay_within_data_range(
+            data in proptest::collection::vec(-5.0f64..5.0, 1..150),
+        ) {
+            // Gaussian (positive kernel) output is a convex combination.
+            let got = run_app(GaussianSmoother::new(9, data.len()), &data, 2, false);
+            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-9;
+            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+            for v in &got {
+                prop_assert!((lo..=hi).contains(v));
+            }
+        }
+    }
+}

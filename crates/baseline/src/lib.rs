@@ -1,0 +1,23 @@
+//! # smart-baseline
+//!
+//! The non-Smart comparators of the paper's evaluation:
+//!
+//! * [`lowlevel`] — analytics hand-written directly against the thread pool
+//!   and communicator, the way an MPI+OpenMP programmer would (contiguous
+//!   arrays, one `allreduce` per iteration). Fig. 6 compares Smart against
+//!   these; §5.3's programmability claim counts the parallelization code
+//!   they contain and Smart eliminates.
+//! * [`offline`] — the store-first-analyze-after pipeline of the Fig. 1
+//!   case study: every time-step is written to disk, then read back and
+//!   analyzed after the simulation completes.
+//!
+//! The remaining two baselines of the paper need no code here because they
+//! are configuration switches on the Smart runtime itself:
+//! `SchedArgs::with_copy_input(true)` (Fig. 9) and
+//! `SchedArgs::with_trigger_disabled(true)` (Fig. 11).
+
+pub mod lowlevel;
+pub mod offline;
+
+pub use lowlevel::{lowlevel_kmeans, lowlevel_logistic};
+pub use offline::OfflineStore;

@@ -1,0 +1,234 @@
+//! Hand-written "MPI + OpenMP" analytics (paper §5.3).
+//!
+//! These are the low-level implementations Fig. 6 compares Smart against:
+//! every parallelization detail — data partitioning across threads, private
+//! partial buffers, the thread merge, the contiguous-array `MPI_Allreduce`
+//! — is written by hand. Note what Smart's sequential view hides: all of
+//! the code in this module *except* the innermost arithmetic is
+//! parallelization boilerplate (the §5.3 lines-of-code claim; see
+//! `smart-bench loc`).
+//!
+//! Their one structural advantage over Smart, which the paper measures as
+//! Smart's ≤9% overhead: the synchronized state lives in one contiguous
+//! `Vec<f64>`, so global combination is a single `allreduce_sum_f64` with
+//! no per-object serialization.
+
+use smart_comm::{CommResult, Communicator};
+use smart_pool::{split_range, ThreadPool};
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Hand-parallelized Lloyd's k-means.
+///
+/// `points` is this rank's flat partition; `init` is `k × dims` flattened.
+/// Pass `None` for `comm` on single-node runs. Returns the centroids.
+#[allow(clippy::too_many_arguments)] // hand-written MPI code passes everything explicitly — that is the point
+pub fn lowlevel_kmeans(
+    pool: &ThreadPool,
+    mut comm: Option<&mut Communicator>,
+    points: &[f64],
+    dims: usize,
+    k: usize,
+    init: &[f64],
+    iters: usize,
+    num_threads: usize,
+) -> CommResult<Vec<f64>> {
+    assert!(dims > 0 && k > 0 && num_threads > 0);
+    assert_eq!(init.len(), k * dims, "init must be k*dims");
+    assert_eq!(points.len() % dims, 0, "points must be whole");
+
+    let mut centroids = init.to_vec();
+    // Contiguous synchronization buffer: k*dims sums then k sizes.
+    let mut sync_buf = vec![0.0f64; k * dims + k];
+
+    for _ in 0..iters {
+        // --- parallel region: per-thread partial sums -------------------
+        let cents = &centroids;
+        let partials: Vec<Vec<f64>> = pool.run_on_workers(num_threads, |tid| {
+            let range = split_range(points.len(), num_threads, tid, dims);
+            let mut local = vec![0.0f64; k * dims + k];
+            for p in points[range].chunks_exact(dims) {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for j in 0..k {
+                    let c = &cents[j * dims..(j + 1) * dims];
+                    let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                for (s, x) in local[best * dims..(best + 1) * dims].iter_mut().zip(p) {
+                    *s += x;
+                }
+                local[k * dims + best] += 1.0;
+            }
+            local
+        });
+
+        // --- manual thread merge ----------------------------------------
+        sync_buf.iter_mut().for_each(|v| *v = 0.0);
+        for part in &partials {
+            for (s, p) in sync_buf.iter_mut().zip(part) {
+                *s += p;
+            }
+        }
+
+        // --- single contiguous allreduce (the MPI_Allreduce call) --------
+        if let Some(comm) = comm.as_deref_mut() {
+            comm.allreduce_sum_f64(&mut sync_buf)?;
+        }
+
+        // --- centroid update ---------------------------------------------
+        for j in 0..k {
+            let n = sync_buf[k * dims + j];
+            if n > 0.0 {
+                for d in 0..dims {
+                    centroids[j * dims + d] = sync_buf[j * dims + d] / n;
+                }
+            }
+        }
+    }
+    Ok(centroids)
+}
+
+/// Hand-parallelized batch-gradient logistic regression.
+///
+/// `records` are `dims + 1` doubles each (features, label). Returns the
+/// learned weights.
+pub fn lowlevel_logistic(
+    pool: &ThreadPool,
+    mut comm: Option<&mut Communicator>,
+    records: &[f64],
+    dims: usize,
+    learning_rate: f64,
+    iters: usize,
+    num_threads: usize,
+) -> CommResult<Vec<f64>> {
+    assert!(dims > 0 && num_threads > 0 && learning_rate > 0.0);
+    let rec = dims + 1;
+    assert_eq!(records.len() % rec, 0, "records must be whole");
+
+    let mut weights = vec![0.0f64; dims];
+    // Contiguous synchronization buffer: gradient then count.
+    let mut sync_buf = vec![0.0f64; dims + 1];
+
+    for _ in 0..iters {
+        let w = &weights;
+        let partials: Vec<Vec<f64>> = pool.run_on_workers(num_threads, |tid| {
+            let range = split_range(records.len(), num_threads, tid, rec);
+            let mut local = vec![0.0f64; dims + 1];
+            for r in records[range].chunks_exact(rec) {
+                let dot: f64 = r[..dims].iter().zip(w).map(|(x, wi)| x * wi).sum();
+                let err = sigmoid(dot) - r[dims];
+                for (g, x) in local[..dims].iter_mut().zip(&r[..dims]) {
+                    *g += err * x;
+                }
+                local[dims] += 1.0;
+            }
+            local
+        });
+
+        sync_buf.iter_mut().for_each(|v| *v = 0.0);
+        for part in &partials {
+            for (s, p) in sync_buf.iter_mut().zip(part) {
+                *s += p;
+            }
+        }
+
+        if let Some(comm) = comm.as_deref_mut() {
+            comm.allreduce_sum_f64(&mut sync_buf)?;
+        }
+
+        let count = sync_buf[dims];
+        if count > 0.0 {
+            for (wi, g) in weights.iter_mut().zip(&sync_buf[..dims]) {
+                *wi -= learning_rate / count * g;
+            }
+        }
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_core::{SchedArgs, Scheduler};
+
+    #[test]
+    fn lowlevel_kmeans_matches_smart_kmeans() {
+        let mut emu = smart_sim::ClusteredEmulator::new(3, 3, 2, 0.7);
+        let pts = emu.step(400);
+        let init: Vec<f64> = pts[..3 * 2].to_vec();
+        let pool = ThreadPool::new(4).unwrap();
+
+        let low = lowlevel_kmeans(&pool, None, &pts, 2, 3, &init, 8, 4).unwrap();
+
+        let app = smart_analytics::KMeans::new(3, 2);
+        let args = SchedArgs::new(4, 2).with_extra(init.clone()).with_iters(8);
+        let shared = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(app, args, shared).unwrap();
+        let mut out = vec![Vec::new(); 3];
+        s.run(&pts, &mut out).unwrap();
+
+        for (j, smart_c) in out.iter().enumerate() {
+            for (d, v) in smart_c.iter().enumerate() {
+                assert!((v - low[j * 2 + d]).abs() < 1e-8, "cluster {j} dim {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowlevel_logistic_matches_smart_logistic() {
+        let mut emu = smart_sim::LabeledEmulator::new(17, 6);
+        let recs = emu.step(300);
+        let pool = ThreadPool::new(4).unwrap();
+
+        let low = lowlevel_logistic(&pool, None, &recs, 6, 1.0, 10, 4).unwrap();
+
+        let app = smart_analytics::LogisticRegression::new(6, 1.0);
+        let args = SchedArgs::new(4, 7).with_extra(vec![0.0; 6]).with_iters(10);
+        let shared = smart_pool::shared_pool(4).unwrap();
+        let mut s = Scheduler::new(app, args, shared).unwrap();
+        let mut out = vec![Vec::new()];
+        s.run(&recs, &mut out).unwrap();
+
+        for (a, b) in out[0].iter().zip(&low) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn distributed_lowlevel_matches_local() {
+        let mut emu = smart_sim::ClusteredEmulator::new(23, 2, 3, 1.0);
+        let pts = emu.step(600);
+        let init: Vec<f64> = pts[..2 * 3].to_vec();
+        let pool = ThreadPool::new(2).unwrap();
+        let reference = lowlevel_kmeans(&pool, None, &pts, 3, 2, &init, 5, 2).unwrap();
+
+        let results = smart_comm::run_cluster(3, |mut comm| {
+            let pool = ThreadPool::new(2).unwrap();
+            let per = (pts.len() / 3 / comm.size()) * 3;
+            let lo = comm.rank() * per;
+            let hi = if comm.rank() + 1 == comm.size() { pts.len() } else { lo + per };
+            lowlevel_kmeans(&pool, Some(&mut comm), &pts[lo..hi], 3, 2, &init, 5, 2).unwrap()
+        });
+        for r in &results {
+            for (a, b) in r.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_keeps_initial_state() {
+        let pool = ThreadPool::new(1).unwrap();
+        let c = lowlevel_kmeans(&pool, None, &[], 2, 2, &[0.0, 0.0, 1.0, 1.0], 3, 1).unwrap();
+        assert_eq!(c, vec![0.0, 0.0, 1.0, 1.0]);
+        let w = lowlevel_logistic(&pool, None, &[], 2, 0.5, 3, 1).unwrap();
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+}

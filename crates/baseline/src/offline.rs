@@ -1,0 +1,182 @@
+//! The offline (store-first-analyze-after) pipeline of the Fig. 1 case
+//! study: simulation output is written to persistent storage per time-step,
+//! then read back for analysis after the simulation finishes — paying the
+//! I/O cost in-situ processing avoids.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// On-disk store of per-rank, per-step `f64` partitions.
+///
+/// Layout: one file per (rank, step), little-endian, with an 8-byte element
+/// count header — a minimal stand-in for the parallel file system the
+/// paper's offline baseline writes through.
+#[derive(Debug)]
+pub struct OfflineStore {
+    dir: PathBuf,
+}
+
+impl OfflineStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(OfflineStore { dir })
+    }
+
+    /// A store in a fresh subdirectory of the system temp dir.
+    pub fn temp(label: &str) -> io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "smart-offline-{label}-{}",
+            std::process::id()
+        ));
+        Self::new(dir)
+    }
+
+    /// Root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, rank: usize, step: usize) -> PathBuf {
+        self.dir.join(format!("rank{rank:04}-step{step:06}.bin"))
+    }
+
+    /// Write one time-step's partition.
+    pub fn write_step(&self, rank: usize, step: usize, data: &[f64]) -> io::Result<()> {
+        let mut buf = BytesMut::with_capacity(8 + data.len() * 8);
+        buf.put_u64_le(data.len() as u64);
+        for &v in data {
+            buf.put_f64_le(v);
+        }
+        let mut file = BufWriter::new(File::create(self.path(rank, step))?);
+        file.write_all(&buf)?;
+        file.flush()
+    }
+
+    /// Read one time-step's partition back.
+    pub fn read_step(&self, rank: usize, step: usize) -> io::Result<Vec<f64>> {
+        let mut file = BufReader::new(File::open(self.path(rank, step))?);
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut buf = &raw[..];
+        if buf.len() < 8 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing header"));
+        }
+        let n = buf.get_u64_le() as usize;
+        if buf.len() != n * 8 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected {n} elements, found {} bytes", buf.len()),
+            ));
+        }
+        Ok((0..n).map(|_| buf.get_f64_le()).collect())
+    }
+
+    /// Total bytes currently stored (the paper's storage-cost axis).
+    pub fn stored_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+
+    /// Delete the store and its contents.
+    pub fn destroy(self) -> io::Result<()> {
+        fs::remove_dir_all(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let store = OfflineStore::temp("roundtrip").unwrap();
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.25).collect();
+        store.write_step(0, 0, &data).unwrap();
+        assert_eq!(store.read_step(0, 0).unwrap(), data);
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn steps_and_ranks_are_separate_files() {
+        let store = OfflineStore::temp("multi").unwrap();
+        for rank in 0..3 {
+            for step in 0..4 {
+                store.write_step(rank, step, &[rank as f64, step as f64]).unwrap();
+            }
+        }
+        assert_eq!(store.read_step(2, 3).unwrap(), vec![2.0, 3.0]);
+        assert_eq!(store.read_step(0, 0).unwrap(), vec![0.0, 0.0]);
+        let bytes = store.stored_bytes().unwrap();
+        assert_eq!(bytes, 12 * (8 + 16));
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_partition_roundtrips() {
+        let store = OfflineStore::temp("empty").unwrap();
+        store.write_step(0, 0, &[]).unwrap();
+        assert!(store.read_step(0, 0).unwrap().is_empty());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn missing_step_is_an_error() {
+        let store = OfflineStore::temp("missing").unwrap();
+        assert!(store.read_step(9, 9).is_err());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let store = OfflineStore::temp("trunc").unwrap();
+        store.write_step(0, 0, &[1.0, 2.0, 3.0]).unwrap();
+        // Corrupt: truncate the file mid-payload.
+        let path = store.dir().join("rank0000-step000000.bin");
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 4]).unwrap();
+        assert!(store.read_step(0, 0).is_err());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn offline_pipeline_reproduces_in_situ_result() {
+        // Simulate 5 steps, write each; then read back and run the same
+        // Smart analytics. Results must equal the in-situ run — the paper's
+        // point that only the cost differs, not the answer.
+        use smart_core::{SchedArgs, Scheduler};
+
+        let store = OfflineStore::temp("pipeline").unwrap();
+        let mut sim = smart_sim::Heat3D::serial(8, 8, 8, 0.1);
+
+        // In-situ: analyze while simulating.
+        let app = smart_analytics::Histogram::new(0.0, 100.0, 16);
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let mut insitu = Scheduler::new(app, SchedArgs::new(2, 1), pool).unwrap();
+        let mut insitu_out = vec![0u64; 16];
+        for step in 0..5 {
+            let out = sim.step_serial();
+            insitu.run(out, &mut insitu_out).unwrap();
+            store.write_step(0, step, out).unwrap();
+        }
+
+        // Offline: read back and analyze.
+        let app = smart_analytics::Histogram::new(0.0, 100.0, 16);
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let mut offline = Scheduler::new(app, SchedArgs::new(2, 1), pool).unwrap();
+        let mut offline_out = vec![0u64; 16];
+        for step in 0..5 {
+            let data = store.read_step(0, step).unwrap();
+            offline.run(&data, &mut offline_out).unwrap();
+        }
+
+        assert_eq!(insitu_out, offline_out);
+        store.destroy().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the custom open-addressing `RedMap` vs `std::collections::HashMap`
+//!   in the reduce hot loop (the Rust Performance Book's hashing advice);
+//! * the early-emission trigger vs routing everything through the
+//!   combination map (Algorithm 2's reason to exist);
+//! * the `smart-wire` codec vs per-entry messaging for global combination
+//!   (why combination maps ship as one serialized block).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_core::RedMap;
+use std::collections::HashMap;
+
+fn bench_redmap_vs_std(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_redmap");
+    group.sample_size(20);
+
+    // The reduce-loop access pattern: dense small-int keys, upsert-heavy.
+    let keys: Vec<i64> = (0..100_000).map(|i| (i * 7) % 1200).collect();
+
+    group.bench_function("redmap_upsert", |b| {
+        b.iter(|| {
+            let mut m: RedMap<u64> = RedMap::new();
+            for &k in &keys {
+                *m.slot_mut(k).get_or_insert(0) += 1;
+            }
+            m.len()
+        });
+    });
+
+    group.bench_function("std_hashmap_upsert", |b| {
+        b.iter(|| {
+            let mut m: HashMap<i64, u64> = HashMap::new();
+            for &k in &keys {
+                *m.entry(k).or_insert(0) += 1;
+            }
+            m.len()
+        });
+    });
+
+    group.bench_function("redmap_drain", |b| {
+        let template: RedMap<u64> = (0..1200).map(|k| (k, k as u64)).collect();
+        b.iter(|| {
+            let mut m = template.clone();
+            m.drain_entries().len()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_trigger_variants(c: &mut Criterion) {
+    use smart_analytics::MovingAverage;
+    use smart_core::{SchedArgs, Scheduler};
+
+    let mut group = c.benchmark_group("ablation_trigger");
+    group.sample_size(10);
+    let data: Vec<f64> = (0..100_000).map(|i| (i % 311) as f64).collect();
+
+    for (label, disabled) in [("early_emission", false), ("combination_map_only", true)] {
+        group.bench_function(label, |b| {
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let mut s = Scheduler::new(
+                MovingAverage::new(25, data.len()),
+                SchedArgs::new(1, 1).with_trigger_disabled(disabled),
+                pool,
+            )
+            .unwrap();
+            let mut out = vec![0.0f64; data.len()];
+            b.iter(|| {
+                s.reset();
+                s.run2(&data, &mut out).unwrap()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_wire_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wire");
+    group.sample_size(20);
+
+    // A k-means-like combination map: 8 clusters of 64-dim vectors.
+    let entries: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> = (0..8)
+        .map(|k| (k, (vec![1.5; 64], vec![0.5; 64], 100)))
+        .collect();
+
+    group.bench_function("one_block_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = smart_wire::to_bytes(&entries).unwrap();
+            let back: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> =
+                smart_wire::from_bytes(&bytes).unwrap();
+            back.len()
+        });
+    });
+
+    group.bench_function("per_entry_roundtrip", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for e in &entries {
+                let bytes = smart_wire::to_bytes(e).unwrap();
+                let back: (i64, (Vec<f64>, Vec<f64>, u64)) =
+                    smart_wire::from_bytes(&bytes).unwrap();
+                total += usize::from(back.1 .2 > 0);
+            }
+            total
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_redmap_vs_std, bench_trigger_variants, bench_wire_blocking);
+criterion_main!(benches);

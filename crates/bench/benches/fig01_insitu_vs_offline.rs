@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 1: one in-situ time-step (simulate + analyze)
+//! vs one offline time-step (simulate + write + read + analyze).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_analytics::KMeans;
+use smart_baseline::OfflineStore;
+use smart_core::{SchedArgs, Scheduler};
+use smart_sim::Heat3D;
+
+fn kmeans_scheduler() -> Scheduler<KMeans> {
+    let (k, dims) = (8, 4);
+    let init: Vec<f64> = (0..k * dims).map(|i| (i / dims) as f64 * 12.5 + 6.0).collect();
+    let args = SchedArgs::new(1, dims).with_extra(init).with_iters(5);
+    Scheduler::new(KMeans::new(k, dims), args, smart_pool::shared_pool(1).unwrap()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_insitu_vs_offline");
+    group.sample_size(10);
+
+    group.bench_function("insitu_step", |b| {
+        let mut sim = Heat3D::serial(24, 24, 16, 0.1);
+        let mut smart = kmeans_scheduler();
+        let mut out = vec![Vec::new(); 8];
+        b.iter(|| {
+            let data = sim.step_serial();
+            smart.run(data, &mut out).unwrap();
+        });
+    });
+
+    group.bench_function("offline_step", |b| {
+        let mut sim = Heat3D::serial(24, 24, 16, 0.1);
+        let mut smart = kmeans_scheduler();
+        let mut out = vec![Vec::new(); 8];
+        let store = OfflineStore::temp("bench-fig1").unwrap();
+        let mut step = 0usize;
+        b.iter(|| {
+            let data = sim.step_serial();
+            store.write_step(0, step, data).unwrap();
+            let back = store.read_step(0, step).unwrap();
+            smart.run(&back, &mut out).unwrap();
+            step += 1;
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

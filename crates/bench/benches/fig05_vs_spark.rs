@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 5: the same analytics job on Smart vs the
+//! RDD-architecture MiniSpark engine (histogram and logistic regression).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_analytics::{Histogram, LogisticRegression};
+use smart_core::{SchedArgs, Scheduler};
+use smart_minispark::{histogram_spark, logistic_spark, SparkContext};
+use smart_sim::{LabeledEmulator, NormalEmulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_vs_spark");
+    group.sample_size(10);
+
+    let data = NormalEmulator::standard(5).step(100_000);
+    group.bench_function("smart_histogram_100k", |b| {
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s =
+            Scheduler::new(Histogram::new(-4.0, 4.0, 100), SchedArgs::new(1, 1), pool).unwrap();
+        let mut out = vec![0u64; 100];
+        b.iter(|| s.run(&data, &mut out).unwrap());
+    });
+    group.bench_function("minispark_histogram_100k", |b| {
+        let ctx = SparkContext::with_service_threads(1, 0);
+        b.iter(|| histogram_spark(&ctx, &data, -4.0, 4.0, 100, 8));
+    });
+
+    let recs = LabeledEmulator::new(6, 15).step(1000);
+    group.bench_function("smart_logistic_1k_x5", |b| {
+        b.iter(|| {
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let args = SchedArgs::new(1, 16).with_extra(vec![0.0; 15]).with_iters(5);
+            let mut s = Scheduler::new(LogisticRegression::new(15, 0.1), args, pool).unwrap();
+            let mut out = vec![Vec::new()];
+            s.run(&recs, &mut out).unwrap();
+            out
+        });
+    });
+    group.bench_function("minispark_logistic_1k_x5", |b| {
+        let ctx = SparkContext::with_service_threads(1, 0);
+        b.iter(|| logistic_spark(&ctx, &recs, 15, 0.1, 5, 8));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Fig. 6: Smart vs hand-coded low-level analytics
+//! on identical inputs (the middleware-overhead measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_analytics::{KMeans, LogisticRegression};
+use smart_baseline::{lowlevel_kmeans, lowlevel_logistic};
+use smart_core::{SchedArgs, Scheduler};
+use smart_pool::ThreadPool;
+use smart_sim::{ClusteredEmulator, LabeledEmulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_vs_lowlevel");
+    group.sample_size(10);
+
+    let pts = ClusteredEmulator::new(7, 8, 64, 1.0).step(500);
+    let init: Vec<f64> = pts[..8 * 64].to_vec();
+
+    group.bench_function("smart_kmeans", |b| {
+        b.iter(|| {
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let args = SchedArgs::new(1, 64).with_extra(init.clone()).with_iters(5);
+            let mut s = Scheduler::new(KMeans::new(8, 64), args, pool).unwrap();
+            let mut out = vec![Vec::new(); 8];
+            s.run(&pts, &mut out).unwrap();
+            out
+        });
+    });
+    group.bench_function("lowlevel_kmeans", |b| {
+        let pool = ThreadPool::new(1).unwrap();
+        b.iter(|| lowlevel_kmeans(&pool, None, &pts, 64, 8, &init, 5, 1).unwrap());
+    });
+
+    let recs = LabeledEmulator::new(8, 15).step(1000);
+    group.bench_function("smart_logistic", |b| {
+        b.iter(|| {
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let args = SchedArgs::new(1, 16).with_extra(vec![0.0; 15]).with_iters(5);
+            let mut s = Scheduler::new(LogisticRegression::new(15, 0.1), args, pool).unwrap();
+            let mut out = vec![Vec::new()];
+            s.run(&recs, &mut out).unwrap();
+            out
+        });
+    });
+    group.bench_function("lowlevel_logistic", |b| {
+        let pool = ThreadPool::new(1).unwrap();
+        b.iter(|| lowlevel_logistic(&pool, None, &recs, 15, 0.1, 5, 1).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 7: per-rank in-situ work on Heat3D as the
+//! partition shrinks with the node count (strong scaling's per-node side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smart_analytics::Histogram;
+use smart_core::{SchedArgs, Scheduler};
+use smart_sim::Heat3D;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_node_scaling");
+    group.sample_size(10);
+
+    let mut sim = Heat3D::serial(32, 32, 32, 0.1);
+    sim.step_serial();
+    let data = sim.output().to_vec();
+
+    for ranks in [4usize, 8, 16, 32] {
+        let part = data.len() / ranks;
+        group.bench_with_input(
+            BenchmarkId::new("rank_partition_histogram", ranks),
+            &ranks,
+            |b, _| {
+                let pool = smart_pool::shared_pool(1).unwrap();
+                let mut s = Scheduler::new(
+                    Histogram::new(0.0, 100.0, 1200),
+                    SchedArgs::new(1, 1),
+                    pool,
+                )
+                .unwrap();
+                let mut out = vec![0u64; 1200];
+                b.iter(|| s.run(&data[..part], &mut out).unwrap());
+            },
+        );
+    }
+
+    group.bench_function("heat3d_full_step", |b| {
+        let mut sim = Heat3D::serial(32, 32, 32, 0.1);
+        b.iter(|| {
+            sim.step_serial();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for Fig. 8: the two thread-scaling cost classes on
+//! Lulesh output — a light app (histogram) whose combination/sync share is
+//! large, and a heavy window app (moving median) whose reduction dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_analytics::{Histogram, MovingMedian};
+use smart_core::{SchedArgs, Scheduler};
+use smart_sim::MiniLulesh;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_thread_scaling");
+    group.sample_size(10);
+
+    let mut sim = MiniLulesh::serial(16, 0.3);
+    for _ in 0..3 {
+        sim.step_serial();
+    }
+    let data = sim.output().to_vec();
+    let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+
+    group.bench_function("light_histogram_step", |b| {
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(
+            Histogram::new(min, max + 1e-9, 1200),
+            SchedArgs::new(1, 1),
+            pool,
+        )
+        .unwrap();
+        let mut out = vec![0u64; 1200];
+        b.iter(|| s.run(&data, &mut out).unwrap());
+    });
+
+    group.bench_function("heavy_moving_median_step", |b| {
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let mut s = Scheduler::new(
+            MovingMedian::new(25, data.len()),
+            SchedArgs::new(1, 1),
+            pool,
+        )
+        .unwrap();
+        let mut out = vec![0.0f64; data.len()];
+        b.iter(|| {
+            s.reset();
+            s.run2(&data, &mut out).unwrap()
+        });
+    });
+
+    group.bench_function("lulesh_step", |b| {
+        let mut sim = MiniLulesh::serial(16, 0.3);
+        b.iter(|| {
+            sim.step_serial();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Fig. 9: zero-copy vs copy-input time sharing on the
+//! same logistic-regression step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smart_analytics::LogisticRegression;
+use smart_core::{SchedArgs, Scheduler};
+use smart_sim::Heat3D;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_memory_efficiency");
+    group.sample_size(10);
+
+    let mut sim = Heat3D::serial(32, 32, 64, 0.1);
+    let data = sim.step_serial().to_vec();
+    let usable = (data.len() / 16) * 16;
+    let data = &data[..usable];
+
+    for copy in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("lr_step", if copy { "copy" } else { "zero_copy" }),
+            &copy,
+            |b, &copy| {
+                let pool = smart_pool::shared_pool(1).unwrap();
+                let args = SchedArgs::new(1, 16)
+                    .with_extra(vec![0.0; 15])
+                    .with_iters(3)
+                    .with_copy_input(copy);
+                let mut s =
+                    Scheduler::new(LogisticRegression::new(15, 0.1), args, pool).unwrap();
+                let mut out = vec![Vec::new()];
+                b.iter(|| s.run(data, &mut out).unwrap());
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

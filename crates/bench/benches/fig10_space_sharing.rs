@@ -1,0 +1,53 @@
+//! Criterion bench for Fig. 10: a real time-sharing step (simulate, then
+//! analyze, same thread) vs a real space-sharing pipeline step (producer
+//! feeds the circular buffer, consumer drains it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_analytics::Histogram;
+use smart_core::space::SpaceShared;
+use smart_core::{SchedArgs, Scheduler};
+use smart_sim::MiniLulesh;
+
+fn scheduler() -> Scheduler<Histogram> {
+    let pool = smart_pool::shared_pool(1).unwrap();
+    Scheduler::new(Histogram::new(0.0, 10.0, 1200), SchedArgs::new(1, 1), pool).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_space_sharing");
+    group.sample_size(10);
+
+    group.bench_function("time_sharing_step", |b| {
+        let mut sim = MiniLulesh::serial(12, 0.3);
+        let mut smart = scheduler();
+        let mut out = vec![0u64; 1200];
+        b.iter(|| {
+            let data = sim.step_serial();
+            smart.run(data, &mut out).unwrap();
+        });
+    });
+
+    group.bench_function("space_sharing_step", |b| {
+        let mut sim = MiniLulesh::serial(12, 0.3);
+        let mut shared = SpaceShared::new(scheduler(), 4);
+        let feeder = shared.feeder();
+        let mut out = vec![0u64; 1200];
+        b.iter(|| {
+            // Producer and consumer halves of one pipelined step.
+            feeder.feed(sim.step_serial()).unwrap();
+            shared.run_step(&mut out).unwrap();
+        });
+    });
+
+    group.bench_function("simulation_only_step", |b| {
+        let mut sim = MiniLulesh::serial(12, 0.3);
+        b.iter(|| {
+            sim.step_serial();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

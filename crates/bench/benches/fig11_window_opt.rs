@@ -1,0 +1,59 @@
+//! Criterion bench for Fig. 11: window analytics with early emission vs
+//! the same job with the trigger disabled (O(window) vs O(input) live
+//! reduction objects).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smart_analytics::{MovingAverage, MovingMedian};
+use smart_core::{SchedArgs, Scheduler};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_window_opt");
+    group.sample_size(10);
+
+    let data: Vec<f64> = (0..50_000).map(|i| ((i * 31) % 101) as f64).collect();
+
+    for disabled in [false, true] {
+        let label = if disabled { "no_trigger" } else { "with_trigger" };
+        group.bench_with_input(
+            BenchmarkId::new("moving_average_w7", label),
+            &disabled,
+            |b, &disabled| {
+                let pool = smart_pool::shared_pool(1).unwrap();
+                let mut s = Scheduler::new(
+                    MovingAverage::new(7, data.len()),
+                    SchedArgs::new(1, 1).with_trigger_disabled(disabled),
+                    pool,
+                )
+                .unwrap();
+                let mut out = vec![0.0f64; data.len()];
+                b.iter(|| {
+                    s.reset();
+                    s.run2(&data, &mut out).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("moving_median_w11", label),
+            &disabled,
+            |b, &disabled| {
+                let pool = smart_pool::shared_pool(1).unwrap();
+                let mut s = Scheduler::new(
+                    MovingMedian::new(11, data.len()),
+                    SchedArgs::new(1, 1).with_trigger_disabled(disabled),
+                    pool,
+                )
+                .unwrap();
+                let mut out = vec![0.0f64; data.len()];
+                b.iter(|| {
+                    s.reset();
+                    s.run2(&data, &mut out).unwrap()
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

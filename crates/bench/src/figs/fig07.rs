@@ -1,0 +1,134 @@
+//! Fig. 7 — in-situ processing time with a varying number of nodes, on
+//! Heat3D, for all nine analytics (strong scaling, 8 threads per node).
+//!
+//! Real components: the full Heat3D step (timed serially; its stencil cost
+//! is uniform per plane, so a rank's slab costs its plane share), and every
+//! app's reduction/combination over the actual per-rank partition for each
+//! node count. Composed per the crate methodology with halo and allreduce
+//! costs over the real message sizes.
+
+use crate::model::{parallel_efficiency, ClusterModel};
+
+use crate::util::{fmt_dur, fmt_pct, time_it, Scale, Table};
+use crate::workloads::measure_suite;
+use smart_sim::Heat3D;
+use std::time::Duration;
+
+const THREADS_PER_NODE: usize = 8;
+
+/// The paper writes ~10 GB per step across the cluster (1 TB / 100 steps);
+/// our scaled-down field is smaller by a large factor F. Charging an
+/// unscaled 25 µs-latency interconnect against microsecond-scale partitions
+/// would make every figure latency-bound, which is not the regime the paper
+/// measures — so communication costs are divided by the same data-parity
+/// factor, preserving the paper's compute-to-communication ratio (see
+/// DESIGN.md, substitutions).
+const PAPER_STEP_BYTES: f64 = 1e12 / 100.0;
+
+fn comm_parity(our_step_bytes: usize) -> u32 {
+    (PAPER_STEP_BYTES / our_step_bytes as f64).max(1.0) as u32
+}
+
+/// Regenerate Fig. 7.
+pub fn run(scale: Scale) -> Table {
+    let (nx, ny, nz) = scale.pick((32, 32, 32), (64, 64, 64));
+    let ranks_sweep = [4usize, 8, 16, 32];
+    let model = ClusterModel::default();
+
+    // One real simulated time-step to analyze, plus its serial cost.
+    let mut sim = Heat3D::serial(nx, ny, nz, 0.1);
+    sim.step_serial(); // warm the field so values spread
+    let (_, sim_serial) = time_it(|| {
+        sim.step_serial();
+    });
+    let data = sim.output().to_vec();
+    let plane = nx * ny;
+
+    let mut table = Table::new(
+        "Fig. 7 — in-situ step time vs number of nodes on Heat3D (8 threads/node)",
+        &["app", "4 nodes", "8 nodes", "16 nodes", "32 nodes", "efficiency@32"],
+    );
+
+    let mut efficiencies = Vec::new();
+    let app_names: Vec<&'static str> =
+        measure_suite(&data[..16], 0.0, 100.0).iter().map(|(n, _)| *n).collect();
+
+    for (app_idx, app_name) in app_names.iter().enumerate() {
+        let mut times: Vec<Duration> = Vec::new();
+        for &ranks in &ranks_sweep {
+            // Rank 0's slab: plane-aligned share of the global field.
+            let planes_per_rank = nz / ranks;
+            let part = planes_per_rank * plane;
+            // Keep the LR record alignment.
+            let part = (part / 16) * 16;
+            let slice = &data[..part.max(16)];
+
+            let suite = measure_suite(slice, 0.0, 100.0);
+            let m = suite[app_idx].1;
+
+            let sim_share = Duration::from_secs_f64(
+                sim_serial.as_secs_f64() * planes_per_rank as f64 / nz as f64
+                    / THREADS_PER_NODE as f64,
+            );
+            let parity = comm_parity(data.len() * 8);
+            let halo = model.halo_time(plane * 8, ranks) / parity;
+            let node = m.node_time(THREADS_PER_NODE);
+            let comm = (m.cluster_time(&model, THREADS_PER_NODE, ranks) - node) / parity;
+            times.push(sim_share + halo + node + comm);
+        }
+        let eff = parallel_efficiency(times[0], ranks_sweep[0], times[3], ranks_sweep[3]);
+        efficiencies.push(eff);
+        table.row(vec![
+            app_name.to_string(),
+            fmt_dur(times[0]),
+            fmt_dur(times[1]),
+            fmt_dur(times[2]),
+            fmt_dur(times[3]),
+            fmt_pct(eff),
+        ]);
+    }
+
+    let avg = efficiencies.iter().sum::<f64>() / efficiencies.len() as f64;
+    table.note(format!(
+        "Heat3D {nx}x{ny}x{nz} strong-scaled; per-step time of one rank's slab + analytics + comm; \
+         interconnect costs scaled by the data-parity factor {} (paper step = 10 GB vs ours).",
+        comm_parity(data.len() * 8)
+    ));
+    table.note(format!(
+        "average parallel efficiency at 32 nodes: {} (paper: 93% on average).",
+        fmt_pct(avg)
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_nine_apps() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 9);
+    }
+
+    #[test]
+    fn scaling_reduces_step_time() {
+        let t = run(Scale::Quick);
+        // For the heavier window apps, 8 nodes must beat 4 nodes. (At quick
+        // scale 32 nodes leave only ~1k elements per rank, where the
+        // modeled synchronization rightfully dominates; the Full run in
+        // EXPERIMENTS.md is the paper-scale measurement.)
+        for row in t.rows.iter().filter(|r| r[0].contains("median")) {
+            let parse = |s: &str| -> f64 {
+                if let Some(ms) = s.strip_suffix("ms") {
+                    ms.parse::<f64>().unwrap() / 1e3
+                } else if let Some(us) = s.strip_suffix("us") {
+                    us.parse::<f64>().unwrap() / 1e6
+                } else {
+                    s.trim_end_matches('s').parse::<f64>().unwrap()
+                }
+            };
+            assert!(parse(&row[2]) < parse(&row[1]) * 1.05, "{row:?}");
+        }
+    }
+}

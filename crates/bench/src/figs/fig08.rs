@@ -1,0 +1,122 @@
+//! Fig. 8 — in-situ processing time with a varying number of threads per
+//! node, on Lulesh output across 64 nodes, for all nine analytics.
+//!
+//! The per-node partition and every app's phase costs are measured for
+//! real; threads divide the measured reduction (and the simulation update,
+//! which parallelizes over planes), while the measured combination and the
+//! modeled 64-rank synchronization do not scale with threads — which is
+//! exactly why the paper's parallel efficiency lands at 59% for the light
+//! apps and 79% for the compute-heavy window apps.
+
+use crate::model::{parallel_efficiency, ClusterModel};
+use crate::util::{fmt_dur, fmt_pct, time_it, Scale, Table};
+use crate::workloads::measure_suite;
+use smart_sim::MiniLulesh;
+use std::time::Duration;
+
+const RANKS: usize = 64;
+
+/// Data-parity communication scaling, as in Fig. 7: the paper's Lulesh run
+/// puts ~168 MB per node-step (1 TB / 93 steps / 64 nodes); ours is smaller
+/// by F, so communication is charged at 1/F to preserve the paper's
+/// compute-to-communication ratio.
+const PAPER_NODE_STEP_BYTES: f64 = 1e12 / 93.0 / 64.0;
+
+/// Regenerate Fig. 8.
+pub fn run(scale: Scale) -> Table {
+    let edge = scale.pick(12, 24);
+    let threads_sweep = [1usize, 2, 4, 8];
+    let model = ClusterModel::default();
+
+    let mut sim = MiniLulesh::serial(edge, 0.3);
+    for _ in 0..3 {
+        sim.step_serial(); // let the blast develop
+    }
+    let (_, sim_serial) = time_it(|| {
+        sim.step_serial();
+    });
+    let data_raw = sim.output().to_vec();
+    let usable = (data_raw.len() / 16) * 16;
+    let data = &data_raw[..usable];
+    let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v.max(lo + 1e-9)))
+    });
+
+    let mut table = Table::new(
+        "Fig. 8 — in-situ step time vs threads per node on Lulesh (64 nodes)",
+        &["app", "1 thread", "2 threads", "4 threads", "8 threads", "efficiency@8"],
+    );
+
+    let suite = measure_suite(data, min, max + 1e-9);
+    let plane_bytes = edge * edge * 8 * 5;
+
+    let mut light_eff = Vec::new();
+    let mut window_eff = Vec::new();
+    for (idx, (app_name, m)) in suite.iter().enumerate() {
+        let mut times: Vec<Duration> = Vec::new();
+        let parity = (PAPER_NODE_STEP_BYTES / (data.len() * 8) as f64).max(1.0) as u32;
+        for &threads in &threads_sweep {
+            let sim_t = sim_serial / threads as u32;
+            let halo = model.halo_time(plane_bytes, RANKS) / parity;
+            let node = m.node_time(threads);
+            let comm = (m.cluster_time(&model, threads, RANKS) - node) / parity;
+            times.push(sim_t + halo + node + comm);
+        }
+        let eff = parallel_efficiency(times[0], 1, times[3], 8);
+        if idx < 5 {
+            light_eff.push(eff);
+        } else {
+            window_eff.push(eff);
+        }
+        table.row(vec![
+            app_name.to_string(),
+            fmt_dur(times[0]),
+            fmt_dur(times[1]),
+            fmt_dur(times[2]),
+            fmt_dur(times[3]),
+            fmt_pct(eff),
+        ]);
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    table.note(format!(
+        "MiniLulesh edge {edge} per node, 64 nodes; windows of 25; interconnect costs scaled \
+         by the data-parity factor vs the paper's 168 MB node-steps."
+    ));
+    table.note(format!(
+        "avg efficiency@8 — first five apps: {}, window apps: {} (paper: 59% / 79%).",
+        fmt_pct(avg(&light_eff)),
+        fmt_pct(avg(&window_eff)),
+    ));
+    table.note(
+        "divergence note: the paper's light apps scale worse than its window apps because \
+         low-arithmetic-intensity kernels saturate the node's memory bandwidth across 8 \
+         threads — a hardware contention effect a calibrated single-core replay cannot \
+         measure. Our replay reproduces the per-phase cost structure (reduction scales, \
+         combination and synchronization do not) but not DRAM contention.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_nine_apps() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 9);
+    }
+
+    #[test]
+    fn efficiencies_are_physical() {
+        let t = run(Scale::Quick);
+        let eff = |row: &Vec<String>| -> f64 { row[5].trim_end_matches('%').parse().unwrap() };
+        for row in &t.rows {
+            let e = eff(row);
+            // Strong scaling of measured work: between "no scaling at all"
+            // and slightly super-linear (timing noise).
+            assert!((5.0..=115.0).contains(&e), "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Fig. 10 — time sharing vs space sharing on a many-core node (the
+//! paper's 61-core Xeon Phi, 60 usable threads), for histogram, k-means
+//! and moving median over Lulesh output, across core splits `n_m`
+//! (n simulation threads, m analytics threads).
+//!
+//! Measured: the real MiniLulesh step and each app's real phase costs.
+//! Modeled: thread composition on a 60-core node, with two paper-faithful
+//! structural effects —
+//!
+//! * the simulation stops scaling on the many-core node (LULESH saturates
+//!   well below 60 Phi cores; we cap its speedup at [`SIM_SPEEDUP_CAP`]),
+//!   which is the whole reason space sharing can win;
+//! * in space-sharing mode, simulation and analytics message passing
+//!   serializes (`MPI_THREAD_MULTIPLE` big lock, §5.6), so the analytics'
+//!   synchronization is charged twice — which is why sync-heavy histogram
+//!   loses.
+//!
+//! One calibration, documented in EXPERIMENTS.md: real LULESH does far more
+//! work per cell per step than our first-order Rusanov proxy, so the
+//! simulation's measured step time is scaled until the sim : moving-median
+//! ratio matches the paper's regime (simulation-dominated nodes).
+
+use crate::model::ClusterModel;
+use crate::util::{fmt_dur, time_it, Scale, Table};
+use crate::workloads::{measure_smart, measure_suite};
+use smart_sim::MiniLulesh;
+use std::time::Duration;
+
+const NODE_CORES: usize = 60;
+const SIM_SPEEDUP_CAP: usize = 32;
+const NODES: usize = 8;
+
+fn sim_speedup(threads: usize) -> f64 {
+    threads.min(SIM_SPEEDUP_CAP) as f64
+}
+
+struct NodeParts {
+    sim_serial: Duration,
+    ana: crate::model::AppMeasurement,
+    comm_sim: Duration,
+    comm_ana: Duration,
+}
+
+fn time_sharing(p: &NodeParts) -> Duration {
+    Duration::from_secs_f64(p.sim_serial.as_secs_f64() / sim_speedup(NODE_CORES))
+        + p.ana.node_time(NODE_CORES)
+        + p.comm_sim
+        + p.comm_ana
+}
+
+fn space_sharing(p: &NodeParts, sim_threads: usize, ana_threads: usize) -> Duration {
+    let sim = Duration::from_secs_f64(p.sim_serial.as_secs_f64() / sim_speedup(sim_threads));
+    let ana = p.ana.node_time(ana_threads);
+    // Compute pipelines (producer/consumer overlap); message passing
+    // serializes on the MPI lock, so the analytics side waits out the
+    // simulation's concurrent calls (charged 1.5x: on average half of the
+    // other side's traffic is in flight when the lock is requested).
+    sim.max(ana) + p.comm_sim + p.comm_ana * 3 / 2
+}
+
+fn simulation_only(p: &NodeParts) -> Duration {
+    Duration::from_secs_f64(p.sim_serial.as_secs_f64() / sim_speedup(NODE_CORES)) + p.comm_sim
+}
+
+/// Regenerate Fig. 10 (all three panels).
+pub fn run(scale: Scale) -> Table {
+    let edge = scale.pick(24, 32);
+    let model = ClusterModel::default();
+
+    let mut sim = MiniLulesh::serial(edge, 0.3);
+    for _ in 0..3 {
+        sim.step_serial();
+    }
+    let (_, sim_step) = time_it(|| {
+        sim.step_serial();
+    });
+    let data_raw = sim.output().to_vec();
+    let usable = (data_raw.len() / 16) * 16;
+    let data = &data_raw[..usable];
+    let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+    let max = max + 1e-9;
+
+    // The three §5.6 apps with §5.4 parameters.
+    let suite = measure_suite(data, min, max);
+    let hist = suite.iter().find(|(n, _)| *n == "histogram").expect("hist").1;
+    let km = suite.iter().find(|(n, _)| *n == "k-means").expect("km").1;
+    // Moving median with the §5.4 window of 25.
+    let median = measure_smart(
+        smart_analytics::MovingMedian::new(25, data.len()),
+        1,
+        None,
+        1,
+        true,
+        data.len(),
+        data,
+    );
+
+    // Calibrate the simulation cost to the paper's regime: LULESH per-cell
+    // work >> Rusanov per-cell work; scale so one simulation step costs
+    // ~3.5 passes of the heaviest analytics. That reproduces the paper's
+    // governing relationship — the node is simulation-dominated, so space
+    // sharing wins for compute-heavy analytics by overlapping them with a
+    // simulation that has stopped scaling.
+    let heaviest = median.t1.max(km.t1).max(hist.t1);
+    let substeps =
+        (3.5 * heaviest.as_secs_f64() / sim_step.as_secs_f64()).ceil().max(1.0) as u32;
+    let sim_serial = sim_step * substeps;
+
+    let comm_sim = model.halo_time(edge * edge * 8 * 5, NODES)
+        + model.allreduce_time(8, NODES, Duration::ZERO);
+
+    let schemes = [(50usize, 10usize), (40, 20), (30, 30), (20, 40), (10, 50)];
+    let mut table = Table::new(
+        "Fig. 10 — time sharing vs space sharing on a 60-core node (per-step time)",
+        &[
+            "app", "sim-only", "time-sharing", "50_10", "40_20", "30_30", "20_40", "10_50",
+            "best",
+        ],
+    );
+
+    for (name, m) in [("histogram", hist), ("k-means", km), ("moving-median", median)] {
+        let per_iter_merge =
+            if m.iters > 0 { m.combine(1) / m.iters as u32 } else { m.combine(1) };
+        let parts = NodeParts {
+            sim_serial,
+            ana: m,
+            comm_sim,
+            comm_ana: model.allreduce_time(m.global_bytes, NODES, per_iter_merge)
+                * m.iters.max(1) as u32,
+        };
+        let ts = time_sharing(&parts);
+        let space: Vec<Duration> =
+            schemes.iter().map(|&(n, a)| space_sharing(&parts, n, a)).collect();
+
+        let mut best_name = "time-sharing".to_string();
+        let mut best = ts;
+        for (i, &t) in space.iter().enumerate() {
+            if t < best {
+                best = t;
+                best_name = format!("{}_{}", schemes[i].0, schemes[i].1);
+            }
+        }
+
+        table.row(vec![
+            name.to_string(),
+            fmt_dur(simulation_only(&parts)),
+            fmt_dur(ts),
+            fmt_dur(space[0]),
+            fmt_dur(space[1]),
+            fmt_dur(space[2]),
+            fmt_dur(space[3]),
+            fmt_dur(space[4]),
+            best_name,
+        ]);
+    }
+
+    table.note(format!(
+        "MiniLulesh edge {edge} x{substeps} substeps (sim cost calibrated to the paper's \
+         simulation-dominated regime); {NODES} nodes; sim speedup capped at {SIM_SPEEDUP_CAP} \
+         threads (Phi saturation); space sharing serializes MPI calls (analytics comm charged 1.5x)."
+    ));
+    table.note("expected shape: k-means and moving median best under a space-sharing split (paper: 50_10 +10%, 30_30 +48%); histogram best under time sharing (paper: space sharing 4.4% worse).");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_dur(s: &str) -> f64 {
+        if let Some(ms) = s.strip_suffix("ms") {
+            ms.parse::<f64>().unwrap() / 1e3
+        } else if let Some(us) = s.strip_suffix("us") {
+            us.parse::<f64>().unwrap() / 1e6
+        } else {
+            s.trim_end_matches('s').parse::<f64>().unwrap()
+        }
+    }
+
+    #[test]
+    fn quick_run_has_three_apps() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn compute_heavy_apps_prefer_space_sharing() {
+        let t = run(Scale::Quick);
+        let median_row = t.rows.iter().find(|r| r[0] == "moving-median").unwrap();
+        assert_ne!(median_row[8], "time-sharing", "median should win under space sharing");
+        // And the winning space scheme beats time sharing measurably.
+        let ts = parse_dur(&median_row[2]);
+        let best_space: f64 =
+            median_row[3..8].iter().map(|s| parse_dur(s)).fold(f64::INFINITY, f64::min);
+        assert!(best_space < ts);
+    }
+}

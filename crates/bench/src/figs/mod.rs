@@ -1,0 +1,34 @@
+//! One module per figure of the paper's evaluation section (§5), plus the
+//! §5.2 memory-footprint and §5.3 lines-of-code measurements.
+
+pub mod fig01;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod loc;
+pub mod mem;
+
+use crate::util::{Scale, Table};
+
+/// An experiment entry: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(Scale) -> Table);
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("fig1", "in-situ vs offline k-means case study", fig01::run),
+        ("fig5", "Smart vs (Mini)Spark", fig05::run),
+        ("fig6", "Smart vs hand-coded low-level analytics", fig06::run),
+        ("fig7", "node scaling on Heat3D (9 apps)", fig07::run),
+        ("fig8", "thread scaling on Lulesh (9 apps)", fig08::run),
+        ("fig9", "zero-copy vs copy time sharing", fig09::run),
+        ("fig10", "time sharing vs space sharing", fig10::run),
+        ("fig11", "early-emission window optimization", fig11::run),
+        ("mem", "analytics memory footprint vs MiniSpark", mem::run),
+        ("loc", "lines-of-code reduction vs low-level", loc::run),
+    ]
+}

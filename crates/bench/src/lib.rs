@@ -1,0 +1,32 @@
+//! # smart-bench
+//!
+//! The evaluation harness: one module per figure of the Smart paper's §5,
+//! each regenerating the same rows/series the paper reports.
+//!
+//! ## Measurement methodology on small hosts
+//!
+//! The paper's testbed is a 512-core multi-core cluster and an 8-node Xeon
+//! Phi cluster; this reproduction routinely runs on a laptop-class host (CI
+//! machines may expose a *single* core). Wall-clock alone cannot exhibit
+//! parallel speedup there, so the harness uses a **calibrated replay**
+//! (DESIGN.md, substitutions):
+//!
+//! * every *serial* component — reduction over a split, a combination
+//!   merge, a simulation slab update, a MiniSpark stage task — is **really
+//!   executed and timed** (busy time, single-threaded, unoversubscribed);
+//! * parallel composition is modeled structurally: a phase ends when its
+//!   busiest worker does (`max` over measured split times), pipelined
+//!   producer/consumer stages overlap (`max`), sequential phases add;
+//! * communication is charged with the α–β model of
+//!   [`smart_comm::CostModel`] over the *real* serialized byte counts
+//!   reported by `Scheduler::last_stats`.
+//!
+//! Figures that do not need parallelism (Fig. 1, Fig. 9, Fig. 11, the
+//! memory comparison) are measured entirely for real.
+
+pub mod figs;
+pub mod model;
+pub mod util;
+pub mod workloads;
+
+pub use util::{Scale, Table};

@@ -1,0 +1,64 @@
+//! `smart-bench` — regenerate the Smart paper's evaluation figures.
+//!
+//! ```text
+//! smart-bench all [--quick] [--markdown]
+//! smart-bench fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|loc [--quick] [--markdown]
+//! smart-bench list
+//! ```
+
+use smart_bench::figs;
+use smart_bench::util::Scale;
+
+// Real memory numbers for Figs. 9/11 and the §5.2 comparison.
+#[global_allocator]
+static ALLOC: smart_memtrack::TrackingAlloc = smart_memtrack::TrackingAlloc::new();
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let command = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
+
+    let experiments = figs::all();
+
+    match command {
+        None | Some("help") | Some("--help") => {
+            eprintln!("usage: smart-bench <experiment|all|list> [--quick] [--markdown]");
+            eprintln!("experiments:");
+            for (id, desc, _) in &experiments {
+                eprintln!("  {id:<6} {desc}");
+            }
+        }
+        Some("list") => {
+            for (id, desc, _) in &experiments {
+                println!("{id:<6} {desc}");
+            }
+        }
+        Some("all") => {
+            for (id, _, runner) in &experiments {
+                eprintln!("running {id} ...");
+                let table = runner(scale);
+                if markdown {
+                    print!("{}", table.render_markdown());
+                } else {
+                    table.print();
+                }
+            }
+        }
+        Some(id) => match experiments.iter().find(|(eid, _, _)| *eid == id) {
+            Some((_, _, runner)) => {
+                let table = runner(scale);
+                if markdown {
+                    print!("{}", table.render_markdown());
+                } else {
+                    table.print();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try `smart-bench list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

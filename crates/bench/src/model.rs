@@ -1,0 +1,187 @@
+//! The calibrated performance-composition model (see crate docs).
+//!
+//! All *work* quantities fed into these functions are measured busy times
+//! of really-executed code; this module only composes them structurally and
+//! charges communication with the α–β model.
+
+use smart_comm::CostModel;
+use std::time::Duration;
+
+/// Cluster model used by the scaling figures.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterModel {
+    /// Interconnect cost model.
+    pub net: CostModel,
+    /// Cores per node available to simulation + analytics.
+    pub cores_per_node: usize,
+}
+
+impl Default for ClusterModel {
+    fn default() -> Self {
+        ClusterModel { net: CostModel::commodity_cluster(), cores_per_node: 8 }
+    }
+}
+
+impl ClusterModel {
+    /// Rounds of a binomial tree over `n` ranks.
+    pub fn tree_rounds(n: usize) -> u32 {
+        (n.max(1) as f64).log2().ceil() as u32
+    }
+
+    /// Modeled time of an allreduce (reduce + broadcast, binomial trees)
+    /// shipping `bytes` per rank, plus `per_round_merge` of CPU work at
+    /// each reduce round.
+    pub fn allreduce_time(&self, bytes: usize, ranks: usize, per_round_merge: Duration) -> Duration {
+        if ranks <= 1 {
+            return Duration::ZERO;
+        }
+        let rounds = Self::tree_rounds(ranks);
+        let per_round = self.net.message_cost(bytes);
+        // reduce: rounds × (message + merge); broadcast: rounds × message
+        per_round * (2 * rounds) + per_round_merge * rounds
+    }
+
+    /// Modeled time of a nearest-neighbor halo exchange of `bytes` per
+    /// direction (two sends per rank, overlapping across ranks).
+    pub fn halo_time(&self, bytes: usize, ranks: usize) -> Duration {
+        if ranks <= 1 {
+            return Duration::ZERO;
+        }
+        self.net.message_cost(bytes) * 2
+    }
+}
+
+/// Measured components of one analytics run on one node's partition.
+///
+/// The combination phase decomposes into a *fixed* per-iteration cost
+/// (post-combine, map bookkeeping) and a *per-map* merge cost that scales
+/// with the number of per-thread reduction maps merged. The harness
+/// measures both by running the same job with one and two reduction maps
+/// and fitting the line (both combine phases execute on the main thread,
+/// so the busy times stay valid even on a single-core host).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppMeasurement {
+    /// Single-thread busy time of the whole run (reduction + combination).
+    pub t1: Duration,
+    /// Reduction-only busy time (`t1` minus the measured combine).
+    pub reduce: Duration,
+    /// Thread-count-independent combination cost per run.
+    pub combine_fixed: Duration,
+    /// Additional combination cost per per-thread map merged.
+    pub combine_per_map: Duration,
+    /// Serialized combination-map bytes shipped per global combination
+    /// (`RunStats::global_bytes` per iteration).
+    pub global_bytes: usize,
+    /// Iterations (global combinations per run).
+    pub iters: usize,
+}
+
+impl AppMeasurement {
+    /// Total combination cost with `threads` reduction maps.
+    pub fn combine(&self, threads: usize) -> Duration {
+        self.combine_fixed + self.combine_per_map * threads as u32
+    }
+
+    /// Modeled node-local analytics time with `threads` workers: the
+    /// reduction splits evenly (these kernels are uniform per element; the
+    /// per-split max over measured sub-runs agrees within noise), the
+    /// combination stays on one thread.
+    pub fn node_time(&self, threads: usize) -> Duration {
+        assert!(threads > 0);
+        self.reduce / threads as u32 + self.combine(threads)
+    }
+
+    /// Modeled cluster analytics time: node time plus the per-iteration
+    /// global combination.
+    pub fn cluster_time(&self, model: &ClusterModel, threads: usize, ranks: usize) -> Duration {
+        let per_iter_merge = if self.iters > 0 {
+            self.combine(1) / self.iters as u32
+        } else {
+            self.combine(1)
+        };
+        self.node_time(threads)
+            + model.allreduce_time(self.global_bytes, ranks, per_iter_merge)
+                * self.iters.max(1) as u32
+    }
+}
+
+/// Parallel-efficiency helper: `t_base` on `base` units vs `t` on `n`
+/// units (strong scaling).
+pub fn parallel_efficiency(t_base: Duration, base: usize, t: Duration, n: usize) -> f64 {
+    (t_base.as_secs_f64() * base as f64) / (t.as_secs_f64() * n as f64)
+}
+
+/// Structural speedup of a plane-parallel simulation update: `planes`
+/// discrete planes over `threads` workers finish when the worker with the
+/// most planes does. This is MiniLulesh's real saturation law (its update
+/// parallelizes over Z planes), and the reason simulations stop scaling on
+/// many-core nodes in Fig. 10.
+pub fn plane_speedup(planes: usize, threads: usize) -> f64 {
+    assert!(planes > 0 && threads > 0);
+    planes as f64 / planes.div_ceil(threads) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_rounds_are_logarithmic() {
+        assert_eq!(ClusterModel::tree_rounds(1), 0);
+        assert_eq!(ClusterModel::tree_rounds(2), 1);
+        assert_eq!(ClusterModel::tree_rounds(8), 3);
+        assert_eq!(ClusterModel::tree_rounds(9), 4);
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_rank() {
+        let m = ClusterModel::default();
+        assert_eq!(m.allreduce_time(1000, 1, Duration::from_micros(5)), Duration::ZERO);
+        assert!(m.allreduce_time(1000, 8, Duration::from_micros(5)) > Duration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_grows_with_ranks_and_bytes() {
+        let m = ClusterModel::default();
+        let merge = Duration::from_micros(1);
+        assert!(m.allreduce_time(1 << 20, 8, merge) > m.allreduce_time(1 << 10, 8, merge));
+        assert!(m.allreduce_time(1 << 10, 64, merge) > m.allreduce_time(1 << 10, 4, merge));
+    }
+
+    #[test]
+    fn node_time_splits_reduce_not_combine() {
+        let m = AppMeasurement {
+            t1: Duration::from_millis(90),
+            reduce: Duration::from_millis(80),
+            combine_fixed: Duration::from_millis(8),
+            combine_per_map: Duration::from_millis(2),
+            global_bytes: 0,
+            iters: 1,
+        };
+        // 80/1 + 8 + 2 = 90ms
+        assert_eq!(m.node_time(1), Duration::from_millis(90));
+        // 80/4 + 8 + 8 = 36ms
+        assert_eq!(m.node_time(4), Duration::from_millis(36));
+        // The per-map merge term grows with threads; fixed part does not.
+        assert_eq!(m.combine(1), Duration::from_millis(10));
+        assert_eq!(m.combine(8), Duration::from_millis(24));
+    }
+
+    #[test]
+    fn plane_speedup_saturates() {
+        assert_eq!(plane_speedup(32, 1), 1.0);
+        assert_eq!(plane_speedup(32, 32), 32.0);
+        // Past one plane per thread there is nothing left to parallelize.
+        assert_eq!(plane_speedup(32, 50), 32.0);
+        // Discrete load imbalance: 32 planes on 30 threads → 2-plane critical path.
+        assert_eq!(plane_speedup(32, 30), 16.0);
+    }
+
+    #[test]
+    fn efficiency_is_one_for_perfect_scaling() {
+        let e = parallel_efficiency(Duration::from_secs(8), 4, Duration::from_secs(4), 8);
+        assert!((e - 1.0).abs() < 1e-12);
+        let e = parallel_efficiency(Duration::from_secs(8), 4, Duration::from_secs(5), 8);
+        assert!(e < 1.0);
+    }
+}

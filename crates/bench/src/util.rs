@@ -1,0 +1,186 @@
+//! Table formatting and timing helpers shared by every experiment.
+
+use std::time::{Duration, Instant};
+
+/// Experiment scale: `Quick` for smoke tests and Criterion, `Full` for the
+/// EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs, few steps — seconds per figure.
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Pick `quick` or `full` by scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A printable result table (one per figure).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure title, e.g. "Fig. 7 — node scaling on Heat3D".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (assumptions, crashes).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n*{note}*\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Time a closure, returning its result and the wall duration.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let started = Instant::now();
+    let r = f();
+    (r, started.elapsed())
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a ratio like "12.3x".
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_markdown() {
+        let mut t = Table::new("Test", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let text = t.render();
+        assert!(text.contains("Test"));
+        assert!(text.contains("hello"));
+        let md = t.render_markdown();
+        assert!(md.contains("| a | bbbb |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7.0us");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+        assert_eq!(fmt_pct(0.934), "93.4%");
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let ((), d) = time_it(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(d >= Duration::from_millis(5));
+    }
+}

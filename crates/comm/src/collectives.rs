@@ -1,0 +1,360 @@
+//! Collective operations, built on point-to-point messaging.
+//!
+//! Broadcast and reduce use binomial trees (⌈log₂ n⌉ rounds), like MPICH's
+//! small-message algorithms; allreduce is reduce-to-root + broadcast, which
+//! is exactly the structure of Smart's global combination (merge local
+//! combination maps toward the master, then redistribute the global map for
+//! the next iteration — Algorithm 1 lines 4 and 11–17).
+//!
+//! Every collective consumes one value from the per-rank collective sequence
+//! and embeds it in the message tag, so consecutive collectives can never
+//! consume each other's messages even when ranks run ahead.
+
+use crate::communicator::{Communicator, Tag, COLLECTIVE_BASE};
+use crate::error::{CommError, CommResult};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Internal collective op codes folded into the tag.
+#[derive(Clone, Copy)]
+enum Op {
+    Barrier = 1,
+    Broadcast = 2,
+    Reduce = 3,
+    Gather = 4,
+    Scatter = 5,
+}
+
+impl Communicator {
+    /// Tag layout: bit 48 = collective marker, bits 16..48 = per-rank
+    /// collective sequence (wrapping), bits 8..16 = round within the
+    /// collective, bits 0..8 = op code.
+    fn coll_tag(&mut self, op: Op) -> Tag {
+        let seq = self.collective_seq & 0xFFFF_FFFF;
+        self.collective_seq += 1;
+        COLLECTIVE_BASE | (seq << 16) | op as u64
+    }
+
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ n⌉ rounds).
+    pub fn barrier(&mut self) -> CommResult<()> {
+        let tag = self.coll_tag(Op::Barrier);
+        let n = self.size();
+        let mut round = 0u64;
+        let mut dist = 1usize;
+        while dist < n {
+            let to = (self.rank() + dist) % n;
+            let from = (self.rank() + n - dist) % n;
+            self.send(to, tag | round << 8, &())?;
+            let () = self.recv(from, tag | round << 8)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `value` from `root` to every rank; returns the value on all
+    /// ranks. Non-root ranks pass their own `value`, which is discarded
+    /// (mirroring MPI's in-place buffer semantics without the `MaybeUninit`
+    /// dance).
+    pub fn broadcast<T>(&mut self, root: usize, value: T) -> CommResult<T>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Broadcast);
+        let n = self.size();
+        let relative = (self.rank() + n - root) % n;
+
+        let mut current = value;
+        // Receive phase: find the bit at which this rank joins the tree.
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = (self.rank() + n - mask) % n;
+                current = self.recv(src, tag)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward down the remaining subtree.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = (self.rank() + mask) % n;
+                self.send(dst, tag, &current)?;
+            }
+            mask >>= 1;
+        }
+        Ok(current)
+    }
+
+    /// Reduce all ranks' values to `root` with `op` (binomial tree).
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    ///
+    /// `op(acc, incoming)` must be associative and commutative, like an MPI
+    /// reduction operator.
+    pub fn reduce<T>(
+        &mut self,
+        root: usize,
+        value: T,
+        op: impl Fn(T, T) -> T,
+    ) -> CommResult<Option<T>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Reduce);
+        let n = self.size();
+        let relative = (self.rank() + n - root) % n;
+
+        let mut acc = Some(value);
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let partner_rel = relative | mask;
+                if partner_rel < n {
+                    let src = (partner_rel + root) % n;
+                    let incoming: T = self.recv(src, tag)?;
+                    acc = Some(op(acc.take().expect("acc present"), incoming));
+                }
+            } else {
+                let dst = (relative - mask + root) % n;
+                let v = acc.take().expect("acc present");
+                self.send(dst, tag, &v)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        Ok(if self.rank() == root { acc } else { None })
+    }
+
+    /// Reduce to rank 0 then broadcast the result back: every rank gets the
+    /// global reduction.
+    pub fn allreduce<T>(&mut self, value: T, op: impl Fn(T, T) -> T) -> CommResult<T>
+    where
+        T: Serialize + DeserializeOwned + Default,
+    {
+        let reduced = self.reduce(0, value, op)?;
+        self.broadcast(0, reduced.unwrap_or_default())
+    }
+
+    /// Element-wise in-place sum allreduce over a float slice — the pattern
+    /// hand-written MPI analytics use (`MPI_Allreduce` over contiguous
+    /// arrays, §5.3).
+    pub fn allreduce_sum_f64(&mut self, buf: &mut [f64]) -> CommResult<()> {
+        let out = self.allreduce(buf.to_vec(), |mut a, b| {
+            debug_assert_eq!(a.len(), b.len(), "allreduce_sum_f64 length mismatch across ranks");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })?;
+        buf.copy_from_slice(&out);
+        Ok(())
+    }
+
+    /// Gather every rank's value at `root` (linear). Returns `Some(values)`
+    /// in rank order at the root, `None` elsewhere.
+    pub fn gather<T>(&mut self, root: usize, value: T) -> CommResult<Option<Vec<T>>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Gather);
+        if self.rank() == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            #[allow(clippy::needless_range_loop)] // recv borrows self mutably; no iter_mut possible
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let received = self.recv(src, tag)?;
+                slots[src] = Some(received);
+            }
+            Ok(Some(slots.into_iter().map(|s| s.expect("slot filled")).collect()))
+        } else {
+            self.send(root, tag, &value)?;
+            Ok(None)
+        }
+    }
+
+    /// Gather at rank 0 then broadcast: every rank gets all values in rank
+    /// order.
+    pub fn allgather<T>(&mut self, value: T) -> CommResult<Vec<T>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let gathered = self.gather(0, value)?;
+        self.broadcast(0, gathered.unwrap_or_default())
+    }
+
+    /// Scatter one piece to each rank from `root`. The root passes
+    /// `Some(pieces)` with exactly `size` elements; other ranks pass `None`.
+    /// Every rank returns its own piece.
+    pub fn scatter<T>(&mut self, root: usize, pieces: Option<Vec<T>>) -> CommResult<T>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Scatter);
+        if self.rank() == root {
+            let pieces = pieces.ok_or(CommError::ScatterArity { provided: 0, expected: self.size() })?;
+            if pieces.len() != self.size() {
+                return Err(CommError::ScatterArity { provided: pieces.len(), expected: self.size() });
+            }
+            let mut mine = None;
+            for (dst, piece) in pieces.into_iter().enumerate() {
+                if dst == root {
+                    mine = Some(piece);
+                } else {
+                    self.send(dst, tag, &piece)?;
+                }
+            }
+            Ok(mine.expect("root piece present"))
+        } else {
+            self.recv(root, tag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_cluster;
+
+    #[test]
+    fn barrier_completes_on_all_sizes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            run_cluster(n, |mut comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for n in [1, 2, 3, 4, 7] {
+            for root in 0..n {
+                let r = run_cluster(n, |mut comm| {
+                    let v = if comm.rank() == root { vec![root as u64, 99] } else { vec![] };
+                    comm.broadcast(root, v).unwrap()
+                });
+                assert!(r.iter().all(|v| *v == vec![root as u64, 99]), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for n in [1, 2, 3, 4, 6, 8] {
+            for root in [0, n - 1] {
+                let r = run_cluster(n, |mut comm| {
+                    comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b).unwrap()
+                });
+                let expected: u64 = (1..=n as u64).sum();
+                for (rank, v) in r.iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(*v, Some(expected));
+                    } else {
+                        assert_eq!(*v, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_on_non_power_of_two() {
+        for n in [1, 2, 3, 5, 6, 7] {
+            let r = run_cluster(n, |mut comm| {
+                comm.allreduce(comm.rank() as i64, |a, b| a.max(b)).unwrap()
+            });
+            assert!(r.iter().all(|&v| v == n as i64 - 1));
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_f64_matches_manual_sum() {
+        let n = 5;
+        let r = run_cluster(n, |mut comm| {
+            let mut buf = vec![comm.rank() as f64, 1.0, -(comm.rank() as f64)];
+            comm.allreduce_sum_f64(&mut buf).unwrap();
+            buf
+        });
+        let total: f64 = (0..n).map(|r| r as f64).sum();
+        for v in r {
+            assert_eq!(v, vec![total, n as f64, -total]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let r = run_cluster(4, |mut comm| comm.gather(2, comm.rank() as u32 * 10).unwrap());
+        assert_eq!(r[2], Some(vec![0, 10, 20, 30]));
+        assert_eq!(r[0], None);
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let r = run_cluster(3, |mut comm| comm.allgather(format!("r{}", comm.rank())).unwrap());
+        for v in r {
+            assert_eq!(v, vec!["r0", "r1", "r2"]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_pieces() {
+        let r = run_cluster(4, |mut comm| {
+            let pieces =
+                (comm.rank() == 1).then(|| vec![100u64, 101, 102, 103]);
+            comm.scatter(1, pieces).unwrap()
+        });
+        assert_eq!(r, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn scatter_arity_mismatch_is_an_error() {
+        let r = run_cluster(3, |mut comm| {
+            let pieces = (comm.rank() == 0).then(|| vec![1u8, 2]); // one short
+            comm.scatter(0, pieces)
+        });
+        assert!(r[0].is_err());
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_talk() {
+        // Interleave different collectives many times; sequence-numbered
+        // tags must keep them separated even with rank skew.
+        let r = run_cluster(4, |mut comm| {
+            let mut acc = 0u64;
+            for i in 0..20 {
+                let s = comm.allreduce(i + comm.rank() as u64, |a, b| a + b).unwrap();
+                let g = comm.allgather(comm.rank() as u64).unwrap();
+                let b = comm.broadcast(i as usize % 4, comm.rank() as u64).unwrap();
+                acc = acc.wrapping_add(s + g.iter().sum::<u64>() + b);
+            }
+            acc
+        });
+        assert!(r.iter().all(|&v| v == r[0]));
+    }
+
+    #[test]
+    fn reduce_with_noncommutative_use_still_deterministic_per_tree() {
+        // The tree fixes the combination order; with a commutative op the
+        // result is rank-count dependent only.
+        let r = run_cluster(8, |mut comm| {
+            comm.allreduce(1u64 << comm.rank(), |a, b| a | b).unwrap()
+        });
+        assert!(r.iter().all(|&v| v == 0xFF));
+    }
+}

@@ -1,0 +1,303 @@
+//! Ranks, mailboxes, and point-to-point messaging.
+
+use crate::cost::CommConfig;
+use crate::error::{CommError, CommResult};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Message tag. User code should use tags below [`Tag::COLLECTIVE_BASE`];
+/// the collectives reserve the space above it.
+pub type Tag = u64;
+
+/// First tag value reserved for internal collective traffic.
+pub const COLLECTIVE_BASE: Tag = 1 << 48;
+
+/// Control tag carried by the "death notice" a rank broadcasts when its
+/// communicator is dropped, so peers blocked on it wake up with
+/// [`CommError::PeerGone`] instead of hanging forever. (The underlying
+/// channels never disconnect on their own: every rank's sender handles live
+/// in the shared universe.)
+const DEATH_TAG: Tag = u64::MAX;
+
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Vec<u8>,
+}
+
+/// The receiving side of one rank's message queue, with an out-of-order
+/// buffer for messages that arrived before they were asked for.
+#[derive(Debug)]
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Wait for a message from `src` with `tag`, buffering others.
+    ///
+    /// FIFO delivery per sender means any real message from `src` precedes
+    /// its death notice, so scanning for a payload match before honoring a
+    /// buffered death notice never loses data.
+    fn recv_match(&mut self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            return Ok(self.pending.remove(pos).expect("position valid").payload);
+        }
+        if self.pending.iter().any(|e| e.src == src && e.tag == DEATH_TAG) {
+            return Err(CommError::PeerGone { peer: src });
+        }
+        loop {
+            let env = self.rx.recv().map_err(|_| CommError::PeerGone { peer: src })?;
+            if env.src == src && env.tag == tag {
+                return Ok(env.payload);
+            }
+            if env.src == src && env.tag == DEATH_TAG {
+                return Err(CommError::PeerGone { peer: src });
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Number of buffered out-of-order messages (diagnostic).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+struct Shared {
+    senders: Vec<Sender<Envelope>>,
+    config: Arc<CommConfig>,
+    /// Cluster-wide lock for [`CommConfig::serialized_sends`].
+    send_lock: Mutex<()>,
+}
+
+/// One rank's handle to the cluster.
+///
+/// A `Communicator` is owned by exactly one thread (it is `Send` but not
+/// `Sync` in spirit: `recv` needs `&mut self`). Collectives must be invoked
+/// by all ranks in the same order — the standard SPMD contract.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+    mailbox: Mailbox,
+    /// Per-rank counter of collective operations, used to give each
+    /// collective a unique tag so back-to-back collectives never cross talk.
+    pub(crate) collective_seq: u64,
+    /// Diagnostic counters.
+    pub(crate) sent_messages: u64,
+    pub(crate) sent_bytes: u64,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Communicator {
+    /// Create the `n` communicators of a fresh cluster.
+    pub(crate) fn universe(n: usize, config: Arc<CommConfig>) -> Vec<Communicator> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared { senders, config, send_lock: Mutex::new(()) });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Communicator {
+                rank,
+                size: n,
+                shared: Arc::clone(&shared),
+                mailbox: Mailbox { rx, pending: VecDeque::new() },
+                collective_seq: 0,
+                sent_messages: 0,
+                sent_bytes: 0,
+            })
+            .collect()
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total messages this rank has sent (diagnostic).
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Total payload bytes this rank has sent (diagnostic).
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    fn check_peer(&self, peer: usize) -> CommResult<()> {
+        if peer >= self.size {
+            return Err(CommError::RankOutOfRange { rank: peer, size: self.size });
+        }
+        if peer == self.rank {
+            return Err(CommError::SelfMessage(self.rank));
+        }
+        Ok(())
+    }
+
+    /// Send `value` to `dest` with `tag`. Blocking only in the sense that the
+    /// cost model (if any) is charged here; delivery itself is queued.
+    pub fn send<T: Serialize + ?Sized>(&mut self, dest: usize, tag: Tag, value: &T) -> CommResult<()> {
+        let payload = smart_wire::to_bytes(value)?;
+        self.send_bytes(dest, tag, payload)
+    }
+
+    /// Send a pre-encoded payload.
+    pub fn send_bytes(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()> {
+        self.check_peer(dest)?;
+        let nbytes = payload.len();
+        if let Some(cost) = self.shared.config.cost {
+            if self.shared.config.serialized_sends {
+                let _guard = self.shared.send_lock.lock();
+                cost.charge(nbytes);
+            } else {
+                cost.charge(nbytes);
+            }
+        } else if self.shared.config.serialized_sends {
+            // Even without a cost model, take the lock so contention exists.
+            let _guard = self.shared.send_lock.lock();
+        }
+        self.sent_messages += 1;
+        self.sent_bytes += nbytes as u64;
+        self.shared.senders[dest]
+            .send(Envelope { src: self.rank, tag, payload })
+            .map_err(|_| CommError::PeerGone { peer: dest })
+    }
+
+    /// Receive a value of type `T` from `src` with `tag`, blocking until it
+    /// arrives. Messages from other (src, tag) pairs are buffered.
+    pub fn recv<T: DeserializeOwned>(&mut self, src: usize, tag: Tag) -> CommResult<T> {
+        let payload = self.recv_bytes(src, tag)?;
+        Ok(smart_wire::from_bytes(&payload)?)
+    }
+
+    /// Receive the raw payload from `src` with `tag`.
+    pub fn recv_bytes(&mut self, src: usize, tag: Tag) -> CommResult<Vec<u8>> {
+        self.check_peer(src)?;
+        self.mailbox.recv_match(src, tag)
+    }
+
+    /// Buffered out-of-order message count (diagnostic).
+    pub fn pending_messages(&self) -> usize {
+        self.mailbox.pending_len()
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // Wake any peer blocked on this rank. Best-effort: a peer whose
+        // mailbox is already gone does not need the notice.
+        for dest in 0..self.size {
+            if dest != self.rank {
+                let _ = self.shared.senders[dest].send(Envelope {
+                    src: self.rank,
+                    tag: DEATH_TAG,
+                    payload: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Communicator, Communicator) {
+        let mut v = Communicator::universe(2, Arc::new(CommConfig::default()));
+        let b = v.pop().unwrap();
+        let a = v.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn basic_send_recv() {
+        let (mut a, mut b) = pair();
+        a.send(1, 3, &vec![1.5f64, 2.5]).unwrap();
+        let got: Vec<f64> = b.recv(0, 3).unwrap();
+        assert_eq!(got, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let (mut a, _b) = pair();
+        assert_eq!(a.send(0, 1, &1u8).unwrap_err(), CommError::SelfMessage(0));
+    }
+
+    #[test]
+    fn bad_rank_is_rejected() {
+        let (mut a, _b) = pair();
+        assert_eq!(
+            a.send(5, 1, &1u8).unwrap_err(),
+            CommError::RankOutOfRange { rank: 5, size: 2 }
+        );
+        assert!(matches!(a.recv::<u8>(9, 1), Err(CommError::RankOutOfRange { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_surfaces_as_codec_error() {
+        let (mut a, mut b) = pair();
+        a.send(1, 1, &"string".to_string()).unwrap();
+        let res: CommResult<u16> = b.recv(0, 1);
+        assert!(matches!(res, Err(CommError::Codec(_))));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (mut a, mut b) = pair();
+        a.send(1, 1, &7u64).unwrap();
+        a.send(1, 2, &7u64).unwrap();
+        assert_eq!(a.sent_messages(), 2);
+        assert_eq!(a.sent_bytes(), 16);
+        let _: u64 = b.recv(0, 2).unwrap();
+        assert_eq!(b.pending_messages(), 1);
+        let _: u64 = b.recv(0, 1).unwrap();
+        assert_eq!(b.pending_messages(), 0);
+    }
+
+    #[test]
+    fn recv_from_dead_peer_errors() {
+        let (_a, mut b) = pair();
+        // `_a` dropped: its sender side is gone, so waiting on it errors
+        // instead of hanging.
+        drop(_a);
+        let res: CommResult<u8> = b.recv(0, 1);
+        assert_eq!(res.unwrap_err(), CommError::PeerGone { peer: 0 });
+    }
+
+    #[test]
+    fn fifo_order_within_same_src_and_tag() {
+        let (mut a, mut b) = pair();
+        for i in 0..10u32 {
+            a.send(1, 4, &i).unwrap();
+        }
+        for i in 0..10u32 {
+            let got: u32 = b.recv(0, 4).unwrap();
+            assert_eq!(got, i);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Message cost model and communicator configuration.
+//!
+//! In-process message passing is orders of magnitude cheaper than a cluster
+//! interconnect. For experiments whose *shape* depends on synchronization
+//! overhead (node-scaling in Fig. 7, the histogram case in Fig. 10), the
+//! harness enables a simple latency/bandwidth (α–β) cost model: delivering a
+//! message of `s` bytes costs `α + s/β` of wall-clock time, charged at the
+//! sender.
+
+use std::time::{Duration, Instant};
+
+/// α–β per-message cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed per-message latency (α).
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second (β).
+    pub bytes_per_sec: f64,
+}
+
+impl CostModel {
+    /// A model with latency `alpha` and bandwidth `bytes_per_sec`.
+    pub fn new(alpha: Duration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        CostModel { latency: alpha, bytes_per_sec }
+    }
+
+    /// A rough commodity-cluster interconnect: 25 µs latency, 1 GB/s.
+    pub fn commodity_cluster() -> Self {
+        CostModel::new(Duration::from_micros(25), 1e9)
+    }
+
+    /// The modeled cost of sending `bytes`.
+    pub fn message_cost(&self, bytes: usize) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Charge the cost of a `bytes`-sized message to the calling thread.
+    ///
+    /// Sub-millisecond costs are spun (sleep granularity would distort
+    /// them); larger costs sleep.
+    pub fn charge(&self, bytes: usize) {
+        let cost = self.message_cost(bytes);
+        if cost >= Duration::from_millis(1) {
+            std::thread::sleep(cost);
+        } else {
+            let start = Instant::now();
+            while start.elapsed() < cost {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Configuration shared by all ranks of a cluster.
+#[derive(Debug, Clone, Default)]
+pub struct CommConfig {
+    /// Optional per-message cost model.
+    pub cost: Option<CostModel>,
+    /// When true, the *cost-charging* portion of every send serializes on a
+    /// cluster-wide lock — modeling the paper's space-sharing caveat that
+    /// "only a single thread can call MPI function at a time" (§5.6). The
+    /// lock is never held across a blocking receive, so it cannot deadlock.
+    pub serialized_sends: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_combines_alpha_and_beta() {
+        let m = CostModel::new(Duration::from_micros(100), 1e6); // 1 MB/s
+        let c = m.message_cost(1_000_000);
+        // 100 µs + 1 s
+        assert!(c >= Duration::from_secs(1));
+        assert!(c < Duration::from_millis(1200));
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let m = CostModel::new(Duration::from_micros(50), 1e9);
+        assert_eq!(m.message_cost(0), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn charge_takes_at_least_the_modeled_time() {
+        let m = CostModel::new(Duration::from_micros(200), 1e9);
+        let start = Instant::now();
+        m.charge(0);
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_is_rejected() {
+        let _ = CostModel::new(Duration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn commodity_preset_is_sane() {
+        let m = CostModel::commodity_cluster();
+        assert!(m.message_cost(1 << 20) > m.latency);
+    }
+}

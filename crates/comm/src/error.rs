@@ -1,0 +1,84 @@
+//! Communicator error type.
+
+use std::fmt;
+
+/// Result alias for communicator operations.
+pub type CommResult<T> = std::result::Result<T, CommError>;
+
+/// Errors raised by point-to-point and collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Destination or source rank out of `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A rank tried to message itself through the mailbox.
+    SelfMessage(usize),
+    /// The peer's mailbox is gone — its thread exited or panicked.
+    PeerGone {
+        /// The unreachable peer.
+        peer: usize,
+    },
+    /// Payload (de)serialization failed.
+    Codec(smart_wire::Error),
+    /// `scatter` was given a number of pieces not equal to the size.
+    ScatterArity {
+        /// Pieces provided.
+        provided: usize,
+        /// Ranks expecting a piece.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::SelfMessage(r) => write!(f, "rank {r} attempted to send to itself"),
+            CommError::PeerGone { peer } => write!(f, "peer rank {peer} is gone"),
+            CommError::Codec(e) => write!(f, "payload codec error: {e}"),
+            CommError::ScatterArity { provided, expected } => {
+                write!(f, "scatter got {provided} pieces for {expected} ranks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smart_wire::Error> for CommError {
+    fn from(e: smart_wire::Error) -> Self {
+        CommError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ranks() {
+        let e = CommError::RankOutOfRange { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        assert!(CommError::PeerGone { peer: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn codec_errors_convert() {
+        let e: CommError = smart_wire::Error::InvalidUtf8.into();
+        assert!(matches!(e, CommError::Codec(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! The user-facing Smart API: reduction objects, analytics callbacks, and
+//! the combination map (paper Table 1, "functions implemented by the user").
+
+use crate::redmap::RedMap;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Reduction-map key. The paper uses `int`; window-based analytics index
+/// keys by global element position, so we use a 64-bit signed integer.
+pub type Key = i64;
+
+/// A unit chunk: the fixed-size processing unit of one reduction step
+/// (one histogram element, one k-means point, one labeled feature vector…).
+///
+/// Unlike conventional MapReduce records, chunks preserve *array positional
+/// information* (paper §5.8): `global_start` is the chunk's element index in
+/// the whole distributed dataset, which window-based and structural
+/// analytics key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the chunk's first element within the local partition slice
+    /// passed to the callbacks.
+    pub local_start: usize,
+    /// Index of the chunk's first element within the global dataset.
+    pub global_start: usize,
+    /// Elements in the chunk (the `chunk_size` of [`crate::SchedArgs`]).
+    pub len: usize,
+}
+
+impl Chunk {
+    /// The chunk's elements within the local partition.
+    #[inline]
+    pub fn slice<'a, T>(&self, data: &'a [T]) -> &'a [T] {
+        &data[self.local_start..self.local_start + self.len]
+    }
+
+    /// The chunk's *unit index* in the global dataset (element index divided
+    /// by chunk length) — handy as a key for per-record outputs.
+    #[inline]
+    pub fn global_unit(&self) -> usize {
+        self.global_start / self.len.max(1)
+    }
+}
+
+/// A reduction object: the accumulated value associated with one key
+/// (paper §3.1). Implementations must be cheap to clone (they are
+/// redistributed to per-thread maps each iteration) and serializable (they
+/// are shipped between ranks during global combination).
+pub trait RedObj: Send + Sync + Clone + Serialize + DeserializeOwned + 'static {
+    /// Early-emission condition (paper §4, Algorithm 2). When this returns
+    /// `true` during the reduction phase the runtime immediately converts
+    /// the object into its output slot and erases it from the reduction
+    /// map. The default — never trigger — preserves the unoptimized
+    /// behaviour.
+    fn trigger(&self) -> bool {
+        false
+    }
+}
+
+/// The combination map: `key → reduction object`, shared by local and
+/// global combination. A thin veneer over [`RedMap`] so user callbacks
+/// (like k-means `gen_key` scanning centroids) get a read interface.
+pub type ComMap<R> = RedMap<R>;
+
+/// One analytics application, written in the sequential programming view.
+///
+/// Mirrors the paper's user API (Table 1): `gen_key`/`gen_keys`,
+/// `accumulate`, `merge`, `process_extra_data`, `post_combine`, `convert`.
+/// One deviation, documented in DESIGN.md: `accumulate` receives the `key`
+/// being accumulated, which offset-dependent window kernels (Savitzky–Golay,
+/// Gaussian) need; the paper's C++ runtime can smuggle the key inside the
+/// freshly constructed reduction object instead. Applications that do not
+/// care (all of the paper's listings) simply ignore the parameter.
+pub trait Analytics: Send + Sync {
+    /// Input element type (the simulation output array's element).
+    type In: Send + Sync;
+    /// Reduction object type.
+    type Red: RedObj;
+    /// Output slot type (`convert` writes `out[key]`).
+    type Out: Send + Sync;
+    /// Extra input processed before the first iteration (e.g. initial
+    /// k-means centroids). Use `()` when not needed.
+    type Extra: Send + Sync;
+
+    /// Generate the single key for a unit chunk ([`crate::Scheduler::run`]).
+    /// Default: everything reduces under key `0`.
+    fn gen_key(&self, _chunk: &Chunk, _data: &[Self::In], _com: &ComMap<Self::Red>) -> Key {
+        0
+    }
+
+    /// Generate multiple keys for a unit chunk ([`crate::Scheduler::run2`];
+    /// the paper likens it to Scala's `flatMap`). Push keys into `keys`,
+    /// which arrives empty. Default: delegate to [`gen_key`](Self::gen_key).
+    fn gen_keys(
+        &self,
+        chunk: &Chunk,
+        data: &[Self::In],
+        com: &ComMap<Self::Red>,
+        keys: &mut Vec<Key>,
+    ) {
+        keys.push(self.gen_key(chunk, data, com));
+    }
+
+    /// Fold the chunk into the reduction object for `key`. `obj` is `None`
+    /// the first time the key is seen in this thread's reduction map — the
+    /// implementation must create it (the paper's `red_obj.reset(new …)`).
+    fn accumulate(&self, chunk: &Chunk, data: &[Self::In], key: Key, obj: &mut Option<Self::Red>);
+
+    /// Merge `red` into the combination object `com` (associative and
+    /// commutative over the distributive fields).
+    fn merge(&self, red: &Self::Red, com: &mut Self::Red);
+
+    /// Seed the combination map from extra input before the first
+    /// iteration (e.g. initial centroids). Default: nothing.
+    fn process_extra_data(&self, _extra: Option<&Self::Extra>, _com: &mut ComMap<Self::Red>) {}
+
+    /// Update the combination map after each iteration's combination phase
+    /// (e.g. recompute centroids from sums). Default: nothing.
+    fn post_combine(&self, _com: &mut ComMap<Self::Red>) {}
+
+    /// Convert a finished reduction object into its output slot.
+    /// Default: nothing (applications that read the combination map
+    /// directly, like mutual information, skip conversion).
+    fn convert(&self, _obj: &Self::Red, _out: &mut Self::Out) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_slice_and_unit() {
+        let data = [10, 11, 12, 13, 14, 15];
+        let c = Chunk { local_start: 2, global_start: 8, len: 2 };
+        assert_eq!(c.slice(&data), &[12, 13]);
+        assert_eq!(c.global_unit(), 4);
+    }
+
+    #[test]
+    fn chunk_unit_with_len_one() {
+        let c = Chunk { local_start: 0, global_start: 5, len: 1 };
+        assert_eq!(c.global_unit(), 5);
+    }
+
+    #[derive(Clone, serde::Serialize, serde::Deserialize)]
+    struct Sum(u64);
+    impl RedObj for Sum {}
+
+    struct CountAll;
+    impl Analytics for CountAll {
+        type In = u64;
+        type Red = Sum;
+        type Out = u64;
+        type Extra = ();
+        fn accumulate(&self, _c: &Chunk, _d: &[u64], _k: Key, obj: &mut Option<Sum>) {
+            obj.get_or_insert(Sum(0)).0 += 1;
+        }
+        fn merge(&self, red: &Sum, com: &mut Sum) {
+            com.0 += red.0;
+        }
+    }
+
+    #[test]
+    fn default_gen_key_is_zero_and_gen_keys_delegates() {
+        let a = CountAll;
+        let com = ComMap::new();
+        let c = Chunk { local_start: 0, global_start: 0, len: 1 };
+        assert_eq!(a.gen_key(&c, &[1], &com), 0);
+        let mut keys = Vec::new();
+        a.gen_keys(&c, &[1], &com, &mut keys);
+        assert_eq!(keys, vec![0]);
+    }
+
+    #[test]
+    fn default_trigger_is_false() {
+        assert!(!Sum(3).trigger());
+    }
+}

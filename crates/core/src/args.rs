@@ -1,0 +1,112 @@
+//! Scheduler arguments (paper Table 1, runtime function 1: `SchedArgs`).
+
+/// Configuration for one Smart scheduler instance.
+///
+/// Mirrors the paper's `SchedArgs(num_threads, chunk_size, extra_data,
+/// num_iters)` constructor, plus two reproduction-only switches used by the
+/// evaluation harness:
+///
+/// * [`copy_input`](Self::with_copy_input) — time-sharing *with* an extra
+///   input copy, the baseline Fig. 9 compares the zero-copy design against;
+/// * [`disable_trigger`](Self::with_trigger_disabled) — ignore
+///   [`crate::RedObj::trigger`], the baseline Fig. 11 compares the
+///   early-emission optimization against.
+#[derive(Debug, Clone)]
+pub struct SchedArgs<Extra = ()> {
+    /// Worker threads used for the reduction phase.
+    pub num_threads: usize,
+    /// Elements per unit chunk (e.g. the feature-vector length).
+    pub chunk_size: usize,
+    /// Extra analytics input (e.g. initial centroids).
+    pub extra_data: Option<Extra>,
+    /// Iterations over each input block (iterative analytics).
+    pub num_iters: usize,
+    /// Copy the input into a runtime-owned buffer before reducing.
+    pub copy_input: bool,
+    /// Ignore `RedObj::trigger` (disable early emission).
+    pub disable_trigger: bool,
+    /// First global element index of this rank's partition (window-based
+    /// analytics key on global positions).
+    pub partition_offset: usize,
+    /// Total elements across all ranks' partitions; `0` means "infer from
+    /// the local input length" (correct for single-rank runs).
+    pub total_len: usize,
+}
+
+impl<Extra> SchedArgs<Extra> {
+    /// Arguments with the paper's defaults: no extra data, one iteration.
+    pub fn new(num_threads: usize, chunk_size: usize) -> Self {
+        SchedArgs {
+            num_threads,
+            chunk_size,
+            extra_data: None,
+            num_iters: 1,
+            copy_input: false,
+            disable_trigger: false,
+            partition_offset: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Attach extra analytics input.
+    pub fn with_extra(mut self, extra: Extra) -> Self {
+        self.extra_data = Some(extra);
+        self
+    }
+
+    /// Set the iteration count.
+    pub fn with_iters(mut self, iters: usize) -> Self {
+        self.num_iters = iters;
+        self
+    }
+
+    /// Enable the extra input copy (Fig. 9 baseline).
+    pub fn with_copy_input(mut self, copy: bool) -> Self {
+        self.copy_input = copy;
+        self
+    }
+
+    /// Disable early emission (Fig. 11 baseline).
+    pub fn with_trigger_disabled(mut self, disabled: bool) -> Self {
+        self.disable_trigger = disabled;
+        self
+    }
+
+    /// Declare this rank's slice of the global element space.
+    pub fn with_partition(mut self, offset: usize, total_len: usize) -> Self {
+        self.partition_offset = offset;
+        self.total_len = total_len;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let a: SchedArgs = SchedArgs::new(8, 4);
+        assert_eq!(a.num_threads, 8);
+        assert_eq!(a.chunk_size, 4);
+        assert!(a.extra_data.is_none());
+        assert_eq!(a.num_iters, 1);
+        assert!(!a.copy_input);
+        assert!(!a.disable_trigger);
+        assert_eq!((a.partition_offset, a.total_len), (0, 0));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let a = SchedArgs::new(2, 3)
+            .with_extra(vec![1.0f64])
+            .with_iters(10)
+            .with_copy_input(true)
+            .with_trigger_disabled(true)
+            .with_partition(100, 400);
+        assert_eq!(a.extra_data.as_deref(), Some(&[1.0][..]));
+        assert_eq!(a.num_iters, 10);
+        assert!(a.copy_input && a.disable_trigger);
+        assert_eq!((a.partition_offset, a.total_len), (100, 400));
+    }
+}

@@ -1,0 +1,102 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Result alias for Smart runtime operations.
+pub type SmartResult<T> = std::result::Result<T, SmartError>;
+
+/// Errors surfaced by the Smart scheduler.
+#[derive(Debug)]
+pub enum SmartError {
+    /// Scheduler arguments were inconsistent.
+    BadArgs(String),
+    /// The input length is not a multiple of the configured chunk size.
+    ChunkMismatch {
+        /// Input elements supplied.
+        input_len: usize,
+        /// Configured unit-chunk size.
+        chunk_size: usize,
+    },
+    /// `convert` targeted `out[key]` with a key outside the output buffer.
+    KeyOutOfRange {
+        /// The offending key.
+        key: i64,
+        /// Output buffer length.
+        out_len: usize,
+    },
+    /// `accumulate` returned without creating/updating the reduction object.
+    EmptyAccumulate {
+        /// The key whose slot was left empty.
+        key: i64,
+    },
+    /// A communication failure during global combination.
+    Comm(smart_comm::CommError),
+    /// The space-sharing input stream was closed by the producer.
+    StreamClosed,
+    /// Thread-pool misuse (e.g. more threads requested than exist).
+    Pool(smart_pool::PoolError),
+}
+
+impl fmt::Display for SmartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmartError::BadArgs(m) => write!(f, "bad scheduler arguments: {m}"),
+            SmartError::ChunkMismatch { input_len, chunk_size } => write!(
+                f,
+                "input length {input_len} is not a multiple of the unit chunk size {chunk_size}"
+            ),
+            SmartError::KeyOutOfRange { key, out_len } => {
+                write!(f, "convert targeted key {key} but the output buffer has {out_len} slots")
+            }
+            SmartError::EmptyAccumulate { key } => {
+                write!(f, "accumulate left the reduction object for key {key} empty")
+            }
+            SmartError::Comm(e) => write!(f, "global combination failed: {e}"),
+            SmartError::StreamClosed => write!(f, "space-sharing input stream is closed"),
+            SmartError::Pool(e) => write!(f, "thread pool error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmartError::Comm(e) => Some(e),
+            SmartError::Pool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smart_comm::CommError> for SmartError {
+    fn from(e: smart_comm::CommError) -> Self {
+        SmartError::Comm(e)
+    }
+}
+
+impl From<smart_pool::PoolError> for SmartError {
+    fn from(e: smart_pool::PoolError) -> Self {
+        SmartError::Pool(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = SmartError::ChunkMismatch { input_len: 10, chunk_size: 3 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('3'));
+        let e = SmartError::KeyOutOfRange { key: -2, out_len: 5 };
+        assert!(e.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: SmartError = smart_comm::CommError::SelfMessage(0).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SmartError = smart_pool::PoolError::ZeroWorkers.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,95 @@
+//! # smart-core
+//!
+//! The **Smart** runtime — a MapReduce-like framework for in-situ scientific
+//! analytics (Wang, Agrawal, Bicer, Jiang; SC 2015), reproduced in Rust.
+//!
+//! Smart replaces MapReduce's *emit key-value pairs → shuffle → reduce*
+//! pipeline with in-place reduction on two map structures:
+//!
+//! * every thread owns a **reduction map** (`key → reduction object`); for
+//!   each unit chunk the user's [`Analytics::gen_key`] (or
+//!   [`Analytics::gen_keys`]) picks the key(s) and
+//!   [`Analytics::accumulate`] folds the chunk into the object in place —
+//!   **no intermediate key-value pair is ever materialized**, which is what
+//!   keeps the analytics footprint small enough to co-exist with a
+//!   memory-bound simulation (paper §2.3.3, §3.1);
+//! * a **local combination** merges the per-thread reduction maps into one
+//!   combination map with [`Analytics::merge`];
+//! * a **global combination** merges the per-rank combination maps across
+//!   the cluster (binomial tree + broadcast), serializing reduction objects
+//!   with `smart-wire` (§5.3 notes this serialization cost);
+//! * [`Analytics::post_combine`] updates the map between iterations
+//!   (e.g. recomputing k-means centroids), and [`Analytics::convert`]
+//!   extracts the final output.
+//!
+//! Two in-situ modes (§3.2):
+//!
+//! * **time sharing** — [`Scheduler::run`]/[`Scheduler::run_dist`] borrow
+//!   the simulation's output buffer directly (`&[In]`): the zero-copy *read
+//!   pointer* of Fig. 3. Rust's borrow checker statically enforces the
+//!   paper's constraint that analytics must finish before the simulation
+//!   overwrites the buffer. `SchedArgs::copy_input` opts into the extra
+//!   copy for the Fig. 9 comparison.
+//! * **space sharing** — [`space::SpaceShared`] decouples a simulation task
+//!   feeding a bounded [`space::CircularBuffer`] from an analytics task
+//!   draining it (Fig. 4), each on its own core group.
+//!
+//! The window-analytics optimization (§4) is [`RedObj::trigger`]: when an
+//! object reports itself complete during reduction it is immediately
+//! [`Analytics::convert`]ed into the output and erased, capping live
+//! reduction objects at the window size instead of the input size.
+//!
+//! ## Example: histogram in ~20 lines (paper Listing 3)
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//! use smart_core::{Analytics, Chunk, ComMap, Key, RedObj, SchedArgs, Scheduler};
+//!
+//! #[derive(Clone, Serialize, Deserialize, Default)]
+//! struct Bucket { count: u64 }
+//! impl RedObj for Bucket {}
+//!
+//! struct Histogram { min: f64, width: f64, buckets: usize }
+//!
+//! impl Analytics for Histogram {
+//!     type In = f64;
+//!     type Red = Bucket;
+//!     type Out = u64;
+//!     type Extra = ();
+//!
+//!     fn gen_key(&self, chunk: &Chunk, data: &[f64], _com: &ComMap<Bucket>) -> Key {
+//!         let bucket = (data[chunk.local_start] - self.min) / self.width;
+//!         (bucket as usize).min(self.buckets - 1) as Key
+//!     }
+//!     fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, obj: &mut Option<Bucket>) {
+//!         obj.get_or_insert_with(Bucket::default).count += 1;
+//!     }
+//!     fn merge(&self, red: &Bucket, com: &mut Bucket) { com.count += red.count; }
+//!     fn convert(&self, obj: &Bucket, out: &mut u64) { *out = obj.count; }
+//! }
+//!
+//! let pool = smart_pool::shared_pool(2).unwrap();
+//! let hist = Histogram { min: 0.0, width: 0.25, buckets: 4 };
+//! let mut smart = Scheduler::new(hist, SchedArgs::new(2, 1), pool).unwrap();
+//! let data = [0.1, 0.3, 0.6, 0.9, 0.95, 0.2];
+//! let mut out = [0u64; 4];
+//! smart.run(&data, &mut out).unwrap();
+//! assert_eq!(out, [2, 1, 1, 2]);
+//! ```
+
+mod api;
+mod args;
+mod error;
+mod redmap;
+pub mod pipeline;
+mod scheduler;
+mod shared_slice;
+pub mod space;
+
+pub use api::{Analytics, Chunk, ComMap, Key, RedObj};
+pub use args::SchedArgs;
+pub use error::{SmartError, SmartResult};
+pub use pipeline::{KeyMode, Pipeline};
+pub use redmap::RedMap;
+pub use scheduler::{RunStats, Scheduler};
+pub use shared_slice::SharedSlice;

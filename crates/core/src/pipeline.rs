@@ -1,0 +1,271 @@
+//! Chained Smart jobs — the paper's "MapReduce pipeline" deployment (§3.1):
+//!
+//! > "in many cases where the in-situ analytics tasks are deployed as a
+//! > MapReduce pipeline, some preprocessing steps like smoothing, filtering,
+//! > and reorganization, only have a local output on each partition. For
+//! > this case, by turning off the global combination process, the user can
+//! > retrieve the output directly in the parallel code region, and then
+//! > feed the output to the next Smart job."
+//!
+//! [`Pipeline`] packages exactly that: stage one runs with global
+//! combination **off** (its per-element output stays on the rank that
+//! produced it), its output buffer becomes stage two's input, and stage two
+//! combines globally as usual.
+
+use crate::api::Analytics;
+use crate::error::SmartResult;
+use crate::scheduler::Scheduler;
+use smart_comm::Communicator;
+
+/// Key mode of a pipeline stage: `gen_key` (`run`) or `gen_keys` (`run2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyMode {
+    /// One key per chunk (`run`).
+    #[default]
+    Single,
+    /// Multiple keys per chunk (`run2`) — the usual choice for
+    /// window-based preprocessing.
+    Multi,
+}
+
+/// A two-stage in-situ pipeline: preprocessing (local) → analytics (global).
+pub struct Pipeline<A, B>
+where
+    A: Analytics,
+    B: Analytics<In = A::Out>,
+{
+    first: Scheduler<A>,
+    second: Scheduler<B>,
+    first_mode: KeyMode,
+    second_mode: KeyMode,
+    /// Stage one's per-rank output, reused across time-steps.
+    intermediate: Vec<A::Out>,
+    /// Slice of the intermediate buffer stage two consumes. Window-style
+    /// preprocessing writes into a global-key-indexed buffer; each rank's
+    /// meaningful slice is its own partition range.
+    second_input: std::ops::Range<usize>,
+}
+
+impl<A, B> Pipeline<A, B>
+where
+    A: Analytics,
+    A::In: Clone,
+    A::Out: Clone + Default,
+    B: Analytics<In = A::Out>,
+{
+    /// Build a pipeline. `first` is forced into local-only mode
+    /// (`set_global_combination(false)`); `intermediate_len` sizes its
+    /// per-rank output buffer (usually the partition length for
+    /// element-wise preprocessing).
+    pub fn new(
+        mut first: Scheduler<A>,
+        second: Scheduler<B>,
+        first_mode: KeyMode,
+        second_mode: KeyMode,
+        intermediate_len: usize,
+    ) -> Self {
+        first.set_global_combination(false);
+        Pipeline {
+            first,
+            second,
+            first_mode,
+            second_mode,
+            intermediate: vec![A::Out::default(); intermediate_len],
+            second_input: 0..intermediate_len,
+        }
+    }
+
+    /// Restrict stage two's input to a slice of the intermediate buffer
+    /// (a rank's own partition range when stage one keys globally).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the intermediate buffer.
+    pub fn with_second_input_range(mut self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= self.intermediate.len(), "range exceeds intermediate buffer");
+        self.second_input = range;
+        self
+    }
+
+    /// The preprocessing stage.
+    pub fn first(&self) -> &Scheduler<A> {
+        &self.first
+    }
+
+    /// The analytics stage.
+    pub fn second(&self) -> &Scheduler<B> {
+        &self.second
+    }
+
+    /// Mutable access to the analytics stage (e.g. to read its combination
+    /// map between steps).
+    pub fn second_mut(&mut self) -> &mut Scheduler<B> {
+        &mut self.second
+    }
+
+    /// Stage one's most recent per-rank output.
+    pub fn intermediate(&self) -> &[A::Out] {
+        &self.intermediate
+    }
+
+    /// Reset both stages' analytics state (window pipelines do this
+    /// between independent time-steps).
+    pub fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+    }
+
+    /// Run both stages on one block, single rank.
+    pub fn run(&mut self, input: &[A::In], out: &mut [B::Out]) -> SmartResult<()> {
+        match self.first_mode {
+            KeyMode::Single => self.first.run(input, &mut self.intermediate)?,
+            KeyMode::Multi => self.first.run2(input, &mut self.intermediate)?,
+        }
+        let stage2_in = &self.intermediate[self.second_input.clone()];
+        match self.second_mode {
+            KeyMode::Single => self.second.run(stage2_in, out),
+            KeyMode::Multi => self.second.run2(stage2_in, out),
+        }
+    }
+
+    /// Run both stages on one block: stage one stays rank-local, stage two
+    /// combines across the cluster.
+    pub fn run_dist(
+        &mut self,
+        comm: &mut Communicator,
+        input: &[A::In],
+        out: &mut [B::Out],
+    ) -> SmartResult<()> {
+        match self.first_mode {
+            KeyMode::Single => self.first.run_dist(comm, input, &mut self.intermediate)?,
+            KeyMode::Multi => self.first.run2_dist(comm, input, &mut self.intermediate)?,
+        }
+        let stage2_in = &self.intermediate[self.second_input.clone()];
+        match self.second_mode {
+            KeyMode::Single => self.second.run_dist(comm, stage2_in, out),
+            KeyMode::Multi => self.second.run2_dist(comm, stage2_in, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Chunk, ComMap, Key, RedObj};
+    use crate::args::SchedArgs;
+    use serde::{Deserialize, Serialize};
+    use smart_pool::shared_pool;
+
+    /// Stage 1: per-element doubling, keyed by global position.
+    #[derive(Clone, Serialize, Deserialize, Default)]
+    struct Val {
+        v: f64,
+        done: bool,
+    }
+    impl RedObj for Val {
+        fn trigger(&self) -> bool {
+            self.done
+        }
+    }
+    struct Double;
+    impl Analytics for Double {
+        type In = f64;
+        type Red = Val;
+        type Out = f64;
+        type Extra = ();
+        fn gen_keys(&self, c: &Chunk, _d: &[f64], _m: &ComMap<Val>, keys: &mut Vec<Key>) {
+            // Local output: key by *local* position so each rank fills its
+            // own buffer 0..len.
+            keys.push(c.local_start as Key);
+        }
+        fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Val>) {
+            *obj = Some(Val { v: 2.0 * d[c.local_start], done: true });
+        }
+        fn merge(&self, red: &Val, com: &mut Val) {
+            com.v = red.v;
+        }
+        fn convert(&self, obj: &Val, out: &mut f64) {
+            *out = obj.v;
+        }
+    }
+
+    /// Stage 2: global sum.
+    #[derive(Clone, Serialize, Deserialize, Default)]
+    struct Sum {
+        total: f64,
+    }
+    impl RedObj for Sum {}
+    struct Total;
+    impl Analytics for Total {
+        type In = f64;
+        type Red = Sum;
+        type Out = f64;
+        type Extra = ();
+        fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Sum>) {
+            obj.get_or_insert_with(Sum::default).total += d[c.local_start];
+        }
+        fn merge(&self, red: &Sum, com: &mut Sum) {
+            com.total += red.total;
+        }
+        fn convert(&self, obj: &Sum, out: &mut f64) {
+            *out = obj.total;
+        }
+    }
+
+    fn pipeline(len: usize) -> Pipeline<Double, Total> {
+        let p1 = Scheduler::new(Double, SchedArgs::new(2, 1), shared_pool(2).unwrap()).unwrap();
+        let p2 = Scheduler::new(Total, SchedArgs::new(2, 1), shared_pool(2).unwrap()).unwrap();
+        Pipeline::new(p1, p2, KeyMode::Multi, KeyMode::Single, len)
+    }
+
+    #[test]
+    fn two_stage_local_pipeline() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut p = pipeline(data.len());
+        let mut out = [0.0f64];
+        p.run(&data, &mut out).unwrap();
+        // Σ 2i for i in 0..100
+        assert_eq!(out[0], 2.0 * (99.0 * 100.0 / 2.0));
+        assert_eq!(p.intermediate()[3], 6.0);
+    }
+
+    #[test]
+    fn distributed_pipeline_stage_one_stays_local() {
+        let results = smart_comm::run_cluster(3, |mut comm| {
+            let data = vec![(comm.rank() + 1) as f64; 10];
+            let mut p = pipeline(data.len());
+            let mut out = [0.0f64];
+            p.run_dist(&mut comm, &data, &mut out).unwrap();
+            (p.intermediate().to_vec(), out[0])
+        });
+        // Stage 1 outputs are rank-local (rank r sees only 2(r+1))...
+        for (rank, (intermediate, _)) in results.iter().enumerate() {
+            assert!(intermediate.iter().all(|&v| v == 2.0 * (rank + 1) as f64));
+        }
+        // ...but stage 2's sum is global and identical everywhere.
+        let expected: f64 = (1..=3).map(|r| 2.0 * r as f64 * 10.0).sum();
+        for (_, total) in &results {
+            assert_eq!(*total, expected);
+        }
+    }
+
+    #[test]
+    fn pipeline_reset_clears_both_stages() {
+        let data = vec![1.0; 4];
+        let mut p = pipeline(data.len());
+        let mut out = [0.0f64];
+        p.run(&data, &mut out).unwrap();
+        p.run(&data, &mut out).unwrap();
+        // Without reset the sum accumulates across steps.
+        assert_eq!(out[0], 16.0);
+        p.reset();
+        p.run(&data, &mut out).unwrap();
+        assert_eq!(out[0], 8.0);
+    }
+
+    #[test]
+    fn accessors_expose_stages() {
+        let p = pipeline(4);
+        assert_eq!(p.first().args().chunk_size, 1);
+        assert_eq!(p.second().args().num_threads, 2);
+    }
+}

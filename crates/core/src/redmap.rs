@@ -1,0 +1,522 @@
+//! The reduction map: an open-addressing hash map `Key → V` tuned for
+//! Smart's access pattern — dense small-integer keys, upsert-heavy hot loop,
+//! frequent whole-map iteration and drain, occasional erase (early
+//! emission).
+//!
+//! `std::collections::HashMap` with SipHash would dominate the reduce loop
+//! for cheap analytics like histogram; this map uses Fibonacci hashing and
+//! linear probing instead (the approach `rustc`'s FxHashMap takes, see the
+//! Rust Performance Book's Hashing chapter), implemented here because the
+//! allowed dependency set contains no fast-hash crate.
+
+use crate::api::Key;
+
+const INITIAL_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Slot<V> {
+    Empty,
+    /// Deleted entry; probes continue past it, inserts may reuse it.
+    Tomb,
+    /// Live entry. `value` is `None` only transiently, between
+    /// [`RedMap::slot_mut`] creating the slot and `accumulate` filling it.
+    Full { key: Key, value: Option<V> },
+}
+
+/// Open-addressing reduction map.
+#[derive(Debug, Clone)]
+pub struct RedMap<V> {
+    slots: Vec<Slot<V>>,
+    /// Live entries (Full slots).
+    len: usize,
+    /// Tombstones currently in the table.
+    tombs: usize,
+}
+
+#[inline]
+fn fib_hash(key: Key, mask: usize) -> usize {
+    // Fibonacci multiply followed by a splitmix64 finalizer. The finalizer
+    // matters: window analytics insert long runs of *consecutive* keys, and
+    // a bare multiplicative hash maps those to a constant stride — which
+    // linear probing turns into catastrophic clustering near high load
+    // (measured: a 393k-entry map degraded ~100x without the finalizer).
+    let mut h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h as usize & mask
+}
+
+impl<V> Default for RedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RedMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        RedMap { slots: Vec::new(), len: 0, tombs: 0 }
+    }
+
+    /// An empty map with room for `n` entries without rehashing.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(INITIAL_CAPACITY);
+        RedMap { slots: (0..cap).map(|_| Slot::Empty).collect(), len: 0, tombs: 0 }
+    }
+
+    /// Live entries in the map.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::Empty;
+        }
+        self.len = 0;
+        self.tombs = 0;
+    }
+
+    /// Index of the slot holding `key`, if present.
+    fn find(&self, key: Key) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = fib_hash(key, mask);
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full { key: k, .. } if *k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Pre-size the table so `additional` more entries fit without any
+    /// rehash. Bulk merges MUST call this: draining one table in slot order
+    /// and reinserting with the same hash function produces ascending home
+    /// slots, and if the destination passes through a smaller capacity the
+    /// ascending order folds into multiple passes over an almost-full
+    /// prefix — a measured ~25x quadratic blow-up at ~0.75 final load.
+    /// Pre-sizing keeps ascending-order insertion collision-free.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len + self.tombs + additional;
+        let target_cap = (needed * 8 / 7 + 1).next_power_of_two().max(INITIAL_CAPACITY);
+        if target_cap <= self.slots.len() {
+            return;
+        }
+        let old = std::mem::replace(&mut self.slots, (0..target_cap).map(|_| Slot::Empty).collect());
+        self.tombs = 0;
+        let mask = target_cap - 1;
+        for slot in old {
+            if let Slot::Full { key, value } = slot {
+                let mut i = fib_hash(key, mask);
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full { key, value };
+            }
+        }
+    }
+
+    /// Grow/rehash so at least one more entry fits below a 7/8 load factor
+    /// (counting tombstones, which degrade probing like live entries).
+    fn ensure_room(&mut self) {
+        let cap = self.slots.len();
+        if cap == 0 {
+            self.slots = (0..INITIAL_CAPACITY).map(|_| Slot::Empty).collect();
+            return;
+        }
+        if (self.len + self.tombs + 1) * 8 <= cap * 7 {
+            return;
+        }
+        // Double if genuinely full; same size if tombstones are the problem.
+        let new_cap = if (self.len + 1) * 8 > cap * 7 { cap * 2 } else { cap };
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| Slot::Empty).collect());
+        self.tombs = 0;
+        let mask = new_cap - 1;
+        for slot in old {
+            if let Slot::Full { key, value } = slot {
+                let mut i = fib_hash(key, mask);
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full { key, value };
+            }
+        }
+    }
+
+    /// The value slot for `key`, creating an empty (`None`) slot if the key
+    /// is absent — the runtime hands this to `accumulate`, mirroring the
+    /// paper's `unique_ptr<RedObj>&` null-on-first-touch contract.
+    pub fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
+        if let Some(i) = self.find(key) {
+            match &mut self.slots[i] {
+                Slot::Full { value, .. } => return value,
+                _ => unreachable!("find returned a non-full slot"),
+            }
+        }
+        self.ensure_room();
+        let mask = self.slots.len() - 1;
+        let mut i = fib_hash(key, mask);
+        loop {
+            match &self.slots[i] {
+                Slot::Empty | Slot::Tomb => break,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        if matches!(self.slots[i], Slot::Tomb) {
+            self.tombs -= 1;
+        }
+        self.slots[i] = Slot::Full { key, value: None };
+        self.len += 1;
+        match &mut self.slots[i] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Insert `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        self.slot_mut(key).replace(value)
+    }
+
+    /// Borrow the value for `key`.
+    pub fn get(&self, key: Key) -> Option<&V> {
+        self.find(key).and_then(|i| match &self.slots[i] {
+            Slot::Full { value, .. } => value.as_ref(),
+            _ => None,
+        })
+    }
+
+    /// Mutably borrow the value for `key`.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        match self.find(key) {
+            Some(i) => match &mut self.slots[i] {
+                Slot::Full { value, .. } => value.as_mut(),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    /// `true` if `key` has a live entry.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Remove and return the value for `key`.
+    pub fn remove(&mut self, key: Key) -> Option<V> {
+        let i = self.find(key)?;
+        let slot = std::mem::replace(&mut self.slots[i], Slot::Tomb);
+        self.len -= 1;
+        self.tombs += 1;
+        match slot {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("find returned a non-full slot"),
+        }
+    }
+
+    /// Iterate over live `(key, &value)` entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &V)> {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Full { key, value: Some(v) } => Some((*key, v)),
+            _ => None,
+        })
+    }
+
+    /// Iterate over live `(key, &mut value)` entries (arbitrary order).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Key, &mut V)> {
+        self.slots.iter_mut().filter_map(|s| match s {
+            Slot::Full { key, value: Some(v) } => Some((*key, v)),
+            _ => None,
+        })
+    }
+
+    /// Live keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Empty the map, returning all live entries.
+    pub fn drain_entries(&mut self) -> Vec<(Key, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        for slot in &mut self.slots {
+            if let Slot::Full { key, value: Some(v) } = std::mem::replace(slot, Slot::Empty) {
+                out.push((key, v));
+            }
+        }
+        self.len = 0;
+        self.tombs = 0;
+        out
+    }
+
+    /// Copy all live entries out (keys with cloned values), sorted by key —
+    /// the canonical form used for serialization and deterministic output.
+    pub fn to_sorted_entries(&self) -> Vec<(Key, V)>
+    where
+        V: Clone,
+    {
+        let mut v: Vec<(Key, V)> = self.iter().map(|(k, o)| (k, o.clone())).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Build a map from entries (later duplicates overwrite earlier ones).
+    /// Pre-sizes from the iterator's length hint (see [`reserve`](Self::reserve)
+    /// for why bulk builds must not grow incrementally).
+    pub fn from_entries(entries: impl IntoIterator<Item = (Key, V)>) -> Self {
+        let iter = entries.into_iter();
+        let mut m = RedMap::with_capacity(iter.size_hint().0);
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<V> FromIterator<(Key, V)> for RedMap<V> {
+    fn from_iter<I: IntoIterator<Item = (Key, V)>>(iter: I) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+impl<V> Extend<(Key, V)> for RedMap<V> {
+    fn extend<I: IntoIterator<Item = (Key, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_map_behaves() {
+        let m: RedMap<u32> = RedMap::new();
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        assert!(!m.contains_key(7));
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = RedMap::new();
+        assert_eq!(m.insert(3, "three"), None);
+        assert_eq!(m.insert(3, "THREE"), Some("three"));
+        assert_eq!(m.get(3), Some(&"THREE"));
+        assert_eq!(m.remove(3), Some("THREE"));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn slot_mut_creates_then_fills() {
+        let mut m: RedMap<u64> = RedMap::new();
+        let slot = m.slot_mut(5);
+        assert!(slot.is_none());
+        *slot = Some(42);
+        assert_eq!(m.get(5), Some(&42));
+        assert_eq!(m.len(), 1);
+        // Second access sees the value.
+        assert_eq!(m.slot_mut(5).unwrap(), 42);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys_work() {
+        let mut m = RedMap::new();
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            m.insert(k, k as i128 * 2);
+        }
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(m.get(k), Some(&(k as i128 * 2)));
+        }
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = RedMap::new();
+        for k in 0..10_000i64 {
+            m.insert(k, k * k);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in (0..10_000i64).step_by(97) {
+            assert_eq!(m.get(k), Some(&(k * k)));
+        }
+    }
+
+    #[test]
+    fn tombstone_churn_does_not_lose_entries() {
+        let mut m = RedMap::with_capacity(8);
+        // Insert/remove the same small working set far more times than the
+        // capacity — exercises tombstone reuse and same-size rehash.
+        for round in 0..1000i64 {
+            m.insert(round % 7, round);
+            if round % 3 == 0 {
+                m.remove((round + 1) % 7);
+            }
+        }
+        assert!(m.len() <= 7);
+        for (k, v) in m.iter() {
+            assert_eq!(k, v % 7);
+        }
+    }
+
+    #[test]
+    fn drain_empties_and_returns_everything() {
+        let mut m = RedMap::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        let mut drained = m.drain_entries();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..100).map(|k| (k, k)).collect::<Vec<_>>());
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        // Map is reusable after drain.
+        m.insert(5, 5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reserve_preserves_entries_and_prevents_growth() {
+        let mut m: RedMap<i64> = RedMap::new();
+        for k in 0..100 {
+            m.insert(k, k * 2);
+        }
+        m.reserve(10_000);
+        // All pre-reserve entries survive the rehash.
+        for k in 0..100 {
+            assert_eq!(m.get(k), Some(&(k * 2)));
+        }
+        // Filling to the reserved size must not lose anything either.
+        for k in 100..10_100 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.len(), 10_100);
+        assert_eq!(m.get(9_999), Some(&(2 * 9_999)));
+    }
+
+    #[test]
+    fn drain_order_reinsert_is_not_quadratic() {
+        // Regression test for the folded-ascending-order pathology: drain a
+        // large map in slot order and reinsert through the pre-sizing path.
+        // Sized so the unfixed code path took seconds while this takes
+        // milliseconds; a generous wall-clock bound keeps the test robust
+        // while still catching a quadratic regression.
+        let n = 393_216i64;
+        let mut src: RedMap<u64> = RedMap::new();
+        for k in 0..n {
+            src.insert(k, 1);
+        }
+        let entries = src.drain_entries();
+        let started = std::time::Instant::now();
+        let mut dst: RedMap<u64> = RedMap::new();
+        dst.reserve(entries.len());
+        for (k, v) in entries {
+            dst.insert(k, v);
+        }
+        assert_eq!(dst.len(), n as usize);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "drain-order reinsert took {:?} — quadratic clustering is back",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn sorted_entries_are_sorted() {
+        let m: RedMap<i64> = RedMap::from_entries([(5, 50), (1, 10), (3, 30)]);
+        assert_eq!(m.to_sorted_entries(), vec![(1, 10), (3, 30), (5, 50)]);
+    }
+
+    #[test]
+    fn iter_mut_updates_in_place() {
+        let mut m: RedMap<i64> = RedMap::from_entries([(1, 1), (2, 2)]);
+        for (_, v) in m.iter_mut() {
+            *v *= 10;
+        }
+        assert_eq!(m.get(1), Some(&10));
+        assert_eq!(m.get(2), Some(&20));
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_resets() {
+        let mut m = RedMap::with_capacity(100);
+        for k in 0..50 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(10), None);
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut m: RedMap<u8> = (0..5).map(|k| (k, k as u8)).collect();
+        m.extend([(10, 10u8), (11, 11)]);
+        assert_eq!(m.len(), 7);
+    }
+
+    proptest! {
+        /// Command-sequence equivalence against std HashMap.
+        #[test]
+        fn behaves_like_std_hashmap(ops in proptest::collection::vec(
+            (0u8..4, -50i64..50, any::<u32>()), 0..400))
+        {
+            let mut ours: RedMap<u32> = RedMap::new();
+            let mut model: HashMap<i64, u32> = HashMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(ours.insert(key, val), model.insert(key, val));
+                    }
+                    1 => {
+                        prop_assert_eq!(ours.remove(key), model.remove(&key));
+                    }
+                    2 => {
+                        prop_assert_eq!(ours.get(key), model.get(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(ours.contains_key(key), model.contains_key(&key));
+                    }
+                }
+                prop_assert_eq!(ours.len(), model.len());
+            }
+            let mut a = ours.to_sorted_entries();
+            let mut b: Vec<(i64, u32)> = model.into_iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn drain_matches_iter(keys in proptest::collection::hash_set(-1000i64..1000, 0..200)) {
+            let mut m: RedMap<i64> = keys.iter().map(|&k| (k, k * 3)).collect();
+            let via_iter: std::collections::BTreeMap<i64, i64> =
+                m.iter().map(|(k, &v)| (k, v)).collect();
+            let via_drain: std::collections::BTreeMap<i64, i64> =
+                m.drain_entries().into_iter().collect();
+            prop_assert_eq!(via_iter, via_drain);
+        }
+    }
+}

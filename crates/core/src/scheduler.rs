@@ -1,0 +1,698 @@
+//! The Smart scheduler: Algorithm 1 (the `run`/`run2` data-processing
+//! mechanism) and Algorithm 2 (early emission) of the paper.
+
+use crate::api::{Analytics, Chunk, ComMap, Key, RedObj};
+use crate::args::SchedArgs;
+use crate::error::{SmartError, SmartResult};
+use crate::redmap::RedMap;
+use crate::shared_slice::SharedSlice;
+use smart_comm::Communicator;
+use smart_pool::{split_range, SharedPool};
+use std::time::{Duration, Instant};
+
+/// Phase timings and volumes from the most recent `run*` call.
+///
+/// Every duration is *busy* time measured inside the phase, so the numbers
+/// compose on any host: modeled parallel step time =
+/// `max(split_busy) + combine_busy` plus a communication model applied to
+/// `global_bytes` (this is how the benchmark harness reproduces the paper's
+/// scaling figures on hosts with fewer cores than the experiment needs —
+/// see DESIGN.md substitutions).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-worker reduction busy time, summed over iterations.
+    pub split_busy: Vec<Duration>,
+    /// Local + global combination busy time (merge work), all iterations.
+    pub combine_busy: Duration,
+    /// Bytes of serialized combination-map entries shipped per rank during
+    /// global combination, all iterations.
+    pub global_bytes: u64,
+    /// Iterations executed.
+    pub iters: usize,
+}
+
+impl RunStats {
+    /// The slowest worker's reduction busy time.
+    pub fn max_split_busy(&self) -> Duration {
+        self.split_busy.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Total busy time across all workers and phases.
+    pub fn total_busy(&self) -> Duration {
+        self.split_busy.iter().sum::<Duration>() + self.combine_busy
+    }
+}
+
+/// A Smart analytics job bound to a thread pool.
+///
+/// In time-sharing mode the scheduler is invoked once per time-step on the
+/// simulation's output partition (`run*`). In space-sharing mode it is
+/// driven by [`crate::space::SpaceShared`]. The same scheduler instance also
+/// runs *offline* analytics unchanged — the paper's point that in-situ and
+/// offline code can be identical.
+pub struct Scheduler<A: Analytics> {
+    analytics: A,
+    args: SchedArgs<A::Extra>,
+    pool: SharedPool,
+    global_combination: bool,
+    /// Distribute the combination map into per-thread reduction maps at the
+    /// start of each iteration (Algorithm 1 line 6). Required for analytics
+    /// whose `accumulate` reads state seeded into the objects (k-means
+    /// centroids); wrong for stateless accumulation, where the distributed
+    /// copies would be double-counted by the merge. Auto-detected in
+    /// [`new`](Self::new) (iterative or extra-data analytics distribute),
+    /// overridable with [`set_distribute_map`](Self::set_distribute_map).
+    distribute_map: bool,
+    com_map: ComMap<A::Red>,
+    extra_processed: bool,
+    /// Reusable buffer for `copy_input` mode.
+    copy_buf: Vec<A::In>,
+    steps_run: usize,
+    collect_stats: bool,
+    last_stats: RunStats,
+}
+
+impl<A: Analytics> Scheduler<A> {
+    /// Create a scheduler (paper Table 1, runtime function 2).
+    pub fn new(analytics: A, args: SchedArgs<A::Extra>, pool: SharedPool) -> SmartResult<Self> {
+        if args.num_threads == 0 {
+            return Err(SmartError::BadArgs("num_threads must be positive".into()));
+        }
+        if args.num_threads > pool.size() {
+            return Err(SmartError::BadArgs(format!(
+                "num_threads {} exceeds pool size {}",
+                args.num_threads,
+                pool.size()
+            )));
+        }
+        if args.chunk_size == 0 {
+            return Err(SmartError::BadArgs("chunk_size must be positive".into()));
+        }
+        if args.num_iters == 0 {
+            return Err(SmartError::BadArgs("num_iters must be positive".into()));
+        }
+        let distribute_map = args.extra_data.is_some() || args.num_iters > 1;
+        Ok(Scheduler {
+            analytics,
+            args,
+            pool,
+            global_combination: true,
+            distribute_map,
+            com_map: ComMap::new(),
+            extra_processed: false,
+            copy_buf: Vec::new(),
+            steps_run: 0,
+            collect_stats: false,
+            last_stats: RunStats::default(),
+        })
+    }
+
+    /// Enable per-phase timing collection (see [`RunStats`]).
+    pub fn set_collect_stats(&mut self, flag: bool) {
+        self.collect_stats = flag;
+    }
+
+    /// Phase timings from the most recent `run*` call (empty unless
+    /// [`set_collect_stats`](Self::set_collect_stats) was enabled).
+    pub fn last_stats(&self) -> &RunStats {
+        &self.last_stats
+    }
+
+    /// Enable/disable global combination (paper Table 1, function 3).
+    /// Disabled, each rank keeps a local result — the "MapReduce pipeline"
+    /// pattern where a preprocessing job's output feeds the next job.
+    pub fn set_global_combination(&mut self, flag: bool) {
+        self.global_combination = flag;
+    }
+
+    /// Override the combination-map distribution rule (see field docs).
+    pub fn set_distribute_map(&mut self, flag: bool) {
+        self.distribute_map = flag;
+    }
+
+    /// The combination map (paper Table 1, function 4).
+    pub fn combination_map(&self) -> &ComMap<A::Red> {
+        &self.com_map
+    }
+
+    /// The analytics implementation.
+    pub fn analytics(&self) -> &A {
+        &self.analytics
+    }
+
+    /// The scheduler arguments.
+    pub fn args(&self) -> &SchedArgs<A::Extra> {
+        &self.args
+    }
+
+    /// Time-steps processed so far.
+    pub fn steps_run(&self) -> usize {
+        self.steps_run
+    }
+
+    /// Clear analytics state between independent datasets (e.g. per
+    /// time-step window analytics). Extra data will be re-processed on the
+    /// next run.
+    pub fn reset(&mut self) {
+        self.com_map.clear();
+        self.extra_processed = false;
+    }
+
+    /// Single-key analytics on one input block, single rank
+    /// (paper Table 1, function 5).
+    pub fn run(&mut self, input: &[A::In], out: &mut [A::Out]) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(None, input, out, false)
+    }
+
+    /// Multi-key analytics on one input block, single rank
+    /// (paper Table 1, function 6).
+    pub fn run2(&mut self, input: &[A::In], out: &mut [A::Out]) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(None, input, out, true)
+    }
+
+    /// Single-key analytics with global combination across the cluster.
+    pub fn run_dist(
+        &mut self,
+        comm: &mut Communicator,
+        input: &[A::In],
+        out: &mut [A::Out],
+    ) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(Some(comm), input, out, false)
+    }
+
+    /// Multi-key analytics with global combination across the cluster.
+    pub fn run2_dist(
+        &mut self,
+        comm: &mut Communicator,
+        input: &[A::In],
+        out: &mut [A::Out],
+    ) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(Some(comm), input, out, true)
+    }
+
+    /// Algorithm 1, plus the Algorithm 2 early-emission extension.
+    fn run_inner(
+        &mut self,
+        mut comm: Option<&mut Communicator>,
+        input: &[A::In],
+        out: &mut [A::Out],
+        multi_key: bool,
+    ) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        let chunk_size = self.args.chunk_size;
+        if input.len() % chunk_size != 0 {
+            return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
+        }
+
+        // Fig. 9 baseline: the extra input copy the zero-copy design avoids.
+        let mut copy_buf = std::mem::take(&mut self.copy_buf);
+        let data: &[A::In] = if self.args.copy_input {
+            copy_buf.clear();
+            copy_buf.extend_from_slice(input);
+            &copy_buf
+        } else {
+            input
+        };
+
+        // Algorithm 1 line 1: seed the combination map once.
+        if !self.extra_processed {
+            self.analytics.process_extra_data(self.args.extra_data.as_ref(), &mut self.com_map);
+            self.extra_processed = true;
+        }
+
+        let nthreads = self.args.num_threads;
+        let offset = self.args.partition_offset;
+        // Early emission needs an output buffer to emit into.
+        let emission_enabled = !self.args.disable_trigger && !out.is_empty();
+        let out_shared = SharedSlice::new(out);
+
+        let collect_stats = self.collect_stats;
+        let mut stats = RunStats { split_busy: vec![Duration::ZERO; nthreads], ..Default::default() };
+
+        for _iter in 0..self.args.num_iters {
+            // Lines 4/6: distribute the combination map to reduction maps.
+            let analytics = &self.analytics;
+            let com_ref = &self.com_map;
+            let distribute = self.distribute_map;
+            let out_ref = &out_shared;
+
+            // Reduction phase (lines 7–10 + Algorithm 2): one split per
+            // thread, each with a private reduction map.
+            let worker = |tid: usize| -> SmartResult<(RedMap<A::Red>, Duration)> {
+                let started = Instant::now();
+                let range = split_range(data.len(), nthreads, tid, chunk_size);
+                let mut red: RedMap<A::Red> =
+                    if distribute { com_ref.clone() } else { RedMap::new() };
+                let mut keys: Vec<Key> = Vec::with_capacity(8);
+                let mut cursor = range.start;
+                while cursor + chunk_size <= range.end {
+                    let chunk = Chunk {
+                        local_start: cursor,
+                        global_start: offset + cursor,
+                        len: chunk_size,
+                    };
+                    keys.clear();
+                    if multi_key {
+                        analytics.gen_keys(&chunk, data, com_ref, &mut keys);
+                    } else {
+                        keys.push(analytics.gen_key(&chunk, data, com_ref));
+                    }
+                    for &key in &keys {
+                        let slot = red.slot_mut(key);
+                        analytics.accumulate(&chunk, data, key, slot);
+                        let Some(obj) = slot.as_ref() else {
+                            return Err(SmartError::EmptyAccumulate { key });
+                        };
+                        if emission_enabled && obj.trigger() {
+                            let idx = usize::try_from(key)
+                                .ok()
+                                .filter(|&i| i < out_ref.len())
+                                .ok_or(SmartError::KeyOutOfRange { key, out_len: out_ref.len() })?;
+                            // SAFETY: splits own disjoint contiguous element
+                            // ranges, so only the split holding *all* of a
+                            // key's contributions can trigger it — one
+                            // writer per index (see shared_slice docs).
+                            unsafe { out_ref.with_mut(idx, |o| analytics.convert(obj, o)) };
+                            red.remove(key);
+                        }
+                    }
+                    cursor += chunk_size;
+                }
+                Ok((red, started.elapsed()))
+            };
+            let partials = self.pool.try_run_on_workers(nthreads, worker)?;
+
+            // Local combination (lines 11–17) into a fresh *delta* map.
+            // The delta holds only this iteration's contribution, so the
+            // global combination below never re-sums state that previous
+            // steps already made global (the combination map persists
+            // across time-steps — k-means tracks centroids through the
+            // whole simulation).
+            let combine_started = Instant::now();
+            let mut delta: RedMap<A::Red> = RedMap::new();
+            for (tid, partial) in partials.into_iter().enumerate() {
+                let (partial, busy) = partial?;
+                stats.split_busy[tid] += busy;
+                Self::merge_into(&self.analytics, partial, &mut delta);
+            }
+
+            // Global combination of the delta (same merge, across ranks);
+            // afterwards every rank holds the same global delta (line 4's
+            // redistribution for the next iteration).
+            if self.global_combination {
+                if let Some(comm) = comm.as_deref_mut() {
+                    let local = delta.drain_entries();
+                    if collect_stats {
+                        stats.global_bytes +=
+                            smart_wire::to_bytes(&local).map(|b| b.len() as u64).unwrap_or(0);
+                    }
+                    let analytics = &self.analytics;
+                    let merged = comm.allreduce(local, |a, b| {
+                        let mut m = RedMap::from_entries(a);
+                        Self::merge_into(analytics, RedMap::from_entries(b), &mut m);
+                        m.drain_entries()
+                    })?;
+                    delta = RedMap::from_entries(merged);
+                }
+            }
+
+            // Fold the (now global) delta into the persistent combination
+            // map. For distribution-on analytics the com map already holds
+            // these keys with reset distributive fields, so the merge adds
+            // exactly one global contribution.
+            Self::merge_into(&self.analytics, delta, &mut self.com_map);
+
+            // Line 18.
+            self.analytics.post_combine(&mut self.com_map);
+            stats.combine_busy += combine_started.elapsed();
+            stats.iters += 1;
+        }
+
+        // Lines 20–23: convert remaining reduction objects into the output.
+        if !out_shared.is_empty() {
+            for (key, obj) in self.com_map.iter() {
+                let idx = usize::try_from(key)
+                    .ok()
+                    .filter(|&i| i < out_shared.len())
+                    .ok_or(SmartError::KeyOutOfRange { key, out_len: out_shared.len() })?;
+                // SAFETY: the parallel phase is over; this thread is the
+                // only writer.
+                unsafe { out_shared.with_mut(idx, |o| self.analytics.convert(obj, o)) };
+            }
+        }
+
+        self.copy_buf = copy_buf;
+        self.steps_run += 1;
+        self.last_stats = stats;
+        Ok(())
+    }
+
+    /// Merge `src` into `dst` with the analytics' merge operator
+    /// (lines 11–17: merge when the key exists, move otherwise).
+    fn merge_into(analytics: &A, mut src: RedMap<A::Red>, dst: &mut ComMap<A::Red>) {
+        // Pre-size: src arrives in hash order; letting dst grow through
+        // smaller capacities turns that order quadratic (see RedMap::reserve).
+        dst.reserve(src.len());
+        for (key, obj) in src.drain_entries() {
+            match dst.get_mut(key) {
+                Some(com) => analytics.merge(&obj, com),
+                None => {
+                    dst.insert(key, obj);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::RedObj;
+    use serde::{Deserialize, Serialize};
+    use smart_pool::shared_pool;
+
+    /// Sum of squares under key 0 — the simplest single-key analytics.
+    #[derive(Clone, Serialize, Deserialize, Default, Debug, PartialEq)]
+    struct Acc {
+        sum: f64,
+        n: u64,
+    }
+    impl RedObj for Acc {}
+
+    struct SumSquares;
+    impl Analytics for SumSquares {
+        type In = f64;
+        type Red = Acc;
+        type Out = f64;
+        type Extra = ();
+        fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Acc>) {
+            let a = obj.get_or_insert_with(Acc::default);
+            a.sum += d[c.local_start] * d[c.local_start];
+            a.n += 1;
+        }
+        fn merge(&self, red: &Acc, com: &mut Acc) {
+            com.sum += red.sum;
+            com.n += red.n;
+        }
+        fn convert(&self, obj: &Acc, out: &mut f64) {
+            *out = obj.sum;
+        }
+    }
+
+    fn pool4() -> SharedPool {
+        shared_pool(4).unwrap()
+    }
+
+    #[test]
+    fn sum_squares_matches_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.1).collect();
+        let expected: f64 = data.iter().map(|x| x * x).sum();
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&data, &mut out).unwrap();
+        assert!((out[0] - expected).abs() < 1e-9);
+        assert_eq!(s.combination_map().get(0).unwrap().n, 1000);
+        assert_eq!(s.steps_run(), 1);
+    }
+
+    #[test]
+    fn multiple_steps_accumulate_without_double_counting() {
+        // Non-iterative analytics must NOT distribute the combination map,
+        // or re-running over the next time-step would re-merge old counts
+        // once per thread.
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        let step: Vec<f64> = vec![2.0; 100];
+        let mut out = [0.0f64];
+        for t in 1..=5 {
+            s.run(&step, &mut out).unwrap();
+            assert!((out[0] - (t as f64) * 400.0).abs() < 1e-9, "step {t}: {}", out[0]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&[1.0, 2.0], &mut out).unwrap();
+        s.reset();
+        s.run(&[3.0], &mut out).unwrap();
+        assert!((out[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_mismatch_is_an_error() {
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 3), pool4()).unwrap();
+        let err = s.run(&[1.0; 10], &mut []).unwrap_err();
+        assert!(matches!(err, SmartError::ChunkMismatch { input_len: 10, chunk_size: 3 }));
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(matches!(
+            Scheduler::new(SumSquares, SchedArgs::new(0, 1), pool4()),
+            Err(SmartError::BadArgs(_))
+        ));
+        assert!(matches!(
+            Scheduler::new(SumSquares, SchedArgs::new(9, 1), pool4()),
+            Err(SmartError::BadArgs(_))
+        ));
+        assert!(matches!(
+            Scheduler::new(SumSquares, SchedArgs::new(1, 0), pool4()),
+            Err(SmartError::BadArgs(_))
+        ));
+        assert!(matches!(
+            Scheduler::new(SumSquares, SchedArgs::new(1, 1).with_iters(0), pool4()),
+            Err(SmartError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn copy_input_mode_gives_identical_results() {
+        let data: Vec<f64> = (0..512).map(|i| (i % 13) as f64).collect();
+        let mut a = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        let mut b =
+            Scheduler::new(SumSquares, SchedArgs::new(4, 1).with_copy_input(true), pool4())
+                .unwrap();
+        let (mut oa, mut ob) = ([0.0f64], [0.0f64]);
+        a.run(&data, &mut oa).unwrap();
+        b.run(&data, &mut ob).unwrap();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let data: Vec<f64> = (0..999).map(|i| (i as f64).sin()).collect();
+        let mut reference = None;
+        for threads in 1..=4 {
+            let mut s = Scheduler::new(SumSquares, SchedArgs::new(threads, 1), pool4()).unwrap();
+            let mut out = [0.0f64];
+            s.run(&data, &mut out).unwrap();
+            match reference {
+                None => reference = Some(out[0]),
+                // FP addition order differs per thread count; tolerance.
+                Some(r) => assert!((out[0] - r).abs() < 1e-9),
+            }
+        }
+    }
+
+    /// Per-element pass-through keyed by global position, with trigger —
+    /// exercises run2, early emission, and positional keys.
+    #[derive(Clone, Serialize, Deserialize, Debug)]
+    struct One {
+        v: f64,
+        done: bool,
+    }
+    impl RedObj for One {
+        fn trigger(&self) -> bool {
+            self.done
+        }
+    }
+
+    struct Identity;
+    impl Analytics for Identity {
+        type In = f64;
+        type Red = One;
+        type Out = f64;
+        type Extra = ();
+        fn gen_keys(&self, c: &Chunk, _d: &[f64], _com: &ComMap<One>, keys: &mut Vec<Key>) {
+            keys.push(c.global_start as Key);
+        }
+        fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<One>) {
+            *obj = Some(One { v: d[c.local_start], done: true });
+        }
+        fn merge(&self, red: &One, com: &mut One) {
+            com.v = red.v;
+            com.done = true;
+        }
+        fn convert(&self, obj: &One, out: &mut f64) {
+            *out = obj.v;
+        }
+    }
+
+    #[test]
+    fn early_emission_writes_every_slot_and_empties_map() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(Identity, SchedArgs::new(4, 1), pool4()).unwrap();
+        let mut out = vec![-1.0f64; 256];
+        s.run2(&data, &mut out).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
+        // Everything triggered: nothing left in the combination map.
+        assert_eq!(s.combination_map().len(), 0);
+    }
+
+    #[test]
+    fn disabled_trigger_routes_through_combination_map() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(
+            Identity,
+            SchedArgs::new(4, 1).with_trigger_disabled(true),
+            pool4(),
+        )
+        .unwrap();
+        let mut out = vec![-1.0f64; 64];
+        s.run2(&data, &mut out).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
+        // Nothing was emitted early: all 64 objects reached the map.
+        assert_eq!(s.combination_map().len(), 64);
+    }
+
+    #[test]
+    fn key_out_of_range_is_an_error() {
+        let data = vec![1.0f64; 8];
+        let mut s = Scheduler::new(Identity, SchedArgs::new(2, 1), pool4()).unwrap();
+        let mut out = vec![0.0f64; 4]; // too small for keys 4..8
+        let err = s.run2(&data, &mut out).unwrap_err();
+        assert!(matches!(err, SmartError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    fn empty_out_skips_conversion_and_emission() {
+        let data = vec![1.0f64; 16];
+        let mut s = Scheduler::new(Identity, SchedArgs::new(2, 1), pool4()).unwrap();
+        s.run2(&data, &mut []).unwrap();
+        // No out buffer → no early emission → objects stay in the map.
+        assert_eq!(s.combination_map().len(), 16);
+    }
+
+    /// Iterative analytics with extra data: counts how many times
+    /// post_combine ran and checks map distribution.
+    #[derive(Clone, Serialize, Deserialize, Debug, Default)]
+    struct Iter {
+        base: f64,
+        adds: u64,
+        rounds: u64,
+    }
+    impl RedObj for Iter {}
+
+    struct Iterative;
+    impl Analytics for Iterative {
+        type In = f64;
+        type Red = Iter;
+        type Out = f64;
+        type Extra = f64;
+        fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, obj: &mut Option<Iter>) {
+            obj.as_mut().expect("distributed from extra data").adds += 1;
+        }
+        fn merge(&self, red: &Iter, com: &mut Iter) {
+            com.adds += red.adds;
+        }
+        fn process_extra_data(&self, extra: Option<&f64>, com: &mut ComMap<Iter>) {
+            com.insert(0, Iter { base: *extra.expect("extra required"), adds: 0, rounds: 0 });
+        }
+        fn post_combine(&self, com: &mut ComMap<Iter>) {
+            let obj = com.get_mut(0).expect("key 0 present");
+            obj.rounds += 1;
+            obj.adds = 0; // reset distributive field, like k-means update()
+        }
+        fn convert(&self, obj: &Iter, out: &mut f64) {
+            *out = obj.base + obj.rounds as f64;
+        }
+    }
+
+    #[test]
+    fn iterations_distribute_and_post_combine() {
+        let data = vec![0.0f64; 40];
+        let args = SchedArgs::new(4, 1).with_extra(7.0).with_iters(3);
+        let mut s = Scheduler::new(Iterative, args, pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&data, &mut out).unwrap();
+        // base 7 + 3 post_combine rounds
+        assert_eq!(out[0], 10.0);
+    }
+
+    #[test]
+    fn global_combination_across_ranks_matches_single_rank() {
+        let data: Vec<f64> = (0..800).map(|i| (i % 10) as f64).collect();
+        // Single-rank reference.
+        let mut reference = [0.0f64];
+        Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool4())
+            .unwrap()
+            .run(&data, &mut reference)
+            .unwrap();
+
+        for ranks in [2, 3, 4] {
+            let data = data.clone();
+            let results = smart_comm::run_cluster(ranks, |mut comm| {
+                let pool = shared_pool(2).unwrap();
+                let share = data.len() / comm.size();
+                let lo = comm.rank() * share;
+                let hi = if comm.rank() + 1 == comm.size() { data.len() } else { lo + share };
+                let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool).unwrap();
+                let mut out = [0.0f64];
+                s.run_dist(&mut comm, &data[lo..hi], &mut out).unwrap();
+                out[0]
+            });
+            for r in &results {
+                assert!((r - reference[0]).abs() < 1e-6, "ranks={ranks}: {r} vs {}", reference[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_global_combination_keeps_results_local() {
+        let results = smart_comm::run_cluster(2, |mut comm| {
+            let pool = shared_pool(1).unwrap();
+            let mut s = Scheduler::new(SumSquares, SchedArgs::new(1, 1), pool).unwrap();
+            s.set_global_combination(false);
+            let data = vec![(comm.rank() + 1) as f64; 10];
+            let mut out = [0.0f64];
+            s.run_dist(&mut comm, &data, &mut out).unwrap();
+            out[0]
+        });
+        assert!((results[0] - 10.0).abs() < 1e-12);
+        assert!((results[1] - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_offset_feeds_global_keys() {
+        // Two ranks, identity analytics keyed by global position: outputs
+        // land at global indices on each rank.
+        let results = smart_comm::run_cluster(2, |mut comm| {
+            let pool = shared_pool(1).unwrap();
+            let args = SchedArgs::new(1, 1).with_partition(comm.rank() * 4, 8);
+            let mut s = Scheduler::new(Identity, args, pool).unwrap();
+            let data = vec![comm.rank() as f64 + 1.0; 4];
+            let mut out = vec![0.0f64; 8];
+            s.run2_dist(&mut comm, &data, &mut out).unwrap();
+            out
+        });
+        // Early emission fills only local keys; nothing remains in the map
+        // (identity triggers immediately), so each rank sees its own slice.
+        assert_eq!(results[0][..4], [1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(results[1][4..], [2.0, 2.0, 2.0, 2.0]);
+    }
+}

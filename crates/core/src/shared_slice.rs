@@ -1,0 +1,127 @@
+//! A write-disjoint shared slice for early emission.
+//!
+//! During the parallel reduction phase, a triggered reduction object is
+//! converted straight into `out[key]` from a worker thread (Algorithm 2).
+//! Different workers can trigger different keys concurrently, but never the
+//! same key: a key triggers only when one split has accumulated *all* of its
+//! contributions, and splits own disjoint contiguous element ranges, so at
+//! most one split can ever complete a given key (see `DESIGN.md`). That
+//! disjointness is exactly the contract `SharedSlice` encodes.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` that may be written from multiple threads **at pairwise
+/// distinct indices**.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: writes are restricted to distinct indices per the `write`
+// contract, and the borrow of the underlying slice outlives the workers
+// (the pool's fork-join blocks until they finish).
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap an exclusive slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have identical layout,
+        // and wrapping an exclusive borrow means no other alias exists.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data }
+    }
+
+    /// Slice length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may read or write `index` concurrently; callers must
+    /// guarantee all concurrent writes target pairwise distinct indices.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        *self.data[index].get() = value;
+    }
+
+    /// Apply `f` to the slot at `index`.
+    ///
+    /// # Safety
+    /// Same disjointness contract as [`write`](Self::write).
+    pub unsafe fn with_mut<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut *self.data[index].get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_land_at_their_indices() {
+        let mut buf = vec![0u64; 8];
+        {
+            let shared = SharedSlice::new(&mut buf);
+            assert_eq!(shared.len(), 8);
+            assert!(!shared.is_empty());
+            for i in 0..8 {
+                // SAFETY: single thread, distinct indices.
+                unsafe { shared.write(i, i as u64 * 3) };
+            }
+        }
+        assert_eq!(buf, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_correct() {
+        let n = 10_000;
+        let mut buf = vec![0usize; n];
+        {
+            let shared = SharedSlice::new(&mut buf);
+            let shared = &shared;
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    s.spawn(move || {
+                        for i in (t..n).step_by(4) {
+                            // SAFETY: threads write interleaved, disjoint indices.
+                            unsafe { shared.write(i, i + 1) };
+                        }
+                    });
+                }
+            });
+        }
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn with_mut_reads_previous_value() {
+        let mut buf = vec![5u32; 3];
+        let shared = SharedSlice::new(&mut buf);
+        // SAFETY: single thread.
+        let doubled = unsafe {
+            shared.with_mut(1, |v| {
+                *v *= 2;
+                *v
+            })
+        };
+        assert_eq!(doubled, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut buf = vec![0u8; 2];
+        let shared = SharedSlice::new(&mut buf);
+        // SAFETY: bounds check fires before any write.
+        unsafe { shared.write(2, 1) };
+    }
+}

@@ -1,0 +1,361 @@
+//! Space-sharing mode (paper §3.2, Fig. 4).
+//!
+//! In space-sharing mode the cores of a node are split into two groups:
+//! simulation keeps running on one group while analytics consumes completed
+//! time-steps on the other. The decoupling point is a bounded
+//! [`CircularBuffer`]: the simulation [`Feeder::feed`]s each time-step's
+//! output (this mode *does* copy — that is its cost relative to time
+//! sharing), blocking when the buffer is full, exactly like the paper's
+//! producer/consumer circular buffer.
+
+use crate::api::Analytics;
+use crate::error::{SmartError, SmartResult};
+use crate::scheduler::Scheduler;
+use parking_lot::{Condvar, Mutex};
+use smart_comm::Communicator;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct BufferState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue: the circular buffer between the simulation
+/// task (producer) and the Smart analytics task (consumer).
+pub struct CircularBuffer<T> {
+    state: Mutex<BufferState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> CircularBuffer<T> {
+    /// A buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "circular buffer capacity must be positive");
+        CircularBuffer {
+            state: Mutex::new(BufferState { queue: VecDeque::with_capacity(capacity), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum items the buffer holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue an item, blocking while the buffer is full ("simulation
+    /// program will be blocked until a cell becomes available").
+    ///
+    /// Returns `Err(StreamClosed)` if the buffer was closed.
+    pub fn push(&self, item: T) -> SmartResult<()> {
+        let mut state = self.state.lock();
+        while state.queue.len() >= self.capacity && !state.closed {
+            self.not_full.wait(&mut state);
+        }
+        if state.closed {
+            return Err(SmartError::StreamClosed);
+        }
+        state.queue.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue an item, blocking while the buffer is empty. Returns `None`
+    /// once the buffer is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Close the buffer: producers fail fast, consumers drain then see
+    /// end-of-stream.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Producer-side handle held by the simulation task.
+pub struct Feeder<T> {
+    buffer: Arc<CircularBuffer<Vec<T>>>,
+}
+
+impl<T> Clone for Feeder<T> {
+    fn clone(&self) -> Self {
+        Feeder { buffer: Arc::clone(&self.buffer) }
+    }
+}
+
+impl<T: Clone> Feeder<T> {
+    /// Copy one time-step's output partition into the buffer
+    /// (paper Table 1, runtime function 7: `feed`).
+    pub fn feed(&self, partition: &[T]) -> SmartResult<()> {
+        self.buffer.push(partition.to_vec())
+    }
+
+    /// Move an owned time-step into the buffer (no extra copy when the
+    /// producer can relinquish the allocation).
+    pub fn feed_owned(&self, partition: Vec<T>) -> SmartResult<()> {
+        self.buffer.push(partition)
+    }
+
+    /// Signal end-of-simulation.
+    pub fn close(&self) {
+        self.buffer.close();
+    }
+}
+
+/// A Smart scheduler driven by a circular buffer — the analytics half of
+/// space-sharing mode.
+pub struct SpaceShared<A: Analytics>
+where
+    A::In: Clone,
+{
+    scheduler: Scheduler<A>,
+    buffer: Arc<CircularBuffer<Vec<A::In>>>,
+}
+
+impl<A: Analytics> SpaceShared<A>
+where
+    A::In: Clone,
+{
+    /// Wrap `scheduler` with a circular buffer of `capacity` time-steps.
+    pub fn new(scheduler: Scheduler<A>, capacity: usize) -> Self {
+        SpaceShared { scheduler, buffer: Arc::new(CircularBuffer::new(capacity)) }
+    }
+
+    /// A producer handle for the simulation task.
+    pub fn feeder(&self) -> Feeder<A::In> {
+        Feeder { buffer: Arc::clone(&self.buffer) }
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &Scheduler<A> {
+        &self.scheduler
+    }
+
+    /// Mutable access to the wrapped scheduler.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<A> {
+        &mut self.scheduler
+    }
+
+    /// Process the next buffered time-step with single-key analytics
+    /// (paper Table 1, runtime function 8). Returns `Ok(false)` at
+    /// end-of-stream.
+    pub fn run_step(&mut self, out: &mut [A::Out]) -> SmartResult<bool> {
+        match self.buffer.pop() {
+            Some(step) => {
+                self.scheduler.run(&step, out)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Process the next buffered time-step with multi-key analytics
+    /// (paper Table 1, runtime function 9).
+    pub fn run2_step(&mut self, out: &mut [A::Out]) -> SmartResult<bool> {
+        match self.buffer.pop() {
+            Some(step) => {
+                self.scheduler.run2(&step, out)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Distributed variant of [`run_step`](Self::run_step).
+    pub fn run_step_dist(
+        &mut self,
+        comm: &mut Communicator,
+        out: &mut [A::Out],
+    ) -> SmartResult<bool> {
+        match self.buffer.pop() {
+            Some(step) => {
+                self.scheduler.run_dist(comm, &step, out)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Distributed variant of [`run2_step`](Self::run2_step).
+    pub fn run2_step_dist(
+        &mut self,
+        comm: &mut Communicator,
+        out: &mut [A::Out],
+    ) -> SmartResult<bool> {
+        match self.buffer.pop() {
+            Some(step) => {
+                self.scheduler.run2_dist(comm, &step, out)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drain the stream to completion with single-key analytics, returning
+    /// the number of time-steps processed.
+    pub fn run_to_end(&mut self, out: &mut [A::Out]) -> SmartResult<usize> {
+        let mut steps = 0;
+        while self.run_step(out)? {
+            steps += 1;
+        }
+        Ok(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Chunk, ComMap, Key, RedObj};
+    use crate::args::SchedArgs;
+    use serde::{Deserialize, Serialize};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn buffer_fifo_order() {
+        let buf = CircularBuffer::new(4);
+        buf.push(1).unwrap();
+        buf.push(2).unwrap();
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.pop(), Some(1));
+        assert_eq!(buf.pop(), Some(2));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _: CircularBuffer<u8> = CircularBuffer::new(0);
+    }
+
+    #[test]
+    fn push_blocks_when_full_until_pop() {
+        let buf = Arc::new(CircularBuffer::new(1));
+        buf.push(1).unwrap();
+        let produced = Arc::new(AtomicUsize::new(0));
+        let b2 = Arc::clone(&buf);
+        let p2 = Arc::clone(&produced);
+        let producer = std::thread::spawn(move || {
+            b2.push(2).unwrap(); // blocks until the consumer pops
+            p2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(produced.load(Ordering::SeqCst), 0, "producer should still be blocked");
+        assert_eq!(buf.pop(), Some(1));
+        producer.join().unwrap();
+        assert_eq!(produced.load(Ordering::SeqCst), 1);
+        assert_eq!(buf.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_producer_and_consumer() {
+        let buf: Arc<CircularBuffer<u8>> = Arc::new(CircularBuffer::new(1));
+        let b2 = Arc::clone(&buf);
+        let consumer = std::thread::spawn(move || b2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        buf.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert!(matches!(buf.push(1), Err(SmartError::StreamClosed)));
+    }
+
+    #[test]
+    fn close_lets_consumer_drain_first() {
+        let buf = CircularBuffer::new(4);
+        buf.push(7).unwrap();
+        buf.close();
+        assert_eq!(buf.pop(), Some(7));
+        assert_eq!(buf.pop(), None);
+    }
+
+    // Minimal counting analytics for the SpaceShared tests.
+    #[derive(Clone, Serialize, Deserialize, Default)]
+    struct Count {
+        n: u64,
+    }
+    impl RedObj for Count {}
+    struct Counter;
+    impl Analytics for Counter {
+        type In = f64;
+        type Red = Count;
+        type Out = u64;
+        type Extra = ();
+        fn gen_key(&self, _c: &Chunk, _d: &[f64], _m: &ComMap<Count>) -> Key {
+            0
+        }
+        fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, obj: &mut Option<Count>) {
+            obj.get_or_insert_with(Count::default).n += 1;
+        }
+        fn merge(&self, red: &Count, com: &mut Count) {
+            com.n += red.n;
+        }
+        fn convert(&self, obj: &Count, out: &mut u64) {
+            *out = obj.n;
+        }
+    }
+
+    #[test]
+    fn producer_consumer_pipeline_counts_all_steps() {
+        let pool = smart_pool::shared_pool(2).unwrap();
+        let scheduler = Scheduler::new(Counter, SchedArgs::new(2, 1), pool).unwrap();
+        let mut shared = SpaceShared::new(scheduler, 2);
+        let feeder = shared.feeder();
+
+        let steps = 10usize;
+        let producer = std::thread::spawn(move || {
+            for t in 0..steps {
+                feeder.feed(&vec![t as f64; 64]).unwrap();
+            }
+            feeder.close();
+        });
+
+        let mut out = [0u64];
+        let processed = shared.run_to_end(&mut out).unwrap();
+        producer.join().unwrap();
+        assert_eq!(processed, steps);
+        assert_eq!(out[0], (steps * 64) as u64);
+    }
+
+    #[test]
+    fn run_step_reports_end_of_stream() {
+        let pool = smart_pool::shared_pool(1).unwrap();
+        let scheduler = Scheduler::new(Counter, SchedArgs::new(1, 1), pool).unwrap();
+        let mut shared = SpaceShared::new(scheduler, 1);
+        let feeder = shared.feeder();
+        feeder.feed_owned(vec![1.0, 2.0]).unwrap();
+        feeder.close();
+        let mut out = [0u64];
+        assert!(shared.run_step(&mut out).unwrap());
+        assert!(!shared.run_step(&mut out).unwrap());
+        assert_eq!(out[0], 2);
+    }
+}

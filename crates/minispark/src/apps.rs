@@ -1,0 +1,192 @@
+//! The three Fig. 5 workloads implemented on the RDD API, following the
+//! structure of Spark's own example programs (as the paper did).
+
+use crate::{Rdd, SparkContext};
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Equi-width histogram: `map → (bucket, 1) → reduce_by_key(+)`.
+///
+/// `data` is flat doubles; returns per-bucket counts. Elements are boxed —
+/// a Spark 1.1 `RDD[Double]` stores each element as a `java.lang.Double`
+/// object, and that per-element allocation/indirection is part of the
+/// architecture the paper measured.
+pub fn histogram_spark(
+    ctx: &SparkContext,
+    data: &[f64],
+    min: f64,
+    max: f64,
+    buckets: usize,
+    partitions: usize,
+) -> Vec<u64> {
+    assert!(buckets > 0 && max > min);
+    let width = (max - min) / buckets as f64;
+    let boxed: Vec<Box<f64>> = data.iter().map(|&v| Box::new(v)).collect();
+    let rdd = ctx.parallelize(boxed, partitions);
+    let counts = rdd
+        .map_to_pairs(|v| {
+            let v = **v;
+            let b = if !v.is_finite() || v < min {
+                0
+            } else {
+                (((v - min) / width) as usize).min(buckets - 1)
+            };
+            (b as u64, 1u64)
+        })
+        .reduce_by_key(|a, b| a + b)
+        .collect_map();
+    (0..buckets as u64).map(|b| counts.get(&b).copied().unwrap_or(0)).collect()
+}
+
+/// Batch-gradient logistic regression, Spark-example style: each iteration
+/// maps every record to a gradient vector and tree-aggregates by key 0.
+///
+/// `records` are `dims + 1` doubles each (features, label). Returns the
+/// learned weights after `iters` iterations.
+pub fn logistic_spark(
+    ctx: &SparkContext,
+    records: &[f64],
+    dims: usize,
+    learning_rate: f64,
+    iters: usize,
+    partitions: usize,
+) -> Vec<f64> {
+    assert!(dims > 0 && records.len().is_multiple_of(dims + 1));
+    // One immutable RDD of owned record vectors — per-record allocations,
+    // exactly like the Spark example's RDD[LabeledPoint].
+    let recs: Vec<Vec<f64>> = records.chunks_exact(dims + 1).map(|r| r.to_vec()).collect();
+    let rdd: Rdd<'_, Vec<f64>> = ctx.parallelize(recs, partitions);
+
+    let mut weights = vec![0.0f64; dims];
+    for _ in 0..iters {
+        let w = weights.clone(); // driver broadcast
+        let (grad, count) = rdd
+            .map_to_pairs(move |rec| {
+                let (x, y) = (&rec[..dims], rec[dims]);
+                let dot: f64 = x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum();
+                let err = sigmoid(dot) - y;
+                let g: Vec<f64> = x.iter().map(|xi| err * xi).collect();
+                (0u8, (g, 1u64))
+            })
+            .reduce_by_key(|a, b| {
+                let sum: Vec<f64> = a.0.iter().zip(&b.0).map(|(x, y)| x + y).collect();
+                (sum, a.1 + b.1)
+            })
+            .collect_map()
+            .remove(&0)
+            .unwrap_or((vec![0.0; dims], 0));
+        if count > 0 {
+            for (wi, g) in weights.iter_mut().zip(&grad) {
+                *wi -= learning_rate / count as f64 * g;
+            }
+        }
+    }
+    weights
+}
+
+/// Lloyd's k-means, Spark-example style: per iteration, map each point to
+/// `(nearest, (point, 1))`, reduce by key, recompute centroids at the
+/// driver.
+///
+/// `points` are flat `dims`-dimensional; `init` is `k × dims` flattened.
+pub fn kmeans_spark(
+    ctx: &SparkContext,
+    points: &[f64],
+    dims: usize,
+    init: &[f64],
+    iters: usize,
+    partitions: usize,
+) -> Vec<Vec<f64>> {
+    assert!(dims > 0 && points.len().is_multiple_of(dims));
+    assert!(init.len().is_multiple_of(dims) && !init.is_empty());
+    let pts: Vec<Vec<f64>> = points.chunks_exact(dims).map(|p| p.to_vec()).collect();
+    let rdd: Rdd<'_, Vec<f64>> = ctx.parallelize(pts, partitions);
+
+    let mut centroids: Vec<Vec<f64>> = init.chunks_exact(dims).map(|c| c.to_vec()).collect();
+    for _ in 0..iters {
+        let cents = centroids.clone(); // driver broadcast
+        let sums = rdd
+            .map_to_pairs(move |p| {
+                let mut best = 0u64;
+                let mut best_d = f64::INFINITY;
+                for (j, c) in cents.iter().enumerate() {
+                    let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j as u64;
+                    }
+                }
+                (best, (p.clone(), 1u64))
+            })
+            .reduce_by_key(|a, b| {
+                let sum: Vec<f64> = a.0.iter().zip(&b.0).map(|(x, y)| x + y).collect();
+                (sum, a.1 + b.1)
+            })
+            .collect_map();
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if let Some((sum, n)) = sums.get(&(j as u64)) {
+                if *n > 0 {
+                    for (ci, s) in c.iter_mut().zip(sum) {
+                        *ci = s / *n as f64;
+                    }
+                }
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SparkContext {
+        SparkContext::with_service_threads(2, 0)
+    }
+
+    #[test]
+    fn histogram_counts_every_element() {
+        let c = ctx();
+        let data: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let h = histogram_spark(&c, &data, 0.0, 1.0, 10, 4);
+        assert_eq!(h.iter().sum::<u64>(), 1000);
+        // Near-uniform: float bucket boundaries may shift a value or two.
+        assert!(h.iter().all(|&b| (85..=115).contains(&b)), "{h:?}");
+    }
+
+    #[test]
+    fn logistic_learns_signs() {
+        // Planted linearly separable data: y = [x0 > 0].
+        let c = ctx();
+        let mut records = Vec::new();
+        for i in 0..400 {
+            let x0 = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x1 = ((i * 7) % 11) as f64 / 11.0 - 0.5;
+            records.extend_from_slice(&[x0, x1, f64::from(x0 > 0.0)]);
+        }
+        let w = logistic_spark(&c, &records, 2, 1.0, 20, 4);
+        assert!(w[0] > 0.5, "weights {w:?}");
+        assert!(w[0].abs() > 3.0 * w[1].abs());
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let c = ctx();
+        let mut pts = Vec::new();
+        for i in 0..200 {
+            let jitter = ((i * 13) % 7) as f64 / 70.0;
+            if i % 2 == 0 {
+                pts.extend_from_slice(&[0.0 + jitter, 0.0]);
+            } else {
+                pts.extend_from_slice(&[10.0 + jitter, 10.0]);
+            }
+        }
+        let init = [1.0, 1.0, 9.0, 9.0];
+        let cents = kmeans_spark(&c, &pts, 2, &init, 10, 4);
+        assert!((cents[0][0] - 0.0).abs() < 0.5, "{cents:?}");
+        assert!((cents[1][0] - 10.0).abs() < 0.5, "{cents:?}");
+    }
+}

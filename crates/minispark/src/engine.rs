@@ -1,0 +1,178 @@
+//! The MiniSpark driver context: a worker pool plus the busy "service"
+//! threads a Spark driver runs alongside its executors.
+
+use parking_lot::Mutex;
+use smart_pool::{shared_pool, SharedPool};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-stage timing record: how long each partition's task ran.
+///
+/// Like Smart's `RunStats`, these busy times let the harness compose a
+/// modeled parallel stage time (`max` over a round-robin assignment of
+/// partitions to executors) on hosts with fewer cores than the experiment
+/// calls for.
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    /// Busy time of each partition's task, in partition order.
+    pub partition_busy: Vec<Duration>,
+}
+
+impl StageStats {
+    /// Modeled stage wall time with `workers` executors: partitions are
+    /// assigned round-robin; the stage ends when the busiest executor does.
+    pub fn modeled_wall(&self, workers: usize) -> Duration {
+        assert!(workers > 0);
+        let mut per_worker = vec![Duration::ZERO; workers];
+        for (p, &busy) in self.partition_busy.iter().enumerate() {
+            per_worker[p % workers] += busy;
+        }
+        per_worker.into_iter().max().unwrap_or_default()
+    }
+}
+
+/// Driver context owning the executor pool and service threads.
+pub struct SparkContext {
+    pool: SharedPool,
+    workers: usize,
+    service_stop: Arc<AtomicBool>,
+    service_work: Arc<AtomicU64>,
+    service_handles: Vec<JoinHandle<()>>,
+    service_count: usize,
+    stage_stats: Mutex<Option<Vec<StageStats>>>,
+}
+
+impl SparkContext {
+    /// A context with `workers` executor threads and the default two
+    /// service threads (scheduler heartbeat + driver UI).
+    pub fn new(workers: usize) -> Self {
+        Self::with_service_threads(workers, 2)
+    }
+
+    /// A context with an explicit number of service threads (0 disables the
+    /// effect; used by tests and the ablation bench).
+    pub fn with_service_threads(workers: usize, service: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let pool = shared_pool(workers).expect("worker pool");
+        let service_stop = Arc::new(AtomicBool::new(false));
+        let service_work = Arc::new(AtomicU64::new(0));
+        let service_handles = (0..service)
+            .map(|i| {
+                let stop = Arc::clone(&service_stop);
+                let work = Arc::clone(&service_work);
+                std::thread::Builder::new()
+                    .name(format!("minispark-service-{i}"))
+                    .spawn(move || {
+                        // Periodic bookkeeping: mostly sleeping, with short
+                        // bursts of work — enough to contend for a core when
+                        // executors fully subscribe the machine.
+                        let mut acc = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            for k in 0..20_000u64 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                            }
+                            work.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_micros(500));
+                        }
+                        std::hint::black_box(acc);
+                    })
+                    .expect("service thread")
+            })
+            .collect();
+        SparkContext {
+            pool,
+            workers,
+            service_stop,
+            service_work,
+            service_handles,
+            service_count: service,
+            stage_stats: Mutex::new(None),
+        }
+    }
+
+    /// Start recording per-stage partition timings.
+    pub fn enable_stage_stats(&self) {
+        *self.stage_stats.lock() = Some(Vec::new());
+    }
+
+    /// Take the recorded stage timings (and keep recording).
+    pub fn take_stage_stats(&self) -> Vec<StageStats> {
+        let mut guard = self.stage_stats.lock();
+        match guard.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_stage(&self, stats: StageStats) {
+        if let Some(v) = self.stage_stats.lock().as_mut() {
+            v.push(stats);
+        }
+    }
+
+    /// Executor thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured service threads.
+    pub fn service_threads(&self) -> usize {
+        self.service_count
+    }
+
+    /// Heartbeats performed by the service threads (diagnostic).
+    pub fn service_beats(&self) -> u64 {
+        self.service_work.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn pool(&self) -> &SharedPool {
+        &self.pool
+    }
+
+    /// Distribute `data` across `partitions` partitions as an RDD.
+    pub fn parallelize<T>(&self, data: Vec<T>, partitions: usize) -> crate::Rdd<'_, T>
+    where
+        T: Clone + Send + Sync + serde::Serialize + serde::de::DeserializeOwned,
+    {
+        crate::Rdd::from_vec(self, data, partitions)
+    }
+}
+
+impl Drop for SparkContext {
+    fn drop(&mut self) {
+        self.service_stop.store(true, Ordering::Relaxed);
+        for h in self.service_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_starts_and_stops_service_threads() {
+        let ctx = SparkContext::new(2);
+        assert_eq!(ctx.workers(), 2);
+        assert_eq!(ctx.service_threads(), 2);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(ctx.service_beats() > 0, "service threads should heartbeat");
+        drop(ctx); // must join without hanging
+    }
+
+    #[test]
+    fn zero_service_threads_supported() {
+        let ctx = SparkContext::with_service_threads(1, 0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(ctx.service_beats(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        let _ = SparkContext::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # smart-minispark
+//!
+//! An RDD-architecture analytics engine: the stand-in for Spark 1.1.1 in
+//! the Fig. 5 comparison.
+//!
+//! The paper attributes Spark's order-of-magnitude deficit to three
+//! architectural costs (§5.2), all of which this engine reproduces
+//! faithfully — in the same language and on the same thread substrate as
+//! Smart, so the measured gap is attributable to architecture rather than
+//! JVM-versus-native differences:
+//!
+//! 1. **Key-value emission + grouping.** Every `map` materializes its
+//!    output records; `reduce_by_key` buckets all emitted pairs into
+//!    per-key groups *before* any reduction runs, exactly like the
+//!    map-side output → shuffle → reduce pipeline. Nothing reduces in
+//!    place.
+//! 2. **Immutability.** Every transformation produces a new dataset;
+//!    buffers are never reused across operations or iterations.
+//! 3. **Serialization.** Partitions are serialized and deserialized with
+//!    `smart-wire` at every stage boundary, mirroring Spark shipping
+//!    serialized RDDs through its block manager even in local mode.
+//!
+//! A fourth effect the paper calls out — Spark "launches extra threads for
+//! other tasks, e.g., communication and driver's user interface", which
+//! steals a core at full subscription — is modeled by
+//! [`SparkContext::service_threads`] busy service threads.
+//!
+//! The API is a deliberately small RDD subset: [`Rdd::map`],
+//! [`Rdd::flat_map`], [`Rdd::filter`], [`Rdd::map_to_pairs`],
+//! [`PairRdd::reduce_by_key`], `collect`, `count`.
+
+mod apps;
+mod engine;
+mod rdd;
+
+pub use apps::{histogram_spark, kmeans_spark, logistic_spark};
+pub use engine::{SparkContext, StageStats};
+pub use rdd::{PairRdd, Rdd};

@@ -1,0 +1,286 @@
+//! The RDD subset: immutable, eagerly materialized, serialized between
+//! stages — the three Spark overhead sources of paper §5.2, on purpose.
+
+use crate::engine::SparkContext;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Element bound shared by all RDD contents.
+pub trait Record: Clone + Send + Sync + Serialize + DeserializeOwned {}
+impl<T: Clone + Send + Sync + Serialize + DeserializeOwned> Record for T {}
+
+/// Ship a freshly produced partition across a "stage boundary": serialize,
+/// drop the original, deserialize. Models Spark's block-manager round-trip
+/// (which happens even in local mode, as the paper observes).
+fn ship<T: Record>(partition: Vec<T>) -> Vec<T> {
+    let bytes = smart_wire::to_bytes(&partition).expect("stage serialization");
+    smart_wire::from_bytes(&bytes).expect("stage deserialization")
+}
+
+/// Run `f` once per output partition index on the executor pool.
+fn run_stage<R: Send>(ctx: &SparkContext, nparts: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = ctx.workers().min(nparts.max(1));
+    if nparts == 0 {
+        return Vec::new();
+    }
+    // Static round-robin of partitions over executors.
+    let mut per_worker: Vec<Vec<(R, std::time::Duration)>> =
+        ctx.pool().run_on_workers(workers, |tid| {
+            let mut acc = Vec::new();
+            let mut p = tid;
+            while p < nparts {
+                let started = std::time::Instant::now();
+                let r = f(p);
+                acc.push((r, started.elapsed()));
+                p += workers;
+            }
+            acc
+        });
+    // Stitch back into partition order.
+    let mut out: Vec<Option<R>> = (0..nparts).map(|_| None).collect();
+    let mut busy = vec![std::time::Duration::ZERO; nparts];
+    for (tid, results) in per_worker.iter_mut().enumerate() {
+        for (slot, (r, d)) in results.drain(..).enumerate() {
+            out[tid + slot * workers] = Some(r);
+            busy[tid + slot * workers] = d;
+        }
+    }
+    ctx.record_stage(crate::StageStats { partition_busy: busy });
+    out.into_iter().map(|r| r.expect("partition produced")).collect()
+}
+
+/// An immutable distributed dataset of `T`.
+pub struct Rdd<'ctx, T> {
+    ctx: &'ctx SparkContext,
+    partitions: Vec<Vec<T>>,
+}
+
+impl<'ctx, T: Record> Rdd<'ctx, T> {
+    /// Materialize `data` into `partitions` roughly equal partitions.
+    pub fn from_vec(ctx: &'ctx SparkContext, data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let n = data.len();
+        let base = n / partitions;
+        let extra = n % partitions;
+        let mut parts = Vec::with_capacity(partitions);
+        let mut iter = data.into_iter();
+        for p in 0..partitions {
+            let take = base + usize::from(p < extra);
+            parts.push(iter.by_ref().take(take).collect());
+        }
+        Rdd { ctx, partitions: parts }
+    }
+
+    /// Partition count.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total records.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Record-wise transformation (new immutable RDD, shipped per stage).
+    pub fn map<U: Record>(&self, f: impl Fn(&T) -> U + Sync) -> Rdd<'ctx, U> {
+        let parts = run_stage(self.ctx, self.partitions.len(), |p| {
+            ship(self.partitions[p].iter().map(&f).collect())
+        });
+        Rdd { ctx: self.ctx, partitions: parts }
+    }
+
+    /// Record-wise one-to-many transformation.
+    pub fn flat_map<U: Record>(&self, f: impl Fn(&T) -> Vec<U> + Sync) -> Rdd<'ctx, U> {
+        let parts = run_stage(self.ctx, self.partitions.len(), |p| {
+            ship(self.partitions[p].iter().flat_map(&f).collect())
+        });
+        Rdd { ctx: self.ctx, partitions: parts }
+    }
+
+    /// Keep records satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&T) -> bool + Sync) -> Rdd<'ctx, T> {
+        let parts = run_stage(self.ctx, self.partitions.len(), |p| {
+            ship(self.partitions[p].iter().filter(|t| pred(t)).cloned().collect())
+        });
+        Rdd { ctx: self.ctx, partitions: parts }
+    }
+
+    /// Emit one key-value pair per record (the map side of MapReduce).
+    pub fn map_to_pairs<K, V>(&self, f: impl Fn(&T) -> (K, V) + Sync) -> PairRdd<'ctx, K, V>
+    where
+        K: Record + Eq + Hash,
+        V: Record,
+    {
+        let parts = run_stage(self.ctx, self.partitions.len(), |p| {
+            ship(self.partitions[p].iter().map(&f).collect())
+        });
+        PairRdd { ctx: self.ctx, partitions: parts }
+    }
+
+    /// Gather all records at the driver.
+    pub fn collect(&self) -> Vec<T> {
+        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+}
+
+/// A distributed dataset of key-value pairs.
+pub struct PairRdd<'ctx, K, V> {
+    ctx: &'ctx SparkContext,
+    partitions: Vec<Vec<(K, V)>>,
+}
+
+impl<'ctx, K, V> PairRdd<'ctx, K, V>
+where
+    K: Record + Eq + Hash,
+    V: Record,
+{
+    /// Partition count.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total emitted pairs.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// The MapReduce shuffle + reduce: hash-partition every emitted pair by
+    /// key, **group all values per key**, then fold each group with `f`.
+    ///
+    /// The grouping step is the deliberate architectural cost: all `N×W`
+    /// pairs exist in memory simultaneously before the first reduction —
+    /// exactly what Smart's in-place reduction avoids (paper §2.3.3).
+    pub fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Sync) -> PairRdd<'ctx, K, V> {
+        let nparts = self.partitions.len().max(1);
+
+        // Shuffle write: each input partition buckets its pairs by target.
+        let hash_of = |k: &K| {
+            use std::hash::Hasher;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish() as usize
+        };
+        let buckets: Vec<Vec<Vec<(K, V)>>> = run_stage(self.ctx, self.partitions.len(), |p| {
+            let mut out: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for (k, v) in &self.partitions[p] {
+                out[hash_of(k) % nparts].push((k.clone(), v.clone()));
+            }
+            out.into_iter().map(ship).collect()
+        });
+
+        // Shuffle read + group + reduce per output partition.
+        let parts = run_stage(self.ctx, nparts, |p| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for from in &buckets {
+                for (k, v) in &from[p] {
+                    groups.entry(k.clone()).or_default().push(v.clone());
+                }
+            }
+            let reduced: Vec<(K, V)> = groups
+                .into_iter()
+                .map(|(k, vs)| {
+                    let mut it = vs.into_iter();
+                    let first = it.next().expect("group non-empty");
+                    (k, it.fold(first, |acc, v| f(&acc, &v)))
+                })
+                .collect();
+            ship(reduced)
+        });
+        PairRdd { ctx: self.ctx, partitions: parts }
+    }
+
+    /// Gather all pairs at the driver as a map.
+    pub fn collect_map(&self) -> HashMap<K, V> {
+        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+
+    /// Gather all pairs at the driver.
+    pub fn collect(&self) -> Vec<(K, V)> {
+        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SparkContext {
+        SparkContext::with_service_threads(2, 0)
+    }
+
+    #[test]
+    fn parallelize_partitions_evenly() {
+        let c = ctx();
+        let rdd = c.parallelize((0..10u32).collect(), 3);
+        assert_eq!(rdd.num_partitions(), 3);
+        assert_eq!(rdd.count(), 10);
+        assert_eq!(rdd.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_and_filter_chain() {
+        let c = ctx();
+        let out = c
+            .parallelize((0..100u64).collect(), 4)
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .collect();
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|x| x % 4 == 0));
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let c = ctx();
+        let out = c.parallelize(vec![1u8, 2, 3], 2).flat_map(|&x| vec![x; x as usize]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn reduce_by_key_sums_groups() {
+        let c = ctx();
+        let words = ["a", "b", "a", "c", "b", "a"];
+        let counts = c
+            .parallelize(words.iter().map(|s| s.to_string()).collect(), 3)
+            .map_to_pairs(|w| (w.clone(), 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .collect_map();
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+    }
+
+    #[test]
+    fn reduce_by_key_with_more_keys_than_partitions() {
+        let c = ctx();
+        let pairs = c
+            .parallelize((0..1000i64).collect(), 4)
+            .map_to_pairs(|&x| (x % 37, x))
+            .reduce_by_key(|a, b| a + b);
+        let m = pairs.collect_map();
+        assert_eq!(m.len(), 37);
+        let total: i64 = m.values().sum();
+        assert_eq!(total, (0..1000).sum::<i64>());
+    }
+
+    #[test]
+    fn empty_rdd_is_fine() {
+        let c = ctx();
+        let rdd: Rdd<'_, u32> = c.parallelize(vec![], 3);
+        assert_eq!(rdd.count(), 0);
+        assert!(rdd.map(|x| x + 1).collect().is_empty());
+        let pairs = rdd.map_to_pairs(|&x| (x, 1u8)).reduce_by_key(|a, b| a + b);
+        assert!(pairs.collect_map().is_empty());
+    }
+
+    #[test]
+    fn stage_results_are_order_stable() {
+        // run_stage stitches partitions back in order; mapping must preserve
+        // global record order regardless of executor scheduling.
+        let c = SparkContext::with_service_threads(4, 0);
+        let out = c.parallelize((0..10_000u32).collect(), 16).map(|&x| x).collect();
+        assert_eq!(out, (0..10_000).collect::<Vec<_>>());
+    }
+}

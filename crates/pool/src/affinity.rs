@@ -1,0 +1,55 @@
+//! CPU affinity shim.
+//!
+//! The Smart paper pins each analytics thread to a CPU core (§3.1). Real
+//! pinning needs `sched_setaffinity(2)`, which in Rust requires the `libc`
+//! crate — outside this reproduction's allowed dependency set. Pinning only
+//! affects performance constants, not the algorithm, scheduling, or any
+//! result in the evaluation, so this module keeps the API shape (so a
+//! downstream user can wire in a real implementation) and records intent
+//! instead of issuing the syscall.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static PIN_REQUESTS: AtomicUsize = AtomicUsize::new(0);
+
+/// Request that the calling thread be pinned to `core`.
+///
+/// Best-effort: on this build it records the request (visible via
+/// [`pin_requests`]) and returns the core that *would* be used, modulo the
+/// detected parallelism so requests never target nonexistent cores.
+pub fn pin_to_core(core: usize) -> usize {
+    PIN_REQUESTS.fetch_add(1, Ordering::Relaxed);
+    core % available_cores().max(1)
+}
+
+/// Number of cores the host exposes to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// How many pin requests have been issued process-wide (test/diagnostic aid).
+pub fn pin_requests() -> usize {
+    PIN_REQUESTS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_wraps_to_available_cores() {
+        let cores = available_cores();
+        assert!(cores >= 1);
+        let effective = pin_to_core(cores + 3);
+        assert!(effective < cores);
+        assert_eq!(effective, (cores + 3) % cores);
+    }
+
+    #[test]
+    fn pin_requests_are_counted() {
+        let before = pin_requests();
+        pin_to_core(0);
+        pin_to_core(1);
+        assert!(pin_requests() >= before + 2);
+    }
+}

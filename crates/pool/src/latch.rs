@@ -1,0 +1,117 @@
+//! A one-shot countdown latch.
+//!
+//! The pool's fork-join needs a completion barrier that (a) is cheap to
+//! create per job and (b) establishes a happens-before edge from every
+//! worker's writes to the submitter's reads of the result slots. A mutex +
+//! condvar latch gives both (see "Rust Atomics and Locks" ch. 1/9 for the
+//! pattern); parking_lot keeps the uncontended path fast.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Blocks waiters until `count_down` has been called `n` times.
+#[derive(Debug)]
+pub struct CountdownLatch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl CountdownLatch {
+    /// Latch that opens after `n` count-downs. `n == 0` is open immediately.
+    pub fn new(n: usize) -> Self {
+        CountdownLatch { remaining: Mutex::new(n), all_done: Condvar::new() }
+    }
+
+    /// Record one completion. The `n`-th call wakes all waiters.
+    ///
+    /// # Panics
+    /// Panics if called more than `n` times — that always indicates a pool
+    /// bookkeeping bug, and silently wrapping would hide lost wakeups.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining = remaining.checked_sub(1).expect("countdown latch underflow");
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Block until the latch opens.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.all_done.wait(&mut remaining);
+        }
+    }
+
+    /// Non-blocking check.
+    pub fn is_open(&self) -> bool {
+        *self.remaining.lock() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_latch_is_open() {
+        let latch = CountdownLatch::new(0);
+        assert!(latch.is_open());
+        latch.wait(); // must not block
+    }
+
+    #[test]
+    fn opens_after_n_countdowns() {
+        let latch = CountdownLatch::new(3);
+        latch.count_down();
+        latch.count_down();
+        assert!(!latch.is_open());
+        latch.count_down();
+        assert!(latch.is_open());
+        latch.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn extra_countdown_panics() {
+        let latch = CountdownLatch::new(1);
+        latch.count_down();
+        latch.count_down();
+    }
+
+    #[test]
+    fn wait_blocks_until_workers_finish() {
+        let latch = Arc::new(CountdownLatch::new(4));
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let latch = Arc::clone(&latch);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                latch.count_down();
+            }));
+        }
+        latch.wait();
+        // happens-before: all four increments are visible after wait()
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 4);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn many_waiters_all_released() {
+        let latch = Arc::new(CountdownLatch::new(1));
+        let mut waiters = Vec::new();
+        for _ in 0..8 {
+            let latch = Arc::clone(&latch);
+            waiters.push(std::thread::spawn(move || latch.wait()));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        latch.count_down();
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! # smart-pool
+//!
+//! A persistent worker thread pool with *static split scheduling* — the
+//! OpenMP stand-in underneath the Smart runtime.
+//!
+//! The Smart scheduler (paper §3.1) divides every data block equally into
+//! `num_threads` splits and assigns split *i* to thread *i* for the lifetime
+//! of the job, binding each thread to a CPU core. This crate reproduces that
+//! execution model:
+//!
+//! * [`ThreadPool`] keeps `size` workers parked between jobs (no spawn cost
+//!   per time-step, which matters because a simulation launches one analytics
+//!   job per time-step);
+//! * [`ThreadPool::run_on_workers`] runs one closure instance per worker over
+//!   borrowed data — a scoped fork-join, like an `omp parallel` region;
+//! * [`split_range`]/[`Splits`] compute the static partitioning of a block
+//!   into per-thread splits, aligned to chunk boundaries so no processing
+//!   unit ever straddles two threads;
+//! * [`affinity`] is the core-pinning shim (see module docs for why it is
+//!   best-effort here).
+//!
+//! ```
+//! use smart_pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4).unwrap();
+//! let data: Vec<u64> = (0..1000).collect();
+//! let partials = pool.run_on_workers(4, |tid| {
+//!     let split = smart_pool::split_range(data.len(), 4, tid, 1);
+//!     data[split].iter().sum::<u64>()
+//! });
+//! assert_eq!(partials.iter().sum::<u64>(), 1000 * 999 / 2);
+//! ```
+
+pub mod affinity;
+mod latch;
+mod splits;
+
+pub use latch::CountdownLatch;
+pub use splits::{split_range, Splits};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Errors from pool construction and job submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A pool must have at least one worker.
+    ZeroWorkers,
+    /// A job asked for more workers than the pool has.
+    TooManyWorkers {
+        /// Workers requested.
+        requested: usize,
+        /// Workers available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroWorkers => write!(f, "thread pool needs at least one worker"),
+            PoolError::TooManyWorkers { requested, available } => {
+                write!(f, "job requested {requested} workers but the pool has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A unit of work handed to a worker: an erased pointer to the shared job
+/// plus the worker-local index to run.
+///
+/// SAFETY CONTRACT: the pointed-to `JobShared` outlives the job because
+/// `run_on_workers` blocks on the completion latch before returning, and the
+/// latch counts down only after the last worker has finished using the
+/// pointer.
+struct Task {
+    job: *const (),
+    run: unsafe fn(*const (), usize),
+    tid: usize,
+}
+
+// SAFETY: `job` points at a `JobShared<F, R>` whose closure is `Sync` and
+// whose result slots are written by exactly one worker each (disjoint
+// indices), as enforced by `run_on_workers`.
+unsafe impl Send for Task {}
+
+struct JobShared<'f, F, R> {
+    f: &'f F,
+    results: *mut Option<R>,
+    latch: CountdownLatch,
+}
+
+/// Worker entry for one task: run the closure for `tid` and store the result
+/// in the `tid`-th slot.
+///
+/// # Safety
+/// `job` must point at a live `JobShared<F, R>` and `tid` must be a unique
+/// in-bounds index for this job.
+unsafe fn run_task<F, R>(job: *const (), tid: usize)
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    let shared = &*(job as *const JobShared<'_, F, R>);
+    let result = (shared.f)(tid);
+    // Each worker writes a distinct slot; slots were pre-sized by the caller.
+    *shared.results.add(tid) = Some(result);
+    shared.latch.count_down();
+}
+
+enum Message {
+    Run(Task),
+    Shutdown,
+}
+
+/// Persistent fixed-size worker pool with per-worker task queues.
+///
+/// Workers are indexed `0..size`. Jobs submitted through
+/// [`run_on_workers`](ThreadPool::run_on_workers) use workers `0..n`; the
+/// mapping from split to worker is static, mirroring Smart's split-per-thread
+/// scheduling (and making per-thread reduction maps cache-friendly across
+/// time-steps).
+pub struct ThreadPool {
+    senders: Vec<Sender<Message>>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("size", &self.size).finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `size` workers, each best-effort pinned to core
+    /// `first_core + index` where `first_core = 0`.
+    pub fn new(size: usize) -> Result<Self, PoolError> {
+        Self::with_core_offset(size, 0)
+    }
+
+    /// Spawn a pool whose worker `i` is best-effort pinned to core
+    /// `first_core + i`. Space-sharing mode uses two pools with disjoint core
+    /// ranges — one group for simulation, one for analytics (paper Fig. 4).
+    pub fn with_core_offset(size: usize, first_core: usize) -> Result<Self, PoolError> {
+        if size == 0 {
+            return Err(PoolError::ZeroWorkers);
+        }
+        let mut senders = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for i in 0..size {
+            let (tx, rx): (Sender<Message>, Receiver<Message>) = channel::unbounded();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("smart-worker-{i}"))
+                .spawn(move || {
+                    affinity::pin_to_core(first_core + i);
+                    worker_loop(rx);
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Ok(ThreadPool { senders, handles, size })
+    }
+
+    /// Number of workers in the pool.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f(tid)` for every `tid in 0..n` concurrently on the first `n`
+    /// workers, blocking until all complete, and return the results in tid
+    /// order.
+    ///
+    /// `f` may borrow from the caller's stack: the call does not return until
+    /// every worker is done with the borrow (scoped-pool pattern; the
+    /// completion latch provides the happens-before edge).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the pool size, or if a worker panics (the panic
+    /// is surfaced as a missing result).
+    pub fn run_on_workers<F, R>(&self, n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        self.try_run_on_workers(n, f).expect("run_on_workers misuse")
+    }
+
+    /// Fallible variant of [`run_on_workers`](Self::run_on_workers).
+    pub fn try_run_on_workers<F, R>(&self, n: usize, f: F) -> Result<Vec<R>, PoolError>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        if n > self.size {
+            return Err(PoolError::TooManyWorkers { requested: n, available: self.size });
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+
+        let shared = JobShared { f: &f, results: results.as_mut_ptr(), latch: CountdownLatch::new(n) };
+
+        for tid in 0..n {
+            let task = Task {
+                job: &shared as *const JobShared<'_, F, R> as *const (),
+                run: run_task::<F, R>,
+                tid,
+            };
+            self.senders[tid].send(Message::Run(task)).expect("worker thread died");
+        }
+
+        // Block until every worker has stored its result and released its
+        // reference to `shared` / `f` / `results`.
+        shared.latch.wait();
+
+        Ok(results
+            .into_iter()
+            .enumerate()
+            .map(|(tid, r)| r.unwrap_or_else(|| panic!("worker {tid} panicked during job")))
+            .collect())
+    }
+
+    /// Convenience: split `len` elements into `n` chunk-aligned splits and
+    /// reduce each on its own worker, returning per-split results.
+    pub fn map_splits<R>(
+        &self,
+        len: usize,
+        n: usize,
+        chunk_size: usize,
+        f: impl Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    ) -> Vec<R>
+    where
+        R: Send,
+    {
+        self.run_on_workers(n, |tid| {
+            let range = split_range(len, n, tid, chunk_size);
+            f(tid, range)
+        })
+    }
+}
+
+fn worker_loop(rx: Receiver<Message>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Message::Run(task) => {
+                // SAFETY: `run_on_workers` keeps the job alive until the
+                // latch (counted down inside `task.run`) opens.
+                unsafe { (task.run)(task.job, task.tid) };
+            }
+            Message::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // A worker that already exited has disconnected its channel;
+            // that's fine during teardown.
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A shared, cheaply clonable pool handle.
+pub type SharedPool = Arc<ThreadPool>;
+
+/// Create a pool wrapped in an [`Arc`] so simulation and analytics components
+/// can share it.
+pub fn shared_pool(size: usize) -> Result<SharedPool, PoolError> {
+    Ok(Arc::new(ThreadPool::new(size)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        assert_eq!(ThreadPool::new(0).unwrap_err(), PoolError::ZeroWorkers);
+    }
+
+    #[test]
+    fn runs_closure_once_per_worker() {
+        let pool = ThreadPool::new(4).unwrap();
+        let counter = AtomicUsize::new(0);
+        let tids = pool.run_on_workers(4, |tid| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            tid
+        });
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn can_use_fewer_workers_than_pool_size() {
+        let pool = ThreadPool::new(8).unwrap();
+        let r = pool.run_on_workers(3, |tid| tid * 10);
+        assert_eq!(r, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn zero_width_job_returns_empty() {
+        let pool = ThreadPool::new(2).unwrap();
+        let r: Vec<usize> = pool.run_on_workers(0, |tid| tid);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversubscription_is_an_error() {
+        let pool = ThreadPool::new(2).unwrap();
+        let err = pool.try_run_on_workers(3, |t| t).unwrap_err();
+        assert_eq!(err, PoolError::TooManyWorkers { requested: 3, available: 2 });
+    }
+
+    #[test]
+    fn borrows_caller_data_safely() {
+        let pool = ThreadPool::new(4).unwrap();
+        let data: Vec<u64> = (0..10_000).collect();
+        let partials = pool.run_on_workers(4, |tid| {
+            let r = split_range(data.len(), 4, tid, 1);
+            data[r].iter().sum::<u64>()
+        });
+        assert_eq!(partials.iter().sum::<u64>(), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn results_come_back_in_tid_order_despite_uneven_work() {
+        let pool = ThreadPool::new(4).unwrap();
+        let r = pool.run_on_workers(4, |tid| {
+            // Make early tids slowest so completion order inverts tid order.
+            std::thread::sleep(std::time::Duration::from_millis(5 * (4 - tid as u64)));
+            tid
+        });
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_workers() {
+        let pool = ThreadPool::new(2).unwrap();
+        for step in 0..50 {
+            let r = pool.run_on_workers(2, |tid| step * 2 + tid);
+            assert_eq!(r, vec![step * 2, step * 2 + 1]);
+        }
+    }
+
+    #[test]
+    fn map_splits_covers_all_elements_exactly_once() {
+        let pool = ThreadPool::new(3).unwrap();
+        let hits = (0..100).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.map_splits(100, 3, 1, |_tid, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_data_parallelism_from_multiple_client_threads() {
+        // Two client threads can't share the same workers concurrently
+        // (static assignment), so give each its own pool, as space-sharing
+        // mode does.
+        let sim_pool = ThreadPool::new(2).unwrap();
+        let ana_pool = ThreadPool::new(2).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let r = sim_pool.run_on_workers(2, |t| t + 1);
+                assert_eq!(r, vec![1, 2]);
+            });
+            s.spawn(|| {
+                let r = ana_pool.run_on_workers(2, |t| t + 10);
+                assert_eq!(r, vec![10, 11]);
+            });
+        });
+    }
+
+    #[test]
+    fn shared_pool_is_shareable() {
+        let pool = shared_pool(2).unwrap();
+        let p2 = Arc::clone(&pool);
+        let r = p2.run_on_workers(2, |t| t);
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn heavy_parallel_sum_matches_sequential() {
+        let pool = ThreadPool::new(4).unwrap();
+        let data: Vec<f64> = (0..1_000_000).map(|i| (i % 97) as f64).collect();
+        let expected: f64 = data.iter().sum();
+        let partials = pool.map_splits(data.len(), 4, 1, |_t, r| data[r].iter().sum::<f64>());
+        let got: f64 = partials.iter().sum();
+        assert!((got - expected).abs() < 1e-6);
+    }
+}

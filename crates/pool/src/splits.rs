@@ -1,0 +1,188 @@
+//! Static split scheduling.
+//!
+//! Smart's runtime "equally divides [each block] into multiple splits, where
+//! each split is assigned to a thread" (paper §3.1). Splits must be aligned
+//! to the unit-chunk size so a processing unit (e.g. one k-means point of
+//! `dims` values) never straddles two threads.
+
+use std::ops::Range;
+
+/// The element range of split `tid` out of `nsplits` over `len` elements,
+/// aligned so boundaries fall on multiples of `chunk_size`.
+///
+/// Chunks (not raw elements) are distributed as evenly as possible: the first
+/// `total_chunks % nsplits` splits get one extra chunk. Trailing elements
+/// that do not fill a whole chunk are appended to the last split, where the
+/// runtime ignores them (mirroring the paper's fixed-size unit chunks).
+///
+/// # Panics
+/// Panics if `nsplits == 0`, `chunk_size == 0`, or `tid >= nsplits`.
+pub fn split_range(len: usize, nsplits: usize, tid: usize, chunk_size: usize) -> Range<usize> {
+    assert!(nsplits > 0, "nsplits must be positive");
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert!(tid < nsplits, "tid {tid} out of range for {nsplits} splits");
+
+    let total_chunks = len / chunk_size;
+    let base = total_chunks / nsplits;
+    let extra = total_chunks % nsplits;
+
+    let my_chunks = base + usize::from(tid < extra);
+    let start_chunk = tid * base + tid.min(extra);
+
+    let start = start_chunk * chunk_size;
+    let mut end = start + my_chunks * chunk_size;
+    if tid == nsplits - 1 {
+        end = len; // trailing partial chunk, if any, rides with the last split
+    }
+    start..end
+}
+
+/// Iterator over all splits of a block.
+#[derive(Debug, Clone)]
+pub struct Splits {
+    len: usize,
+    nsplits: usize,
+    chunk_size: usize,
+    next: usize,
+}
+
+impl Splits {
+    /// Splits of `len` elements into `nsplits` chunk-aligned ranges.
+    pub fn new(len: usize, nsplits: usize, chunk_size: usize) -> Self {
+        assert!(nsplits > 0 && chunk_size > 0);
+        Splits { len, nsplits, chunk_size, next: 0 }
+    }
+}
+
+impl Iterator for Splits {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.nsplits {
+            return None;
+        }
+        let r = split_range(self.len, self.nsplits, self.next, self.chunk_size);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.nsplits - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Splits {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_partition_the_block() {
+        let r: Vec<_> = Splits::new(100, 4, 1).collect();
+        assert_eq!(r, vec![0..25, 25..50, 50..75, 75..100]);
+    }
+
+    #[test]
+    fn uneven_lengths_spread_remainder_to_front() {
+        let r: Vec<_> = Splits::new(10, 3, 1).collect();
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn chunk_alignment_is_respected() {
+        // 7 chunks of 3 elements over 3 splits: 3/2/2 chunks.
+        let r: Vec<_> = Splits::new(21, 3, 3).collect();
+        assert_eq!(r, vec![0..9, 9..15, 15..21]);
+        for range in r {
+            assert_eq!(range.start % 3, 0);
+        }
+    }
+
+    #[test]
+    fn trailing_partial_chunk_goes_to_last_split() {
+        // 23 elements, chunk 3 → 7 chunks + 2 trailing elements.
+        let r: Vec<_> = Splits::new(23, 3, 3).collect();
+        assert_eq!(r.last().unwrap().end, 23);
+        assert_eq!(r[0], 0..9);
+    }
+
+    #[test]
+    fn more_splits_than_chunks_leaves_some_empty() {
+        let r: Vec<_> = Splits::new(2, 4, 1).collect();
+        assert_eq!(r, vec![0..1, 1..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn empty_block_gives_empty_splits() {
+        let r: Vec<_> = Splits::new(0, 3, 5).collect();
+        assert!(r.iter().all(|r| r.is_empty()));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_size_panics() {
+        let _ = split_range(10, 2, 0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tid_out_of_range_panics() {
+        let _ = split_range(10, 2, 2, 1);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let s = Splits::new(10, 4, 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn splits_cover_exactly_once(
+            len in 0usize..10_000,
+            nsplits in 1usize..17,
+            chunk in 1usize..9,
+        ) {
+            let ranges: Vec<_> = Splits::new(len, nsplits, chunk).collect();
+            prop_assert_eq!(ranges.len(), nsplits);
+            // contiguous, ordered, covering 0..len
+            let mut cursor = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, len);
+        }
+
+        #[test]
+        fn interior_boundaries_are_chunk_aligned(
+            len in 0usize..10_000,
+            nsplits in 1usize..17,
+            chunk in 1usize..9,
+        ) {
+            let ranges: Vec<_> = Splits::new(len, nsplits, chunk).collect();
+            for r in ranges.iter().take(nsplits - 1) {
+                prop_assert_eq!(r.start % chunk, 0);
+                prop_assert_eq!(r.end % chunk, 0);
+            }
+        }
+
+        #[test]
+        fn split_sizes_differ_by_at_most_one_chunk(
+            chunks in 0usize..1000,
+            nsplits in 1usize..17,
+            chunk in 1usize..9,
+        ) {
+            let len = chunks * chunk;
+            let sizes: Vec<usize> =
+                Splits::new(len, nsplits, chunk).map(|r| r.len() / chunk).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The sequential array emulator from the paper's Spark comparison (§5.2).
+//!
+//! For Fig. 5 the authors replace the real simulation with "a sequential
+//! program that outputs double precision array elements that follow a normal
+//! distribution", so the comparison isolates the analytics engines. Three
+//! generators cover the three workloads:
+//!
+//! * [`NormalEmulator`] — normal-distribution doubles (histogram);
+//! * [`LabeledEmulator`] — labeled feature vectors drawn from a planted
+//!   logistic model (logistic regression);
+//! * [`ClusteredEmulator`] — points around `k` planted centroids (k-means).
+//!
+//! All are seeded and deterministic, so Smart and the baselines analyze
+//! byte-identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Standard normal sample via Box–Muller (`rand` 0.10 carries no normal
+/// distribution; `rand_distr` is outside the allowed dependency set).
+fn box_muller(rng: &mut StdRng) -> f64 {
+    // u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Emits time-steps of normally distributed doubles.
+#[derive(Debug)]
+pub struct NormalEmulator {
+    rng: StdRng,
+    mean: f64,
+    std_dev: f64,
+    steps_taken: usize,
+}
+
+impl NormalEmulator {
+    /// Generator of `N(mean, std_dev²)` samples.
+    pub fn new(seed: u64, mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev > 0.0, "std_dev must be positive");
+        NormalEmulator { rng: StdRng::seed_from_u64(seed), mean, std_dev, steps_taken: 0 }
+    }
+
+    /// Standard normal generator.
+    pub fn standard(seed: u64) -> Self {
+        Self::new(seed, 0.0, 1.0)
+    }
+
+    /// Produce the next time-step of `len` elements.
+    pub fn step(&mut self, len: usize) -> Vec<f64> {
+        self.steps_taken += 1;
+        (0..len).map(|_| self.mean + self.std_dev * box_muller(&mut self.rng)).collect()
+    }
+
+    /// Fill `buf` in place (no allocation) with the next time-step.
+    pub fn step_into(&mut self, buf: &mut [f64]) {
+        self.steps_taken += 1;
+        for v in buf.iter_mut() {
+            *v = self.mean + self.std_dev * box_muller(&mut self.rng);
+        }
+    }
+
+    /// Time-steps produced so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+}
+
+/// Emits labeled feature vectors `[x₁..x_d, y]` from a planted logistic
+/// model: `y = 1` with probability `σ(w*·x)`.
+#[derive(Debug)]
+pub struct LabeledEmulator {
+    rng: StdRng,
+    /// Planted ground-truth weights, one per feature dimension.
+    weights: Vec<f64>,
+}
+
+impl LabeledEmulator {
+    /// Planted model with `dims` features and fixed alternating weights.
+    pub fn new(seed: u64, dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        let weights = (0..dims).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        LabeledEmulator { rng: StdRng::seed_from_u64(seed), weights }
+    }
+
+    /// Feature dimensionality (record length is `dims + 1`).
+    pub fn dims(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The planted ground-truth weights.
+    pub fn true_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Produce `n` records, each `dims + 1` doubles (features then label).
+    pub fn step(&mut self, n: usize) -> Vec<f64> {
+        let d = self.dims();
+        let mut out = Vec::with_capacity(n * (d + 1));
+        for _ in 0..n {
+            let mut dot = 0.0;
+            for w in &self.weights {
+                let x: f64 = self.rng.random_range(-1.0..1.0);
+                dot += w * x;
+                out.push(x);
+            }
+            let p = 1.0 / (1.0 + (-dot).exp());
+            let y = f64::from(self.rng.random::<f64>() < p);
+            out.push(y);
+        }
+        out
+    }
+}
+
+/// Emits points scattered around `k` planted centroids.
+#[derive(Debug)]
+pub struct ClusteredEmulator {
+    rng: StdRng,
+    centroids: Vec<Vec<f64>>,
+    noise: f64,
+}
+
+impl ClusteredEmulator {
+    /// `k` planted centroids in `dims` dimensions, spread on a diagonal so
+    /// they are well separated; points get `N(0, noise²)` jitter.
+    pub fn new(seed: u64, k: usize, dims: usize, noise: f64) -> Self {
+        assert!(k > 0 && dims > 0, "k and dims must be positive");
+        assert!(noise >= 0.0);
+        let centroids = (0..k)
+            .map(|c| (0..dims).map(|d| (c as f64) * 10.0 + (d as f64) * 0.1).collect())
+            .collect();
+        ClusteredEmulator { rng: StdRng::seed_from_u64(seed), centroids, noise }
+    }
+
+    /// Point dimensionality.
+    pub fn dims(&self) -> usize {
+        self.centroids[0].len()
+    }
+
+    /// The planted centroids.
+    pub fn true_centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Produce `n` points (flat layout, `dims` doubles each).
+    pub fn step(&mut self, n: usize) -> Vec<f64> {
+        let k = self.centroids.len();
+        let d = self.dims();
+        let mut out = Vec::with_capacity(n * d);
+        for _ in 0..n {
+            let c = self.rng.random_range(0..k);
+            for j in 0..d {
+                out.push(self.centroids[c][j] + self.noise * box_muller(&mut self.rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_emulator_is_deterministic() {
+        let mut a = NormalEmulator::standard(42);
+        let mut b = NormalEmulator::standard(42);
+        assert_eq!(a.step(100), b.step(100));
+        assert_eq!(a.steps_taken(), 1);
+    }
+
+    #[test]
+    fn normal_emulator_different_seeds_differ() {
+        let mut a = NormalEmulator::standard(1);
+        let mut b = NormalEmulator::standard(2);
+        assert_ne!(a.step(100), b.step(100));
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut e = NormalEmulator::new(7, 5.0, 2.0);
+        let xs = e.step(200_000);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        let mut a = NormalEmulator::standard(9);
+        let mut b = NormalEmulator::standard(9);
+        let v = a.step(64);
+        let mut buf = vec![0.0; 64];
+        b.step_into(&mut buf);
+        assert_eq!(v, buf);
+    }
+
+    #[test]
+    fn labeled_records_have_unit_labels_and_right_len() {
+        let mut e = LabeledEmulator::new(3, 15);
+        let recs = e.step(100);
+        assert_eq!(recs.len(), 100 * 16);
+        for rec in recs.chunks(16) {
+            let y = rec[15];
+            assert!(y == 0.0 || y == 1.0);
+            assert!(rec[..15].iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn labels_correlate_with_planted_model() {
+        let mut e = LabeledEmulator::new(11, 8);
+        let w = e.true_weights().to_vec();
+        let recs = e.step(5000);
+        let mut agree = 0;
+        for rec in recs.chunks(9) {
+            let dot: f64 = rec[..8].iter().zip(&w).map(|(x, wi)| x * wi).sum();
+            let pred = f64::from(dot > 0.0);
+            if pred == rec[8] {
+                agree += 1;
+            }
+        }
+        // A planted logistic model is far better than chance.
+        assert!(agree > 3200, "agreement {agree}/5000");
+    }
+
+    #[test]
+    fn clustered_points_sit_near_their_centroids() {
+        let mut e = ClusteredEmulator::new(5, 4, 3, 0.5);
+        let pts = e.step(2000);
+        assert_eq!(pts.len(), 2000 * 3);
+        let centroids = e.true_centroids().to_vec();
+        for p in pts.chunks(3) {
+            let nearest = centroids
+                .iter()
+                .map(|c| c.iter().zip(p).map(|(a, b)| (a - b).powi(2)).sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 25.0, "point too far from all centroids: {nearest}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn zero_std_dev_rejected() {
+        let _ = NormalEmulator::new(0, 0.0, 0.0);
+    }
+}

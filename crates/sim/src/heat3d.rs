@@ -1,0 +1,309 @@
+//! Heat3D: explicit 3-D heat diffusion with slab decomposition.
+//!
+//! Solves ∂u/∂t = α ∇²u on an `nx × ny × nz` grid with Dirichlet boundaries,
+//! using the standard 7-point explicit stencil
+//!
+//! ```text
+//! u'(x,y,z) = u + r * (u(x±1) + u(y±1) + u(z±1) - 6u),   r = α Δt / Δx²
+//! ```
+//!
+//! which is stable for `r ≤ 1/6`. The global grid is decomposed into Z slabs
+//! across ranks; each step exchanges one ghost plane with each neighbor
+//! (point-to-point, the communication pattern the paper notes does *not* fit
+//! MapReduce and must stay in the simulation, §2.3.2).
+
+use smart_comm::{CommResult, Communicator, Tag};
+
+const TAG_UP: Tag = 101; // plane traveling toward higher ranks
+const TAG_DOWN: Tag = 102; // plane traveling toward lower ranks
+
+/// Per-rank Heat3D simulation state.
+#[derive(Debug)]
+pub struct Heat3D {
+    nx: usize,
+    ny: usize,
+    nz_global: usize,
+    /// Owned (non-ghost) planes on this rank.
+    nz_local: usize,
+    /// First owned global plane index.
+    z_offset: usize,
+    rank: usize,
+    size: usize,
+    /// `r = α Δt / Δx²`; must be ≤ 1/6 for stability.
+    r: f64,
+    /// Field including one ghost plane on each side:
+    /// `(nz_local + 2) * ny * nx` values, plane-major.
+    grid: Vec<f64>,
+    next: Vec<f64>,
+    /// Owned planes copied out for `output()` (the simulation's "output
+    /// buffer" that Smart's read pointer aliases).
+    out: Vec<f64>,
+    steps_taken: usize,
+}
+
+/// How many planes rank `r` of `size` owns, and its first global plane.
+fn slab(nz: usize, size: usize, rank: usize) -> (usize, usize) {
+    let base = nz / size;
+    let extra = nz % size;
+    let mine = base + usize::from(rank < extra);
+    let offset = rank * base + rank.min(extra);
+    (mine, offset)
+}
+
+impl Heat3D {
+    /// Create the rank-local slab of an `nx × ny × nz` problem.
+    ///
+    /// The initial condition is a hot block (value `100`) in the center of
+    /// the global domain over a cold (`0`) background, with `0` Dirichlet
+    /// boundaries.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero, if there are more ranks than Z
+    /// planes, or if `r > 1/6` (unstable).
+    pub fn new(nx: usize, ny: usize, nz: usize, r: f64, rank: usize, size: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(size > 0 && rank < size, "invalid rank/size");
+        assert!(nz >= size, "more ranks ({size}) than Z planes ({nz})");
+        assert!(r > 0.0 && r <= 1.0 / 6.0, "r = {r} violates explicit stability (r <= 1/6)");
+
+        let (nz_local, z_offset) = slab(nz, size, rank);
+        let plane = nx * ny;
+        let mut grid = vec![0.0; (nz_local + 2) * plane];
+
+        // Hot block: central third of each dimension.
+        let hot = |lo: usize, hi: usize, i: usize| i >= lo + (hi - lo) / 3 && i < lo + 2 * (hi - lo) / 3;
+        for zl in 0..nz_local {
+            let zg = z_offset + zl;
+            if hot(0, nz, zg) {
+                for y in 0..ny {
+                    if hot(0, ny, y) {
+                        for x in 0..nx {
+                            if hot(0, nx, x) {
+                                grid[(zl + 1) * plane + y * nx + x] = 100.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let next = grid.clone();
+        let out = vec![0.0; nz_local * plane];
+        Heat3D { nx, ny, nz_global: nz, nz_local, z_offset, rank, size, r, grid, next, out, steps_taken: 0 }
+    }
+
+    /// Single-rank convenience constructor.
+    pub fn serial(nx: usize, ny: usize, nz: usize, r: f64) -> Self {
+        Self::new(nx, ny, nz, r, 0, 1)
+    }
+
+    /// Elements in this rank's output partition (`nz_local * ny * nx`).
+    pub fn partition_len(&self) -> usize {
+        self.nz_local * self.ny * self.nx
+    }
+
+    /// First global element index of this rank's partition.
+    pub fn partition_offset(&self) -> usize {
+        self.z_offset * self.ny * self.nx
+    }
+
+    /// Total elements in the global field.
+    pub fn global_len(&self) -> usize {
+        self.nz_global * self.ny * self.nx
+    }
+
+    /// Time-steps advanced so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    fn exchange_halos(&mut self, comm: &mut Communicator) -> CommResult<()> {
+        let plane = self.nx * self.ny;
+        let nzl = self.nz_local;
+
+        // Even/odd rank phasing avoids head-of-line blocking on the
+        // unbuffered cost model; with buffered channels it is still tidy.
+        let below = (self.rank > 0).then(|| self.rank - 1);
+        let above = (self.rank + 1 < self.size).then(|| self.rank + 1);
+
+        if let Some(above) = above {
+            let top_owned = self.grid[nzl * plane..(nzl + 1) * plane].to_vec();
+            comm.send(above, TAG_UP, &top_owned)?;
+        }
+        if let Some(below) = below {
+            let bottom_owned = self.grid[plane..2 * plane].to_vec();
+            comm.send(below, TAG_DOWN, &bottom_owned)?;
+        }
+        if let Some(below) = below {
+            let ghost: Vec<f64> = comm.recv(below, TAG_UP)?;
+            self.grid[..plane].copy_from_slice(&ghost);
+        }
+        if let Some(above) = above {
+            let ghost: Vec<f64> = comm.recv(above, TAG_DOWN)?;
+            self.grid[(nzl + 1) * plane..].copy_from_slice(&ghost);
+        }
+        Ok(())
+    }
+
+    fn stencil(&mut self) {
+        let (nx, ny) = (self.nx, self.ny);
+        let plane = nx * ny;
+        let r = self.r;
+        for zl in 1..=self.nz_local {
+            let zg = self.z_offset + zl - 1;
+            for y in 0..ny {
+                for x in 0..nx {
+                    let idx = zl * plane + y * nx + x;
+                    let u = self.grid[idx];
+                    // Dirichlet 0 outside the global domain.
+                    let xm = if x > 0 { self.grid[idx - 1] } else { 0.0 };
+                    let xp = if x + 1 < nx { self.grid[idx + 1] } else { 0.0 };
+                    let ym = if y > 0 { self.grid[idx - nx] } else { 0.0 };
+                    let yp = if y + 1 < ny { self.grid[idx + nx] } else { 0.0 };
+                    let zm = if zg > 0 { self.grid[idx - plane] } else { 0.0 };
+                    let zp = if zg + 1 < self.nz_global { self.grid[idx + plane] } else { 0.0 };
+                    self.next[idx] = u + r * (xm + xp + ym + yp + zm + zp - 6.0 * u);
+                }
+            }
+        }
+        std::mem::swap(&mut self.grid, &mut self.next);
+    }
+
+    /// Advance one time-step: halo exchange, stencil, publish output.
+    /// Returns the freshly simulated per-rank partition.
+    pub fn step(&mut self, comm: &mut Communicator) -> CommResult<&[f64]> {
+        if self.size > 1 {
+            self.exchange_halos(comm)?;
+        }
+        self.step_local();
+        Ok(&self.out)
+    }
+
+    /// Advance one time-step without communication (single-rank runs).
+    pub fn step_serial(&mut self) -> &[f64] {
+        assert_eq!(self.size, 1, "step_serial on a multi-rank simulation");
+        self.step_local();
+        &self.out
+    }
+
+    fn step_local(&mut self) {
+        self.stencil();
+        let plane = self.nx * self.ny;
+        self.out.copy_from_slice(&self.grid[plane..(self.nz_local + 1) * plane]);
+        self.steps_taken += 1;
+    }
+
+    /// The most recent time-step's output partition.
+    pub fn output(&self) -> &[f64] {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_comm::run_cluster;
+
+    #[test]
+    fn slab_decomposition_partitions_planes() {
+        for nz in [8, 9, 10, 17] {
+            for size in [1, 2, 3, 4] {
+                let mut total = 0;
+                let mut cursor = 0;
+                for rank in 0..size {
+                    let (mine, offset) = slab(nz, size, rank);
+                    assert_eq!(offset, cursor);
+                    cursor += mine;
+                    total += mine;
+                }
+                assert_eq!(total, nz);
+            }
+        }
+    }
+
+    #[test]
+    fn initial_output_before_step_is_zeroed_buffer() {
+        let sim = Heat3D::serial(8, 8, 8, 0.1);
+        assert_eq!(sim.output().len(), 512);
+        assert_eq!(sim.partition_len(), 512);
+        assert_eq!(sim.global_len(), 512);
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // With Dirichlet 0 boundaries and initial values in [0, 100], the
+        // explicit stable scheme keeps all values in [0, 100].
+        let mut sim = Heat3D::serial(10, 10, 10, 1.0 / 6.0);
+        for _ in 0..50 {
+            let out = sim.step_serial();
+            assert!(out.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_from_hot_block() {
+        let mut sim = Heat3D::serial(12, 12, 12, 0.1);
+        let first = sim.step_serial().to_vec();
+        for _ in 0..20 {
+            sim.step_serial();
+        }
+        let later = sim.output();
+        let max_first = first.iter().cloned().fold(f64::MIN, f64::max);
+        let max_later = later.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_later < max_first, "peak must decay: {max_later} vs {max_first}");
+        // but total heat persists for a while (boundaries leak slowly)
+        let sum_later: f64 = later.iter().sum();
+        assert!(sum_later > 0.0);
+    }
+
+    #[test]
+    fn multi_rank_matches_serial_bit_for_bit() {
+        let (nx, ny, nz, r, steps) = (6, 5, 12, 0.12, 8);
+        let mut serial = Heat3D::serial(nx, ny, nz, r);
+        for _ in 0..steps {
+            serial.step_serial();
+        }
+        let expected = serial.output().to_vec();
+
+        for size in [2, 3, 4] {
+            let partials = run_cluster(size, |mut comm| {
+                let mut sim = Heat3D::new(nx, ny, nz, r, comm.rank(), comm.size());
+                for _ in 0..steps {
+                    sim.step(&mut comm).unwrap();
+                }
+                (sim.partition_offset(), sim.output().to_vec())
+            });
+            let mut stitched = vec![0.0; nx * ny * nz];
+            for (offset, part) in partials {
+                stitched[offset..offset + part.len()].copy_from_slice(&part);
+            }
+            assert_eq!(stitched, expected, "size={size}");
+        }
+    }
+
+    #[test]
+    fn partition_offsets_tile_global_domain() {
+        let r = run_cluster(3, |comm| {
+            let sim = Heat3D::new(4, 4, 10, 0.1, comm.rank(), comm.size());
+            (sim.partition_offset(), sim.partition_len())
+        });
+        let mut cursor = 0;
+        for (offset, len) in r {
+            assert_eq!(offset, cursor);
+            cursor += len;
+        }
+        assert_eq!(cursor, 4 * 4 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_r_is_rejected() {
+        let _ = Heat3D::serial(4, 4, 4, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks")]
+    fn too_many_ranks_rejected() {
+        let _ = Heat3D::new(4, 4, 2, 0.1, 0, 3);
+    }
+}

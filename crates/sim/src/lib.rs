@@ -1,0 +1,30 @@
+//! # smart-sim
+//!
+//! The simulation substrates used by the Smart paper's evaluation (§5.1):
+//!
+//! * [`heat3d`] — the Heat3D benchmark: explicit 3-D heat diffusion with
+//!   slab decomposition and halo exchange. Large output per time-step
+//!   (the full temperature field), matching the paper's "Heat3D generates
+//!   large volumes of data, e.g. 400 MB per node".
+//! * [`lulesh`] — **MiniLulesh**, this reproduction's stand-in for LULESH:
+//!   an explicit compressible-Euler shock-hydro mini-app solving the Sedov
+//!   blast problem (LULESH's own problem) with a first-order Rusanov flux
+//!   on a structured 3-D grid. Its two properties that matter to the Smart
+//!   experiments — cubic memory growth in the edge size and a moderate
+//!   per-step output — match the original (see DESIGN.md, substitutions).
+//! * [`emulator`] — the sequential array emulator used for the Spark
+//!   comparison setup (§5.2): normal-distribution doubles, plus labeled
+//!   feature vectors and clustered points for the logistic-regression and
+//!   k-means workloads.
+//!
+//! Every simulation exposes the same in-situ contract: `step()` advances one
+//! time-step and `output()` borrows the per-rank partition that Smart's
+//! time-sharing mode reads without copying.
+
+pub mod emulator;
+pub mod heat3d;
+pub mod lulesh;
+
+pub use emulator::{ClusteredEmulator, LabeledEmulator, NormalEmulator};
+pub use heat3d::Heat3D;
+pub use lulesh::MiniLulesh;

@@ -1,0 +1,573 @@
+//! MiniLulesh: an explicit shock-hydrodynamics mini-app (LULESH stand-in).
+//!
+//! LULESH solves the Sedov blast problem with an explicit Lagrangian scheme
+//! on a 3-D mesh. For the Smart experiments only two properties of the
+//! simulation matter (paper §5.1): per-node memory grows with the **cube**
+//! of the edge size, and the per-step analytics output is moderate. This
+//! stand-in keeps both while being a genuine compute- and memory-bound hydro
+//! code: it solves the compressible Euler equations
+//!
+//! ```text
+//! ∂U/∂t + ∇·F(U) = 0,    U = (ρ, ρu, ρv, ρw, E)
+//! ```
+//!
+//! with a first-order finite-volume Rusanov (local Lax–Friedrichs) flux on a
+//! structured 3-D grid, an ideal-gas EOS `p = (γ-1)(E - ½ρ|u|²)`, a global
+//! CFL time-step (an allreduce per step, as in real LULESH), Sedov point
+//! energy initialization, and periodic boundaries (which make mass and total
+//! energy conservation exact — a strong correctness oracle).
+//!
+//! Each rank owns an `edge × edge × edge` sub-cube stacked along Z; the
+//! per-step analytics output is the rank's energy-density field.
+
+use smart_comm::{CommResult, Communicator, Tag};
+
+const TAG_HALO_UP: Tag = 201;
+const TAG_HALO_DOWN: Tag = 202;
+const GAMMA: f64 = 1.4;
+
+/// Conserved variables per cell.
+const NVARS: usize = 5;
+
+/// Per-rank MiniLulesh state.
+#[derive(Debug)]
+pub struct MiniLulesh {
+    nx: usize,
+    ny: usize,
+    nz_local: usize,
+    rank: usize,
+    size: usize,
+    cfl: f64,
+    /// Cell width (uniform in all directions).
+    dx: f64,
+    /// State, variable-major: `state[v]` is a `(nz_local + 2) * ny * nx`
+    /// plane-major field with one ghost plane on each side.
+    state: [Vec<f64>; NVARS],
+    next: [Vec<f64>; NVARS],
+    /// Per-step analytics output: the energy-density field of owned cells.
+    out: Vec<f64>,
+    time: f64,
+    steps_taken: usize,
+}
+
+#[inline]
+fn pressure(rho: f64, mx: f64, my: f64, mz: f64, en: f64) -> f64 {
+    let kinetic = 0.5 * (mx * mx + my * my + mz * mz) / rho;
+    (GAMMA - 1.0) * (en - kinetic)
+}
+
+#[inline]
+fn sound_speed(rho: f64, p: f64) -> f64 {
+    (GAMMA * p.max(1e-12) / rho).sqrt()
+}
+
+/// Physical flux of `u` in direction `dir` (0 = x, 1 = y, 2 = z).
+#[inline]
+fn flux(u: [f64; NVARS], dir: usize, out: &mut [f64; NVARS]) {
+    let [rho, mx, my, mz, en] = u;
+    let m = [mx, my, mz];
+    let vel = m[dir] / rho;
+    let p = pressure(rho, mx, my, mz, en);
+    out[0] = m[dir];
+    out[1] = mx * vel;
+    out[2] = my * vel;
+    out[3] = mz * vel;
+    out[1 + dir] += p;
+    out[4] = (en + p) * vel;
+}
+
+impl MiniLulesh {
+    /// One `edge³` sub-cube per rank, stacked along Z, with a Sedov energy
+    /// spike in the global center cell.
+    ///
+    /// # Panics
+    /// Panics on a zero edge, invalid rank, or `cfl` outside `(0, 0.5]`.
+    pub fn new(edge: usize, cfl: f64, rank: usize, size: usize) -> Self {
+        assert!(edge > 0, "edge must be positive");
+        assert!(size > 0 && rank < size, "invalid rank/size");
+        assert!(cfl > 0.0 && cfl <= 0.5, "cfl = {cfl} outside (0, 0.5]");
+
+        let (nx, ny, nz_local) = (edge, edge, edge);
+        let nz_global = edge * size;
+        let plane = nx * ny;
+        let cells = (nz_local + 2) * plane;
+
+        let mut state: [Vec<f64>; NVARS] = std::array::from_fn(|_| vec![0.0; cells]);
+        // Quiescent background: ρ = 1, u = 0, small internal energy.
+        for v in state[0].iter_mut() {
+            *v = 1.0;
+        }
+        let e_background = 1e-2 / (GAMMA - 1.0);
+        for v in state[4].iter_mut() {
+            *v = e_background;
+        }
+        // Sedov spike: concentrated energy at the global center cell.
+        let (cz, cy, cx) = (nz_global / 2, ny / 2, nx / 2);
+        let z_offset = rank * nz_local;
+        if cz >= z_offset && cz < z_offset + nz_local {
+            let zl = cz - z_offset + 1; // +1: ghost plane
+            state[4][zl * plane + cy * nx + cx] = 10.0 / (GAMMA - 1.0);
+        }
+
+        let next = state.clone();
+        let out = vec![0.0; nz_local * plane];
+        MiniLulesh {
+            nx,
+            ny,
+            nz_local,
+            rank,
+            size,
+            cfl,
+            dx: 1.0 / edge as f64,
+            state,
+            next,
+            out,
+            time: 0.0,
+            steps_taken: 0,
+        }
+    }
+
+    /// Single-rank convenience constructor.
+    pub fn serial(edge: usize, cfl: f64) -> Self {
+        Self::new(edge, cfl, 0, 1)
+    }
+
+    /// Elements in this rank's output partition (`edge³`).
+    pub fn partition_len(&self) -> usize {
+        self.nz_local * self.ny * self.nx
+    }
+
+    /// First global element index of this rank's partition.
+    pub fn partition_offset(&self) -> usize {
+        self.rank * self.partition_len()
+    }
+
+    /// Simulated physical time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Time-steps advanced so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Approximate live bytes of simulation state on this rank.
+    pub fn state_bytes(&self) -> usize {
+        (2 * NVARS * self.state[0].len() + self.out.len()) * std::mem::size_of::<f64>()
+    }
+
+    #[inline]
+    fn load(&self, idx: usize) -> [f64; NVARS] {
+        std::array::from_fn(|v| self.state[v][idx])
+    }
+
+    /// Max signal speed over owned cells (for the CFL condition).
+    fn local_max_wavespeed(&self) -> f64 {
+        let plane = self.nx * self.ny;
+        let mut smax = 1e-12f64;
+        for idx in plane..(self.nz_local + 1) * plane {
+            let [rho, mx, my, mz, en] = self.load(idx);
+            let p = pressure(rho, mx, my, mz, en);
+            let a = sound_speed(rho, p);
+            let vmax =
+                (mx.abs().max(my.abs()).max(mz.abs())) / rho;
+            smax = smax.max(vmax + a);
+        }
+        smax
+    }
+
+    /// Periodic Z wrap within a single rank.
+    fn wrap_periodic_local(&mut self) {
+        let plane = self.nx * self.ny;
+        let nzl = self.nz_local;
+        for v in 0..NVARS {
+            let (top, bottom): (Vec<f64>, Vec<f64>) = {
+                let s = &self.state[v];
+                (s[nzl * plane..(nzl + 1) * plane].to_vec(), s[plane..2 * plane].to_vec())
+            };
+            self.state[v][..plane].copy_from_slice(&top);
+            self.state[v][(nzl + 1) * plane..].copy_from_slice(&bottom);
+        }
+    }
+
+    fn exchange_halos(&mut self, comm: &mut Communicator) -> CommResult<()> {
+        let plane = self.nx * self.ny;
+        let nzl = self.nz_local;
+        debug_assert!(self.size > 1);
+
+        // Periodic ring across ranks.
+        let above = (self.rank + 1) % self.size;
+        let below = (self.rank + self.size - 1) % self.size;
+
+        let mut top_pack = Vec::with_capacity(NVARS * plane);
+        let mut bottom_pack = Vec::with_capacity(NVARS * plane);
+        for v in 0..NVARS {
+            top_pack.extend_from_slice(&self.state[v][nzl * plane..(nzl + 1) * plane]);
+            bottom_pack.extend_from_slice(&self.state[v][plane..2 * plane]);
+        }
+        comm.send(above, TAG_HALO_UP, &top_pack)?;
+        comm.send(below, TAG_HALO_DOWN, &bottom_pack)?;
+        let from_below: Vec<f64> = comm.recv(below, TAG_HALO_UP)?;
+        let from_above: Vec<f64> = comm.recv(above, TAG_HALO_DOWN)?;
+        for v in 0..NVARS {
+            self.state[v][..plane].copy_from_slice(&from_below[v * plane..(v + 1) * plane]);
+            self.state[v][(nzl + 1) * plane..]
+                .copy_from_slice(&from_above[v * plane..(v + 1) * plane]);
+        }
+        Ok(())
+    }
+
+    /// One finite-volume update with time-step `dt`.
+    fn update(&mut self, dt: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let plane = nx * ny;
+        let lam = dt / self.dx;
+
+        let mut f_l = [0.0; NVARS];
+        let mut f_r = [0.0; NVARS];
+
+        for zl in 1..=self.nz_local {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let idx = zl * plane + y * nx + x;
+                    let u = self.load(idx);
+                    let mut acc = u;
+
+                    // Neighbor indices: periodic in x/y inside the rank,
+                    // ghost planes handle z.
+                    let neighbors = [
+                        (idx - 1 + usize::from(x == 0) * nx, idx + 1 - usize::from(x + 1 == nx) * nx, 0),
+                        (
+                            idx - nx + usize::from(y == 0) * plane,
+                            idx + nx - usize::from(y + 1 == ny) * plane,
+                            1,
+                        ),
+                        (idx - plane, idx + plane, 2),
+                    ];
+
+                    for (lo, hi, dir) in neighbors {
+                        let ul = self.load(lo);
+                        let uh = self.load(hi);
+                        // Rusanov flux at both faces of this cell.
+                        acc = rusanov_update(acc, ul, u, uh, dir, lam, &mut f_l, &mut f_r);
+                    }
+                    for (nxt, value) in self.next.iter_mut().zip(acc) {
+                        nxt[idx] = value;
+                    }
+                }
+            }
+        }
+        for v in 0..NVARS {
+            std::mem::swap(&mut self.state[v], &mut self.next[v]);
+        }
+    }
+
+    fn publish(&mut self) {
+        let plane = self.nx * self.ny;
+        self.out.copy_from_slice(&self.state[4][plane..(self.nz_local + 1) * plane]);
+    }
+
+    /// Advance one time-step in a cluster: halo exchange, global CFL
+    /// reduction, update. Returns the freshly simulated energy partition.
+    pub fn step(&mut self, comm: &mut Communicator) -> CommResult<&[f64]> {
+        if self.size > 1 {
+            self.exchange_halos(comm)?;
+        } else {
+            self.wrap_periodic_local();
+        }
+        let local = self.local_max_wavespeed();
+        let global = if self.size > 1 { comm.allreduce(local, f64::max)? } else { local };
+        let dt = self.cfl * self.dx / global;
+        self.update(dt);
+        self.time += dt;
+        self.steps_taken += 1;
+        self.publish();
+        Ok(&self.out)
+    }
+
+    /// Advance one time-step using `threads` workers of `pool` for the
+    /// finite-volume update (single-rank runs). This is the knob the
+    /// space-sharing experiments turn: the update parallelizes over Z
+    /// planes, and like the real LULESH it stops scaling once per-thread
+    /// plane counts get small — which is exactly when dedicating leftover
+    /// cores to analytics pays off (paper §5.6).
+    pub fn step_parallel(&mut self, pool: &smart_pool::ThreadPool, threads: usize) -> &[f64] {
+        assert_eq!(self.size, 1, "step_parallel on a multi-rank simulation");
+        assert!(threads > 0);
+        self.wrap_periodic_local();
+        let dt = self.cfl * self.dx / self.local_max_wavespeed();
+        self.update_parallel(pool, threads, dt);
+        self.time += dt;
+        self.steps_taken += 1;
+        self.publish();
+        &self.out
+    }
+
+    /// Plane-parallel version of [`update`](Self::update): each worker owns
+    /// a disjoint contiguous band of Z planes, so the writes to `next` are
+    /// disjoint by construction.
+    fn update_parallel(&mut self, pool: &smart_pool::ThreadPool, threads: usize, dt: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        let plane = nx * ny;
+        let lam = dt / self.dx;
+        let nzl = self.nz_local;
+
+        // Raw shared view over `next`; disjoint plane bands per worker.
+        struct NextPtr(*mut f64);
+        unsafe impl Send for NextPtr {}
+        unsafe impl Sync for NextPtr {}
+        let next_ptrs: Vec<NextPtr> =
+            self.next.iter_mut().map(|v| NextPtr(v.as_mut_ptr())).collect();
+        let this = &*self;
+
+        pool.run_on_workers(threads, |tid| {
+            let band = smart_pool::split_range(nzl, threads, tid, 1);
+            let mut f_l = [0.0; NVARS];
+            let mut f_r = [0.0; NVARS];
+            for zl in band.start + 1..band.end + 1 {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let idx = zl * plane + y * nx + x;
+                        let u = this.load(idx);
+                        let mut acc = u;
+                        let neighbors = [
+                            (
+                                idx - 1 + usize::from(x == 0) * nx,
+                                idx + 1 - usize::from(x + 1 == nx) * nx,
+                                0,
+                            ),
+                            (
+                                idx - nx + usize::from(y == 0) * plane,
+                                idx + nx - usize::from(y + 1 == ny) * plane,
+                                1,
+                            ),
+                            (idx - plane, idx + plane, 2),
+                        ];
+                        for (lo, hi, dir) in neighbors {
+                            let ul = this.load(lo);
+                            let uh = this.load(hi);
+                            acc = rusanov_update(acc, ul, u, uh, dir, lam, &mut f_l, &mut f_r);
+                        }
+                        for (ptr, value) in next_ptrs.iter().zip(acc) {
+                            // SAFETY: `idx` lies in this worker's disjoint
+                            // plane band; no other worker touches it, and
+                            // `next` outlives the fork-join.
+                            unsafe { *ptr.0.add(idx) = value };
+                        }
+                    }
+                }
+            }
+        });
+
+        for v in 0..NVARS {
+            std::mem::swap(&mut self.state[v], &mut self.next[v]);
+        }
+    }
+
+    /// Advance one time-step without communication (single-rank runs).
+    pub fn step_serial(&mut self) -> &[f64] {
+        assert_eq!(self.size, 1, "step_serial on a multi-rank simulation");
+        self.wrap_periodic_local();
+        let dt = self.cfl * self.dx / self.local_max_wavespeed();
+        self.update(dt);
+        self.time += dt;
+        self.steps_taken += 1;
+        self.publish();
+        &self.out
+    }
+
+    /// The most recent time-step's output partition (energy density).
+    pub fn output(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Total mass on this rank (owned cells) — conservation oracle.
+    pub fn local_mass(&self) -> f64 {
+        let plane = self.nx * self.ny;
+        self.state[0][plane..(self.nz_local + 1) * plane].iter().sum()
+    }
+
+    /// Total energy on this rank (owned cells) — conservation oracle.
+    pub fn local_energy(&self) -> f64 {
+        let plane = self.nx * self.ny;
+        self.state[4][plane..(self.nz_local + 1) * plane].iter().sum()
+    }
+
+    /// Minimum density over owned cells — positivity oracle.
+    pub fn min_density(&self) -> f64 {
+        let plane = self.nx * self.ny;
+        self.state[0][plane..(self.nz_local + 1) * plane]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Apply the Rusanov flux difference of one direction to `acc`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn rusanov_update(
+    mut acc: [f64; NVARS],
+    ul: [f64; NVARS],
+    uc: [f64; NVARS],
+    uh: [f64; NVARS],
+    dir: usize,
+    lam: f64,
+    f_a: &mut [f64; NVARS],
+    f_b: &mut [f64; NVARS],
+) -> [f64; NVARS] {
+    let speed = |u: [f64; NVARS]| {
+        let p = pressure(u[0], u[1], u[2], u[3], u[4]);
+        (u[1 + dir] / u[0]).abs() + sound_speed(u[0], p)
+    };
+
+    // Face between low neighbor and center.
+    flux(ul, dir, f_a);
+    flux(uc, dir, f_b);
+    let s = speed(ul).max(speed(uc));
+    for v in 0..NVARS {
+        let f_low = 0.5 * (f_a[v] + f_b[v]) - 0.5 * s * (uc[v] - ul[v]);
+        acc[v] += lam * f_low;
+    }
+
+    // Face between center and high neighbor.
+    flux(uc, dir, f_a);
+    flux(uh, dir, f_b);
+    let s = speed(uc).max(speed(uh));
+    for v in 0..NVARS {
+        let f_high = 0.5 * (f_a[v] + f_b[v]) - 0.5 * s * (uh[v] - uc[v]);
+        acc[v] -= lam * f_high;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_comm::run_cluster;
+
+    #[test]
+    fn partition_geometry() {
+        let sim = MiniLulesh::new(6, 0.3, 1, 3);
+        assert_eq!(sim.partition_len(), 216);
+        assert_eq!(sim.partition_offset(), 216);
+        assert_eq!(sim.state_bytes(), (2 * 5 * 8 * 36 + 216) * 8);
+    }
+
+    #[test]
+    fn memory_grows_cubically_with_edge() {
+        let small = MiniLulesh::serial(8, 0.3).state_bytes();
+        let big = MiniLulesh::serial(16, 0.3).state_bytes();
+        let ratio = big as f64 / small as f64;
+        assert!((6.0..10.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mass_and_energy_conserved_serial() {
+        let mut sim = MiniLulesh::serial(10, 0.3);
+        let m0 = sim.local_mass();
+        let e0 = sim.local_energy();
+        for _ in 0..30 {
+            sim.step_serial();
+        }
+        assert!((sim.local_mass() - m0).abs() / m0 < 1e-10, "mass drift");
+        assert!((sim.local_energy() - e0).abs() / e0 < 1e-10, "energy drift");
+    }
+
+    #[test]
+    fn density_stays_positive_through_blast() {
+        let mut sim = MiniLulesh::serial(12, 0.25);
+        for _ in 0..50 {
+            sim.step_serial();
+            assert!(sim.min_density() > 0.0, "negative density at step {}", sim.steps_taken());
+        }
+    }
+
+    #[test]
+    fn blast_wave_actually_propagates() {
+        let mut sim = MiniLulesh::serial(10, 0.3);
+        sim.step_serial();
+        let early: Vec<f64> = sim.output().to_vec();
+        for _ in 0..30 {
+            sim.step_serial();
+        }
+        let late = sim.output();
+        // Energy spreads: the max drops, the count of cells above background rises.
+        let max_e = |f: &[f64]| f.iter().cloned().fold(f64::MIN, f64::max);
+        let hot = |f: &[f64]| f.iter().filter(|&&e| e > 0.05).count();
+        assert!(max_e(late) < max_e(&early));
+        assert!(hot(late) > hot(&early));
+        assert!(sim.time() > 0.0);
+    }
+
+    #[test]
+    fn multi_rank_conserves_globally_and_matches_serial() {
+        let (edge, steps) = (6, 10);
+        let mut serial = MiniLulesh::serial(edge, 0.3);
+        // serial global grid is edge³; build multirank with same global size:
+        // 2 ranks of edge 6 give 6×6×12 global, so compare conservation only.
+        for _ in 0..steps {
+            serial.step_serial();
+        }
+
+        let r = run_cluster(3, |mut comm| {
+            let mut sim = MiniLulesh::new(edge, 0.3, comm.rank(), comm.size());
+            let m0 = sim.local_mass();
+            let e0 = sim.local_energy();
+            for _ in 0..steps {
+                sim.step(&mut comm).unwrap();
+            }
+            (m0, e0, sim.local_mass(), sim.local_energy())
+        });
+        let (m0, e0, m1, e1) = r.into_iter().fold((0.0, 0.0, 0.0, 0.0), |acc, (a, b, c, d)| {
+            (acc.0 + a, acc.1 + b, acc.2 + c, acc.3 + d)
+        });
+        assert!((m1 - m0).abs() / m0 < 1e-10, "global mass drift");
+        assert!((e1 - e0).abs() / e0 < 1e-10, "global energy drift");
+    }
+
+    #[test]
+    fn global_dt_is_consistent_across_ranks() {
+        let r = run_cluster(2, |mut comm| {
+            let mut sim = MiniLulesh::new(6, 0.3, comm.rank(), comm.size());
+            for _ in 0..5 {
+                sim.step(&mut comm).unwrap();
+            }
+            sim.time()
+        });
+        assert!((r[0] - r[1]).abs() < 1e-14, "ranks diverged in time: {r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cfl")]
+    fn bad_cfl_is_rejected() {
+        let _ = MiniLulesh::serial(4, 0.9);
+    }
+
+    #[test]
+    fn parallel_step_matches_serial_bit_for_bit() {
+        let pool = smart_pool::ThreadPool::new(4).unwrap();
+        for threads in [1, 2, 3, 4] {
+            let mut a = MiniLulesh::serial(10, 0.3);
+            let mut b = MiniLulesh::serial(10, 0.3);
+            for _ in 0..8 {
+                a.step_serial();
+                b.step_parallel(&pool, threads);
+            }
+            assert_eq!(a.output(), b.output(), "threads={threads}");
+            assert_eq!(a.time(), b.time());
+        }
+    }
+
+    #[test]
+    fn parallel_step_conserves() {
+        let pool = smart_pool::ThreadPool::new(3).unwrap();
+        let mut sim = MiniLulesh::serial(8, 0.3);
+        let m0 = sim.local_mass();
+        for _ in 0..20 {
+            sim.step_parallel(&pool, 3);
+        }
+        assert!((sim.local_mass() - m0).abs() / m0 < 1e-10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Result alias for wire-format operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while encoding or decoding the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Custom message raised by a `Serialize`/`Deserialize` impl.
+    Message(String),
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes still required.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// Bytes were left over after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A `char` payload did not decode to a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// A string payload was not valid UTF-8.
+    InvalidUtf8,
+    /// A length prefix exceeds the number of bytes remaining in the input,
+    /// so the value cannot possibly decode; rejecting early avoids huge
+    /// speculative allocations from corrupt prefixes.
+    LengthOverrun {
+        /// Declared element count.
+        declared: u64,
+        /// Upper bound on elements that could still fit.
+        possible: u64,
+    },
+    /// The format is not self-describing: `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// A sequence serializer was given no length up front.
+    LengthRequired,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Message(m) => write!(f, "{m}"),
+            Error::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+            }
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag byte {b:#x}"),
+            Error::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
+            Error::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            Error::LengthOverrun { declared, possible } => {
+                write!(f, "length prefix {declared} exceeds what the input can hold ({possible})")
+            }
+            Error::NotSelfDescribing => {
+                write!(f, "smart-wire is not self-describing; deserialize_any is unsupported")
+            }
+            Error::LengthRequired => write!(f, "sequence length must be known up front"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnexpectedEof { needed: 8, remaining: 3 };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('3'));
+        assert!(Error::InvalidBool(7).to_string().contains("0x7"));
+        assert!(Error::TrailingBytes(2).to_string().contains('2'));
+    }
+
+    #[test]
+    fn serde_custom_constructors_work() {
+        let s: Error = serde::ser::Error::custom("boom");
+        assert_eq!(s, Error::Message("boom".into()));
+        let d: Error = serde::de::Error::custom("bang");
+        assert_eq!(d, Error::Message("bang".into()));
+    }
+}

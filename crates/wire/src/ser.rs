@@ -1,0 +1,340 @@
+//! The wire-format serializer.
+
+use crate::error::{Error, Result};
+use serde::ser::{self, Serialize};
+
+/// Serialize `value` into a freshly allocated byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
+    Ok(out)
+}
+
+/// Serialize `value`, appending the encoding to `out`.
+///
+/// Appending lets callers batch many values (e.g. a whole combination map)
+/// into one buffer without intermediate allocations.
+pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
+    let mut ser = Serializer { out };
+    value.serialize(&mut ser)
+}
+
+/// Streaming serializer writing the compact little-endian format into a
+/// borrowed byte vector.
+pub struct Serializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Serializer<'a> {
+    /// Create a serializer appending to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Serializer { out }
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    #[inline]
+    fn put_len(&mut self, len: usize) {
+        self.put(&(len as u64).to_le_bytes());
+    }
+}
+
+macro_rules! ser_le {
+    ($name:ident, $ty:ty) => {
+        #[inline]
+        fn $name(self, v: $ty) -> Result<()> {
+            self.put(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    #[inline]
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.put(&[v as u8]);
+        Ok(())
+    }
+
+    ser_le!(serialize_i8, i8);
+    ser_le!(serialize_i16, i16);
+    ser_le!(serialize_i32, i32);
+    ser_le!(serialize_i64, i64);
+    ser_le!(serialize_i128, i128);
+    ser_le!(serialize_u8, u8);
+    ser_le!(serialize_u16, u16);
+    ser_le!(serialize_u32, u32);
+    ser_le!(serialize_u64, u64);
+    ser_le!(serialize_u128, u128);
+    ser_le!(serialize_f32, f32);
+    ser_le!(serialize_f64, f64);
+
+    #[inline]
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.put(&(v as u32).to_le_bytes());
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.put(v.as_bytes());
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.put(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_none(self) -> Result<()> {
+        self.put(&[0]);
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+
+    #[inline]
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    #[inline]
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes());
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let len = len.ok_or(Error::LengthRequired)?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let len = len.ok_or(Error::LengthRequired)?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+}
+
+impl<'a, 'b> ser::SerializeSeq for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeTuple for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleStruct for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleVariant for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeMap for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_little_endian() {
+        assert_eq!(to_bytes(&0x0102_0304u32).unwrap(), vec![4, 3, 2, 1]);
+        assert_eq!(to_bytes(&1u64).unwrap(), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        assert!(to_bytes(&()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn seq_has_length_prefix() {
+        let v = vec![7u8, 8, 9];
+        assert_eq!(to_bytes(&v).unwrap(), vec![3, 0, 0, 0, 0, 0, 0, 0, 7, 8, 9]);
+    }
+
+    #[test]
+    fn appending_to_writer_preserves_existing_bytes() {
+        let mut buf = vec![0xAA];
+        to_writer(&mut buf, &1u8).unwrap();
+        assert_eq!(buf, vec![0xAA, 1]);
+    }
+}

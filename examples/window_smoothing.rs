@@ -1,0 +1,73 @@
+//! Window-based in-situ preprocessing (paper §4): smooth a noisy signal
+//! with three window kernels — moving average, Gaussian, Savitzky–Golay —
+//! and show what the early-emission optimization saves.
+//!
+//! ```sh
+//! cargo run --release --example window_smoothing
+//! ```
+
+use smart_insitu::analytics::{GaussianSmoother, MovingAverage, SavitzkyGolay};
+use smart_insitu::prelude::*;
+
+const N: usize = 200_000;
+const WINDOW: usize = 25;
+
+fn variance(v: &[f64]) -> f64 {
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+fn run_window<A>(app: A, data: &[f64], disable_trigger: bool) -> (Vec<f64>, usize)
+where
+    A: Analytics<In = f64, Out = f64, Extra = ()>,
+{
+    let pool = smart_insitu::pool::shared_pool(2).expect("pool");
+    let args = SchedArgs::new(2, 1).with_trigger_disabled(disable_trigger);
+    let mut s = Scheduler::new(app, args, pool).expect("scheduler");
+    let mut out = vec![0.0f64; data.len()];
+    s.run2(data, &mut out).expect("run2");
+    (out, s.combination_map().len())
+}
+
+fn main() {
+    // A slow sine wave buried in deterministic high-frequency noise.
+    let data: Vec<f64> = (0..N)
+        .map(|i| {
+            let t = i as f64 / N as f64;
+            (t * std::f64::consts::TAU * 3.0).sin() + 0.5 * (((i * 2654435761) % 997) as f64 / 997.0 - 0.5)
+        })
+        .collect();
+    let noisy_var = variance(&data);
+
+    println!("signal: {N} samples, window {WINDOW}, input variance {noisy_var:.4}\n");
+    println!("{:<18} {:>12} {:>22}", "kernel", "out variance", "objects left in map");
+
+    let (avg, avg_left) = run_window(MovingAverage::new(WINDOW, N), &data, false);
+    println!("{:<18} {:>12.4} {:>22}", "moving-average", variance(&avg), avg_left);
+
+    let (gauss, g_left) = run_window(GaussianSmoother::new(WINDOW, N), &data, false);
+    println!("{:<18} {:>12.4} {:>22}", "gaussian", variance(&gauss), g_left);
+
+    let (sg, sg_left) = run_window(SavitzkyGolay::new(WINDOW, 2, N), &data, false);
+    println!("{:<18} {:>12.4} {:>22}", "savitzky-golay", variance(&sg), sg_left);
+
+    // The optimization's effect: without the trigger, every window's
+    // reduction object survives to the combination map.
+    let (_, no_trigger_left) = run_window(MovingAverage::new(WINDOW, N), &data, true);
+    println!(
+        "\nearly emission kept {avg_left} objects live; disabling the trigger kept {no_trigger_left} \
+         (paper §4: O(window) vs O(input))."
+    );
+    assert!(no_trigger_left >= N);
+    assert!(avg_left < N / 100);
+
+    // Savitzky–Golay preserves the waveform better than plain averaging:
+    // compare against the clean sine.
+    let clean: Vec<f64> =
+        (0..N).map(|i| ((i as f64 / N as f64) * std::f64::consts::TAU * 3.0).sin()).collect();
+    let rmse = |a: &[f64]| {
+        (a.iter().zip(&clean).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / N as f64).sqrt()
+    };
+    println!("\nRMSE vs clean signal: moving-average {:.4}, gaussian {:.4}, savitzky-golay {:.4}",
+        rmse(&avg), rmse(&gauss), rmse(&sg));
+}

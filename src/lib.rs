@@ -1,0 +1,25 @@
+//! # smart-insitu
+//!
+//! Facade crate for the Rust reproduction of **Smart** — *"a MapReduce-like
+//! framework for in-situ scientific analytics"* (Wang, Agrawal, Bicer, Jiang;
+//! SC 2015). It re-exports every subsystem of the workspace under one roof so
+//! examples and downstream users can depend on a single crate.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use smart_analytics as analytics;
+pub use smart_baseline as baseline;
+pub use smart_comm as comm;
+pub use smart_core as core;
+pub use smart_memtrack as memtrack;
+pub use smart_minispark as minispark;
+pub use smart_pool as pool;
+pub use smart_sim as sim;
+pub use smart_wire as wire;
+
+/// Convenience prelude pulling in the types almost every Smart program needs.
+pub mod prelude {
+    pub use smart_comm::{run_cluster, Communicator};
+    pub use smart_core::{Analytics, Chunk, ComMap, Key, RedObj, SchedArgs, Scheduler};
+}

@@ -1,0 +1,165 @@
+//! T1 — API parity with the paper's Table 1.
+//!
+//! Exercises every runtime-provided function (1–9) and every user-
+//! implemented function (1–7) of Table 1 through its Rust counterpart, so
+//! a signature regression in any of them fails this suite.
+
+use serde::{Deserialize, Serialize};
+use smart_insitu::core::space::SpaceShared;
+use smart_insitu::prelude::*;
+
+/// Iterative reduction object in the k-means mold: a persistent `base`
+/// (like a centroid) plus distributive fields (`acc`, `n`) that `merge`
+/// combines and `post_combine` folds into the base and resets.
+#[derive(Clone, Serialize, Deserialize, Default, Debug)]
+struct Obj {
+    base: f64,
+    acc: f64,
+    n: u64,
+    post_combines: u64,
+}
+
+impl RedObj for Obj {
+    // user fn (trigger extension of §4)
+    fn trigger(&self) -> bool {
+        false
+    }
+}
+
+struct Full;
+
+impl Analytics for Full {
+    type In = f64;
+    type Red = Obj;
+    type Out = f64;
+    type Extra = f64;
+
+    // user fn 1: gen_key
+    fn gen_key(&self, _c: &Chunk, _d: &[f64], _m: &ComMap<Obj>) -> Key {
+        0
+    }
+
+    // user fn 2: gen_keys
+    fn gen_keys(&self, c: &Chunk, d: &[f64], m: &ComMap<Obj>, keys: &mut Vec<Key>) {
+        keys.push(self.gen_key(c, d, m));
+    }
+
+    // user fn 3: accumulate (distributive fields only)
+    fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Obj>) {
+        let o = obj.as_mut().expect("seeded by process_extra_data");
+        o.acc += d[c.local_start];
+        o.n += 1;
+    }
+
+    // user fn 4: merge (distributive fields only, like Listing 4)
+    fn merge(&self, red: &Obj, com: &mut Obj) {
+        com.acc += red.acc;
+        com.n += red.n;
+    }
+
+    // user fn 5: process_extra_data
+    fn process_extra_data(&self, extra: Option<&f64>, com: &mut ComMap<Obj>) {
+        com.insert(
+            0,
+            Obj { base: extra.copied().unwrap_or(0.0), acc: 0.0, n: 0, post_combines: 0 },
+        );
+    }
+
+    // user fn 6: post_combine (fold + reset, like ClusterObj::update)
+    fn post_combine(&self, com: &mut ComMap<Obj>) {
+        if let Some(o) = com.get_mut(0) {
+            o.base += o.acc;
+            o.acc = 0.0;
+            o.n = 0;
+            o.post_combines += 1;
+        }
+    }
+
+    // user fn 7: convert
+    fn convert(&self, obj: &Obj, out: &mut f64) {
+        *out = obj.base;
+    }
+}
+
+/// Runtime fns 1 (SchedArgs) and 2 (Scheduler construction).
+fn make_scheduler() -> Scheduler<Full> {
+    // SchedArgs(num_threads, chunk_size, extra_data, num_iters)
+    let args = SchedArgs::new(2, 1).with_extra(100.0).with_iters(2);
+    let pool = smart_insitu::pool::shared_pool(2).unwrap();
+    Scheduler::new(Full, args, pool).unwrap()
+}
+
+#[test]
+fn runtime_fn_1_2_5_construct_and_run() {
+    let mut s = make_scheduler();
+    let data = vec![1.0; 10];
+    let mut out = [0.0f64];
+    // runtime fn 5: run (single key, time sharing)
+    s.run(&data, &mut out).unwrap();
+    // extra 100 + 2 iterations × 10 elements
+    assert_eq!(out[0], 120.0);
+}
+
+#[test]
+fn runtime_fn_6_run2_multi_key() {
+    let mut s = make_scheduler();
+    let data = vec![2.0; 5];
+    let mut out = [0.0f64];
+    // runtime fn 6: run2 (multi key via gen_keys)
+    s.run2(&data, &mut out).unwrap();
+    assert_eq!(out[0], 120.0);
+}
+
+#[test]
+fn runtime_fn_3_set_global_combination() {
+    smart_insitu::comm::run_cluster(2, |mut comm| {
+        let mut s = make_scheduler();
+        // runtime fn 3: enable/disable global combination
+        s.set_global_combination(false);
+        let data = vec![comm.rank() as f64 + 1.0; 4];
+        let mut out = [0.0f64];
+        s.run_dist(&mut comm, &data, &mut out).unwrap();
+        // local only: extra + 2 iters × (rank+1)×4
+        assert_eq!(out[0], 100.0 + 2.0 * 4.0 * (comm.rank() as f64 + 1.0));
+    });
+}
+
+#[test]
+fn runtime_fn_4_get_combination_map() {
+    let mut s = make_scheduler();
+    let data = vec![3.0; 4];
+    s.run(&data, &mut []).unwrap();
+    // runtime fn 4: retrieve the combination map
+    let map = s.combination_map();
+    let obj = map.get(0).expect("key 0");
+    assert_eq!(obj.base, 100.0 + 2.0 * 12.0);
+    // post_combine ran once per iteration (user fn 6)
+    assert_eq!(obj.post_combines, 2);
+}
+
+#[test]
+fn runtime_fns_7_8_9_space_sharing_feed_and_run() {
+    let mut shared = SpaceShared::new(make_scheduler(), 2);
+    let feeder = shared.feeder();
+    // runtime fn 7: feed
+    feeder.feed(&[1.0, 2.0, 3.0]).unwrap();
+    feeder.feed(&[4.0]).unwrap();
+    feeder.close();
+    let mut out = [0.0f64];
+    // runtime fn 8: run (space sharing, single key)
+    assert!(shared.run_step(&mut out).unwrap());
+    // runtime fn 9: run2 (space sharing, multi key)
+    assert!(shared.run2_step(&mut out).unwrap());
+    assert!(!shared.run_step(&mut out).unwrap());
+    // extra 100 + 2 iters × (6 + 4)
+    assert_eq!(out[0], 120.0);
+}
+
+#[test]
+fn chunk_preserves_positional_information() {
+    // §5.8: the unit chunk carries array positions (local + global).
+    let c = Chunk { local_start: 3, global_start: 1003, len: 2 };
+    let data = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+    assert_eq!(c.slice(&data), &[3.0, 4.0]);
+    assert_eq!(c.global_unit(), 501);
+}

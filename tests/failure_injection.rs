@@ -1,0 +1,152 @@
+//! Failure injection across the stack: crashed ranks, closed streams,
+//! misuse of the scheduler, and memory-budget violations must surface as
+//! typed errors (or clean panics), never hangs or corruption.
+
+use serde::{Deserialize, Serialize};
+use smart_insitu::analytics::Histogram;
+use smart_insitu::comm::{run_cluster, CommError};
+use smart_insitu::core::space::{CircularBuffer, SpaceShared};
+use smart_insitu::core::SmartError;
+use smart_insitu::memtrack::Budget;
+use smart_insitu::prelude::*;
+
+fn hist_scheduler() -> Scheduler<Histogram> {
+    let pool = smart_insitu::pool::shared_pool(1).unwrap();
+    Scheduler::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 1), pool).unwrap()
+}
+
+#[test]
+fn dead_rank_surfaces_as_peer_gone_not_a_hang() {
+    let results = run_cluster(2, |mut comm| {
+        if comm.rank() == 0 {
+            // Rank 0 exits immediately; its drop broadcasts a death notice.
+            Ok(())
+        } else {
+            // Rank 1 blocks on rank 0 and must be woken with PeerGone.
+            match comm.recv::<u64>(0, 42) {
+                Err(CommError::PeerGone { peer: 0 }) => Err("peer gone as expected"),
+                other => panic!("expected PeerGone, got {other:?}"),
+            }
+        }
+    });
+    assert!(results[0].is_ok());
+    assert_eq!(results[1], Err("peer gone as expected"));
+}
+
+#[test]
+fn rank_panic_propagates_to_launcher() {
+    let caught = std::panic::catch_unwind(|| {
+        run_cluster(3, |comm| {
+            if comm.rank() == 2 {
+                panic!("injected failure");
+            }
+        })
+    });
+    assert!(caught.is_err());
+}
+
+#[test]
+fn chunk_mismatch_is_reported_not_truncated() {
+    let mut s = hist_scheduler();
+    let pool = smart_insitu::pool::shared_pool(1).unwrap();
+    let mut s2 = Scheduler::new(
+        Histogram::new(0.0, 1.0, 4),
+        SchedArgs::new(1, 3), // chunk of 3
+        pool,
+    )
+    .unwrap();
+    assert!(matches!(
+        s2.run(&[0.1, 0.2, 0.3, 0.4], &mut []),
+        Err(SmartError::ChunkMismatch { input_len: 4, chunk_size: 3 })
+    ));
+    // Well-formed input still works on the other scheduler.
+    s.run(&[0.5], &mut []).unwrap();
+}
+
+#[test]
+fn convert_key_out_of_range_is_reported() {
+    // Histogram over 4 buckets but only 2 output slots.
+    let mut s = hist_scheduler();
+    let mut too_small = vec![0u64; 2];
+    let err = s.run(&[0.95], &mut too_small).unwrap_err();
+    assert!(matches!(err, SmartError::KeyOutOfRange { key: 3, out_len: 2 }));
+}
+
+/// An analytics that forgets to create its reduction object.
+struct Broken;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct Never;
+impl RedObj for Never {}
+
+impl Analytics for Broken {
+    type In = f64;
+    type Red = Never;
+    type Out = f64;
+    type Extra = ();
+    fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, _obj: &mut Option<Never>) {
+        // bug: leaves the slot empty
+    }
+    fn merge(&self, _red: &Never, _com: &mut Never) {}
+}
+
+#[test]
+fn empty_accumulate_is_detected() {
+    let pool = smart_insitu::pool::shared_pool(1).unwrap();
+    let mut s = Scheduler::new(Broken, SchedArgs::new(1, 1), pool).unwrap();
+    let err = s.run(&[1.0], &mut []).unwrap_err();
+    assert!(matches!(err, SmartError::EmptyAccumulate { key: 0 }));
+}
+
+#[test]
+fn feeding_a_closed_stream_fails_fast() {
+    let shared = SpaceShared::new(hist_scheduler(), 1);
+    let feeder = shared.feeder();
+    feeder.close();
+    assert!(matches!(feeder.feed(&[1.0]), Err(SmartError::StreamClosed)));
+}
+
+#[test]
+fn consumer_drains_then_sees_end_of_stream_after_close() {
+    let buffer: CircularBuffer<u32> = CircularBuffer::new(2);
+    buffer.push(1).unwrap();
+    buffer.push(2).unwrap();
+    buffer.close();
+    assert_eq!(buffer.pop(), Some(1));
+    assert_eq!(buffer.pop(), Some(2));
+    assert_eq!(buffer.pop(), None);
+}
+
+#[test]
+fn budget_violation_reports_usage() {
+    let budget = Budget::new(1024);
+    let err = budget.check(4096).unwrap_err();
+    assert_eq!(err.limit, 1024);
+    assert_eq!(err.used, 4096);
+    assert!(err.to_string().contains("simulated OOM"));
+}
+
+#[test]
+fn zero_length_inputs_are_harmless_everywhere() {
+    // Scheduler on empty input.
+    let mut s = hist_scheduler();
+    let mut out = vec![0u64; 4];
+    s.run(&[], &mut out).unwrap();
+    assert_eq!(out, vec![0; 4]);
+
+    // Cluster of one rank doing nothing.
+    let r = run_cluster(1, |comm| comm.size());
+    assert_eq!(r, vec![1]);
+}
+
+#[test]
+fn scheduler_is_reusable_after_an_error() {
+    let pool = smart_insitu::pool::shared_pool(1).unwrap();
+    let mut s =
+        Scheduler::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 2), pool).unwrap();
+    // Odd-length input errors...
+    assert!(s.run(&[0.1], &mut []).is_err());
+    // ...but the scheduler stays usable.
+    s.run(&[0.1, 0.2], &mut []).unwrap();
+    assert_eq!(s.combination_map().len(), 1);
+}

@@ -1,0 +1,126 @@
+//! The paper's "same analytics code everywhere" guarantee: time sharing,
+//! space sharing, copy-input, trigger-disabled, and offline deployments of
+//! the same application must produce identical results.
+
+use smart_insitu::analytics::{Histogram, MovingMedian};
+use smart_insitu::baseline::OfflineStore;
+use smart_insitu::core::space::SpaceShared;
+use smart_insitu::prelude::*;
+use smart_insitu::sim::MiniLulesh;
+
+fn simulate_steps(steps: usize) -> Vec<Vec<f64>> {
+    let mut sim = MiniLulesh::serial(8, 0.3);
+    (0..steps).map(|_| sim.step_serial().to_vec()).collect()
+}
+
+fn hist_scheduler(threads: usize) -> Scheduler<Histogram> {
+    let pool = smart_insitu::pool::shared_pool(threads).unwrap();
+    Scheduler::new(Histogram::new(0.0, 10.0, 24), SchedArgs::new(threads, 1), pool).unwrap()
+}
+
+#[test]
+fn time_sharing_space_sharing_and_offline_agree() {
+    let steps = simulate_steps(6);
+
+    // Time sharing (zero copy).
+    let mut time_out = vec![0u64; 24];
+    let mut s = hist_scheduler(2);
+    for step in &steps {
+        s.run(step, &mut time_out).unwrap();
+    }
+
+    // Space sharing (through the circular buffer, concurrent producer).
+    let mut space_out = vec![0u64; 24];
+    {
+        let mut shared = SpaceShared::new(hist_scheduler(2), 2);
+        let feeder = shared.feeder();
+        let steps_clone = steps.clone();
+        let producer = std::thread::spawn(move || {
+            for step in &steps_clone {
+                feeder.feed(step).unwrap();
+            }
+            feeder.close();
+        });
+        shared.run_to_end(&mut space_out).unwrap();
+        producer.join().unwrap();
+    }
+
+    // Offline (store first, analyze after).
+    let mut offline_out = vec![0u64; 24];
+    {
+        let store = OfflineStore::temp("modes-test").unwrap();
+        for (i, step) in steps.iter().enumerate() {
+            store.write_step(0, i, step).unwrap();
+        }
+        let mut s = hist_scheduler(2);
+        for i in 0..steps.len() {
+            let data = store.read_step(0, i).unwrap();
+            s.run(&data, &mut offline_out).unwrap();
+        }
+        store.destroy().unwrap();
+    }
+
+    assert_eq!(time_out, space_out, "time vs space sharing");
+    assert_eq!(time_out, offline_out, "in-situ vs offline");
+}
+
+#[test]
+fn copy_input_equals_zero_copy() {
+    let steps = simulate_steps(4);
+    let mut zero = vec![0u64; 24];
+    let mut copied = vec![0u64; 24];
+
+    let mut a = hist_scheduler(2);
+    let pool = smart_insitu::pool::shared_pool(2).unwrap();
+    let mut b = Scheduler::new(
+        Histogram::new(0.0, 10.0, 24),
+        SchedArgs::new(2, 1).with_copy_input(true),
+        pool,
+    )
+    .unwrap();
+
+    for step in &steps {
+        a.run(step, &mut zero).unwrap();
+        b.run(step, &mut copied).unwrap();
+    }
+    assert_eq!(zero, copied);
+}
+
+#[test]
+fn early_emission_equals_no_trigger_for_window_analytics() {
+    let steps = simulate_steps(3);
+    let n = steps[0].len();
+
+    for threads in [1, 3] {
+        let run = |disable: bool, data: &[f64]| -> Vec<f64> {
+            let pool = smart_insitu::pool::shared_pool(threads).unwrap();
+            let args = SchedArgs::new(threads, 1).with_trigger_disabled(disable);
+            let mut s = Scheduler::new(MovingMedian::new(7, n), args, pool).unwrap();
+            let mut out = vec![0.0f64; n];
+            s.run2(data, &mut out).unwrap();
+            out
+        };
+        for step in &steps {
+            let optimized = run(false, step);
+            let unoptimized = run(true, step);
+            assert_eq!(optimized, unoptimized, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn thread_count_never_changes_exact_counts() {
+    let steps = simulate_steps(3);
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 4] {
+        let mut out = vec![0u64; 24];
+        let mut s = hist_scheduler(threads);
+        for step in &steps {
+            s.run(step, &mut out).unwrap();
+        }
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "threads={threads}"),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests at the whole-runtime level: for random data, thread
+//! counts, rank counts, and chunk sizes, the distributed parallel pipeline
+//! must agree with a sequential oracle.
+
+use proptest::prelude::*;
+use smart_insitu::analytics::{GridAggregation, Histogram, MovingAverage};
+use smart_insitu::prelude::*;
+
+fn hist_oracle(data: &[f64], buckets: usize) -> Vec<u64> {
+    let h = Histogram::new(-1000.0, 1000.0, buckets);
+    let mut counts = vec![0u64; buckets];
+    for &v in data {
+        counts[h.bucket_of(v)] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Histogram over any (ranks, threads) grid equals the oracle.
+    #[test]
+    fn distributed_histogram_equals_oracle(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 1..400),
+        ranks in 1usize..5,
+        threads in 1usize..4,
+        buckets in 1usize..40,
+    ) {
+        let expected = hist_oracle(&data, buckets);
+        let results = smart_insitu::comm::run_cluster(ranks, |mut comm| {
+            let share = data.len() / comm.size();
+            let lo = comm.rank() * share;
+            let hi = if comm.rank() + 1 == comm.size() { data.len() } else { lo + share };
+            let pool = smart_insitu::pool::shared_pool(threads).unwrap();
+            let mut s = Scheduler::new(
+                Histogram::new(-1000.0, 1000.0, buckets),
+                SchedArgs::new(threads, 1),
+                pool,
+            )
+            .unwrap();
+            let mut out = vec![0u64; buckets];
+            s.run_dist(&mut comm, &data[lo..hi], &mut out).unwrap();
+            out
+        });
+        for out in results {
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+
+    /// Moving average with global keys over rank partitions equals the
+    /// whole-array oracle on every key a rank's partition touches.
+    #[test]
+    fn distributed_moving_average_equals_oracle(
+        data in proptest::collection::vec(-10.0f64..10.0, 4..200),
+        ranks in 1usize..4,
+        hw in 1usize..4,
+    ) {
+        let window = 2 * hw + 1;
+        let n = data.len();
+        let oracle: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(hw);
+                let hi = (i + hw).min(n - 1);
+                data[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+            })
+            .collect();
+
+        let results = smart_insitu::comm::run_cluster(ranks, |mut comm| {
+            let share = n / comm.size();
+            let lo = comm.rank() * share;
+            let hi = if comm.rank() + 1 == comm.size() { n } else { lo + share };
+            let pool = smart_insitu::pool::shared_pool(2).unwrap();
+            let args = SchedArgs::new(2, 1).with_partition(lo, n);
+            let mut s = Scheduler::new(MovingAverage::new(window, n), args, pool).unwrap();
+            let mut out = vec![f64::NAN; n];
+            s.run2_dist(&mut comm, &data[lo..hi], &mut out).unwrap();
+            (lo, hi, out)
+        });
+        for (lo, hi, out) in results {
+            if lo == hi {
+                continue; // empty partition on over-decomposed input
+            }
+            let key_lo = lo.saturating_sub(hw);
+            let key_hi = (hi - 1 + hw).min(n - 1);
+            for key in key_lo..=key_hi {
+                prop_assert!(
+                    (out[key] - oracle[key]).abs() < 1e-9,
+                    "key {key}: {} vs {}", out[key], oracle[key]
+                );
+            }
+        }
+    }
+
+    /// Chunked processing (chunk_size > 1) never splits a unit chunk:
+    /// grid aggregation over chunk-aligned groups equals its oracle for
+    /// every chunk size that divides the input.
+    #[test]
+    fn chunk_sizes_never_split_units(
+        groups in 1usize..50,
+        chunk in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let data: Vec<f64> = (0..groups * chunk).map(|i| i as f64).collect();
+        let app = GridAggregation::new(chunk, data.len());
+        let cells = app.cells();
+        let pool = smart_insitu::pool::shared_pool(threads).unwrap();
+        let mut s = Scheduler::new(app, SchedArgs::new(threads, 1), pool).unwrap();
+        let mut out = vec![0.0; cells];
+        s.run(&data, &mut out).unwrap();
+        for (g, v) in out.iter().enumerate() {
+            let lo = g * chunk;
+            let hi = ((g + 1) * chunk).min(data.len());
+            let mean = data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            prop_assert!((v - mean).abs() < 1e-9);
+        }
+    }
+
+    /// The early-emission optimization never changes results, for any
+    /// thread count and window.
+    #[test]
+    fn trigger_is_semantically_invisible(
+        data in proptest::collection::vec(-5.0f64..5.0, 1..150),
+        hw in 1usize..4,
+        threads in 1usize..4,
+    ) {
+        let window = 2 * hw + 1;
+        let n = data.len();
+        let run = |disable: bool| {
+            let pool = smart_insitu::pool::shared_pool(threads).unwrap();
+            let args = SchedArgs::new(threads, 1).with_trigger_disabled(disable);
+            let mut s = Scheduler::new(MovingAverage::new(window, n), args, pool).unwrap();
+            let mut out = vec![0.0; n];
+            s.run2(&data, &mut out).unwrap();
+            out
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
