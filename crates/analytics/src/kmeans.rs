@@ -89,12 +89,7 @@ impl KMeans {
     pub fn objective(&self, centroids: &[Vec<f64>], points: &[f64]) -> f64 {
         points
             .chunks_exact(self.dims)
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| Self::dist2(p, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| Self::dist2(p, c)).fold(f64::INFINITY, f64::min))
             .sum()
     }
 }
@@ -155,8 +150,7 @@ mod tests {
     /// Sequential Lloyd oracle, identical math (including empty-cluster
     /// handling: an empty cluster keeps its centroid).
     fn oracle(k: usize, dims: usize, init: &[f64], points: &[f64], iters: usize) -> Vec<Vec<f64>> {
-        let mut centroids: Vec<Vec<f64>> =
-            init.chunks_exact(dims).map(|c| c.to_vec()).collect();
+        let mut centroids: Vec<Vec<f64>> = init.chunks_exact(dims).map(|c| c.to_vec()).collect();
         for _ in 0..iters {
             let mut sums = vec![vec![0.0; dims]; k];
             let mut sizes = vec![0u64; k];

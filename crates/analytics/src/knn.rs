@@ -146,8 +146,7 @@ mod tests {
         let half = window / 2;
         let lo = i.saturating_sub(half);
         let hi = (i + half).min(data.len() - 1);
-        let mut members: Vec<(usize, f64)> =
-            (lo..=hi).map(|j| (j.abs_diff(i), data[j])).collect();
+        let mut members: Vec<(usize, f64)> = (lo..=hi).map(|j| (j.abs_diff(i), data[j])).collect();
         members.sort_by_key(|&(d, _)| d);
         let take = k.min(members.len());
         members[..take].iter().map(|&(_, v)| v).sum::<f64>() / take as f64

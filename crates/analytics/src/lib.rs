@@ -35,10 +35,11 @@ pub use grid::{GridAggregation, GridCell};
 pub use grid3d::{Dims3, Grid3DAggregation};
 pub use histogram::{Bucket, Histogram};
 pub use kmeans::{ClusterObj, KMeans};
+pub use knn::{KnnObj, KnnSmoother};
 pub use logistic::{LogisticRegression, LrObj};
 pub use mutual_info::{Cell, MutualInformation};
-pub use knn::{KnnObj, KnnSmoother};
 pub use stats::{Moments, MomentsObj, MomentsSummary, RangeObj, ValueRange};
 pub use window::{
-    GaussianSmoother, MovingAverage, MovingMedian, SavitzkyGolay, WinMedianObj, WinObj, WinWeightedObj,
+    GaussianSmoother, MovingAverage, MovingMedian, SavitzkyGolay, WinMedianObj, WinObj,
+    WinWeightedObj,
 };

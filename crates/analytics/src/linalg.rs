@@ -69,9 +69,7 @@ pub fn savgol_coefficients(window: usize, order: usize) -> Vec<f64> {
     e0[0] = 1.0;
     let y = solve(ata, e0).expect("SG normal equations are nonsingular for order < window");
 
-    (-h..=h)
-        .map(|i| (0..m).map(|j| y[j] * (i as f64).powi(j as i32)).sum())
-        .collect()
+    (-h..=h).map(|i| (0..m).map(|j| y[j] * (i as f64).powi(j as i32)).sum()).collect()
 }
 
 #[cfg(test)]

@@ -157,17 +157,10 @@ mod tests {
         w
     }
 
-    fn run_smart(
-        dims: usize,
-        lr: f64,
-        data: &[f64],
-        iters: usize,
-        threads: usize,
-    ) -> Vec<f64> {
+    fn run_smart(dims: usize, lr: f64, data: &[f64], iters: usize, threads: usize) -> Vec<f64> {
         let app = LogisticRegression::new(dims, lr);
-        let args = SchedArgs::new(threads, app.chunk_size())
-            .with_extra(vec![0.0; dims])
-            .with_iters(iters);
+        let args =
+            SchedArgs::new(threads, app.chunk_size()).with_extra(vec![0.0; dims]).with_iters(iters);
         let pool = smart_pool::shared_pool(4).unwrap();
         let mut s = Scheduler::new(app, args, pool).unwrap();
         let mut out = vec![Vec::new()];

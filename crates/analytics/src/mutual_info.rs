@@ -159,10 +159,12 @@ mod tests {
 
     #[test]
     fn identical_variables_have_high_mi() {
-        let pairs: Vec<(f64, f64)> = (0..2000).map(|i| {
-            let v = (i % 1000) as f64 / 1000.0;
-            (v, v)
-        }).collect();
+        let pairs: Vec<(f64, f64)> = (0..2000)
+            .map(|i| {
+                let v = (i % 1000) as f64 / 1000.0;
+                (v, v)
+            })
+            .collect();
         let mi = run_pairs(&app(), &pairs, 4);
         // X == Y uniform over 10 buckets → I = H(X) = ln(10) ≈ 2.30.
         assert!((mi - (10.0f64).ln()).abs() < 0.05, "mi = {mi}");

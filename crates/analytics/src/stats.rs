@@ -118,8 +118,8 @@ impl Moments {
         let mean = o.s1 / n;
         let m2 = o.s2 / n - mean * mean;
         let m3 = o.s3 / n - 3.0 * mean * o.s2 / n + 2.0 * mean.powi(3);
-        let m4 = o.s4 / n - 4.0 * mean * o.s3 / n + 6.0 * mean * mean * o.s2 / n
-            - 3.0 * mean.powi(4);
+        let m4 =
+            o.s4 / n - 4.0 * mean * o.s3 / n + 6.0 * mean * mean * o.s2 / n - 3.0 * mean.powi(4);
         let variance = m2.max(0.0);
         let sd = variance.sqrt();
         Some(MomentsSummary {

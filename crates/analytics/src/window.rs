@@ -161,7 +161,13 @@ impl Analytics for MovingMedian {
     type Out = f64;
     type Extra = ();
 
-    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinMedianObj>, keys: &mut Vec<Key>) {
+    fn gen_keys(
+        &self,
+        chunk: &Chunk,
+        _d: &[f64],
+        _com: &ComMap<WinMedianObj>,
+        keys: &mut Vec<Key>,
+    ) {
         self.spec.keys_for(chunk.global_start, keys);
     }
 
@@ -251,7 +257,13 @@ impl Analytics for GaussianSmoother {
     type Out = f64;
     type Extra = ();
 
-    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinWeightedObj>, keys: &mut Vec<Key>) {
+    fn gen_keys(
+        &self,
+        chunk: &Chunk,
+        _d: &[f64],
+        _com: &ComMap<WinWeightedObj>,
+        keys: &mut Vec<Key>,
+    ) {
         self.spec.keys_for(chunk.global_start, keys);
     }
 
@@ -309,7 +321,13 @@ impl Analytics for SavitzkyGolay {
     type Out = f64;
     type Extra = ();
 
-    fn gen_keys(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<WinWeightedObj>, keys: &mut Vec<Key>) {
+    fn gen_keys(
+        &self,
+        chunk: &Chunk,
+        _d: &[f64],
+        _com: &ComMap<WinWeightedObj>,
+        keys: &mut Vec<Key>,
+    ) {
         self.spec.keys_for(chunk.global_start, keys);
     }
 
@@ -412,8 +430,7 @@ mod tests {
         let data: Vec<f64> = vec![1.0; 10_000];
         let pool = smart_pool::shared_pool(1).unwrap();
         let mut s =
-            Scheduler::new(MovingAverage::new(25, data.len()), SchedArgs::new(1, 1), pool)
-                .unwrap();
+            Scheduler::new(MovingAverage::new(25, data.len()), SchedArgs::new(1, 1), pool).unwrap();
         let mut out = vec![0.0f64; data.len()];
         s.run2(&data, &mut out).unwrap();
         // Everything triggered during the single split's pass.
@@ -471,8 +488,7 @@ mod tests {
 
     #[test]
     fn gaussian_smoother_reduces_variance() {
-        let data: Vec<f64> =
-            (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
         let got = run_app(GaussianSmoother::new(11, data.len()), &data, 4, false);
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;

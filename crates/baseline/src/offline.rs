@@ -28,10 +28,8 @@ impl OfflineStore {
 
     /// A store in a fresh subdirectory of the system temp dir.
     pub fn temp(label: &str) -> io::Result<Self> {
-        let dir = std::env::temp_dir().join(format!(
-            "smart-offline-{label}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("smart-offline-{label}-{}", std::process::id()));
         Self::new(dir)
     }
 

@@ -82,9 +82,8 @@ fn bench_wire_blocking(c: &mut Criterion) {
     group.sample_size(20);
 
     // A k-means-like combination map: 8 clusters of 64-dim vectors.
-    let entries: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> = (0..8)
-        .map(|k| (k, (vec![1.5; 64], vec![0.5; 64], 100)))
-        .collect();
+    let entries: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> =
+        (0..8).map(|k| (k, (vec![1.5; 64], vec![0.5; 64], 100))).collect();
 
     group.bench_function("one_block_roundtrip", |b| {
         b.iter(|| {

@@ -1,0 +1,129 @@
+//! Ablation for the two-layer combination pipeline:
+//!
+//! * **local combination** (Fig. 8 thread-scaling side): serial fold of the
+//!   per-thread partial maps on the driver thread vs the pairwise parallel
+//!   tree merge on the pool, on a ≥100k-key combination map at 4 threads —
+//!   the regime where the light-app curve of Fig. 8 flattens because the
+//!   serial merge is Amdahl's sequential fraction;
+//! * **global combination** (Fig. 7 node-scaling side): the reduce-to-root +
+//!   broadcast allreduce vs the shard-partitioned ring allreduce, on
+//!   histogram-1200-sized combination maps across growing rank counts —
+//!   the master-bottleneck pattern vs evenly spread traffic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use smart_comm::{merge_sorted_entries, run_cluster};
+use smart_core::RedMap;
+use smart_pool::ThreadPool;
+
+/// The scheduler's merge step (scheduler::merge_into) over plain count
+/// objects: pre-reserve, then merge-or-move every entry.
+fn merge_into(mut src: RedMap<u64>, dst: &mut RedMap<u64>) {
+    dst.reserve(src.len());
+    for (k, v) in src.drain_entries() {
+        match dst.get_mut(k) {
+            Some(com) => *com += v,
+            None => {
+                dst.insert(k, v);
+            }
+        }
+    }
+}
+
+fn bench_local_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_local");
+    group.sample_size(10);
+
+    // Four per-thread partials over an overlapping ~131k-key space, as a
+    // 4-thread multi-key analytics would produce them.
+    let keys = 1 << 17;
+    let threads = 4;
+    let partials: Vec<RedMap<u64>> = (0..threads)
+        .map(|t| (0..keys).map(|i| (((i * 31 + t * 7) % keys) as i64, 1u64)).collect())
+        .collect();
+    let pool = ThreadPool::new(threads).unwrap();
+
+    group.bench_function(BenchmarkId::new("serial_fold", keys), |b| {
+        b.iter_batched(
+            || partials.clone(),
+            |parts| {
+                let mut delta: RedMap<u64> = RedMap::new();
+                for p in parts {
+                    merge_into(p, &mut delta);
+                }
+                delta.len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function(BenchmarkId::new("tree_merge", keys), |b| {
+        b.iter_batched(
+            || partials.clone(),
+            |parts| {
+                let delta = pool
+                    .tree_reduce(parts, |a, b| {
+                        let (mut dst, src) =
+                            if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
+                        merge_into(src, &mut dst);
+                        dst
+                    })
+                    .unwrap()
+                    .unwrap_or_default();
+                delta.len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_global_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_global");
+    group.sample_size(10);
+
+    // A Fig. 7 histogram combination map: 1200 buckets, every rank holding
+    // all of them. Several rounds per cluster launch so collective time
+    // dominates thread-spawn time.
+    let buckets = 1200i64;
+    let rounds = 16;
+
+    for ranks in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("allreduce_tree", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                run_cluster(n, |mut comm| {
+                    let mut total = 0usize;
+                    for _ in 0..rounds {
+                        let local: Vec<(i64, u64)> = (0..buckets).map(|k| (k, 1u64)).collect();
+                        let merged = comm
+                            .allreduce(local, |acc, inc| {
+                                merge_sorted_entries(acc, inc, |a, b| *a += b)
+                            })
+                            .unwrap();
+                        total += merged.len();
+                    }
+                    total
+                })
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("allreduce_sharded", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                run_cluster(n, |mut comm| {
+                    let mut total = 0usize;
+                    for _ in 0..rounds {
+                        let local: Vec<(i64, u64)> = (0..buckets).map(|k| (k, 1u64)).collect();
+                        let merged = comm.allreduce_sharded(local, |a, b| *a += b).unwrap();
+                        total += merged.len();
+                    }
+                    total
+                })
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_combine, bench_global_combine);
+criterion_main!(benches);

@@ -21,12 +21,9 @@ fn bench(c: &mut Criterion) {
             &ranks,
             |b, _| {
                 let pool = smart_pool::shared_pool(1).unwrap();
-                let mut s = Scheduler::new(
-                    Histogram::new(0.0, 100.0, 1200),
-                    SchedArgs::new(1, 1),
-                    pool,
-                )
-                .unwrap();
+                let mut s =
+                    Scheduler::new(Histogram::new(0.0, 100.0, 1200), SchedArgs::new(1, 1), pool)
+                        .unwrap();
                 let mut out = vec![0u64; 1200];
                 b.iter(|| s.run(&data[..part], &mut out).unwrap());
             },

@@ -16,30 +16,22 @@ fn bench(c: &mut Criterion) {
         sim.step_serial();
     }
     let data = sim.output().to_vec();
-    let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) =
+        data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
 
     group.bench_function("light_histogram_step", |b| {
         let pool = smart_pool::shared_pool(1).unwrap();
-        let mut s = Scheduler::new(
-            Histogram::new(min, max + 1e-9, 1200),
-            SchedArgs::new(1, 1),
-            pool,
-        )
-        .unwrap();
+        let mut s =
+            Scheduler::new(Histogram::new(min, max + 1e-9, 1200), SchedArgs::new(1, 1), pool)
+                .unwrap();
         let mut out = vec![0u64; 1200];
         b.iter(|| s.run(&data, &mut out).unwrap());
     });
 
     group.bench_function("heavy_moving_median_step", |b| {
         let pool = smart_pool::shared_pool(1).unwrap();
-        let mut s = Scheduler::new(
-            MovingMedian::new(25, data.len()),
-            SchedArgs::new(1, 1),
-            pool,
-        )
-        .unwrap();
+        let mut s =
+            Scheduler::new(MovingMedian::new(25, data.len()), SchedArgs::new(1, 1), pool).unwrap();
         let mut out = vec![0.0f64; data.len()];
         b.iter(|| {
             s.reset();

@@ -25,8 +25,7 @@ fn bench(c: &mut Criterion) {
                     .with_extra(vec![0.0; 15])
                     .with_iters(3)
                     .with_copy_input(copy);
-                let mut s =
-                    Scheduler::new(LogisticRegression::new(15, 0.1), args, pool).unwrap();
+                let mut s = Scheduler::new(LogisticRegression::new(15, 0.1), args, pool).unwrap();
                 let mut out = vec![Vec::new()];
                 b.iter(|| s.run(data, &mut out).unwrap());
             },

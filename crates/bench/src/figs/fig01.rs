@@ -31,7 +31,8 @@ fn charge_storage(bytes: usize, actual: Duration) -> Duration {
 
 fn kmeans_scheduler(iters: usize, threads: usize) -> Scheduler<KMeans> {
     let (k, dims) = (8, 4);
-    let init: Vec<f64> = (0..k * dims).map(|i| ((i / dims) as f64 + 0.5) * 100.0 / k as f64).collect();
+    let init: Vec<f64> =
+        (0..k * dims).map(|i| ((i / dims) as f64 + 0.5) * 100.0 / k as f64).collect();
     let args = SchedArgs::new(threads, dims).with_extra(init).with_iters(iters);
     let pool = smart_pool::shared_pool(threads).expect("pool");
     Scheduler::new(KMeans::new(k, dims), args, pool).expect("scheduler")
@@ -90,7 +91,11 @@ pub fn run(scale: Scale) -> Table {
         let (offline, io) = {
             let a = run_offline();
             let b = run_offline();
-            if a.0 <= b.0 { a } else { b }
+            if a.0 <= b.0 {
+                a
+            } else {
+                b
+            }
         };
 
         table.row(vec![

@@ -97,8 +97,7 @@ pub fn run(scale: Scale) -> Table {
         let mut emu = ClusteredEmulator::new(52, 8, 64, 1.0);
         let data = emu.step(km_points);
         let init: Vec<f64> = data[..8 * 64].to_vec();
-        let smart =
-            measure_smart(KMeans::new(8, 64), 64, Some(init.clone()), 10, false, 8, &data);
+        let smart = measure_smart(KMeans::new(8, 64), 64, Some(init.clone()), 10, false, 8, &data);
         let ctx = SparkContext::with_service_threads(1, 0);
         ctx.enable_stage_stats();
         let (_, spark_wall) = time_it(|| kmeans_spark(&ctx, &data, 64, &init, 10, partitions));
@@ -114,8 +113,7 @@ pub fn run(scale: Scale) -> Table {
     {
         let mut emu = NormalEmulator::standard(53);
         let data = emu.step(hist_n);
-        let smart =
-            measure_smart(Histogram::new(-4.0, 4.0, 100), 1, None, 1, false, 100, &data);
+        let smart = measure_smart(Histogram::new(-4.0, 4.0, 100), 1, None, 1, false, 100, &data);
         let ctx = SparkContext::with_service_threads(1, 0);
         ctx.enable_stage_stats();
         let (_, spark_wall) = time_it(|| histogram_spark(&ctx, &data, -4.0, 4.0, 100, partitions));

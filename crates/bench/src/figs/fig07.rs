@@ -67,7 +67,8 @@ pub fn run(scale: Scale) -> Table {
             let m = suite[app_idx].1;
 
             let sim_share = Duration::from_secs_f64(
-                sim_serial.as_secs_f64() * planes_per_rank as f64 / nz as f64
+                sim_serial.as_secs_f64() * planes_per_rank as f64
+                    / nz as f64
                     / THREADS_PER_NODE as f64,
             );
             let parity = comm_parity(data.len() * 8);

@@ -94,9 +94,9 @@ pub fn run(scale: Scale) -> Table {
         sim.step_serial();
         let data = sim.output().to_vec();
         let usable = (data.len() / 2) * 2;
-        let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let (zc, cp, peak) = measure_pair(
             || MutualInformation::new((min, max + 1e-9, 100), (min, max + 1e-9, 100)),
             None,

@@ -77,9 +77,8 @@ pub fn run(scale: Scale) -> Table {
     let data_raw = sim.output().to_vec();
     let usable = (data_raw.len() / 16) * 16;
     let data = &data_raw[..usable];
-    let (min, max) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) =
+        data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let max = max + 1e-9;
 
     // The three §5.6 apps with §5.4 parameters.
@@ -104,8 +103,7 @@ pub fn run(scale: Scale) -> Table {
     // sharing wins for compute-heavy analytics by overlapping them with a
     // simulation that has stopped scaling.
     let heaviest = median.t1.max(km.t1).max(hist.t1);
-    let substeps =
-        (3.5 * heaviest.as_secs_f64() / sim_step.as_secs_f64()).ceil().max(1.0) as u32;
+    let substeps = (3.5 * heaviest.as_secs_f64() / sim_step.as_secs_f64()).ceil().max(1.0) as u32;
     let sim_serial = sim_step * substeps;
 
     let comm_sim = model.halo_time(edge * edge * 8 * 5, NODES)
@@ -114,15 +112,11 @@ pub fn run(scale: Scale) -> Table {
     let schemes = [(50usize, 10usize), (40, 20), (30, 30), (20, 40), (10, 50)];
     let mut table = Table::new(
         "Fig. 10 — time sharing vs space sharing on a 60-core node (per-step time)",
-        &[
-            "app", "sim-only", "time-sharing", "50_10", "40_20", "30_30", "20_40", "10_50",
-            "best",
-        ],
+        &["app", "sim-only", "time-sharing", "50_10", "40_20", "30_30", "20_40", "10_50", "best"],
     );
 
     for (name, m) in [("histogram", hist), ("k-means", km), ("moving-median", median)] {
-        let per_iter_merge =
-            if m.iters > 0 { m.combine(1) / m.iters as u32 } else { m.combine(1) };
+        let per_iter_merge = if m.iters > 0 { m.combine(1) / m.iters as u32 } else { m.combine(1) };
         let parts = NodeParts {
             sim_serial,
             ana: m,

@@ -24,7 +24,10 @@ struct Row {
     peak_without: usize,
 }
 
-fn measure_pair<A>(make_app: impl Fn() -> A, data: &[f64]) -> (Duration, Duration, usize, usize, usize)
+fn measure_pair<A>(
+    make_app: impl Fn() -> A,
+    data: &[f64],
+) -> (Duration, Duration, usize, usize, usize)
 where
     A: Analytics<In = f64, Out = f64, Extra = ()>,
 {

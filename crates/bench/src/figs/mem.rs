@@ -20,9 +20,8 @@ pub fn run(scale: Scale) -> Table {
     // Smart: peak allocation beyond the (borrowed) time-step.
     let smart_peak = {
         let pool = smart_pool::shared_pool(1).expect("pool");
-        let mut s =
-            Scheduler::new(Histogram::new(-4.0, 4.0, 100), SchedArgs::new(1, 1), pool)
-                .expect("scheduler");
+        let mut s = Scheduler::new(Histogram::new(-4.0, 4.0, 100), SchedArgs::new(1, 1), pool)
+            .expect("scheduler");
         let mut out = vec![0u64; 100];
         let scope = MemScope::begin();
         s.run(&data, &mut out).expect("run");
@@ -60,7 +59,9 @@ pub fn run(scale: Scale) -> Table {
             fmt_ratio(spark_peak as f64 / smart_peak.max(1) as f64)
         ));
     } else {
-        table.note("tracking allocator not registered: run the smart-bench binary for real numbers.");
+        table.note(
+            "tracking allocator not registered: run the smart-bench binary for real numbers.",
+        );
     }
     table
 }

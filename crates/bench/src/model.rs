@@ -31,7 +31,12 @@ impl ClusterModel {
     /// Modeled time of an allreduce (reduce + broadcast, binomial trees)
     /// shipping `bytes` per rank, plus `per_round_merge` of CPU work at
     /// each reduce round.
-    pub fn allreduce_time(&self, bytes: usize, ranks: usize, per_round_merge: Duration) -> Duration {
+    pub fn allreduce_time(
+        &self,
+        bytes: usize,
+        ranks: usize,
+        per_round_merge: Duration,
+    ) -> Duration {
         if ranks <= 1 {
             return Duration::ZERO;
         }
@@ -94,11 +99,8 @@ impl AppMeasurement {
     /// Modeled cluster analytics time: node time plus the per-iteration
     /// global combination.
     pub fn cluster_time(&self, model: &ClusterModel, threads: usize, ranks: usize) -> Duration {
-        let per_iter_merge = if self.iters > 0 {
-            self.combine(1) / self.iters as u32
-        } else {
-            self.combine(1)
-        };
+        let per_iter_merge =
+            if self.iters > 0 { self.combine(1) / self.iters as u32 } else { self.combine(1) };
         self.node_time(threads)
             + model.allreduce_time(self.global_bytes, ranks, per_iter_merge)
                 * self.iters.max(1) as u32

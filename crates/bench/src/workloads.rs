@@ -84,19 +84,15 @@ pub fn measure_suite(data: &[f64], min: f64, max: f64) -> Vec<(&'static str, App
     // k-means init: 8 centroids spread across the value range.
     let k = 8;
     let dims = 4;
-    let kinit: Vec<f64> = (0..k * dims)
-        .map(|i| min + (max - min) * ((i / dims) as f64 + 0.5) / k as f64)
-        .collect();
+    let kinit: Vec<f64> =
+        (0..k * dims).map(|i| min + (max - min) * ((i / dims) as f64 + 0.5) / k as f64).collect();
 
     vec![
         (
             "grid-aggregation",
             measure_smart(GridAggregation::new(1000, n), 1, None, 1, false, n.div_ceil(1000), data),
         ),
-        (
-            "histogram",
-            measure_smart(Histogram::new(min, max, 1200), 1, None, 1, false, 1200, data),
-        ),
+        ("histogram", measure_smart(Histogram::new(min, max, 1200), 1, None, 1, false, 1200, data)),
         (
             "mutual-information",
             measure_smart(
@@ -121,18 +117,9 @@ pub fn measure_suite(data: &[f64], min: f64, max: f64) -> Vec<(&'static str, App
                 data,
             ),
         ),
-        (
-            "k-means",
-            measure_smart(KMeans::new(k, dims), dims, Some(kinit), 10, false, k, data),
-        ),
-        (
-            "moving-average",
-            measure_smart(MovingAverage::new(window, n), 1, None, 1, true, n, data),
-        ),
-        (
-            "moving-median",
-            measure_smart(MovingMedian::new(window, n), 1, None, 1, true, n, data),
-        ),
+        ("k-means", measure_smart(KMeans::new(k, dims), dims, Some(kinit), 10, false, k, data)),
+        ("moving-average", measure_smart(MovingAverage::new(window, n), 1, None, 1, true, n, data)),
+        ("moving-median", measure_smart(MovingMedian::new(window, n), 1, None, 1, true, n, data)),
         (
             "gaussian-kde",
             measure_smart(GaussianSmoother::new(window, n), 1, None, 1, true, n, data),

@@ -23,6 +23,8 @@ enum Op {
     Reduce = 3,
     Gather = 4,
     Scatter = 5,
+    ReduceScatter = 6,
+    AllGather = 7,
 }
 
 impl Communicator {
@@ -157,8 +159,10 @@ impl Communicator {
         Ok(())
     }
 
-    /// Gather every rank's value at `root` (linear). Returns `Some(values)`
-    /// in rank order at the root, `None` elsewhere.
+    /// Gather every rank's value at `root` (binomial tree, ⌈log₂ n⌉ rounds —
+    /// the reduce tree run in reverse, so the root performs O(log n) receives
+    /// instead of n − 1 serialized ones). Returns `Some(values)` in rank
+    /// order at the root, `None` elsewhere.
     pub fn gather<T>(&mut self, root: usize, value: T) -> CommResult<Option<Vec<T>>>
     where
         T: Serialize + DeserializeOwned,
@@ -167,22 +171,35 @@ impl Communicator {
             return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
         }
         let tag = self.coll_tag(Op::Gather);
-        if self.rank() == root {
-            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
-            slots[root] = Some(value);
-            #[allow(clippy::needless_range_loop)] // recv borrows self mutably; no iter_mut possible
-            for src in 0..self.size() {
-                if src == root {
-                    continue;
+        let n = self.size();
+        let relative = (self.rank() + n - root) % n;
+
+        // Accumulate this rank's binomial subtree as (relative rank, value)
+        // pairs, then hand the batch to the parent in one message.
+        let mut collected: Vec<(u64, T)> = vec![(relative as u64, value)];
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let child_rel = relative | mask;
+                if child_rel < n {
+                    let src = (child_rel + root) % n;
+                    let mut incoming: Vec<(u64, T)> = self.recv(src, tag)?;
+                    collected.append(&mut incoming);
                 }
-                let received = self.recv(src, tag)?;
-                slots[src] = Some(received);
+            } else {
+                let dst = (relative - mask + root) % n;
+                self.send(dst, tag, &collected)?;
+                return Ok(None);
             }
-            Ok(Some(slots.into_iter().map(|s| s.expect("slot filled")).collect()))
-        } else {
-            self.send(root, tag, &value)?;
-            Ok(None)
+            mask <<= 1;
         }
+        // Only the root (relative rank 0) reaches here; every rank's value
+        // arrived exactly once.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (rel, v) in collected {
+            slots[(rel as usize + root) % n] = Some(v);
+        }
+        Ok(Some(slots.into_iter().map(|s| s.expect("every rank gathered")).collect()))
     }
 
     /// Gather at rank 0 then broadcast: every rank gets all values in rank
@@ -207,9 +224,13 @@ impl Communicator {
         }
         let tag = self.coll_tag(Op::Scatter);
         if self.rank() == root {
-            let pieces = pieces.ok_or(CommError::ScatterArity { provided: 0, expected: self.size() })?;
+            let pieces =
+                pieces.ok_or(CommError::ScatterArity { provided: 0, expected: self.size() })?;
             if pieces.len() != self.size() {
-                return Err(CommError::ScatterArity { provided: pieces.len(), expected: self.size() });
+                return Err(CommError::ScatterArity {
+                    provided: pieces.len(),
+                    expected: self.size(),
+                });
             }
             let mut mine = None;
             for (dst, piece) in pieces.into_iter().enumerate() {
@@ -224,6 +245,176 @@ impl Communicator {
             self.recv(root, tag)
         }
     }
+
+    /// Ring reduce-scatter: every rank contributes one block per rank, and
+    /// rank `r` returns block `r` reduced across all ranks with `op`.
+    ///
+    /// Bandwidth-optimal: n − 1 steps, each shipping a single block to the
+    /// ring successor, so a rank sends `(n−1)/n` of its input — no rank ever
+    /// handles the whole reduction, unlike [`reduce`](Self::reduce) which
+    /// funnels every block through the root.
+    ///
+    /// `op(acc, incoming)` must be associative and commutative. `blocks`
+    /// must have exactly `size` elements on every rank.
+    pub fn reduce_scatter<T>(&mut self, blocks: Vec<T>, op: impl Fn(T, T) -> T) -> CommResult<T>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let n = self.size();
+        if blocks.len() != n {
+            return Err(CommError::ScatterArity { provided: blocks.len(), expected: n });
+        }
+        let mut slots: Vec<Option<T>> = blocks.into_iter().map(Some).collect();
+        if n == 1 {
+            return Ok(slots[0].take().expect("one block"));
+        }
+        let tag = self.coll_tag(Op::ReduceScatter);
+        let rank = self.rank();
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        for step in 0..n - 1 {
+            // Step s: pass block (rank − 1 − s) downstream and fold the
+            // incoming block (rank − 2 − s) into our copy; after n − 1 steps
+            // the final fold lands on block `rank`, now fully reduced.
+            let step_tag = tag | (((step as u64) & 0xFF) << 8);
+            let send_idx = (rank + n - 1 - (step % n)) % n;
+            let recv_idx = (rank + 2 * n - 2 - (step % n)) % n;
+            self.send(next, step_tag, slots[send_idx].as_ref().expect("block present"))?;
+            let incoming: T = self.recv(prev, step_tag)?;
+            let acc = slots[recv_idx].take().expect("block present");
+            slots[recv_idx] = Some(op(acc, incoming));
+        }
+        Ok(slots[rank].take().expect("own block reduced"))
+    }
+
+    /// Ring allgather: every rank contributes `value` and returns all ranks'
+    /// values in rank order.
+    ///
+    /// Like [`reduce_scatter`](Self::reduce_scatter), n − 1 steps each
+    /// forwarding one block to the ring successor: a rank sends `(n−1)/n` of
+    /// the assembled result, versus the gather-then-broadcast
+    /// [`allgather`](Self::allgather) whose root retransmits the full vector
+    /// O(log n) times.
+    pub fn allgather_ring<T>(&mut self, value: T) -> CommResult<Vec<T>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let n = self.size();
+        let rank = self.rank();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        slots[rank] = Some(value);
+        if n > 1 {
+            let tag = self.coll_tag(Op::AllGather);
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            for step in 0..n - 1 {
+                // Step s: forward block (rank − s), the one received last
+                // step (or our own at s = 0); receive block (rank − 1 − s).
+                let step_tag = tag | (((step as u64) & 0xFF) << 8);
+                let send_idx = (rank + n - (step % n)) % n;
+                let recv_idx = (rank + 2 * n - 1 - (step % n)) % n;
+                self.send(next, step_tag, slots[send_idx].as_ref().expect("block present"))?;
+                let incoming: T = self.recv(prev, step_tag)?;
+                slots[recv_idx] = Some(incoming);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every block received")).collect())
+    }
+
+    /// Shard-partitioned allreduce over key-sorted combination-map entries:
+    /// every rank returns the global merge of all ranks' entries, sorted by
+    /// key.
+    ///
+    /// Entries are hash-partitioned by key into one shard per rank
+    /// (deterministically, so the same key lands on the same shard
+    /// everywhere), reduced with a ring [`reduce_scatter`](Self::reduce_scatter)
+    /// whose operator is a streaming [`merge_sorted_entries`] join, then
+    /// reassembled with a ring [`allgather_ring`](Self::allgather_ring).
+    /// Per-rank traffic is `(n−1)/n × local + (n−1)/n × global` entry bytes —
+    /// at most ~2× the serialized global map regardless of rank count —
+    /// versus the reduce+broadcast [`allreduce`](Self::allreduce) that ships
+    /// the whole map through the root at every tree level.
+    ///
+    /// `entries` need not be sorted or duplicate-free; local duplicates are
+    /// coalesced with `merge(acc, incoming)` first, which must be associative
+    /// and commutative across ranks.
+    pub fn allreduce_sharded<T>(
+        &mut self,
+        entries: Vec<(i64, T)>,
+        merge: impl Fn(&mut T, T),
+    ) -> CommResult<Vec<(i64, T)>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let mut local = entries;
+        local.sort_unstable_by_key(|&(k, _)| k);
+        let mut coalesced: Vec<(i64, T)> = Vec::with_capacity(local.len());
+        for (k, v) in local {
+            match coalesced.last_mut() {
+                Some((lk, lv)) if *lk == k => merge(lv, v),
+                _ => coalesced.push((k, v)),
+            }
+        }
+        let n = self.size();
+        if n == 1 {
+            return Ok(coalesced);
+        }
+        let mut shards: Vec<Vec<(i64, T)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in coalesced {
+            shards[shard_of(k, n)].push((k, v));
+        }
+        let mine = self.reduce_scatter(shards, |a, b| merge_sorted_entries(a, b, &merge))?;
+        let all = self.allgather_ring(mine)?;
+        let mut out: Vec<(i64, T)> = all.into_iter().flatten().collect();
+        // Shards partition the key space by hash, not by range, so the
+        // concatenation needs one final sort to restore canonical key order.
+        out.sort_unstable_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+}
+
+/// The shard (owning rank) for `key` among `n` ranks. Deterministic and
+/// uniform: splitmix64-style finalizer over the key, reduced mod `n`, so
+/// every rank routes a given key to the same shard without coordination.
+fn shard_of(key: i64, n: usize) -> usize {
+    let mut h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 29;
+    (h % n as u64) as usize
+}
+
+/// Merge two key-sorted, duplicate-free entry vectors into one, applying
+/// `merge(acc, incoming)` to values sharing a key (`a` supplies the
+/// accumulator, `b` the incoming value). A streaming merge-join: O(|a| + |b|)
+/// moves, no hashing, no rebuild of an intermediate map.
+pub fn merge_sorted_entries<K: Ord, T>(
+    a: Vec<(K, T)>,
+    b: Vec<(K, T)>,
+    mut merge: impl FnMut(&mut T, T),
+) -> Vec<(K, T)> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        let took = match (ai.peek(), bi.peek()) {
+            (Some((ka, _)), Some((kb, _))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => ai.next(),
+                std::cmp::Ordering::Greater => bi.next(),
+                std::cmp::Ordering::Equal => {
+                    let (k, mut va) = ai.next().expect("peeked");
+                    let (_, vb) = bi.next().expect("peeked");
+                    merge(&mut va, vb);
+                    Some((k, va))
+                }
+            },
+            (Some(_), None) => ai.next(),
+            (None, Some(_)) => bi.next(),
+            (None, None) => break,
+        };
+        out.push(took.expect("one side non-empty"));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -315,8 +506,7 @@ mod tests {
     #[test]
     fn scatter_distributes_pieces() {
         let r = run_cluster(4, |mut comm| {
-            let pieces =
-                (comm.rank() == 1).then(|| vec![100u64, 101, 102, 103]);
+            let pieces = (comm.rank() == 1).then(|| vec![100u64, 101, 102, 103]);
             comm.scatter(1, pieces).unwrap()
         });
         assert_eq!(r, vec![100, 101, 102, 103]);
@@ -349,12 +539,188 @@ mod tests {
     }
 
     #[test]
+    fn gather_from_every_root_on_all_sizes() {
+        for n in [1, 2, 3, 4, 5, 6, 7, 8] {
+            for root in 0..n {
+                let r = run_cluster(n, move |mut comm| {
+                    comm.gather(root, comm.rank() as u32 * 10).unwrap()
+                });
+                let expected: Vec<u32> = (0..n as u32).map(|i| i * 10).collect();
+                for (rank, v) in r.into_iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(v, Some(expected.clone()), "n={n} root={root}");
+                    } else {
+                        assert_eq!(v, None, "n={n} root={root} rank={rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_root_receives_logarithmically_many_messages() {
+        // Binomial tree: the root takes ⌈log₂ n⌉ receives, so its children
+        // send at most that many messages — the old linear gather made the
+        // root the hot spot with n − 1 serialized receives.
+        let n = 8;
+        let r = run_cluster(n, |mut comm| {
+            let before = comm.sent_messages();
+            comm.gather(0, comm.rank() as u64).unwrap();
+            comm.sent_messages() - before
+        });
+        assert_eq!(r[0], 0, "root sends nothing");
+        assert!(r.iter().all(|&m| m <= 1), "each rank forwards one batched message: {r:?}");
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_reduced_block() {
+        for n in [1, 2, 3, 4, 5, 7, 8] {
+            let r = run_cluster(n, move |mut comm| {
+                let rank = comm.rank();
+                // Block j contributed by rank s is (s+1)*(j+1).
+                let blocks: Vec<u64> = (0..n).map(|j| ((rank + 1) * (j + 1)) as u64).collect();
+                comm.reduce_scatter(blocks, |a, b| a + b).unwrap()
+            });
+            for (rank, &got) in r.iter().enumerate() {
+                let expected: u64 = (0..n).map(|s| ((s + 1) * (rank + 1)) as u64).sum();
+                assert_eq!(got, expected, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_arity_mismatch_is_an_error() {
+        let r = run_cluster(3, |mut comm| {
+            comm.reduce_scatter(vec![1u8, 2], |a, b| a + b) // one block short
+        });
+        assert!(r.iter().all(|v| v.is_err()));
+    }
+
+    #[test]
+    fn allgather_ring_matches_allgather() {
+        for n in [1, 2, 3, 5, 8] {
+            let r = run_cluster(n, |mut comm| {
+                let v = vec![comm.rank() as u64; comm.rank() + 1];
+                let ring = comm.allgather_ring(v.clone()).unwrap();
+                let tree = comm.allgather(v).unwrap();
+                (ring, tree)
+            });
+            for (rank, (ring, tree)) in r.into_iter().enumerate() {
+                assert_eq!(ring, tree, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    /// Deterministic per-rank test entries: overlapping key ranges across
+    /// ranks plus in-rank duplicate keys, via a xorshift generator.
+    fn test_entries(rank: usize, case: usize) -> Vec<(i64, u64)> {
+        match case {
+            // Every rank empty.
+            0 => Vec::new(),
+            // Only rank 0 contributes, with duplicate keys.
+            1 => {
+                if rank == 0 {
+                    vec![(5, 1), (-3, 10), (5, 2), (5, 4)]
+                } else {
+                    Vec::new()
+                }
+            }
+            // Identical maps on every rank.
+            2 => (0..40).map(|k| (k as i64, k as u64 + 1)).collect(),
+            // Pseudo-random: keys clustered in [-18, 18] so ranks overlap
+            // heavily and duplicates occur within each rank.
+            _ => {
+                let mut state = (rank as u64 + 1) * 0x9E37_79B9_7F4A_7C15 + case as u64;
+                (0..100)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        ((state % 37) as i64 - 18, state >> 32)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sharded_matches_allreduce() {
+        use super::merge_sorted_entries;
+        for n in 1..=8usize {
+            for case in 0..4usize {
+                let r = run_cluster(n, move |mut comm| {
+                    let entries = test_entries(comm.rank(), case);
+                    // Reference: the existing reduce+broadcast allreduce over
+                    // the same sorted-coalesced entries.
+                    let mut sorted = entries.clone();
+                    sorted.sort_unstable_by_key(|&(k, _)| k);
+                    let mut coalesced: Vec<(i64, u64)> = Vec::new();
+                    for (k, v) in sorted {
+                        match coalesced.last_mut() {
+                            Some((lk, lv)) if *lk == k => *lv += v,
+                            _ => coalesced.push((k, v)),
+                        }
+                    }
+                    let reference = comm
+                        .allreduce(coalesced, |a, b| merge_sorted_entries(a, b, |x, y| *x += y))
+                        .unwrap();
+                    let sharded = comm.allreduce_sharded(entries, |x, y| *x += y).unwrap();
+                    (sharded, reference)
+                });
+                for (rank, (sharded, reference)) in r.into_iter().enumerate() {
+                    assert_eq!(sharded, reference, "n={n} case={case} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_allreduce_traffic_is_bounded_by_twice_the_global_map() {
+        // Worst case for the bound: identical maps on every rank, so each
+        // local map serializes to the same size as the global merged map.
+        for n in [2, 3, 5, 8] {
+            let entries_per_rank = 256usize;
+            let r = run_cluster(n, move |mut comm| {
+                let entries: Vec<(i64, u64)> =
+                    (0..entries_per_rank).map(|k| (k as i64, 1u64)).collect();
+                let before = comm.sent_bytes();
+                let out = comm.allreduce_sharded(entries, |a, b| *a += b).unwrap();
+                (comm.sent_bytes() - before, out)
+            });
+            let global: Vec<(i64, u64)> =
+                (0..entries_per_rank).map(|k| (k as i64, n as u64)).collect();
+            let global_bytes = smart_wire::encoded_len(&global).unwrap();
+            for (rank, (sent, out)) in r.into_iter().enumerate() {
+                assert_eq!(out, global, "n={n} rank={rank}");
+                // 2(n−1) ring messages, each a Vec with an 8-byte length
+                // prefix — allow that framing beyond the 2x payload bound.
+                let slack = 64 * n as u64;
+                assert!(
+                    sent <= 2 * global_bytes + slack,
+                    "n={n} rank={rank}: sent {sent} bytes > 2x global map ({global_bytes}) + {slack}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sorted_entries_joins_by_key() {
+        use super::merge_sorted_entries;
+        let a = vec![(1, 10u64), (3, 30), (5, 50)];
+        let b = vec![(0, 1u64), (3, 3), (6, 6)];
+        let got = merge_sorted_entries(a, b, |x, y| *x += y);
+        assert_eq!(got, vec![(0, 1), (1, 10), (3, 33), (5, 50), (6, 6)]);
+        let empty: Vec<(i64, u64)> = Vec::new();
+        assert_eq!(merge_sorted_entries(empty.clone(), empty, |x, y| *x += y), Vec::new());
+        assert_eq!(merge_sorted_entries(vec![(2, 2u64)], Vec::new(), |x, y| *x += y), vec![(2, 2)]);
+    }
+
+    #[test]
     fn reduce_with_noncommutative_use_still_deterministic_per_tree() {
         // The tree fixes the combination order; with a commutative op the
         // result is rank-count dependent only.
-        let r = run_cluster(8, |mut comm| {
-            comm.allreduce(1u64 << comm.rank(), |a, b| a | b).unwrap()
-        });
+        let r =
+            run_cluster(8, |mut comm| comm.allreduce(1u64 << comm.rank(), |a, b| a | b).unwrap());
         assert!(r.iter().all(|&v| v == 0xFF));
     }
 }

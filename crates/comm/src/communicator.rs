@@ -161,7 +161,12 @@ impl Communicator {
 
     /// Send `value` to `dest` with `tag`. Blocking only in the sense that the
     /// cost model (if any) is charged here; delivery itself is queued.
-    pub fn send<T: Serialize + ?Sized>(&mut self, dest: usize, tag: Tag, value: &T) -> CommResult<()> {
+    pub fn send<T: Serialize + ?Sized>(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        value: &T,
+    ) -> CommResult<()> {
         let payload = smart_wire::to_bytes(value)?;
         self.send_bytes(dest, tag, payload)
     }
@@ -251,10 +256,7 @@ mod tests {
     #[test]
     fn bad_rank_is_rejected() {
         let (mut a, _b) = pair();
-        assert_eq!(
-            a.send(5, 1, &1u8).unwrap_err(),
-            CommError::RankOutOfRange { rank: 5, size: 2 }
-        );
+        assert_eq!(a.send(5, 1, &1u8).unwrap_err(), CommError::RankOutOfRange { rank: 5, size: 2 });
         assert!(matches!(a.recv::<u8>(9, 1), Err(CommError::RankOutOfRange { .. })));
     }
 

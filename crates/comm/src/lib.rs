@@ -15,8 +15,14 @@
 //!   [`barrier`](Communicator::barrier), [`broadcast`](Communicator::broadcast),
 //!   [`reduce`](Communicator::reduce), [`allreduce`](Communicator::allreduce),
 //!   [`gather`](Communicator::gather), [`allgather`](Communicator::allgather)
-//!   and [`scatter`](Communicator::scatter). Broadcast and reduce are
-//!   binomial trees, as in MPICH.
+//!   and [`scatter`](Communicator::scatter). Broadcast, reduce and gather
+//!   are binomial trees, as in MPICH's small-message algorithms; for the
+//!   large maps of global combination there are bandwidth-optimal ring
+//!   collectives — [`reduce_scatter`](Communicator::reduce_scatter),
+//!   [`allgather_ring`](Communicator::allgather_ring) and the
+//!   shard-partitioned [`allreduce_sharded`](Communicator::allreduce_sharded)
+//!   that spreads combination-map traffic evenly across ranks instead of
+//!   funnelling it through the root.
 //! * Messages are serialized with [`smart_wire`] — matching the paper's
 //!   observation (§5.3) that global combination pays a serialization cost
 //!   for map-structured reduction objects.
@@ -43,6 +49,7 @@ mod communicator;
 mod cost;
 mod error;
 
+pub use collectives::merge_sorted_entries;
 pub use communicator::{Communicator, Mailbox, Tag};
 pub use cost::{CommConfig, CostModel};
 pub use error::{CommError, CommResult};
@@ -88,9 +95,10 @@ where
             .enumerate()
             .map(|(rank, h)| match h.join() {
                 Ok(v) => v,
-                Err(e) => std::panic::resume_unwind(
-                    Box::new(format!("rank {rank} panicked: {e:?}")) as Box<dyn std::any::Any + Send>,
-                ),
+                Err(e) => {
+                    std::panic::resume_unwind(Box::new(format!("rank {rank} panicked: {e:?}"))
+                        as Box<dyn std::any::Any + Send>)
+                }
             })
             .collect()
     })
@@ -174,9 +182,7 @@ mod tests {
             cost: Some(CostModel::new(std::time::Duration::from_micros(50), 100_000_000.0)),
             ..CommConfig::default()
         };
-        let r = run_cluster_with(4, config, |mut comm| {
-            comm.allreduce(1u64, |a, b| a + b).unwrap()
-        });
+        let r = run_cluster_with(4, config, |mut comm| comm.allreduce(1u64, |a, b| a + b).unwrap());
         assert_eq!(r, vec![4, 4, 4, 4]);
     }
 

@@ -14,9 +14,12 @@
 //!   keeps the analytics footprint small enough to co-exist with a
 //!   memory-bound simulation (paper §2.3.3, §3.1);
 //! * a **local combination** merges the per-thread reduction maps into one
-//!   combination map with [`Analytics::merge`];
+//!   combination map with [`Analytics::merge`] — pairwise in parallel on
+//!   the pool by default (see [`CombineStrategy`]);
 //! * a **global combination** merges the per-rank combination maps across
-//!   the cluster (binomial tree + broadcast), serializing reduction objects
+//!   the cluster — by default a shard-partitioned ring allreduce that
+//!   spreads traffic evenly across ranks (binomial tree + broadcast as the
+//!   [`CombineStrategy::Serial`] fallback), serializing reduction objects
 //!   with `smart-wire` (§5.3 notes this serialization cost);
 //! * [`Analytics::post_combine`] updates the map between iterations
 //!   (e.g. recomputing k-means centroids), and [`Analytics::convert`]
@@ -80,8 +83,8 @@
 mod api;
 mod args;
 mod error;
-mod redmap;
 pub mod pipeline;
+mod redmap;
 mod scheduler;
 mod shared_slice;
 pub mod space;
@@ -91,5 +94,5 @@ pub use args::SchedArgs;
 pub use error::{SmartError, SmartResult};
 pub use pipeline::{KeyMode, Pipeline};
 pub use redmap::RedMap;
-pub use scheduler::{RunStats, Scheduler};
+pub use scheduler::{CombineStrategy, RunStats, Scheduler};
 pub use shared_slice::SharedSlice;

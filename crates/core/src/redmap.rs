@@ -20,7 +20,10 @@ enum Slot<V> {
     Tomb,
     /// Live entry. `value` is `None` only transiently, between
     /// [`RedMap::slot_mut`] creating the slot and `accumulate` filling it.
-    Full { key: Key, value: Option<V> },
+    Full {
+        key: Key,
+        value: Option<V>,
+    },
 }
 
 /// Open-addressing reduction map.
@@ -61,10 +64,18 @@ impl<V> RedMap<V> {
         RedMap { slots: Vec::new(), len: 0, tombs: 0 }
     }
 
-    /// An empty map with room for `n` entries without rehashing.
+    /// An empty map with room for `n` entries without rehashing. Uses the
+    /// same 8/7-load sizing as [`reserve`](Self::reserve) so the two paths
+    /// agree on when a rehash is due.
     pub fn with_capacity(n: usize) -> Self {
-        let cap = (n * 2).next_power_of_two().max(INITIAL_CAPACITY);
+        let cap = (n * 8 / 7 + 1).next_power_of_two().max(INITIAL_CAPACITY);
         RedMap { slots: (0..cap).map(|_| Slot::Empty).collect(), len: 0, tombs: 0 }
+    }
+
+    /// Allocated slot count. Entries fit without a rehash while
+    /// `len + tombstones` stays below 7/8 of this.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Live entries in the map.
@@ -115,7 +126,8 @@ impl<V> RedMap<V> {
         if target_cap <= self.slots.len() {
             return;
         }
-        let old = std::mem::replace(&mut self.slots, (0..target_cap).map(|_| Slot::Empty).collect());
+        let old =
+            std::mem::replace(&mut self.slots, (0..target_cap).map(|_| Slot::Empty).collect());
         self.tombs = 0;
         let mask = target_cap - 1;
         for slot in old {
@@ -292,7 +304,13 @@ impl<V> FromIterator<(Key, V)> for RedMap<V> {
 }
 
 impl<V> Extend<(Key, V)> for RedMap<V> {
+    /// Pre-sizes from the iterator's length hint before inserting, for the
+    /// same reason as [`RedMap::reserve`]: extending with drain-order
+    /// entries through incremental growth hits the folded-ascending-order
+    /// quadratic pathology.
     fn extend<I: IntoIterator<Item = (Key, V)>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.reserve(iter.size_hint().0);
         for (k, v) in iter {
             self.insert(k, v);
         }
@@ -475,6 +493,50 @@ mod tests {
         let mut m: RedMap<u8> = (0..5).map(|k| (k, k as u8)).collect();
         m.extend([(10, 10u8), (11, 11)]);
         assert_eq!(m.len(), 7);
+    }
+
+    #[test]
+    fn with_capacity_agrees_with_reserve_on_sizing() {
+        for n in [0usize, 1, 7, 14, 100, 1000, 100_000] {
+            let pre: RedMap<u64> = RedMap::with_capacity(n);
+            let mut post: RedMap<u64> = RedMap::new();
+            post.reserve(n);
+            assert_eq!(pre.capacity(), post.capacity(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_holds_n_entries_without_rehash() {
+        for n in [1usize, 14, 100, 1000] {
+            let mut m: RedMap<i64> = RedMap::with_capacity(n);
+            let cap = m.capacity();
+            for k in 0..n as i64 {
+                m.insert(k, k);
+            }
+            assert_eq!(m.capacity(), cap, "rehashed while filling to n = {n}");
+        }
+    }
+
+    #[test]
+    fn extend_with_drain_order_entries_is_not_quadratic() {
+        // Same pathology as `drain_order_reinsert_is_not_quadratic`, but
+        // through the `Extend` impl, which must pre-reserve from the
+        // iterator's length hint.
+        let n = 393_216i64;
+        let mut src: RedMap<u64> = RedMap::new();
+        for k in 0..n {
+            src.insert(k, 1);
+        }
+        let entries = src.drain_entries();
+        let started = std::time::Instant::now();
+        let mut dst: RedMap<u64> = RedMap::new();
+        dst.extend(entries);
+        assert_eq!(dst.len(), n as usize);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "drain-order extend took {:?} — Extend is not pre-reserving",
+            started.elapsed()
+        );
     }
 
     proptest! {

@@ -10,6 +10,28 @@ use smart_comm::Communicator;
 use smart_pool::{split_range, SharedPool};
 use std::time::{Duration, Instant};
 
+/// How the combination pipeline executes — the local merge of per-thread
+/// partial maps and the global merge across ranks. All three strategies
+/// produce identical combination maps; they differ only in parallelism and
+/// communication pattern (see DESIGN.md, "Combination pipeline").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineStrategy {
+    /// Sequential local merge on the driver thread; reduce-to-root +
+    /// broadcast allreduce globally. The paper's baseline pipeline
+    /// (Algorithm 1 run literally).
+    Serial,
+    /// Pairwise parallel tree merge of per-thread partials on the pool
+    /// (⌈log₂ t⌉ rounds); same global allreduce as `Serial`.
+    Tree,
+    /// Tree local merge plus shard-partitioned global combination: entries
+    /// are hash-partitioned by key across ranks, reduced with a ring
+    /// reduce-scatter, and reassembled with a ring allgather, so per-rank
+    /// traffic is bounded by ~2× the serialized map regardless of rank
+    /// count. The default.
+    #[default]
+    Sharded,
+}
+
 /// Phase timings and volumes from the most recent `run*` call.
 ///
 /// Every duration is *busy* time measured inside the phase, so the numbers
@@ -24,9 +46,22 @@ pub struct RunStats {
     pub split_busy: Vec<Duration>,
     /// Local + global combination busy time (merge work), all iterations.
     pub combine_busy: Duration,
+    /// Portion of [`combine_busy`](Self::combine_busy) spent merging the
+    /// per-thread partial maps (layer 1 of the combination pipeline), all
+    /// iterations.
+    pub local_merge_busy: Duration,
+    /// Portion of [`combine_busy`](Self::combine_busy) spent in the global
+    /// combination collective (layer 2), all iterations. Zero for
+    /// single-rank runs.
+    pub global_comm_busy: Duration,
     /// Bytes of serialized combination-map entries shipped per rank during
     /// global combination, all iterations.
     pub global_bytes: u64,
+    /// Actual transport bytes this rank sent during global combination, all
+    /// iterations (from the communicator's sent-byte counter). For
+    /// [`CombineStrategy::Sharded`] this stays ≤ ~2× the serialized global
+    /// map; for the tree allreduce it grows with log(ranks).
+    pub comm_bytes: u64,
     /// Iterations executed.
     pub iters: usize,
 }
@@ -63,6 +98,7 @@ pub struct Scheduler<A: Analytics> {
     /// [`new`](Self::new) (iterative or extra-data analytics distribute),
     /// overridable with [`set_distribute_map`](Self::set_distribute_map).
     distribute_map: bool,
+    combine_strategy: CombineStrategy,
     com_map: ComMap<A::Red>,
     extra_processed: bool,
     /// Reusable buffer for `copy_input` mode.
@@ -98,6 +134,7 @@ impl<A: Analytics> Scheduler<A> {
             pool,
             global_combination: true,
             distribute_map,
+            combine_strategy: CombineStrategy::default(),
             com_map: ComMap::new(),
             extra_processed: false,
             copy_buf: Vec::new(),
@@ -128,6 +165,19 @@ impl<A: Analytics> Scheduler<A> {
     /// Override the combination-map distribution rule (see field docs).
     pub fn set_distribute_map(&mut self, flag: bool) {
         self.distribute_map = flag;
+    }
+
+    /// Choose how local and global combination execute (see
+    /// [`CombineStrategy`]). All strategies produce identical combination
+    /// maps; this knob exists for ablation and for falling back to the
+    /// paper's serial pipeline.
+    pub fn set_combine_strategy(&mut self, strategy: CombineStrategy) {
+        self.combine_strategy = strategy;
+    }
+
+    /// The active combination strategy.
+    pub fn combine_strategy(&self) -> CombineStrategy {
+        self.combine_strategy
     }
 
     /// The combination map (paper Table 1, function 4).
@@ -241,7 +291,8 @@ impl<A: Analytics> Scheduler<A> {
         let out_shared = SharedSlice::new(out);
 
         let collect_stats = self.collect_stats;
-        let mut stats = RunStats { split_busy: vec![Duration::ZERO; nthreads], ..Default::default() };
+        let mut stats =
+            RunStats { split_busy: vec![Duration::ZERO; nthreads], ..Default::default() };
 
         for _iter in 0..self.args.num_iters {
             // Lines 4/6: distribute the combination map to reduction maps.
@@ -303,30 +354,56 @@ impl<A: Analytics> Scheduler<A> {
             // across time-steps — k-means tracks centroids through the
             // whole simulation).
             let combine_started = Instant::now();
-            let mut delta: RedMap<A::Red> = RedMap::new();
+            let mut parts: Vec<RedMap<A::Red>> = Vec::with_capacity(nthreads);
             for (tid, partial) in partials.into_iter().enumerate() {
                 let (partial, busy) = partial?;
                 stats.split_busy[tid] += busy;
-                Self::merge_into(&self.analytics, partial, &mut delta);
+                parts.push(partial);
             }
+            let mut delta: RedMap<A::Red> = match self.combine_strategy {
+                CombineStrategy::Serial => {
+                    let mut d = RedMap::new();
+                    for partial in parts {
+                        Self::merge_into(&self.analytics, partial, &mut d);
+                    }
+                    d
+                }
+                CombineStrategy::Tree | CombineStrategy::Sharded => {
+                    self.tree_merge_partials(parts)?
+                }
+            };
+            stats.local_merge_busy += combine_started.elapsed();
 
             // Global combination of the delta (same merge, across ranks);
             // afterwards every rank holds the same global delta (line 4's
-            // redistribution for the next iteration).
+            // redistribution for the next iteration). Entries travel as
+            // key-sorted vectors merged with a streaming join — no RedMap
+            // rebuild inside the collective.
             if self.global_combination {
                 if let Some(comm) = comm.as_deref_mut() {
-                    let local = delta.drain_entries();
+                    let global_started = Instant::now();
+                    let bytes_before = comm.sent_bytes();
+                    let mut local = delta.drain_entries();
+                    local.sort_unstable_by_key(|&(k, _)| k);
                     if collect_stats {
-                        stats.global_bytes +=
-                            smart_wire::to_bytes(&local).map(|b| b.len() as u64).unwrap_or(0);
+                        stats.global_bytes += smart_wire::encoded_len(&local).unwrap_or(0);
                     }
                     let analytics = &self.analytics;
-                    let merged = comm.allreduce(local, |a, b| {
-                        let mut m = RedMap::from_entries(a);
-                        Self::merge_into(analytics, RedMap::from_entries(b), &mut m);
-                        m.drain_entries()
-                    })?;
+                    let merged = match self.combine_strategy {
+                        CombineStrategy::Serial | CombineStrategy::Tree => {
+                            comm.allreduce(local, |acc, incoming| {
+                                smart_comm::merge_sorted_entries(acc, incoming, |com, red| {
+                                    analytics.merge(&red, com)
+                                })
+                            })?
+                        }
+                        CombineStrategy::Sharded => {
+                            comm.allreduce_sharded(local, |com, red| analytics.merge(&red, com))?
+                        }
+                    };
                     delta = RedMap::from_entries(merged);
+                    stats.comm_bytes += comm.sent_bytes() - bytes_before;
+                    stats.global_comm_busy += global_started.elapsed();
                 }
             }
 
@@ -359,6 +436,21 @@ impl<A: Analytics> Scheduler<A> {
         self.steps_run += 1;
         self.last_stats = stats;
         Ok(())
+    }
+
+    /// Layer 1 of the combination pipeline: merge per-thread partial maps
+    /// pairwise on the pool, ⌈log₂ t⌉ rounds with pairs merging
+    /// concurrently. Each pair reuses the larger map's allocation as the
+    /// destination and pre-reserves for the smaller one, so no merge grows
+    /// through intermediate capacities (see `RedMap::reserve`).
+    fn tree_merge_partials(&self, parts: Vec<RedMap<A::Red>>) -> SmartResult<RedMap<A::Red>> {
+        let analytics = &self.analytics;
+        let merged = self.pool.tree_reduce(parts, |a, b| {
+            let (mut dst, src) = if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
+            Self::merge_into(analytics, src, &mut dst);
+            dst
+        })?;
+        Ok(merged.unwrap_or_default())
     }
 
     /// Merge `src` into `dst` with the analytics' merge operator
@@ -484,9 +576,8 @@ mod tests {
     fn copy_input_mode_gives_identical_results() {
         let data: Vec<f64> = (0..512).map(|i| (i % 13) as f64).collect();
         let mut a = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
-        let mut b =
-            Scheduler::new(SumSquares, SchedArgs::new(4, 1).with_copy_input(true), pool4())
-                .unwrap();
+        let mut b = Scheduler::new(SumSquares, SchedArgs::new(4, 1).with_copy_input(true), pool4())
+            .unwrap();
         let (mut oa, mut ob) = ([0.0f64], [0.0f64]);
         a.run(&data, &mut oa).unwrap();
         b.run(&data, &mut ob).unwrap();
@@ -557,12 +648,9 @@ mod tests {
     #[test]
     fn disabled_trigger_routes_through_combination_map() {
         let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let mut s = Scheduler::new(
-            Identity,
-            SchedArgs::new(4, 1).with_trigger_disabled(true),
-            pool4(),
-        )
-        .unwrap();
+        let mut s =
+            Scheduler::new(Identity, SchedArgs::new(4, 1).with_trigger_disabled(true), pool4())
+                .unwrap();
         let mut out = vec![-1.0f64; 64];
         s.run2(&data, &mut out).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
@@ -675,6 +763,127 @@ mod tests {
         });
         assert!((results[0] - 10.0).abs() < 1e-12);
         assert!((results[1] - 40.0).abs() < 1e-12);
+    }
+
+    /// Wire-serialize a scheduler's combination map in canonical (sorted)
+    /// order — the "bit-identical" comparison form.
+    fn map_bytes<A: Analytics>(s: &Scheduler<A>) -> Vec<u8> {
+        smart_wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap()
+    }
+
+    const STRATEGIES: [CombineStrategy; 3] =
+        [CombineStrategy::Serial, CombineStrategy::Tree, CombineStrategy::Sharded];
+
+    #[test]
+    fn combine_strategies_produce_bit_identical_maps() {
+        // Integer-valued f64 data keeps every merge order exact, so the
+        // strategy comparison really is bit-for-bit.
+        let data: Vec<f64> = (0..1000).map(|i| (i % 13) as f64).collect();
+
+        // Sum-of-squares (single-key).
+        let mut reference: Option<(Vec<u8>, f64)> = None;
+        for strategy in STRATEGIES {
+            let mut s = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+            s.set_combine_strategy(strategy);
+            let mut out = [0.0f64];
+            s.run(&data, &mut out).unwrap();
+            let got = (map_bytes(&s), out[0]);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "SumSquares, {strategy:?}"),
+            }
+        }
+
+        // Identity (multi-key, trigger disabled so the map retains entries).
+        let mut reference: Option<Vec<u8>> = None;
+        for strategy in STRATEGIES {
+            let mut s =
+                Scheduler::new(Identity, SchedArgs::new(4, 1).with_trigger_disabled(true), pool4())
+                    .unwrap();
+            s.set_combine_strategy(strategy);
+            let mut out = vec![0.0f64; 64];
+            s.run2(&data[..64], &mut out).unwrap();
+            match &reference {
+                None => reference = Some(map_bytes(&s)),
+                Some(r) => assert_eq!(&map_bytes(&s), r, "Identity, {strategy:?}"),
+            }
+        }
+
+        // Iterative (extra data + post_combine + map distribution).
+        let mut reference: Option<(Vec<u8>, f64)> = None;
+        for strategy in STRATEGIES {
+            let args = SchedArgs::new(4, 1).with_extra(7.0).with_iters(3);
+            let mut s = Scheduler::new(Iterative, args, pool4()).unwrap();
+            s.set_combine_strategy(strategy);
+            let mut out = [0.0f64];
+            s.run(&data[..40], &mut out).unwrap();
+            let got = (map_bytes(&s), out[0]);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "Iterative, {strategy:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn combine_strategies_agree_across_ranks() {
+        let data: Vec<f64> = (0..600).map(|i| (i % 7) as f64).collect();
+        let mut reference: Option<Vec<(Vec<u8>, f64)>> = None;
+        for strategy in STRATEGIES {
+            let data = data.clone();
+            let per_rank = smart_comm::run_cluster(3, move |mut comm| {
+                let pool = shared_pool(2).unwrap();
+                let share = data.len() / comm.size();
+                let lo = comm.rank() * share;
+                let hi = if comm.rank() + 1 == comm.size() { data.len() } else { lo + share };
+                let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool).unwrap();
+                s.set_combine_strategy(strategy);
+                let mut out = [0.0f64];
+                s.run_dist(&mut comm, &data[lo..hi], &mut out).unwrap();
+                (map_bytes(&s), out[0])
+            });
+            // Global combination: every rank ends with the same map.
+            for rank in 1..per_rank.len() {
+                assert_eq!(per_rank[rank], per_rank[0], "{strategy:?} rank {rank} diverged");
+            }
+            match &reference {
+                None => reference = Some(per_rank),
+                Some(r) => assert_eq!(&per_rank, r, "{strategy:?} diverged from Serial"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_strategy_bounds_per_rank_comm_bytes() {
+        // Identical 64-key inputs on every rank, so each rank's serialized
+        // delta equals the serialized global map and the ≤ 2x sharded
+        // traffic bound can be checked directly against RunStats.
+        for ranks in [2, 4, 5] {
+            let stats: Vec<RunStats> = smart_comm::run_cluster(ranks, |mut comm| {
+                let pool = shared_pool(2).unwrap();
+                let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+                let mut s = Scheduler::new(Identity, SchedArgs::new(2, 1), pool).unwrap();
+                s.set_combine_strategy(CombineStrategy::Sharded);
+                s.set_collect_stats(true);
+                // Keep every entry in the map: no out buffer, no emission.
+                s.run2_dist(&mut comm, &data, &mut []).unwrap();
+                s.last_stats().clone()
+            });
+            for (rank, st) in stats.iter().enumerate() {
+                assert!(st.global_bytes > 0, "stats should have been collected");
+                let slack = 64 * ranks as u64;
+                assert!(
+                    st.comm_bytes <= 2 * st.global_bytes + slack,
+                    "ranks={ranks} rank={rank}: sent {} bytes > 2x map ({}) + {slack}",
+                    st.comm_bytes,
+                    st.global_bytes
+                );
+                assert!(
+                    st.local_merge_busy + st.global_comm_busy
+                        <= st.combine_busy + Duration::from_millis(1)
+                );
+            }
+        }
     }
 
     #[test]

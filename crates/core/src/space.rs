@@ -38,7 +38,10 @@ impl<T> CircularBuffer<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "circular buffer capacity must be positive");
         CircularBuffer {
-            state: Mutex::new(BufferState { queue: VecDeque::with_capacity(capacity), closed: false }),
+            state: Mutex::new(BufferState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,

@@ -222,11 +222,8 @@ mod tests {
     #[test]
     fn map_and_filter_chain() {
         let c = ctx();
-        let out = c
-            .parallelize((0..100u64).collect(), 4)
-            .map(|x| x * 2)
-            .filter(|x| x % 4 == 0)
-            .collect();
+        let out =
+            c.parallelize((0..100u64).collect(), 4).map(|x| x * 2).filter(|x| x % 4 == 0).collect();
         assert_eq!(out.len(), 50);
         assert!(out.iter().all(|x| x % 4 == 0));
     }

@@ -206,7 +206,8 @@ impl ThreadPool {
         let mut results: Vec<Option<R>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
 
-        let shared = JobShared { f: &f, results: results.as_mut_ptr(), latch: CountdownLatch::new(n) };
+        let shared =
+            JobShared { f: &f, results: results.as_mut_ptr(), latch: CountdownLatch::new(n) };
 
         for tid in 0..n {
             let task = Task {
@@ -226,6 +227,70 @@ impl ThreadPool {
             .enumerate()
             .map(|(tid, r)| r.unwrap_or_else(|| panic!("worker {tid} panicked during job")))
             .collect())
+    }
+
+    /// Reduce `items` to a single value with a pairwise parallel tree:
+    /// ⌈log₂ items.len()⌉ rounds, each merging adjacent pairs `(0,1), (2,3),
+    /// …` concurrently on the pool (an odd trailing item carries into the
+    /// next round unmerged).
+    ///
+    /// The pairing is deterministic and order-preserving, so for an
+    /// associative `f` the result equals the sequential left fold; callers
+    /// with a merely commutative-after-rounding `f` (floating-point sums) get
+    /// a reproducible tree order for a given item count.
+    ///
+    /// Each round runs `min(pairs, pool size)` workers, worker `w` taking
+    /// pairs `w, w + workers, w + 2·workers, …` — striped like the static
+    /// split schedule, but results are stitched back in pair order.
+    pub fn tree_reduce<T, F>(&self, mut items: Vec<T>, f: F) -> Result<Option<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(T, T) -> T + Sync,
+    {
+        use std::sync::Mutex;
+        while items.len() > 1 {
+            let mut carry = None;
+            let mut it = items.into_iter();
+            let mut pairs: Vec<Mutex<Option<(T, T)>>> = Vec::new();
+            loop {
+                match (it.next(), it.next()) {
+                    (Some(a), Some(b)) => pairs.push(Mutex::new(Some((a, b)))),
+                    (Some(a), None) => {
+                        carry = Some(a);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            let workers = pairs.len().min(self.size);
+            let pairs_ref = &pairs;
+            let f_ref = &f;
+            let per_worker: Vec<Vec<T>> = self.try_run_on_workers(workers, move |wid| {
+                let mut out = Vec::new();
+                let mut i = wid;
+                while i < pairs_ref.len() {
+                    let (a, b) = pairs_ref[i]
+                        .lock()
+                        .expect("pair mutex poisoned")
+                        .take()
+                        .expect("each pair is taken exactly once");
+                    out.push(f_ref(a, b));
+                    i += workers;
+                }
+                out
+            })?;
+            // Stitch striped per-worker outputs back into pair order.
+            let mut merged: Vec<Option<T>> = Vec::new();
+            merged.resize_with(pairs.len(), || None);
+            for (wid, outs) in per_worker.into_iter().enumerate() {
+                for (j, v) in outs.into_iter().enumerate() {
+                    merged[wid + j * workers] = Some(v);
+                }
+            }
+            items = merged.into_iter().map(|v| v.expect("every pair was merged")).collect();
+            items.extend(carry);
+        }
+        Ok(items.pop())
     }
 
     /// Convenience: split `len` elements into `n` chunk-aligned splits and
@@ -393,6 +458,62 @@ mod tests {
         let p2 = Arc::clone(&pool);
         let r = p2.run_on_workers(2, |t| t);
         assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn tree_reduce_handles_empty_and_singleton() {
+        let pool = ThreadPool::new(2).unwrap();
+        assert_eq!(pool.tree_reduce(Vec::<u64>::new(), |a, b| a + b).unwrap(), None);
+        assert_eq!(pool.tree_reduce(vec![7u64], |a, b| a + b).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn tree_reduce_sums_all_item_counts() {
+        let pool = ThreadPool::new(4).unwrap();
+        for n in 0..40u64 {
+            let items: Vec<u64> = (0..n).collect();
+            let got = pool.tree_reduce(items, |a, b| a + b).unwrap();
+            assert_eq!(got, if n == 0 { None } else { Some(n * (n - 1) / 2) }, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_preserves_pair_order() {
+        // Concatenation is associative but not commutative: adjacent-pair
+        // merging with a trailing carry must reassemble the original order,
+        // even when pairs outnumber workers and get striped across them.
+        let pool = ThreadPool::new(3).unwrap();
+        for n in 1..30usize {
+            let items: Vec<String> = (0..n).map(|i| format!("{i},")).collect();
+            let expected: String = items.concat();
+            let got = pool.tree_reduce(items, |a, b| a + &b).unwrap().unwrap();
+            assert_eq!(got, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_runs_pairs_concurrently() {
+        // With 4 items and 2 workers, round one has 2 pairs; both must be
+        // in flight at once. Each pair merge blocks until it observes the
+        // other pair started — deadlocks (then fails) if the pairs run
+        // sequentially.
+        let pool = ThreadPool::new(2).unwrap();
+        let in_flight = AtomicUsize::new(0);
+        let got = pool
+            .tree_reduce(vec![1u64, 2, 3, 4], |a, b| {
+                if a + b != 3 + 7 {
+                    // Round one (pairs sum to 3 and 7): rendezvous.
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                    while in_flight.load(Ordering::SeqCst) < 2 {
+                        assert!(std::time::Instant::now() < deadline, "pairs ran sequentially");
+                        std::hint::spin_loop();
+                    }
+                }
+                a + b
+            })
+            .unwrap();
+        assert_eq!(got, Some(10));
     }
 
     #[test]

@@ -71,7 +71,8 @@ impl Heat3D {
         let mut grid = vec![0.0; (nz_local + 2) * plane];
 
         // Hot block: central third of each dimension.
-        let hot = |lo: usize, hi: usize, i: usize| i >= lo + (hi - lo) / 3 && i < lo + 2 * (hi - lo) / 3;
+        let hot =
+            |lo: usize, hi: usize, i: usize| i >= lo + (hi - lo) / 3 && i < lo + 2 * (hi - lo) / 3;
         for zl in 0..nz_local {
             let zg = z_offset + zl;
             if hot(0, nz, zg) {
@@ -89,7 +90,20 @@ impl Heat3D {
 
         let next = grid.clone();
         let out = vec![0.0; nz_local * plane];
-        Heat3D { nx, ny, nz_global: nz, nz_local, z_offset, rank, size, r, grid, next, out, steps_taken: 0 }
+        Heat3D {
+            nx,
+            ny,
+            nz_global: nz,
+            nz_local,
+            z_offset,
+            rank,
+            size,
+            r,
+            grid,
+            next,
+            out,
+            steps_taken: 0,
+        }
     }
 
     /// Single-rank convenience constructor.

@@ -170,8 +170,7 @@ impl MiniLulesh {
             let [rho, mx, my, mz, en] = self.load(idx);
             let p = pressure(rho, mx, my, mz, en);
             let a = sound_speed(rho, p);
-            let vmax =
-                (mx.abs().max(my.abs()).max(mz.abs())) / rho;
+            let vmax = (mx.abs().max(my.abs()).max(mz.abs())) / rho;
             smax = smax.max(vmax + a);
         }
         smax
@@ -237,7 +236,11 @@ impl MiniLulesh {
                     // Neighbor indices: periodic in x/y inside the rank,
                     // ghost planes handle z.
                     let neighbors = [
-                        (idx - 1 + usize::from(x == 0) * nx, idx + 1 - usize::from(x + 1 == nx) * nx, 0),
+                        (
+                            idx - 1 + usize::from(x == 0) * nx,
+                            idx + 1 - usize::from(x + 1 == nx) * nx,
+                            0,
+                        ),
                         (
                             idx - nx + usize::from(y == 0) * plane,
                             idx + nx - usize::from(y + 1 == ny) * plane,

@@ -1,0 +1,353 @@
+//! A counting serializer: computes the exact encoded size of a value
+//! without materializing the bytes.
+//!
+//! The scheduler's per-rank byte accounting (`RunStats::global_bytes`) used
+//! to serialize every combination map a second time just to learn its
+//! length; the collectives then serialized it again to actually ship it.
+//! [`encoded_len`] walks the value with the same traversal as
+//! [`crate::to_writer`] but only accumulates lengths, so stats collection
+//! costs no allocation and no byte copying.
+
+use crate::error::{Error, Result};
+use serde::ser::{self, Serialize};
+
+/// The exact number of bytes [`crate::to_bytes`] would produce for `value`.
+pub fn encoded_len<T: Serialize + ?Sized>(value: &T) -> Result<u64> {
+    let mut counter = Counter { count: 0 };
+    value.serialize(&mut counter)?;
+    Ok(counter.count)
+}
+
+/// Serializer that discards payloads and accumulates their encoded size.
+/// Mirrors [`crate::Serializer`] byte for byte: every `put` there is an
+/// `add` of the same length here.
+struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    #[inline]
+    fn add(&mut self, n: usize) {
+        self.count += n as u64;
+    }
+}
+
+macro_rules! count_le {
+    ($name:ident, $ty:ty) => {
+        #[inline]
+        fn $name(self, _v: $ty) -> Result<()> {
+            self.add(std::mem::size_of::<$ty>());
+            Ok(())
+        }
+    };
+}
+
+impl ser::Serializer for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    #[inline]
+    fn serialize_bool(self, _v: bool) -> Result<()> {
+        self.add(1);
+        Ok(())
+    }
+
+    count_le!(serialize_i8, i8);
+    count_le!(serialize_i16, i16);
+    count_le!(serialize_i32, i32);
+    count_le!(serialize_i64, i64);
+    count_le!(serialize_i128, i128);
+    count_le!(serialize_u8, u8);
+    count_le!(serialize_u16, u16);
+    count_le!(serialize_u32, u32);
+    count_le!(serialize_u64, u64);
+    count_le!(serialize_u128, u128);
+    count_le!(serialize_f32, f32);
+    count_le!(serialize_f64, f64);
+
+    #[inline]
+    fn serialize_char(self, _v: char) -> Result<()> {
+        self.add(4);
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.add(8 + v.len());
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.add(8 + v.len());
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_none(self) -> Result<()> {
+        self.add(1);
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.add(1);
+        value.serialize(self)
+    }
+
+    #[inline]
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.add(4);
+        Ok(())
+    }
+
+    #[inline]
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    #[inline]
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.add(4);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let _ = len.ok_or(Error::LengthRequired)?;
+        self.add(8);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.add(4);
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let _ = len.ok_or(Error::LengthRequired)?;
+        self.add(8);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.add(4);
+        Ok(self)
+    }
+}
+
+impl ser::SerializeSeq for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Counter {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_bytes;
+    use serde::{Deserialize, Serialize};
+
+    fn check<T: Serialize>(v: &T) {
+        assert_eq!(encoded_len(v).unwrap(), to_bytes(v).unwrap().len() as u64);
+    }
+
+    #[test]
+    fn matches_to_bytes_for_primitives() {
+        check(&true);
+        check(&0x1234u16);
+        check(&-7i64);
+        check(&1.5f64);
+        check(&'λ');
+        check(&());
+    }
+
+    #[test]
+    fn matches_to_bytes_for_compounds() {
+        check(&"hello wörld".to_string());
+        check(&vec![1.0f64; 100]);
+        check(&Some(3u8));
+        check(&Option::<u8>::None);
+        check(&(1u8, 2u64, -3i32));
+        check(&vec![(1i64, vec![0.5f64; 3]), (2, vec![])]);
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        Empty,
+        Point(f64),
+        Labelled { name: String, dims: Vec<u32> },
+    }
+
+    #[test]
+    fn matches_to_bytes_for_enums_and_structs() {
+        check(&Shape::Empty);
+        check(&Shape::Point(2.5));
+        check(&Shape::Labelled { name: "n".into(), dims: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn combination_map_entries_cost_nothing_extra() {
+        // The hot caller: a Vec<(key, red-obj)> block. 8-byte length prefix
+        // + per entry (8-byte key + payload).
+        let entries: Vec<(i64, (f64, u64))> = (0..50).map(|k| (k, (k as f64, 1))).collect();
+        assert_eq!(encoded_len(&entries).unwrap(), 8 + 50 * (8 + 8 + 8));
+        check(&entries);
+    }
+}

@@ -32,10 +32,12 @@
 //! assert_eq!(back, c);
 //! ```
 
+mod count;
 mod de;
 mod error;
 mod ser;
 
+pub use count::encoded_len;
 pub use de::{from_bytes, Deserializer};
 pub use error::{Error, Result};
 pub use ser::{to_bytes, to_writer, Serializer};
@@ -156,12 +158,8 @@ mod tests {
         assert_eq!(roundtrip(&Unit), Unit);
         assert_eq!(roundtrip(&Newtype(9)), Newtype(9));
         assert_eq!(roundtrip(&Bucket { count: 77 }), Bucket { count: 77 });
-        let c = Cluster {
-            centroid: vec![0.5, 1.5, 2.5],
-            sum: vec![],
-            size: 3,
-            tag: Some("cl".into()),
-        };
+        let c =
+            Cluster { centroid: vec![0.5, 1.5, 2.5], sum: vec![], size: 3, tag: Some("cl".into()) };
         assert_eq!(roundtrip(&c), c);
     }
 

@@ -37,14 +37,12 @@ fn main() {
         let mut range_job =
             Scheduler::new(ValueRange, SchedArgs::new(2, 1), pool).expect("range job");
         range_job.run_dist(&mut comm, &data, &mut []).expect("range");
-        let (min, max) =
-            ValueRange::range(range_job.combination_map()).expect("non-empty field");
+        let (min, max) = ValueRange::range(range_job.combination_map()).expect("non-empty field");
 
         // ---- stage B: histogram parameterized by stage A ---------------
         let pool = smart_insitu::pool::shared_pool(2).unwrap();
         let hist = Histogram::new(min, max + 1e-12, BUCKETS);
-        let mut hist_job =
-            Scheduler::new(hist, SchedArgs::new(2, 1), pool).expect("hist job");
+        let mut hist_job = Scheduler::new(hist, SchedArgs::new(2, 1), pool).expect("hist job");
         let mut counts = vec![0u64; BUCKETS];
         hist_job.run_dist(&mut comm, &data, &mut counts).expect("histogram");
 
@@ -85,7 +83,9 @@ fn main() {
     let ((min, max), counts, _) = &results[0];
     let blocks = results[0].2.len();
     let coarse: Vec<f64> = (0..blocks)
-        .map(|b| results.iter().map(|r| r.2[b]).fold(0.0f64, |acc, v| if v != 0.0 { v } else { acc }))
+        .map(|b| {
+            results.iter().map(|r| r.2[b]).fold(0.0f64, |acc, v| if v != 0.0 { v } else { acc })
+        })
         .collect();
     let coarse = &coarse;
     println!("value range found by the pre-job: [{min:.4}, {max:.4}]\n");

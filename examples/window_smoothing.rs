@@ -34,7 +34,8 @@ fn main() {
     let data: Vec<f64> = (0..N)
         .map(|i| {
             let t = i as f64 / N as f64;
-            (t * std::f64::consts::TAU * 3.0).sin() + 0.5 * (((i * 2654435761) % 997) as f64 / 997.0 - 0.5)
+            (t * std::f64::consts::TAU * 3.0).sin()
+                + 0.5 * (((i * 2654435761) % 997) as f64 / 997.0 - 0.5)
         })
         .collect();
     let noisy_var = variance(&data);
@@ -68,6 +69,10 @@ fn main() {
     let rmse = |a: &[f64]| {
         (a.iter().zip(&clean).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / N as f64).sqrt()
     };
-    println!("\nRMSE vs clean signal: moving-average {:.4}, gaussian {:.4}, savitzky-golay {:.4}",
-        rmse(&avg), rmse(&gauss), rmse(&sg));
+    println!(
+        "\nRMSE vs clean signal: moving-average {:.4}, gaussian {:.4}, savitzky-golay {:.4}",
+        rmse(&avg),
+        rmse(&gauss),
+        rmse(&sg)
+    );
 }

@@ -142,8 +142,7 @@ fn zero_length_inputs_are_harmless_everywhere() {
 #[test]
 fn scheduler_is_reusable_after_an_error() {
     let pool = smart_insitu::pool::shared_pool(1).unwrap();
-    let mut s =
-        Scheduler::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 2), pool).unwrap();
+    let mut s = Scheduler::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 2), pool).unwrap();
     // Odd-length input errors...
     assert!(s.run(&[0.1], &mut []).is_err());
     // ...but the scheduler stays usable.

@@ -168,8 +168,5 @@ fn mutual_information_pipeline_detects_correlation() {
 
     let mi_corr = mi_of(correlated);
     let mi_indep = mi_of(independent);
-    assert!(
-        mi_corr > 3.0 * mi_indep.max(0.02),
-        "corr {mi_corr} vs independent {mi_indep}"
-    );
+    assert!(mi_corr > 3.0 * mi_indep.max(0.02), "corr {mi_corr} vs independent {mi_indep}");
 }
