@@ -1,5 +1,6 @@
 //! One module per figure of the paper's evaluation section (§5), plus the
-//! §5.2 memory-footprint and §5.3 lines-of-code measurements.
+//! §5.2 memory-footprint and §5.3 lines-of-code measurements, plus the
+//! beyond-the-paper placement comparison (`transit`).
 
 pub mod fig01;
 pub mod fig05;
@@ -11,6 +12,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod loc;
 pub mod mem;
+pub mod transit;
 
 use crate::util::{Scale, Table};
 
@@ -30,5 +32,6 @@ pub fn all() -> Vec<Experiment> {
         ("fig11", "early-emission window optimization", fig11::run),
         ("mem", "analytics memory footprint vs MiniSpark", mem::run),
         ("loc", "lines-of-code reduction vs low-level", loc::run),
+        ("transit", "time sharing vs space sharing vs in-transit", transit::run),
     ]
 }

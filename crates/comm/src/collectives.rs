@@ -630,7 +630,7 @@ mod tests {
             // Pseudo-random: keys clustered in [-18, 18] so ranks overlap
             // heavily and duplicates occur within each rank.
             _ => {
-                let mut state = (rank as u64 + 1) * 0x9E37_79B9_7F4A_7C15 + case as u64;
+                let mut state = (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) + case as u64;
                 (0..100)
                     .map(|_| {
                         state ^= state << 13;

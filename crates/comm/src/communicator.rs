@@ -63,6 +63,61 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking variant of [`recv_match`](Self::recv_match): drain
+    /// whatever the channel currently holds, then answer from the buffer.
+    /// Returns `Ok(None)` when no matching message has arrived yet.
+    fn try_recv_match(&mut self, src: usize, tag: Tag) -> CommResult<Option<Vec<u8>>> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => self.pending.push_back(env),
+                Err(channel::TryRecvError::Empty) => break,
+                Err(channel::TryRecvError::Disconnected) => {
+                    return Err(CommError::PeerGone { peer: src });
+                }
+            }
+        }
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            return Ok(Some(self.pending.remove(pos).expect("position valid").payload));
+        }
+        if self.pending.iter().any(|e| e.src == src && e.tag == DEATH_TAG) {
+            return Err(CommError::PeerGone { peer: src });
+        }
+        Ok(None)
+    }
+
+    /// [`recv_match`](Self::recv_match) with a deadline. Returns `Ok(None)`
+    /// when `timeout` elapses without a matching message; a death notice
+    /// from `src` observed while waiting still surfaces as
+    /// [`CommError::PeerGone`] immediately, never a timeout.
+    fn recv_match_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Option<Vec<u8>>> {
+        if let Some(found) = self.try_recv_match(src, tag)? {
+            return Ok(Some(found));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let env = match self.rx.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(channel::RecvTimeoutError::Timeout) => return Ok(None),
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { peer: src });
+                }
+            };
+            if env.src == src && env.tag == tag {
+                return Ok(Some(env.payload));
+            }
+            if env.src == src && env.tag == DEATH_TAG {
+                return Err(CommError::PeerGone { peer: src });
+            }
+            self.pending.push_back(env);
+        }
+    }
+
     /// Number of buffered out-of-order messages (diagnostic).
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -206,6 +261,49 @@ impl Communicator {
         self.mailbox.recv_match(src, tag)
     }
 
+    /// Non-blocking receive: `Ok(Some(value))` if a matching message has
+    /// already arrived, `Ok(None)` otherwise. A pending death notice from
+    /// `src` surfaces as [`CommError::PeerGone`].
+    pub fn try_recv<T: DeserializeOwned>(&mut self, src: usize, tag: Tag) -> CommResult<Option<T>> {
+        match self.try_recv_bytes(src, tag)? {
+            Some(payload) => Ok(Some(smart_wire::from_bytes(&payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Raw-payload variant of [`try_recv`](Self::try_recv).
+    pub fn try_recv_bytes(&mut self, src: usize, tag: Tag) -> CommResult<Option<Vec<u8>>> {
+        self.check_peer(src)?;
+        self.mailbox.try_recv_match(src, tag)
+    }
+
+    /// Receive with a deadline: `Ok(Some(value))` if a matching message
+    /// arrives within `timeout`, `Ok(None)` on expiry. The death of `src`
+    /// while waiting surfaces as [`CommError::PeerGone`] immediately — a
+    /// dead peer is an error, not a timeout.
+    pub fn recv_timeout<T: DeserializeOwned>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Option<T>> {
+        match self.recv_bytes_timeout(src, tag, timeout)? {
+            Some(payload) => Ok(Some(smart_wire::from_bytes(&payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Raw-payload variant of [`recv_timeout`](Self::recv_timeout).
+    pub fn recv_bytes_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: std::time::Duration,
+    ) -> CommResult<Option<Vec<u8>>> {
+        self.check_peer(src)?;
+        self.mailbox.recv_match_timeout(src, tag, timeout)
+    }
+
     /// Buffered out-of-order message count (diagnostic).
     pub fn pending_messages(&self) -> usize {
         self.mailbox.pending_len()
@@ -289,6 +387,65 @@ mod tests {
         drop(_a);
         let res: CommResult<u8> = b.recv(0, 1);
         assert_eq!(res.unwrap_err(), CommError::PeerGone { peer: 0 });
+    }
+
+    #[test]
+    fn try_recv_returns_none_then_some() {
+        let (mut a, mut b) = pair();
+        assert_eq!(b.try_recv::<u32>(0, 9).unwrap(), None);
+        a.send(1, 9, &11u32).unwrap();
+        // Delivery through an in-process channel is immediate.
+        assert_eq!(b.try_recv::<u32>(0, 9).unwrap(), Some(11));
+        assert_eq!(b.try_recv::<u32>(0, 9).unwrap(), None);
+    }
+
+    #[test]
+    fn try_recv_buffers_non_matching_messages() {
+        let (mut a, mut b) = pair();
+        a.send(1, 5, &1u8).unwrap();
+        assert_eq!(b.try_recv::<u8>(0, 6).unwrap(), None);
+        assert_eq!(b.pending_messages(), 1);
+        assert_eq!(b.try_recv::<u8>(0, 5).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn try_recv_surfaces_peer_gone() {
+        let (a, mut b) = pair();
+        drop(a);
+        assert_eq!(b.try_recv::<u8>(0, 1).unwrap_err(), CommError::PeerGone { peer: 0 });
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_none() {
+        let (_a, mut b) = pair();
+        let started = std::time::Instant::now();
+        let got: Option<u8> = b.recv_timeout(0, 1, std::time::Duration::from_millis(20)).unwrap();
+        assert_eq!(got, None);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_timeout_returns_early_when_message_arrives() {
+        let (mut a, mut b) = pair();
+        a.send(1, 3, &7u64).unwrap();
+        let got: Option<u64> = b.recv_timeout(0, 3, std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_peer_gone_while_waiting() {
+        // The peer dies mid-wait: the receiver must wake with PeerGone well
+        // before the (long) timeout, not hang out the full duration.
+        let (a, mut b) = pair();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            drop(a);
+        });
+        let started = std::time::Instant::now();
+        let res: CommResult<Option<u8>> = b.recv_timeout(0, 1, std::time::Duration::from_secs(30));
+        killer.join().unwrap();
+        assert_eq!(res.unwrap_err(), CommError::PeerGone { peer: 0 });
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

@@ -48,13 +48,28 @@ mod collectives;
 mod communicator;
 mod cost;
 mod error;
+pub mod stream;
 
 pub use collectives::merge_sorted_entries;
 pub use communicator::{Communicator, Mailbox, Tag};
 pub use cost::{CommConfig, CostModel};
 pub use error::{CommError, CommResult};
+pub use stream::{
+    StreamConfig, StreamReceiver, StreamRecvStats, StreamSendStats, StreamSender, STREAM_BASE,
+};
 
 use std::sync::Arc;
+
+/// Create the `n` communicators of a fresh cluster without spawning any
+/// threads. The caller distributes them to its own tasks — the building
+/// block for partitioned topologies (e.g. in-transit analytics, where
+/// staging ranks additionally share a *second*, staging-only universe for
+/// their global combination). [`run_cluster`] remains the convenience path
+/// for plain SPMD regions.
+pub fn universe(n: usize, config: CommConfig) -> Vec<Communicator> {
+    assert!(n > 0, "a cluster needs at least one rank");
+    Communicator::universe(n, Arc::new(config))
+}
 
 /// Launch an SPMD region over `n` ranks with default configuration.
 ///

@@ -1,0 +1,552 @@
+//! Credit-based streaming transport for in-transit analytics.
+//!
+//! In-transit placement partitions the cluster: simulation ranks stream
+//! wire-serialized time-step chunks to a smaller set of *staging* ranks
+//! that run the analytics. The transport here is the producer↔stager wire:
+//!
+//! * **Double-buffered async sends** — [`StreamSender::feed`] serializes the
+//!   time-step into a fresh payload and hands it to the (queued,
+//!   non-blocking) channel transport, so the simulation resumes immediately
+//!   while the previous chunk is still in flight. The only blocking point
+//!   is flow control.
+//! * **Bounded credit window** — a producer may have at most
+//!   [`StreamConfig::window`] un-consumed time-step chunks outstanding. The
+//!   stager returns one credit per chunk *as it consumes it*, so a slow
+//!   stager throttles its producers to `window` steps of lookahead instead
+//!   of letting them flood its mailbox and OOM the staging node. The
+//!   stager-side buffered payload is therefore bounded by `window ×
+//!   max-chunk-bytes` per producer ([`StreamRecvStats::buffered_bytes_peak`]
+//!   observes the bound).
+//! * **Batching/coalescing knobs** — up to [`StreamConfig::batch_steps`]
+//!   chunks ride in one wire message (flushed early past
+//!   [`StreamConfig::max_batch_bytes`]), trading per-message overhead
+//!   against latency.
+//! * **Clean termination** — [`StreamSender::finish`] flushes the tail and
+//!   marks end-of-stream; [`StreamReceiver::recv`] then yields `None`. A
+//!   stager that dies mid-stream surfaces to its producers as
+//!   [`CommError::PeerGone`] (on the next credit wait or data send), never
+//!   a hang; a producer that dies surfaces the same way on the stager's
+//!   next data receive.
+//!
+//! Tags in [`STREAM_BASE`]`..`[`crate::communicator::COLLECTIVE_BASE`] are
+//! reserved for this transport; user point-to-point traffic should stay
+//! below `STREAM_BASE`.
+
+use crate::communicator::{Communicator, Tag};
+use crate::error::{CommError, CommResult};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// First tag value reserved for streaming transport traffic.
+pub const STREAM_BASE: Tag = 1 << 40;
+/// Producer → stager data batches.
+const DATA_TAG: Tag = STREAM_BASE | 1;
+/// Stager → producer credit grants.
+const CREDIT_TAG: Tag = STREAM_BASE | 2;
+
+/// Flow-control and coalescing knobs for one producer→stager stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Maximum un-consumed time-step chunks in flight. Backpressure bound:
+    /// the stager buffers at most this many steps of this producer's data.
+    pub window: usize,
+    /// Coalesce up to this many time-step chunks per wire message. Must not
+    /// exceed `window` (a full batch needs that many credits to depart).
+    pub batch_steps: usize,
+    /// Flush the current batch early once its serialized payload reaches
+    /// this many bytes.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { window: 4, batch_steps: 1, max_batch_bytes: 1 << 20 }
+    }
+}
+
+impl StreamConfig {
+    /// A window of `window` steps, one step per message.
+    pub fn with_window(window: usize) -> Self {
+        StreamConfig { window, ..Default::default() }
+    }
+
+    /// Set the per-message coalescing limit.
+    pub fn with_batch(mut self, batch_steps: usize, max_batch_bytes: usize) -> Self {
+        self.batch_steps = batch_steps;
+        self.max_batch_bytes = max_batch_bytes;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.window > 0, "stream window must be positive");
+        assert!(self.batch_steps > 0, "batch_steps must be positive");
+        assert!(
+            self.batch_steps <= self.window,
+            "batch_steps ({}) must not exceed the credit window ({})",
+            self.batch_steps,
+            self.window
+        );
+        assert!(self.max_batch_bytes > 0, "max_batch_bytes must be positive");
+    }
+}
+
+/// One wire-serialized time-step partition.
+#[derive(Debug, Serialize, Deserialize)]
+struct ChunkMsg {
+    /// Time-step sequence number (0-based, per stream).
+    step: u64,
+    /// First global element index of the partition this chunk carries.
+    offset: u64,
+    /// `smart_wire`-encoded `&[T]` payload.
+    payload: Vec<u8>,
+}
+
+/// A coalesced batch of chunks, optionally carrying end-of-stream.
+#[derive(Debug, Serialize, Deserialize)]
+struct BatchMsg {
+    chunks: Vec<ChunkMsg>,
+    eos: bool,
+}
+
+/// Producer-side stream counters.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSendStats {
+    /// Total time inside [`StreamSender::feed`]/[`StreamSender::finish`]
+    /// (serialization + transport + credit waits) — the time-step latency
+    /// the *simulation* observes from analytics.
+    pub send_busy: Duration,
+    /// Portion of [`send_busy`](Self::send_busy) spent blocked waiting for
+    /// credits — pure backpressure from a slower stager.
+    pub credit_wait: Duration,
+    /// Serialized bytes shipped (batch framing included).
+    pub bytes: u64,
+    /// Time-step chunks sent.
+    pub steps: u64,
+    /// Wire messages sent (≤ steps when coalescing).
+    pub batches: u64,
+}
+
+/// The producer (simulation-side) end of a stream.
+///
+/// Owned by exactly one rank; every call takes the rank's communicator.
+pub struct StreamSender<T> {
+    peer: usize,
+    cfg: StreamConfig,
+    credits: usize,
+    next_step: u64,
+    batch: Vec<ChunkMsg>,
+    batch_bytes: usize,
+    finished: bool,
+    stats: StreamSendStats,
+    _elem: PhantomData<fn(&T)>,
+}
+
+impl<T: Serialize> StreamSender<T> {
+    /// A stream from this rank to staging rank `peer`.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`StreamConfig`] (zero window, batch larger
+    /// than window).
+    pub fn new(peer: usize, cfg: StreamConfig) -> Self {
+        cfg.validate();
+        StreamSender {
+            peer,
+            credits: cfg.window,
+            cfg,
+            next_step: 0,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            finished: false,
+            stats: StreamSendStats::default(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// The stream's counters so far.
+    pub fn stats(&self) -> &StreamSendStats {
+        &self.stats
+    }
+
+    /// Credits currently held (diagnostic).
+    pub fn credits(&self) -> usize {
+        self.credits
+    }
+
+    /// Stream one time-step partition (`offset` = its first global element
+    /// index). Serializes immediately — the caller's buffer can be reused
+    /// as soon as this returns — and blocks only when the credit window is
+    /// exhausted.
+    pub fn feed(&mut self, comm: &mut Communicator, offset: usize, step: &[T]) -> CommResult<()> {
+        assert!(!self.finished, "feed after finish");
+        let started = Instant::now();
+        let payload = smart_wire::to_bytes(step)?;
+        self.batch_bytes += payload.len();
+        self.batch.push(ChunkMsg { step: self.next_step, offset: offset as u64, payload });
+        self.next_step += 1;
+        let result = if self.batch.len() >= self.cfg.batch_steps
+            || self.batch_bytes >= self.cfg.max_batch_bytes
+        {
+            self.flush(comm, false)
+        } else {
+            Ok(())
+        };
+        self.stats.send_busy += started.elapsed();
+        result
+    }
+
+    /// Harvest already-arrived credits without blocking, then block until
+    /// at least `need` are held.
+    fn acquire_credits(&mut self, comm: &mut Communicator, need: usize) -> CommResult<()> {
+        while let Some(granted) = comm.try_recv::<u32>(self.peer, CREDIT_TAG)? {
+            self.credits += granted as usize;
+        }
+        while self.credits < need {
+            let waited = Instant::now();
+            let granted: u32 = comm.recv(self.peer, CREDIT_TAG)?;
+            self.stats.credit_wait += waited.elapsed();
+            self.credits += granted as usize;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, comm: &mut Communicator, eos: bool) -> CommResult<()> {
+        if self.batch.is_empty() && !eos {
+            return Ok(());
+        }
+        self.acquire_credits(comm, self.batch.len())?;
+        self.credits -= self.batch.len();
+        let msg = BatchMsg { chunks: std::mem::take(&mut self.batch), eos };
+        self.batch_bytes = 0;
+        let bytes = smart_wire::to_bytes(&msg)?;
+        self.stats.bytes += bytes.len() as u64;
+        self.stats.steps += msg.chunks.len() as u64;
+        self.stats.batches += 1;
+        comm.send_bytes(self.peer, DATA_TAG, bytes)
+    }
+
+    /// Flush any coalesced tail and mark end-of-stream. Consumes the
+    /// sender; returns the final counters.
+    pub fn finish(mut self, comm: &mut Communicator) -> CommResult<StreamSendStats> {
+        let started = Instant::now();
+        self.flush(comm, true)?;
+        self.finished = true;
+        self.stats.send_busy += started.elapsed();
+        Ok(self.stats)
+    }
+}
+
+/// Stager-side stream counters.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRecvStats {
+    /// Time blocked waiting for data from this producer.
+    pub recv_busy: Duration,
+    /// Serialized bytes received (batch framing included).
+    pub bytes: u64,
+    /// Time-step chunks delivered.
+    pub steps: u64,
+    /// High-water mark of received-but-unconsumed chunk payload bytes —
+    /// the staging-side buffer the credit window bounds.
+    pub buffered_bytes_peak: u64,
+}
+
+/// The stager (analytics-side) end of a stream from one producer.
+pub struct StreamReceiver<T> {
+    peer: usize,
+    queue: VecDeque<ChunkMsg>,
+    buffered_bytes: u64,
+    eos: bool,
+    stats: StreamRecvStats,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: DeserializeOwned> StreamReceiver<T> {
+    /// A receiver for the stream arriving from producer rank `peer`.
+    pub fn new(peer: usize) -> Self {
+        StreamReceiver {
+            peer,
+            queue: VecDeque::new(),
+            buffered_bytes: 0,
+            eos: false,
+            stats: StreamRecvStats::default(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// The stream's counters so far.
+    pub fn stats(&self) -> &StreamRecvStats {
+        &self.stats
+    }
+
+    /// `true` once end-of-stream has been received *and* drained.
+    pub fn is_finished(&self) -> bool {
+        self.eos && self.queue.is_empty()
+    }
+
+    /// Ingest one wire batch into the reorder queue.
+    fn ingest(&mut self, bytes: Vec<u8>) -> CommResult<()> {
+        self.stats.bytes += bytes.len() as u64;
+        let msg: BatchMsg = smart_wire::from_bytes(&bytes)?;
+        self.eos |= msg.eos;
+        for chunk in msg.chunks {
+            self.buffered_bytes += chunk.payload.len() as u64;
+            self.queue.push_back(chunk);
+        }
+        self.stats.buffered_bytes_peak = self.stats.buffered_bytes_peak.max(self.buffered_bytes);
+        Ok(())
+    }
+
+    /// Receive the next time-step chunk in order: `(step, offset, data)`.
+    /// Returns `Ok(None)` at end-of-stream. Consuming a chunk returns one
+    /// credit to the producer, opening its window.
+    pub fn recv(&mut self, comm: &mut Communicator) -> CommResult<Option<(u64, usize, Vec<T>)>> {
+        while self.queue.is_empty() && !self.eos {
+            let waited = Instant::now();
+            let bytes = comm.recv_bytes(self.peer, DATA_TAG)?;
+            self.stats.recv_busy += waited.elapsed();
+            self.ingest(bytes)?;
+        }
+        // Drain whatever else has already arrived, so
+        // `buffered_bytes_peak` observes the true staging-side lookahead
+        // the credit window admitted (not just one batch at a time).
+        while !self.eos {
+            match comm.try_recv_bytes(self.peer, DATA_TAG)? {
+                Some(bytes) => self.ingest(bytes)?,
+                None => break,
+            }
+        }
+        let Some(chunk) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        self.buffered_bytes -= chunk.payload.len() as u64;
+        let data: Vec<T> = smart_wire::from_bytes(&chunk.payload)?;
+        self.stats.steps += 1;
+        // Return the credit. Best-effort: after end-of-stream the producer
+        // may already have exited, and a vanished producer needs no flow
+        // control — its death would surface on the next *data* receive.
+        match comm.send(self.peer, CREDIT_TAG, &1u32) {
+            Ok(()) | Err(CommError::PeerGone { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Some((chunk.step, chunk.offset as usize, data)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_cluster, CommError};
+
+    /// Producer on rank 0 streams `steps` f64 partitions to a stager on
+    /// rank 1 with the given config; the stager consumes them all.
+    fn roundtrip(cfg: StreamConfig, steps: usize) -> (StreamSendStats, StreamRecvStats, Vec<f64>) {
+        let results = run_cluster(2, move |mut comm| {
+            if comm.rank() == 0 {
+                let mut tx = StreamSender::<f64>::new(1, cfg.clone());
+                for t in 0..steps {
+                    let data: Vec<f64> = (0..16).map(|i| (t * 16 + i) as f64).collect();
+                    tx.feed(&mut comm, t * 16, &data).unwrap();
+                }
+                let stats = tx.finish(&mut comm).unwrap();
+                (Some(stats), None, Vec::new())
+            } else {
+                let mut rx = StreamReceiver::<f64>::new(0);
+                let mut sums = Vec::new();
+                let mut expect_step = 0u64;
+                while let Some((step, offset, data)) = rx.recv(&mut comm).unwrap() {
+                    assert_eq!(step, expect_step, "steps arrive in order");
+                    assert_eq!(offset as u64, step * 16);
+                    sums.push(data.iter().sum::<f64>());
+                    expect_step += 1;
+                }
+                assert!(rx.is_finished());
+                (None, Some(rx.stats().clone()), sums)
+            }
+        });
+        let mut it = results.into_iter();
+        let (send, _, _) = it.next().unwrap();
+        let (_, recv, sums) = it.next().unwrap();
+        (send.unwrap(), recv.unwrap(), sums)
+    }
+
+    #[test]
+    fn stream_delivers_all_steps_in_order() {
+        let (send, recv, sums) = roundtrip(StreamConfig::with_window(3), 20);
+        assert_eq!(send.steps, 20);
+        assert_eq!(recv.steps, 20);
+        assert_eq!(send.bytes, recv.bytes);
+        assert_eq!(sums.len(), 20);
+        for (t, sum) in sums.iter().enumerate() {
+            let expected: f64 = (0..16).map(|i| (t * 16 + i) as f64).sum();
+            assert_eq!(*sum, expected, "step {t}");
+        }
+    }
+
+    #[test]
+    fn batching_coalesces_messages() {
+        let one_per_msg = roundtrip(StreamConfig::with_window(8), 24).0;
+        let coalesced = roundtrip(StreamConfig::with_window(8).with_batch(4, 1 << 20), 24).0;
+        assert_eq!(one_per_msg.batches, 25, "24 data messages + EOS");
+        assert_eq!(coalesced.batches, 7, "6 batches of 4 + EOS");
+        assert_eq!(coalesced.steps, 24);
+        assert!(coalesced.bytes < one_per_msg.bytes, "framing amortized across the batch");
+    }
+
+    #[test]
+    fn byte_cap_flushes_batches_early() {
+        // Each step's payload is 16 f64 = 128 bytes (+ framing); a 200-byte
+        // cap forces a flush on every second step even with batch_steps=8.
+        let stats = roundtrip(StreamConfig::with_window(8).with_batch(8, 200), 8).0;
+        assert_eq!(stats.steps, 8);
+        assert!(stats.batches >= 4, "byte cap must split the batches: {}", stats.batches);
+    }
+
+    #[test]
+    fn credit_window_bounds_stager_buffered_bytes() {
+        // A fast producer against a slow stager: the credit window — not
+        // the stager's consumption rate — must bound how many bytes sit
+        // buffered on the staging side.
+        let step_elems = 64usize;
+        let payload_bytes = smart_wire::encoded_len(&vec![0.0f64; step_elems]).unwrap();
+        let mut peaks = Vec::new();
+        for window in [1usize, 2, 8] {
+            let results = run_cluster(2, move |mut comm| {
+                if comm.rank() == 0 {
+                    let mut tx = StreamSender::<f64>::new(1, StreamConfig::with_window(window));
+                    for t in 0..24 {
+                        let data = vec![t as f64; step_elems];
+                        tx.feed(&mut comm, 0, &data).unwrap();
+                    }
+                    tx.finish(&mut comm).unwrap();
+                    0
+                } else {
+                    let mut rx = StreamReceiver::<f64>::new(0);
+                    while let Some(_chunk) = rx.recv(&mut comm).unwrap() {
+                        // Slow consumer: let the producer run ahead as far
+                        // as its credits allow.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    rx.stats().buffered_bytes_peak
+                }
+            });
+            let peak = results[1];
+            assert!(peak > 0, "window={window}: stager must have buffered something");
+            assert!(
+                peak <= (window as u64) * payload_bytes,
+                "window={window}: buffered peak {peak} exceeds window bound {}",
+                (window as u64) * payload_bytes
+            );
+            peaks.push(peak);
+        }
+        assert!(peaks[0] < peaks[2], "a wider window must admit more lookahead: {peaks:?}");
+    }
+
+    #[test]
+    fn dead_stager_surfaces_as_peer_gone_to_producer() {
+        let results = run_cluster(2, |mut comm| {
+            if comm.rank() == 0 {
+                let mut tx = StreamSender::<u64>::new(1, StreamConfig::with_window(2));
+                let mut outcome = Ok(());
+                for t in 0..100u64 {
+                    if let Err(e) = tx.feed(&mut comm, 0, &[t; 32]) {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                outcome
+            } else {
+                // Consume one chunk, then die mid-stream.
+                let mut rx = StreamReceiver::<u64>::new(0);
+                rx.recv(&mut comm).unwrap();
+                Ok(())
+            }
+        });
+        assert_eq!(results[0], Err(CommError::PeerGone { peer: 1 }));
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn dead_producer_surfaces_as_peer_gone_to_stager() {
+        let results = run_cluster(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Stream two steps, then vanish without finish().
+                let mut tx = StreamSender::<u64>::new(1, StreamConfig::with_window(4));
+                tx.feed(&mut comm, 0, &[1, 2, 3]).unwrap();
+                tx.feed(&mut comm, 0, &[4, 5, 6]).unwrap();
+                Ok(())
+            } else {
+                let mut rx = StreamReceiver::<u64>::new(0);
+                loop {
+                    match rx.recv(&mut comm) {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break Ok(()),
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
+        });
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(CommError::PeerGone { peer: 0 }));
+    }
+
+    #[test]
+    fn empty_stream_delivers_clean_eos() {
+        let results = run_cluster(2, |mut comm| {
+            if comm.rank() == 0 {
+                let tx = StreamSender::<f64>::new(1, StreamConfig::default());
+                tx.finish(&mut comm).unwrap().steps
+            } else {
+                let mut rx = StreamReceiver::<f64>::new(0);
+                assert!(rx.recv(&mut comm).unwrap().is_none());
+                assert!(rx.is_finished());
+                0
+            }
+        });
+        assert_eq!(results[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_steps")]
+    fn batch_larger_than_window_is_rejected() {
+        let _ = StreamSender::<f64>::new(1, StreamConfig::with_window(2).with_batch(4, 1 << 20));
+    }
+
+    #[test]
+    fn many_producers_one_stager_interleave_cleanly() {
+        let producers = 4usize;
+        let steps = 6usize;
+        let results = run_cluster(producers + 1, move |mut comm| {
+            if comm.rank() < producers {
+                let rank = comm.rank();
+                let mut tx = StreamSender::<u64>::new(producers, StreamConfig::with_window(2));
+                for t in 0..steps {
+                    let v = vec![(rank * 100 + t) as u64; 8];
+                    tx.feed(&mut comm, rank * 8, &v).unwrap();
+                }
+                tx.finish(&mut comm).unwrap();
+                0u64
+            } else {
+                let mut rxs: Vec<StreamReceiver<u64>> =
+                    (0..producers).map(StreamReceiver::new).collect();
+                let mut total = 0u64;
+                for t in 0..steps {
+                    for (p, rx) in rxs.iter_mut().enumerate() {
+                        let (step, offset, data) = rx.recv(&mut comm).unwrap().unwrap();
+                        assert_eq!(step as usize, t);
+                        assert_eq!(offset, p * 8);
+                        total += data.iter().sum::<u64>();
+                    }
+                }
+                for rx in &mut rxs {
+                    assert!(rx.recv(&mut comm).unwrap().is_none());
+                }
+                total
+            }
+        });
+        let expected: u64 =
+            (0..producers).flat_map(|p| (0..steps).map(move |t| 8 * (p * 100 + t) as u64)).sum();
+        assert_eq!(results[producers], expected);
+    }
+}

@@ -37,6 +37,14 @@
 //!   feeding a bounded [`space::CircularBuffer`] from an analytics task
 //!   draining it (Fig. 4), each on its own core group.
 //!
+//! Plus the in-situ literature's third placement, beyond the paper:
+//!
+//! * **in-transit** — [`in_transit::run_in_transit`] streams time-step
+//!   partitions from simulation ranks to dedicated staging ranks over a
+//!   credit-windowed transport; the staging ranks run the full Smart
+//!   pipeline among themselves and produce the same combination map as the
+//!   in-situ modes, bit for bit.
+//!
 //! The window-analytics optimization (§4) is [`RedObj::trigger`]: when an
 //! object reports itself complete during reduction it is immediately
 //! [`Analytics::convert`]ed into the output and erased, capping live
@@ -83,6 +91,7 @@
 mod api;
 mod args;
 mod error;
+pub mod in_transit;
 pub mod pipeline;
 mod redmap;
 mod scheduler;
@@ -92,6 +101,10 @@ pub mod space;
 pub use api::{Analytics, Chunk, ComMap, Key, RedObj};
 pub use args::SchedArgs;
 pub use error::{SmartError, SmartResult};
+pub use in_transit::{
+    run_in_transit, InTransitConfig, InTransitOk, InTransitOutcome, Placement, Producer,
+    ProducerOutcome, StagerOutcome, Topology,
+};
 pub use pipeline::{KeyMode, Pipeline};
 pub use redmap::RedMap;
 pub use scheduler::{CombineStrategy, RunStats, Scheduler};

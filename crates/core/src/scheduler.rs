@@ -64,6 +64,15 @@ pub struct RunStats {
     pub comm_bytes: u64,
     /// Iterations executed.
     pub iters: usize,
+    /// In-transit mode only: producer-side busy time inside streaming sends
+    /// (serialization + credit waits). Zero for in-situ placements.
+    pub transit_send_busy: Duration,
+    /// In-transit mode only: stager-side busy time receiving and decoding
+    /// streamed chunks. Zero for in-situ placements.
+    pub transit_recv_busy: Duration,
+    /// In-transit mode only: wire bytes streamed from producers to this
+    /// stager. Zero for in-situ placements.
+    pub transit_bytes: u64,
 }
 
 impl RunStats {
@@ -75,6 +84,27 @@ impl RunStats {
     /// Total busy time across all workers and phases.
     pub fn total_busy(&self) -> Duration {
         self.split_busy.iter().sum::<Duration>() + self.combine_busy
+    }
+
+    /// Accumulate another run's stats into this one (element-wise for the
+    /// per-worker vector). The in-transit stager calls the scheduler once
+    /// per time-step and absorbs each step's stats into a whole-run total.
+    pub fn absorb(&mut self, other: &RunStats) {
+        if self.split_busy.len() < other.split_busy.len() {
+            self.split_busy.resize(other.split_busy.len(), Duration::ZERO);
+        }
+        for (acc, &busy) in self.split_busy.iter_mut().zip(&other.split_busy) {
+            *acc += busy;
+        }
+        self.combine_busy += other.combine_busy;
+        self.local_merge_busy += other.local_merge_busy;
+        self.global_comm_busy += other.global_comm_busy;
+        self.global_bytes += other.global_bytes;
+        self.comm_bytes += other.comm_bytes;
+        self.iters += other.iters;
+        self.transit_send_busy += other.transit_send_busy;
+        self.transit_recv_busy += other.transit_recv_busy;
+        self.transit_bytes += other.transit_bytes;
     }
 }
 
@@ -214,7 +244,7 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(None, input, out, false)
+        self.run_inner(None, &[(self.args.partition_offset, input)], out, false)
     }
 
     /// Multi-key analytics on one input block, single rank
@@ -223,7 +253,7 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(None, input, out, true)
+        self.run_inner(None, &[(self.args.partition_offset, input)], out, true)
     }
 
     /// Single-key analytics with global combination across the cluster.
@@ -236,7 +266,7 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), input, out, false)
+        self.run_inner(Some(comm), &[(self.args.partition_offset, input)], out, false)
     }
 
     /// Multi-key analytics with global combination across the cluster.
@@ -249,14 +279,55 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), input, out, true)
+        self.run_inner(Some(comm), &[(self.args.partition_offset, input)], out, true)
+    }
+
+    /// Single-key analytics over several `(global_offset, data)` partitions
+    /// in one pass, with global combination across the cluster.
+    ///
+    /// An in-transit staging rank serves multiple producers: each time-step
+    /// it holds one partition per producer, all of which must contribute to
+    /// a *single* local + global combination (running them as separate steps
+    /// would pay the global collective once per producer and would break
+    /// iterative analytics, whose `post_combine` must see the whole step).
+    /// An empty `parts` slice still participates in the collectives — needed
+    /// when streams end raggedly and an idle stager must keep its peers'
+    /// global combination from deadlocking.
+    pub fn run_parts_dist(
+        &mut self,
+        comm: &mut Communicator,
+        parts: &[(usize, &[A::In])],
+        out: &mut [A::Out],
+    ) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(Some(comm), parts, out, false)
+    }
+
+    /// Multi-key variant of [`run_parts_dist`](Self::run_parts_dist).
+    pub fn run2_parts_dist(
+        &mut self,
+        comm: &mut Communicator,
+        parts: &[(usize, &[A::In])],
+        out: &mut [A::Out],
+    ) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        self.run_inner(Some(comm), parts, out, true)
     }
 
     /// Algorithm 1, plus the Algorithm 2 early-emission extension.
+    ///
+    /// `parts` is a set of `(global_offset, data)` partitions all processed
+    /// within one step: the ordinary in-situ paths pass exactly one, an
+    /// in-transit stager passes one per producer it serves (possibly zero
+    /// once streams start ending raggedly).
     fn run_inner(
         &mut self,
         mut comm: Option<&mut Communicator>,
-        input: &[A::In],
+        parts: &[(usize, &[A::In])],
         out: &mut [A::Out],
         multi_key: bool,
     ) -> SmartResult<()>
@@ -264,18 +335,29 @@ impl<A: Analytics> Scheduler<A> {
         A::In: Clone,
     {
         let chunk_size = self.args.chunk_size;
-        if input.len() % chunk_size != 0 {
-            return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
+        for &(_, input) in parts {
+            if input.len() % chunk_size != 0 {
+                return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
+            }
         }
 
         // Fig. 9 baseline: the extra input copy the zero-copy design avoids.
+        // Parts are copied back-to-back into one buffer; their slices are
+        // re-cut from recorded ranges once the buffer stops growing.
         let mut copy_buf = std::mem::take(&mut self.copy_buf);
-        let data: &[A::In] = if self.args.copy_input {
+        let copied_parts: Vec<(usize, &[A::In])>;
+        let parts: &[(usize, &[A::In])] = if self.args.copy_input {
             copy_buf.clear();
-            copy_buf.extend_from_slice(input);
-            &copy_buf
+            let mut ranges = Vec::with_capacity(parts.len());
+            for &(offset, input) in parts {
+                let start = copy_buf.len();
+                copy_buf.extend_from_slice(input);
+                ranges.push((offset, start..copy_buf.len()));
+            }
+            copied_parts = ranges.into_iter().map(|(offset, r)| (offset, &copy_buf[r])).collect();
+            &copied_parts
         } else {
-            input
+            parts
         };
 
         // Algorithm 1 line 1: seed the combination map once.
@@ -285,7 +367,6 @@ impl<A: Analytics> Scheduler<A> {
         }
 
         let nthreads = self.args.num_threads;
-        let offset = self.args.partition_offset;
         // Early emission needs an output buffer to emit into.
         let emission_enabled = !self.args.disable_trigger && !out.is_empty();
         let out_shared = SharedSlice::new(out);
@@ -302,50 +383,63 @@ impl<A: Analytics> Scheduler<A> {
             let out_ref = &out_shared;
 
             // Reduction phase (lines 7–10 + Algorithm 2): one split per
-            // thread, each with a private reduction map.
-            let worker = |tid: usize| -> SmartResult<(RedMap<A::Red>, Duration)> {
-                let started = Instant::now();
-                let range = split_range(data.len(), nthreads, tid, chunk_size);
-                let mut red: RedMap<A::Red> =
-                    if distribute { com_ref.clone() } else { RedMap::new() };
-                let mut keys: Vec<Key> = Vec::with_capacity(8);
-                let mut cursor = range.start;
-                while cursor + chunk_size <= range.end {
-                    let chunk = Chunk {
-                        local_start: cursor,
-                        global_start: offset + cursor,
-                        len: chunk_size,
-                    };
-                    keys.clear();
-                    if multi_key {
-                        analytics.gen_keys(&chunk, data, com_ref, &mut keys);
-                    } else {
-                        keys.push(analytics.gen_key(&chunk, data, com_ref));
-                    }
-                    for &key in &keys {
-                        let slot = red.slot_mut(key);
-                        analytics.accumulate(&chunk, data, key, slot);
-                        let Some(obj) = slot.as_ref() else {
-                            return Err(SmartError::EmptyAccumulate { key });
+            // thread, each with a private reduction map; partitions run one
+            // after another over the same pool, feeding a single local
+            // combination below.
+            let mut partial_maps: Vec<RedMap<A::Red>> = Vec::with_capacity(nthreads * parts.len());
+            for &(offset, data) in parts {
+                let worker = |tid: usize| -> SmartResult<(RedMap<A::Red>, Duration)> {
+                    let started = Instant::now();
+                    let range = split_range(data.len(), nthreads, tid, chunk_size);
+                    let mut red: RedMap<A::Red> =
+                        if distribute { com_ref.clone() } else { RedMap::new() };
+                    let mut keys: Vec<Key> = Vec::with_capacity(8);
+                    let mut cursor = range.start;
+                    while cursor + chunk_size <= range.end {
+                        let chunk = Chunk {
+                            local_start: cursor,
+                            global_start: offset + cursor,
+                            len: chunk_size,
                         };
-                        if emission_enabled && obj.trigger() {
-                            let idx = usize::try_from(key)
-                                .ok()
-                                .filter(|&i| i < out_ref.len())
-                                .ok_or(SmartError::KeyOutOfRange { key, out_len: out_ref.len() })?;
-                            // SAFETY: splits own disjoint contiguous element
-                            // ranges, so only the split holding *all* of a
-                            // key's contributions can trigger it — one
-                            // writer per index (see shared_slice docs).
-                            unsafe { out_ref.with_mut(idx, |o| analytics.convert(obj, o)) };
-                            red.remove(key);
+                        keys.clear();
+                        if multi_key {
+                            analytics.gen_keys(&chunk, data, com_ref, &mut keys);
+                        } else {
+                            keys.push(analytics.gen_key(&chunk, data, com_ref));
                         }
+                        for &key in &keys {
+                            let slot = red.slot_mut(key);
+                            analytics.accumulate(&chunk, data, key, slot);
+                            let Some(obj) = slot.as_ref() else {
+                                return Err(SmartError::EmptyAccumulate { key });
+                            };
+                            if emission_enabled && obj.trigger() {
+                                let idx = usize::try_from(key)
+                                    .ok()
+                                    .filter(|&i| i < out_ref.len())
+                                    .ok_or(SmartError::KeyOutOfRange {
+                                        key,
+                                        out_len: out_ref.len(),
+                                    })?;
+                                // SAFETY: splits own disjoint contiguous element
+                                // ranges, so only the split holding *all* of a
+                                // key's contributions can trigger it — one
+                                // writer per index (see shared_slice docs).
+                                unsafe { out_ref.with_mut(idx, |o| analytics.convert(obj, o)) };
+                                red.remove(key);
+                            }
+                        }
+                        cursor += chunk_size;
                     }
-                    cursor += chunk_size;
+                    Ok((red, started.elapsed()))
+                };
+                let partials = self.pool.try_run_on_workers(nthreads, worker)?;
+                for (tid, partial) in partials.into_iter().enumerate() {
+                    let (partial, busy) = partial?;
+                    stats.split_busy[tid] += busy;
+                    partial_maps.push(partial);
                 }
-                Ok((red, started.elapsed()))
-            };
-            let partials = self.pool.try_run_on_workers(nthreads, worker)?;
+            }
 
             // Local combination (lines 11–17) into a fresh *delta* map.
             // The delta holds only this iteration's contribution, so the
@@ -354,22 +448,16 @@ impl<A: Analytics> Scheduler<A> {
             // across time-steps — k-means tracks centroids through the
             // whole simulation).
             let combine_started = Instant::now();
-            let mut parts: Vec<RedMap<A::Red>> = Vec::with_capacity(nthreads);
-            for (tid, partial) in partials.into_iter().enumerate() {
-                let (partial, busy) = partial?;
-                stats.split_busy[tid] += busy;
-                parts.push(partial);
-            }
             let mut delta: RedMap<A::Red> = match self.combine_strategy {
                 CombineStrategy::Serial => {
                     let mut d = RedMap::new();
-                    for partial in parts {
+                    for partial in partial_maps {
                         Self::merge_into(&self.analytics, partial, &mut d);
                     }
                     d
                 }
                 CombineStrategy::Tree | CombineStrategy::Sharded => {
-                    self.tree_merge_partials(parts)?
+                    self.tree_merge_partials(partial_maps)?
                 }
             };
             stats.local_merge_busy += combine_started.elapsed();

@@ -149,3 +149,73 @@ fn scheduler_is_reusable_after_an_error() {
     s.run(&[0.1, 0.2], &mut []).unwrap();
     assert_eq!(s.combination_map().len(), 1);
 }
+
+#[test]
+fn stager_death_mid_stream_surfaces_peer_gone_to_all_producers() {
+    use smart_insitu::comm::{StreamConfig, StreamReceiver, StreamSender};
+
+    // Three producers stream to one staging rank; the stager consumes one
+    // chunk from each and dies. Every producer must be woken out of its
+    // credit wait (or send) with PeerGone — never a hang.
+    let producers = 3usize;
+    let results = run_cluster(producers + 1, move |mut comm| {
+        if comm.rank() < producers {
+            let mut tx = StreamSender::<f64>::new(producers, StreamConfig::with_window(2));
+            for t in 0..1000 {
+                tx.feed(&mut comm, 0, &[t as f64; 64])?;
+            }
+            tx.finish(&mut comm).map(|_| ())
+        } else {
+            let mut rxs: Vec<StreamReceiver<f64>> =
+                (0..producers).map(StreamReceiver::new).collect();
+            for rx in &mut rxs {
+                rx.recv(&mut comm)?.expect("one chunk per producer");
+            }
+            Ok(()) // returning drops the communicator: death mid-stream
+        }
+    });
+    assert!(results[producers].is_ok(), "stager consumed its chunks first");
+    for (p, r) in results[..producers].iter().enumerate() {
+        assert_eq!(
+            *r,
+            Err(CommError::PeerGone { peer: producers }),
+            "producer {p} must see the stager's death"
+        );
+    }
+}
+
+#[test]
+fn stager_scheduler_error_does_not_hang_the_transit_run() {
+    use smart_insitu::core::in_transit::{run_in_transit, InTransitConfig, Producer, Topology};
+    use smart_insitu::core::KeyMode;
+
+    // The stager's scheduler rejects the chunk geometry (length 3 with
+    // chunk_size 2): the stager errors out and its producers surface
+    // PeerGone instead of waiting forever on credits.
+    let outcome = run_in_transit(
+        Topology::new(2, 1),
+        InTransitConfig::with_window(1),
+        KeyMode::Single,
+        |prod: &mut Producer<f64>| {
+            for t in 0..50 {
+                prod.feed(0, &[t as f64; 3])?;
+            }
+            Ok(())
+        },
+        |_s| {
+            let pool = smart_insitu::pool::shared_pool(1)?;
+            let sched = Scheduler::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 2), pool)?;
+            Ok((sched, Vec::new()))
+        },
+    );
+    assert!(matches!(
+        outcome.stagers[0],
+        Err(SmartError::ChunkMismatch { input_len: 3, chunk_size: 2 })
+    ));
+    for p in &outcome.producers {
+        assert!(
+            matches!(p, Err(SmartError::Comm(CommError::PeerGone { .. }))),
+            "producer must not hang on a failed stager: {p:?}"
+        );
+    }
+}

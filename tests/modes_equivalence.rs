@@ -124,3 +124,168 @@ fn thread_count_never_changes_exact_counts() {
         }
     }
 }
+
+/// The in-transit placement must be indistinguishable from the in-situ
+/// ones at the combination-map level: dedicated staging ranks fed over the
+/// streaming transport compute bit-for-bit the map that time sharing and
+/// space sharing compute. Integer-valued inputs keep every f64 merge exact,
+/// so the comparison really is byte equality of the serialized maps.
+mod in_transit_agrees_with_in_situ {
+    use super::*;
+    use smart_insitu::analytics::KMeans;
+    use smart_insitu::comm::{run_cluster, StreamConfig};
+    use smart_insitu::core::in_transit::{run_in_transit, InTransitConfig, Producer, Topology};
+    use smart_insitu::core::KeyMode;
+
+    const PRODUCERS: usize = 4;
+    const STAGERS: usize = 2;
+    const PART: usize = 16; // elements per producer per step
+    const STEPS: usize = 3;
+    const WINDOW: usize = 2;
+
+    fn element(t: usize, p: usize, i: usize) -> f64 {
+        ((t * 31 + p * 7 + i) % 10) as f64
+    }
+
+    fn partition(t: usize, p: usize) -> Vec<f64> {
+        (0..PART).map(|i| element(t, p, i)).collect()
+    }
+
+    fn step_concat(t: usize) -> Vec<f64> {
+        (0..PRODUCERS).flat_map(|p| partition(t, p)).collect()
+    }
+
+    fn map_bytes<A: Analytics>(s: &Scheduler<A>) -> Vec<u8> {
+        smart_insitu::wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap()
+    }
+
+    /// Run all three placements of the same analytics and return their
+    /// canonical combination-map bytes (time, space, transit).
+    fn three_placements<A, F>(make: F, key_mode: KeyMode, out_len: usize) -> [Vec<u8>; 3]
+    where
+        A: Analytics<In = f64> + 'static,
+        A::Out: Default,
+        F: Fn(usize) -> Scheduler<A> + Sync,
+    {
+        // Time sharing: one rank per producer, one `run*_dist` per step.
+        let time = {
+            let make = &make;
+            let per_rank = run_cluster(PRODUCERS, move |mut comm| {
+                let mut s = make(comm.size());
+                let mut out: Vec<A::Out> = (0..out_len).map(|_| A::Out::default()).collect();
+                for t in 0..STEPS {
+                    let data = partition(t, comm.rank());
+                    match key_mode {
+                        KeyMode::Single => s.run_dist(&mut comm, &data, &mut out).unwrap(),
+                        KeyMode::Multi => s.run2_dist(&mut comm, &data, &mut out).unwrap(),
+                    }
+                }
+                map_bytes(&s)
+            });
+            for rank in 1..per_rank.len() {
+                assert_eq!(per_rank[rank], per_rank[0], "time-sharing rank {rank} diverged");
+            }
+            per_rank.into_iter().next().unwrap()
+        };
+
+        // Space sharing: a concurrent producer feeds whole time-steps
+        // through the circular buffer; one `run*_step` call per step keeps
+        // the step structure (and thus `post_combine` cadence) identical.
+        let space = {
+            let mut shared = SpaceShared::new(make(1), 2);
+            let feeder = shared.feeder();
+            let producer = std::thread::spawn(move || {
+                for t in 0..STEPS {
+                    feeder.feed(&step_concat(t)).unwrap();
+                }
+                feeder.close();
+            });
+            let mut out: Vec<A::Out> = (0..out_len).map(|_| A::Out::default()).collect();
+            loop {
+                let more = match key_mode {
+                    KeyMode::Single => shared.run_step(&mut out).unwrap(),
+                    KeyMode::Multi => shared.run2_step(&mut out).unwrap(),
+                };
+                if !more {
+                    break;
+                }
+            }
+            producer.join().unwrap();
+            map_bytes(shared.scheduler())
+        };
+
+        // In transit: producers stream their partitions to staging ranks
+        // that run the scheduler over the whole staging group.
+        let transit = {
+            let config = InTransitConfig::default().with_stream(StreamConfig::with_window(WINDOW));
+            let outcome = run_in_transit(
+                Topology::new(PRODUCERS, STAGERS),
+                config,
+                key_mode,
+                |prod: &mut Producer<f64>| {
+                    for t in 0..STEPS {
+                        prod.feed(prod.index() * PART, &partition(t, prod.index()))?;
+                    }
+                    Ok(())
+                },
+                |_s| {
+                    let sched = make(1);
+                    let out: Vec<A::Out> = (0..out_len).map(|_| A::Out::default()).collect();
+                    Ok((sched, out))
+                },
+            );
+            let (_producers, stagers) = outcome.into_result().unwrap();
+            for s in 1..stagers.len() {
+                assert_eq!(stagers[s].map_bytes, stagers[0].map_bytes, "stager {s} diverged");
+            }
+            // The credit window bounds the staging-side buffer: at no
+            // point may more than `window` un-consumed steps of one
+            // producer's payload sit on the stager.
+            let payload = smart_insitu::wire::encoded_len(&partition(0, 0)).unwrap();
+            for stager in &stagers {
+                for stream in &stager.streams {
+                    assert!(
+                        stream.buffered_bytes_peak <= (WINDOW as u64) * payload,
+                        "buffered {} > window bound {}",
+                        stream.buffered_bytes_peak,
+                        (WINDOW as u64) * payload
+                    );
+                }
+            }
+            stagers.into_iter().next().unwrap().map_bytes
+        };
+
+        [time, space, transit]
+    }
+
+    #[test]
+    fn histogram_maps_are_bit_identical_across_placements() {
+        let [time, space, transit] = three_placements(
+            |_ranks| {
+                let pool = smart_insitu::pool::shared_pool(2).unwrap();
+                Scheduler::new(Histogram::new(0.0, 10.0, 24), SchedArgs::new(2, 1), pool).unwrap()
+            },
+            KeyMode::Single,
+            24,
+        );
+        assert_eq!(time, space, "histogram: time vs space sharing");
+        assert_eq!(time, transit, "histogram: in-situ vs in-transit");
+    }
+
+    #[test]
+    fn kmeans_maps_are_bit_identical_across_placements() {
+        let (k, dims, iters) = (3usize, 4usize, 4usize);
+        let init: Vec<f64> = (0..k * dims).map(|i| (i * 5 % 11) as f64).collect();
+        let [time, space, transit] = three_placements(
+            move |_ranks| {
+                let pool = smart_insitu::pool::shared_pool(2).unwrap();
+                let args = SchedArgs::new(2, dims).with_extra(init.clone()).with_iters(iters);
+                Scheduler::new(KMeans::new(k, dims), args, pool).unwrap()
+            },
+            KeyMode::Single,
+            k,
+        );
+        assert_eq!(time, space, "k-means: time vs space sharing");
+        assert_eq!(time, transit, "k-means: in-situ vs in-transit");
+    }
+}
