@@ -1,4 +1,4 @@
-//! Grid aggregation (paper §5.1, after SAGA [57]) — the visualization
+//! Grid aggregation (paper §5.1, after SAGA \[57\]) — the visualization
 //! representative: collapse every `grid_size` consecutive elements into one
 //! aggregate for multi-resolution rendering.
 

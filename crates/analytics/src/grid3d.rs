@@ -1,4 +1,4 @@
-//! 3-D structural grid aggregation (paper §5.8, after SAGA [57]).
+//! 3-D structural grid aggregation (paper §5.8, after SAGA \[57\]).
 //!
 //! The 1-D [`crate::GridAggregation`] collapses consecutive elements; real
 //! multi-resolution visualization collapses *spatial blocks* of the 3-D

@@ -292,7 +292,7 @@ impl Analytics for GaussianSmoother {
     }
 }
 
-/// Savitzky–Golay smoothing filter (paper [39]): least-squares polynomial
+/// Savitzky–Golay smoothing filter (paper \[39\]): least-squares polynomial
 /// fit over the window, evaluated at the center. Full windows apply the
 /// precomputed convolution coefficients; truncated edge windows fall back to
 /// the window mean (standard practice).

@@ -8,7 +8,7 @@
 //! structural effects —
 //!
 //! * the simulation stops scaling on the many-core node (LULESH saturates
-//!   well below 60 Phi cores; we cap its speedup at [`SIM_SPEEDUP_CAP`]),
+//!   well below 60 Phi cores; we cap its speedup at `SIM_SPEEDUP_CAP`),
 //!   which is the whole reason space sharing can win;
 //! * in space-sharing mode, simulation and analytics message passing
 //!   serializes (`MPI_THREAD_MULTIPLE` big lock, §5.6), so the analytics'

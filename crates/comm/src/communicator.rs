@@ -9,7 +9,7 @@ use serde::Serialize;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Message tag. User code should use tags below [`Tag::COLLECTIVE_BASE`];
+/// Message tag. User code should use tags below `COLLECTIVE_BASE`;
 /// the collectives reserve the space above it.
 pub type Tag = u64;
 

@@ -28,7 +28,7 @@
 //!   a hang; a producer that dies surfaces the same way on the stager's
 //!   next data receive.
 //!
-//! Tags in [`STREAM_BASE`]`..`[`crate::communicator::COLLECTIVE_BASE`] are
+//! Tags in [`STREAM_BASE`]`..COLLECTIVE_BASE` are
 //! reserved for this transport; user point-to-point traffic should stay
 //! below `STREAM_BASE`.
 

@@ -1,0 +1,136 @@
+//! The combination pipeline — Algorithm 1 lines 11–17, both layers.
+//!
+//! [`local_combine`] merges the per-thread partial maps from
+//! [`crate::reduce`] into one *delta* map (the step's contribution only —
+//! the persistent combination map is merged afterwards, so global
+//! combination never re-sums state previous steps already made global).
+//! [`global_combine`] merges the delta across ranks; afterwards every rank
+//! holds the same global delta. [`CombineStrategy`] selects how far along
+//! the parallel pipeline to go; all strategies produce identical maps (see
+//! DESIGN.md, "Combination pipeline").
+
+use crate::api::{Analytics, ComMap};
+use crate::error::SmartResult;
+use crate::observer::{PhaseObserver, Stopwatch};
+use crate::redmap::RedMap;
+use smart_comm::Communicator;
+use smart_pool::SharedPool;
+
+/// How the combination pipeline executes — the local merge of per-thread
+/// partial maps and the global merge across ranks. All three strategies
+/// produce identical combination maps; they differ only in parallelism and
+/// communication pattern (see DESIGN.md, "Combination pipeline").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineStrategy {
+    /// Sequential local merge on the driver thread; reduce-to-root +
+    /// broadcast allreduce globally. The paper's baseline pipeline
+    /// (Algorithm 1 run literally).
+    Serial,
+    /// Pairwise parallel tree merge of per-thread partials on the pool
+    /// (⌈log₂ t⌉ rounds); same global allreduce as `Serial`.
+    Tree,
+    /// Tree local merge plus shard-partitioned global combination: entries
+    /// are hash-partitioned by key across ranks, reduced with a ring
+    /// reduce-scatter, and reassembled with a ring allgather, so per-rank
+    /// traffic is bounded by ~2× the serialized map regardless of rank
+    /// count. The default.
+    #[default]
+    Sharded,
+}
+
+/// Layer 1: merge the per-thread partial maps into the step's delta map.
+/// Busy time reports through `observer` as
+/// [`PhaseObserver::local_merge_done`].
+pub(crate) fn local_combine<A: Analytics>(
+    analytics: &A,
+    pool: &SharedPool,
+    strategy: CombineStrategy,
+    partials: Vec<RedMap<A::Red>>,
+    observer: &mut dyn PhaseObserver,
+) -> SmartResult<RedMap<A::Red>> {
+    let measure = observer.enabled();
+    let sw = Stopwatch::new(measure);
+    let delta = match strategy {
+        CombineStrategy::Serial => {
+            let mut d = RedMap::new();
+            for partial in partials {
+                merge_into(analytics, partial, &mut d);
+            }
+            d
+        }
+        CombineStrategy::Tree | CombineStrategy::Sharded => tree_merge(analytics, pool, partials)?,
+    };
+    if measure {
+        observer.local_merge_done(sw.elapsed());
+    }
+    Ok(delta)
+}
+
+/// Pairwise parallel tree merge on the pool: ⌈log₂ t⌉ rounds with pairs
+/// merging concurrently. Each pair reuses the larger map's allocation as
+/// the destination and pre-reserves for the smaller one, so no merge grows
+/// through intermediate capacities (see `RedMap::reserve`).
+fn tree_merge<A: Analytics>(
+    analytics: &A,
+    pool: &SharedPool,
+    parts: Vec<RedMap<A::Red>>,
+) -> SmartResult<RedMap<A::Red>> {
+    let merged = pool.tree_reduce(parts, |a, b| {
+        let (mut dst, src) = if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
+        merge_into(analytics, src, &mut dst);
+        dst
+    })?;
+    Ok(merged.unwrap_or_default())
+}
+
+/// Layer 2: merge the delta across ranks (same merge operator, applied to
+/// serialized entries); every rank returns the same global delta. Entries
+/// travel as key-sorted vectors merged with a streaming join — no `RedMap`
+/// rebuild inside the collective. Payload/wire bytes and busy time report
+/// through `observer` as [`PhaseObserver::global_combine_done`].
+pub(crate) fn global_combine<A: Analytics>(
+    analytics: &A,
+    strategy: CombineStrategy,
+    comm: &mut Communicator,
+    mut delta: RedMap<A::Red>,
+    observer: &mut dyn PhaseObserver,
+) -> SmartResult<RedMap<A::Red>> {
+    let measure = observer.enabled();
+    let sw = Stopwatch::new(measure);
+    let wire_before = if measure { comm.sent_bytes() } else { 0 };
+    let mut local = delta.drain_entries();
+    local.sort_unstable_by_key(|&(k, _)| k);
+    let payload = if measure { smart_wire::encoded_len(&local).unwrap_or(0) } else { 0 };
+    let merged = match strategy {
+        CombineStrategy::Serial | CombineStrategy::Tree => comm.allreduce(local, |acc, inc| {
+            smart_comm::merge_sorted_entries(acc, inc, |com, red| analytics.merge(&red, com))
+        })?,
+        CombineStrategy::Sharded => {
+            comm.allreduce_sharded(local, |com, red| analytics.merge(&red, com))?
+        }
+    };
+    if measure {
+        observer.global_combine_done(payload, comm.sent_bytes() - wire_before, sw.elapsed());
+    }
+    Ok(RedMap::from_entries(merged))
+}
+
+/// Merge `src` into `dst` with the analytics' merge operator
+/// (lines 11–17: merge when the key exists, move otherwise).
+pub(crate) fn merge_into<A: Analytics>(
+    analytics: &A,
+    mut src: RedMap<A::Red>,
+    dst: &mut ComMap<A::Red>,
+) {
+    // Pre-size: src arrives in hash order; letting dst grow through
+    // smaller capacities turns that order quadratic (see RedMap::reserve).
+    dst.reserve(src.len());
+    for (key, obj) in src.drain_entries() {
+        match dst.get_mut(key) {
+            Some(com) => analytics.merge(&obj, com),
+            None => {
+                dst.insert(key, obj);
+            }
+        }
+    }
+}

@@ -38,8 +38,9 @@
 
 use crate::api::Analytics;
 use crate::error::{SmartError, SmartResult};
-use crate::pipeline::KeyMode;
-use crate::scheduler::{RunStats, Scheduler};
+use crate::observer::RunStats;
+use crate::scheduler::Scheduler;
+use crate::step::{KeyMode, StepSpec};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use smart_comm::{
@@ -361,14 +362,12 @@ where
                         }
                         let parts: Vec<(usize, &[A::In])> =
                             owned.iter().map(|(o, d)| (*o, d.as_slice())).collect();
-                        match key_mode {
-                            KeyMode::Single => {
-                                sched.run_parts_dist(&mut staging_comm, &parts, &mut out)?
-                            }
-                            KeyMode::Multi => {
-                                sched.run2_parts_dist(&mut staging_comm, &parts, &mut out)?
-                            }
-                        }
+                        sched.execute(
+                            StepSpec::new(&parts)
+                                .with_key_mode(key_mode)
+                                .with_comm(Some(&mut staging_comm)),
+                            &mut out,
+                        )?;
                         stats.absorb(sched.last_stats());
                         steps += 1;
                     }

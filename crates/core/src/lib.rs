@@ -90,22 +90,30 @@
 
 mod api;
 mod args;
+mod combine;
 mod error;
 pub mod in_transit;
+mod observer;
 pub mod pipeline;
 mod redmap;
+mod reduce;
 mod scheduler;
 mod shared_slice;
 pub mod space;
+mod stage;
+mod step;
 
 pub use api::{Analytics, Chunk, ComMap, Key, RedObj};
 pub use args::SchedArgs;
+pub use combine::CombineStrategy;
 pub use error::{SmartError, SmartResult};
 pub use in_transit::{
     run_in_transit, InTransitConfig, InTransitOk, InTransitOutcome, Placement, Producer,
     ProducerOutcome, StagerOutcome, Topology,
 };
-pub use pipeline::{KeyMode, Pipeline};
+pub use observer::{NoopObserver, PhaseObserver, RunStats};
+pub use pipeline::Pipeline;
 pub use redmap::RedMap;
-pub use scheduler::{CombineStrategy, RunStats, Scheduler};
+pub use scheduler::Scheduler;
 pub use shared_slice::SharedSlice;
+pub use step::{KeyMode, StepSpec};

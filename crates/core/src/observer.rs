@@ -1,0 +1,238 @@
+//! The measurement seam of the execution core.
+//!
+//! Every phase of [`crate::Scheduler::execute`] reports through a
+//! [`PhaseObserver`] instead of mutating a stats struct inline. Two sinks
+//! ship with the runtime — [`RunStats`] (what
+//! [`crate::Scheduler::last_stats`] returns when stats collection is on)
+//! and [`NoopObserver`] (stats off) — and a future tracing/metrics layer
+//! plugs in through [`crate::Scheduler::execute_with`] without touching
+//! the hot path.
+//!
+//! **Gating invariant:** when [`PhaseObserver::enabled`] returns `false`
+//! the core skips *every* measurement — no `Instant::now()` calls, no
+//! serialized-size computation, no transport-byte counter reads — not just
+//! the reporting. [`Stopwatch`] encodes that rule for timers.
+
+use std::time::{Duration, Instant};
+
+/// Sink for per-phase measurements from one [`crate::Scheduler::execute`]
+/// call.
+///
+/// Callbacks arrive on the driver thread, in phase order, once per
+/// iteration of the step: every worker's [`split_done`](Self::split_done),
+/// then [`local_merge_done`](Self::local_merge_done), then (distributed
+/// steps only) [`global_combine_done`](Self::global_combine_done), then
+/// [`iter_done`](Self::iter_done).
+pub trait PhaseObserver {
+    /// Whether the core should measure at all. When `false`, the scheduler
+    /// makes no timing or byte-count measurements and the remaining
+    /// callbacks are never invoked (see the module-level gating invariant).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Worker `tid` finished its reduction split after `busy` time.
+    fn split_done(&mut self, tid: usize, busy: Duration);
+
+    /// The per-thread partial maps were merged into the step's delta map
+    /// (layer 1 of the combination pipeline).
+    fn local_merge_done(&mut self, busy: Duration);
+
+    /// Global combination finished. `payload_bytes` is the serialized size
+    /// of this rank's delta entries (the paper-facing quantity);
+    /// `wire_bytes` is what the transport actually moved.
+    fn global_combine_done(&mut self, payload_bytes: u64, wire_bytes: u64, busy: Duration);
+
+    /// One iteration completed; `combine_busy` spans local merge through
+    /// `post_combine`.
+    fn iter_done(&mut self, combine_busy: Duration);
+}
+
+/// The stats-off sink: reports nothing, and — because
+/// [`enabled`](PhaseObserver::enabled) is `false` — suppresses every
+/// measurement in the core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PhaseObserver for NoopObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn split_done(&mut self, _tid: usize, _busy: Duration) {}
+
+    fn local_merge_done(&mut self, _busy: Duration) {}
+
+    fn global_combine_done(&mut self, _payload_bytes: u64, _wire_bytes: u64, _busy: Duration) {}
+
+    fn iter_done(&mut self, _combine_busy: Duration) {}
+}
+
+/// A timer that honours the observer gating invariant: constructed
+/// disabled, it never reads the clock and reports [`Duration::ZERO`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Start a timer, or a zero-cost dummy when `enabled` is false.
+    pub(crate) fn new(enabled: bool) -> Self {
+        Stopwatch(enabled.then(Instant::now))
+    }
+
+    /// Elapsed time since construction (`ZERO` when disabled).
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.0.map(|started| started.elapsed()).unwrap_or_default()
+    }
+}
+
+/// Phase timings and volumes from the most recent `run*`/`execute` call —
+/// the default [`PhaseObserver`] sink.
+///
+/// Every duration is *busy* time measured inside the phase, so the numbers
+/// compose on any host: modeled parallel step time =
+/// `max(split_busy) + combine_busy` plus a communication model applied to
+/// `global_bytes` (this is how the benchmark harness reproduces the paper's
+/// scaling figures on hosts with fewer cores than the experiment needs —
+/// see DESIGN.md substitutions).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-worker reduction busy time, summed over iterations.
+    pub split_busy: Vec<Duration>,
+    /// Local + global combination busy time (merge work), all iterations.
+    pub combine_busy: Duration,
+    /// Portion of [`combine_busy`](Self::combine_busy) spent merging the
+    /// per-thread partial maps (layer 1 of the combination pipeline), all
+    /// iterations.
+    pub local_merge_busy: Duration,
+    /// Portion of [`combine_busy`](Self::combine_busy) spent in the global
+    /// combination collective (layer 2), all iterations. Zero for
+    /// single-rank runs.
+    pub global_comm_busy: Duration,
+    /// Bytes of serialized combination-map entries shipped per rank during
+    /// global combination, all iterations.
+    pub global_bytes: u64,
+    /// Actual transport bytes this rank sent during global combination, all
+    /// iterations (from the communicator's sent-byte counter). For
+    /// [`crate::CombineStrategy::Sharded`] this stays ≤ ~2× the serialized
+    /// global map; for the tree allreduce it grows with log(ranks).
+    pub comm_bytes: u64,
+    /// Iterations executed.
+    pub iters: usize,
+    /// In-transit mode only: producer-side busy time inside streaming sends
+    /// (serialization + credit waits). Zero for in-situ placements.
+    pub transit_send_busy: Duration,
+    /// In-transit mode only: stager-side busy time receiving and decoding
+    /// streamed chunks. Zero for in-situ placements.
+    pub transit_recv_busy: Duration,
+    /// In-transit mode only: wire bytes streamed from producers to this
+    /// stager. Zero for in-situ placements.
+    pub transit_bytes: u64,
+}
+
+impl RunStats {
+    /// The slowest worker's reduction busy time.
+    pub fn max_split_busy(&self) -> Duration {
+        self.split_busy.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Total busy time across all workers and phases.
+    pub fn total_busy(&self) -> Duration {
+        self.split_busy.iter().sum::<Duration>() + self.combine_busy
+    }
+
+    /// Accumulate another run's stats into this one (element-wise for the
+    /// per-worker vector). The in-transit stager calls the scheduler once
+    /// per time-step and absorbs each step's stats into a whole-run total.
+    pub fn absorb(&mut self, other: &RunStats) {
+        if self.split_busy.len() < other.split_busy.len() {
+            self.split_busy.resize(other.split_busy.len(), Duration::ZERO);
+        }
+        for (acc, &busy) in self.split_busy.iter_mut().zip(&other.split_busy) {
+            *acc += busy;
+        }
+        self.combine_busy += other.combine_busy;
+        self.local_merge_busy += other.local_merge_busy;
+        self.global_comm_busy += other.global_comm_busy;
+        self.global_bytes += other.global_bytes;
+        self.comm_bytes += other.comm_bytes;
+        self.iters += other.iters;
+        self.transit_send_busy += other.transit_send_busy;
+        self.transit_recv_busy += other.transit_recv_busy;
+        self.transit_bytes += other.transit_bytes;
+    }
+}
+
+impl PhaseObserver for RunStats {
+    fn split_done(&mut self, tid: usize, busy: Duration) {
+        if self.split_busy.len() <= tid {
+            self.split_busy.resize(tid + 1, Duration::ZERO);
+        }
+        self.split_busy[tid] += busy;
+    }
+
+    fn local_merge_done(&mut self, busy: Duration) {
+        self.local_merge_busy += busy;
+    }
+
+    fn global_combine_done(&mut self, payload_bytes: u64, wire_bytes: u64, busy: Duration) {
+        self.global_bytes += payload_bytes;
+        self.comm_bytes += wire_bytes;
+        self.global_comm_busy += busy;
+    }
+
+    fn iter_done(&mut self, combine_busy: Duration) {
+        self.combine_busy += combine_busy;
+        self.iters += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_sink_accumulates_phases() {
+        let mut stats = RunStats::default();
+        assert!(stats.enabled());
+        stats.split_done(1, Duration::from_millis(5));
+        stats.split_done(0, Duration::from_millis(3));
+        stats.split_done(1, Duration::from_millis(2));
+        assert_eq!(stats.split_busy.len(), 2);
+        assert_eq!(stats.max_split_busy(), Duration::from_millis(7));
+        stats.local_merge_done(Duration::from_millis(1));
+        stats.global_combine_done(100, 250, Duration::from_millis(4));
+        stats.iter_done(Duration::from_millis(6));
+        assert_eq!(stats.local_merge_busy, Duration::from_millis(1));
+        assert_eq!((stats.global_bytes, stats.comm_bytes), (100, 250));
+        assert_eq!(stats.global_comm_busy, Duration::from_millis(4));
+        assert_eq!(stats.combine_busy, Duration::from_millis(6));
+        assert_eq!(stats.iters, 1);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopObserver.enabled());
+    }
+
+    #[test]
+    fn disabled_stopwatch_reports_zero() {
+        let sw = Stopwatch::new(false);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        let sw = Stopwatch::new(true);
+        assert!(sw.elapsed() <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn absorb_accumulates_elementwise() {
+        let mut total = RunStats::default();
+        let mut step = RunStats::default();
+        step.split_done(0, Duration::from_millis(1));
+        step.iter_done(Duration::from_millis(2));
+        total.absorb(&step);
+        total.absorb(&step);
+        assert_eq!(total.split_busy[0], Duration::from_millis(2));
+        assert_eq!(total.iters, 2);
+        assert_eq!(total.combine_busy, Duration::from_millis(4));
+    }
+}

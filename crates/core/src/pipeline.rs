@@ -15,18 +15,10 @@
 use crate::api::Analytics;
 use crate::error::SmartResult;
 use crate::scheduler::Scheduler;
+use crate::step::StepSpec;
 use smart_comm::Communicator;
 
-/// Key mode of a pipeline stage: `gen_key` (`run`) or `gen_keys` (`run2`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum KeyMode {
-    /// One key per chunk (`run`).
-    #[default]
-    Single,
-    /// Multiple keys per chunk (`run2`) — the usual choice for
-    /// window-based preprocessing.
-    Multi,
-}
+pub use crate::step::KeyMode;
 
 /// A two-stage in-situ pipeline: preprocessing (local) → analytics (global).
 pub struct Pipeline<A, B>
@@ -114,17 +106,34 @@ where
         self.second.reset();
     }
 
+    /// Drive both stages through [`Scheduler::execute`]: stage one reduces
+    /// into the intermediate buffer (global combination is off, so a `comm`
+    /// handed to it is never used for combination), whose configured slice
+    /// becomes stage two's input partition.
+    fn drive(
+        &mut self,
+        mut comm: Option<&mut Communicator>,
+        input: &[A::In],
+        out: &mut [B::Out],
+    ) -> SmartResult<()> {
+        let offset = self.first.args().partition_offset;
+        self.first.execute(
+            StepSpec::new(&[(offset, input)])
+                .with_key_mode(self.first_mode)
+                .with_comm(comm.as_deref_mut()),
+            &mut self.intermediate,
+        )?;
+        let stage2_in = &self.intermediate[self.second_input.clone()];
+        let offset = self.second.args().partition_offset;
+        self.second.execute(
+            StepSpec::new(&[(offset, stage2_in)]).with_key_mode(self.second_mode).with_comm(comm),
+            out,
+        )
+    }
+
     /// Run both stages on one block, single rank.
     pub fn run(&mut self, input: &[A::In], out: &mut [B::Out]) -> SmartResult<()> {
-        match self.first_mode {
-            KeyMode::Single => self.first.run(input, &mut self.intermediate)?,
-            KeyMode::Multi => self.first.run2(input, &mut self.intermediate)?,
-        }
-        let stage2_in = &self.intermediate[self.second_input.clone()];
-        match self.second_mode {
-            KeyMode::Single => self.second.run(stage2_in, out),
-            KeyMode::Multi => self.second.run2(stage2_in, out),
-        }
+        self.drive(None, input, out)
     }
 
     /// Run both stages on one block: stage one stays rank-local, stage two
@@ -135,15 +144,7 @@ where
         input: &[A::In],
         out: &mut [B::Out],
     ) -> SmartResult<()> {
-        match self.first_mode {
-            KeyMode::Single => self.first.run_dist(comm, input, &mut self.intermediate)?,
-            KeyMode::Multi => self.first.run2_dist(comm, input, &mut self.intermediate)?,
-        }
-        let stage2_in = &self.intermediate[self.second_input.clone()];
-        match self.second_mode {
-            KeyMode::Single => self.second.run_dist(comm, stage2_in, out),
-            KeyMode::Multi => self.second.run2_dist(comm, stage2_in, out),
-        }
+        self.drive(Some(comm), input, out)
     }
 }
 

@@ -1,0 +1,134 @@
+//! The reduction phase — Algorithm 1 lines 7–10 plus the Algorithm 2
+//! early-emission extension.
+//!
+//! One split per worker thread, each with a private reduction map: for
+//! every unit chunk the analytics picks key(s) and folds the chunk into the
+//! keyed reduction object in place — no intermediate key-value pair is ever
+//! materialized. A triggered object ([`crate::RedObj::trigger`]) is
+//! converted straight into the output through a write-disjoint
+//! [`SharedSlice`] and erased, capping live objects at the window size.
+//! The step's partitions run one after another over the same pool, feeding
+//! a single local combination downstream ([`crate::combine`]).
+
+use crate::api::{Analytics, Chunk, ComMap, Key, RedObj};
+use crate::error::{SmartError, SmartResult};
+use crate::observer::{PhaseObserver, Stopwatch};
+use crate::redmap::RedMap;
+use crate::shared_slice::SharedSlice;
+use crate::step::KeyMode;
+use smart_pool::{split_range, SharedPool};
+
+/// Everything the reduction phase reads — borrowed from the scheduler for
+/// the duration of one step.
+pub(crate) struct ReduceCfg<'a, A: Analytics> {
+    pub analytics: &'a A,
+    /// The persistent combination map, read-only here: `gen_key(s)` may
+    /// consult it, and distribution-on steps seed each reduction map from
+    /// it (Algorithm 1 line 6).
+    pub com_map: &'a ComMap<A::Red>,
+    pub nthreads: usize,
+    pub chunk_size: usize,
+    /// Seed per-thread reduction maps with the combination map (iterative
+    /// analytics reading state like k-means centroids).
+    pub distribute: bool,
+    pub key_mode: KeyMode,
+    /// Early emission is live (trigger honoured and an output buffer
+    /// exists).
+    pub emission_enabled: bool,
+    /// Observer gating: when false, workers never read the clock.
+    pub measure: bool,
+}
+
+/// Reduce every partition of the step on the pool, returning the
+/// per-thread partial maps (one per worker per partition, in partition
+/// then thread order — the deterministic merge order local combination
+/// relies on). Worker busy times report through `observer`.
+pub(crate) fn reduce_parts<A: Analytics>(
+    cfg: &ReduceCfg<'_, A>,
+    pool: &SharedPool,
+    parts: &[(usize, &[A::In])],
+    out: &SharedSlice<'_, A::Out>,
+    observer: &mut dyn PhaseObserver,
+) -> SmartResult<Vec<RedMap<A::Red>>> {
+    let mut partial_maps: Vec<RedMap<A::Red>> = Vec::with_capacity(cfg.nthreads * parts.len());
+    for &(offset, data) in parts {
+        let worker = |tid: usize| reduce_split(cfg, tid, offset, data, out);
+        let partials = pool.try_run_on_workers(cfg.nthreads, worker)?;
+        for (tid, partial) in partials.into_iter().enumerate() {
+            let (partial, busy) = partial?;
+            if cfg.measure {
+                observer.split_done(tid, busy);
+            }
+            partial_maps.push(partial);
+        }
+    }
+    Ok(partial_maps)
+}
+
+/// One worker's split of one partition: reduce chunk by chunk into a
+/// private map, emitting triggered objects early.
+fn reduce_split<A: Analytics>(
+    cfg: &ReduceCfg<'_, A>,
+    tid: usize,
+    offset: usize,
+    data: &[A::In],
+    out: &SharedSlice<'_, A::Out>,
+) -> SmartResult<(RedMap<A::Red>, std::time::Duration)> {
+    let sw = Stopwatch::new(cfg.measure);
+    let chunk_size = cfg.chunk_size;
+    let analytics = cfg.analytics;
+    let range = split_range(data.len(), cfg.nthreads, tid, chunk_size);
+    let mut red: RedMap<A::Red> = if cfg.distribute { cfg.com_map.clone() } else { RedMap::new() };
+    let mut keys: Vec<Key> = Vec::with_capacity(8);
+    let mut cursor = range.start;
+    while cursor + chunk_size <= range.end {
+        let chunk = Chunk { local_start: cursor, global_start: offset + cursor, len: chunk_size };
+        keys.clear();
+        match cfg.key_mode {
+            KeyMode::Multi => analytics.gen_keys(&chunk, data, cfg.com_map, &mut keys),
+            KeyMode::Single => keys.push(analytics.gen_key(&chunk, data, cfg.com_map)),
+        }
+        for &key in &keys {
+            let slot = red.slot_mut(key);
+            analytics.accumulate(&chunk, data, key, slot);
+            let Some(obj) = slot.as_ref() else {
+                return Err(SmartError::EmptyAccumulate { key });
+            };
+            if cfg.emission_enabled && obj.trigger() {
+                let idx = checked_index(key, out.len())?;
+                // SAFETY: splits own disjoint contiguous element ranges, so
+                // only the split holding *all* of a key's contributions can
+                // trigger it — one writer per index (see shared_slice docs).
+                unsafe { out.with_mut(idx, |o| analytics.convert(obj, o)) };
+                red.remove(key);
+            }
+        }
+        cursor += chunk_size;
+    }
+    Ok((red, sw.elapsed()))
+}
+
+/// Algorithm 1 lines 20–23: convert the combination map's remaining
+/// reduction objects into the output buffer. Runs on the driver thread
+/// after the parallel phase.
+pub(crate) fn convert_remaining<A: Analytics>(
+    analytics: &A,
+    com_map: &ComMap<A::Red>,
+    out: &SharedSlice<'_, A::Out>,
+) -> SmartResult<()> {
+    for (key, obj) in com_map.iter() {
+        let idx = checked_index(key, out.len())?;
+        // SAFETY: the parallel phase is over; this thread is the only
+        // writer.
+        unsafe { out.with_mut(idx, |o| analytics.convert(obj, o)) };
+    }
+    Ok(())
+}
+
+/// Map a key onto an output index, rejecting keys outside the buffer.
+fn checked_index(key: Key, out_len: usize) -> SmartResult<usize> {
+    usize::try_from(key)
+        .ok()
+        .filter(|&i| i < out_len)
+        .ok_or(SmartError::KeyOutOfRange { key, out_len })
+}

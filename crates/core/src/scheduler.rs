@@ -1,112 +1,26 @@
 //! The Smart scheduler: Algorithm 1 (the `run`/`run2` data-processing
 //! mechanism) and Algorithm 2 (early emission) of the paper.
+//!
+//! The scheduler is a thin orchestrator over the layered execution core:
+//! one step is described by a [`StepSpec`] value and executed by
+//! [`Scheduler::execute`], which drives the phase modules in order —
+//! [`crate::stage`] (optional input copy), [`crate::reduce`] (per-thread
+//! reduction + early emission), [`crate::combine`] (local merge, then
+//! global merge across ranks) — each reporting through a
+//! [`PhaseObserver`]. The `run*` family below is the paper's Table 1
+//! surface, kept as one-line delegations onto `execute`.
 
-use crate::api::{Analytics, Chunk, ComMap, Key, RedObj};
+use crate::api::{Analytics, ComMap};
 use crate::args::SchedArgs;
+use crate::combine::{self, CombineStrategy};
 use crate::error::{SmartError, SmartResult};
-use crate::redmap::RedMap;
+use crate::observer::{NoopObserver, PhaseObserver, RunStats, Stopwatch};
+use crate::reduce;
 use crate::shared_slice::SharedSlice;
+use crate::stage;
+use crate::step::{KeyMode, StepSpec};
 use smart_comm::Communicator;
-use smart_pool::{split_range, SharedPool};
-use std::time::{Duration, Instant};
-
-/// How the combination pipeline executes — the local merge of per-thread
-/// partial maps and the global merge across ranks. All three strategies
-/// produce identical combination maps; they differ only in parallelism and
-/// communication pattern (see DESIGN.md, "Combination pipeline").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CombineStrategy {
-    /// Sequential local merge on the driver thread; reduce-to-root +
-    /// broadcast allreduce globally. The paper's baseline pipeline
-    /// (Algorithm 1 run literally).
-    Serial,
-    /// Pairwise parallel tree merge of per-thread partials on the pool
-    /// (⌈log₂ t⌉ rounds); same global allreduce as `Serial`.
-    Tree,
-    /// Tree local merge plus shard-partitioned global combination: entries
-    /// are hash-partitioned by key across ranks, reduced with a ring
-    /// reduce-scatter, and reassembled with a ring allgather, so per-rank
-    /// traffic is bounded by ~2× the serialized map regardless of rank
-    /// count. The default.
-    #[default]
-    Sharded,
-}
-
-/// Phase timings and volumes from the most recent `run*` call.
-///
-/// Every duration is *busy* time measured inside the phase, so the numbers
-/// compose on any host: modeled parallel step time =
-/// `max(split_busy) + combine_busy` plus a communication model applied to
-/// `global_bytes` (this is how the benchmark harness reproduces the paper's
-/// scaling figures on hosts with fewer cores than the experiment needs —
-/// see DESIGN.md substitutions).
-#[derive(Debug, Clone, Default)]
-pub struct RunStats {
-    /// Per-worker reduction busy time, summed over iterations.
-    pub split_busy: Vec<Duration>,
-    /// Local + global combination busy time (merge work), all iterations.
-    pub combine_busy: Duration,
-    /// Portion of [`combine_busy`](Self::combine_busy) spent merging the
-    /// per-thread partial maps (layer 1 of the combination pipeline), all
-    /// iterations.
-    pub local_merge_busy: Duration,
-    /// Portion of [`combine_busy`](Self::combine_busy) spent in the global
-    /// combination collective (layer 2), all iterations. Zero for
-    /// single-rank runs.
-    pub global_comm_busy: Duration,
-    /// Bytes of serialized combination-map entries shipped per rank during
-    /// global combination, all iterations.
-    pub global_bytes: u64,
-    /// Actual transport bytes this rank sent during global combination, all
-    /// iterations (from the communicator's sent-byte counter). For
-    /// [`CombineStrategy::Sharded`] this stays ≤ ~2× the serialized global
-    /// map; for the tree allreduce it grows with log(ranks).
-    pub comm_bytes: u64,
-    /// Iterations executed.
-    pub iters: usize,
-    /// In-transit mode only: producer-side busy time inside streaming sends
-    /// (serialization + credit waits). Zero for in-situ placements.
-    pub transit_send_busy: Duration,
-    /// In-transit mode only: stager-side busy time receiving and decoding
-    /// streamed chunks. Zero for in-situ placements.
-    pub transit_recv_busy: Duration,
-    /// In-transit mode only: wire bytes streamed from producers to this
-    /// stager. Zero for in-situ placements.
-    pub transit_bytes: u64,
-}
-
-impl RunStats {
-    /// The slowest worker's reduction busy time.
-    pub fn max_split_busy(&self) -> Duration {
-        self.split_busy.iter().copied().max().unwrap_or_default()
-    }
-
-    /// Total busy time across all workers and phases.
-    pub fn total_busy(&self) -> Duration {
-        self.split_busy.iter().sum::<Duration>() + self.combine_busy
-    }
-
-    /// Accumulate another run's stats into this one (element-wise for the
-    /// per-worker vector). The in-transit stager calls the scheduler once
-    /// per time-step and absorbs each step's stats into a whole-run total.
-    pub fn absorb(&mut self, other: &RunStats) {
-        if self.split_busy.len() < other.split_busy.len() {
-            self.split_busy.resize(other.split_busy.len(), Duration::ZERO);
-        }
-        for (acc, &busy) in self.split_busy.iter_mut().zip(&other.split_busy) {
-            *acc += busy;
-        }
-        self.combine_busy += other.combine_busy;
-        self.local_merge_busy += other.local_merge_busy;
-        self.global_comm_busy += other.global_comm_busy;
-        self.global_bytes += other.global_bytes;
-        self.comm_bytes += other.comm_bytes;
-        self.iters += other.iters;
-        self.transit_send_busy += other.transit_send_busy;
-        self.transit_recv_busy += other.transit_recv_busy;
-        self.transit_bytes += other.transit_bytes;
-    }
-}
+use smart_pool::SharedPool;
 
 /// A Smart analytics job bound to a thread pool.
 ///
@@ -131,7 +45,7 @@ pub struct Scheduler<A: Analytics> {
     combine_strategy: CombineStrategy,
     com_map: ComMap<A::Red>,
     extra_processed: bool,
-    /// Reusable buffer for `copy_input` mode.
+    /// Reusable buffer for `copy_input` mode (see [`crate::stage`]).
     copy_buf: Vec<A::In>,
     steps_run: usize,
     collect_stats: bool,
@@ -175,12 +89,21 @@ impl<A: Analytics> Scheduler<A> {
     }
 
     /// Enable per-phase timing collection (see [`RunStats`]).
+    ///
+    /// **Invariant:** when disabled (the default), the execution core makes
+    /// *no* measurements at all — no `Instant::now()` calls, no
+    /// serialized-size computation, no transport byte-counter reads — and
+    /// [`last_stats`](Self::last_stats) returns an empty [`RunStats`]
+    /// (`iters == 0`). Measurement is all-or-nothing: the no-op observer
+    /// sink keeps timing overhead out of the hot path entirely rather than
+    /// collecting some counters for free (see [`PhaseObserver::enabled`]).
     pub fn set_collect_stats(&mut self, flag: bool) {
         self.collect_stats = flag;
     }
 
-    /// Phase timings from the most recent `run*` call (empty unless
-    /// [`set_collect_stats`](Self::set_collect_stats) was enabled).
+    /// Phase timings from the most recent `run*`/[`execute`](Self::execute)
+    /// call (empty unless [`set_collect_stats`](Self::set_collect_stats)
+    /// was enabled).
     pub fn last_stats(&self) -> &RunStats {
         &self.last_stats
     }
@@ -244,7 +167,7 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(None, &[(self.args.partition_offset, input)], out, false)
+        self.execute(StepSpec::new(&[(self.args.partition_offset, input)]), out)
     }
 
     /// Multi-key analytics on one input block, single rank
@@ -253,7 +176,10 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(None, &[(self.args.partition_offset, input)], out, true)
+        self.execute(
+            StepSpec::new(&[(self.args.partition_offset, input)]).with_key_mode(KeyMode::Multi),
+            out,
+        )
     }
 
     /// Single-key analytics with global combination across the cluster.
@@ -266,7 +192,10 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), &[(self.args.partition_offset, input)], out, false)
+        self.execute(
+            StepSpec::new(&[(self.args.partition_offset, input)]).with_comm(Some(comm)),
+            out,
+        )
     }
 
     /// Multi-key analytics with global combination across the cluster.
@@ -279,7 +208,12 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), &[(self.args.partition_offset, input)], out, true)
+        self.execute(
+            StepSpec::new(&[(self.args.partition_offset, input)])
+                .with_key_mode(KeyMode::Multi)
+                .with_comm(Some(comm)),
+            out,
+        )
     }
 
     /// Single-key analytics over several `(global_offset, data)` partitions
@@ -302,7 +236,7 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), parts, out, false)
+        self.execute(StepSpec::new(parts).with_comm(Some(comm)), out)
     }
 
     /// Multi-key variant of [`run_parts_dist`](Self::run_parts_dist).
@@ -315,50 +249,53 @@ impl<A: Analytics> Scheduler<A> {
     where
         A::In: Clone,
     {
-        self.run_inner(Some(comm), parts, out, true)
+        self.execute(StepSpec::new(parts).with_key_mode(KeyMode::Multi).with_comm(Some(comm)), out)
     }
 
-    /// Algorithm 1, plus the Algorithm 2 early-emission extension.
+    /// Execute one step described by `spec` — Algorithm 1, plus the
+    /// Algorithm 2 early-emission extension.
     ///
-    /// `parts` is a set of `(global_offset, data)` partitions all processed
-    /// within one step: the ordinary in-situ paths pass exactly one, an
-    /// in-transit stager passes one per producer it serves (possibly zero
-    /// once streams start ending raggedly).
-    fn run_inner(
+    /// This is the single entry point every placement funnels into; the
+    /// `run*` family builds the [`StepSpec`] for the common cases. Phase
+    /// measurements go to the default sink: [`RunStats`] when
+    /// [`set_collect_stats`](Self::set_collect_stats) is on, the
+    /// measurement-suppressing [`NoopObserver`] otherwise.
+    pub fn execute(&mut self, spec: StepSpec<'_, A::In>, out: &mut [A::Out]) -> SmartResult<()>
+    where
+        A::In: Clone,
+    {
+        if self.collect_stats {
+            let mut stats = RunStats::default();
+            let result = self.execute_with(spec, out, &mut stats);
+            self.last_stats = stats;
+            result
+        } else {
+            self.last_stats = RunStats::default();
+            self.execute_with(spec, out, &mut NoopObserver)
+        }
+    }
+
+    /// [`execute`](Self::execute) with a caller-supplied [`PhaseObserver`]
+    /// — the seam where a tracing or metrics layer plugs into the execution
+    /// core. [`last_stats`](Self::last_stats) is not updated; the observer
+    /// receives every phase report instead (subject to its
+    /// [`enabled`](PhaseObserver::enabled) gate).
+    pub fn execute_with(
         &mut self,
-        mut comm: Option<&mut Communicator>,
-        parts: &[(usize, &[A::In])],
+        spec: StepSpec<'_, A::In>,
         out: &mut [A::Out],
-        multi_key: bool,
+        observer: &mut dyn PhaseObserver,
     ) -> SmartResult<()>
     where
         A::In: Clone,
     {
-        let chunk_size = self.args.chunk_size;
-        for &(_, input) in parts {
-            if input.len() % chunk_size != 0 {
-                return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
-            }
-        }
+        let StepSpec { parts, key_mode, mut comm } = spec;
+        stage::validate(parts, self.args.chunk_size)?;
 
-        // Fig. 9 baseline: the extra input copy the zero-copy design avoids.
-        // Parts are copied back-to-back into one buffer; their slices are
-        // re-cut from recorded ranges once the buffer stops growing.
+        // Staging: zero-copy pass-through, or the Fig. 9 baseline copy.
         let mut copy_buf = std::mem::take(&mut self.copy_buf);
-        let copied_parts: Vec<(usize, &[A::In])>;
-        let parts: &[(usize, &[A::In])] = if self.args.copy_input {
-            copy_buf.clear();
-            let mut ranges = Vec::with_capacity(parts.len());
-            for &(offset, input) in parts {
-                let start = copy_buf.len();
-                copy_buf.extend_from_slice(input);
-                ranges.push((offset, start..copy_buf.len()));
-            }
-            copied_parts = ranges.into_iter().map(|(offset, r)| (offset, &copy_buf[r])).collect();
-            &copied_parts
-        } else {
-            parts
-        };
+        let staged = stage::stage(self.args.copy_input, &mut copy_buf, parts);
+        let parts: &[(usize, &[A::In])] = staged.as_deref().unwrap_or(parts);
 
         // Algorithm 1 line 1: seed the combination map once.
         if !self.extra_processed {
@@ -366,204 +303,79 @@ impl<A: Analytics> Scheduler<A> {
             self.extra_processed = true;
         }
 
-        let nthreads = self.args.num_threads;
-        // Early emission needs an output buffer to emit into.
-        let emission_enabled = !self.args.disable_trigger && !out.is_empty();
         let out_shared = SharedSlice::new(out);
-
-        let collect_stats = self.collect_stats;
-        let mut stats =
-            RunStats { split_busy: vec![Duration::ZERO; nthreads], ..Default::default() };
+        let measure = observer.enabled();
 
         for _iter in 0..self.args.num_iters {
-            // Lines 4/6: distribute the combination map to reduction maps.
-            let analytics = &self.analytics;
-            let com_ref = &self.com_map;
-            let distribute = self.distribute_map;
-            let out_ref = &out_shared;
+            // Reduction (lines 4–10 + Algorithm 2): one split per thread,
+            // partitions run back-to-back over the same pool.
+            let partials = reduce::reduce_parts(
+                &reduce::ReduceCfg {
+                    analytics: &self.analytics,
+                    com_map: &self.com_map,
+                    nthreads: self.args.num_threads,
+                    chunk_size: self.args.chunk_size,
+                    distribute: self.distribute_map,
+                    key_mode,
+                    emission_enabled: !self.args.disable_trigger && !out_shared.is_empty(),
+                    measure,
+                },
+                &self.pool,
+                parts,
+                &out_shared,
+                observer,
+            )?;
 
-            // Reduction phase (lines 7–10 + Algorithm 2): one split per
-            // thread, each with a private reduction map; partitions run one
-            // after another over the same pool, feeding a single local
-            // combination below.
-            let mut partial_maps: Vec<RedMap<A::Red>> = Vec::with_capacity(nthreads * parts.len());
-            for &(offset, data) in parts {
-                let worker = |tid: usize| -> SmartResult<(RedMap<A::Red>, Duration)> {
-                    let started = Instant::now();
-                    let range = split_range(data.len(), nthreads, tid, chunk_size);
-                    let mut red: RedMap<A::Red> =
-                        if distribute { com_ref.clone() } else { RedMap::new() };
-                    let mut keys: Vec<Key> = Vec::with_capacity(8);
-                    let mut cursor = range.start;
-                    while cursor + chunk_size <= range.end {
-                        let chunk = Chunk {
-                            local_start: cursor,
-                            global_start: offset + cursor,
-                            len: chunk_size,
-                        };
-                        keys.clear();
-                        if multi_key {
-                            analytics.gen_keys(&chunk, data, com_ref, &mut keys);
-                        } else {
-                            keys.push(analytics.gen_key(&chunk, data, com_ref));
-                        }
-                        for &key in &keys {
-                            let slot = red.slot_mut(key);
-                            analytics.accumulate(&chunk, data, key, slot);
-                            let Some(obj) = slot.as_ref() else {
-                                return Err(SmartError::EmptyAccumulate { key });
-                            };
-                            if emission_enabled && obj.trigger() {
-                                let idx = usize::try_from(key)
-                                    .ok()
-                                    .filter(|&i| i < out_ref.len())
-                                    .ok_or(SmartError::KeyOutOfRange {
-                                        key,
-                                        out_len: out_ref.len(),
-                                    })?;
-                                // SAFETY: splits own disjoint contiguous element
-                                // ranges, so only the split holding *all* of a
-                                // key's contributions can trigger it — one
-                                // writer per index (see shared_slice docs).
-                                unsafe { out_ref.with_mut(idx, |o| analytics.convert(obj, o)) };
-                                red.remove(key);
-                            }
-                        }
-                        cursor += chunk_size;
-                    }
-                    Ok((red, started.elapsed()))
-                };
-                let partials = self.pool.try_run_on_workers(nthreads, worker)?;
-                for (tid, partial) in partials.into_iter().enumerate() {
-                    let (partial, busy) = partial?;
-                    stats.split_busy[tid] += busy;
-                    partial_maps.push(partial);
-                }
-            }
-
-            // Local combination (lines 11–17) into a fresh *delta* map.
-            // The delta holds only this iteration's contribution, so the
-            // global combination below never re-sums state that previous
-            // steps already made global (the combination map persists
-            // across time-steps — k-means tracks centroids through the
-            // whole simulation).
-            let combine_started = Instant::now();
-            let mut delta: RedMap<A::Red> = match self.combine_strategy {
-                CombineStrategy::Serial => {
-                    let mut d = RedMap::new();
-                    for partial in partial_maps {
-                        Self::merge_into(&self.analytics, partial, &mut d);
-                    }
-                    d
-                }
-                CombineStrategy::Tree | CombineStrategy::Sharded => {
-                    self.tree_merge_partials(partial_maps)?
-                }
-            };
-            stats.local_merge_busy += combine_started.elapsed();
-
-            // Global combination of the delta (same merge, across ranks);
-            // afterwards every rank holds the same global delta (line 4's
-            // redistribution for the next iteration). Entries travel as
-            // key-sorted vectors merged with a streaming join — no RedMap
-            // rebuild inside the collective.
+            // Combination (lines 11–17) into a fresh *delta* map: the delta
+            // holds only this iteration's contribution, so global
+            // combination never re-sums state previous steps already made
+            // global (the combination map persists across time-steps).
+            let sw = Stopwatch::new(measure);
+            let mut delta = combine::local_combine(
+                &self.analytics,
+                &self.pool,
+                self.combine_strategy,
+                partials,
+                observer,
+            )?;
             if self.global_combination {
                 if let Some(comm) = comm.as_deref_mut() {
-                    let global_started = Instant::now();
-                    let bytes_before = comm.sent_bytes();
-                    let mut local = delta.drain_entries();
-                    local.sort_unstable_by_key(|&(k, _)| k);
-                    if collect_stats {
-                        stats.global_bytes += smart_wire::encoded_len(&local).unwrap_or(0);
-                    }
-                    let analytics = &self.analytics;
-                    let merged = match self.combine_strategy {
-                        CombineStrategy::Serial | CombineStrategy::Tree => {
-                            comm.allreduce(local, |acc, incoming| {
-                                smart_comm::merge_sorted_entries(acc, incoming, |com, red| {
-                                    analytics.merge(&red, com)
-                                })
-                            })?
-                        }
-                        CombineStrategy::Sharded => {
-                            comm.allreduce_sharded(local, |com, red| analytics.merge(&red, com))?
-                        }
-                    };
-                    delta = RedMap::from_entries(merged);
-                    stats.comm_bytes += comm.sent_bytes() - bytes_before;
-                    stats.global_comm_busy += global_started.elapsed();
+                    delta = combine::global_combine(
+                        &self.analytics,
+                        self.combine_strategy,
+                        comm,
+                        delta,
+                        observer,
+                    )?;
                 }
             }
-
             // Fold the (now global) delta into the persistent combination
-            // map. For distribution-on analytics the com map already holds
-            // these keys with reset distributive fields, so the merge adds
-            // exactly one global contribution.
-            Self::merge_into(&self.analytics, delta, &mut self.com_map);
-
-            // Line 18.
+            // map, then line 18.
+            combine::merge_into(&self.analytics, delta, &mut self.com_map);
             self.analytics.post_combine(&mut self.com_map);
-            stats.combine_busy += combine_started.elapsed();
-            stats.iters += 1;
+            if measure {
+                observer.iter_done(sw.elapsed());
+            }
         }
 
         // Lines 20–23: convert remaining reduction objects into the output.
         if !out_shared.is_empty() {
-            for (key, obj) in self.com_map.iter() {
-                let idx = usize::try_from(key)
-                    .ok()
-                    .filter(|&i| i < out_shared.len())
-                    .ok_or(SmartError::KeyOutOfRange { key, out_len: out_shared.len() })?;
-                // SAFETY: the parallel phase is over; this thread is the
-                // only writer.
-                unsafe { out_shared.with_mut(idx, |o| self.analytics.convert(obj, o)) };
-            }
+            reduce::convert_remaining(&self.analytics, &self.com_map, &out_shared)?;
         }
 
         self.copy_buf = copy_buf;
         self.steps_run += 1;
-        self.last_stats = stats;
         Ok(())
-    }
-
-    /// Layer 1 of the combination pipeline: merge per-thread partial maps
-    /// pairwise on the pool, ⌈log₂ t⌉ rounds with pairs merging
-    /// concurrently. Each pair reuses the larger map's allocation as the
-    /// destination and pre-reserves for the smaller one, so no merge grows
-    /// through intermediate capacities (see `RedMap::reserve`).
-    fn tree_merge_partials(&self, parts: Vec<RedMap<A::Red>>) -> SmartResult<RedMap<A::Red>> {
-        let analytics = &self.analytics;
-        let merged = self.pool.tree_reduce(parts, |a, b| {
-            let (mut dst, src) = if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
-            Self::merge_into(analytics, src, &mut dst);
-            dst
-        })?;
-        Ok(merged.unwrap_or_default())
-    }
-
-    /// Merge `src` into `dst` with the analytics' merge operator
-    /// (lines 11–17: merge when the key exists, move otherwise).
-    fn merge_into(analytics: &A, mut src: RedMap<A::Red>, dst: &mut ComMap<A::Red>) {
-        // Pre-size: src arrives in hash order; letting dst grow through
-        // smaller capacities turns that order quadratic (see RedMap::reserve).
-        dst.reserve(src.len());
-        for (key, obj) in src.drain_entries() {
-            match dst.get_mut(key) {
-                Some(com) => analytics.merge(&obj, com),
-                None => {
-                    dst.insert(key, obj);
-                }
-            }
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::RedObj;
+    use crate::api::{Chunk, Key, RedObj};
     use serde::{Deserialize, Serialize};
     use smart_pool::shared_pool;
+    use std::time::Duration;
 
     /// Sum of squares under key 0 — the simplest single-key analytics.
     #[derive(Clone, Serialize, Deserialize, Default, Debug, PartialEq)]
@@ -975,21 +787,75 @@ mod tests {
     }
 
     #[test]
-    fn partition_offset_feeds_global_keys() {
-        // Two ranks, identity analytics keyed by global position: outputs
-        // land at global indices on each rank.
-        let results = smart_comm::run_cluster(2, |mut comm| {
-            let pool = shared_pool(1).unwrap();
-            let args = SchedArgs::new(1, 1).with_partition(comm.rank() * 4, 8);
-            let mut s = Scheduler::new(Identity, args, pool).unwrap();
-            let data = vec![comm.rank() as f64 + 1.0; 4];
-            let mut out = vec![0.0f64; 8];
-            s.run2_dist(&mut comm, &data, &mut out).unwrap();
-            out
-        });
-        // Early emission fills only local keys; nothing remains in the map
-        // (identity triggers immediately), so each rank sees its own slice.
-        assert_eq!(results[0][..4], [1.0, 1.0, 1.0, 1.0]);
-        assert_eq!(results[1][4..], [2.0, 2.0, 2.0, 2.0]);
+    fn stats_off_means_no_measurement_at_all() {
+        // The satellite invariant on set_collect_stats: with stats off the
+        // core must not measure anything — last_stats stays empty.
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&data, &mut out).unwrap();
+        let st = s.last_stats();
+        assert!(st.split_busy.is_empty());
+        assert_eq!(st.iters, 0);
+        assert_eq!(st.combine_busy, Duration::ZERO);
+        assert_eq!((st.global_bytes, st.comm_bytes), (0, 0));
+
+        // Flip stats on: the same scheduler now measures.
+        s.set_collect_stats(true);
+        s.run(&data, &mut out).unwrap();
+        let st = s.last_stats();
+        assert_eq!(st.split_busy.len(), 2);
+        assert_eq!(st.iters, 1);
+
+        // And off again: last_stats resets to empty.
+        s.set_collect_stats(false);
+        s.run(&data, &mut out).unwrap();
+        assert_eq!(s.last_stats().iters, 0);
+    }
+
+    #[test]
+    fn execute_with_reports_to_external_observer() {
+        // The observer seam: a custom sink sees every phase callback in
+        // order without touching last_stats.
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<&'static str>,
+        }
+        impl PhaseObserver for Recorder {
+            fn split_done(&mut self, _tid: usize, _busy: Duration) {
+                self.events.push("split");
+            }
+            fn local_merge_done(&mut self, _busy: Duration) {
+                self.events.push("local_merge");
+            }
+            fn global_combine_done(&mut self, _p: u64, _w: u64, _busy: Duration) {
+                self.events.push("global");
+            }
+            fn iter_done(&mut self, _busy: Duration) {
+                self.events.push("iter");
+            }
+        }
+
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        let mut rec = Recorder::default();
+        let parts = [(0usize, &data[..])];
+        s.execute_with(StepSpec::new(&parts), &mut out, &mut rec).unwrap();
+        assert_eq!(rec.events, ["split", "split", "local_merge", "iter"]);
+        // last_stats untouched by the external-observer path.
+        assert!(s.last_stats().split_busy.is_empty());
+    }
+
+    #[test]
+    fn execute_matches_run_shims() {
+        let data: Vec<f64> = (0..300).map(|i| (i % 17) as f64).collect();
+        let mut legacy = Scheduler::new(SumSquares, SchedArgs::new(3, 1), pool4()).unwrap();
+        let mut core = Scheduler::new(SumSquares, SchedArgs::new(3, 1), pool4()).unwrap();
+        let (mut a, mut b) = ([0.0f64], [0.0f64]);
+        legacy.run(&data, &mut a).unwrap();
+        core.execute(StepSpec::new(&[(0, &data)]), &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(map_bytes(&legacy), map_bytes(&core));
     }
 }

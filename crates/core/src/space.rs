@@ -11,6 +11,7 @@
 use crate::api::Analytics;
 use crate::error::{SmartError, SmartResult};
 use crate::scheduler::Scheduler;
+use crate::step::{KeyMode, StepSpec};
 use parking_lot::{Condvar, Mutex};
 use smart_comm::Communicator;
 use std::collections::VecDeque;
@@ -170,29 +171,54 @@ where
         &mut self.scheduler
     }
 
-    /// Process the next buffered time-step with single-key analytics
-    /// (paper Table 1, runtime function 8). Returns `Ok(false)` at
-    /// end-of-stream.
-    pub fn run_step(&mut self, out: &mut [A::Out]) -> SmartResult<bool> {
+    /// Pop one buffered time-step and execute it under `key_mode`,
+    /// distributed when `comm` is supplied. Every `run*_step` variant is a
+    /// one-line delegation onto this.
+    fn step_inner(
+        &mut self,
+        key_mode: KeyMode,
+        comm: Option<&mut Communicator>,
+        out: &mut [A::Out],
+    ) -> SmartResult<bool> {
         match self.buffer.pop() {
             Some(step) => {
-                self.scheduler.run(&step, out)?;
+                let offset = self.scheduler.args().partition_offset;
+                self.scheduler.execute(
+                    StepSpec::new(&[(offset, &step)]).with_key_mode(key_mode).with_comm(comm),
+                    out,
+                )?;
                 Ok(true)
             }
             None => Ok(false),
         }
     }
 
+    /// Drain the stream to completion, counting time-steps — the shared
+    /// loop behind every `run*_to_end` variant.
+    fn drain_inner(
+        &mut self,
+        key_mode: KeyMode,
+        mut comm: Option<&mut Communicator>,
+        out: &mut [A::Out],
+    ) -> SmartResult<usize> {
+        let mut steps = 0;
+        while self.step_inner(key_mode, comm.as_deref_mut(), out)? {
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// Process the next buffered time-step with single-key analytics
+    /// (paper Table 1, runtime function 8). Returns `Ok(false)` at
+    /// end-of-stream.
+    pub fn run_step(&mut self, out: &mut [A::Out]) -> SmartResult<bool> {
+        self.step_inner(KeyMode::Single, None, out)
+    }
+
     /// Process the next buffered time-step with multi-key analytics
     /// (paper Table 1, runtime function 9).
     pub fn run2_step(&mut self, out: &mut [A::Out]) -> SmartResult<bool> {
-        match self.buffer.pop() {
-            Some(step) => {
-                self.scheduler.run2(&step, out)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        self.step_inner(KeyMode::Multi, None, out)
     }
 
     /// Distributed variant of [`run_step`](Self::run_step).
@@ -201,13 +227,7 @@ where
         comm: &mut Communicator,
         out: &mut [A::Out],
     ) -> SmartResult<bool> {
-        match self.buffer.pop() {
-            Some(step) => {
-                self.scheduler.run_dist(comm, &step, out)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        self.step_inner(KeyMode::Single, Some(comm), out)
     }
 
     /// Distributed variant of [`run2_step`](Self::run2_step).
@@ -216,23 +236,39 @@ where
         comm: &mut Communicator,
         out: &mut [A::Out],
     ) -> SmartResult<bool> {
-        match self.buffer.pop() {
-            Some(step) => {
-                self.scheduler.run2_dist(comm, &step, out)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        self.step_inner(KeyMode::Multi, Some(comm), out)
     }
 
     /// Drain the stream to completion with single-key analytics, returning
     /// the number of time-steps processed.
     pub fn run_to_end(&mut self, out: &mut [A::Out]) -> SmartResult<usize> {
-        let mut steps = 0;
-        while self.run_step(out)? {
-            steps += 1;
-        }
-        Ok(steps)
+        self.drain_inner(KeyMode::Single, None, out)
+    }
+
+    /// Drain the stream to completion with multi-key analytics, returning
+    /// the number of time-steps processed.
+    pub fn run2_to_end(&mut self, out: &mut [A::Out]) -> SmartResult<usize> {
+        self.drain_inner(KeyMode::Multi, None, out)
+    }
+
+    /// Distributed variant of [`run_to_end`](Self::run_to_end). Every rank
+    /// must see the same number of time-steps, or the lagging ranks block
+    /// in global combination.
+    pub fn run_to_end_dist(
+        &mut self,
+        comm: &mut Communicator,
+        out: &mut [A::Out],
+    ) -> SmartResult<usize> {
+        self.drain_inner(KeyMode::Single, Some(comm), out)
+    }
+
+    /// Distributed variant of [`run2_to_end`](Self::run2_to_end).
+    pub fn run2_to_end_dist(
+        &mut self,
+        comm: &mut Communicator,
+        out: &mut [A::Out],
+    ) -> SmartResult<usize> {
+        self.drain_inner(KeyMode::Multi, Some(comm), out)
     }
 }
 

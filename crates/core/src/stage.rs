@@ -1,0 +1,78 @@
+//! Input staging — the first layer of the execution core.
+//!
+//! Time sharing is zero-copy by design (the scheduler borrows the
+//! simulation's output partition directly, Fig. 3); `SchedArgs::copy_input`
+//! opts into the extra staging copy the paper's Fig. 9 baseline pays. This
+//! module owns that choice: [`validate`] checks every partition against the
+//! chunk size, and [`stage`] either passes the caller's partitions through
+//! untouched or copies them back-to-back into the scheduler's reusable
+//! staging buffer and re-cuts the slices from it.
+
+use crate::error::{SmartError, SmartResult};
+
+/// Reject partitions whose length is not a whole number of unit chunks.
+pub(crate) fn validate<In>(parts: &[(usize, &[In])], chunk_size: usize) -> SmartResult<()> {
+    for &(_, input) in parts {
+        if input.len() % chunk_size != 0 {
+            return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
+        }
+    }
+    Ok(())
+}
+
+/// Stage the step's partitions. Returns `None` in zero-copy mode (reduce
+/// straight from the caller's slices); in copy mode, fills `buf` with all
+/// partitions back-to-back and returns slices re-cut from it, preserving
+/// each partition's global offset.
+pub(crate) fn stage<'a, In: Clone>(
+    copy_input: bool,
+    buf: &'a mut Vec<In>,
+    parts: &[(usize, &[In])],
+) -> Option<Vec<(usize, &'a [In])>> {
+    if !copy_input {
+        return None;
+    }
+    buf.clear();
+    let mut ranges = Vec::with_capacity(parts.len());
+    for &(offset, input) in parts {
+        let start = buf.len();
+        buf.extend_from_slice(input);
+        ranges.push((offset, start..buf.len()));
+    }
+    // Re-cut only once the buffer stops growing, so no slice dangles across
+    // a reallocation.
+    let buf: &'a Vec<In> = buf;
+    Some(ranges.into_iter().map(|(offset, r)| (offset, &buf[r])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_copy_mode_passes_through() {
+        let data = [1, 2, 3, 4];
+        let mut buf: Vec<i32> = Vec::new();
+        assert!(stage(false, &mut buf, &[(0, &data[..])]).is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn copy_mode_concatenates_and_recuts() {
+        let (a, b) = ([1, 2, 3], [7, 8]);
+        let mut buf: Vec<i32> = vec![99; 16]; // stale contents from a prior step
+        let staged = stage(true, &mut buf, &[(0, &a[..]), (10, &b[..])]).unwrap();
+        assert_eq!(staged.len(), 2);
+        assert_eq!(staged[0], (0, &[1, 2, 3][..]));
+        assert_eq!(staged[1], (10, &[7, 8][..]));
+    }
+
+    #[test]
+    fn validate_rejects_ragged_partitions() {
+        let ok = [0.0f64; 6];
+        let bad = [0.0f64; 5];
+        assert!(validate(&[(0, &ok[..])], 3).is_ok());
+        let err = validate(&[(0, &ok[..]), (6, &bad[..])], 3).unwrap_err();
+        assert!(matches!(err, SmartError::ChunkMismatch { input_len: 5, chunk_size: 3 }));
+    }
+}

@@ -1,0 +1,121 @@
+//! One step of the Smart data-processing mechanism, as a value.
+//!
+//! The paper exposes one mechanism (Algorithm 1 plus the Algorithm 2
+//! early-emission extension) through many placement-specific entry points:
+//! single- vs multi-key, single-rank vs distributed, one partition vs an
+//! in-transit stager's several. [`StepSpec`] collapses that axis product
+//! into a value — *what* to process this step — consumed by the single
+//! execution core [`crate::Scheduler::execute`]. Every legacy `run*` entry
+//! point is a one-line delegation that builds a `StepSpec`.
+
+use smart_comm::Communicator;
+
+/// Key mode of a step: `gen_key` (`run`) or `gen_keys` (`run2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyMode {
+    /// One key per chunk ([`crate::Analytics::gen_key`], the `run` family).
+    #[default]
+    Single,
+    /// Multiple keys per chunk ([`crate::Analytics::gen_keys`], the `run2`
+    /// family) — the usual choice for window-based analytics.
+    Multi,
+}
+
+/// Everything that varies between the `run*` entry points, as one value:
+/// the `(global_offset, data)` partitions processed this step, the key
+/// mode, and an optional communicator for global combination.
+///
+/// The ordinary in-situ paths pass exactly one partition; an in-transit
+/// stager passes one per producer it serves (possibly zero once streams
+/// end raggedly — an empty `parts` still participates in the collectives,
+/// which is what keeps a drained stager from deadlocking its peers).
+///
+/// ```
+/// # use smart_core::{Analytics, Chunk, ComMap, Key, RedObj, SchedArgs, Scheduler, StepSpec};
+/// # use serde::{Serialize, Deserialize};
+/// # #[derive(Clone, Serialize, Deserialize, Default)]
+/// # struct Count { n: u64 }
+/// # impl RedObj for Count {}
+/// # struct Counter;
+/// # impl Analytics for Counter {
+/// #     type In = f64; type Red = Count; type Out = u64; type Extra = ();
+/// #     fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, o: &mut Option<Count>) {
+/// #         o.get_or_insert_with(Count::default).n += 1;
+/// #     }
+/// #     fn merge(&self, r: &Count, c: &mut Count) { c.n += r.n; }
+/// #     fn convert(&self, o: &Count, out: &mut u64) { *out = o.n; }
+/// # }
+/// let pool = smart_pool::shared_pool(2).unwrap();
+/// let mut s = Scheduler::new(Counter, SchedArgs::new(2, 1), pool).unwrap();
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// let mut out = [0u64];
+/// // Equivalent to `s.run(&data, &mut out)`:
+/// s.execute(StepSpec::new(&[(0, &data)]), &mut out).unwrap();
+/// assert_eq!(out, [4]);
+/// ```
+pub struct StepSpec<'a, In> {
+    pub(crate) parts: &'a [(usize, &'a [In])],
+    pub(crate) key_mode: KeyMode,
+    pub(crate) comm: Option<&'a mut Communicator>,
+}
+
+impl<'a, In> StepSpec<'a, In> {
+    /// A single-key, rank-local step over `parts` — each entry is a
+    /// `(global_offset, data)` partition.
+    pub fn new(parts: &'a [(usize, &'a [In])]) -> Self {
+        StepSpec { parts, key_mode: KeyMode::Single, comm: None }
+    }
+
+    /// Select the key mode (default [`KeyMode::Single`]).
+    pub fn with_key_mode(mut self, key_mode: KeyMode) -> Self {
+        self.key_mode = key_mode;
+        self
+    }
+
+    /// Attach a communicator for global combination (`None` keeps the step
+    /// rank-local). Taking an `Option` lets local/distributed entry points
+    /// share one delegation line.
+    pub fn with_comm(mut self, comm: Option<&'a mut Communicator>) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// The step's `(global_offset, data)` partitions.
+    pub fn parts(&self) -> &[(usize, &'a [In])] {
+        self.parts
+    }
+
+    /// The step's key mode.
+    pub fn key_mode(&self) -> KeyMode {
+        self.key_mode
+    }
+
+    /// Whether the step combines globally across ranks.
+    pub fn is_distributed(&self) -> bool {
+        self.comm.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_local_single_key() {
+        let data = [1.0f64, 2.0];
+        let parts = [(0usize, &data[..])];
+        let spec = StepSpec::new(&parts);
+        assert_eq!(spec.key_mode(), KeyMode::Single);
+        assert!(!spec.is_distributed());
+        assert_eq!(spec.parts().len(), 1);
+    }
+
+    #[test]
+    fn builder_sets_key_mode() {
+        let data = [0u32; 4];
+        let parts = [(8usize, &data[..])];
+        let spec = StepSpec::new(&parts).with_key_mode(KeyMode::Multi);
+        assert_eq!(spec.key_mode(), KeyMode::Multi);
+        assert_eq!(spec.parts()[0].0, 8);
+    }
+}

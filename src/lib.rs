@@ -21,5 +21,7 @@ pub use smart_wire as wire;
 /// Convenience prelude pulling in the types almost every Smart program needs.
 pub mod prelude {
     pub use smart_comm::{run_cluster, Communicator};
-    pub use smart_core::{Analytics, Chunk, ComMap, Key, RedObj, SchedArgs, Scheduler};
+    pub use smart_core::{
+        Analytics, Chunk, ComMap, Key, KeyMode, RedObj, SchedArgs, Scheduler, StepSpec,
+    };
 }

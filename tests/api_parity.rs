@@ -163,3 +163,447 @@ fn chunk_preserves_positional_information() {
     assert_eq!(c.slice(&data), &[3.0, 4.0]);
     assert_eq!(c.global_unit(), 501);
 }
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: every legacy entry point is a one-line delegation onto
+// `Scheduler::execute`, so each shim must produce a *bit-identical*
+// combination map (and output buffer) to the equivalent `StepSpec` +
+// `execute` call — across all three `CombineStrategy` values.
+// ---------------------------------------------------------------------------
+
+use smart_insitu::core::pipeline::Pipeline;
+use smart_insitu::core::CombineStrategy;
+
+const STRATEGIES: [CombineStrategy; 3] =
+    [CombineStrategy::Serial, CombineStrategy::Tree, CombineStrategy::Sharded];
+
+/// Wire-serialize a scheduler's combination map in canonical (sorted) order
+/// — the bit-identical comparison form.
+fn map_bytes<A: Analytics>(s: &Scheduler<A>) -> Vec<u8> {
+    smart_insitu::wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap()
+}
+
+fn strat_scheduler(strategy: CombineStrategy) -> Scheduler<Full> {
+    let mut s = make_scheduler();
+    s.set_combine_strategy(strategy);
+    s
+}
+
+#[test]
+fn golden_local_shims_match_execute() {
+    let data: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+    for strategy in STRATEGIES {
+        for key_mode in [KeyMode::Single, KeyMode::Multi] {
+            let mut legacy = strat_scheduler(strategy);
+            let mut core = strat_scheduler(strategy);
+            let (mut a, mut b) = ([0.0f64], [0.0f64]);
+            match key_mode {
+                KeyMode::Single => legacy.run(&data, &mut a).unwrap(),
+                KeyMode::Multi => legacy.run2(&data, &mut a).unwrap(),
+            }
+            core.execute(StepSpec::new(&[(0, &data)]).with_key_mode(key_mode), &mut b).unwrap();
+            assert_eq!(a, b, "{strategy:?} {key_mode:?} output diverged");
+            assert_eq!(
+                map_bytes(&legacy),
+                map_bytes(&core),
+                "{strategy:?} {key_mode:?} map diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_dist_shims_match_execute() {
+    for strategy in STRATEGIES {
+        smart_insitu::comm::run_cluster(2, move |mut comm| {
+            let data: Vec<f64> = (0..24).map(|i| ((i * (comm.rank() + 3)) % 5) as f64).collect();
+
+            // run_dist / run2_dist.
+            for key_mode in [KeyMode::Single, KeyMode::Multi] {
+                let mut legacy = strat_scheduler(strategy);
+                let mut core = strat_scheduler(strategy);
+                let (mut a, mut b) = ([0.0f64], [0.0f64]);
+                match key_mode {
+                    KeyMode::Single => legacy.run_dist(&mut comm, &data, &mut a).unwrap(),
+                    KeyMode::Multi => legacy.run2_dist(&mut comm, &data, &mut a).unwrap(),
+                }
+                core.execute(
+                    StepSpec::new(&[(0, &data)]).with_key_mode(key_mode).with_comm(Some(&mut comm)),
+                    &mut b,
+                )
+                .unwrap();
+                assert_eq!(a, b, "{strategy:?} {key_mode:?} dist output diverged");
+                assert_eq!(
+                    map_bytes(&legacy),
+                    map_bytes(&core),
+                    "{strategy:?} {key_mode:?} dist map diverged"
+                );
+            }
+
+            // run_parts_dist / run2_parts_dist over two partitions.
+            let parts = [(0usize, &data[..12]), (100, &data[12..])];
+            for key_mode in [KeyMode::Single, KeyMode::Multi] {
+                let mut legacy = strat_scheduler(strategy);
+                let mut core = strat_scheduler(strategy);
+                let (mut a, mut b) = ([0.0f64], [0.0f64]);
+                match key_mode {
+                    KeyMode::Single => legacy.run_parts_dist(&mut comm, &parts, &mut a).unwrap(),
+                    KeyMode::Multi => legacy.run2_parts_dist(&mut comm, &parts, &mut a).unwrap(),
+                }
+                core.execute(
+                    StepSpec::new(&parts).with_key_mode(key_mode).with_comm(Some(&mut comm)),
+                    &mut b,
+                )
+                .unwrap();
+                assert_eq!(a, b, "{strategy:?} {key_mode:?} parts output diverged");
+                assert_eq!(
+                    map_bytes(&legacy),
+                    map_bytes(&core),
+                    "{strategy:?} {key_mode:?} parts map diverged"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn golden_space_step_shims_match_execute() {
+    let steps: Vec<Vec<f64>> =
+        (0..3).map(|t| (0..16).map(|i| ((i + t * 5) % 4) as f64).collect()).collect();
+    for strategy in STRATEGIES {
+        for key_mode in [KeyMode::Single, KeyMode::Multi] {
+            let mut shared = SpaceShared::new(strat_scheduler(strategy), 4);
+            let feeder = shared.feeder();
+            for step in &steps {
+                feeder.feed(step).unwrap();
+            }
+            feeder.close();
+            let mut a = [0.0f64];
+            loop {
+                let more = match key_mode {
+                    KeyMode::Single => shared.run_step(&mut a).unwrap(),
+                    KeyMode::Multi => shared.run2_step(&mut a).unwrap(),
+                };
+                if !more {
+                    break;
+                }
+            }
+
+            let mut core = strat_scheduler(strategy);
+            let mut b = [0.0f64];
+            for step in &steps {
+                core.execute(StepSpec::new(&[(0, step)]).with_key_mode(key_mode), &mut b).unwrap();
+            }
+            assert_eq!(a, b, "{strategy:?} {key_mode:?} space output diverged");
+            assert_eq!(
+                map_bytes(shared.scheduler()),
+                map_bytes(&core),
+                "{strategy:?} {key_mode:?} space map diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_space_dist_step_shims_match_execute() {
+    for strategy in STRATEGIES {
+        smart_insitu::comm::run_cluster(2, move |mut comm| {
+            let steps: Vec<Vec<f64>> = (0..2)
+                .map(|t| (0..8).map(|i| ((i + t + comm.rank()) % 3) as f64).collect())
+                .collect();
+            for key_mode in [KeyMode::Single, KeyMode::Multi] {
+                let mut shared = SpaceShared::new(strat_scheduler(strategy), 4);
+                let feeder = shared.feeder();
+                for step in &steps {
+                    feeder.feed(step).unwrap();
+                }
+                feeder.close();
+                let mut a = [0.0f64];
+                loop {
+                    let more = match key_mode {
+                        KeyMode::Single => shared.run_step_dist(&mut comm, &mut a).unwrap(),
+                        KeyMode::Multi => shared.run2_step_dist(&mut comm, &mut a).unwrap(),
+                    };
+                    if !more {
+                        break;
+                    }
+                }
+
+                let mut core = strat_scheduler(strategy);
+                let mut b = [0.0f64];
+                for step in &steps {
+                    core.execute(
+                        StepSpec::new(&[(0, step)])
+                            .with_key_mode(key_mode)
+                            .with_comm(Some(&mut comm)),
+                        &mut b,
+                    )
+                    .unwrap();
+                }
+                assert_eq!(a, b, "{strategy:?} {key_mode:?} space-dist output diverged");
+                assert_eq!(
+                    map_bytes(shared.scheduler()),
+                    map_bytes(&core),
+                    "{strategy:?} {key_mode:?} space-dist map diverged"
+                );
+            }
+        });
+    }
+}
+
+/// Pipeline stage 1: per-element doubling keyed by local position.
+#[derive(Clone, Serialize, Deserialize, Default)]
+struct Val {
+    v: f64,
+    done: bool,
+}
+impl RedObj for Val {
+    fn trigger(&self) -> bool {
+        self.done
+    }
+}
+struct Double;
+impl Analytics for Double {
+    type In = f64;
+    type Red = Val;
+    type Out = f64;
+    type Extra = ();
+    fn gen_keys(&self, c: &Chunk, _d: &[f64], _m: &ComMap<Val>, keys: &mut Vec<Key>) {
+        keys.push(c.local_start as Key);
+    }
+    fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Val>) {
+        *obj = Some(Val { v: 2.0 * d[c.local_start], done: true });
+    }
+    fn merge(&self, red: &Val, com: &mut Val) {
+        com.v = red.v;
+    }
+    fn convert(&self, obj: &Val, out: &mut f64) {
+        *out = obj.v;
+    }
+}
+
+/// Pipeline stage 2: global sum.
+#[derive(Clone, Serialize, Deserialize, Default)]
+struct Sum {
+    total: f64,
+}
+impl RedObj for Sum {}
+struct Total;
+impl Analytics for Total {
+    type In = f64;
+    type Red = Sum;
+    type Out = f64;
+    type Extra = ();
+    fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Sum>) {
+        obj.get_or_insert_with(Sum::default).total += d[c.local_start];
+    }
+    fn merge(&self, red: &Sum, com: &mut Sum) {
+        com.total += red.total;
+    }
+    fn convert(&self, obj: &Sum, out: &mut f64) {
+        *out = obj.total;
+    }
+}
+
+fn stage_scheduler<A: Analytics>(analytics: A, strategy: CombineStrategy) -> Scheduler<A> {
+    let pool = smart_insitu::pool::shared_pool(2).unwrap();
+    let mut s = Scheduler::new(analytics, SchedArgs::new(2, 1), pool).unwrap();
+    s.set_combine_strategy(strategy);
+    s
+}
+
+#[test]
+fn golden_pipeline_matches_execute() {
+    let data: Vec<f64> = (0..30).map(|i| (i % 9) as f64).collect();
+    for strategy in STRATEGIES {
+        let mut pipeline = Pipeline::new(
+            stage_scheduler(Double, strategy),
+            stage_scheduler(Total, strategy),
+            KeyMode::Multi,
+            KeyMode::Single,
+            data.len(),
+        );
+        let mut a = [0.0f64];
+        pipeline.run(&data, &mut a).unwrap();
+
+        // The equivalent two execute calls: stage one local-only into an
+        // intermediate buffer, stage two over that buffer.
+        let mut first = stage_scheduler(Double, strategy);
+        first.set_global_combination(false);
+        let mut second = stage_scheduler(Total, strategy);
+        let mut intermediate = vec![0.0f64; data.len()];
+        first
+            .execute(StepSpec::new(&[(0, &data)]).with_key_mode(KeyMode::Multi), &mut intermediate)
+            .unwrap();
+        let mut b = [0.0f64];
+        second.execute(StepSpec::new(&[(0, &intermediate)]), &mut b).unwrap();
+
+        assert_eq!(a, b, "{strategy:?} pipeline output diverged");
+        assert_eq!(intermediate, pipeline.intermediate(), "{strategy:?} intermediate diverged");
+        assert_eq!(
+            map_bytes(pipeline.second()),
+            map_bytes(&second),
+            "{strategy:?} pipeline map diverged"
+        );
+    }
+}
+
+#[test]
+fn golden_pipeline_dist_matches_execute() {
+    for strategy in STRATEGIES {
+        smart_insitu::comm::run_cluster(2, move |mut comm| {
+            let data: Vec<f64> = (0..20).map(|i| ((i + comm.rank() * 4) % 6) as f64).collect();
+            let mut pipeline = Pipeline::new(
+                stage_scheduler(Double, strategy),
+                stage_scheduler(Total, strategy),
+                KeyMode::Multi,
+                KeyMode::Single,
+                data.len(),
+            );
+            let mut a = [0.0f64];
+            pipeline.run_dist(&mut comm, &data, &mut a).unwrap();
+
+            let mut first = stage_scheduler(Double, strategy);
+            first.set_global_combination(false);
+            let mut second = stage_scheduler(Total, strategy);
+            let mut intermediate = vec![0.0f64; data.len()];
+            first
+                .execute(
+                    StepSpec::new(&[(0, &data)])
+                        .with_key_mode(KeyMode::Multi)
+                        .with_comm(Some(&mut comm)),
+                    &mut intermediate,
+                )
+                .unwrap();
+            let mut b = [0.0f64];
+            second
+                .execute(StepSpec::new(&[(0, &intermediate)]).with_comm(Some(&mut comm)), &mut b)
+                .unwrap();
+
+            assert_eq!(a, b, "{strategy:?} dist pipeline output diverged");
+            assert_eq!(
+                map_bytes(pipeline.second()),
+                map_bytes(&second),
+                "{strategy:?} dist pipeline map diverged"
+            );
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpaceShared drain symmetry: multi-key windowed analytics produces the same
+// outputs, step count, and combination map whether the stream is consumed
+// step-by-step or drained with the `run*_to_end` variants.
+// ---------------------------------------------------------------------------
+
+/// Windowed multi-key analytics: elements fold into `global_index / 4`
+/// windows, each window triggering (early emission) once its 4 elements
+/// arrived.
+#[derive(Clone, Serialize, Deserialize, Default)]
+struct Win {
+    sum: f64,
+    n: u64,
+}
+impl RedObj for Win {
+    fn trigger(&self) -> bool {
+        self.n >= 4
+    }
+}
+struct WindowSum;
+impl Analytics for WindowSum {
+    type In = f64;
+    type Red = Win;
+    type Out = f64;
+    type Extra = ();
+    fn gen_keys(&self, c: &Chunk, _d: &[f64], _m: &ComMap<Win>, keys: &mut Vec<Key>) {
+        keys.push((c.global_start / 4) as Key);
+    }
+    fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Win>) {
+        let o = obj.get_or_insert_with(Win::default);
+        o.sum += d[c.local_start];
+        o.n += 1;
+    }
+    fn merge(&self, red: &Win, com: &mut Win) {
+        com.sum += red.sum;
+        com.n += red.n;
+    }
+    fn convert(&self, obj: &Win, out: &mut f64) {
+        *out = obj.sum;
+    }
+}
+
+fn windowed_space(steps: &[Vec<f64>]) -> SpaceShared<WindowSum> {
+    let pool = smart_insitu::pool::shared_pool(2).unwrap();
+    let sched = Scheduler::new(WindowSum, SchedArgs::new(2, 1), pool).unwrap();
+    let shared = SpaceShared::new(sched, steps.len());
+    let feeder = shared.feeder();
+    for step in steps {
+        feeder.feed(step).unwrap();
+    }
+    feeder.close();
+    shared
+}
+
+#[test]
+fn windowed_drain_step_wise_equals_to_end() {
+    let steps: Vec<Vec<f64>> =
+        (0..3).map(|t| (0..16).map(|i| (i + t * 16) as f64).collect()).collect();
+    let mut step_wise = windowed_space(&steps);
+    let mut a = vec![0.0f64; 4];
+    let mut count_a = 0;
+    while step_wise.run2_step(&mut a).unwrap() {
+        count_a += 1;
+    }
+
+    let mut to_end = windowed_space(&steps);
+    let mut b = vec![0.0f64; 4];
+    let count_b = to_end.run2_to_end(&mut b).unwrap();
+
+    assert_eq!(count_a, count_b);
+    assert_eq!(count_b, steps.len());
+    assert_eq!(a, b);
+    assert_eq!(map_bytes(step_wise.scheduler()), map_bytes(to_end.scheduler()));
+}
+
+#[test]
+fn windowed_drain_dist_step_wise_equals_to_end() {
+    smart_insitu::comm::run_cluster(2, |mut comm| {
+        let steps: Vec<Vec<f64>> =
+            (0..2).map(|t| (0..8).map(|i| (i + t * 8 + comm.rank()) as f64).collect()).collect();
+        let mut step_wise = windowed_space(&steps);
+        let mut a = vec![0.0f64; 2];
+        let mut count_a = 0;
+        while step_wise.run2_step_dist(&mut comm, &mut a).unwrap() {
+            count_a += 1;
+        }
+
+        let mut to_end = windowed_space(&steps);
+        let mut b = vec![0.0f64; 2];
+        let count_b = to_end.run2_to_end_dist(&mut comm, &mut b).unwrap();
+
+        assert_eq!(count_a, count_b);
+        assert_eq!(a, b);
+        assert_eq!(map_bytes(step_wise.scheduler()), map_bytes(to_end.scheduler()));
+    });
+}
+
+#[test]
+fn single_key_dist_drain_to_end_counts_steps() {
+    smart_insitu::comm::run_cluster(2, |mut comm| {
+        let steps: Vec<Vec<f64>> = (0..3).map(|_| vec![1.0; 8]).collect();
+        let pool = smart_insitu::pool::shared_pool(1).unwrap();
+        let sched = Scheduler::new(Total, SchedArgs::new(1, 1), pool).unwrap();
+        let shared = SpaceShared::new(sched, steps.len());
+        let feeder = shared.feeder();
+        for step in &steps {
+            feeder.feed(step).unwrap();
+        }
+        feeder.close();
+        let mut shared = shared;
+        let mut out = [0.0f64];
+        let count = shared.run_to_end_dist(&mut comm, &mut out).unwrap();
+        assert_eq!(count, 3);
+        // 2 ranks × 3 steps × 8 ones, globally combined.
+        assert_eq!(out[0], 48.0);
+    });
+}
