@@ -22,7 +22,7 @@ const STORAGE_BYTES_PER_SEC: f64 = 300e6;
 fn charge_storage(bytes: usize, actual: Duration) -> Duration {
     let modeled = Duration::from_secs_f64(bytes as f64 / STORAGE_BYTES_PER_SEC);
     if modeled > actual {
-        std::thread::sleep(modeled - actual);
+        smart_sync::thread::sleep(modeled - actual);
         modeled
     } else {
         actual

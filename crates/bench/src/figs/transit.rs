@@ -85,7 +85,7 @@ fn space_sharing(edge: usize, steps: usize) -> Measured {
     let per_rank = run_cluster(RANKS, |mut comm| {
         let mut shared = SpaceShared::new(scheduler(), BUFFER_STEPS);
         let feeder = shared.feeder();
-        std::thread::scope(|scope| {
+        smart_sync::thread::scope(|scope| {
             // The simulation task: steps and copies into the circular
             // buffer, blocking only when all `BUFFER_STEPS` slots are full.
             let sim_task = scope.spawn(move || {

@@ -2,12 +2,11 @@
 
 use crate::cost::CommConfig;
 use crate::error::{CommError, CommResult};
-use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use smart_sync::channel::{self, Receiver, Sender};
+use smart_sync::{Arc, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Message tag. User code should use tags below `COLLECTIVE_BASE`;
 /// the collectives reserve the space above it.

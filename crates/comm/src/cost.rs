@@ -42,7 +42,7 @@ impl CostModel {
     pub fn charge(&self, bytes: usize) {
         let cost = self.message_cost(bytes);
         if cost >= Duration::from_millis(1) {
-            std::thread::sleep(cost);
+            smart_sync::thread::sleep(cost);
         } else {
             let start = Instant::now();
             while start.elapsed() < cost {

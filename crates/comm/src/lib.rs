@@ -58,7 +58,7 @@ pub use stream::{
     StreamConfig, StreamReceiver, StreamRecvStats, StreamSendStats, StreamSender, STREAM_BASE,
 };
 
-use std::sync::Arc;
+use smart_sync::Arc;
 
 /// Create the `n` communicators of a fresh cluster without spawning any
 /// threads. The caller distributes them to its own tasks — the building
@@ -95,11 +95,11 @@ where
     assert!(n > 0, "a cluster needs at least one rank");
     let comms = Communicator::universe(n, Arc::new(config));
     let f = &f;
-    std::thread::scope(|scope| {
+    smart_sync::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for comm in comms {
             let rank = comm.rank();
-            let handle = std::thread::Builder::new()
+            let handle = smart_sync::thread::Builder::new()
                 .name(format!("smart-rank-{rank}"))
                 .spawn_scoped(scope, move || f(comm))
                 .expect("failed to spawn rank thread");

@@ -100,6 +100,7 @@ pub(crate) fn global_combine<A: Analytics>(
     let wire_before = if measure { comm.sent_bytes() } else { 0 };
     let mut local = delta.drain_entries();
     local.sort_unstable_by_key(|&(k, _)| k);
+    // lint:allow(measured-paths): gated on `measure` — zero work when stats are off
     let payload = if measure { smart_wire::encoded_len(&local).unwrap_or(0) } else { 0 };
     let merged = match strategy {
         CombineStrategy::Serial | CombineStrategy::Tree => comm.allreduce(local, |acc, inc| {

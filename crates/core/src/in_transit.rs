@@ -314,7 +314,7 @@ where
     let producer_comms: Vec<Communicator> = world.by_ref().take(topo.producers).collect();
     let stager_comms: Vec<(Communicator, Communicator)> = world.zip(staging).collect();
 
-    std::thread::scope(|scope| {
+    smart_sync::thread::scope(|scope| {
         let producer_handles: Vec<_> = producer_comms
             .into_iter()
             .enumerate()

@@ -12,23 +12,38 @@ use std::cell::UnsafeCell;
 
 /// A `&mut [T]` that may be written from multiple threads **at pairwise
 /// distinct indices**.
+///
+/// Under `cfg(loom)` every write additionally registers with a per-index
+/// access tracker, so the model checker turns any schedule in which two
+/// threads touch the same index concurrently into a hard test failure — the
+/// disjointness contract becomes machine-checked instead of comment-checked.
 pub struct SharedSlice<'a, T> {
     data: &'a [UnsafeCell<T>],
+    #[cfg(loom)]
+    track: smart_sync::track::AccessSet,
 }
 
 // SAFETY: writes are restricted to distinct indices per the `write`
 // contract, and the borrow of the underlying slice outlives the workers
 // (the pool's fork-join blocks until they finish).
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+// SAFETY: moving the wrapper only moves the borrow; the `T: Send` bound
+// keeps cross-thread writes of `T` values sound (same argument as `Sync`).
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
     /// Wrap an exclusive slice for disjoint parallel writes.
     pub fn new(slice: &'a mut [T]) -> Self {
+        #[cfg(loom)]
+        let track = smart_sync::track::AccessSet::new(slice.len());
         // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have identical layout,
         // and wrapping an exclusive borrow means no other alias exists.
         let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
-        SharedSlice { data }
+        SharedSlice {
+            data,
+            #[cfg(loom)]
+            track,
+        }
     }
 
     /// Slice length.
@@ -50,7 +65,15 @@ impl<'a, T> SharedSlice<'a, T> {
     /// # Panics
     /// Panics if `index` is out of bounds.
     pub unsafe fn write(&self, index: usize, value: T) {
-        *self.data[index].get() = value;
+        #[cfg(loom)]
+        self.track.acquire_mut(index);
+        // SAFETY: the caller guarantees no concurrent access to `index`, so
+        // this is the only live reference to the slot.
+        unsafe {
+            *self.data[index].get() = value;
+        }
+        #[cfg(loom)]
+        self.track.release_mut(index);
     }
 
     /// Apply `f` to the slot at `index`.
@@ -58,7 +81,14 @@ impl<'a, T> SharedSlice<'a, T> {
     /// # Safety
     /// Same disjointness contract as [`write`](Self::write).
     pub unsafe fn with_mut<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut *self.data[index].get())
+        #[cfg(loom)]
+        self.track.acquire_mut(index);
+        // SAFETY: as for `write` — the disjointness contract makes this the
+        // sole reference to the slot for the duration of `f`.
+        let r = unsafe { f(&mut *self.data[index].get()) };
+        #[cfg(loom)]
+        self.track.release_mut(index);
+        r
     }
 }
 

@@ -12,10 +12,9 @@ use crate::api::Analytics;
 use crate::error::{SmartError, SmartResult};
 use crate::scheduler::Scheduler;
 use crate::step::{KeyMode, StepSpec};
-use parking_lot::{Condvar, Mutex};
 use smart_comm::Communicator;
+use smart_sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 struct BufferState<T> {
     queue: VecDeque<T>,

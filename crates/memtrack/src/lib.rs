@@ -83,7 +83,9 @@ fn on_dealloc(size: usize) {
 // counters are updated around the calls.
 unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = System.alloc(layout);
+        // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero-sized layout), which we forward to `System` unchanged.
+        let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
             on_alloc(layout.size());
         }
@@ -91,12 +93,15 @@ unsafe impl GlobalAlloc for TrackingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: the caller guarantees `ptr` came from this allocator with
+        // this `layout`; every allocation path above delegates to `System`.
+        unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let ptr = System.alloc_zeroed(layout);
+        // SAFETY: as for `alloc` — the caller's layout contract is forwarded.
+        let ptr = unsafe { System.alloc_zeroed(layout) };
         if !ptr.is_null() {
             on_alloc(layout.size());
         }
@@ -104,7 +109,9 @@ unsafe impl GlobalAlloc for TrackingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = System.realloc(ptr, layout, new_size);
+        // SAFETY: the caller guarantees `ptr`/`layout` describe a live
+        // `System` allocation and `new_size` is non-zero.
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
             on_dealloc(layout.size());
             on_alloc(new_size);

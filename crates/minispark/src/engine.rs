@@ -1,11 +1,10 @@
 //! The MiniSpark driver context: a worker pool plus the busy "service"
 //! threads a Spark driver runs alongside its executors.
 
-use parking_lot::Mutex;
 use smart_pool::{shared_pool, SharedPool};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use smart_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use smart_sync::thread::JoinHandle;
+use smart_sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Per-stage timing record: how long each partition's task ran.
@@ -62,7 +61,7 @@ impl SparkContext {
             .map(|i| {
                 let stop = Arc::clone(&service_stop);
                 let work = Arc::clone(&service_work);
-                std::thread::Builder::new()
+                smart_sync::thread::Builder::new()
                     .name(format!("minispark-service-{i}"))
                     .spawn(move || {
                         // Periodic bookkeeping: mostly sleeping, with short
@@ -74,7 +73,7 @@ impl SparkContext {
                                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
                             }
                             work.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(std::time::Duration::from_micros(500));
+                            smart_sync::thread::sleep(std::time::Duration::from_micros(500));
                         }
                         std::hint::black_box(acc);
                     })

@@ -8,7 +8,7 @@
 //! downstream user can wire in a real implementation) and records intent
 //! instead of issuing the syscall.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use smart_sync::atomic::{AtomicUsize, Ordering};
 
 static PIN_REQUESTS: AtomicUsize = AtomicUsize::new(0);
 
@@ -24,7 +24,7 @@ pub fn pin_to_core(core: usize) -> usize {
 
 /// Number of cores the host exposes to this process.
 pub fn available_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    smart_sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// How many pin requests have been issued process-wide (test/diagnostic aid).

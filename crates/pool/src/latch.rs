@@ -4,9 +4,11 @@
 //! create per job and (b) establishes a happens-before edge from every
 //! worker's writes to the submitter's reads of the result slots. A mutex +
 //! condvar latch gives both (see "Rust Atomics and Locks" ch. 1/9 for the
-//! pattern); parking_lot keeps the uncontended path fast.
+//! pattern); the facade's parking_lot backend keeps the uncontended path
+//! fast, and the `cfg(loom)` backend model-checks the release protocol (see
+//! `tests/loom_latch.rs`).
 
-use parking_lot::{Condvar, Mutex};
+use smart_sync::{Condvar, Mutex};
 
 /// Blocks waiters until `count_down` has been called `n` times.
 #[derive(Debug)]
@@ -35,6 +37,9 @@ impl CountdownLatch {
     }
 
     /// Block until the latch opens.
+    ///
+    /// Spurious-wakeup safe: the condvar wait sits in a predicate loop that
+    /// rechecks `remaining` under the mutex after every wakeup.
     pub fn wait(&self) {
         let mut remaining = self.remaining.lock();
         while *remaining > 0 {

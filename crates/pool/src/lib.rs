@@ -38,9 +38,9 @@ mod splits;
 pub use latch::CountdownLatch;
 pub use splits::{split_range, Splits};
 
-use crossbeam::channel::{self, Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use smart_sync::channel::{self, Receiver, Sender};
+use smart_sync::thread::JoinHandle;
+use smart_sync::Arc;
 
 /// Errors from pool construction and job submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,10 +104,13 @@ where
     F: Fn(usize) -> R + Sync,
     R: Send,
 {
-    let shared = &*(job as *const JobShared<'_, F, R>);
+    // SAFETY: the caller guarantees `job` points at a live
+    // `JobShared<F, R>` (run_on_workers keeps it alive past the latch).
+    let shared = unsafe { &*(job as *const JobShared<'_, F, R>) };
     let result = (shared.f)(tid);
-    // Each worker writes a distinct slot; slots were pre-sized by the caller.
-    *shared.results.add(tid) = Some(result);
+    // SAFETY: `tid` is unique and in-bounds per the caller contract, so this
+    // worker is the only writer of slot `tid`; slots were pre-sized.
+    unsafe { *shared.results.add(tid) = Some(result) };
     shared.latch.count_down();
 }
 
@@ -154,7 +157,7 @@ impl ThreadPool {
         for i in 0..size {
             let (tx, rx): (Sender<Message>, Receiver<Message>) = channel::unbounded();
             senders.push(tx);
-            let handle = std::thread::Builder::new()
+            let handle = smart_sync::thread::Builder::new()
                 .name(format!("smart-worker-{i}"))
                 .spawn(move || {
                     affinity::pin_to_core(first_core + i);
@@ -247,7 +250,7 @@ impl ThreadPool {
         T: Send,
         F: Fn(T, T) -> T + Sync,
     {
-        use std::sync::Mutex;
+        use smart_sync::Mutex;
         while items.len() > 1 {
             let mut carry = None;
             let mut it = items.into_iter();
@@ -269,11 +272,8 @@ impl ThreadPool {
                 let mut out = Vec::new();
                 let mut i = wid;
                 while i < pairs_ref.len() {
-                    let (a, b) = pairs_ref[i]
-                        .lock()
-                        .expect("pair mutex poisoned")
-                        .take()
-                        .expect("each pair is taken exactly once");
+                    let (a, b) =
+                        pairs_ref[i].lock().take().expect("each pair is taken exactly once");
                     out.push(f_ref(a, b));
                     i += workers;
                 }

@@ -1,0 +1,78 @@
+//! Model-checked latch invariants: every schedule of the countdown/wait
+//! protocol must release all waiters exactly once, with all worker writes
+//! visible afterwards.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p smart-pool --test loom_latch`
+#![cfg(loom)]
+
+use smart_pool::CountdownLatch;
+use smart_sync::atomic::{AtomicUsize, Ordering};
+use smart_sync::{model, thread, Arc};
+
+#[test]
+fn latch_release_establishes_happens_before() {
+    model::check(|| {
+        let latch = Arc::new(CountdownLatch::new(2));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                let hits = Arc::clone(&hits);
+                thread::spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    latch.count_down();
+                })
+            })
+            .collect();
+        latch.wait();
+        // Every schedule in which wait() returned must observe both
+        // increments — that is the happens-before edge the pool relies on
+        // to read result slots after the fork-join.
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn latch_opens_exactly_at_zero() {
+    model::check(|| {
+        let latch = Arc::new(CountdownLatch::new(2));
+        let l2 = Arc::clone(&latch);
+        let t = thread::spawn(move || l2.count_down());
+        assert!(!latch.is_open() || latch.is_open()); // any interleaving is fine pre-open
+        latch.count_down();
+        latch.wait();
+        assert!(latch.is_open());
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn multiple_waiters_all_released() {
+    model::check(|| {
+        let latch = Arc::new(CountdownLatch::new(1));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                thread::spawn(move || latch.wait())
+            })
+            .collect();
+        latch.count_down();
+        // If notify_all missed a parked waiter on any schedule, the model's
+        // deadlock detector would fail this join.
+        for w in waiters {
+            w.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn open_latch_never_blocks() {
+    model::check(|| {
+        let latch = CountdownLatch::new(0);
+        assert!(latch.is_open());
+        latch.wait();
+    });
+}

@@ -1,0 +1,50 @@
+//! Model-checked pool invariants: the task-queue handoff (channel send →
+//! worker recv → latch count-down) must deliver every task exactly once and
+//! make every result slot write visible to the submitter, on all schedules.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p smart-pool --test loom_pool`
+#![cfg(loom)]
+
+use smart_pool::ThreadPool;
+use smart_sync::model;
+
+#[test]
+fn fork_join_returns_every_workers_result() {
+    model::check(|| {
+        let pool = ThreadPool::new(2).unwrap();
+        let out = pool.run_on_workers(2, |tid| tid * 10 + 1);
+        // One slot per worker, written exactly once: the latch must not open
+        // before both writes, and the writes must be visible after it.
+        assert_eq!(out, vec![1, 11]);
+    });
+}
+
+#[test]
+fn sequential_jobs_reuse_workers() {
+    model::check(|| {
+        let pool = ThreadPool::new(2).unwrap();
+        let a = pool.run_on_workers(2, |tid| tid);
+        let b = pool.run_on_workers(1, |tid| tid + 100);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(b, vec![100]);
+    });
+}
+
+#[test]
+fn shutdown_joins_all_workers() {
+    model::check(|| {
+        let pool = ThreadPool::new(2).unwrap();
+        drop(pool);
+        // If Drop's shutdown message could be lost on some schedule, a worker
+        // would stay parked in recv and the deadlock detector would fire.
+    });
+}
+
+#[test]
+fn tree_reduce_combines_all_items() {
+    model::check(|| {
+        let pool = ThreadPool::new(2).unwrap();
+        let sum = pool.tree_reduce(vec![1u64, 2, 3], |a, b| a + b).unwrap();
+        assert_eq!(sum, Some(6));
+    });
+}

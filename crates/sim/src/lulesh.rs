@@ -318,7 +318,12 @@ impl MiniLulesh {
 
         // Raw shared view over `next`; disjoint plane bands per worker.
         struct NextPtr(*mut f64);
+        // SAFETY: the pointer targets `self.next`, which outlives the
+        // fork-join below, and each worker writes only its own disjoint
+        // plane band — no two threads ever touch the same element.
         unsafe impl Send for NextPtr {}
+        // SAFETY: shared access is write-only at per-worker disjoint indices
+        // (same argument as for `Send`); nothing reads through the pointer.
         unsafe impl Sync for NextPtr {}
         let next_ptrs: Vec<NextPtr> =
             self.next.iter_mut().map(|v| NextPtr(v.as_mut_ptr())).collect();

@@ -1,0 +1,157 @@
+//! Shim atomics: every operation is a schedule point and executes with
+//! `SeqCst` regardless of the ordering the caller asked for. The model
+//! explores interleavings of sequentially-consistent executions only —
+//! weak-memory reorderings are out of scope for this shim (they would need
+//! the real loom's store buffers), which we accept because the workspace uses
+//! atomics for counters and flags, not for ordering-sensitive lock-free
+//! protocols.
+
+use super::rt;
+use std::sync::atomic as std_atomic;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! shim_atomic_int {
+    ($name:ident, $int:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: std_atomic::$name,
+        }
+
+        impl $name {
+            pub const fn new(value: $int) -> Self {
+                Self { v: std_atomic::$name::new(value) }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, value: $int, _order: Ordering) {
+                rt::yield_point();
+                self.v.store(value, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.swap(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_add(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_add(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_and(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_and(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_or(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_or(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_max(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_min(&self, value: $int, _order: Ordering) -> $int {
+                rt::yield_point();
+                self.v.fetch_min(value, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                rt::yield_point();
+                self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                // No spurious failures in the model: delegate to the strong
+                // form (a legal implementation of the weak one).
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $int {
+                self.v.into_inner()
+            }
+        }
+    };
+}
+
+shim_atomic_int!(AtomicUsize, usize);
+shim_atomic_int!(AtomicIsize, isize);
+shim_atomic_int!(AtomicU8, u8);
+shim_atomic_int!(AtomicU32, u32);
+shim_atomic_int!(AtomicU64, u64);
+shim_atomic_int!(AtomicI64, i64);
+
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> Self {
+        Self { v: std_atomic::AtomicBool::new(value) }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.v.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, value: bool, _order: Ordering) {
+        rt::yield_point();
+        self.v.store(value, Ordering::SeqCst)
+    }
+
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.v.swap(value, Ordering::SeqCst)
+    }
+
+    pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.v.fetch_and(value, Ordering::SeqCst)
+    }
+
+    pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+        rt::yield_point();
+        self.v.fetch_or(value, Ordering::SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::yield_point();
+        self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.v.into_inner()
+    }
+}

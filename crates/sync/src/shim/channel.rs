@@ -1,0 +1,180 @@
+//! Shim unbounded MPMC channel with the crossbeam surface the workspace uses:
+//! `unbounded`, cloneable `Sender`/`Receiver`, `send`, `recv`, `try_recv`,
+//! `recv_timeout`, and the corresponding error enums.
+//!
+//! `recv_timeout` models "the timeout may always elapse": when the queue is
+//! empty it returns [`RecvTimeoutError::Timeout`] immediately instead of
+//! waiting, which is the schedule in which the deadline fires before a
+//! message arrives. Code that loops on `recv_timeout` must therefore be
+//! correct when every wait times out — exactly the property worth checking.
+
+use super::rt;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct ChState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    rx_waiters: Vec<usize>,
+}
+
+struct Chan<T> {
+    st: StdMutex<ChState<T>>,
+}
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        st: StdMutex::new(ChState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            rx_waiters: Vec::new(),
+        }),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        rt::yield_point();
+        let waiters = {
+            let mut s = rt::lockp(&self.chan.st);
+            if s.receivers == 0 {
+                return Err(SendError(value));
+            }
+            s.queue.push_back(value);
+            std::mem::take(&mut s.rx_waiters)
+        };
+        rt::unblock(&waiters);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        rt::lockp(&self.chan.st).senders += 1;
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waiters = {
+            let mut s = rt::lockp(&self.chan.st);
+            s.senders -= 1;
+            if s.senders == 0 {
+                // Receivers parked on an empty queue must wake to observe the
+                // disconnect.
+                std::mem::take(&mut s.rx_waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        rt::unblock(&waiters);
+    }
+}
+
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        rt::yield_point();
+        loop {
+            {
+                let mut s = rt::lockp(&self.chan.st);
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                let me = rt::require_tid();
+                s.rx_waiters.push(me);
+            }
+            rt::block_self();
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        rt::yield_point();
+        let mut s = rt::lockp(&self.chan.st);
+        if let Some(v) = s.queue.pop_front() {
+            Ok(v)
+        } else if s.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+        rt::yield_point();
+        let mut s = rt::lockp(&self.chan.st);
+        if let Some(v) = s.queue.pop_front() {
+            Ok(v)
+        } else if s.senders == 0 {
+            Err(RecvTimeoutError::Disconnected)
+        } else {
+            Err(RecvTimeoutError::Timeout)
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        rt::lockp(&self.chan.st).receivers += 1;
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        rt::lockp(&self.chan.st).receivers -= 1;
+    }
+}
+
+// crossbeam's endpoints are Debug (types holding them can derive it); match
+// its terse "Sender { .. }" rendering rather than peeking at channel state.
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}

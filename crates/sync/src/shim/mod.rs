@@ -1,0 +1,21 @@
+//! Vendored loom-style model-checking shim (compiled only under `cfg(loom)`).
+//!
+//! Layout:
+//! * [`rt`] — the execution runtime: token-passing serialized scheduler,
+//!   deterministic replay, deadlock detection, panic capture.
+//! * [`model`] — the exploration driver: re-runs the model body over a
+//!   depth-first search of scheduling choices with CHESS-style preemption
+//!   bounding, reporting the first failing schedule.
+//! * [`sync`] / [`channel`] / [`thread`] / [`atomic`] — shim primitives that
+//!   mirror the facade's normal-build API.
+//! * [`track`] — an access-set used by `SharedSlice` to detect overlapping
+//!   index writes that `&[UnsafeCell<T>]` cannot express to the scheduler.
+
+pub(crate) mod rt;
+
+pub mod atomic;
+pub mod channel;
+pub mod model;
+pub mod sync;
+pub mod thread;
+pub mod track;

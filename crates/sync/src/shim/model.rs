@@ -1,0 +1,182 @@
+//! Exploration driver: re-runs a model body under every schedule reachable
+//! within a preemption bound.
+//!
+//! Each execution records its schedule as a sequence of [`Choice`]s (see
+//! `rt.rs`). After a clean execution, [`advance`] mutates the deepest choice
+//! that still has an untried alternative — depth-first search over the
+//! schedule tree. A choice that switches away from a still-runnable thread
+//! costs one *preemption*; alternatives beyond the configured bound are
+//! pruned (CHESS-style iterative context bounding: almost all concurrency
+//! bugs manifest within two preemptions, and the bound turns a factorial
+//! search into a polynomial one). `preemption_bound(None)` disables pruning
+//! for genuinely exhaustive search of tiny models.
+//!
+//! The first failing execution (panic, deadlock, or replay divergence) stops
+//! the search: the driver prints the thread-id sequence of the failing
+//! schedule and re-raises the original panic payload.
+
+use super::rt::{self, Abort, Choice, Rt};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Serializes model runs process-wide: the shim has a single `ACTIVE`
+/// execution slot, and the panic-hook filter is global.
+static MODEL_SERIAL: StdMutex<()> = StdMutex::new(());
+
+pub struct Builder {
+    preemption_bound: Option<usize>,
+    max_schedules: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { preemption_bound: Some(2), max_schedules: 500_000 }
+    }
+
+    /// Maximum number of preemptive context switches per schedule; `None`
+    /// explores every interleaving (use only for very small models).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Safety valve: fail loudly if the schedule space is larger than this
+    /// rather than letting CI spin forever.
+    pub fn max_schedules(mut self, max: usize) -> Self {
+        self.max_schedules = max;
+        self
+    }
+
+    pub fn check<F>(self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        run(self, Arc::new(f));
+    }
+}
+
+/// Check `f` under the default preemption bound of 2.
+pub fn check<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+fn run(opts: Builder, f: Arc<dyn Fn() + Send + Sync>) {
+    let _serial = rt::lockp(&MODEL_SERIAL);
+    install_sentinel_hook_once();
+    let mut path: Vec<Choice> = Vec::new();
+    let mut schedules: usize = 0;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= opts.max_schedules,
+            "model: exceeded {} schedules without exhausting the space; \
+             raise Builder::max_schedules or shrink the model",
+            opts.max_schedules
+        );
+        let rt = Arc::new(Rt::new(path));
+        rt::set_active(Some(Arc::clone(&rt)));
+        let f2 = Arc::clone(&f);
+        let root_core = Arc::new(super::thread::JoinCore::new());
+        rt::spawn_model_thread(
+            Box::new(move || std::panic::catch_unwind(AssertUnwindSafe(|| f2())).err()),
+            root_core,
+            Some("loom-model-root".to_owned()),
+        );
+        rt.wait_all_finished();
+        rt::set_active(None);
+        rt.join_os_threads();
+        let (recorded, abort) = rt.take_outcome();
+        if let Some(abort) = abort {
+            report_failure(abort, schedules, &recorded);
+        }
+        path = recorded;
+        if !advance(&mut path, opts.preemption_bound) {
+            break;
+        }
+    }
+}
+
+fn report_failure(abort: Abort, schedules: usize, path: &[Choice]) -> ! {
+    let trace: Vec<usize> = path.iter().map(|c| c.chosen).collect();
+    eprintln!("model: failure on schedule #{schedules}; thread token sequence: {trace:?}");
+    match abort {
+        Abort::Panic(p) => std::panic::resume_unwind(p),
+        Abort::Deadlock(msg) | Abort::Nondeterminism(msg) => panic!("model: {msg}"),
+    }
+}
+
+/// Did this choice preempt a still-runnable thread?
+fn is_preemption(c: &Choice) -> bool {
+    c.chosen != c.prev && c.runnable.contains(&c.prev)
+}
+
+/// Alternatives in exploration order: the non-preempting continuation (the
+/// previously running thread) first, then the others by ascending tid.
+fn canonical_order(c: &Choice) -> Vec<usize> {
+    let mut order = Vec::with_capacity(c.runnable.len());
+    if c.runnable.contains(&c.prev) {
+        order.push(c.prev);
+    }
+    order.extend(c.runnable.iter().copied().filter(|t| *t != c.prev));
+    order
+}
+
+/// Advance `path` to the next schedule in DFS order; `false` when the
+/// (bounded) space is exhausted.
+fn advance(path: &mut Vec<Choice>, bound: Option<usize>) -> bool {
+    loop {
+        let Some(last) = path.last() else { return false };
+        // Preemptions spent strictly before the choice being perturbed.
+        let spent: usize = path[..path.len() - 1].iter().filter(|c| is_preemption(c)).count();
+        let budget_left = bound.map(|b| b.saturating_sub(spent));
+        if let Some(next) = next_alternative(last, budget_left) {
+            path.last_mut().expect("non-empty path").chosen = next;
+            return true;
+        }
+        path.pop();
+    }
+}
+
+fn next_alternative(c: &Choice, budget_left: Option<usize>) -> Option<usize> {
+    let order = canonical_order(c);
+    let idx = order
+        .iter()
+        .position(|t| *t == c.chosen)
+        .expect("recorded choice not among its own alternatives");
+    for &cand in &order[idx + 1..] {
+        let preempts = cand != c.prev && c.runnable.contains(&c.prev);
+        if preempts {
+            if let Some(b) = budget_left {
+                if b == 0 {
+                    continue;
+                }
+            }
+        }
+        return Some(cand);
+    }
+    None
+}
+
+fn install_sentinel_hook_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Abort-sentinel unwinds are bookkeeping, not failures; keep them
+            // out of the test output.
+            if info.payload().is::<rt::AbortSentinel>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

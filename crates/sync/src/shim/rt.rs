@@ -1,0 +1,360 @@
+//! Model-execution runtime.
+//!
+//! One *execution* runs the model body once under a fixed schedule. Model
+//! threads are real OS threads, but a token-passing protocol ensures exactly
+//! one of them executes at a time; every potentially-visible action
+//! (lock/unlock, channel op, atomic op, spawn, join) calls [`yield_point`] or
+//! [`block_self`], which hands the token to the scheduler. The scheduler
+//! either replays a recorded [`Choice`] (deterministic replay of a prefix) or
+//! extends the schedule with a default choice that the exploration driver in
+//! `model.rs` later perturbs.
+//!
+//! Invariants:
+//! * A model thread only executes between being granted the token and its
+//!   next `switch`; therefore any state it mutates between two yield points
+//!   is observed atomically by the other threads.
+//! * All blocking is cooperative: a thread marks itself `Blocked` and is made
+//!   `Runnable` again by whoever completes the event it waits for. If no
+//!   thread is runnable and some are blocked, the execution deadlocked and is
+//!   aborted with a diagnostic.
+//! * On a panic (model assertion failure) or deadlock, the execution aborts:
+//!   every parked thread is woken and unwound with an [`AbortSentinel`]
+//!   panic, and the driver reports the failing schedule.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use super::thread::JoinCore;
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The execution currently being scheduled (at most one process-wide; the
+/// driver serializes models through `model::MODEL_SERIAL`).
+static ACTIVE: StdMutex<Option<Arc<Rt>>> = StdMutex::new(None);
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// Filtered out of the panic hook and never treated as a model failure.
+pub(crate) struct AbortSentinel;
+
+/// Lock a std mutex ignoring poisoning: the runtime's own invariants never
+/// break mid-update (no panics while a state lock is held), so a poisoned
+/// lock only means some *other* thread panicked, which the abort machinery
+/// already handles.
+pub(crate) fn lockp<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// One recorded scheduling decision: which thread got the token, which
+/// threads were runnable at that point, and which thread held the token
+/// before (to account preemptions).
+#[derive(Clone)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub runnable: Vec<usize>,
+    pub prev: usize,
+}
+
+pub(crate) enum Abort {
+    Panic(Box<dyn Any + Send>),
+    Deadlock(String),
+    Nondeterminism(String),
+}
+
+pub(crate) struct RtState {
+    threads: Vec<Status>,
+    current: usize,
+    path: Vec<Choice>,
+    pos: usize,
+    abort: Option<Abort>,
+    finished: usize,
+}
+
+pub(crate) struct Rt {
+    m: StdMutex<RtState>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Rt {
+    pub(crate) fn new(replay: Vec<Choice>) -> Self {
+        Rt {
+            m: StdMutex::new(RtState {
+                threads: Vec::new(),
+                current: 0,
+                path: replay,
+                pos: 0,
+                abort: None,
+                finished: 0,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Pick the next thread to hold the token. Called with the state lock
+    /// held, after the caller updated its own status.
+    fn schedule_next(s: &mut RtState, cv: &StdCondvar) {
+        let runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == Status::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            if s.finished < s.threads.len() {
+                s.abort = Some(Abort::Deadlock(format!(
+                    "deadlock: {} thread(s) blocked with no runnable thread",
+                    s.threads.len() - s.finished
+                )));
+            } else {
+                s.current = usize::MAX; // execution complete
+            }
+            cv.notify_all();
+            return;
+        }
+        let prev = s.current;
+        let chosen = if s.pos < s.path.len() {
+            let c = &s.path[s.pos];
+            if c.runnable != runnable || c.prev != prev {
+                s.abort = Some(Abort::Nondeterminism(format!(
+                    "model diverged during schedule replay at step {}: \
+                     recorded runnable set {:?} (after thread {}), observed {:?} (after thread {}); \
+                     model bodies must be deterministic up to scheduling",
+                    s.pos, c.runnable, c.prev, runnable, prev
+                )));
+                cv.notify_all();
+                return;
+            }
+            c.chosen
+        } else {
+            // Default: keep the current thread running when possible, so the
+            // baseline schedule has zero preemptions and the exploration
+            // driver adds them incrementally.
+            let d = if runnable.contains(&prev) { prev } else { runnable[0] };
+            s.path.push(Choice { chosen: d, runnable: runnable.clone(), prev });
+            d
+        };
+        s.pos += 1;
+        s.current = chosen;
+        cv.notify_all();
+    }
+
+    /// Hand the token to the scheduler with the given own-status and wait to
+    /// be granted it again.
+    fn switch(&self, me: usize, status: Status) {
+        let mut s = lockp(&self.m);
+        if s.abort.is_some() {
+            drop(s);
+            abort_unwind();
+            return;
+        }
+        s.threads[me] = status;
+        Self::schedule_next(&mut s, &self.cv);
+        loop {
+            if s.abort.is_some() {
+                drop(s);
+                abort_unwind();
+                return;
+            }
+            if s.current == me && s.threads[me] == Status::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// First wait of a freshly spawned thread. Returns `false` if the
+    /// execution aborted before the thread ever ran.
+    fn wait_for_token_initial(&self, me: usize) -> bool {
+        let mut s = lockp(&self.m);
+        loop {
+            if s.abort.is_some() {
+                return false;
+            }
+            if s.current == me {
+                return true;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut s = lockp(&self.m);
+        s.threads.push(Status::Runnable);
+        s.threads.len() - 1
+    }
+
+    fn unblock(&self, tids: &[usize]) {
+        let mut s = lockp(&self.m);
+        for &t in tids {
+            if s.threads[t] == Status::Blocked {
+                s.threads[t] = Status::Runnable;
+            }
+        }
+    }
+
+    fn record_panic(&self, p: Box<dyn Any + Send>) {
+        let mut s = lockp(&self.m);
+        if s.abort.is_none() {
+            s.abort = Some(Abort::Panic(p));
+        }
+        self.cv.notify_all();
+    }
+
+    fn finish_self(&self, me: usize) {
+        let mut s = lockp(&self.m);
+        s.threads[me] = Status::Finished;
+        s.finished += 1;
+        if s.abort.is_none() {
+            Self::schedule_next(&mut s, &self.cv);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Driver side: wait until every model thread of this execution finished
+    /// (normally or by abort unwinding).
+    pub(crate) fn wait_all_finished(&self) {
+        let mut s = lockp(&self.m);
+        while s.finished < s.threads.len() {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn join_os_threads(&self) {
+        let hs = std::mem::take(&mut *lockp(&self.handles));
+        for h in hs {
+            let _ = h.join();
+        }
+    }
+
+    pub(crate) fn take_outcome(&self) -> (Vec<Choice>, Option<Abort>) {
+        let mut s = lockp(&self.m);
+        (std::mem::take(&mut s.path), s.abort.take())
+    }
+}
+
+/// Unwind the calling model thread because the execution aborted — unless it
+/// is already unwinding (drop glue running during a panic), in which case we
+/// must not panic again (that would abort the process) and simply return:
+/// with the execution aborted the token protocol is already being torn down.
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(AbortSentinel);
+    }
+}
+
+// --- free functions used by the shim primitives ------------------------------
+
+pub(crate) fn set_active(rt: Option<Arc<Rt>>) {
+    *lockp(&ACTIVE) = rt;
+}
+
+fn active() -> Option<Arc<Rt>> {
+    lockp(&ACTIVE).clone()
+}
+
+fn model_ctx() -> Option<(Arc<Rt>, usize)> {
+    let tid = TID.with(|t| t.get())?;
+    let rt = active()?;
+    Some((rt, tid))
+}
+
+/// A schedule point. Lenient: off the model scheduler (no active execution,
+/// or called from a non-model thread such as the test harness) it is a no-op,
+/// so constructors and `Drop` impls work outside `model::check`.
+pub(crate) fn yield_point() {
+    if let Some((rt, me)) = model_ctx() {
+        rt.switch(me, Status::Runnable);
+    }
+}
+
+/// Park the calling thread until another thread passes its tid to
+/// [`unblock`]. Strict: only valid on a model thread inside `model::check`.
+pub(crate) fn block_self() {
+    let (rt, me) = model_ctx().expect(
+        "smart-sync loom shim: blocking operation used outside model::check \
+         (run loom tests through smart_sync::model)",
+    );
+    rt.switch(me, Status::Blocked);
+}
+
+/// Tid of the calling model thread, for registering in wait queues.
+pub(crate) fn require_tid() -> usize {
+    TID.with(|t| t.get()).expect(
+        "smart-sync loom shim: blocking operation used outside model::check \
+         (run loom tests through smart_sync::model)",
+    )
+}
+
+/// Make the given parked threads runnable again. Lenient: a no-op when no
+/// execution is active (e.g. channel halves dropped after a model finished).
+pub(crate) fn unblock(tids: &[usize]) {
+    if tids.is_empty() {
+        return;
+    }
+    if let Some(rt) = active() {
+        rt.unblock(tids);
+    }
+}
+
+/// The closure a model thread runs: returns the panic payload if the body
+/// panicked (already caught), `None` on clean completion.
+pub(crate) type ThreadPayload = Box<dyn FnOnce() -> Option<Box<dyn Any + Send>> + Send + 'static>;
+
+/// Spawn a model thread executing `payload`, completing `core` when done.
+/// Used for the root thread (by the driver) and every `thread::spawn` /
+/// scoped spawn inside the model.
+pub(crate) fn spawn_model_thread(
+    payload: ThreadPayload,
+    core: Arc<JoinCore>,
+    name: Option<String>,
+) {
+    let rt = active().expect(
+        "smart-sync loom shim: thread spawn outside model::check \
+         (run loom tests through smart_sync::model)",
+    );
+    let tid = rt.register_thread();
+    let rt2 = Arc::clone(&rt);
+    let h = std::thread::Builder::new()
+        .name(name.unwrap_or_else(|| format!("loom-model-{tid}")))
+        .spawn(move || model_thread_main(rt2, tid, core, payload))
+        .expect("failed to spawn model OS thread");
+    rt.store_handle(h);
+    // Spawning is itself a schedule point: the child may run before the
+    // spawner's next action. No-op when the driver spawns the root.
+    yield_point();
+}
+
+impl Rt {
+    fn store_handle(&self, h: std::thread::JoinHandle<()>) {
+        lockp(&self.handles).push(h);
+    }
+}
+
+fn model_thread_main(rt: Arc<Rt>, tid: usize, core: Arc<JoinCore>, payload: ThreadPayload) {
+    TID.with(|t| t.set(Some(tid)));
+    let panic = if rt.wait_for_token_initial(tid) { payload() } else { None };
+    match panic {
+        None => core.complete(false, false),
+        Some(p) => {
+            let sentinel = p.is::<AbortSentinel>();
+            core.complete(true, sentinel);
+            if !sentinel {
+                rt.record_panic(p);
+            }
+        }
+    }
+    rt.finish_self(tid);
+}

@@ -1,0 +1,344 @@
+//! Shim `Mutex` / `Condvar` / `RwLock` with the parking_lot API surface the
+//! workspace uses: `lock()` returns a guard directly (no poisoning) and
+//! `Condvar::wait` takes `&mut MutexGuard`.
+//!
+//! All internal wait-queue state lives behind short `std::sync::Mutex`
+//! critical sections; the check-register-block sequences are atomic with
+//! respect to other *model* threads because the caller holds the scheduler
+//! token from the preceding yield point until it parks in `rt::block_self`.
+
+use super::rt;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+
+// --- Mutex -------------------------------------------------------------------
+
+struct MxState {
+    held: bool,
+    waiters: Vec<usize>,
+}
+
+pub struct Mutex<T: ?Sized> {
+    st: StdMutex<MxState>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: like std::sync::Mutex — the owned value moves between threads only
+// via the lock protocol, so `T: Send` suffices.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: `lock()` hands out a reference to `data` to at most one thread at a
+// time (the `held` flag below), so sharing the mutex requires only `T: Send`.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            st: StdMutex::new(MxState { held: false, waiters: Vec::new() }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::yield_point();
+        self.raw_lock();
+        MutexGuard { lock: self }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        rt::yield_point();
+        let mut s = rt::lockp(&self.st);
+        if s.held {
+            None
+        } else {
+            s.held = true;
+            drop(s);
+            Some(MutexGuard { lock: self })
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Acquire without a leading schedule point (used on the condvar
+    /// reacquire path, where the caller was just scheduled).
+    pub(crate) fn raw_lock(&self) {
+        loop {
+            let mut s = rt::lockp(&self.st);
+            if !s.held {
+                s.held = true;
+                return;
+            }
+            let me = rt::require_tid();
+            s.waiters.push(me);
+            drop(s);
+            rt::block_self();
+        }
+    }
+
+    pub(crate) fn raw_unlock(&self) {
+        let waiters = {
+            let mut s = rt::lockp(&self.st);
+            s.held = false;
+            std::mem::take(&mut s.waiters)
+        };
+        // Wake every waiter; they re-contend, which is exactly the barging
+        // behaviour parking_lot permits and the schedules we want to explore.
+        rt::unblock(&waiters);
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // No yield point: Debug must stay schedule-neutral. Peek at the raw
+        // held flag instead of going through `try_lock`.
+        let held = rt::lockp(&self.st).held;
+        if held {
+            f.debug_struct("Mutex").field("data", &"<locked>").finish()
+        } else {
+            // SAFETY: `held == false` means no guard exists; with the state
+            // lock just sampled this is best-effort (as in parking_lot), and
+            // model threads cannot run concurrently with us anyway.
+            f.debug_struct("Mutex").field("data", unsafe { &&*self.data.get() }).finish()
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard witnesses that this thread holds the lock, so no
+        // other reference to `data` exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for `deref` — exclusive access is guaranteed by holding
+        // the lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw_unlock();
+        // Releasing a lock is a visible action other threads may react to.
+        rt::yield_point();
+    }
+}
+
+// --- Condvar -----------------------------------------------------------------
+
+#[derive(Default)]
+pub struct Condvar {
+    waiters: StdMutex<Vec<usize>>,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { waiters: StdMutex::new(Vec::new()) }
+    }
+
+    /// Atomically (with respect to model threads — the caller holds the
+    /// scheduler token throughout) registers as a waiter, releases the lock,
+    /// parks, and reacquires the lock once notified.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        let me = rt::require_tid();
+        rt::lockp(&self.waiters).push(me);
+        guard.lock.raw_unlock();
+        rt::block_self();
+        guard.lock.raw_lock();
+    }
+
+    pub fn notify_one(&self) {
+        let w = {
+            let mut s = rt::lockp(&self.waiters);
+            if s.is_empty() {
+                None
+            } else {
+                Some(s.remove(0))
+            }
+        };
+        if let Some(t) = w {
+            rt::unblock(&[t]);
+        }
+        rt::yield_point();
+    }
+
+    pub fn notify_all(&self) {
+        let ws = std::mem::take(&mut *rt::lockp(&self.waiters));
+        rt::unblock(&ws);
+        rt::yield_point();
+    }
+}
+
+// --- RwLock ------------------------------------------------------------------
+
+struct RwState {
+    writer: bool,
+    readers: usize,
+    waiters: Vec<usize>,
+}
+
+pub struct RwLock<T: ?Sized> {
+    st: StdMutex<RwState>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the owned value is only handed across threads via the lock
+// protocol, so `T: Send` suffices (as for std's RwLock).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: readers share `&T` concurrently (requires `T: Sync`) and writers
+// get exclusive `&mut T` (requires `T: Send`) — std's bounds.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            st: StdMutex::new(RwState { writer: false, readers: 0, waiters: Vec::new() }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        rt::yield_point();
+        loop {
+            {
+                let mut s = rt::lockp(&self.st);
+                if !s.writer {
+                    s.readers += 1;
+                    return RwLockReadGuard { lock: self };
+                }
+                let me = rt::require_tid();
+                s.waiters.push(me);
+            }
+            rt::block_self();
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        rt::yield_point();
+        loop {
+            {
+                let mut s = rt::lockp(&self.st);
+                if !s.writer && s.readers == 0 {
+                    s.writer = true;
+                    return RwLockWriteGuard { lock: self };
+                }
+                let me = rt::require_tid();
+                s.waiters.push(me);
+            }
+            rt::block_self();
+        }
+    }
+
+    fn release_read(&self) {
+        let waiters = {
+            let mut s = rt::lockp(&self.st);
+            s.readers -= 1;
+            if s.readers == 0 {
+                std::mem::take(&mut s.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        rt::unblock(&waiters);
+    }
+
+    fn release_write(&self) {
+        let waiters = {
+            let mut s = rt::lockp(&self.st);
+            s.writer = false;
+            std::mem::take(&mut s.waiters)
+        };
+        rt::unblock(&waiters);
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let writer = rt::lockp(&self.st).writer;
+        if writer {
+            f.debug_struct("RwLock").field("data", &"<locked>").finish()
+        } else {
+            // SAFETY: no writer holds the lock; concurrent readers only take
+            // `&T`, so forming another `&T` here is sound.
+            f.debug_struct("RwLock").field("data", unsafe { &&*self.data.get() }).finish()
+        }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: read guards coexist only with other readers; no writer can
+        // hold the lock while `readers > 0`.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+        rt::yield_point();
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the write guard holds exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the write guard holds exclusive access.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+        rt::yield_point();
+    }
+}

@@ -1,0 +1,282 @@
+//! Shim thread spawning: plain spawn, `Builder`, scoped threads, and join
+//! handles, mirroring the `std::thread` subset the workspace uses.
+//!
+//! Results are passed through typed slots (`Arc<Mutex<Option<T>>>`) rather
+//! than `Box<dyn Any>` so scoped threads can return non-`'static` values,
+//! matching `std::thread::scope`.
+
+use super::rt::{self, lockp};
+use std::any::Any;
+use std::io;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+pub use std::thread::available_parallelism;
+
+/// A schedule point; the model equivalent of giving up the time slice.
+pub fn yield_now() {
+    rt::yield_point();
+}
+
+/// Time is not modeled: sleeping is just a schedule point.
+pub fn sleep(_dur: Duration) {
+    rt::yield_point();
+}
+
+// --- join bookkeeping --------------------------------------------------------
+
+struct JoinSt {
+    done: bool,
+    panicked: bool,
+    sentinel: bool,
+    claimed: bool,
+    waiters: Vec<usize>,
+}
+
+pub(crate) struct JoinCore {
+    st: StdMutex<JoinSt>,
+}
+
+impl JoinCore {
+    pub(crate) fn new() -> Self {
+        JoinCore {
+            st: StdMutex::new(JoinSt {
+                done: false,
+                panicked: false,
+                sentinel: false,
+                claimed: false,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Called by the exiting model thread, before `finish_self`.
+    pub(crate) fn complete(&self, panicked: bool, sentinel: bool) {
+        let waiters = {
+            let mut s = lockp(&self.st);
+            s.done = true;
+            s.panicked = panicked;
+            s.sentinel = sentinel;
+            std::mem::take(&mut s.waiters)
+        };
+        rt::unblock(&waiters);
+    }
+
+    /// Park until the owning thread completed; returns (panicked, sentinel).
+    fn wait_done(&self) -> (bool, bool) {
+        rt::yield_point();
+        loop {
+            {
+                let mut s = lockp(&self.st);
+                if s.done {
+                    return (s.panicked, s.sentinel);
+                }
+                let me = rt::require_tid();
+                s.waiters.push(me);
+            }
+            rt::block_self();
+        }
+    }
+
+    fn claim(&self) {
+        lockp(&self.st).claimed = true;
+    }
+}
+
+fn join_outcome<T>(core: &JoinCore, slot: &StdMutex<Option<T>>) -> std::thread::Result<T> {
+    let (panicked, _sentinel) = core.wait_done();
+    core.claim();
+    if panicked {
+        Err(Box::new("a model thread panicked; see the model failure report")
+            as Box<dyn Any + Send>)
+    } else {
+        Ok(lockp(slot).take().expect("model thread result already taken"))
+    }
+}
+
+/// Build the erased closure a model thread runs: execute `f`, store its
+/// result in `slot`, hand any panic payload back to the runtime.
+fn make_payload<'a, T, F>(
+    f: F,
+    slot: Arc<StdMutex<Option<T>>>,
+) -> Box<dyn FnOnce() -> Option<Box<dyn Any + Send>> + Send + 'a>
+where
+    T: Send + 'a,
+    F: FnOnce() -> T + Send + 'a,
+{
+    Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => {
+            *lockp(&slot) = Some(v);
+            None
+        }
+        Err(p) => Some(p),
+    })
+}
+
+// --- plain spawn -------------------------------------------------------------
+
+pub struct JoinHandle<T> {
+    core: Arc<JoinCore>,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        join_outcome(&self.core, &self.slot)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        lockp(&self.core.st).done
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named(f, None)
+}
+
+fn spawn_named<F, T>(f: F, name: Option<String>) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let core = Arc::new(JoinCore::new());
+    let slot = Arc::new(StdMutex::new(None));
+    let payload = make_payload(f, Arc::clone(&slot));
+    rt::spawn_model_thread(payload, Arc::clone(&core), name);
+    JoinHandle { core, slot }
+}
+
+// --- Builder -----------------------------------------------------------------
+
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Stack size is not modeled; accepted for API compatibility.
+    pub fn stack_size(self, _size: usize) -> Self {
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn_named(f, self.name))
+    }
+
+    pub fn spawn_scoped<'scope, 'env, F, T>(
+        self,
+        scope: &'scope Scope<'scope, 'env>,
+        f: F,
+    ) -> io::Result<ScopedJoinHandle<'scope, T>>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        Ok(scope.spawn_inner(f, self.name))
+    }
+}
+
+// --- scoped threads ----------------------------------------------------------
+
+pub struct Scope<'scope, 'env: 'scope> {
+    cores: StdMutex<Vec<Arc<JoinCore>>>,
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    core: Arc<JoinCore>,
+    slot: Arc<StdMutex<Option<T>>>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        join_outcome(&self.core, &self.slot)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        lockp(&self.core.st).done
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.spawn_inner(f, None)
+    }
+
+    fn spawn_inner<F, T>(&'scope self, f: F, name: Option<String>) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let core = Arc::new(JoinCore::new());
+        let slot = Arc::new(StdMutex::new(None));
+        let payload: Box<dyn FnOnce() -> Option<Box<dyn Any + Send>> + Send + 'scope> =
+            make_payload(f, Arc::clone(&slot));
+        // SAFETY: erasing 'scope to 'static is sound because `scope()` waits
+        // for every thread spawned on this Scope to complete before it
+        // returns, so the closure (and everything it borrows from 'scope and
+        // 'env) strictly outlives the thread that runs it. This mirrors what
+        // std::thread::scope guarantees.
+        let payload: rt::ThreadPayload = unsafe { std::mem::transmute(payload) };
+        rt::spawn_model_thread(payload, Arc::clone(&core), name);
+        lockp(&self.cores).push(Arc::clone(&core));
+        ScopedJoinHandle { core, slot, _marker: PhantomData }
+    }
+}
+
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    let sc = Scope {
+        cores: StdMutex::new(Vec::new()),
+        scope_marker: PhantomData,
+        env_marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+    // Wait for every spawned thread, including ones already joined through
+    // their handle (wait_done on a finished thread returns immediately).
+    let cores: Vec<Arc<JoinCore>> = std::mem::take(&mut *lockp(&sc.cores));
+    let mut unjoined_panic = false;
+    for core in cores {
+        let (panicked, sentinel) = core.wait_done();
+        let claimed = lockp(&core.st).claimed;
+        if panicked && !sentinel && !claimed {
+            unjoined_panic = true;
+        }
+    }
+    match result {
+        Err(p) => resume_unwind(p),
+        Ok(v) => {
+            if unjoined_panic {
+                panic!("a scoped model thread panicked");
+            }
+            v
+        }
+    }
+}

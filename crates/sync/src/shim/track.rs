@@ -1,0 +1,40 @@
+//! Exclusive-access tracking for raw-cell data structures.
+//!
+//! `SharedSlice` hands out interior-mutable access to disjoint indices of a
+//! `&[UnsafeCell<T>]`; its safety argument ("callers never target the same
+//! index concurrently") is invisible to the scheduler, so under `cfg(loom)`
+//! the slice carries an [`AccessSet`] and brackets every write with
+//! [`AccessSet::acquire_mut`] / [`AccessSet::release_mut`]. If two model
+//! threads ever hold the same index at once — i.e. the schedule interleaves
+//! two writes to one element — the model fails with a diagnostic instead of
+//! silently exercising undefined behaviour.
+
+use super::rt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub struct AccessSet {
+    cells: Box<[AtomicU8]>,
+}
+
+impl AccessSet {
+    pub fn new(len: usize) -> Self {
+        AccessSet { cells: (0..len).map(|_| AtomicU8::new(0)).collect() }
+    }
+
+    /// Mark `index` as being mutated by the calling thread. Panics (failing
+    /// the model) if another thread currently holds it. Schedule points
+    /// before and after the mark give the scheduler a chance to interleave a
+    /// competing access inside the window.
+    pub fn acquire_mut(&self, index: usize) {
+        rt::yield_point();
+        if self.cells[index].swap(1, Ordering::SeqCst) != 0 {
+            panic!("overlapping concurrent mutable access to tracked index {index}");
+        }
+        rt::yield_point();
+    }
+
+    /// Release `index` after the mutation completes.
+    pub fn release_mut(&self, index: usize) {
+        self.cells[index].store(0, Ordering::SeqCst);
+    }
+}

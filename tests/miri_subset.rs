@@ -1,0 +1,111 @@
+//! Miri target suite: the unsafe-heavy paths, kept small enough that
+//! `cargo +nightly miri test --test miri_subset` finishes in CI minutes.
+//!
+//! Covers exactly the code whose soundness rests on manual argument rather
+//! than the type system: `SharedSlice`'s `UnsafeCell` slice and its
+//! disjointness contract, `RedMap`'s open-addressed storage, `smart-wire`
+//! encode/decode round trips, and the `memtrack` counting allocator. The
+//! loom suites check *schedules*; this suite checks *pointer discipline*
+//! under Miri's aliasing and validity rules.
+
+use smart_insitu::core::{RedMap, SharedSlice};
+use smart_insitu::{memtrack, wire};
+
+// Register the counting allocator so Miri also exercises the GlobalAlloc
+// wrapper for every allocation this test binary makes.
+#[global_allocator]
+static ALLOC: memtrack::TrackingAlloc = memtrack::TrackingAlloc::new();
+
+#[test]
+fn shared_slice_single_thread_writes() {
+    let mut buf = vec![0u64; 16];
+    {
+        let shared = SharedSlice::new(&mut buf);
+        for i in 0..16 {
+            // SAFETY: single thread, distinct indices.
+            unsafe { shared.write(i, (i * i) as u64) };
+        }
+        // SAFETY: single thread.
+        let v = unsafe { shared.with_mut(3, |v| *v) };
+        assert_eq!(v, 9);
+    }
+    assert_eq!(buf[15], 225);
+}
+
+#[test]
+fn shared_slice_cross_thread_disjoint_writes() {
+    let mut buf = vec![0usize; 64];
+    {
+        let shared = SharedSlice::new(&mut buf);
+        let shared = &shared;
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                s.spawn(move || {
+                    for i in (t..64).step_by(2) {
+                        // SAFETY: threads own interleaved, disjoint indices.
+                        unsafe { shared.write(i, i + 1) };
+                    }
+                });
+            }
+        });
+    }
+    assert!(buf.iter().enumerate().all(|(i, &v)| v == i + 1));
+}
+
+#[test]
+fn redmap_insert_get_remove_drain() {
+    let mut map: RedMap<u64> = RedMap::new();
+    for k in 0..200 {
+        map.insert(k, k as u64 * 3);
+    }
+    assert_eq!(map.len(), 200);
+    assert_eq!(map.get(77), Some(&231));
+    *map.slot_mut(77) = Some(232);
+    assert_eq!(map.remove(13), Some(39));
+    assert!(!map.contains_key(13));
+    let mut entries = map.drain_entries();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    assert_eq!(entries.len(), 199);
+    assert_eq!(entries.iter().find(|&&(k, _)| k == 77), Some(&(77, 232)));
+    assert!(map.is_empty());
+}
+
+#[test]
+fn redmap_grows_through_collisions() {
+    let mut map: RedMap<Vec<u8>> = RedMap::with_capacity(4);
+    for k in (0..64).rev() {
+        map.insert(k, vec![k as u8; 3]);
+    }
+    for k in 0..64 {
+        assert_eq!(map.get(k), Some(&vec![k as u8; 3]));
+    }
+}
+
+#[test]
+fn wire_roundtrips_preserve_values() {
+    let floats: Vec<f64> = (0..50).map(|i| i as f64 * 0.5 - 3.0).collect();
+    let bytes = wire::to_bytes(&floats).unwrap();
+    assert_eq!(bytes.len() as u64, wire::encoded_len(&floats).unwrap());
+    let back: Vec<f64> = wire::from_bytes(&bytes).unwrap();
+    assert_eq!(back, floats);
+
+    let entries: Vec<(u64, Vec<u32>)> = (0..20).map(|k| (k, (0..k as u32).collect())).collect();
+    let bytes = wire::to_bytes(&entries).unwrap();
+    let back: Vec<(u64, Vec<u32>)> = wire::from_bytes(&bytes).unwrap();
+    assert_eq!(back, entries);
+}
+
+#[test]
+fn memtrack_counts_through_the_wrapper() {
+    let before_calls = memtrack::alloc_calls();
+    let v = vec![0u8; 1 << 16];
+    assert!(memtrack::is_tracking());
+    assert!(memtrack::alloc_calls() > before_calls);
+    assert!(memtrack::current_bytes() >= 1 << 16);
+    drop(v);
+    let scope = memtrack::MemScope::begin();
+    let w = vec![1u8; 4096];
+    drop(w);
+    let stats = scope.finish();
+    assert!(stats.peak_above_entry >= 4096);
+}

@@ -1,0 +1,348 @@
+//! `cargo xtask` — repo automation.
+//!
+//! The only subcommand today is `lint`: a plain-text invariant pass over the
+//! workspace sources (no rustc plugins, no external parser — line scanning
+//! with comment stripping), enforcing rules the compiler cannot:
+//!
+//! * **no-direct-sync** — all lock/channel/thread primitives come from the
+//!   `smart-sync` facade, so the loom build swaps every one of them for
+//!   model-checked shims. Direct `std::sync`, `std::thread`, `parking_lot`
+//!   or `crossbeam` use outside the facade would silently escape the model
+//!   checker.
+//! * **safety-comment** — every `unsafe {` block and `unsafe impl` carries
+//!   a `// SAFETY:` comment (mirrors `clippy::undocumented_unsafe_blocks`,
+//!   which does not cover `unsafe impl` on stable).
+//! * **measured-paths** — inside `crates/core/src`, `Instant::now` and
+//!   `encoded_len` appear only in `observer.rs` (the Stopwatch/measurement
+//!   gateway). This is the PR-3 invariant: with stats collection off the
+//!   execution core performs *zero* measurement work.
+//! * **no-lock-unwrap** — no `.lock().unwrap()` / `.lock().expect(`: facade
+//!   mutexes are not poisoning (parking_lot surface), so unwrapping a lock
+//!   result means someone bypassed the facade or is cargo-culting std.
+//!
+//! Suppress a finding by putting `lint:allow(<rule>)` in a comment on the
+//! offending line or the line directly above it.
+//!
+//! `cargo xtask lint` first runs a built-in self-test seeding one violation
+//! per rule (so a broken scanner fails loudly, not silently), then scans the
+//! tree and reports findings with `path:line: [rule] message`.
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug)]
+struct Finding {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            selftest();
+            let root = workspace_root();
+            let findings = scan_tree(&root);
+            if findings.is_empty() {
+                eprintln!("xtask lint: self-test ok, tree clean");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} violation(s)", findings.len());
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}` (expected: lint)");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root: parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().expect("xtask sits in the workspace root").to_path_buf()
+}
+
+/// Collect the `.rs` files the lint pass covers: everything under `crates/`,
+/// `src/`, `tests/`, and `examples/`, excluding build output.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        walk(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan_tree(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for path in collect_sources(root) {
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_file(&rel, &content));
+    }
+    findings
+}
+
+/// Strip `//` comments. Naive about `//` inside string literals, which can
+/// only hide code after a URL-bearing string — a false negative, never a
+/// false positive.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// `true` if a `lint:allow(rule)` suppression covers `idx` (same line or the
+/// line above).
+fn suppressed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let needle = format!("lint:allow({rule})");
+    lines[idx].contains(&needle) || (idx > 0 && lines[idx - 1].contains(&needle))
+}
+
+/// Paths with test/bench/example code: the sync and measurement invariants
+/// target runtime code only.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+}
+
+/// Scan one file. `path` is workspace-relative with `/` separators.
+fn scan_file(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+
+    // Everything from the first `#[cfg(test)]` down is treated as test code.
+    // Convention in this repo: in-file test modules close out the file.
+    let test_from = lines.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(lines.len());
+
+    let in_facade = path.starts_with("crates/sync/");
+    // The allocator cannot depend on the facade: it must not allocate or
+    // yield inside alloc paths, and must work before any model is running.
+    let sync_exempt = in_facade || path.starts_with("crates/memtrack/") || is_test_path(path);
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = strip_comment(raw);
+        let lineno = idx + 1;
+        let in_test_region = idx >= test_from || is_test_path(path);
+
+        // --- no-direct-sync ---------------------------------------------
+        if !sync_exempt && !in_test_region {
+            for pat in ["std::sync", "std::thread", "parking_lot", "crossbeam"] {
+                if line.contains(pat) && !suppressed(&lines, idx, "no-direct-sync") {
+                    findings.push(Finding {
+                        path: path.to_owned(),
+                        line: lineno,
+                        rule: "no-direct-sync",
+                        message: format!(
+                            "`{pat}` outside the smart-sync facade escapes loom model checking; \
+                             import from `smart_sync` instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // --- safety-comment ---------------------------------------------
+        // `unsafe impl` and `unsafe {` need a `// SAFETY:` comment on the
+        // same line or an immediately preceding comment run.
+        let needs_safety = line.contains("unsafe impl")
+            || line.contains("unsafe {")
+            || line.trim_end().ends_with("unsafe");
+        if needs_safety && !has_safety_comment(&lines, idx) {
+            findings.push(Finding {
+                path: path.to_owned(),
+                line: lineno,
+                rule: "safety-comment",
+                message: "unsafe block/impl without a `// SAFETY:` comment".to_owned(),
+            });
+        }
+
+        // --- measured-paths ---------------------------------------------
+        if path.starts_with("crates/core/src/") && !path.ends_with("observer.rs") && !in_test_region
+        {
+            for pat in ["Instant::now", "encoded_len"] {
+                if line.contains(pat) && !suppressed(&lines, idx, "measured-paths") {
+                    findings.push(Finding {
+                        path: path.to_owned(),
+                        line: lineno,
+                        rule: "measured-paths",
+                        message: format!(
+                            "`{pat}` in the execution core outside observer.rs breaks the \
+                             stats-off-means-zero-measurement invariant"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // --- no-lock-unwrap ---------------------------------------------
+        if !in_facade
+            && !in_test_region
+            && (line.contains(".lock().unwrap()") || line.contains(".lock().expect("))
+            && !suppressed(&lines, idx, "no-lock-unwrap")
+        {
+            findings.push(Finding {
+                path: path.to_owned(),
+                line: lineno,
+                rule: "no-lock-unwrap",
+                message: "facade mutexes do not poison; `.lock().unwrap()` means a std mutex \
+                          bypassed the facade"
+                    .to_owned(),
+            });
+        }
+    }
+    findings
+}
+
+/// `true` if line `idx` is covered by a `SAFETY:` comment — inline, or in
+/// the comment/attribute run immediately above it.
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+            if t.contains("SAFETY") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+// --- self-test ---------------------------------------------------------------
+
+/// Seed one violation per rule (plus one clean counterpart) and assert the
+/// scanner catches exactly the seeded ones. Runs before every tree scan so a
+/// regression in the scanner can never report a dirty tree as clean.
+fn selftest() {
+    let check = |name: &str, src: &str, rule: &str, expect: usize| {
+        let hits = scan_file(name, src).into_iter().filter(|f| f.rule == rule).count();
+        assert_eq!(
+            hits, expect,
+            "self-test: rule `{rule}` on `{name}` fired {hits}×, expected {expect}"
+        );
+    };
+
+    // no-direct-sync: fires on runtime code, silent in the facade, in test
+    // files, and under a suppression.
+    let seeded = "use std::sync::Mutex;\nfn f() {}\n";
+    check("crates/core/src/seeded.rs", seeded, "no-direct-sync", 1);
+    check("crates/sync/src/seeded.rs", seeded, "no-direct-sync", 0);
+    check("crates/core/tests/seeded.rs", seeded, "no-direct-sync", 0);
+    check(
+        "crates/core/src/seeded.rs",
+        "// lint:allow(no-direct-sync): allocator hook\nuse std::sync::Mutex;\n",
+        "no-direct-sync",
+        0,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "#[cfg(test)]\nmod tests {\n    use std::thread;\n}\n",
+        "no-direct-sync",
+        0,
+    );
+
+    // safety-comment: fires on an undocumented block and an undocumented
+    // impl, silent when a SAFETY comment precedes either.
+    check("crates/core/src/seeded.rs", "fn f() { unsafe { g() } }\n", "safety-comment", 1);
+    check("crates/core/src/seeded.rs", "unsafe impl Send for T {}\n", "safety-comment", 1);
+    check(
+        "crates/core/src/seeded.rs",
+        "// SAFETY: g has no preconditions.\nfn f() { unsafe { g() } }\n",
+        "safety-comment",
+        0,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "// SAFETY: T owns no thread-bound state.\nunsafe impl Send for T {}\n",
+        "safety-comment",
+        0,
+    );
+
+    // measured-paths: fires in core, silent in observer.rs, other crates,
+    // test regions, and under a suppression.
+    let timed = "fn f() { let t = Instant::now(); }\n";
+    check("crates/core/src/reduce.rs", timed, "measured-paths", 1);
+    check("crates/core/src/combine.rs", "let n = encoded_len(&x);\n", "measured-paths", 1);
+    check("crates/core/src/observer.rs", timed, "measured-paths", 0);
+    check("crates/comm/src/cost.rs", timed, "measured-paths", 0);
+    check(
+        "crates/core/src/combine.rs",
+        "// lint:allow(measured-paths): gated on `measure`\nlet n = encoded_len(&x);\n",
+        "measured-paths",
+        0,
+    );
+
+    // no-lock-unwrap: fires on runtime code, silent in tests.
+    let locky = "fn f() { let g = m.lock().unwrap(); }\n";
+    check("crates/core/src/seeded.rs", locky, "no-lock-unwrap", 1);
+    check(
+        "crates/core/src/seeded.rs",
+        "fn f() { let g = m.lock().expect(\"poisoned\"); }\n",
+        "no-lock-unwrap",
+        1,
+    );
+    check("crates/core/tests/seeded.rs", locky, "no-lock-unwrap", 0);
+
+    // Comment stripping: mentions in docs never fire.
+    check(
+        "crates/core/src/seeded.rs",
+        "//! Never calls `Instant::now` or `std::sync` directly.\n",
+        "no-direct-sync",
+        0,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "//! Never calls `Instant::now` or `std::sync` directly.\n",
+        "measured-paths",
+        0,
+    );
+}
