@@ -1,0 +1,153 @@
+//! Fault tolerance — checkpoint overhead and recovery time.
+//!
+//! The paper assumes a fault-free run; this experiment measures what the
+//! `smart-ft` subsystem adds on top and what it buys back:
+//!
+//! * **checkpoint overhead** — the same Heat3D + histogram step loop run
+//!   bare, then under [`smart_ft::run_recoverable`] at two checkpoint
+//!   intervals, with the store's own accounting (`ckpts`, `ckpt_bytes`,
+//!   `ckpt_busy`) separating snapshot cost from analytics cost;
+//! * **recovery time** — a run killed halfway through by a
+//!   [`smart_ft::FaultPlan`], then restarted from the newest on-disk
+//!   epoch: the wall time of resume-and-replay versus rerunning from
+//!   scratch is the payoff of the checkpoint schedule.
+//!
+//! Every per-step input is generated up front so a resumed run replays the
+//! exact bytes the crashed run saw; the experiment asserts the recovered
+//! histogram is identical to the uninterrupted one before reporting.
+
+use crate::util::{fmt_dur, time_it, Scale, Table};
+use smart_analytics::Histogram;
+use smart_core::{SchedArgs, Scheduler};
+use smart_ft::{FaultPlan, RecoveryConfig, RecoveryReport};
+use smart_pool::shared_pool;
+use smart_sim::Heat3D;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const THREADS: usize = 2;
+const BUCKETS: usize = 32;
+const R: f64 = 0.15;
+
+fn scheduler() -> Scheduler<Histogram> {
+    let pool = shared_pool(THREADS).expect("pool");
+    Scheduler::new(Histogram::new(0.0, 100.0, BUCKETS), SchedArgs::new(THREADS, 1), pool)
+        .expect("scheduler")
+}
+
+/// Pre-render every step's simulation output so crashed and resumed runs
+/// consume bit-identical inputs.
+fn render_steps(edge: usize, steps: usize) -> Vec<Vec<f64>> {
+    let mut sim = Heat3D::serial(edge, edge, edge, R);
+    (0..steps).map(|_| sim.step_serial().to_vec()).collect()
+}
+
+/// A scratch checkpoint directory, cleared before use.
+fn scratch(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("smart-bench-ftrec-{label}-{}", std::process::id()));
+    // lint:allow(no-fs-writes): resetting the benchmark's own checkpoint scratch dir
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The bare step loop — no fault tolerance, the overhead baseline.
+fn bare(data: &[Vec<f64>]) -> (Vec<u64>, Duration) {
+    let mut sched = scheduler();
+    let mut out = vec![0u64; BUCKETS];
+    let (_, wall) = time_it(|| {
+        for step in data {
+            sched.run(step, &mut out).expect("run");
+        }
+    });
+    (out, wall)
+}
+
+/// One recoverable run over `data` (resuming if `dir` holds a checkpoint).
+fn recoverable(
+    data: &[Vec<f64>],
+    dir: &Path,
+    every: usize,
+    plan: FaultPlan,
+) -> (Result<RecoveryReport, smart_ft::RecoverError>, Vec<u64>, Duration) {
+    let cfg = RecoveryConfig::new(dir).with_every(every);
+    let mut sched = scheduler();
+    let mut out = vec![0u64; BUCKETS];
+    let (report, wall) = time_it(|| {
+        smart_ft::run_recoverable(&mut sched, &cfg, 0, data.len(), plan, |sched, t| {
+            sched.run(&data[t], &mut out)
+        })
+    });
+    (report, out, wall)
+}
+
+/// Render one table row.
+fn push_row(table: &mut Table, phase: &str, wall: Duration, report: Option<&RecoveryReport>) {
+    let (steps, ckpts, kib, busy) = match report {
+        Some(r) => (
+            r.steps_run.to_string(),
+            r.stats.ckpts.to_string(),
+            format!("{:.1}", r.stats.ckpt_bytes as f64 / 1024.0),
+            fmt_dur(r.stats.ckpt_busy),
+        ),
+        None => ("-".into(), "0".into(), "0".into(), "-".into()),
+    };
+    table.row(vec![phase.to_string(), fmt_dur(wall), steps, ckpts, kib, busy]);
+}
+
+/// Checkpoint overhead and crash-recovery timing on Heat3D + histogram.
+pub fn run(scale: Scale) -> Table {
+    let edge = scale.pick(12, 32);
+    let steps = scale.pick(8, 40);
+    let coarse = (steps / 4).max(2);
+    let kill_at = steps / 2;
+    let data = render_steps(edge, steps);
+
+    let mut table = Table::new(
+        format!(
+            "Fault tolerance — Heat3D {edge}\u{b3}, {steps} steps, histogram ({BUCKETS} buckets)"
+        ),
+        &["phase", "wall", "steps run", "ckpts", "ckpt KiB", "ckpt busy"],
+    );
+
+    // Overhead: bare vs checkpoint-every-step vs a coarser schedule.
+    let (reference, bare_wall) = bare(&data);
+    push_row(&mut table, "no checkpoints", bare_wall, None);
+    let mut overhead = Vec::new();
+    for every in [1, coarse] {
+        let dir = scratch(&format!("every{every}"));
+        let (report, out, wall) = recoverable(&data, &dir, every, FaultPlan::none());
+        let report = report.expect("uninterrupted recoverable run");
+        assert_eq!(out, reference, "checkpointing must not change the result");
+        push_row(&mut table, &format!("checkpoint every {every}"), wall, Some(&report));
+        overhead.push(format!(
+            "every {every}: +{:.1}% of bare wall",
+            report.stats.ckpt_busy.as_secs_f64() / bare_wall.as_secs_f64() * 100.0
+        ));
+        // lint:allow(no-fs-writes): benchmark scratch cleanup
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Recovery: kill at the midpoint, restart from the newest epoch.
+    let dir = scratch("recovery");
+    let (crashed, _, crashed_wall) = recoverable(&data, &dir, 1, FaultPlan::kill_rank(0, kill_at));
+    crashed.expect_err("the fault plan must kill the run");
+    let (resumed, out, resumed_wall) = recoverable(&data, &dir, 1, FaultPlan::none());
+    let resumed = resumed.expect("restart");
+    assert_eq!(resumed.resumed_from, Some(kill_at), "restart resumes at the fail-stop boundary");
+    assert_eq!(out, reference, "recovered result must be bit-identical");
+    push_row(&mut table, &format!("crashed at step {kill_at}"), crashed_wall, None);
+    push_row(&mut table, "restart + replay", resumed_wall, Some(&resumed));
+    // lint:allow(no-fs-writes): benchmark scratch cleanup
+    let _ = std::fs::remove_dir_all(&dir);
+
+    table.note(format!("checkpoint overhead — {}", overhead.join("; ")));
+    table.note(format!(
+        "recovery: restart replayed {} of {steps} steps in {} vs {} for a full rerun; \
+         recovered histogram verified bit-identical to the uninterrupted run",
+        resumed.steps_run,
+        fmt_dur(resumed_wall),
+        fmt_dur(bare_wall),
+    ));
+    table
+}

@@ -1,6 +1,7 @@
 //! One module per figure of the paper's evaluation section (§5), plus the
 //! §5.2 memory-footprint and §5.3 lines-of-code measurements, plus the
-//! beyond-the-paper placement comparison (`transit`).
+//! beyond-the-paper placement comparison (`transit`) and fault-tolerance
+//! overhead/recovery measurement (`ftrec`).
 
 pub mod fig01;
 pub mod fig05;
@@ -10,6 +11,7 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod ft;
 pub mod loc;
 pub mod mem;
 pub mod transit;
@@ -33,5 +35,6 @@ pub fn all() -> Vec<Experiment> {
         ("mem", "analytics memory footprint vs MiniSpark", mem::run),
         ("loc", "lines-of-code reduction vs low-level", loc::run),
         ("transit", "time sharing vs space sharing vs in-transit", transit::run),
+        ("ftrec", "checkpoint overhead and recovery time", ft::run),
     ]
 }

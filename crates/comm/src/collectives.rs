@@ -25,6 +25,7 @@ enum Op {
     Scatter = 5,
     ReduceScatter = 6,
     AllGather = 7,
+    AllGatherAlive = 8,
 }
 
 impl Communicator {
@@ -371,6 +372,64 @@ impl Communicator {
         out.sort_unstable_by_key(|&(k, _)| k);
         Ok(out)
     }
+
+    /// Fault-aware all-to-all gather over the ranks this rank believes alive
+    /// (see [`mark_dead`](Self::mark_dead)): returns `(rank, value)` pairs in
+    /// ascending rank order, always including this rank's own contribution.
+    ///
+    /// Unlike the tree/ring collectives — where one dead rank stalls or
+    /// poisons an entire round and different survivors observe different
+    /// partial states — the direct exchange makes failure detection
+    /// *symmetric*: every survivor talks to every alive peer, so a death
+    /// surfaces as [`CommError::PeerGone`] on all survivors.
+    ///
+    /// The send phase runs to completion before any receive, so even when
+    /// this call errors, every surviving peer already holds this rank's
+    /// contribution — the invariant fault-tolerant commit protocols need
+    /// (a survivor's delta is never lost because a *different* rank died).
+    /// Dead peers discovered here are recorded with
+    /// [`mark_dead`](Self::mark_dead), so a retry after re-agreement excludes
+    /// them; the first `PeerGone` is returned after both phases complete.
+    pub fn allgather_alive<T>(&mut self, value: T) -> CommResult<Vec<(usize, T)>>
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        let tag = self.coll_tag(Op::AllGatherAlive);
+        let rank = self.rank();
+        let peers: Vec<usize> = self.alive_ranks().into_iter().filter(|&r| r != rank).collect();
+        let payload = smart_wire::to_bytes(&value)?;
+        let mut first_gone: Option<CommError> = None;
+        for &p in &peers {
+            match self.send_bytes(p, tag, payload.clone()) {
+                Ok(()) => {}
+                Err(CommError::PeerGone { peer }) => {
+                    self.mark_dead(peer);
+                    first_gone.get_or_insert(CommError::PeerGone { peer });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut out: Vec<(usize, T)> = Vec::with_capacity(peers.len() + 1);
+        out.push((rank, value));
+        for &p in &peers {
+            if !self.is_alive(p) {
+                continue;
+            }
+            match self.recv::<T>(p, tag) {
+                Ok(v) => out.push((p, v)),
+                Err(CommError::PeerGone { peer }) => {
+                    self.mark_dead(peer);
+                    first_gone.get_or_insert(CommError::PeerGone { peer });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = first_gone {
+            return Err(e);
+        }
+        out.sort_unstable_by_key(|&(r, _)| r);
+        Ok(out)
+    }
 }
 
 /// The shard (owning rank) for `key` among `n` ranks. Deterministic and
@@ -713,6 +772,67 @@ mod tests {
         let empty: Vec<(i64, u64)> = Vec::new();
         assert_eq!(merge_sorted_entries(empty.clone(), empty, |x, y| *x += y), Vec::new());
         assert_eq!(merge_sorted_entries(vec![(2, 2u64)], Vec::new(), |x, y| *x += y), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn allgather_alive_matches_allgather_on_healthy_cluster() {
+        for n in [1, 2, 3, 5, 8] {
+            let r = run_cluster(n, |mut comm| {
+                let pairs = comm.allgather_alive(comm.rank() as u64 * 10).unwrap();
+                let plain = comm.allgather(comm.rank() as u64 * 10).unwrap();
+                (pairs, plain)
+            });
+            for (rank, (pairs, plain)) in r.into_iter().enumerate() {
+                let expected: Vec<(usize, u64)> = (0..n).map(|s| (s, s as u64 * 10)).collect();
+                assert_eq!(pairs, expected, "n={n} rank={rank}");
+                assert_eq!(plain, (0..n as u64).map(|s| s * 10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_alive_skips_ranks_marked_dead() {
+        use crate::{universe, CommConfig};
+        let mut comms = universe(3, CommConfig::default());
+        let dead = comms.pop().unwrap(); // rank 2 never participates
+        drop(dead);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    comm.mark_dead(2);
+                    comm.allgather_alive(comm.rank() as u64 + 1).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![(0, 1u64), (1, 2u64)]);
+        }
+    }
+
+    #[test]
+    fn allgather_alive_detects_death_then_retry_succeeds() {
+        use crate::CommError;
+        use crate::{universe, CommConfig};
+        let mut comms = universe(3, CommConfig::default());
+        let dead = comms.pop().unwrap();
+        drop(dead); // rank 2 dies before the collective: fail-stop at a boundary
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    // First attempt: every survivor sees the death symmetrically.
+                    let err = comm.allgather_alive(7u64).unwrap_err();
+                    assert_eq!(err, CommError::PeerGone { peer: 2 });
+                    assert!(!comm.is_alive(2), "death must be recorded for the retry");
+                    // Retry excludes the dead rank and completes.
+                    comm.allgather_alive(comm.rank() as u64).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![(0, 0u64), (1, 1u64)]);
+        }
     }
 
     #[test]

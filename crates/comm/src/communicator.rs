@@ -6,7 +6,7 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use smart_sync::channel::{self, Receiver, Sender};
 use smart_sync::{Arc, Mutex};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Message tag. User code should use tags below `COLLECTIVE_BASE`;
 /// the collectives reserve the space above it.
@@ -143,6 +143,10 @@ pub struct Communicator {
     /// Per-rank counter of collective operations, used to give each
     /// collective a unique tag so back-to-back collectives never cross talk.
     pub(crate) collective_seq: u64,
+    /// Ranks this rank has observed (or been told) are dead. Purely local
+    /// bookkeeping for fault-tolerant protocols: the fabric itself still
+    /// accepts sends to them (they surface as `PeerGone`).
+    dead: BTreeSet<usize>,
     /// Diagnostic counters.
     pub(crate) sent_messages: u64,
     pub(crate) sent_bytes: u64,
@@ -177,6 +181,7 @@ impl Communicator {
                 shared: Arc::clone(&shared),
                 mailbox: Mailbox { rx, pending: VecDeque::new() },
                 collective_seq: 0,
+                dead: BTreeSet::new(),
                 sent_messages: 0,
                 sent_bytes: 0,
             })
@@ -306,6 +311,32 @@ impl Communicator {
     /// Buffered out-of-order message count (diagnostic).
     pub fn pending_messages(&self) -> usize {
         self.mailbox.pending_len()
+    }
+
+    /// Record that `rank` is known dead. Idempotent; recording self or an
+    /// out-of-range rank is ignored. This is local bookkeeping consulted by
+    /// fault-aware collectives ([`allgather_alive`](Self::allgather_alive))
+    /// and recovery drivers — it does not notify anyone.
+    pub fn mark_dead(&mut self, rank: usize) {
+        if rank < self.size && rank != self.rank {
+            self.dead.insert(rank);
+        }
+    }
+
+    /// Whether `rank` is believed alive (not yet [`mark_dead`](Self::mark_dead)ed).
+    /// The local rank is always alive from its own point of view.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        rank < self.size && !self.dead.contains(&rank)
+    }
+
+    /// Ranks believed alive, ascending, always including this rank.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.size).filter(|r| self.is_alive(*r)).collect()
+    }
+
+    /// Ranks recorded dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.dead.iter().copied().collect()
     }
 }
 
@@ -445,6 +476,22 @@ mod tests {
         killer.join().unwrap();
         assert_eq!(res.unwrap_err(), CommError::PeerGone { peer: 0 });
         assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn alive_mask_tracks_marked_deaths() {
+        let mut v = Communicator::universe(4, Arc::new(CommConfig::default()));
+        let mut c = v.remove(1);
+        assert_eq!(c.alive_ranks(), vec![0, 1, 2, 3]);
+        assert!(c.is_alive(3));
+        c.mark_dead(3);
+        c.mark_dead(3); // idempotent
+        c.mark_dead(1); // self: ignored
+        c.mark_dead(99); // out of range: ignored
+        assert!(!c.is_alive(3));
+        assert!(c.is_alive(1));
+        assert_eq!(c.alive_ranks(), vec![0, 1, 2]);
+        assert_eq!(c.dead_ranks(), vec![3]);
     }
 
     #[test]

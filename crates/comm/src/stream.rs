@@ -59,11 +59,18 @@ pub struct StreamConfig {
     /// Flush the current batch early once its serialized payload reaches
     /// this many bytes.
     pub max_batch_bytes: usize,
+    /// Keep sent chunks buffered until their credit comes back (TCP-style
+    /// retransmission queue). Under this mode a credit is an
+    /// *acknowledgement*: the receiver grants it only once the chunk's data
+    /// is durably combined, and [`StreamSender::failover`] can replay the
+    /// unacknowledged window to a replacement receiver after the original
+    /// dies. Costs one buffered copy of at most `window` chunks.
+    pub retain_unacked: bool,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { window: 4, batch_steps: 1, max_batch_bytes: 1 << 20 }
+        StreamConfig { window: 4, batch_steps: 1, max_batch_bytes: 1 << 20, retain_unacked: false }
     }
 }
 
@@ -77,6 +84,13 @@ impl StreamConfig {
     pub fn with_batch(mut self, batch_steps: usize, max_batch_bytes: usize) -> Self {
         self.batch_steps = batch_steps;
         self.max_batch_bytes = max_batch_bytes;
+        self
+    }
+
+    /// Enable the unacknowledged-chunk retransmission buffer (see
+    /// [`retain_unacked`](Self::retain_unacked)).
+    pub fn with_retain_unacked(mut self, retain: bool) -> Self {
+        self.retain_unacked = retain;
         self
     }
 
@@ -94,7 +108,7 @@ impl StreamConfig {
 }
 
 /// One wire-serialized time-step partition.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ChunkMsg {
     /// Time-step sequence number (0-based, per stream).
     step: u64,
@@ -127,6 +141,11 @@ pub struct StreamSendStats {
     pub steps: u64,
     /// Wire messages sent (≤ steps when coalescing).
     pub batches: u64,
+    /// Times the stream was re-pointed at a replacement receiver after the
+    /// original died ([`StreamSender::failover`]).
+    pub reroutes: u64,
+    /// Chunks retransmitted out of the unacknowledged buffer on failover.
+    pub replayed: u64,
 }
 
 /// The producer (simulation-side) end of a stream.
@@ -139,7 +158,12 @@ pub struct StreamSender<T> {
     next_step: u64,
     batch: Vec<ChunkMsg>,
     batch_bytes: usize,
+    /// Sent-but-unacknowledged chunks, oldest first. Populated only under
+    /// [`StreamConfig::retain_unacked`]; each incoming credit retires the
+    /// oldest entry.
+    unacked: VecDeque<ChunkMsg>,
     finished: bool,
+    eos_sent: bool,
     stats: StreamSendStats,
     _elem: PhantomData<fn(&T)>,
 }
@@ -159,7 +183,9 @@ impl<T: Serialize> StreamSender<T> {
             next_step: 0,
             batch: Vec::new(),
             batch_bytes: 0,
+            unacked: VecDeque::new(),
             finished: false,
+            eos_sent: false,
             stats: StreamSendStats::default(),
             _elem: PhantomData,
         }
@@ -173,6 +199,26 @@ impl<T: Serialize> StreamSender<T> {
     /// Credits currently held (diagnostic).
     pub fn credits(&self) -> usize {
         self.credits
+    }
+
+    /// The receiver rank this stream currently points at.
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// Sent-but-unacknowledged chunk count (0 unless
+    /// [`StreamConfig::retain_unacked`] is on).
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Absorb `granted` incoming credits, retiring the oldest
+    /// unacknowledged chunks under `retain_unacked`.
+    fn grant(&mut self, granted: usize) {
+        self.credits += granted;
+        for _ in 0..granted.min(self.unacked.len()) {
+            self.unacked.pop_front();
+        }
     }
 
     /// Stream one time-step partition (`offset` = its first global element
@@ -200,14 +246,22 @@ impl<T: Serialize> StreamSender<T> {
     /// Harvest already-arrived credits without blocking, then block until
     /// at least `need` are held.
     fn acquire_credits(&mut self, comm: &mut Communicator, need: usize) -> CommResult<()> {
-        while let Some(granted) = comm.try_recv::<u32>(self.peer, CREDIT_TAG)? {
-            self.credits += granted as usize;
+        loop {
+            match comm.try_recv::<u32>(self.peer, CREDIT_TAG) {
+                Ok(Some(granted)) => self.grant(granted as usize),
+                Ok(None) => break,
+                // Credits granted before the receiver died are still good
+                // (they acknowledged durable chunks); its death surfaces
+                // below, or at the send, only once progress requires it.
+                Err(CommError::PeerGone { .. }) => break,
+                Err(e) => return Err(e),
+            }
         }
         while self.credits < need {
             let waited = Instant::now();
             let granted: u32 = comm.recv(self.peer, CREDIT_TAG)?;
             self.stats.credit_wait += waited.elapsed();
-            self.credits += granted as usize;
+            self.grant(granted as usize);
         }
         Ok(())
     }
@@ -216,15 +270,36 @@ impl<T: Serialize> StreamSender<T> {
         if self.batch.is_empty() && !eos {
             return Ok(());
         }
-        self.acquire_credits(comm, self.batch.len())?;
-        self.credits -= self.batch.len();
-        let msg = BatchMsg { chunks: std::mem::take(&mut self.batch), eos };
-        self.batch_bytes = 0;
-        let bytes = smart_wire::to_bytes(&msg)?;
-        self.stats.bytes += bytes.len() as u64;
-        self.stats.steps += msg.chunks.len() as u64;
-        self.stats.batches += 1;
-        comm.send_bytes(self.peer, DATA_TAG, bytes)
+        loop {
+            // Normally the whole batch fits the window (batch_steps ≤ window,
+            // enforced at construction) and this loop runs once. After a
+            // failover the replayed backlog can exceed the fresh window; it
+            // goes out in window-sized sub-batches, later ones departing as
+            // the replacement receiver returns credits.
+            let take = self.batch.len().min(self.cfg.window);
+            self.acquire_credits(comm, take)?;
+            self.credits -= take;
+            let rest = self.batch.split_off(take);
+            let last = rest.is_empty();
+            let msg =
+                BatchMsg { chunks: std::mem::replace(&mut self.batch, rest), eos: eos && last };
+            self.batch_bytes = self.batch.iter().map(|c| c.payload.len()).sum();
+            let bytes = smart_wire::to_bytes(&msg)?;
+            self.stats.bytes += bytes.len() as u64;
+            self.stats.steps += msg.chunks.len() as u64;
+            self.stats.batches += 1;
+            let sent = comm.send_bytes(self.peer, DATA_TAG, bytes);
+            if self.cfg.retain_unacked {
+                // Even when the send itself failed, keep the chunks: the
+                // failover path replays them to the replacement receiver.
+                self.unacked.extend(msg.chunks);
+            }
+            sent?;
+            if last {
+                self.eos_sent = eos;
+                return Ok(());
+            }
+        }
     }
 
     /// Flush any coalesced tail and mark end-of-stream. Consumes the
@@ -235,6 +310,64 @@ impl<T: Serialize> StreamSender<T> {
         self.finished = true;
         self.stats.send_busy += started.elapsed();
         Ok(self.stats)
+    }
+
+    /// Like [`finish`](Self::finish) but borrows the sender and additionally
+    /// blocks until *every* sent chunk has been acknowledged — the
+    /// fault-tolerant termination: only acknowledged chunks are durably
+    /// combined, so a producer must not exit while any are outstanding.
+    /// On [`CommError::PeerGone`] the caller can
+    /// [`failover`](Self::failover) and call this again; the unacknowledged
+    /// tail (and end-of-stream marker) is replayed to the new receiver.
+    ///
+    /// Meaningful only with [`StreamConfig::retain_unacked`] (without it the
+    /// unacked buffer is always empty and this degenerates to a flush).
+    pub fn finish_wait_acked(&mut self, comm: &mut Communicator) -> CommResult<()> {
+        let started = Instant::now();
+        let result = (|| {
+            if !self.eos_sent {
+                self.flush(comm, true)?;
+            }
+            self.finished = true;
+            while !self.unacked.is_empty() {
+                let waited = Instant::now();
+                let granted: u32 = comm.recv(self.peer, CREDIT_TAG)?;
+                self.stats.credit_wait += waited.elapsed();
+                self.grant(granted as usize);
+            }
+            Ok(())
+        })();
+        self.stats.send_busy += started.elapsed();
+        result
+    }
+
+    /// Re-point the stream at `new_peer` after the current receiver died:
+    /// reset the credit window to full, queue every unacknowledged chunk for
+    /// retransmission (oldest first, ahead of any coalesced-but-unsent
+    /// tail), and clear the end-of-stream marker so it is re-flushed. The
+    /// replacement receiver deduplicates replayed chunks by their step
+    /// number.
+    ///
+    /// Requires [`StreamConfig::retain_unacked`]; chunks sent without it are
+    /// simply gone when the receiver dies.
+    pub fn failover(&mut self, new_peer: usize) {
+        assert!(
+            self.cfg.retain_unacked,
+            "failover requires StreamConfig::retain_unacked (nothing buffered to replay)"
+        );
+        self.peer = new_peer;
+        self.credits = self.cfg.window;
+        self.stats.reroutes += 1;
+        self.stats.replayed += self.unacked.len() as u64;
+        let mut replay: Vec<ChunkMsg> = self.unacked.drain(..).collect();
+        replay.append(&mut self.batch);
+        self.batch_bytes = replay.iter().map(|c| c.payload.len()).sum();
+        self.batch = replay;
+        self.eos_sent = false;
+        if self.finished {
+            // finish_wait_acked will re-flush the replayed tail + EOS.
+            self.finished = false;
+        }
     }
 }
 
@@ -312,9 +445,14 @@ impl<T: DeserializeOwned> StreamReceiver<T> {
         // `buffered_bytes_peak` observes the true staging-side lookahead
         // the credit window admitted (not just one batch at a time).
         while !self.eos {
-            match comm.try_recv_bytes(self.peer, DATA_TAG)? {
-                Some(bytes) => self.ingest(bytes)?,
-                None => break,
+            match comm.try_recv_bytes(self.peer, DATA_TAG) {
+                Ok(Some(bytes)) => self.ingest(bytes)?,
+                Ok(None) => break,
+                // A death notice queued behind already-delivered data must
+                // not discard that data: serve the queue first, and let the
+                // death surface on a later receive once the queue is empty.
+                Err(CommError::PeerGone { .. }) => break,
+                Err(e) => return Err(e),
             }
         }
         let Some(chunk) = self.queue.pop_front() else {
@@ -331,6 +469,61 @@ impl<T: DeserializeOwned> StreamReceiver<T> {
             Err(e) => return Err(e),
         }
         Ok(Some((chunk.step, chunk.offset as usize, data)))
+    }
+
+    /// The producer rank this receiver is paired with.
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// Like [`recv`](Self::recv) but *without* returning the credit: the
+    /// consumer acknowledges explicitly with [`ack`](Self::ack) once the
+    /// chunk's contribution is durable (e.g. globally combined). Paired with
+    /// [`StreamConfig::retain_unacked`] this turns the credit window into a
+    /// commit protocol — an unacknowledged chunk survives in the producer's
+    /// replay buffer, so a receiver death between consume and commit loses
+    /// nothing.
+    pub fn recv_deferred(
+        &mut self,
+        comm: &mut Communicator,
+    ) -> CommResult<Option<(u64, usize, Vec<T>)>> {
+        while self.queue.is_empty() && !self.eos {
+            let waited = Instant::now();
+            let bytes = comm.recv_bytes(self.peer, DATA_TAG)?;
+            self.stats.recv_busy += waited.elapsed();
+            self.ingest(bytes)?;
+        }
+        while !self.eos {
+            match comm.try_recv_bytes(self.peer, DATA_TAG) {
+                Ok(Some(bytes)) => self.ingest(bytes)?,
+                Ok(None) => break,
+                // See `recv`: data ahead of a buffered death notice is
+                // delivered before the death is surfaced.
+                Err(CommError::PeerGone { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let Some(chunk) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        self.buffered_bytes -= chunk.payload.len() as u64;
+        let data: Vec<T> = smart_wire::from_bytes(&chunk.payload)?;
+        self.stats.steps += 1;
+        Ok(Some((chunk.step, chunk.offset as usize, data)))
+    }
+
+    /// Acknowledge `n` consumed chunks: grants `n` credits, which under
+    /// [`StreamConfig::retain_unacked`] also retires the oldest `n` entries
+    /// of the producer's replay buffer. Best-effort — a producer that
+    /// already exited cleanly needs no acknowledgement.
+    pub fn ack(&mut self, comm: &mut Communicator, n: usize) -> CommResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        match comm.send(self.peer, CREDIT_TAG, &(n as u32)) {
+            Ok(()) | Err(CommError::PeerGone { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -511,6 +704,82 @@ mod tests {
     #[should_panic(expected = "batch_steps")]
     fn batch_larger_than_window_is_rejected() {
         let _ = StreamSender::<f64>::new(1, StreamConfig::with_window(2).with_batch(4, 1 << 20));
+    }
+
+    #[test]
+    fn deferred_acks_retire_the_replay_buffer() {
+        let results = run_cluster(2, |mut comm| {
+            if comm.rank() == 0 {
+                let cfg = StreamConfig::with_window(2).with_retain_unacked(true);
+                let mut tx = StreamSender::<u64>::new(1, cfg);
+                for t in 0..4u64 {
+                    tx.feed(&mut comm, t as usize, &[t; 4]).unwrap();
+                }
+                tx.finish_wait_acked(&mut comm).unwrap();
+                assert_eq!(tx.unacked_len(), 0, "every chunk acknowledged at exit");
+                tx.stats().steps
+            } else {
+                let mut rx = StreamReceiver::<u64>::new(0);
+                let mut seen = 0;
+                while let Some((step, _, data)) = rx.recv_deferred(&mut comm).unwrap() {
+                    assert_eq!(data, vec![step; 4]);
+                    rx.ack(&mut comm, 1).unwrap();
+                    seen += 1;
+                }
+                seen
+            }
+        });
+        assert_eq!(results, vec![4, 4]);
+    }
+
+    #[test]
+    fn failover_replays_unacked_chunks_to_replacement_receiver() {
+        // Producer rank 0 streams to stager rank 1, which consumes two
+        // chunks, commits (acks) only the first, and dies. The producer
+        // fails over to rank 2 and must replay exactly the unacknowledged
+        // suffix: step 0 (acked ⇒ durable) is never resent, steps 1..6
+        // (consumed-but-unacked and never-sent alike) all arrive.
+        let steps = 6u64;
+        let results = run_cluster(3, move |mut comm| {
+            match comm.rank() {
+                0 => {
+                    let cfg = StreamConfig::with_window(2).with_retain_unacked(true);
+                    let mut tx = StreamSender::<u64>::new(1, cfg);
+                    for t in 0..steps {
+                        if let Err(CommError::PeerGone { .. }) =
+                            tx.feed(&mut comm, t as usize, &[t; 4])
+                        {
+                            tx.failover(2);
+                        }
+                    }
+                    while let Err(CommError::PeerGone { .. }) = tx.finish_wait_acked(&mut comm) {
+                        tx.failover(2);
+                    }
+                    assert_eq!(tx.unacked_len(), 0);
+                    assert!(tx.stats().reroutes >= 1, "the dying stager must have been noticed");
+                    Vec::new()
+                }
+                1 => {
+                    let mut rx = StreamReceiver::<u64>::new(0);
+                    rx.recv_deferred(&mut comm).unwrap().unwrap();
+                    rx.recv_deferred(&mut comm).unwrap().unwrap();
+                    rx.ack(&mut comm, 1).unwrap(); // commit only the first chunk
+                    Vec::new() // die: communicator drops here
+                }
+                _ => {
+                    let mut rx = StreamReceiver::<u64>::new(0);
+                    let mut got = Vec::new();
+                    while let Some((step, offset, data)) = rx.recv_deferred(&mut comm).unwrap() {
+                        assert_eq!(data, vec![step; 4]);
+                        assert_eq!(offset as u64, step);
+                        got.push(step);
+                        rx.ack(&mut comm, 1).unwrap();
+                    }
+                    got
+                }
+            }
+        });
+        assert_eq!(results[2], (1..steps).collect::<Vec<_>>());
     }
 
     #[test]

@@ -36,6 +36,16 @@ pub enum CombineStrategy {
     /// count. The default.
     #[default]
     Sharded,
+    /// Tree local merge plus a direct all-to-all global combination over
+    /// the ranks the communicator believes alive
+    /// (`Communicator::allgather_alive`). Ships the whole delta to every
+    /// peer — O(n) traffic per rank, worse than `Sharded` — but it is the
+    /// only strategy that survives rank death: the tree and ring patterns
+    /// wedge or poison a round when a peer vanishes, while the direct
+    /// exchange surfaces the death symmetrically on every survivor and can
+    /// simply be retried over the surviving subset. Used by the
+    /// fault-tolerance layer's self-healing in-transit drive.
+    Gossip,
 }
 
 /// Layer 1: merge the per-thread partial maps into the step's delta map.
@@ -58,7 +68,9 @@ pub(crate) fn local_combine<A: Analytics>(
             }
             d
         }
-        CombineStrategy::Tree | CombineStrategy::Sharded => tree_merge(analytics, pool, partials)?,
+        CombineStrategy::Tree | CombineStrategy::Sharded | CombineStrategy::Gossip => {
+            tree_merge(analytics, pool, partials)?
+        }
     };
     if measure {
         observer.local_merge_done(sw.elapsed());
@@ -108,6 +120,18 @@ pub(crate) fn global_combine<A: Analytics>(
         })?,
         CombineStrategy::Sharded => {
             comm.allreduce_sharded(local, |com, red| analytics.merge(&red, com))?
+        }
+        CombineStrategy::Gossip => {
+            let contributions = comm.allgather_alive(local)?;
+            // Fold in ascending rank order so every survivor computes the
+            // byte-identical merged map.
+            let mut acc: Vec<(i64, A::Red)> = Vec::new();
+            for (_rank, entries) in contributions {
+                acc = smart_comm::merge_sorted_entries(acc, entries, |com, red| {
+                    analytics.merge(&red, com)
+                });
+            }
+            acc
         }
     };
     if measure {

@@ -35,6 +35,38 @@ pub enum SmartError {
     StreamClosed,
     /// Thread-pool misuse (e.g. more threads requested than exist).
     Pool(smart_pool::PoolError),
+    /// An error annotated with where it happened: which rank, at which
+    /// step/round. Wraps the underlying failure so a `PeerGone` deep inside
+    /// a distributed drive reports *who* observed it and *when* instead of a
+    /// bare variant. Built with [`SmartError::at`].
+    Context {
+        /// World rank that observed the failure.
+        rank: usize,
+        /// Step (in-situ) or round (in-transit) the rank was executing.
+        step: usize,
+        /// The underlying failure.
+        source: Box<SmartError>,
+    },
+    /// A deterministic fault-injection point fired (test harnesses only —
+    /// see `smart-ft`'s `inject` module).
+    Injected {
+        /// Rank that was killed.
+        rank: usize,
+        /// Step at which the fault plan fired.
+        step: usize,
+    },
+}
+
+impl SmartError {
+    /// Annotate this error with the observing rank and the step/round it was
+    /// executing. Already-annotated errors are returned unchanged so nested
+    /// drives don't stack redundant frames.
+    pub fn at(self, rank: usize, step: usize) -> SmartError {
+        match self {
+            SmartError::Context { .. } => self,
+            other => SmartError::Context { rank, step, source: Box::new(other) },
+        }
+    }
 }
 
 impl fmt::Display for SmartError {
@@ -54,6 +86,12 @@ impl fmt::Display for SmartError {
             SmartError::Comm(e) => write!(f, "global combination failed: {e}"),
             SmartError::StreamClosed => write!(f, "space-sharing input stream is closed"),
             SmartError::Pool(e) => write!(f, "thread pool error: {e}"),
+            SmartError::Context { rank, step, source } => {
+                write!(f, "rank {rank} at step {step}: {source}")
+            }
+            SmartError::Injected { rank, step } => {
+                write!(f, "injected fault killed rank {rank} at step {step}")
+            }
         }
     }
 }
@@ -63,6 +101,7 @@ impl std::error::Error for SmartError {
         match self {
             SmartError::Comm(e) => Some(e),
             SmartError::Pool(e) => Some(e),
+            SmartError::Context { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -98,5 +137,34 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: SmartError = smart_pool::PoolError::ZeroWorkers.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn context_names_rank_step_and_underlying_error() {
+        let inner: SmartError = smart_comm::CommError::PeerGone { peer: 3 }.into();
+        let e = inner.at(1, 7);
+        let msg = e.to_string();
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains("step 7"), "{msg}");
+        assert!(msg.contains('3'), "must still name the dead peer: {msg}");
+        // The source chain reaches the CommError.
+        let src = std::error::Error::source(&e).expect("context has a source");
+        assert!(src.to_string().contains('3'), "{src}");
+    }
+
+    #[test]
+    fn context_does_not_stack() {
+        let e = SmartError::StreamClosed.at(0, 1).at(5, 9);
+        match e {
+            SmartError::Context { rank: 0, step: 1, .. } => {}
+            other => panic!("re-annotation must keep the innermost frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_fault_displays_location() {
+        let e = SmartError::Injected { rank: 2, step: 4 };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("step 4"));
     }
 }

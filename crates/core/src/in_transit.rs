@@ -167,6 +167,28 @@ impl Topology {
         let hi = ((s + 1) * self.producers).div_ceil(self.stagers);
         lo..hi
     }
+
+    /// The staging index that serves producer `p` under failures: the first
+    /// stager for which `alive` holds, scanning upward (wrapping) from the
+    /// block assignment [`stager_of`](Self::stager_of). With every stager
+    /// alive this is exactly `stager_of(p)`; after deaths, each orphaned
+    /// producer block lands on its clockwise-next surviving stager —
+    /// deterministic, so producers and surviving stagers agree on the
+    /// healed topology from the alive mask alone, with no coordinator.
+    /// Returns `None` when no stager is alive.
+    pub fn rebalanced_stager_of(&self, p: usize, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        debug_assert!(p < self.producers);
+        let start = self.stager_of(p);
+        (0..self.stagers).map(|d| (start + d) % self.stagers).find(|&s| alive(s))
+    }
+
+    /// The producers a *surviving* stager serves under the
+    /// [`rebalanced_stager_of`](Self::rebalanced_stager_of) rule: its own
+    /// block plus any orphaned blocks that wrapped onto it.
+    pub fn rebalanced_producers_of(&self, s: usize, alive: impl Fn(usize) -> bool) -> Vec<usize> {
+        debug_assert!(s < self.stagers);
+        (0..self.producers).filter(|&p| self.rebalanced_stager_of(p, &alive) == Some(s)).collect()
+    }
 }
 
 /// The simulation side's handle inside [`run_in_transit`]: a world
@@ -177,6 +199,7 @@ pub struct Producer<In> {
     tx: Option<StreamSender<In>>,
     index: usize,
     topo: Topology,
+    steps_fed: usize,
 }
 
 impl<In: Serialize> Producer<In> {
@@ -201,15 +224,21 @@ impl<In: Serialize> Producer<In> {
     /// Stream one time-step partition to this producer's stager; `offset`
     /// is the partition's first global element index. Returns as soon as
     /// the data is serialized and handed to the transport — blocks only on
-    /// the credit window.
+    /// the credit window. A dead stager surfaces as
+    /// [`SmartError::Context`] naming this producer's world rank and the
+    /// time-step being fed, wrapping the transport's `PeerGone`.
     pub fn feed(&mut self, offset: usize, step: &[In]) -> SmartResult<()> {
         let tx = self.tx.as_mut().expect("stream already finished");
-        tx.feed(&mut self.comm, offset, step).map_err(SmartError::Comm)
+        let (rank, at) = (self.index, self.steps_fed);
+        tx.feed(&mut self.comm, offset, step).map_err(|e| SmartError::Comm(e).at(rank, at))?;
+        self.steps_fed += 1;
+        Ok(())
     }
 
     fn finish(mut self) -> SmartResult<StreamSendStats> {
         let tx = self.tx.take().expect("stream already finished");
-        tx.finish(&mut self.comm).map_err(SmartError::Comm)
+        let (rank, at) = (self.index, self.steps_fed);
+        tx.finish(&mut self.comm).map_err(|e| SmartError::Comm(e).at(rank, at))
     }
 }
 
@@ -322,8 +351,13 @@ where
                 let cfg = stream_cfg.clone();
                 scope.spawn(move || -> SmartResult<ProducerOutcome<R>> {
                     let stager = topo.stager_world_rank(topo.stager_of(p));
-                    let mut handle =
-                        Producer { comm, tx: Some(StreamSender::new(stager, cfg)), index: p, topo };
+                    let mut handle = Producer {
+                        comm,
+                        tx: Some(StreamSender::new(stager, cfg)),
+                        index: p,
+                        topo,
+                        steps_fed: 0,
+                    };
                     let result = producer(&mut handle)?;
                     let stream = handle.finish()?;
                     Ok(ProducerOutcome { result, stream })
@@ -344,9 +378,12 @@ where
                     let mut steps = 0usize;
                     loop {
                         // One chunk per still-active producer this round.
+                        let me = topo.stager_world_rank(s);
                         let mut owned: Vec<(usize, Vec<A::In>)> = Vec::with_capacity(rxs.len());
                         for rx in rxs.iter_mut().filter(|rx| !rx.is_finished()) {
-                            if let Some((_step, offset, data)) = rx.recv(&mut comm)? {
+                            if let Some((_step, offset, data)) =
+                                rx.recv(&mut comm).map_err(|e| SmartError::Comm(e).at(me, steps))?
+                            {
                                 owned.push((offset, data));
                             }
                         }
@@ -356,7 +393,9 @@ where
                         // per-step global combination always has all
                         // stagers participating.
                         let active = u64::from(!owned.is_empty());
-                        let any = staging_comm.allreduce(active, |a, b| a.max(b))?;
+                        let any = staging_comm
+                            .allreduce(active, |a, b| a.max(b))
+                            .map_err(|e| SmartError::Comm(e).at(me, steps))?;
                         if any == 0 {
                             break;
                         }
@@ -442,6 +481,55 @@ mod tests {
     #[should_panic(expected = "more stagers")]
     fn topology_rejects_more_stagers_than_producers() {
         Topology::new(2, 3);
+    }
+
+    /// With every stager alive the rebalanced mapping is the block mapping;
+    /// with deaths, every producer lands on a surviving stager and the
+    /// per-stager view agrees with the per-producer view (total, no
+    /// coordinator needed).
+    #[test]
+    fn rebalanced_topology_is_total_and_consistent() {
+        for (producers, stagers) in [(4, 2), (7, 3), (8, 4), (5, 5)] {
+            let topo = Topology::new(producers, stagers);
+            for p in 0..producers {
+                assert_eq!(topo.rebalanced_stager_of(p, |_| true), Some(topo.stager_of(p)));
+            }
+            // Kill each stager in turn, then each pair.
+            for dead_mask in 1u32..(1 << stagers) {
+                let alive = |s: usize| dead_mask & (1 << s) == 0;
+                let any_alive = (0..stagers).any(alive);
+                let mut seen = Vec::new();
+                for s in (0..stagers).filter(|&s| alive(s)) {
+                    for p in topo.rebalanced_producers_of(s, alive) {
+                        assert_eq!(topo.rebalanced_stager_of(p, alive), Some(s));
+                        seen.push(p);
+                    }
+                }
+                seen.sort_unstable();
+                if any_alive {
+                    assert_eq!(seen, (0..producers).collect::<Vec<_>>(), "mask {dead_mask:b}");
+                } else {
+                    assert!(seen.is_empty());
+                    assert_eq!(topo.rebalanced_stager_of(0, alive), None);
+                }
+            }
+        }
+    }
+
+    /// Orphaned producers move clockwise: when stager 1 of 3 dies, its
+    /// block lands on stager 2, not stager 0.
+    #[test]
+    fn rebalance_scans_clockwise_from_the_home_stager() {
+        let topo = Topology::new(6, 3);
+        let alive = |s: usize| s != 1;
+        for p in topo.producers_of(1) {
+            assert_eq!(topo.rebalanced_stager_of(p, alive), Some(2));
+        }
+        // The last stager's orphans wrap around to the first.
+        let alive = |s: usize| s != 2;
+        for p in topo.producers_of(2) {
+            assert_eq!(topo.rebalanced_stager_of(p, alive), Some(0));
+        }
     }
 
     #[derive(Clone, Serialize, Deserialize, Default, Debug)]
@@ -556,5 +644,47 @@ mod tests {
         assert_eq!(stagers[0].map_bytes, stagers[1].map_bytes);
         let delivered: u64 = stagers.iter().flat_map(|s| s.streams.iter().map(|st| st.steps)).sum();
         assert_eq!(delivered, 12);
+    }
+
+    /// A stager that dies at startup must surface as *contextual* errors:
+    /// its producer reports its own rank and the step it was feeding, the
+    /// surviving stager reports its world rank and round — never a bare
+    /// `PeerGone`.
+    #[test]
+    fn stager_death_surfaces_with_rank_and_step_context() {
+        let topo = Topology::new(2, 2);
+        let outcome = run_in_transit(
+            topo,
+            InTransitConfig::with_window(1),
+            KeyMode::Single,
+            |prod: &mut Producer<f64>| {
+                for _ in 0..50 {
+                    prod.feed(prod.index() * 8, &[1.0; 8])?;
+                }
+                Ok(())
+            },
+            |s| {
+                if s == 1 {
+                    return Err(SmartError::BadArgs("stager 1 refused to start".into()));
+                }
+                let pool = shared_pool(1)?;
+                let sched = Scheduler::new(SumPerProducerBlock, SchedArgs::new(1, 1), pool)?;
+                Ok((sched, Vec::new()))
+            },
+        );
+        // Producer 1 fed the dead stager: its error names producer rank 1.
+        let err = outcome.producers[1].as_ref().expect_err("producer 1 lost its stager");
+        match err {
+            SmartError::Context { rank: 1, source, .. } => {
+                assert!(matches!(**source, SmartError::Comm(_)), "{source}");
+            }
+            other => panic!("expected contextual error, got {other}"),
+        }
+        assert!(err.to_string().contains("rank 1"), "{err}");
+        // Stager 0's staging-group collective lost its peer: its error
+        // carries location context too (rank + step are in the message).
+        let err = outcome.stagers[0].as_ref().expect_err("stager 0 lost its staging peer");
+        assert!(matches!(err, SmartError::Context { .. }), "{err}");
+        assert!(err.to_string().contains("step"), "{err}");
     }
 }

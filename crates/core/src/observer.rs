@@ -46,6 +46,15 @@ pub trait PhaseObserver {
     /// One iteration completed; `combine_busy` spans local merge through
     /// `post_combine`.
     fn iter_done(&mut self, combine_busy: Duration);
+
+    /// A checkpoint of the combined reduction object was written (`bytes`
+    /// on disk, `busy` spent serializing + writing). Reported by the
+    /// fault-tolerance layer's recovery driver, not by `execute` itself —
+    /// hence the default no-op, so observers that predate checkpointing
+    /// keep compiling.
+    fn checkpoint_done(&mut self, bytes: u64, busy: Duration) {
+        let _ = (bytes, busy);
+    }
 }
 
 /// The stats-off sink: reports nothing, and — because
@@ -127,6 +136,13 @@ pub struct RunStats {
     /// In-transit mode only: wire bytes streamed from producers to this
     /// stager. Zero for in-situ placements.
     pub transit_bytes: u64,
+    /// Checkpointing only: busy time spent serializing and writing
+    /// reduction-object snapshots. Zero when checkpointing is off.
+    pub ckpt_busy: Duration,
+    /// Checkpointing only: bytes written to the checkpoint store.
+    pub ckpt_bytes: u64,
+    /// Checkpointing only: snapshots written.
+    pub ckpts: usize,
 }
 
 impl RunStats {
@@ -159,6 +175,9 @@ impl RunStats {
         self.transit_send_busy += other.transit_send_busy;
         self.transit_recv_busy += other.transit_recv_busy;
         self.transit_bytes += other.transit_bytes;
+        self.ckpt_busy += other.ckpt_busy;
+        self.ckpt_bytes += other.ckpt_bytes;
+        self.ckpts += other.ckpts;
     }
 }
 
@@ -183,6 +202,12 @@ impl PhaseObserver for RunStats {
     fn iter_done(&mut self, combine_busy: Duration) {
         self.combine_busy += combine_busy;
         self.iters += 1;
+    }
+
+    fn checkpoint_done(&mut self, bytes: u64, busy: Duration) {
+        self.ckpt_busy += busy;
+        self.ckpt_bytes += bytes;
+        self.ckpts += 1;
     }
 }
 
@@ -234,5 +259,20 @@ mod tests {
         assert_eq!(total.split_busy[0], Duration::from_millis(2));
         assert_eq!(total.iters, 2);
         assert_eq!(total.combine_busy, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn checkpoint_measurements_accumulate_and_absorb() {
+        let mut stats = RunStats::default();
+        stats.checkpoint_done(64, Duration::from_millis(3));
+        stats.checkpoint_done(32, Duration::from_millis(1));
+        assert_eq!(stats.ckpts, 2);
+        assert_eq!(stats.ckpt_bytes, 96);
+        assert_eq!(stats.ckpt_busy, Duration::from_millis(4));
+        let mut total = RunStats::default();
+        total.absorb(&stats);
+        assert_eq!((total.ckpts, total.ckpt_bytes), (2, 96));
+        // The noop sink accepts the callback silently (default body).
+        NoopObserver.checkpoint_done(1, Duration::ZERO);
     }
 }

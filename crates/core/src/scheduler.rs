@@ -10,7 +10,7 @@
 //! [`PhaseObserver`]. The `run*` family below is the paper's Table 1
 //! surface, kept as one-line delegations onto `execute`.
 
-use crate::api::{Analytics, ComMap};
+use crate::api::{Analytics, ComMap, Key};
 use crate::args::SchedArgs;
 use crate::combine::{self, CombineStrategy};
 use crate::error::{SmartError, SmartResult};
@@ -159,6 +159,25 @@ impl<A: Analytics> Scheduler<A> {
     pub fn reset(&mut self) {
         self.com_map.clear();
         self.extra_processed = false;
+    }
+
+    /// Capture the scheduler's resumable state: the persistent combination
+    /// map in canonical key-sorted order plus the step cursor. This is what
+    /// a checkpoint must hold for a restarted scheduler to continue
+    /// bit-identically (`smart-ft`'s recovery driver wraps this in a
+    /// CRC-validated on-disk record).
+    pub fn snapshot(&self) -> (Vec<(Key, A::Red)>, usize) {
+        (self.com_map.to_sorted_entries(), self.steps_run)
+    }
+
+    /// Restore state captured by [`snapshot`](Self::snapshot): rebuild the
+    /// combination map from `entries` and set the step cursor. Extra data
+    /// is treated as already processed — its effect lives inside the
+    /// snapshotted map, and re-seeding it would double-count.
+    pub fn restore(&mut self, entries: Vec<(Key, A::Red)>, steps_run: usize) {
+        self.com_map = ComMap::from_entries(entries);
+        self.steps_run = steps_run;
+        self.extra_processed = true;
     }
 
     /// Single-key analytics on one input block, single rank
@@ -346,7 +365,11 @@ impl<A: Analytics> Scheduler<A> {
                         comm,
                         delta,
                         observer,
-                    )?;
+                    )
+                    // A comm failure here (typically PeerGone) names the
+                    // observing rank and the step it was executing, so a
+                    // distributed drive's failure report is actionable.
+                    .map_err(|e| e.at(comm.rank(), self.steps_run))?;
                 }
             }
             // Fold the (now global) delta into the persistent combination
@@ -671,8 +694,12 @@ mod tests {
         smart_wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap()
     }
 
-    const STRATEGIES: [CombineStrategy; 3] =
-        [CombineStrategy::Serial, CombineStrategy::Tree, CombineStrategy::Sharded];
+    const STRATEGIES: [CombineStrategy; 4] = [
+        CombineStrategy::Serial,
+        CombineStrategy::Tree,
+        CombineStrategy::Sharded,
+        CombineStrategy::Gossip,
+    ];
 
     #[test]
     fn combine_strategies_produce_bit_identical_maps() {
@@ -845,6 +872,76 @@ mod tests {
         assert_eq!(rec.events, ["split", "split", "local_merge", "iter"]);
         // last_stats untouched by the external-observer path.
         assert!(s.last_stats().split_busy.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let step: Vec<f64> = (0..120).map(|i| (i % 9) as f64).collect();
+        // Reference: three uninterrupted steps.
+        let mut full = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        for _ in 0..3 {
+            full.run(&step, &mut out).unwrap();
+        }
+        // Interrupted: two steps, snapshot, restore into a *fresh*
+        // scheduler, one more step.
+        let mut first = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        first.run(&step, &mut out).unwrap();
+        first.run(&step, &mut out).unwrap();
+        let (entries, cursor) = first.snapshot();
+        assert_eq!(cursor, 2);
+        drop(first);
+        let mut resumed = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        resumed.restore(entries, cursor);
+        resumed.run(&step, &mut out).unwrap();
+        assert_eq!(resumed.steps_run(), 3);
+        assert_eq!(map_bytes(&resumed), map_bytes(&full));
+    }
+
+    #[test]
+    fn snapshot_restore_does_not_reseed_extra_data() {
+        let data = vec![0.0f64; 20];
+        let args = SchedArgs::new(2, 1).with_extra(7.0).with_iters(2);
+        let mut s = Scheduler::new(Iterative, args.clone(), pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&data, &mut out).unwrap();
+        let (entries, cursor) = s.snapshot();
+        let mut r = Scheduler::new(Iterative, args, pool4()).unwrap();
+        r.restore(entries, cursor);
+        r.run(&data, &mut out).unwrap();
+        // base 7 + 4 post_combine rounds (2 iters × 2 steps), with the
+        // extra-data seed applied exactly once.
+        assert_eq!(out[0], 11.0);
+    }
+
+    #[test]
+    fn peer_death_during_global_combine_reports_rank_and_step() {
+        let results = smart_comm::run_cluster(2, |mut comm| {
+            if comm.rank() == 1 {
+                return Ok(()); // dies before participating: comm drops here
+            }
+            let pool = shared_pool(1).unwrap();
+            let mut s = Scheduler::new(SumSquares, SchedArgs::new(1, 1), pool).unwrap();
+            let data = [1.0f64, 2.0];
+            let parts = [(0usize, &data[..])];
+            let mut out = [0.0f64];
+            s.run_parts_dist(&mut comm, &parts, &mut out)
+        });
+        let err = results[0].as_ref().unwrap_err();
+        match err {
+            SmartError::Context { rank: 0, step: 0, source } => {
+                assert!(
+                    matches!(
+                        source.as_ref(),
+                        SmartError::Comm(smart_comm::CommError::PeerGone { peer: 1 })
+                    ),
+                    "context must wrap the PeerGone: {source:?}"
+                );
+            }
+            other => panic!("expected rank/step context, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("rank 0") && msg.contains("step 0"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Heartbeat-style failure detection over a [`Communicator`].
+//!
+//! The transport already turns sends/receives against a dropped rank into
+//! [`CommError::PeerGone`], so detection needs no side channel: a probe is
+//! a ping message plus a bounded [`Communicator::recv_timeout`] wait for
+//! the pong. [`Probe::NoReply`] is deliberately distinct from
+//! [`Probe::Dead`] — a silent peer may just be busy between
+//! [`serve_pings`] calls; only transport-level death is treated as fatal,
+//! and it is recorded in the communicator's alive set as a side effect.
+
+use smart_comm::{CommError, CommResult, Communicator, Tag};
+use std::time::Duration;
+
+/// Base tag for fault-tolerance point-to-point traffic. Sits above user
+/// tags and below the streaming transport's `STREAM_BASE` (1 << 40).
+pub const FT_TAG_BASE: Tag = 1 << 32;
+
+const PING: Tag = FT_TAG_BASE | 1;
+const PONG: Tag = FT_TAG_BASE | 2;
+
+/// Outcome of one [`probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The peer answered the ping.
+    Alive,
+    /// The transport reports the peer gone; it has been marked dead in the
+    /// communicator's alive set.
+    Dead,
+    /// No answer within the timeout. Inconclusive: the peer may be alive
+    /// but not serving pings right now.
+    NoReply,
+}
+
+/// Ping `peer` and wait up to `timeout` for its pong. Requires the peer to
+/// run [`serve_pings`] (or otherwise answer `PING` with a `PONG`).
+pub fn probe(comm: &mut Communicator, peer: usize, timeout: Duration) -> CommResult<Probe> {
+    match comm.send(peer, PING, &()) {
+        Ok(()) => {}
+        Err(CommError::PeerGone { .. }) => {
+            comm.mark_dead(peer);
+            return Ok(Probe::Dead);
+        }
+        Err(e) => return Err(e),
+    }
+    match comm.recv_timeout::<()>(peer, PONG, timeout) {
+        Ok(Some(())) => Ok(Probe::Alive),
+        Ok(None) => Ok(Probe::NoReply),
+        Err(CommError::PeerGone { .. }) => {
+            comm.mark_dead(peer);
+            Ok(Probe::Dead)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Answer every pending ping from every live peer; returns how many were
+/// answered. Call this from a rank's idle points so its peers' probes see
+/// [`Probe::Alive`]. Peers discovered dead while draining are marked dead
+/// and skipped, never an error.
+pub fn serve_pings(comm: &mut Communicator) -> CommResult<usize> {
+    let me = comm.rank();
+    let peers: Vec<usize> = (0..comm.size()).filter(|&r| r != me && comm.is_alive(r)).collect();
+    let mut served = 0;
+    for peer in peers {
+        loop {
+            match comm.try_recv::<()>(peer, PING) {
+                Ok(Some(())) => {
+                    // Best effort: the peer may die between its ping and
+                    // our pong.
+                    match comm.send(peer, PONG, &()) {
+                        Ok(()) | Err(CommError::PeerGone { .. }) => served += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(None) => break,
+                Err(CommError::PeerGone { .. }) => {
+                    comm.mark_dead(peer);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(served)
+}
+
+/// Probe `peer` up to `attempts` times, `interval` apart, until the
+/// transport confirms its death. Returns `true` once the peer is confirmed
+/// dead (and marked so), `false` if it still looked alive-or-silent after
+/// every attempt.
+pub fn await_death(
+    comm: &mut Communicator,
+    peer: usize,
+    interval: Duration,
+    attempts: usize,
+) -> CommResult<bool> {
+    for _ in 0..attempts {
+        if probe(comm, peer, interval)? == Probe::Dead {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}

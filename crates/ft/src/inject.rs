@@ -1,0 +1,81 @@
+//! Deterministic fault injection for recovery tests and benchmarks.
+//!
+//! A [`FaultPlan`] names at most one `(rank, step)` pair; the drives check
+//! it at the top of every step or round (`plan.check(...)?`), so an
+//! injected death is **fail-stop at a boundary**: the victim has fully
+//! committed the previous step — acknowledgements sent, checkpoints
+//! written — and has sent nothing of the next one. That is the failure
+//! model the recovery protocols assume (see DESIGN.md, "Failure model &
+//! recovery"); mid-message deaths are out of scope.
+
+use smart_core::{SmartError, SmartResult, Topology};
+
+/// Where (if anywhere) to kill a rank, by world rank and step/round index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    kill: Option<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// No injected faults — the production value.
+    pub const fn none() -> Self {
+        FaultPlan { kill: None }
+    }
+
+    /// Kill world rank `rank` when it reaches `step`.
+    pub const fn kill_rank(rank: usize, step: usize) -> Self {
+        FaultPlan { kill: Some((rank, step)) }
+    }
+
+    /// Kill stager `s` of `topo` when it reaches round `round`.
+    pub fn kill_stager(topo: Topology, s: usize, round: usize) -> Self {
+        Self::kill_rank(topo.stager_world_rank(s), round)
+    }
+
+    /// Whether the plan names exactly this `(rank, step)` pair.
+    pub fn fires(&self, rank: usize, step: usize) -> bool {
+        self.kill == Some((rank, step))
+    }
+
+    /// The injection point: returns [`SmartError::Injected`] when the plan
+    /// fires, making the caller's `?` the "death" (its thread unwinds
+    /// normally, dropping its communicator, which is how peers learn).
+    pub fn check(&self, rank: usize, step: usize) -> SmartResult<()> {
+        if self.fires(rank, step) {
+            Err(SmartError::Injected { rank, step })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_at_the_named_point() {
+        let plan = FaultPlan::kill_rank(2, 5);
+        assert!(plan.fires(2, 5));
+        assert!(!plan.fires(2, 4) && !plan.fires(1, 5));
+        assert!(plan.check(2, 4).is_ok());
+        match plan.check(2, 5) {
+            Err(SmartError::Injected { rank: 2, step: 5 }) => {}
+            other => panic!("expected an injected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn none_never_fires() {
+        let plan = FaultPlan::none();
+        assert_eq!(plan, FaultPlan::default());
+        assert!(plan.check(0, 0).is_ok());
+    }
+
+    #[test]
+    fn kill_stager_translates_to_world_rank() {
+        let topo = Topology::new(4, 2);
+        // Stager 1 of a 4+2 topology is world rank 5.
+        assert_eq!(FaultPlan::kill_stager(topo, 1, 3), FaultPlan::kill_rank(5, 3));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fault tolerance for the Smart runtime: reduction-object checkpointing,
+//! rank-failure recovery, and self-healing in-transit topologies.
+//!
+//! The paper's runtime assumes a reliable machine; at the scales in-situ
+//! analytics targets, ranks die. This crate adds the recovery layer on top
+//! of the existing seams instead of threading failure handling through the
+//! execution core:
+//!
+//! - [`store`] — versioned, CRC-validated, atomically-written snapshots of
+//!   the combined reduction object (the *only* state the programming model
+//!   accumulates across steps, which is what makes checkpoints this small).
+//! - [`recover`] — [`run_recoverable`] wraps a step loop with periodic
+//!   snapshots and resume-on-restart; a resumed run's combination map is
+//!   bit-identical to an uninterrupted one.
+//! - [`detect`] — heartbeat probes over the communicator's existing
+//!   timeout/`PeerGone` machinery.
+//! - [`retry`] — bounded exponential backoff for transient failures.
+//! - [`heal`] — [`run_in_transit_healing`], the in-transit drive that
+//!   survives stager death by rerouting credit-windowed streams (replaying
+//!   their unacknowledged suffix) to the rebalanced surviving stagers.
+//! - [`inject`] — deterministic fail-stop fault injection
+//!   ([`FaultPlan`]) so all of the above is testable.
+//!
+//! The failure model, the commit protocol, and the correctness argument
+//! live in DESIGN.md ("Failure model & recovery").
+
+pub mod detect;
+pub mod heal;
+pub mod inject;
+pub mod recover;
+pub mod retry;
+pub mod store;
+
+pub use detect::{await_death, probe, serve_pings, Probe, FT_TAG_BASE};
+pub use heal::{run_in_transit_healing, FtProducer, HealOutcome, HealedStagerOutcome, FT_CTL_BASE};
+pub use inject::FaultPlan;
+pub use recover::{run_recoverable, RecoverError, RecoveryConfig, RecoveryReport};
+pub use retry::{retry, RetryPolicy};
+pub use store::{crc32, decode, encode, CkptError, CkptRecord, CkptStore};

@@ -1,0 +1,242 @@
+//! The recovery driver: checkpoint every k steps, resume after a crash.
+//!
+//! [`run_recoverable`] wraps a step loop around [`Scheduler`]: before the
+//! first step it consults the [`CkptStore`] and, when a valid snapshot
+//! exists, restores the combined reduction object and the step cursor with
+//! [`Scheduler::restore`]; afterwards it drives the caller's step closure
+//! from the cursor and snapshots on the configured schedule. Because a
+//! snapshot captures exactly the scheduler's combination map and cursor —
+//! and because each step's merge is deterministic — a resumed run produces
+//! a combination map **bit-identical** to the uninterrupted one.
+//!
+//! For distributed runs every rank calls `run_recoverable` with the same
+//! `every`: global combination is a per-step barrier, so at a fail-stop
+//! boundary every rank has completed the same number of steps, all ranks'
+//! newest epochs agree, and the survivors' failed step never merged into
+//! their maps (global combination fails before the merge). Restarting all
+//! ranks therefore resumes from one common cursor.
+
+use crate::inject::FaultPlan;
+use crate::retry::{retry, RetryPolicy};
+use crate::store::{CkptError, CkptStore};
+use smart_core::{Analytics, Key, RunStats, Scheduler, SmartError};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Where and how often to checkpoint, and how stubbornly to retry writes.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Checkpoint directory (shared between ranks; filenames carry the
+    /// rank).
+    pub dir: PathBuf,
+    /// Snapshot after every `every` completed steps (and always after the
+    /// final one).
+    pub every: usize,
+    /// On-disk epochs to retain per rank.
+    pub retain: usize,
+    /// Retry policy for transient checkpoint-write failures.
+    pub retry: RetryPolicy,
+}
+
+impl RecoveryConfig {
+    /// Checkpoint into `dir` after every step, retaining two epochs (the
+    /// newest may be torn by the very crash being recovered from).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RecoveryConfig { dir: dir.into(), every: 1, retain: 2, retry: RetryPolicy::default() }
+    }
+
+    /// Set the checkpoint interval in steps (minimum 1).
+    pub fn with_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "a checkpoint interval of zero steps is meaningless");
+        self.every = every;
+        self
+    }
+
+    /// Set how many epochs stay on disk (minimum 1).
+    pub fn with_retain(mut self, retain: usize) -> Self {
+        assert!(retain > 0, "retaining zero epochs would make recovery impossible");
+        self.retain = retain;
+        self
+    }
+
+    /// Set the write-retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Build a config from the environment: `SMART_CKPT_DIR` (required —
+    /// returns `None` without it), `SMART_CKPT_EVERY`, `SMART_CKPT_RETAIN`.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var_os("SMART_CKPT_DIR")?;
+        let mut cfg = RecoveryConfig::new(PathBuf::from(dir));
+        if let Some(every) = env_usize("SMART_CKPT_EVERY") {
+            cfg.every = every.max(1);
+        }
+        if let Some(retain) = env_usize("SMART_CKPT_RETAIN") {
+            cfg.retain = retain.max(1);
+        }
+        Some(cfg)
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// What a [`run_recoverable`] call did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// `Some(cursor)` when a checkpoint was restored: the step index the
+    /// run resumed from. `None` for a cold start.
+    pub resumed_from: Option<usize>,
+    /// Steps this call actually executed (excludes restored ones).
+    pub steps_run: usize,
+    /// Accumulated per-step stats plus checkpoint overhead (`ckpt_busy`,
+    /// `ckpt_bytes`, `ckpts`).
+    pub stats: RunStats,
+}
+
+/// A recovery-driver failure: either the checkpoint store or the run
+/// itself.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Reading or writing a checkpoint failed (after retries, for
+    /// transient cases).
+    Ckpt(CkptError),
+    /// A step failed — including [`SmartError::Injected`] deaths from a
+    /// fault plan.
+    Run(SmartError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Ckpt(e) => write!(f, "checkpoint store: {e}"),
+            RecoverError::Run(e) => write!(f, "recoverable run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Ckpt(e) => Some(e),
+            RecoverError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<CkptError> for RecoverError {
+    fn from(e: CkptError) -> Self {
+        RecoverError::Ckpt(e)
+    }
+}
+
+impl From<SmartError> for RecoverError {
+    fn from(e: SmartError) -> Self {
+        RecoverError::Run(e)
+    }
+}
+
+/// Drive `sched` through steps `[steps_run, num_steps)` with periodic
+/// checkpoints, resuming from the newest valid snapshot in `cfg.dir` when
+/// one exists.
+///
+/// `step_fn(sched, t)` must execute exactly step `t` (feed the step's data
+/// through `Scheduler::execute`/`run*`). `rank` names this process in the
+/// checkpoint store and in injected-fault errors; single-rank callers pass
+/// 0. Stats collection is forced on so checkpoint overhead lands in the
+/// report's [`RunStats`].
+pub fn run_recoverable<A, F>(
+    sched: &mut Scheduler<A>,
+    cfg: &RecoveryConfig,
+    rank: usize,
+    num_steps: usize,
+    plan: FaultPlan,
+    mut step_fn: F,
+) -> Result<RecoveryReport, RecoverError>
+where
+    A: Analytics,
+    F: FnMut(&mut Scheduler<A>, usize) -> Result<(), SmartError>,
+{
+    let store = CkptStore::create(&cfg.dir, rank, cfg.retain)?;
+    let mut resumed_from = None;
+    if let Some(rec) = store.load_latest()? {
+        let entries: Vec<(Key, A::Red)> =
+            smart_wire::from_bytes(&rec.payload).map_err(CkptError::from)?;
+        sched.restore(entries, rec.step as usize);
+        resumed_from = Some(rec.step as usize);
+    }
+    sched.set_collect_stats(true);
+    let mut stats = RunStats::default();
+    let first = sched.steps_run();
+    for t in first..num_steps {
+        plan.check(rank, t).map_err(|e| RecoverError::Run(e.at(rank, t)))?;
+        step_fn(sched, t).map_err(|e| RecoverError::Run(e.at(rank, t)))?;
+        stats.absorb(sched.last_stats());
+        if (t + 1) % cfg.every == 0 || t + 1 == num_steps {
+            checkpoint(&store, cfg, sched, &mut stats)?;
+        }
+    }
+    Ok(RecoveryReport { resumed_from, steps_run: sched.steps_run().saturating_sub(first), stats })
+}
+
+/// Snapshot the scheduler into the store (with retries for transient I/O)
+/// and report the overhead through the stats sink.
+fn checkpoint<A: Analytics>(
+    store: &CkptStore,
+    cfg: &RecoveryConfig,
+    sched: &Scheduler<A>,
+    stats: &mut RunStats,
+) -> Result<(), RecoverError> {
+    use smart_core::PhaseObserver;
+    let started = Instant::now();
+    let (entries, cursor) = sched.snapshot();
+    let payload = smart_wire::to_bytes(&entries).map_err(CkptError::from)?;
+    let bytes = retry(&cfg.retry, CkptError::is_transient, || {
+        store.save(cursor as u64, cursor as u64, &payload)
+    })?;
+    stats.checkpoint_done(bytes, started.elapsed());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let cfg = RecoveryConfig::new("/tmp/ckpt").with_every(3).with_retain(5);
+        assert_eq!((cfg.every, cfg.retain), (3, 5));
+        assert_eq!(cfg.dir, PathBuf::from("/tmp/ckpt"));
+        assert_eq!(RecoveryConfig::new("x").every, 1);
+    }
+
+    #[test]
+    fn config_reads_the_environment() {
+        // Process-global env: use keys no other test touches beyond this
+        // module and restore them before returning.
+        std::env::remove_var("SMART_CKPT_DIR");
+        assert!(RecoveryConfig::from_env().is_none());
+        std::env::set_var("SMART_CKPT_DIR", "/tmp/smart-ft-env");
+        std::env::set_var("SMART_CKPT_EVERY", "7");
+        std::env::set_var("SMART_CKPT_RETAIN", "3");
+        let cfg = RecoveryConfig::from_env().expect("dir is set");
+        assert_eq!(cfg.dir, PathBuf::from("/tmp/smart-ft-env"));
+        assert_eq!((cfg.every, cfg.retain), (7, 3));
+        std::env::remove_var("SMART_CKPT_DIR");
+        std::env::remove_var("SMART_CKPT_EVERY");
+        std::env::remove_var("SMART_CKPT_RETAIN");
+    }
+
+    #[test]
+    fn errors_name_their_layer() {
+        let e = RecoverError::from(CkptError::BadVersion { found: 9 });
+        assert!(e.to_string().contains("checkpoint store"));
+        let e = RecoverError::from(SmartError::Injected { rank: 1, step: 2 });
+        assert!(e.to_string().contains("rank 1"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

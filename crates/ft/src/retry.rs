@@ -1,0 +1,147 @@
+//! Bounded exponential-backoff retry for transient failures.
+//!
+//! Used by the recovery driver around checkpoint writes (an `EINTR` or a
+//! momentarily full disk should not abort a simulation step) and available
+//! to callers for any operation with a transient/permanent error split.
+
+use smart_sync::thread;
+use std::time::Duration;
+
+/// How often and how patiently to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: usize,
+    /// Delay before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling the doubling saturates at.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total attempts and the default delays.
+    pub fn new(attempts: usize) -> Self {
+        RetryPolicy { attempts, ..Default::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): `base · 2ᵃ`,
+    /// capped at [`max_delay`](Self::max_delay).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        self.base_delay.saturating_mul(1 << attempt.min(16)).min(self.max_delay)
+    }
+}
+
+/// Run `op` until it succeeds, fails permanently, or exhausts
+/// `policy.attempts`. Only errors for which `transient` returns `true` are
+/// retried (after the policy's backoff); permanent errors — and the final
+/// transient one — are returned to the caller unchanged.
+pub fn retry<T, E>(
+    policy: &RetryPolicy,
+    transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if transient(&e) && (attempt as usize) + 1 < policy.attempts.max(1) => {
+                thread::sleep(policy.delay(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let calls = Cell::new(0u32);
+        let out: Result<u32, &str> = retry(
+            &RetryPolicy::new(5),
+            |_| true,
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() < 3 {
+                    Err("flaky")
+                } else {
+                    Ok(99)
+                }
+            },
+        );
+        assert_eq!(out, Ok(99));
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn attempts_bound_is_respected() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), &str> = retry(
+            &RetryPolicy::new(3),
+            |_| true,
+            || {
+                calls.set(calls.get() + 1);
+                Err("always")
+            },
+        );
+        assert_eq!(out, Err("always"));
+        assert_eq!(calls.get(), 3, "attempts includes the first call");
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), &str> = retry(
+            &RetryPolicy::new(10),
+            |e| *e != "fatal",
+            || {
+                calls.set(calls.get() + 1);
+                Err("fatal")
+            },
+        );
+        assert_eq!(out, Err("fatal"));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(10));
+        assert_eq!(policy.delay(1), Duration::from_millis(20));
+        assert_eq!(policy.delay(2), Duration::from_millis(35));
+        assert_eq!(policy.delay(31), Duration::from_millis(35), "huge exponents must not panic");
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_runs_once() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), &str> = retry(
+            &RetryPolicy::new(0),
+            |_| true,
+            || {
+                calls.set(calls.get() + 1);
+                Err("still reported")
+            },
+        );
+        assert_eq!(out, Err("still reported"));
+        assert_eq!(calls.get(), 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Versioned, CRC-validated on-disk snapshots of the combined reduction
+//! object.
+//!
+//! This module is the **only** place in the workspace where the runtime
+//! writes the filesystem (`cargo xtask lint` rule `no-fs-writes`): durable
+//! state that bypassed the store would be invisible to the recovery driver,
+//! so every persisted byte funnels through [`CkptStore`].
+//!
+//! Record layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SMCK"
+//! 4       4     format version (currently 1)
+//! 8       8     epoch (monotone checkpoint counter)
+//! 16      8     scheduler step cursor at the snapshot
+//! 24      8     payload length in bytes
+//! 32      n     payload (smart_wire-encoded sorted combination-map entries)
+//! 32+n    4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Writes are atomic with respect to crashes: the record goes to a
+//! temporary file in the same directory, is fsynced, and is renamed over
+//! the final per-rank name, so a reader sees either the old epoch set or
+//! the new one — never a half-written record. A record that *still* fails
+//! validation (torn at the filesystem layer, bit rot, a stale format)
+//! decodes to a typed [`CkptError`], never a panic, and
+//! [`CkptStore::load_latest`] silently falls back to the newest epoch that
+//! does validate — that fallback is the whole point of retaining more than
+//! one epoch.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: "SMart ChecKpoint".
+pub const MAGIC: [u8; 4] = *b"SMCK";
+
+/// Current record format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+const CRC_LEN: usize = 4;
+
+/// A decoded checkpoint record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptRecord {
+    /// Monotone checkpoint counter (the recovery driver uses the step
+    /// cursor, so epochs double as resume points).
+    pub epoch: u64,
+    /// Scheduler step cursor at the snapshot: how many steps the combined
+    /// reduction object already incorporates.
+    pub step: u64,
+    /// Serialized sorted combination-map entries.
+    pub payload: Vec<u8>,
+}
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure. The only transient variant — see
+    /// [`is_transient`](Self::is_transient).
+    Io(std::io::Error),
+    /// The payload failed to (de)serialize.
+    Codec(smart_wire::Error),
+    /// The file does not start with [`MAGIC`] — not a checkpoint at all.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The record was written by an incompatible format version.
+    BadVersion {
+        /// The version the header claims.
+        found: u32,
+    },
+    /// The file is shorter (or longer) than its header promises.
+    Truncated {
+        /// Bytes actually present.
+        len: usize,
+        /// Bytes the record needs.
+        need: usize,
+    },
+    /// The checksum does not match the record contents.
+    CorruptCrc {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the record.
+        computed: u32,
+    },
+}
+
+impl CkptError {
+    /// Whether retrying the operation could plausibly succeed. Only I/O
+    /// errors qualify; a corrupt or mis-versioned record stays corrupt no
+    /// matter how often it is re-read.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CkptError::Io(_))
+    }
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CkptError::Codec(e) => write!(f, "checkpoint payload codec failed: {e}"),
+            CkptError::BadMagic { found } => {
+                write!(f, "not a checkpoint record (magic {found:02x?})")
+            }
+            CkptError::BadVersion { found } => {
+                write!(f, "checkpoint format version {found} (this runtime reads {VERSION})")
+            }
+            CkptError::Truncated { len, need } => {
+                write!(f, "truncated checkpoint: {len} bytes present, {need} needed")
+            }
+            CkptError::CorruptCrc { stored, computed } => {
+                write!(f, "checkpoint CRC mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            CkptError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+impl From<smart_wire::Error> for CkptError {
+    fn from(e: smart_wire::Error) -> Self {
+        CkptError::Codec(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the classic
+/// zlib/PNG checksum, computed bitwise so the store needs no lookup tables
+/// and no dependencies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialize a checkpoint record (header + payload + CRC trailer).
+pub fn encode(epoch: u64, step: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&step.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Validate and deserialize a checkpoint record. Every malformation maps to
+/// a typed [`CkptError`]; no input can panic this function.
+pub fn decode(bytes: &[u8]) -> Result<CkptRecord, CkptError> {
+    if bytes.len() < HEADER_LEN + CRC_LEN {
+        return Err(CkptError::Truncated { len: bytes.len(), need: HEADER_LEN + CRC_LEN });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(CkptError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(CkptError::BadVersion { found: version });
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let step = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+    let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice"));
+    let need =
+        match usize::try_from(payload_len).ok().and_then(|n| n.checked_add(HEADER_LEN + CRC_LEN)) {
+            Some(need) => need,
+            None => return Err(CkptError::Truncated { len: bytes.len(), need: usize::MAX }),
+        };
+    if bytes.len() != need {
+        return Err(CkptError::Truncated { len: bytes.len(), need });
+    }
+    let stored = u32::from_le_bytes(bytes[need - CRC_LEN..need].try_into().expect("4-byte slice"));
+    let computed = crc32(&bytes[..need - CRC_LEN]);
+    if stored != computed {
+        return Err(CkptError::CorruptCrc { stored, computed });
+    }
+    Ok(CkptRecord { epoch, step, payload: bytes[HEADER_LEN..need - CRC_LEN].to_vec() })
+}
+
+/// A per-rank checkpoint directory: atomic writes, epoch enumeration, and a
+/// bounded retention window.
+///
+/// Several ranks may share one directory — filenames carry the rank — but a
+/// `CkptStore` instance reads and prunes only its own rank's records.
+#[derive(Debug)]
+pub struct CkptStore {
+    dir: PathBuf,
+    rank: usize,
+    retain: usize,
+}
+
+impl CkptStore {
+    /// Open (creating if necessary) the checkpoint directory for `rank`,
+    /// keeping at most `retain` epochs on disk.
+    pub fn create(dir: impl Into<PathBuf>, rank: usize, retain: usize) -> Result<Self, CkptError> {
+        assert!(retain > 0, "a retention window of zero would delete every checkpoint");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CkptStore { dir, rank, retain })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The rank whose records this store manages.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn prefix(&self) -> String {
+        format!("ckpt-r{}-", self.rank)
+    }
+
+    /// Path of this rank's record for `epoch`.
+    pub fn path_of(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-r{}-{epoch:012}.smck", self.rank))
+    }
+
+    /// Atomically persist one record; returns the bytes written. The record
+    /// is complete on disk (fsynced) before the rename makes it visible, so
+    /// a crash at any point leaves either the previous epoch set or the new
+    /// one.
+    pub fn save(&self, epoch: u64, step: u64, payload: &[u8]) -> Result<u64, CkptError> {
+        let bytes = encode(epoch, step, payload);
+        let tmp = self.dir.join(format!(".ckpt-r{}.tmp", self.rank));
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, self.path_of(epoch))?;
+        // Make the rename itself durable. Best effort: not every platform
+        // lets a directory be opened and fsynced.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.prune()?;
+        Ok(bytes.len() as u64)
+    }
+
+    fn prune(&self) -> Result<(), CkptError> {
+        let epochs = self.epochs()?;
+        if epochs.len() > self.retain {
+            for &old in &epochs[..epochs.len() - self.retain] {
+                fs::remove_file(self.path_of(old))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// This rank's on-disk epochs, ascending. Files that don't follow the
+    /// store's naming scheme are ignored.
+    pub fn epochs(&self) -> Result<Vec<u64>, CkptError> {
+        let prefix = self.prefix();
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&prefix) else { continue };
+            let Some(digits) = rest.strip_suffix(".smck") else { continue };
+            if let Ok(epoch) = digits.parse::<u64>() {
+                found.push(epoch);
+            }
+        }
+        found.sort_unstable();
+        Ok(found)
+    }
+
+    /// Read and validate one specific epoch, surfacing exactly what is
+    /// wrong with it when it fails.
+    pub fn load_epoch(&self, epoch: u64) -> Result<CkptRecord, CkptError> {
+        decode(&fs::read(self.path_of(epoch))?)
+    }
+
+    /// The newest epoch that validates, or `Ok(None)` when no usable record
+    /// exists. Invalid records — the torn newest write after a crash is the
+    /// expected case — are skipped, not fatal.
+    pub fn load_latest(&self) -> Result<Option<CkptRecord>, CkptError> {
+        for &epoch in self.epochs()?.iter().rev() {
+            if let Ok(rec) = self.load_epoch(epoch) {
+                return Ok(Some(rec));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smart-ft-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = decode(&encode(7, 42, b"payload")).unwrap();
+        assert_eq!(rec, CkptRecord { epoch: 7, step: 42, payload: b"payload".to_vec() });
+        let empty = decode(&encode(0, 0, b"")).unwrap();
+        assert_eq!(empty.payload, b"");
+    }
+
+    #[test]
+    fn save_load_and_retention() {
+        let dir = scratch("retention");
+        let store = CkptStore::create(&dir, 3, 2).unwrap();
+        for epoch in 1..=4u64 {
+            let written = store.save(epoch, epoch * 10, &[epoch as u8; 8]).unwrap();
+            assert_eq!(written, 32 + 8 + 4);
+        }
+        // Only the last two epochs survive pruning.
+        assert_eq!(store.epochs().unwrap(), vec![3, 4]);
+        let rec = store.load_latest().unwrap().unwrap();
+        assert_eq!((rec.epoch, rec.step), (4, 40));
+        assert_eq!(rec.payload, [4u8; 8]);
+        // No temporary file is left behind.
+        assert!(!dir.join(".ckpt-r3.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stores_for_different_ranks_share_a_directory() {
+        let dir = scratch("shared");
+        let a = CkptStore::create(&dir, 0, 4).unwrap();
+        let b = CkptStore::create(&dir, 1, 4).unwrap();
+        a.save(1, 1, b"rank0").unwrap();
+        b.save(2, 2, b"rank1").unwrap();
+        assert_eq!(a.epochs().unwrap(), vec![1]);
+        assert_eq!(b.epochs().unwrap(), vec![2]);
+        assert_eq!(a.load_latest().unwrap().unwrap().payload, b"rank0");
+        assert_eq!(b.load_latest().unwrap().unwrap().payload, b"rank1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_on_missing_or_empty_dir() {
+        let dir = scratch("empty");
+        let store = CkptStore::create(&dir, 0, 1).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        assert!(store.epochs().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,423 @@
+//! End-to-end fault-tolerance tests: checkpoint corruption handling,
+//! kill/restart recovery (single-rank and distributed), self-healing
+//! in-transit topologies under stager and producer death, and failure
+//! detection. The recovery acceptance bar throughout is **bit identity**:
+//! a recovered run's canonical combination-map bytes equal the
+//! uninterrupted run's.
+
+use serde::{Deserialize, Serialize};
+use smart_comm::run_cluster;
+use smart_core::{
+    Analytics, Chunk, ComMap, InTransitConfig, Key, KeyMode, RedObj, SchedArgs, Scheduler,
+    SmartError, StepSpec, Topology,
+};
+use smart_ft::{
+    await_death, decode, encode, probe, run_in_transit_healing, run_recoverable, serve_pings,
+    CkptError, CkptStore, FaultPlan, FtProducer, Probe, RecoverError, RecoveryConfig,
+};
+use smart_pool::shared_pool;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smart-ft-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Clone, Serialize, Deserialize, Default, Debug)]
+struct Acc {
+    sum: f64,
+    n: u64,
+}
+impl RedObj for Acc {}
+
+/// Sums each 8-element block (keyed by `global_start / 8`) — one key per
+/// rank/producer, so recovered maps are easy to predict and the data is
+/// integer-valued (exact in f64, making bit-identity meaningful).
+struct SumPerBlock;
+impl Analytics for SumPerBlock {
+    type In = f64;
+    type Red = Acc;
+    type Out = f64;
+    type Extra = ();
+    fn gen_key(&self, chunk: &Chunk, _d: &[f64], _com: &ComMap<Acc>) -> Key {
+        (chunk.global_start / 8) as Key
+    }
+    fn accumulate(&self, c: &Chunk, d: &[f64], _k: Key, obj: &mut Option<Acc>) {
+        let a = obj.get_or_insert_with(Acc::default);
+        a.sum += d[c.local_start];
+        a.n += 1;
+    }
+    fn merge(&self, red: &Acc, com: &mut Acc) {
+        com.sum += red.sum;
+        com.n += red.n;
+    }
+    fn convert(&self, obj: &Acc, out: &mut f64) {
+        *out = obj.sum;
+    }
+}
+
+fn step_data(rank: usize, t: usize) -> Vec<f64> {
+    (0..8).map(|i| ((t * 31 + rank * 7 + i) % 13) as f64).collect()
+}
+
+fn make_sched() -> Scheduler<SumPerBlock> {
+    Scheduler::new(SumPerBlock, SchedArgs::new(2, 1), shared_pool(2).unwrap()).unwrap()
+}
+
+fn map_bytes(sched: &Scheduler<SumPerBlock>) -> Vec<u8> {
+    smart_wire::to_bytes(&sched.combination_map().to_sorted_entries()).unwrap()
+}
+
+/// Run one in-situ step on `sched`: this rank's 8-element partition.
+fn run_step(
+    sched: &mut Scheduler<SumPerBlock>,
+    rank: usize,
+    t: usize,
+    comm: Option<&mut smart_comm::Communicator>,
+) -> Result<(), SmartError> {
+    let data = step_data(rank, t);
+    let parts = [(rank * 8, data.as_slice())];
+    let mut out = vec![0.0f64; 8];
+    sched.execute(StepSpec::new(&parts).with_key_mode(KeyMode::Single).with_comm(comm), &mut out)
+}
+
+// ---------------------------------------------------------------------
+// Wire format: corruption never panics, always a typed error.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let record = encode(3, 9, b"some payload bytes");
+    assert!(decode(&record).is_ok());
+    for byte in 0..record.len() {
+        for bit in 0..8 {
+            let mut bad = record.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                decode(&bad).is_err(),
+                "flipping bit {bit} of byte {byte} must invalidate the record"
+            );
+        }
+    }
+    // Truncation at every length is rejected too.
+    for len in 0..record.len() {
+        assert!(decode(&record[..len]).is_err(), "truncation to {len} bytes must be rejected");
+    }
+}
+
+#[test]
+fn corruption_maps_to_specific_errors() {
+    let record = encode(1, 2, b"payload");
+    let mut bad_magic = record.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(decode(&bad_magic), Err(CkptError::BadMagic { .. })));
+
+    let mut stale_version = record.clone();
+    stale_version[4] = 99;
+    match decode(&stale_version) {
+        Err(CkptError::BadVersion { found: 99 }) => {}
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+
+    let mut flipped_crc = record.clone();
+    *flipped_crc.last_mut().unwrap() ^= 0xFF;
+    assert!(matches!(decode(&flipped_crc), Err(CkptError::CorruptCrc { .. })));
+
+    let mut flipped_payload = record.clone();
+    flipped_payload[34] ^= 0x01;
+    assert!(matches!(decode(&flipped_payload), Err(CkptError::CorruptCrc { .. })));
+
+    assert!(matches!(decode(&record[..record.len() - 3]), Err(CkptError::Truncated { .. })));
+    assert!(matches!(decode(&[]), Err(CkptError::Truncated { .. })));
+}
+
+#[test]
+fn load_latest_falls_back_past_a_torn_newest_epoch() {
+    let dir = scratch("fallback");
+    let store = CkptStore::create(&dir, 0, 4).unwrap();
+    store.save(1, 1, b"old epoch").unwrap();
+    store.save(2, 2, b"new epoch").unwrap();
+    // Tear the newest record the way a crash mid-write would.
+    let newest = store.path_of(2);
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(store.load_epoch(2), Err(CkptError::Truncated { .. })));
+    let rec = store.load_latest().unwrap().expect("epoch 1 is intact");
+    assert_eq!((rec.epoch, rec.payload.as_slice()), (1, b"old epoch".as_slice()));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Kill/restart recovery.
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_rank_kill_and_restart_is_bit_identical() {
+    let steps = 6usize;
+
+    // Uninterrupted reference.
+    let ref_dir = scratch("single-ref");
+    let mut reference = make_sched();
+    let report = run_recoverable(
+        &mut reference,
+        &RecoveryConfig::new(&ref_dir).with_every(2),
+        0,
+        steps,
+        FaultPlan::none(),
+        |sched, t| run_step(sched, 0, t, None),
+    )
+    .unwrap();
+    assert_eq!(report.resumed_from, None);
+    assert_eq!(report.steps_run, steps);
+    // Checkpoint overhead lands in the run stats: after steps 2, 4, 6.
+    assert_eq!(report.stats.ckpts, 3);
+    assert!(report.stats.ckpt_bytes > 0);
+
+    // Killed run: the fault plan fires at step 4, after the epoch-4
+    // checkpoint committed.
+    let dir = scratch("single-crash");
+    let cfg = RecoveryConfig::new(&dir).with_every(2);
+    let mut crashed = make_sched();
+    let err = run_recoverable(&mut crashed, &cfg, 0, steps, FaultPlan::kill_rank(0, 4), |s, t| {
+        run_step(s, 0, t, None)
+    })
+    .unwrap_err();
+    match err {
+        RecoverError::Run(SmartError::Context { rank: 0, step: 4, source }) => {
+            assert!(matches!(*source, SmartError::Injected { rank: 0, step: 4 }))
+        }
+        other => panic!("expected a located injected fault, got {other}"),
+    }
+    assert_eq!(CkptStore::create(&dir, 0, 2).unwrap().epochs().unwrap(), vec![2, 4]);
+
+    // Restart in a fresh process (fresh scheduler): resumes from the
+    // newest checkpoint and finishes bit-identically.
+    let mut resumed = make_sched();
+    let report = run_recoverable(&mut resumed, &cfg, 0, steps, FaultPlan::none(), |s, t| {
+        run_step(s, 0, t, None)
+    })
+    .unwrap();
+    assert_eq!(report.resumed_from, Some(4));
+    assert_eq!(report.steps_run, 2, "only the lost tail is replayed");
+    assert_eq!(report.stats.ckpts, 1);
+    assert_eq!(map_bytes(&resumed), map_bytes(&reference));
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distributed_worker_death_recovers_bit_identically() {
+    let steps = 6usize;
+
+    // Uninterrupted two-rank reference.
+    let ref_dir = scratch("dist-ref");
+    let reference: Vec<Vec<u8>> = run_cluster(2, |mut comm| {
+        let rank = comm.rank();
+        let mut sched = make_sched();
+        run_recoverable(
+            &mut sched,
+            &RecoveryConfig::new(&ref_dir),
+            rank,
+            steps,
+            FaultPlan::none(),
+            |s, t| run_step(s, rank, t, Some(&mut comm)),
+        )
+        .unwrap();
+        map_bytes(&sched)
+    });
+    assert_eq!(reference[0], reference[1], "global combination synchronizes the maps");
+
+    // Rank 1 dies at its step-3 boundary; rank 0's global combination for
+    // step 3 observes the death and aborts without merging.
+    let dir = scratch("dist-crash");
+    let crash_dir = dir.clone();
+    let crashed: Vec<RecoverError> = run_cluster(2, move |mut comm| {
+        let rank = comm.rank();
+        let mut sched = make_sched();
+        run_recoverable(
+            &mut sched,
+            &RecoveryConfig::new(&crash_dir),
+            rank,
+            steps,
+            FaultPlan::kill_rank(1, 3),
+            |s, t| run_step(s, rank, t, Some(&mut comm)),
+        )
+        .unwrap_err()
+    });
+    match &crashed[1] {
+        RecoverError::Run(SmartError::Context { rank: 1, step: 3, .. }) => {}
+        other => panic!("rank 1 must die of its injected fault, got {other}"),
+    }
+    match &crashed[0] {
+        // The survivor's error names who observed the failure and when.
+        RecoverError::Run(SmartError::Context { rank: 0, step: 3, .. }) => {}
+        other => panic!("rank 0 must observe the death at step 3, got {other}"),
+    }
+    // Both ranks' newest epochs agree (step-boundary consistency).
+    for rank in 0..2 {
+        let store = CkptStore::create(&dir, rank, 2).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().step, 3, "rank {rank}");
+    }
+
+    // Restart the whole job: both ranks resume from the common cursor and
+    // the final maps match the uninterrupted run bit for bit.
+    let restart_dir = dir.clone();
+    let restarted: Vec<(Option<usize>, Vec<u8>)> = run_cluster(2, move |mut comm| {
+        let rank = comm.rank();
+        let mut sched = make_sched();
+        let report = run_recoverable(
+            &mut sched,
+            &RecoveryConfig::new(&restart_dir),
+            rank,
+            steps,
+            FaultPlan::none(),
+            |s, t| run_step(s, rank, t, Some(&mut comm)),
+        )
+        .unwrap();
+        (report.resumed_from, map_bytes(&sched))
+    });
+    for (rank, (resumed_from, bytes)) in restarted.iter().enumerate() {
+        assert_eq!(*resumed_from, Some(3), "rank {rank}");
+        assert_eq!(*bytes, reference[0], "rank {rank} must match the uninterrupted map");
+    }
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Self-healing in-transit topologies.
+// ---------------------------------------------------------------------
+
+fn healing_run(
+    topo: Topology,
+    steps_of: impl Fn(usize) -> usize + Sync,
+    plan: FaultPlan,
+) -> smart_ft::HealOutcome<usize, f64> {
+    run_in_transit_healing(
+        topo,
+        InTransitConfig::with_window(2),
+        KeyMode::Single,
+        plan,
+        |prod: &mut FtProducer<f64>| {
+            let offset = prod.index() * 8;
+            for t in 0..steps_of(prod.index()) {
+                prod.feed(offset, &step_data(prod.index(), t))?;
+            }
+            Ok(prod.index())
+        },
+        |_s| Ok((make_sched(), vec![0.0f64; 4])),
+    )
+}
+
+#[test]
+fn stager_death_heals_and_stays_bit_identical() {
+    let topo = Topology::new(4, 2);
+    let steps = 6usize;
+
+    let reference = healing_run(topo, |_| steps, FaultPlan::none());
+    let ref_stagers: Vec<_> = reference.stagers.into_iter().map(|s| s.unwrap()).collect();
+    assert_eq!(ref_stagers[0].map_bytes, ref_stagers[1].map_bytes);
+    assert_eq!(ref_stagers[0].heals + ref_stagers[1].heals, 0);
+
+    // Kill stager 1 (world rank 5) at its round-2 boundary: rounds 0 and 1
+    // are committed and acknowledged; its producers' later chunks are
+    // replayed to stager 0.
+    let outcome = healing_run(topo, |_| steps, FaultPlan::kill_stager(topo, 1, 2));
+    match &outcome.stagers[1] {
+        Err(SmartError::Injected { rank: 5, step: 2 }) => {}
+        other => panic!("stager 1 must die of its injected fault, got {other:?}"),
+    }
+    let survivor = outcome.stagers[0].as_ref().expect("stager 0 survives and heals");
+    assert_eq!(
+        survivor.map_bytes, ref_stagers[0].map_bytes,
+        "the healed map must be bit-identical to the uninterrupted run's"
+    );
+    assert_eq!(survivor.out, ref_stagers[0].out);
+    assert_eq!(survivor.rounds, steps);
+    assert_eq!(survivor.stats.iters, steps, "discarded heal attempts must not count");
+    assert!(survivor.heals >= 1, "the death must cost at least one heal retry");
+    assert_eq!(survivor.adopted, 2, "both orphaned producer streams are adopted");
+    assert_eq!(survivor.streams.len(), 4);
+
+    // Every producer survives; the orphaned ones rerouted and replayed.
+    let producers: Vec<_> = outcome.producers.into_iter().map(|p| p.unwrap()).collect();
+    for (p, prod) in producers.iter().enumerate() {
+        assert_eq!(prod.result, p);
+        // `steps` counts transmitted chunks, so a rerouted producer shows
+        // its fed steps plus the replayed suffix — never fewer, never more.
+        assert_eq!(prod.stream.steps, steps as u64 + prod.stream.replayed);
+    }
+    for p in topo.producers_of(1) {
+        assert!(producers[p].stream.reroutes >= 1, "producer {p} must reroute");
+    }
+    let replayed: u64 = producers.iter().map(|p| p.stream.replayed).sum();
+    assert!(replayed >= 1, "unacknowledged chunks must be replayed to the adopter");
+}
+
+#[test]
+fn producer_death_is_equivalent_to_a_shorter_stream() {
+    let topo = Topology::new(4, 2);
+
+    // Reference: producer 1 legitimately feeds only 2 of 6 steps.
+    let reference = healing_run(topo, |p| if p == 1 { 2 } else { 6 }, FaultPlan::none());
+    let ref_stagers: Vec<_> = reference.stagers.into_iter().map(|s| s.unwrap()).collect();
+    assert_eq!(ref_stagers[0].map_bytes, ref_stagers[1].map_bytes);
+
+    // Faulted: producer 1 tries to feed 6 steps but is killed at its
+    // step-2 feed — steps 0 and 1 are already on the wire and must still
+    // count; the truncated tail must not wedge the stagers.
+    let outcome = healing_run(topo, |_| 6, FaultPlan::kill_rank(1, 2));
+    match &outcome.producers[1] {
+        Err(SmartError::Injected { rank: 1, step: 2 }) => {}
+        other => panic!("producer 1 must die of its injected fault, got {other:?}"),
+    }
+    for p in [0, 2, 3] {
+        assert!(outcome.producers[p].is_ok(), "producer {p} must finish cleanly");
+    }
+    let stagers: Vec<_> = outcome.stagers.into_iter().map(|s| s.unwrap()).collect();
+    assert_eq!(stagers[0].map_bytes, stagers[1].map_bytes);
+    assert_eq!(
+        stagers[0].map_bytes, ref_stagers[0].map_bytes,
+        "a killed producer must equal a producer that stopped feeding"
+    );
+    assert_eq!(stagers[0].out, ref_stagers[0].out);
+}
+
+// ---------------------------------------------------------------------
+// Failure detection.
+// ---------------------------------------------------------------------
+
+#[test]
+fn probes_see_a_peer_alive_then_confirm_its_death() {
+    let outcomes = run_cluster(2, |mut comm| {
+        if comm.rank() == 0 {
+            // Answer pings until at least one probe was served, then die.
+            let mut served = 0usize;
+            while served == 0 {
+                served += serve_pings(&mut comm).unwrap();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            true
+        } else {
+            // Probe until the peer answers (it may not be serving yet).
+            loop {
+                match probe(&mut comm, 0, Duration::from_millis(5)).unwrap() {
+                    Probe::Alive => break,
+                    Probe::NoReply => continue,
+                    Probe::Dead => panic!("peer must be alive while it serves pings"),
+                }
+            }
+            // The peer exits after serving; the transport confirms the
+            // death and records it in the alive set.
+            let confirmed = await_death(&mut comm, 0, Duration::from_millis(2), 10_000).unwrap();
+            assert!(!comm.is_alive(0));
+            confirmed
+        }
+    });
+    assert_eq!(outcomes, vec![true, true]);
+}

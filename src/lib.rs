@@ -12,6 +12,7 @@ pub use smart_analytics as analytics;
 pub use smart_baseline as baseline;
 pub use smart_comm as comm;
 pub use smart_core as core;
+pub use smart_ft as ft;
 pub use smart_memtrack as memtrack;
 pub use smart_minispark as minispark;
 pub use smart_pool as pool;

@@ -19,6 +19,11 @@
 //! * **no-lock-unwrap** — no `.lock().unwrap()` / `.lock().expect(`: facade
 //!   mutexes are not poisoning (parking_lot surface), so unwrapping a lock
 //!   result means someone bypassed the facade or is cargo-culting std.
+//! * **no-fs-writes** — runtime code mutates the filesystem only through
+//!   the `smart-ft` checkpoint store (`crates/ft/src/store.rs`). Durable
+//!   state written anywhere else is invisible to the recovery driver, so a
+//!   restart could not see it; deliberate exceptions (the offline baseline
+//!   models file I/O as its cost) carry an explicit suppression.
 //!
 //! Suppress a finding by putting `lint:allow(<rule>)` in a comment on the
 //! offending line or the line directly above it.
@@ -217,6 +222,33 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
+        // --- no-fs-writes -----------------------------------------------
+        if path != "crates/ft/src/store.rs" && !in_test_region {
+            for pat in [
+                "fs::write",
+                "fs::create_dir",
+                "fs::rename",
+                "fs::copy",
+                "fs::remove",
+                "fs::hard_link",
+                "File::create",
+                "OpenOptions",
+            ] {
+                if line.contains(pat) && !suppressed(&lines, idx, "no-fs-writes") {
+                    findings.push(Finding {
+                        path: path.to_owned(),
+                        line: lineno,
+                        rule: "no-fs-writes",
+                        message: format!(
+                            "`{pat}` outside the smart-ft checkpoint store writes state the \
+                             recovery driver cannot see; go through `smart_ft::store::CkptStore`"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
         // --- no-lock-unwrap ---------------------------------------------
         if !in_facade
             && !in_test_region
@@ -331,6 +363,27 @@ fn selftest() {
         1,
     );
     check("crates/core/tests/seeded.rs", locky, "no-lock-unwrap", 0);
+
+    // no-fs-writes: fires on runtime code, silent in the checkpoint store,
+    // in test regions, and under a suppression.
+    let writer = "fn f() { std::fs::write(p, b).unwrap(); }\n";
+    check("crates/core/src/seeded.rs", writer, "no-fs-writes", 1);
+    check("crates/ft/src/store.rs", writer, "no-fs-writes", 0);
+    check("crates/core/tests/seeded.rs", writer, "no-fs-writes", 0);
+    check("crates/core/src/seeded.rs", "let f = File::create(p)?;\n", "no-fs-writes", 1);
+    check("crates/core/src/seeded.rs", "fs::remove_dir_all(&dir)?;\n", "no-fs-writes", 1);
+    check(
+        "crates/baseline/src/offline.rs",
+        "// lint:allow(no-fs-writes): the offline baseline models file I/O\nfs::create_dir_all(&d)?;\n",
+        "no-fs-writes",
+        0,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "#[cfg(test)]\nmod tests {\n    fn f() { fs::rename(a, b).unwrap(); }\n}\n",
+        "no-fs-writes",
+        0,
+    );
 
     // Comment stripping: mentions in docs never fire.
     check(
