@@ -86,6 +86,11 @@ impl Analytics for GridAggregation {
     fn convert(&self, obj: &GridCell, out: &mut f64) {
         *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
     }
+
+    fn key_bound(&self) -> Option<usize> {
+        // Keys are cell indices: dense and bounded by construction.
+        Some(self.cells())
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Equi-width histogram (paper Listing 3) — the statistical-analytics
-//! representative.
+//! representative, and the showcase for the batched reduce kernel: bucket
+//! search is pure arithmetic on the element value, so a whole batch of it
+//! vectorizes (AVX2, four lanes of `f64`) while the per-bucket counting
+//! stays in the dense reduction map.
 
 use serde::{Deserialize, Serialize};
-use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+use smart_core::{Analytics, Batch, BatchSink, Chunk, ComMap, Key, KeyMode, RedObj};
 
 /// One histogram bucket: a single count (paper Listing 3's `Bucket`).
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
@@ -13,8 +16,40 @@ pub struct Bucket {
 
 impl RedObj for Bucket {}
 
+/// Which batched bucket-search kernel [`Histogram::reduce_batch`] runs.
+/// Decided once at construction — never per element, and never per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdLevel {
+    /// Portable scalar kernel (also the tail handler for the SIMD kernel).
+    Scalar,
+    /// Four-lane `f64` AVX2 bucket search.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// Pick the kernel: AVX2 when the CPU has it, the build targets x86-64,
+/// `SMART_NO_SIMD` is not set (the CI force-disable leg), and the bucket
+/// count fits the `i32` lanes of `_mm256_cvttpd_epi32`.
+fn detect_simd(buckets: usize) -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let disabled = std::env::var_os("SMART_NO_SIMD").is_some_and(|v| v != "0");
+        if !disabled && buckets <= i32::MAX as usize && std::arch::is_x86_feature_detected!("avx2")
+        {
+            return SimdLevel::Avx2;
+        }
+    }
+    let _ = buckets;
+    SimdLevel::Scalar
+}
+
 /// Equi-width histogram over `[min, max)` with `buckets` buckets.
-/// Out-of-range values clamp into the first/last bucket.
+///
+/// Out-of-range routing policy (documented because the three non-finite
+/// cases used to disagree): values below `min`, `-inf`, and `NaN` land in
+/// the **first** bucket; values at or above `max` and `+inf` clamp into the
+/// **last** bucket. In short: anything that fails `v >= min` goes low,
+/// everything else goes where the arithmetic sends it, clamped high.
 ///
 /// Unit chunk: 1 element. Output: `out[bucket] = count`.
 #[derive(Debug, Clone)]
@@ -22,6 +57,7 @@ pub struct Histogram {
     min: f64,
     width: f64,
     buckets: usize,
+    simd: SimdLevel,
 }
 
 impl Histogram {
@@ -32,7 +68,7 @@ impl Histogram {
     pub fn new(min: f64, max: f64, buckets: usize) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         assert!(max > min, "empty value range");
-        Histogram { min, width: (max - min) / buckets as f64, buckets }
+        Histogram { min, width: (max - min) / buckets as f64, buckets, simd: detect_simd(buckets) }
     }
 
     /// Number of buckets.
@@ -40,12 +76,99 @@ impl Histogram {
         self.buckets
     }
 
-    /// The bucket a value falls into (clamped).
+    /// `true` when the SIMD bucket-search kernel is selected (CPU support
+    /// present and `SMART_NO_SIMD` unset). Exposed so benches and CI can
+    /// report which kernel actually ran.
+    pub fn simd_enabled(&self) -> bool {
+        self.simd != SimdLevel::Scalar
+    }
+
+    /// The bucket a value falls into (see the routing policy on
+    /// [`Histogram`]).
     pub fn bucket_of(&self, v: f64) -> usize {
-        if !v.is_finite() || v < self.min {
+        // NaN and everything below the range (including -inf) route to the
+        // first bucket; the explicit is_nan check is what keeps NaN from
+        // falling through to the arithmetic (NaN fails `v < min` too).
+        if v.is_nan() || v < self.min {
             return 0;
         }
+        // +inf and values at/above max saturate through the `as usize`
+        // cast and clamp into the last bucket.
         (((v - self.min) / self.width) as usize).min(self.buckets - 1)
+    }
+
+    /// Scalar batched kernel: [`Histogram::bucket_of`] per chunk without
+    /// the `gen_keys` detour. Also the tail handler for the AVX2 kernel,
+    /// so both must keep byte-for-byte the same routing.
+    fn reduce_batch_scalar(
+        &self,
+        data: &[f64],
+        batch: &Batch,
+        sink: &mut BatchSink<'_, '_, Self>,
+        from: usize,
+    ) {
+        for i in from..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            let key = self.bucket_of(data[chunk.local_start]) as Key;
+            sink.accumulate_keyed(self, &chunk, data, key);
+        }
+    }
+
+    /// AVX2 batched kernel: four `f64` lanes per iteration compute
+    /// `clamp((v - min) / width)` with the exact scalar operations (sub,
+    /// div, min, truncating convert — no FMA contraction, no
+    /// approximations), so the lane results are bit-identical to
+    /// [`Histogram::bucket_of`]:
+    ///
+    /// * `cmp GE_OQ(v, min)` is false for NaN, `-inf`, and `v < min` —
+    ///   the mask zeroes those lanes into bucket 0, matching the scalar
+    ///   early-return;
+    /// * `min_pd(t, buckets-1)` clamps `+inf`/above-range lanes before the
+    ///   `i32` convert (constructor guarantees `buckets - 1` fits `i32`),
+    ///   matching the scalar `.min(buckets - 1)`;
+    /// * `cvttpd_epi32` truncates toward zero exactly like `as usize` for
+    ///   the in-range values that survive the clamp.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 (guaranteed by
+    /// [`detect_simd`] gating the `SimdLevel::Avx2` selection).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_batch_avx2(
+        &self,
+        data: &[f64],
+        batch: &Batch,
+        sink: &mut BatchSink<'_, '_, Self>,
+    ) {
+        use std::arch::x86_64::{
+            _mm256_and_pd, _mm256_cmp_pd, _mm256_cvttpd_epi32, _mm256_div_pd, _mm256_loadu_pd,
+            _mm256_min_pd, _mm256_set1_pd, _mm256_sub_pd, _mm_storeu_si128, _CMP_GE_OQ,
+        };
+        let n = batch.chunks;
+        let vals = &data[batch.local_start..batch.local_start + n];
+        let vmin = _mm256_set1_pd(self.min);
+        let vwidth = _mm256_set1_pd(self.width);
+        let vlast = _mm256_set1_pd((self.buckets - 1) as f64);
+        let mut lanes = [0i32; 4];
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` keeps the four-lane load inside `vals`.
+            let v = unsafe { _mm256_loadu_pd(vals.as_ptr().add(i)) };
+            let in_range = _mm256_cmp_pd::<_CMP_GE_OQ>(v, vmin);
+            let t = _mm256_div_pd(_mm256_sub_pd(v, vmin), vwidth);
+            let t = _mm256_min_pd(t, vlast); // +inf → last bucket (b if t is NaN never occurs masked)
+            let t = _mm256_and_pd(t, in_range); // below-range / NaN lanes → 0.0
+            let idx = _mm256_cvttpd_epi32(t);
+            // SAFETY: `lanes` is exactly the 16 bytes the store writes.
+            unsafe { _mm_storeu_si128(lanes.as_mut_ptr().cast(), idx) };
+            for (lane, &key) in lanes.iter().enumerate() {
+                let chunk = batch.chunk_at(i + lane);
+                sink.accumulate_keyed(self, &chunk, data, key as Key);
+            }
+            i += 4;
+        }
+        // Scalar tail: fewer than four chunks left.
+        self.reduce_batch_scalar(data, batch, sink, i);
     }
 }
 
@@ -69,6 +192,27 @@ impl Analytics for Histogram {
 
     fn convert(&self, obj: &Bucket, out: &mut u64) {
         *out = obj.count;
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(self.buckets)
+    }
+
+    fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
+        // The kernels assume the 1-element unit chunk the histogram is
+        // specified with and single-key dispatch; anything else takes the
+        // generic walk.
+        if batch.chunk_size != 1 || sink.key_mode() != KeyMode::Single {
+            sink.reduce_default(self, data, batch);
+            return;
+        }
+        match self.simd {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2 is only ever selected by detect_simd after
+            // is_x86_feature_detected!("avx2") returned true on this CPU.
+            SimdLevel::Avx2 => unsafe { self.reduce_batch_avx2(data, batch, sink) },
+            SimdLevel::Scalar => self.reduce_batch_scalar(data, batch, sink, 0),
+        }
     }
 }
 
@@ -96,6 +240,21 @@ mod tests {
         assert_eq!(h.bucket_of(10.0), 9);
         assert_eq!(h.bucket_of(1e12), 9);
         assert_eq!(h.bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bucket_of_routes_non_finite_values_symmetrically() {
+        // The documented policy: NaN and -inf go low with the below-range
+        // values; +inf clamps high with the above-range values. (+inf used
+        // to fall into bucket 0 through a blanket !is_finite() check.)
+        let h = Histogram::new(-2.0, 2.0, 8);
+        assert_eq!(h.bucket_of(f64::NEG_INFINITY), 0);
+        assert_eq!(h.bucket_of(f64::NAN), 0);
+        assert_eq!(h.bucket_of(-f64::NAN), 0);
+        assert_eq!(h.bucket_of(f64::INFINITY), 7);
+        assert_eq!(h.bucket_of(f64::MAX), 7);
+        assert_eq!(h.bucket_of(f64::MIN), 0);
+        assert_eq!(h.bucket_of(f64::MIN_POSITIVE), 4);
     }
 
     #[test]
@@ -134,6 +293,38 @@ mod tests {
         assert_eq!(out, vec![2, 2]);
     }
 
+    #[test]
+    fn kernel_and_scalar_walk_agree_on_adversarial_values() {
+        // Non-finite values, range boundaries, and subnormals through both
+        // the batched kernel (SIMD if available) and the forced classic
+        // walk — counts must match the oracle exactly in both.
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            10.0,
+            9.999_999,
+            -1e-300,
+        ];
+        let data: Vec<f64> =
+            (0..997).map(|i| specials[i % specials.len()]).chain(specials).collect();
+        let h = Histogram::new(0.0, 10.0, 10);
+        let expected = oracle(&h, &data);
+        for scalar in [false, true] {
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s = Scheduler::new(h.clone(), SchedArgs::new(3, 1), pool).unwrap();
+            s.set_scalar_reduce(scalar);
+            let mut out = vec![0u64; 10];
+            s.run(&data, &mut out).unwrap();
+            assert_eq!(out, expected, "scalar_reduce={scalar}");
+        }
+    }
+
     proptest! {
         #[test]
         fn matches_oracle_on_random_data(
@@ -157,6 +348,24 @@ mod tests {
             let h = Histogram::new(-1.0, 1.0, 7);
             let counts = oracle(&h, &data);
             prop_assert_eq!(counts.iter().sum::<u64>() as usize, data.len());
+        }
+
+        /// The routing-policy invariants, pinned by property: NaN and
+        /// below-range always bucket 0; at/above max always the last
+        /// bucket; in-range values always land in the analytically correct
+        /// bucket.
+        #[test]
+        fn bucket_policy_holds_for_arbitrary_values(v in any::<f64>()) {
+            let h = Histogram::new(-1.0, 1.0, 16);
+            let b = h.bucket_of(v);
+            prop_assert!(b < 16);
+            if v.is_nan() || v < -1.0 {
+                prop_assert_eq!(b, 0);
+            } else if v >= 1.0 {
+                prop_assert_eq!(b, 15);
+            } else {
+                prop_assert_eq!(b, (((v + 1.0) / 0.125) as usize).min(15));
+            }
         }
     }
 }

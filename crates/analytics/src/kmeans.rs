@@ -2,7 +2,7 @@
 //! representative and the paper's canonical iterative application.
 
 use serde::{Deserialize, Serialize};
-use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+use smart_core::{Analytics, Batch, BatchSink, Chunk, ComMap, Key, KeyMode, RedObj};
 
 /// One cluster (paper Listing 4's `ClusterObj`).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -138,6 +138,46 @@ impl Analytics for KMeans {
 
     fn convert(&self, obj: &ClusterObj, out: &mut Vec<f64>) {
         out.clone_from(&obj.centroid);
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(self.k)
+    }
+
+    fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
+        if batch.chunk_size != self.dims || sink.key_mode() != KeyMode::Single {
+            sink.reduce_default(self, data, batch);
+            return;
+        }
+        // Snapshot the centroids into the sink's reusable scratch buffer
+        // once per batch, so the nearest-centroid search sweeps a
+        // contiguous array instead of doing k combination-map lookups per
+        // point. Missing clusters are filled with +inf coordinates: their
+        // distance is then inf or NaN, which `d < best_d` never selects —
+        // exactly how `nearest` skips absent keys.
+        let mut scratch = sink.take_scratch();
+        scratch.clear();
+        scratch.resize(self.k * self.dims, f64::INFINITY);
+        for (j, row) in scratch.chunks_exact_mut(self.dims).enumerate() {
+            if let Some(c) = sink.com_map().get(j as Key) {
+                row.copy_from_slice(&c.centroid);
+            }
+        }
+        for i in 0..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            let point = chunk.slice(data);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in scratch.chunks_exact(self.dims).enumerate() {
+                let d = Self::dist2(point, c);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            sink.accumulate_keyed(self, &chunk, data, best as Key);
+        }
+        sink.restore_scratch(scratch);
     }
 }
 

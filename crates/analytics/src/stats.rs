@@ -12,7 +12,7 @@
 //!   and ranks carve the data.
 
 use serde::{Deserialize, Serialize};
-use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+use smart_core::{Analytics, Batch, BatchSink, Chunk, ComMap, Key, KeyMode, RedObj};
 
 /// Running minimum and maximum.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -66,6 +66,24 @@ impl Analytics for ValueRange {
         com.min = com.min.min(red.min);
         com.max = com.max.max(red.max);
         com.count += red.count;
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
+        // Single fixed key: skip the per-chunk gen_key round-trip and fold
+        // straight into slot 0, in element order (min/max are order-
+        // insensitive, but keeping the scalar order costs nothing).
+        if sink.key_mode() != KeyMode::Single {
+            sink.reduce_default(self, data, batch);
+            return;
+        }
+        for i in 0..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            sink.accumulate_keyed(self, &chunk, data, 0);
+        }
     }
 }
 
@@ -155,6 +173,23 @@ impl Analytics for Moments {
         com.s3 += red.s3;
         com.s4 += red.s4;
         com.count += red.count;
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
+        // Single fixed key, and the power-sum adds run in the exact element
+        // order of the scalar walk, so the sums are bit-identical.
+        if sink.key_mode() != KeyMode::Single {
+            sink.reduce_default(self, data, batch);
+            return;
+        }
+        for i in 0..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            sink.accumulate_keyed(self, &chunk, data, 0);
+        }
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::linalg::savgol_coefficients;
 use serde::{Deserialize, Serialize};
-use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+use smart_core::{Analytics, Batch, BatchSink, Chunk, ComMap, Key, KeyMode, RedObj};
 
 /// Shared window geometry: half-width plus the global element count.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +119,32 @@ impl Analytics for MovingAverage {
 
     fn convert(&self, obj: &WinObj, out: &mut f64) {
         *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        // Keys are window centers, i.e. global element positions. RedMap
+        // falls back to the hash backend on its own for large datasets.
+        Some(self.spec.total_len)
+    }
+
+    fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
+        // Multi-key kernel: the window-center keys for one element are the
+        // contiguous run `keys_for` would have pushed — generate them
+        // inline instead of filling the key scratch vector. Key order (and
+        // thus trigger/emission order) matches the default walk exactly.
+        if batch.chunk_size != 1 || sink.key_mode() != KeyMode::Multi {
+            sink.reduce_default(self, data, batch);
+            return;
+        }
+        for i in 0..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            let gs = chunk.global_start;
+            let lo = gs.saturating_sub(self.spec.half);
+            let hi = (gs + self.spec.half).min(self.spec.total_len - 1);
+            for k in lo..=hi {
+                sink.accumulate_keyed(self, &chunk, data, k as Key);
+            }
+        }
     }
 }
 

@@ -1,0 +1,272 @@
+//! Kernel/backend equivalence suite.
+//!
+//! The batched-reduce contract (see `Analytics::reduce_batch`) is that a
+//! kernel must be **bit-identical** to the classic per-chunk
+//! `gen_key`/`accumulate` walk, and the dense RedMap backend must be
+//! bit-identical to the hash backend. This suite pins that contract for
+//! every analytics application: for each thread count, the four
+//! (scalar-reduce × dense-maps) knob combinations must produce exactly the
+//! same wire-serialized combination map and output — compared as bytes, so
+//! even a single ULP of floating-point divergence (or a NaN payload flip)
+//! fails the test.
+//!
+//! Thread counts are compared *within*, not across: changing the thread
+//! count changes the merge association, which is allowed to change FP
+//! results; the kernels are not.
+
+use serde::Serialize;
+use smart_analytics::{
+    Dims3, GaussianSmoother, Grid3DAggregation, GridAggregation, Histogram, KMeans, KnnSmoother,
+    LogisticRegression, Moments, MovingAverage, MovingMedian, MutualInformation, SavitzkyGolay,
+    ValueRange,
+};
+use smart_core::{Analytics, SchedArgs, Scheduler};
+
+/// All four knob combinations; `(true, false)` — classic walk over hash
+/// maps — is the reference the other three must match byte for byte.
+const KNOBS: [(bool, bool); 4] = [(true, false), (false, false), (true, true), (false, true)];
+
+/// Run one configuration and fingerprint it: wire bytes of the sorted
+/// combination-map entries plus wire bytes of the output slice.
+fn fingerprint<A>(
+    app: A,
+    args: SchedArgs<A::Extra>,
+    data: &[A::In],
+    out_len: usize,
+    multi: bool,
+    scalar: bool,
+    dense: bool,
+) -> (Vec<u8>, Vec<u8>)
+where
+    A: Analytics,
+    A::In: Clone,
+    A::Red: Serialize,
+    A::Out: Default + Clone + Serialize,
+{
+    let pool = smart_pool::shared_pool(4).unwrap();
+    let mut s = Scheduler::new(app, args, pool).unwrap();
+    s.set_scalar_reduce(scalar);
+    s.set_dense_maps(dense);
+    let mut out = vec![A::Out::default(); out_len];
+    if multi {
+        s.run2(data, &mut out).unwrap();
+    } else {
+        s.run(data, &mut out).unwrap();
+    }
+    (
+        smart_wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap(),
+        smart_wire::to_bytes(&out).unwrap(),
+    )
+}
+
+/// Drive `make` through every (threads × knobs) cell and demand
+/// bit-identity within each thread count.
+fn assert_knob_equivalence<A, F>(label: &str, data: &[A::In], out_len: usize, multi: bool, make: F)
+where
+    A: Analytics,
+    A::In: Clone,
+    A::Red: Serialize,
+    A::Out: Default + Clone + Serialize,
+    F: Fn(usize) -> (A, SchedArgs<A::Extra>),
+{
+    for threads in [1, 2, 4] {
+        let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
+        for (scalar, dense) in KNOBS {
+            let (app, args) = make(threads);
+            let got = fingerprint(app, args, data, out_len, multi, scalar, dense);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(
+                    &got, r,
+                    "{label}: scalar={scalar} dense={dense} threads={threads} \
+                     diverged from the classic hash walk"
+                ),
+            }
+        }
+    }
+}
+
+/// Mixed payload crossing several reduce batches (BATCH_CHUNKS = 4096),
+/// with a length that leaves a SIMD tail and values exercising every
+/// routing case: NaN, ±inf, subnormals, range boundaries.
+fn adversarial_f64(n: usize) -> Vec<f64> {
+    let specials = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        -0.0,
+        0.0,
+    ];
+    (0..n)
+        .map(|i| {
+            if i % 97 == 0 {
+                specials[i % specials.len()]
+            } else {
+                ((i * 37) % 2001) as f64 / 10.0 - 100.0
+            }
+        })
+        .collect()
+}
+
+/// Smooth finite payload for the window/stat apps.
+fn wave(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37).sin() * 50.0 + (i % 13) as f64).collect()
+}
+
+#[test]
+fn histogram_kernels_and_backends_are_bit_identical() {
+    // 10_007 elements: crosses two full batches, leaves a 4-lane tail.
+    let data = adversarial_f64(10_007);
+    assert_knob_equivalence("histogram", &data, 64, false, |t| {
+        (Histogram::new(-100.0, 100.0, 64), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn value_range_kernel_is_bit_identical() {
+    let data = adversarial_f64(9_000);
+    assert_knob_equivalence("value_range", &data, 0, false, |t| (ValueRange, SchedArgs::new(t, 1)));
+}
+
+#[test]
+fn moments_kernel_is_bit_identical() {
+    // Finite data (power sums of inf/NaN poison everything identically,
+    // but finite sums make the byte comparison meaningful).
+    let data = wave(9_001);
+    assert_knob_equivalence("moments", &data, 0, false, |t| (Moments, SchedArgs::new(t, 1)));
+}
+
+#[test]
+fn moving_average_kernel_is_bit_identical() {
+    let data = wave(5_003);
+    let n = data.len();
+    assert_knob_equivalence("moving_average", &data, n, true, |t| {
+        (MovingAverage::new(9, n), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn moving_average_kernel_is_bit_identical_without_trigger() {
+    // Trigger disabled: every window object survives to conversion, so the
+    // combination-map fingerprint covers the full key space.
+    let data = wave(1_500);
+    let n = data.len();
+    assert_knob_equivalence("moving_average_no_trigger", &data, n, true, |t| {
+        (MovingAverage::new(7, n), SchedArgs::new(t, 1).with_trigger_disabled(true))
+    });
+}
+
+#[test]
+fn moving_median_default_path_is_backend_invariant() {
+    // No custom kernel — pins that reduce_default itself is backend- and
+    // knob-invariant for a holistic (Vec-payload) reduction object.
+    let data = wave(800);
+    let n = data.len();
+    assert_knob_equivalence("moving_median", &data, n, true, |t| {
+        (MovingMedian::new(5, n), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn gaussian_smoother_default_path_is_backend_invariant() {
+    let data = wave(1_200);
+    let n = data.len();
+    assert_knob_equivalence("gaussian", &data, n, true, |t| {
+        (GaussianSmoother::new(9, n), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn savitzky_golay_default_path_is_backend_invariant() {
+    let data = wave(1_100);
+    let n = data.len();
+    assert_knob_equivalence("savgol", &data, n, true, |t| {
+        (SavitzkyGolay::new(7, 2, n), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn knn_smoother_default_path_is_backend_invariant() {
+    let data = wave(700);
+    let n = data.len();
+    assert_knob_equivalence("knn", &data, n, true, |t| {
+        (KnnSmoother::new(9, 4, n), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn grid_aggregation_is_backend_invariant() {
+    let data = wave(6_000);
+    let app = GridAggregation::new(100, data.len());
+    let cells = app.cells();
+    assert_knob_equivalence("grid", &data, cells, false, |t| {
+        (GridAggregation::new(100, data.len()), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn grid3d_aggregation_is_backend_invariant() {
+    let dims = Dims3 { nx: 20, ny: 15, nz: 12 };
+    let data = wave(20 * 15 * 12);
+    let app = Grid3DAggregation::new(dims, (5, 5, 4));
+    let blocks = app.num_blocks();
+    assert_knob_equivalence("grid3d", &data, blocks, false, |t| {
+        (Grid3DAggregation::new(dims, (5, 5, 4)), SchedArgs::new(t, 1))
+    });
+}
+
+#[test]
+fn kmeans_kernel_is_bit_identical_across_iterations() {
+    // The centroid-snapshot kernel must track the classic per-point
+    // nearest() walk through every Lloyd round, where a one-ULP divergence
+    // would compound into different assignments.
+    let data: Vec<f64> = (0..1_500)
+        .map(|i| {
+            let c = (i / 3 % 4) as f64 * 25.0;
+            c + ((i * 31) % 17) as f64 * 0.3
+        })
+        .collect();
+    let init: Vec<f64> = data[..4 * 3].to_vec();
+    assert_knob_equivalence("kmeans", &data, 4, false, |t| {
+        (KMeans::new(4, 3), SchedArgs::new(t, 3).with_extra(init.clone()).with_iters(5))
+    });
+}
+
+#[test]
+fn logistic_regression_is_backend_invariant() {
+    // chunk = dims + 1 (features + label).
+    let dims = 4;
+    let data: Vec<f64> = (0..500)
+        .flat_map(|i| {
+            let mut rec: Vec<f64> = (0..dims).map(|d| ((i * (d + 3)) % 11) as f64 - 5.0).collect();
+            let label = if rec.iter().sum::<f64>() > 0.0 { 1.0 } else { 0.0 };
+            rec.push(label);
+            rec
+        })
+        .collect();
+    let app = LogisticRegression::new(dims, 0.1);
+    let chunk = app.chunk_size();
+    assert_knob_equivalence("logistic", &data, 1, false, move |t| {
+        (
+            LogisticRegression::new(dims, 0.1),
+            SchedArgs::new(t, chunk).with_extra(vec![0.0; dims]).with_iters(4),
+        )
+    });
+}
+
+#[test]
+fn mutual_information_is_backend_invariant() {
+    // chunk = 2 (an (x, y) pair per unit chunk).
+    let data: Vec<f64> = (0..4_000)
+        .flat_map(|i| {
+            let x = ((i * 7) % 100) as f64 / 10.0;
+            [x, (x * 0.5 + ((i * 13) % 9) as f64).min(9.9)]
+        })
+        .collect();
+    assert_knob_equivalence("mutual_info", &data, 0, false, |t| {
+        (MutualInformation::new((0.0, 10.0, 20), (0.0, 10.0, 20)), SchedArgs::new(t, 2))
+    });
+}

@@ -82,14 +82,14 @@ fn bench_wire_blocking(c: &mut Criterion) {
     group.sample_size(20);
 
     // A k-means-like combination map: 8 clusters of 64-dim vectors.
-    let entries: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> =
+    type ClusterEntry = (i64, (Vec<f64>, Vec<f64>, u64));
+    let entries: Vec<ClusterEntry> =
         (0..8).map(|k| (k, (vec![1.5; 64], vec![0.5; 64], 100))).collect();
 
     group.bench_function("one_block_roundtrip", |b| {
         b.iter(|| {
             let bytes = smart_wire::to_bytes(&entries).unwrap();
-            let back: Vec<(i64, (Vec<f64>, Vec<f64>, u64))> =
-                smart_wire::from_bytes(&bytes).unwrap();
+            let back: Vec<ClusterEntry> = smart_wire::from_bytes(&bytes).unwrap();
             back.len()
         });
     });

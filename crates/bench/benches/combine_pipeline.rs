@@ -8,11 +8,16 @@
 //! * **global combination** (Fig. 7 node-scaling side): the reduce-to-root +
 //!   broadcast allreduce vs the shard-partitioned ring allreduce, on
 //!   histogram-1200-sized combination maps across growing rank counts —
-//!   the master-bottleneck pattern vs evenly spread traffic.
+//!   the master-bottleneck pattern vs evenly spread traffic;
+//! * **reduction-map backends**: the direct-indexed dense table (key_bound
+//!   fast path) vs open addressing on the histogram's bounded key space;
+//! * **map reuse**: per-thread reduction maps retained across steps
+//!   (clear-don't-free) vs dropped and reallocated every step.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use smart_analytics::{Histogram, MovingAverage};
 use smart_comm::{merge_sorted_entries, run_cluster};
-use smart_core::RedMap;
+use smart_core::{RedMap, SchedArgs, Scheduler};
 use smart_pool::ThreadPool;
 
 /// The scheduler's merge step (scheduler::merge_into) over plain count
@@ -125,5 +130,105 @@ fn bench_global_combine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_combine, bench_global_combine);
+fn bench_redmap_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redmap_backend");
+    group.sample_size(10);
+
+    // A histogram-like access pattern: many accumulations over a bounded
+    // 1200-key space — the shape the dense fast path is built for.
+    let keys = 1200usize;
+    let hits = 200_000usize;
+
+    group.bench_function(BenchmarkId::new("hash_open_addressing", keys), |b| {
+        b.iter(|| {
+            let mut m: RedMap<u64> = RedMap::new();
+            for i in 0..hits {
+                match m.get_mut(((i * 31) % keys) as i64) {
+                    Some(v) => *v += 1,
+                    None => {
+                        m.insert(((i * 31) % keys) as i64, 1);
+                    }
+                }
+            }
+            m.len()
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("dense_direct_index", keys), |b| {
+        b.iter(|| {
+            let mut m: RedMap<u64> = RedMap::with_key_bound(keys);
+            for i in 0..hits {
+                match m.get_mut(((i * 31) % keys) as i64) {
+                    Some(v) => *v += 1,
+                    None => {
+                        m.insert(((i * 31) % keys) as i64, 1);
+                    }
+                }
+            }
+            m.len()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_map_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_reuse");
+    group.sample_size(10);
+
+    let data: Vec<f64> = (0..100_000).map(|i| (i % 997) as f64 / 10.0).collect();
+
+    // Retained: the scheduler keeps its per-thread shells warm across
+    // steps (the default). Dropped: shells are discarded after every step,
+    // forcing a fresh allocation + table zeroing per step.
+    for (variant, drop_each_step) in [("shells_retained", false), ("shells_dropped", true)] {
+        group.bench_function(BenchmarkId::new(variant, data.len()), |b| {
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s =
+                Scheduler::new(Histogram::new(0.0, 100.0, 1200), SchedArgs::new(4, 1), pool)
+                    .unwrap();
+            let mut out = vec![0u64; 1200];
+            b.iter(|| {
+                if drop_each_step {
+                    s.drop_shells();
+                }
+                s.run(&data, &mut out).unwrap()
+            });
+        });
+    }
+
+    // Multi-key regime: a MovingAverage's per-thread partials hold ~out_len
+    // entries, so dropping the shells forces each thread to regrow a ~40k-slot
+    // table from empty every step — the case clear-don't-free is built for.
+    let ma_data: Vec<f64> = (0..40_000).map(|i| (i % 313) as f64).collect();
+    for (variant, drop_each_step) in [("shells_retained", false), ("shells_dropped", true)] {
+        let id = format!("{variant}_multikey");
+        group.bench_function(BenchmarkId::new(id.as_str(), ma_data.len()), |b| {
+            let pool = smart_pool::shared_pool(4).unwrap();
+            let mut s = Scheduler::new(
+                MovingAverage::new(25, ma_data.len()),
+                SchedArgs::new(4, 1).with_trigger_disabled(true),
+                pool,
+            )
+            .unwrap();
+            let mut out = vec![0.0f64; ma_data.len()];
+            b.iter(|| {
+                if drop_each_step {
+                    s.drop_shells();
+                }
+                s.run2(&ma_data, &mut out).unwrap()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_combine,
+    bench_global_combine,
+    bench_redmap_backends,
+    bench_map_reuse
+);
 criterion_main!(benches);

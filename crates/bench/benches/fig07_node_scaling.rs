@@ -16,18 +16,21 @@ fn bench(c: &mut Criterion) {
 
     for ranks in [4usize, 8, 16, 32] {
         let part = data.len() / ranks;
-        group.bench_with_input(
-            BenchmarkId::new("rank_partition_histogram", ranks),
-            &ranks,
-            |b, _| {
+        // kernel = batched reduce (SIMD where available); scalar = the
+        // classic per-chunk walk via set_scalar_reduce. The ratio between
+        // the two ids is the Fig. 7 hot-loop speedup.
+        for (variant, scalar) in [("kernel", false), ("scalar", true)] {
+            let id = format!("rank_partition_histogram_{variant}");
+            group.bench_with_input(BenchmarkId::new(id.as_str(), ranks), &ranks, |b, _| {
                 let pool = smart_pool::shared_pool(1).unwrap();
                 let mut s =
                     Scheduler::new(Histogram::new(0.0, 100.0, 1200), SchedArgs::new(1, 1), pool)
                         .unwrap();
+                s.set_scalar_reduce(scalar);
                 let mut out = vec![0u64; 1200];
                 b.iter(|| s.run(&data[..part], &mut out).unwrap());
-            },
-        );
+            });
+        }
     }
 
     group.bench_function("heat3d_full_step", |b| {

@@ -19,14 +19,19 @@ fn bench(c: &mut Criterion) {
     let (min, max) =
         data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
 
-    group.bench_function("light_histogram_step", |b| {
-        let pool = smart_pool::shared_pool(1).unwrap();
-        let mut s =
-            Scheduler::new(Histogram::new(min, max + 1e-9, 1200), SchedArgs::new(1, 1), pool)
-                .unwrap();
-        let mut out = vec![0u64; 1200];
-        b.iter(|| s.run(&data, &mut out).unwrap());
-    });
+    // kernel vs scalar: the batched (SIMD-capable) reduce against the
+    // classic per-chunk walk — Fig. 8's hot-loop speedup.
+    for (variant, scalar) in [("kernel", false), ("scalar", true)] {
+        group.bench_function(format!("light_histogram_step_{variant}"), |b| {
+            let pool = smart_pool::shared_pool(1).unwrap();
+            let mut s =
+                Scheduler::new(Histogram::new(min, max + 1e-9, 1200), SchedArgs::new(1, 1), pool)
+                    .unwrap();
+            s.set_scalar_reduce(scalar);
+            let mut out = vec![0u64; 1200];
+            b.iter(|| s.run(&data, &mut out).unwrap());
+        });
+    }
 
     group.bench_function("heavy_moving_median_step", |b| {
         let pool = smart_pool::shared_pool(1).unwrap();

@@ -10,7 +10,8 @@
 
 use crate::model::{parallel_efficiency, ClusterModel};
 use crate::util::{fmt_dur, fmt_pct, time_it, Scale, Table};
-use crate::workloads::measure_suite;
+use crate::workloads::{measure_reduce_pair, measure_suite};
+use smart_analytics::Histogram;
 use smart_sim::MiniLulesh;
 use std::time::Duration;
 
@@ -95,6 +96,19 @@ pub fn run(scale: Scale) -> Table {
          measure. Our replay reproduces the per-phase cost structure (reduction scales, \
          combination and synchronization do not) but not DRAM contention.",
     );
+
+    // Scalar-vs-kernel delta of the reduce hot loop on this node's
+    // partition, recorded alongside the figure (see Fig. 7's note too).
+    let hist = Histogram::new(min, max + 1e-9, 1200);
+    let simd = hist.simd_enabled();
+    let (kernel, scalar) = measure_reduce_pair(hist, 1, None, 1, false, 1200, data);
+    table.note(format!(
+        "histogram reduce kernel {} vs scalar walk {} ({:.2}x, simd={})",
+        fmt_dur(kernel),
+        fmt_dur(scalar),
+        scalar.as_secs_f64() / kernel.as_secs_f64().max(1e-12),
+        if simd { "avx2" } else { "off" },
+    ));
     table
 }
 

@@ -26,7 +26,9 @@
 
 pub mod figs;
 pub mod model;
+pub mod record;
 pub mod util;
 pub mod workloads;
 
+pub use record::BenchRecord;
 pub use util::{Scale, Table};

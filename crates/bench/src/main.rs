@@ -7,16 +7,45 @@
 //! ```
 
 use smart_bench::figs;
-use smart_bench::util::Scale;
+use smart_bench::record::BenchRecord;
+use smart_bench::util::{Scale, Table};
 
 // Real memory numbers for Figs. 9/11 and the §5.2 comparison.
 #[global_allocator]
 static ALLOC: smart_memtrack::TrackingAlloc = smart_memtrack::TrackingAlloc::new();
 
+/// Emit the table in the requested formats; with `--json` also persist a
+/// versioned `BENCH_<fig>.json` record next to the working directory.
+fn emit(id: &str, table: &Table, scale: Scale, markdown: bool, json: bool) {
+    if markdown {
+        print!("{}", table.render_markdown());
+    } else {
+        table.print();
+    }
+    if json {
+        let scale_name = if scale == Scale::Quick { "quick" } else { "full" };
+        let simd = if std::env::var_os("SMART_NO_SIMD").is_some_and(|v| v != "0") {
+            "disabled"
+        } else {
+            "auto"
+        };
+        let params = [("scale", scale_name.to_string()), ("simd", simd.to_string())];
+        let record = BenchRecord::capture(id, &params, table);
+        match record.write_to(std::path::Path::new(".")) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", record.file_name());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json = args.iter().any(|a| a == "--json");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let command = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
 
@@ -24,7 +53,7 @@ fn main() {
 
     match command {
         None | Some("help") | Some("--help") => {
-            eprintln!("usage: smart-bench <experiment|all|list> [--quick] [--markdown]");
+            eprintln!("usage: smart-bench <experiment|all|list> [--quick] [--markdown] [--json]");
             eprintln!("experiments:");
             for (id, desc, _) in &experiments {
                 eprintln!("  {id:<6} {desc}");
@@ -39,21 +68,13 @@ fn main() {
             for (id, _, runner) in &experiments {
                 eprintln!("running {id} ...");
                 let table = runner(scale);
-                if markdown {
-                    print!("{}", table.render_markdown());
-                } else {
-                    table.print();
-                }
+                emit(id, &table, scale, markdown, json);
             }
         }
         Some(id) => match experiments.iter().find(|(eid, _, _)| *eid == id) {
             Some((_, _, runner)) => {
                 let table = runner(scale);
-                if markdown {
-                    print!("{}", table.render_markdown());
-                } else {
-                    table.print();
-                }
+                emit(id, &table, scale, markdown, json);
             }
             None => {
                 eprintln!("unknown experiment '{id}'; try `smart-bench list`");

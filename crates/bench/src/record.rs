@@ -1,0 +1,212 @@
+//! Versioned benchmark result records.
+//!
+//! Every figure run can be persisted as `BENCH_<fig>.json` so CI can diff
+//! benchmark output across commits. The schema is versioned and
+//! deliberately tiny — no external JSON dependency, just a hand-rolled
+//! emitter for the handful of shapes we produce:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "fig": "fig7",
+//!   "rev": "<git commit or \"unknown\">",
+//!   "date_unix": 1754700000,
+//!   "params": {"scale": "quick"},
+//!   "samples": {"headers": [...], "rows": [[...], ...], "notes": [...]}
+//! }
+//! ```
+
+use crate::util::Table;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Bump when the JSON shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One persisted benchmark result: a figure's table plus provenance.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Figure id (`fig7`, `mem`, ...) — also names the output file.
+    pub fig: String,
+    /// Git commit the benchmark ran at, or `"unknown"`.
+    pub rev: String,
+    /// Seconds since the Unix epoch at record time.
+    pub date_unix: u64,
+    /// Free-form run parameters (scale, SIMD state, ...).
+    pub params: Vec<(String, String)>,
+    /// The rendered measurement table.
+    pub table: Table,
+}
+
+impl BenchRecord {
+    /// Capture `table` with provenance stamped from the environment.
+    pub fn capture(fig: &str, params: &[(&str, String)], table: &Table) -> Self {
+        BenchRecord {
+            fig: fig.to_string(),
+            rev: git_rev(),
+            date_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            params: params.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            table: table.clone(),
+        }
+    }
+
+    /// Serialize to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", SCHEMA_VERSION));
+        out.push_str(&format!("  \"fig\": {},\n", json_str(&self.fig)));
+        out.push_str(&format!("  \"rev\": {},\n", json_str(&self.rev)));
+        out.push_str(&format!("  \"date_unix\": {},\n", self.date_unix));
+        out.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(k), json_str(v)));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"samples\": {\n");
+        out.push_str(&format!("    \"title\": {},\n", json_str(&self.table.title)));
+        out.push_str(&format!("    \"headers\": {},\n", json_str_array(&self.table.headers)));
+        out.push_str("    \"rows\": [\n");
+        for (i, row) in self.table.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {}{}\n",
+                json_str_array(row),
+                if i + 1 < self.table.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!("    \"notes\": {}\n", json_str_array(&self.table.notes)));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// File name this record persists under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.fig)
+    }
+
+    /// Write `BENCH_<fig>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?; // lint:allow(no-fs-writes)
+        Ok(path)
+    }
+}
+
+/// Current git commit, `"unknown"` outside a work tree.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// JSON string literal with the escapes our content can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(item));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Fig. X — sample", &["a", "b"]);
+        t.row(vec!["1".into(), "quote \" and\nnewline".into()]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn json_has_schema_and_provenance_fields() {
+        let rec = BenchRecord::capture("figx", &[("scale", "quick".into())], &sample_table());
+        let json = rec.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"fig\": \"figx\""));
+        assert!(json.contains("\"rev\": \""));
+        assert!(json.contains("\"date_unix\": "));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"headers\": [\"a\", \"b\"]"));
+        assert!(json.contains("\"notes\": [\"a note\"]"));
+    }
+
+    #[test]
+    fn json_escapes_are_valid() {
+        let rec = BenchRecord::capture("figx", &[], &sample_table());
+        let json = rec.to_json();
+        assert!(json.contains("quote \\\" and\\nnewline"));
+        // Structural sanity: balanced braces/brackets outside strings.
+        let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn file_name_embeds_fig_id() {
+        let rec = BenchRecord::capture("fig7", &[], &sample_table());
+        assert_eq!(rec.file_name(), "BENCH_fig7.json");
+    }
+
+    #[test]
+    fn write_to_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("smart-bench-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap(); // lint:allow(no-fs-writes)
+        let rec = BenchRecord::capture("figx", &[], &sample_table());
+        let path = rec.write_to(&dir).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, rec.to_json());
+        std::fs::remove_dir_all(&dir).ok(); // lint:allow(no-fs-writes)
+    }
+}

@@ -71,6 +71,48 @@ where
     }
 }
 
+/// Time one app's full run twice — once on the batched kernels (the
+/// default) and once with `set_scalar_reduce` forcing the classic
+/// per-chunk walk — and return `(kernel, scalar)` wall times. Best of two
+/// runs each, like [`measure_smart`]. Figs. 7/8 record this delta so the
+/// vectorized hot loop shows up in the persisted benchmark records.
+pub fn measure_reduce_pair<A>(
+    app: A,
+    chunk: usize,
+    extra: Option<A::Extra>,
+    iters: usize,
+    multi_key: bool,
+    out_len: usize,
+    data: &[f64],
+) -> (std::time::Duration, std::time::Duration)
+where
+    A: Analytics<In = f64> + Clone,
+    A::Out: Default + Clone,
+    A::Extra: Clone,
+{
+    let run_with = |scalar: bool| -> std::time::Duration {
+        let pool = smart_pool::shared_pool(1).expect("pool");
+        let mut args = SchedArgs::new(1, chunk).with_iters(iters);
+        if let Some(e) = extra.clone() {
+            args = args.with_extra(e);
+        }
+        let mut s = Scheduler::new(app.clone(), args, pool).expect("scheduler");
+        s.set_scalar_reduce(scalar);
+        let mut out = vec![A::Out::default(); out_len];
+        let (_, wall) = crate::util::time_it(|| {
+            if multi_key {
+                s.run2(data, &mut out).expect("run2");
+            } else {
+                s.run(data, &mut out).expect("run");
+            }
+        });
+        wall
+    };
+    let kernel = run_with(false).min(run_with(false));
+    let scalar = run_with(true).min(run_with(true));
+    (kernel, scalar)
+}
+
 /// The §5.4 nine-application suite with the paper's parameters, measured
 /// over one time-step `data` whose values span `(min, max)`.
 ///

@@ -2,6 +2,7 @@
 //! the combination map (paper Table 1, "functions implemented by the user").
 
 use crate::redmap::RedMap;
+use crate::reduce::{Batch, BatchSink};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -105,6 +106,38 @@ pub trait Analytics: Send + Sync {
     /// the first time the key is seen in this thread's reduction map — the
     /// implementation must create it (the paper's `red_obj.reset(new …)`).
     fn accumulate(&self, chunk: &Chunk, data: &[Self::In], key: Key, obj: &mut Option<Self::Red>);
+
+    /// Exclusive upper bound on the keys this analytics generates, when one
+    /// is statically known (histogram bucket count, k-means `k`, grid cell
+    /// count). Declaring a bound lets the runtime give worker reduction
+    /// maps the dense direct-indexed backend
+    /// ([`RedMap::with_key_bound`](crate::RedMap::with_key_bound)) — a pure
+    /// optimization: keys escaping the bound spill the map back to hashing
+    /// with identical observable behaviour. Default: unknown (`None`).
+    fn key_bound(&self) -> Option<usize> {
+        None
+    }
+
+    /// Reduce a whole batch of unit chunks into `sink` — the hot-loop seam.
+    ///
+    /// The runtime drives each worker's split through this method in
+    /// [`Batch`]-sized runs instead of calling `gen_key`/`accumulate` chunk
+    /// by chunk itself. The default walks the batch exactly like the
+    /// classic loop ([`BatchSink::reduce_default`]); override it with an
+    /// explicit kernel (SIMD bucket search, hoisted single-key folds, …)
+    /// when profiling says the per-chunk walk dominates.
+    ///
+    /// Contract: an override must produce a reduction map **bit-identical**
+    /// to the default walk — same keys, same objects, same early emissions —
+    /// for every key mode it claims (fall back to
+    /// [`BatchSink::reduce_default`] for the rest). The equivalence suite
+    /// in `smart-analytics` pins this for the in-tree kernels.
+    fn reduce_batch(&self, data: &[Self::In], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>)
+    where
+        Self: Sized,
+    {
+        sink.reduce_default(self, data, batch);
+    }
 
     /// Merge `red` into the combination object `com` (associative and
     /// commutative over the distributive fields).

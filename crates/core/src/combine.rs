@@ -49,13 +49,18 @@ pub enum CombineStrategy {
 }
 
 /// Layer 1: merge the per-thread partial maps into the step's delta map.
-/// Busy time reports through `observer` as
-/// [`PhaseObserver::local_merge_done`].
+///
+/// The partials are the scheduler's lent *shells* — combination drains
+/// them in place (borrow, don't consume) so their table allocations stay
+/// in the shell pool for the next step. The one exception is the tree
+/// winner: its allocation leaves as the delta (`mem::take`), so exactly
+/// one shell per step is reborn empty. Busy time reports through
+/// `observer` as [`PhaseObserver::local_merge_done`].
 pub(crate) fn local_combine<A: Analytics>(
     analytics: &A,
     pool: &SharedPool,
     strategy: CombineStrategy,
-    partials: Vec<RedMap<A::Red>>,
+    partials: &mut [RedMap<A::Red>],
     observer: &mut dyn PhaseObserver,
 ) -> SmartResult<RedMap<A::Red>> {
     let measure = observer.enabled();
@@ -63,13 +68,13 @@ pub(crate) fn local_combine<A: Analytics>(
     let delta = match strategy {
         CombineStrategy::Serial => {
             let mut d = RedMap::new();
-            for partial in partials {
-                merge_into(analytics, partial, &mut d);
+            for partial in partials.iter_mut() {
+                merge_from(analytics, partial, &mut d);
             }
             d
         }
         CombineStrategy::Tree | CombineStrategy::Sharded | CombineStrategy::Gossip => {
-            tree_merge(analytics, pool, partials)?
+            tree_merge(analytics, pool, partials.iter_mut().collect())?
         }
     };
     if measure {
@@ -81,18 +86,20 @@ pub(crate) fn local_combine<A: Analytics>(
 /// Pairwise parallel tree merge on the pool: ⌈log₂ t⌉ rounds with pairs
 /// merging concurrently. Each pair reuses the larger map's allocation as
 /// the destination and pre-reserves for the smaller one, so no merge grows
-/// through intermediate capacities (see `RedMap::reserve`).
+/// through intermediate capacities (see `RedMap::reserve`). The winning
+/// map is taken out of its shell; every losing shell is left drained but
+/// allocated.
 fn tree_merge<A: Analytics>(
     analytics: &A,
     pool: &SharedPool,
-    parts: Vec<RedMap<A::Red>>,
+    parts: Vec<&mut RedMap<A::Red>>,
 ) -> SmartResult<RedMap<A::Red>> {
     let merged = pool.tree_reduce(parts, |a, b| {
-        let (mut dst, src) = if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
-        merge_into(analytics, src, &mut dst);
+        let (dst, src) = if a.capacity() >= b.capacity() { (a, b) } else { (b, a) };
+        merge_from(analytics, src, dst);
         dst
     })?;
-    Ok(merged.unwrap_or_default())
+    Ok(merged.map(std::mem::take).unwrap_or_default())
 }
 
 /// Layer 2: merge the delta across ranks (same merge operator, applied to
@@ -145,6 +152,16 @@ pub(crate) fn global_combine<A: Analytics>(
 pub(crate) fn merge_into<A: Analytics>(
     analytics: &A,
     mut src: RedMap<A::Red>,
+    dst: &mut ComMap<A::Red>,
+) {
+    merge_from(analytics, &mut src, dst);
+}
+
+/// [`merge_into`], borrowing form: drains `src` in place so its table
+/// allocation survives — the shell-reuse path through [`local_combine`].
+pub(crate) fn merge_from<A: Analytics>(
+    analytics: &A,
+    src: &mut RedMap<A::Red>,
     dst: &mut ComMap<A::Red>,
 ) {
     // Pre-size: src arrives in hash order; letting dst grow through

@@ -113,7 +113,8 @@ pub use in_transit::{
 };
 pub use observer::{NoopObserver, PhaseObserver, RunStats};
 pub use pipeline::Pipeline;
-pub use redmap::RedMap;
+pub use redmap::{RedMap, DENSE_KEY_CAP};
+pub use reduce::{Batch, BatchSink};
 pub use scheduler::Scheduler;
 pub use shared_slice::SharedSlice;
 pub use step::{KeyMode, StepSpec};

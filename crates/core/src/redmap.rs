@@ -1,17 +1,37 @@
-//! The reduction map: an open-addressing hash map `Key → V` tuned for
-//! Smart's access pattern — dense small-integer keys, upsert-heavy hot loop,
-//! frequent whole-map iteration and drain, occasional erase (early
-//! emission).
+//! The reduction map: a `Key → V` map tuned for Smart's access pattern —
+//! dense small-integer keys, upsert-heavy hot loop, frequent whole-map
+//! iteration and drain, occasional erase (early emission).
 //!
-//! `std::collections::HashMap` with SipHash would dominate the reduce loop
-//! for cheap analytics like histogram; this map uses Fibonacci hashing and
-//! linear probing instead (the approach `rustc`'s FxHashMap takes, see the
-//! Rust Performance Book's Hashing chapter), implemented here because the
-//! allowed dependency set contains no fast-hash crate.
+//! Two backends share one API:
+//!
+//! * **Hash** — open addressing with Fibonacci hashing and linear probing
+//!   (the approach `rustc`'s FxHashMap takes, see the Rust Performance
+//!   Book's Hashing chapter), implemented here because the allowed
+//!   dependency set contains no fast-hash crate.
+//!   `std::collections::HashMap` with SipHash would dominate the reduce
+//!   loop for cheap analytics like histogram.
+//! * **Dense** — a direct-indexed flat table for analytics that declare a
+//!   key bound via [`Analytics::key_bound`](crate::Analytics::key_bound)
+//!   (histogram buckets, k-means clusters, …). Lookup is one bounds check
+//!   and one indexed load; no hashing, no probing. The first *mutating*
+//!   access outside `[0, bound)` spills the table into the hash backend,
+//!   so the dense path is purely an optimization: both backends are
+//!   observationally identical (covered by the proptest model suite).
+//!
+//! Construct with [`RedMap::with_key_bound`] to get the dense backend
+//! (bounds above [`DENSE_KEY_CAP`] fall back to hashing so a huge declared
+//! key space cannot balloon memory); every other constructor yields the
+//! hash backend.
 
 use crate::api::Key;
 
 const INITIAL_CAPACITY: usize = 16;
+
+/// Largest `key_bound` the dense backend will direct-index. Bounds above
+/// this fall back to the hash backend: a flat table is only a win while
+/// it stays cache-friendly and its `O(bound)` clear/iterate cost stays
+/// proportional to the data actually reduced.
+pub const DENSE_KEY_CAP: usize = 1 << 16;
 
 #[derive(Debug, Clone)]
 enum Slot<V> {
@@ -26,14 +46,37 @@ enum Slot<V> {
     },
 }
 
-/// Open-addressing reduction map.
+/// Open-addressing core (the hash backend).
 #[derive(Debug, Clone)]
-pub struct RedMap<V> {
+struct HashCore<V> {
     slots: Vec<Slot<V>>,
     /// Live entries (Full slots).
     len: usize,
     /// Tombstones currently in the table.
     tombs: usize,
+}
+
+/// Direct-indexed core (the dense backend). `table[key]`:
+/// `None` = absent, `Some(None)` = transient slot created by `slot_mut`
+/// but not yet filled by `accumulate` (mirrors the hash backend's
+/// `Full { value: None }`), `Some(Some(v))` = live value.
+#[derive(Debug, Clone)]
+struct DenseCore<V> {
+    table: Vec<Option<Option<V>>>,
+    /// Live entries (outer `Some` slots).
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Repr<V> {
+    Hash(HashCore<V>),
+    Dense(DenseCore<V>),
+}
+
+/// Reduction map with hash and dense-direct-index backends (see module docs).
+#[derive(Debug, Clone)]
+pub struct RedMap<V> {
+    repr: Repr<V>,
 }
 
 #[inline]
@@ -52,44 +95,17 @@ fn fib_hash(key: Key, mask: usize) -> usize {
     h as usize & mask
 }
 
-impl<V> Default for RedMap<V> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<V> RedMap<V> {
-    /// An empty map.
-    pub fn new() -> Self {
-        RedMap { slots: Vec::new(), len: 0, tombs: 0 }
+impl<V> HashCore<V> {
+    fn new() -> Self {
+        HashCore { slots: Vec::new(), len: 0, tombs: 0 }
     }
 
-    /// An empty map with room for `n` entries without rehashing. Uses the
-    /// same 8/7-load sizing as [`reserve`](Self::reserve) so the two paths
-    /// agree on when a rehash is due.
-    pub fn with_capacity(n: usize) -> Self {
+    fn with_capacity(n: usize) -> Self {
         let cap = (n * 8 / 7 + 1).next_power_of_two().max(INITIAL_CAPACITY);
-        RedMap { slots: (0..cap).map(|_| Slot::Empty).collect(), len: 0, tombs: 0 }
+        HashCore { slots: (0..cap).map(|_| Slot::Empty).collect(), len: 0, tombs: 0 }
     }
 
-    /// Allocated slot count. Entries fit without a rehash while
-    /// `len + tombstones` stays below 7/8 of this.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Live entries in the map.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// `true` when the map has no live entries.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Remove every entry, keeping the allocation.
-    pub fn clear(&mut self) {
+    fn clear(&mut self) {
         for s in &mut self.slots {
             *s = Slot::Empty;
         }
@@ -113,14 +129,7 @@ impl<V> RedMap<V> {
         }
     }
 
-    /// Pre-size the table so `additional` more entries fit without any
-    /// rehash. Bulk merges MUST call this: draining one table in slot order
-    /// and reinserting with the same hash function produces ascending home
-    /// slots, and if the destination passes through a smaller capacity the
-    /// ascending order folds into multiple passes over an almost-full
-    /// prefix — a measured ~25x quadratic blow-up at ~0.75 final load.
-    /// Pre-sizing keeps ascending-order insertion collision-free.
-    pub fn reserve(&mut self, additional: usize) {
+    fn reserve(&mut self, additional: usize) {
         let needed = self.len + self.tombs + additional;
         let target_cap = (needed * 8 / 7 + 1).next_power_of_two().max(INITIAL_CAPACITY);
         if target_cap <= self.slots.len() {
@@ -168,10 +177,7 @@ impl<V> RedMap<V> {
         }
     }
 
-    /// The value slot for `key`, creating an empty (`None`) slot if the key
-    /// is absent — the runtime hands this to `accumulate`, mirroring the
-    /// paper's `unique_ptr<RedObj>&` null-on-first-touch contract.
-    pub fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
+    fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
         if let Some(i) = self.find(key) {
             match &mut self.slots[i] {
                 Slot::Full { value, .. } => return value,
@@ -198,37 +204,7 @@ impl<V> RedMap<V> {
         }
     }
 
-    /// Insert `value` under `key`, returning the previous value if any.
-    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
-        self.slot_mut(key).replace(value)
-    }
-
-    /// Borrow the value for `key`.
-    pub fn get(&self, key: Key) -> Option<&V> {
-        self.find(key).and_then(|i| match &self.slots[i] {
-            Slot::Full { value, .. } => value.as_ref(),
-            _ => None,
-        })
-    }
-
-    /// Mutably borrow the value for `key`.
-    pub fn get_mut(&mut self, key: Key) -> Option<&mut V> {
-        match self.find(key) {
-            Some(i) => match &mut self.slots[i] {
-                Slot::Full { value, .. } => value.as_mut(),
-                _ => None,
-            },
-            None => None,
-        }
-    }
-
-    /// `true` if `key` has a live entry.
-    pub fn contains_key(&self, key: Key) -> bool {
-        self.find(key).is_some()
-    }
-
-    /// Remove and return the value for `key`.
-    pub fn remove(&mut self, key: Key) -> Option<V> {
+    fn remove(&mut self, key: Key) -> Option<V> {
         let i = self.find(key)?;
         let slot = std::mem::replace(&mut self.slots[i], Slot::Tomb);
         self.len -= 1;
@@ -238,39 +214,295 @@ impl<V> RedMap<V> {
             _ => unreachable!("find returned a non-full slot"),
         }
     }
+}
 
-    /// Iterate over live `(key, &value)` entries (arbitrary order).
+impl<V> DenseCore<V> {
+    /// `true` when `key` indexes inside the table.
+    #[inline]
+    fn in_bounds(&self, key: Key) -> bool {
+        key >= 0 && (key as usize) < self.table.len()
+    }
+}
+
+impl<V> Default for RedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RedMap<V> {
+    /// An empty map (hash backend).
+    pub fn new() -> Self {
+        RedMap { repr: Repr::Hash(HashCore::new()) }
+    }
+
+    /// An empty hash-backend map with room for `n` entries without
+    /// rehashing. Uses the same 8/7-load sizing as [`reserve`](Self::reserve)
+    /// so the two paths agree on when a rehash is due.
+    pub fn with_capacity(n: usize) -> Self {
+        RedMap { repr: Repr::Hash(HashCore::with_capacity(n)) }
+    }
+
+    /// An empty map whose keys are promised to lie in `[0, bound)` — the
+    /// dense direct-indexed backend. The promise is a hint, not a contract:
+    /// the first mutating access outside the bound spills into the hash
+    /// backend with all entries preserved. Bounds of `0` or above
+    /// [`DENSE_KEY_CAP`] fall back to the hash backend immediately.
+    pub fn with_key_bound(bound: usize) -> Self {
+        if bound == 0 || bound > DENSE_KEY_CAP {
+            return Self::new();
+        }
+        let mut table = Vec::with_capacity(bound);
+        table.resize_with(bound, || None);
+        RedMap { repr: Repr::Dense(DenseCore { table, len: 0 }) }
+    }
+
+    /// `true` while the map is on the dense direct-indexed backend.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Allocated slot count. On the hash backend, entries fit without a
+    /// rehash while `len + tombstones` stays below 7/8 of this; on the
+    /// dense backend this is the key bound.
+    pub fn capacity(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(h) => h.slots.len(),
+            Repr::Dense(d) => d.table.len(),
+        }
+    }
+
+    /// Bytes retained by the map's table allocation (not counting heap
+    /// data owned by the values themselves). Used by the scheduler to
+    /// account reused per-thread maps against the memory budget.
+    pub fn retained_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(h) => h.slots.capacity() * std::mem::size_of::<Slot<V>>(),
+            Repr::Dense(d) => d.table.capacity() * std::mem::size_of::<Option<Option<V>>>(),
+        }
+    }
+
+    /// Live entries in the map.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(h) => h.len,
+            Repr::Dense(d) => d.len,
+        }
+    }
+
+    /// `true` when the map has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove every entry, keeping the allocation (and the backend).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Hash(h) => h.clear(),
+            Repr::Dense(d) => {
+                for s in &mut d.table {
+                    *s = None;
+                }
+                d.len = 0;
+            }
+        }
+    }
+
+    /// Spill the dense table into the hash backend, preserving every entry
+    /// (including transient `None` slots). No-op on the hash backend.
+    fn spill_to_hash(&mut self) {
+        if let Repr::Dense(d) = &mut self.repr {
+            // Headroom beyond the current entries: the spill is triggered
+            // by a key we are about to insert, and more strays usually
+            // follow.
+            let mut h = HashCore::with_capacity(d.len * 2 + INITIAL_CAPACITY);
+            for (i, slot) in d.table.iter_mut().enumerate() {
+                if let Some(inner) = slot.take() {
+                    *h.slot_mut(i as Key) = inner;
+                }
+            }
+            self.repr = Repr::Hash(h);
+        }
+    }
+
+    /// `true` when a mutating access to `key` requires leaving the dense
+    /// backend first.
+    fn needs_spill(&self, key: Key) -> bool {
+        matches!(&self.repr, Repr::Dense(d) if !d.in_bounds(key))
+    }
+
+    /// Pre-size the table so `additional` more entries fit without any
+    /// rehash. Bulk merges MUST call this: draining one table in slot order
+    /// and reinserting with the same hash function produces ascending home
+    /// slots, and if the destination passes through a smaller capacity the
+    /// ascending order folds into multiple passes over an almost-full
+    /// prefix — a measured ~25x quadratic blow-up at ~0.75 final load.
+    /// Pre-sizing keeps ascending-order insertion collision-free.
+    /// No-op on the dense backend (direct indexing never rehashes).
+    pub fn reserve(&mut self, additional: usize) {
+        if let Repr::Hash(h) = &mut self.repr {
+            h.reserve(additional);
+        }
+    }
+
+    /// The value slot for `key`, creating an empty (`None`) slot if the key
+    /// is absent — the runtime hands this to `accumulate`, mirroring the
+    /// paper's `unique_ptr<RedObj>&` null-on-first-touch contract.
+    pub fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
+        if self.needs_spill(key) {
+            self.spill_to_hash();
+        }
+        match &mut self.repr {
+            Repr::Dense(d) => {
+                let slot = &mut d.table[key as usize];
+                if slot.is_none() {
+                    *slot = Some(None);
+                    d.len += 1;
+                }
+                match slot {
+                    Some(inner) => inner,
+                    None => unreachable!("slot was just created"),
+                }
+            }
+            Repr::Hash(h) => h.slot_mut(key),
+        }
+    }
+
+    /// Insert `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: Key, value: V) -> Option<V> {
+        self.slot_mut(key).replace(value)
+    }
+
+    /// Borrow the value for `key`.
+    pub fn get(&self, key: Key) -> Option<&V> {
+        match &self.repr {
+            Repr::Dense(d) => {
+                if !d.in_bounds(key) {
+                    return None;
+                }
+                d.table[key as usize].as_ref().and_then(|inner| inner.as_ref())
+            }
+            Repr::Hash(h) => h.find(key).and_then(|i| match &h.slots[i] {
+                Slot::Full { value, .. } => value.as_ref(),
+                _ => None,
+            }),
+        }
+    }
+
+    /// Mutably borrow the value for `key`.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        match &mut self.repr {
+            Repr::Dense(d) => {
+                if !d.in_bounds(key) {
+                    return None;
+                }
+                d.table[key as usize].as_mut().and_then(|inner| inner.as_mut())
+            }
+            Repr::Hash(h) => match h.find(key) {
+                Some(i) => match &mut h.slots[i] {
+                    Slot::Full { value, .. } => value.as_mut(),
+                    _ => None,
+                },
+                None => None,
+            },
+        }
+    }
+
+    /// `true` if `key` has a live entry.
+    pub fn contains_key(&self, key: Key) -> bool {
+        match &self.repr {
+            Repr::Dense(d) => d.in_bounds(key) && d.table[key as usize].is_some(),
+            Repr::Hash(h) => h.find(key).is_some(),
+        }
+    }
+
+    /// Remove and return the value for `key`. Out-of-bound keys on the
+    /// dense backend cannot have entries, so removal never forces a spill.
+    pub fn remove(&mut self, key: Key) -> Option<V> {
+        match &mut self.repr {
+            Repr::Dense(d) => {
+                if !d.in_bounds(key) {
+                    return None;
+                }
+                match d.table[key as usize].take() {
+                    Some(inner) => {
+                        d.len -= 1;
+                        inner
+                    }
+                    None => None,
+                }
+            }
+            Repr::Hash(h) => h.remove(key),
+        }
+    }
+
+    /// Iterate over live `(key, &value)` entries. Arbitrary order on the
+    /// hash backend; ascending keys on the dense backend.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &V)> {
-        self.slots.iter().filter_map(|s| match s {
+        let (hash, dense) = match &self.repr {
+            Repr::Hash(h) => (Some(h.slots.iter()), None),
+            Repr::Dense(d) => (None, Some(d.table.iter().enumerate())),
+        };
+        let hash_iter = hash.into_iter().flatten().filter_map(|s| match s {
             Slot::Full { key, value: Some(v) } => Some((*key, v)),
             _ => None,
-        })
+        });
+        let dense_iter = dense.into_iter().flatten().filter_map(|(i, s)| match s {
+            Some(Some(v)) => Some((i as Key, v)),
+            _ => None,
+        });
+        hash_iter.chain(dense_iter)
     }
 
-    /// Iterate over live `(key, &mut value)` entries (arbitrary order).
+    /// Iterate over live `(key, &mut value)` entries (order as [`iter`](Self::iter)).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (Key, &mut V)> {
-        self.slots.iter_mut().filter_map(|s| match s {
+        let (hash, dense) = match &mut self.repr {
+            Repr::Hash(h) => (Some(h.slots.iter_mut()), None),
+            Repr::Dense(d) => (None, Some(d.table.iter_mut().enumerate())),
+        };
+        let hash_iter = hash.into_iter().flatten().filter_map(|s| match s {
             Slot::Full { key, value: Some(v) } => Some((*key, v)),
             _ => None,
-        })
+        });
+        let dense_iter = dense.into_iter().flatten().filter_map(|(i, s)| match s {
+            Some(Some(v)) => Some((i as Key, v)),
+            _ => None,
+        });
+        hash_iter.chain(dense_iter)
     }
 
-    /// Live keys (arbitrary order).
+    /// Live keys (order as [`iter`](Self::iter)).
     pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
         self.iter().map(|(k, _)| k)
     }
 
-    /// Empty the map, returning all live entries.
+    /// Empty the map, returning all live entries. Keeps the allocation and
+    /// the backend, so a reused map stays dense.
     pub fn drain_entries(&mut self) -> Vec<(Key, V)> {
-        let mut out = Vec::with_capacity(self.len);
-        for slot in &mut self.slots {
-            if let Slot::Full { key, value: Some(v) } = std::mem::replace(slot, Slot::Empty) {
-                out.push((key, v));
+        match &mut self.repr {
+            Repr::Hash(h) => {
+                let mut out = Vec::with_capacity(h.len);
+                for slot in &mut h.slots {
+                    if let Slot::Full { key, value: Some(v) } = std::mem::replace(slot, Slot::Empty)
+                    {
+                        out.push((key, v));
+                    }
+                }
+                h.len = 0;
+                h.tombs = 0;
+                out
+            }
+            Repr::Dense(d) => {
+                let mut out = Vec::with_capacity(d.len);
+                for (i, slot) in d.table.iter_mut().enumerate() {
+                    if let Some(Some(v)) = slot.take() {
+                        out.push((i as Key, v));
+                    }
+                }
+                d.len = 0;
+                out
             }
         }
-        self.len = 0;
-        self.tombs = 0;
-        out
     }
 
     /// Copy all live entries out (keys with cloned values), sorted by key —
@@ -539,6 +771,124 @@ mod tests {
         );
     }
 
+    #[test]
+    fn dense_basic_roundtrip() {
+        let mut m: RedMap<u32> = RedMap::with_key_bound(64);
+        assert!(m.is_dense());
+        assert_eq!(m.capacity(), 64);
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.insert(3, 33), Some(30));
+        assert_eq!(m.get(3), Some(&33));
+        assert_eq!(m.remove(3), Some(33));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+        assert!(m.is_dense(), "in-bound ops must not spill");
+    }
+
+    #[test]
+    fn dense_transient_slot_matches_hash_semantics() {
+        let mut m: RedMap<u64> = RedMap::with_key_bound(16);
+        let slot = m.slot_mut(5);
+        assert!(slot.is_none());
+        // Transient slot: counted, contained, but yields no value — exactly
+        // like the hash backend's `Full { value: None }`.
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(5));
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.iter().count(), 0);
+        *m.slot_mut(5) = Some(42);
+        assert_eq!(m.get(5), Some(&42));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn dense_out_of_bound_reads_do_not_spill() {
+        let mut m: RedMap<i64> = RedMap::with_key_bound(8);
+        m.insert(2, 20);
+        assert_eq!(m.get(100), None);
+        assert_eq!(m.get(-1), None);
+        assert!(!m.contains_key(100));
+        assert_eq!(m.remove(100), None);
+        assert_eq!(m.remove(-5), None);
+        assert!(m.is_dense());
+        assert_eq!(m.get(2), Some(&20));
+    }
+
+    #[test]
+    fn dense_spills_on_out_of_bound_insert_preserving_entries() {
+        let mut m: RedMap<i64> = RedMap::with_key_bound(8);
+        for k in 0..8 {
+            m.insert(k, k * 10);
+        }
+        // Transient slot must survive the spill too.
+        m.remove(7);
+        let _ = m.slot_mut(6).take();
+        assert!(m.is_dense());
+        m.insert(i64::MIN, -1);
+        m.insert(i64::MAX, 1);
+        m.insert(100, 1000);
+        assert!(!m.is_dense());
+        for k in 0..6 {
+            assert_eq!(m.get(k), Some(&(k * 10)), "entry {k} lost in spill");
+        }
+        assert!(m.contains_key(6), "transient slot lost in spill");
+        assert_eq!(m.get(6), None);
+        assert!(!m.contains_key(7));
+        assert_eq!(m.get(i64::MIN), Some(&-1));
+        assert_eq!(m.get(i64::MAX), Some(&1));
+        assert_eq!(m.get(100), Some(&1000));
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn dense_iter_and_drain_are_key_ordered() {
+        let mut m: RedMap<i64> = RedMap::with_key_bound(32);
+        for k in [9, 3, 27, 0] {
+            m.insert(k, k);
+        }
+        let keys: Vec<i64> = m.keys().collect();
+        assert_eq!(keys, vec![0, 3, 9, 27]);
+        assert_eq!(m.to_sorted_entries(), vec![(0, 0), (3, 3), (9, 9), (27, 27)]);
+        let drained = m.drain_entries();
+        assert_eq!(drained, vec![(0, 0), (3, 3), (9, 9), (27, 27)]);
+        assert!(m.is_empty());
+        assert!(m.is_dense(), "drain keeps the dense backend for reuse");
+    }
+
+    #[test]
+    fn dense_clear_keeps_backend_and_allocation() {
+        let mut m: RedMap<u8> = RedMap::with_key_bound(16);
+        m.insert(1, 1);
+        m.insert(15, 15);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.is_dense());
+        assert_eq!(m.capacity(), 16);
+        assert_eq!(m.get(1), None);
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn huge_or_zero_key_bound_falls_back_to_hash() {
+        let a: RedMap<u8> = RedMap::with_key_bound(0);
+        assert!(!a.is_dense());
+        let b: RedMap<u8> = RedMap::with_key_bound(DENSE_KEY_CAP + 1);
+        assert!(!b.is_dense());
+        let c: RedMap<u8> = RedMap::with_key_bound(DENSE_KEY_CAP);
+        assert!(c.is_dense());
+    }
+
+    #[test]
+    fn retained_bytes_tracks_table_allocation() {
+        let empty: RedMap<u64> = RedMap::new();
+        assert_eq!(empty.retained_bytes(), 0);
+        let hash: RedMap<u64> = RedMap::with_capacity(1000);
+        assert!(hash.retained_bytes() >= 1024 * std::mem::size_of::<usize>());
+        let dense: RedMap<u64> = RedMap::with_key_bound(1000);
+        assert!(dense.retained_bytes() >= 1000 * std::mem::size_of::<Option<Option<u64>>>());
+    }
+
     proptest! {
         /// Command-sequence equivalence against std HashMap.
         #[test]
@@ -546,6 +896,39 @@ mod tests {
             (0u8..4, -50i64..50, any::<u32>()), 0..400))
         {
             let mut ours: RedMap<u32> = RedMap::new();
+            let mut model: HashMap<i64, u32> = HashMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(ours.insert(key, val), model.insert(key, val));
+                    }
+                    1 => {
+                        prop_assert_eq!(ours.remove(key), model.remove(&key));
+                    }
+                    2 => {
+                        prop_assert_eq!(ours.get(key), model.get(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(ours.contains_key(key), model.contains_key(&key));
+                    }
+                }
+                prop_assert_eq!(ours.len(), model.len());
+            }
+            let mut a = ours.to_sorted_entries();
+            let mut b: Vec<(i64, u32)> = model.into_iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        /// The dense backend under the same command sequences — keys mostly
+        /// inside the bound, with enough strays (negative and above-bound)
+        /// to force mid-sequence spills.
+        #[test]
+        fn dense_behaves_like_std_hashmap(ops in proptest::collection::vec(
+            (0u8..4, -10i64..80, any::<u32>()), 0..400))
+        {
+            let mut ours: RedMap<u32> = RedMap::with_key_bound(40);
             let mut model: HashMap<i64, u32> = HashMap::new();
             for (op, key, val) in ops {
                 match op {

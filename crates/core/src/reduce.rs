@@ -9,6 +9,28 @@
 //! [`SharedSlice`] and erased, capping live objects at the window size.
 //! The step's partitions run one after another over the same pool, feeding
 //! a single local combination downstream ([`crate::combine`]).
+//!
+//! ## The batched hot loop
+//!
+//! Workers hand the analytics whole [`Batch`]es of unit chunks through
+//! [`Analytics::reduce_batch`] instead of calling `gen_key`/`accumulate`
+//! chunk by chunk from the runtime. The default implementation walks the
+//! batch exactly like the classic loop (via [`BatchSink::reduce_default`]),
+//! so analytics that don't care see identical behaviour; analytics that do
+//! care override it with an explicit kernel — SIMD bucket search for
+//! histogram, hoisted-slot folds for single-key stats — that must produce
+//! bit-identical reduction maps (enforced by the equivalence suite in
+//! `smart-analytics`).
+//!
+//! ## Per-thread map reuse
+//!
+//! Workers no longer allocate a fresh reduction map per split. The
+//! scheduler owns one map *shell* per (partition, thread) slot and lends
+//! them out each step through a write-disjoint [`SharedSlice`];
+//! [`prepare_shells`] clears (never frees) each shell, so a steady-state
+//! step performs zero map allocations and the previous step's high-water
+//! capacity is the pre-size. Shells are born dense when the analytics
+//! declares a [`Analytics::key_bound`] (see [`crate::RedMap::with_key_bound`]).
 
 use crate::api::{Analytics, Chunk, ComMap, Key, RedObj};
 use crate::error::{SmartError, SmartResult};
@@ -17,6 +39,11 @@ use crate::redmap::RedMap;
 use crate::shared_slice::SharedSlice;
 use crate::step::KeyMode;
 use smart_pool::{split_range, SharedPool};
+
+/// Unit chunks handed to one [`Analytics::reduce_batch`] call. Large enough
+/// to amortize the call and let kernels stream, small enough that early
+/// emission still drains triggered objects promptly.
+const BATCH_CHUNKS: usize = 4096;
 
 /// Everything the reduction phase reads — borrowed from the scheduler for
 /// the duration of one step.
@@ -37,75 +64,285 @@ pub(crate) struct ReduceCfg<'a, A: Analytics> {
     pub emission_enabled: bool,
     /// Observer gating: when false, workers never read the clock.
     pub measure: bool,
+    /// Force the default per-chunk walk even when the analytics provides a
+    /// batched kernel (ablation / debugging knob).
+    pub scalar_reduce: bool,
+    /// Honour [`Analytics::key_bound`] and give shells the dense
+    /// direct-indexed backend.
+    pub dense_maps: bool,
 }
 
-/// Reduce every partition of the step on the pool, returning the
-/// per-thread partial maps (one per worker per partition, in partition
-/// then thread order — the deterministic merge order local combination
-/// relies on). Worker busy times report through `observer`.
+/// A run of consecutive whole unit chunks inside one worker's split —
+/// the unit of work handed to [`Analytics::reduce_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct Batch {
+    /// First element of the batch within the local partition slice.
+    pub local_start: usize,
+    /// First element of the batch within the global dataset.
+    pub global_start: usize,
+    /// Elements per unit chunk.
+    pub chunk_size: usize,
+    /// Whole chunks in the batch.
+    pub chunks: usize,
+}
+
+impl Batch {
+    /// The `i`-th unit chunk of the batch.
+    #[inline]
+    pub fn chunk_at(&self, i: usize) -> Chunk {
+        let off = i * self.chunk_size;
+        Chunk {
+            local_start: self.local_start + off,
+            global_start: self.global_start + off,
+            len: self.chunk_size,
+        }
+    }
+
+    /// Total elements covered by the batch's whole chunks.
+    #[inline]
+    pub fn elements(&self) -> usize {
+        self.chunks * self.chunk_size
+    }
+}
+
+/// The runtime side of a [`Analytics::reduce_batch`] call: the worker's
+/// reduction map, the read-only combination map, the early-emission output
+/// channel, and reusable scratch. Kernels fold chunks in through
+/// [`accumulate_keyed`](Self::accumulate_keyed) (which preserves the exact
+/// slot/trigger semantics of the classic loop) or fall back to
+/// [`reduce_default`](Self::reduce_default) for shapes they don't handle.
+///
+/// Errors (`EmptyAccumulate`, `KeyOutOfRange`) are recorded internally —
+/// the first one wins — and surfaced by the runtime after the batch
+/// returns, so kernel signatures stay `()`-returning and branch-free.
+pub struct BatchSink<'s, 'out, A: Analytics> {
+    com: &'s ComMap<A::Red>,
+    red: &'s mut RedMap<A::Red>,
+    out: &'s SharedSlice<'out, A::Out>,
+    key_mode: KeyMode,
+    emission_enabled: bool,
+    /// Scratch for `gen_keys` in the default walk.
+    keys: Vec<Key>,
+    /// Reusable numeric scratch for kernels (e.g. flattened k-means
+    /// centroids) — lets kernel bodies stay heap-allocation-free, which
+    /// `cargo xtask lint` enforces.
+    scratch: Vec<f64>,
+    error: Option<SmartError>,
+}
+
+impl<'s, 'out, A: Analytics> BatchSink<'s, 'out, A> {
+    fn new(
+        com: &'s ComMap<A::Red>,
+        red: &'s mut RedMap<A::Red>,
+        out: &'s SharedSlice<'out, A::Out>,
+        key_mode: KeyMode,
+        emission_enabled: bool,
+    ) -> Self {
+        BatchSink {
+            com,
+            red,
+            out,
+            key_mode,
+            emission_enabled,
+            keys: Vec::with_capacity(8),
+            scratch: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The persistent combination map (read-only; `gen_key` may consult it).
+    #[inline]
+    pub fn com_map(&self) -> &ComMap<A::Red> {
+        self.com
+    }
+
+    /// The key mode of the running step. Kernels specialised for one mode
+    /// must check this and fall back to
+    /// [`reduce_default`](Self::reduce_default) for the other.
+    #[inline]
+    pub fn key_mode(&self) -> KeyMode {
+        self.key_mode
+    }
+
+    /// Take the reusable `f64` scratch buffer (cleared). Return it with
+    /// [`restore_scratch`](Self::restore_scratch) so the allocation
+    /// survives to the next batch.
+    #[inline]
+    pub fn take_scratch(&mut self) -> Vec<f64> {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        s
+    }
+
+    /// Hand the scratch buffer back after [`take_scratch`](Self::take_scratch).
+    #[inline]
+    pub fn restore_scratch(&mut self, scratch: Vec<f64>) {
+        self.scratch = scratch;
+    }
+
+    /// Fold `chunk` into the reduction object for `key` — the exact
+    /// slot/accumulate/trigger sequence of the classic per-chunk loop.
+    #[inline]
+    pub fn accumulate_keyed(&mut self, analytics: &A, chunk: &Chunk, data: &[A::In], key: Key) {
+        let slot = self.red.slot_mut(key);
+        analytics.accumulate(chunk, data, key, slot);
+        let Some(obj) = slot.as_ref() else {
+            self.record(SmartError::EmptyAccumulate { key });
+            return;
+        };
+        if self.emission_enabled && obj.trigger() {
+            match checked_index(key, self.out.len()) {
+                Ok(idx) => {
+                    // SAFETY: splits own disjoint contiguous element ranges,
+                    // so only the split holding *all* of a key's
+                    // contributions can trigger it — one writer per index
+                    // (see shared_slice docs).
+                    unsafe { self.out.with_mut(idx, |o| analytics.convert(obj, o)) };
+                    self.red.remove(key);
+                }
+                Err(e) => self.record(e),
+            }
+        }
+    }
+
+    /// The generic batch walk: per chunk, `gen_key`/`gen_keys` then
+    /// [`accumulate_keyed`](Self::accumulate_keyed). This is what the
+    /// default [`Analytics::reduce_batch`] runs, and what explicit kernels
+    /// fall back to for shapes they don't specialise.
+    pub fn reduce_default(&mut self, analytics: &A, data: &[A::In], batch: &Batch) {
+        for i in 0..batch.chunks {
+            let chunk = batch.chunk_at(i);
+            let mut keys = std::mem::take(&mut self.keys);
+            keys.clear();
+            match self.key_mode {
+                KeyMode::Multi => analytics.gen_keys(&chunk, data, self.com, &mut keys),
+                KeyMode::Single => keys.push(analytics.gen_key(&chunk, data, self.com)),
+            }
+            for &key in &keys {
+                self.accumulate_keyed(analytics, &chunk, data, key);
+            }
+            self.keys = keys;
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, e: SmartError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn take_error(&mut self) -> SmartResult<()> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Build a fresh map for one shell slot: dense when the analytics declares
+/// a key bound (and the knob allows it), hash otherwise.
+fn make_map<A: Analytics>(cfg: &ReduceCfg<'_, A>) -> RedMap<A::Red> {
+    match cfg.dense_maps.then(|| cfg.analytics.key_bound()).flatten() {
+        Some(bound) => RedMap::with_key_bound(bound),
+        None => RedMap::new(),
+    }
+}
+
+/// Bring the scheduler's shell pool up to `parts * nthreads` slots and
+/// ready every shell for this step: allocations (and the dense/hash choice)
+/// from previous steps are reused — clear, don't free — and
+/// distribution-on steps are seeded from the combination map in place.
+pub(crate) fn prepare_shells<A: Analytics>(
+    cfg: &ReduceCfg<'_, A>,
+    nparts: usize,
+    shells: &mut Vec<RedMap<A::Red>>,
+) {
+    let want = nparts * cfg.nthreads;
+    shells.truncate(want);
+    while shells.len() < want {
+        shells.push(make_map(cfg));
+    }
+    for shell in shells.iter_mut() {
+        if shell.capacity() == 0 {
+            *shell = make_map(cfg);
+        } else {
+            shell.clear();
+        }
+        if cfg.distribute {
+            // Algorithm 1 line 6 — seed the thread map with the shared
+            // state (e.g. current centroids), reusing the retained table.
+            shell.reserve(cfg.com_map.len());
+            for (k, v) in cfg.com_map.iter() {
+                shell.insert(k, v.clone());
+            }
+        }
+    }
+}
+
+/// Reduce every partition of the step on the pool, filling the lent
+/// per-thread shells (one per worker per partition, in partition then
+/// thread order — the deterministic merge order local combination relies
+/// on). Worker busy times report through `observer`.
 pub(crate) fn reduce_parts<A: Analytics>(
     cfg: &ReduceCfg<'_, A>,
     pool: &SharedPool,
     parts: &[(usize, &[A::In])],
     out: &SharedSlice<'_, A::Out>,
+    shells: &mut Vec<RedMap<A::Red>>,
     observer: &mut dyn PhaseObserver,
-) -> SmartResult<Vec<RedMap<A::Red>>> {
-    let mut partial_maps: Vec<RedMap<A::Red>> = Vec::with_capacity(cfg.nthreads * parts.len());
-    for &(offset, data) in parts {
-        let worker = |tid: usize| reduce_split(cfg, tid, offset, data, out);
-        let partials = pool.try_run_on_workers(cfg.nthreads, worker)?;
-        for (tid, partial) in partials.into_iter().enumerate() {
-            let (partial, busy) = partial?;
+) -> SmartResult<()> {
+    prepare_shells(cfg, parts.len(), shells);
+    for (part_idx, &(offset, data)) in parts.iter().enumerate() {
+        let base = part_idx * cfg.nthreads;
+        let lent = SharedSlice::new(&mut shells[base..base + cfg.nthreads]);
+        let worker = |tid: usize| {
+            // SAFETY: worker `tid` touches only shell index `tid` of this
+            // partition's lent window — indices are disjoint across the
+            // scoped workers (see shared_slice docs).
+            unsafe { lent.with_mut(tid, |shell| reduce_split(cfg, tid, offset, data, out, shell)) }
+        };
+        let busys = pool.try_run_on_workers(cfg.nthreads, worker)?;
+        for (tid, busy) in busys.into_iter().enumerate() {
+            let busy = busy?;
             if cfg.measure {
                 observer.split_done(tid, busy);
             }
-            partial_maps.push(partial);
         }
     }
-    Ok(partial_maps)
+    Ok(())
 }
 
-/// One worker's split of one partition: reduce chunk by chunk into a
-/// private map, emitting triggered objects early.
+/// One worker's split of one partition: reduce batch by batch into the
+/// lent shell, emitting triggered objects early.
 fn reduce_split<A: Analytics>(
     cfg: &ReduceCfg<'_, A>,
     tid: usize,
     offset: usize,
     data: &[A::In],
     out: &SharedSlice<'_, A::Out>,
-) -> SmartResult<(RedMap<A::Red>, std::time::Duration)> {
+    red: &mut RedMap<A::Red>,
+) -> SmartResult<std::time::Duration> {
     let sw = Stopwatch::new(cfg.measure);
     let chunk_size = cfg.chunk_size;
     let analytics = cfg.analytics;
     let range = split_range(data.len(), cfg.nthreads, tid, chunk_size);
-    let mut red: RedMap<A::Red> = if cfg.distribute { cfg.com_map.clone() } else { RedMap::new() };
-    let mut keys: Vec<Key> = Vec::with_capacity(8);
-    let mut cursor = range.start;
-    while cursor + chunk_size <= range.end {
-        let chunk = Chunk { local_start: cursor, global_start: offset + cursor, len: chunk_size };
-        keys.clear();
-        match cfg.key_mode {
-            KeyMode::Multi => analytics.gen_keys(&chunk, data, cfg.com_map, &mut keys),
-            KeyMode::Single => keys.push(analytics.gen_key(&chunk, data, cfg.com_map)),
+    let whole_chunks = (range.end - range.start) / chunk_size;
+    let mut sink = BatchSink::new(cfg.com_map, red, out, cfg.key_mode, cfg.emission_enabled);
+    let mut done = 0usize;
+    while done < whole_chunks {
+        let chunks = (whole_chunks - done).min(BATCH_CHUNKS);
+        let local_start = range.start + done * chunk_size;
+        let batch = Batch { local_start, global_start: offset + local_start, chunk_size, chunks };
+        if cfg.scalar_reduce {
+            sink.reduce_default(analytics, data, &batch);
+        } else {
+            analytics.reduce_batch(data, &batch, &mut sink);
         }
-        for &key in &keys {
-            let slot = red.slot_mut(key);
-            analytics.accumulate(&chunk, data, key, slot);
-            let Some(obj) = slot.as_ref() else {
-                return Err(SmartError::EmptyAccumulate { key });
-            };
-            if cfg.emission_enabled && obj.trigger() {
-                let idx = checked_index(key, out.len())?;
-                // SAFETY: splits own disjoint contiguous element ranges, so
-                // only the split holding *all* of a key's contributions can
-                // trigger it — one writer per index (see shared_slice docs).
-                unsafe { out.with_mut(idx, |o| analytics.convert(obj, o)) };
-                red.remove(key);
-            }
-        }
-        cursor += chunk_size;
+        sink.take_error()?;
+        done += chunks;
     }
-    Ok((red, sw.elapsed()))
+    Ok(sw.elapsed())
 }
 
 /// Algorithm 1 lines 20–23: convert the combination map's remaining

@@ -15,6 +15,7 @@ use crate::args::SchedArgs;
 use crate::combine::{self, CombineStrategy};
 use crate::error::{SmartError, SmartResult};
 use crate::observer::{NoopObserver, PhaseObserver, RunStats, Stopwatch};
+use crate::redmap::RedMap;
 use crate::reduce;
 use crate::shared_slice::SharedSlice;
 use crate::stage;
@@ -47,6 +48,19 @@ pub struct Scheduler<A: Analytics> {
     extra_processed: bool,
     /// Reusable buffer for `copy_input` mode (see [`crate::stage`]).
     copy_buf: Vec<A::In>,
+    /// Per-(partition, thread) reduction-map shells, kept alive across
+    /// steps: cleared — never freed — between steps, so a steady-state
+    /// step allocates no maps and each shell's capacity is the high-water
+    /// mark of everything it has held (see `reduce::prepare_shells`).
+    shells: Vec<RedMap<A::Red>>,
+    /// This scheduler's last contribution to the process-wide
+    /// retained-map-bytes gauge (see `report_retained`).
+    reported_retained: usize,
+    /// Force the default per-chunk walk instead of
+    /// [`Analytics::reduce_batch`] kernels (ablation knob).
+    scalar_reduce: bool,
+    /// Honour [`Analytics::key_bound`] with dense direct-indexed shells.
+    dense_maps: bool,
     steps_run: usize,
     collect_stats: bool,
     last_stats: RunStats,
@@ -82,6 +96,10 @@ impl<A: Analytics> Scheduler<A> {
             com_map: ComMap::new(),
             extra_processed: false,
             copy_buf: Vec::new(),
+            shells: Vec::new(),
+            reported_retained: 0,
+            scalar_reduce: false,
+            dense_maps: true,
             steps_run: 0,
             collect_stats: false,
             last_stats: RunStats::default(),
@@ -131,6 +149,47 @@ impl<A: Analytics> Scheduler<A> {
     /// The active combination strategy.
     pub fn combine_strategy(&self) -> CombineStrategy {
         self.combine_strategy
+    }
+
+    /// Force the default per-chunk `gen_key`/`accumulate` walk instead of
+    /// any [`Analytics::reduce_batch`] kernel the analytics provides. For
+    /// ablation and for pinning down a suspected kernel divergence; kernels
+    /// are contract-bound to be bit-identical, so results never change.
+    pub fn set_scalar_reduce(&mut self, flag: bool) {
+        self.scalar_reduce = flag;
+    }
+
+    /// Enable/disable the dense direct-indexed backend for per-thread
+    /// reduction maps of analytics that declare a [`Analytics::key_bound`]
+    /// (default: enabled). Both backends are observationally identical;
+    /// this knob exists for ablation. Takes effect at the next step for
+    /// shells that are re-created; call [`drop_shells`](Self::drop_shells)
+    /// to apply it immediately.
+    pub fn set_dense_maps(&mut self, flag: bool) {
+        self.dense_maps = flag;
+    }
+
+    /// Release the retained per-thread reduction-map shells (they are
+    /// rebuilt lazily at the next step). Use when a one-off huge step
+    /// should not pin its high-water capacity for the rest of the run.
+    pub fn drop_shells(&mut self) {
+        self.shells = Vec::new();
+        self.report_retained();
+    }
+
+    /// Publish this scheduler's retained-shell footprint to the process
+    /// gauge as a delta, so several live schedulers sum instead of
+    /// clobbering each other.
+    fn report_retained(&mut self) {
+        let now = self.retained_map_bytes();
+        smart_memtrack::adjust_retained_map_bytes(now as isize - self.reported_retained as isize);
+        self.reported_retained = now;
+    }
+
+    /// Bytes currently retained by the reused per-thread reduction-map
+    /// shells (also reported to `smart_memtrack` after every step).
+    pub fn retained_map_bytes(&self) -> usize {
+        self.shells.iter().map(RedMap::retained_bytes).sum()
     }
 
     /// The combination map (paper Table 1, function 4).
@@ -326,9 +385,10 @@ impl<A: Analytics> Scheduler<A> {
         let measure = observer.enabled();
 
         for _iter in 0..self.args.num_iters {
-            // Reduction (lines 4–10 + Algorithm 2): one split per thread,
-            // partitions run back-to-back over the same pool.
-            let partials = reduce::reduce_parts(
+            // Reduction (lines 4–10 + Algorithm 2): one split per thread
+            // into the retained shells, partitions run back-to-back over
+            // the same pool.
+            reduce::reduce_parts(
                 &reduce::ReduceCfg {
                     analytics: &self.analytics,
                     com_map: &self.com_map,
@@ -338,23 +398,28 @@ impl<A: Analytics> Scheduler<A> {
                     key_mode,
                     emission_enabled: !self.args.disable_trigger && !out_shared.is_empty(),
                     measure,
+                    scalar_reduce: self.scalar_reduce,
+                    dense_maps: self.dense_maps,
                 },
                 &self.pool,
                 parts,
                 &out_shared,
+                &mut self.shells,
                 observer,
             )?;
 
             // Combination (lines 11–17) into a fresh *delta* map: the delta
             // holds only this iteration's contribution, so global
             // combination never re-sums state previous steps already made
-            // global (the combination map persists across time-steps).
+            // global (the combination map persists across time-steps). The
+            // shells are drained in place and stay retained for the next
+            // step.
             let sw = Stopwatch::new(measure);
             let mut delta = combine::local_combine(
                 &self.analytics,
                 &self.pool,
                 self.combine_strategy,
-                partials,
+                &mut self.shells,
                 observer,
             )?;
             if self.global_combination {
@@ -388,7 +453,17 @@ impl<A: Analytics> Scheduler<A> {
 
         self.copy_buf = copy_buf;
         self.steps_run += 1;
+        // Account the retained shell capacity so memory budgets see the
+        // reuse pool, not just live allocations at sample time.
+        self.report_retained();
         Ok(())
+    }
+}
+
+impl<A: Analytics> Drop for Scheduler<A> {
+    fn drop(&mut self) {
+        // Withdraw this scheduler's contribution to the retained-map gauge.
+        smart_memtrack::adjust_retained_map_bytes(-(self.reported_retained as isize));
     }
 }
 
@@ -425,6 +500,22 @@ mod tests {
         }
         fn convert(&self, obj: &Acc, out: &mut f64) {
             *out = obj.sum;
+        }
+        fn key_bound(&self) -> Option<usize> {
+            Some(1)
+        }
+        // Explicit batch kernel, so every SumSquares test also pins the
+        // reduce_batch seam against the classic walk it must match.
+        fn reduce_batch(
+            &self,
+            data: &[f64],
+            batch: &crate::Batch,
+            sink: &mut crate::BatchSink<'_, '_, Self>,
+        ) {
+            for i in 0..batch.chunks {
+                let chunk = batch.chunk_at(i);
+                sink.accumulate_keyed(self, &chunk, data, 0);
+            }
         }
     }
 
@@ -554,6 +645,12 @@ mod tests {
         }
         fn convert(&self, obj: &One, out: &mut f64) {
             *out = obj.v;
+        }
+        // Positional keys with a declared bound: every Identity test also
+        // exercises the dense reduction-map backend (and, where keys pass
+        // the bound, its spill to hashing).
+        fn key_bound(&self) -> Option<usize> {
+            Some(1 << 10)
         }
     }
 
@@ -942,6 +1039,85 @@ mod tests {
         }
         let msg = err.to_string();
         assert!(msg.contains("rank 0") && msg.contains("step 0"), "{msg}");
+    }
+
+    #[test]
+    fn shells_are_retained_and_reused_across_steps() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let mut s =
+            Scheduler::new(Identity, SchedArgs::new(4, 1).with_trigger_disabled(true), pool4())
+                .unwrap();
+        let mut out = vec![0.0f64; 256];
+        s.run2(&data, &mut out).unwrap();
+        let retained = s.retained_map_bytes();
+        assert!(retained > 0, "shells must survive the step");
+        assert!(s.shells.iter().any(|m| m.capacity() > 0));
+        // key_bound is declared, so retained shells are dense.
+        assert!(s.shells.iter().any(|m| m.is_dense()), "dense backend should engage");
+        assert!(smart_memtrack::retained_map_bytes() >= retained);
+
+        // Steady state: a second identical step reuses the pool and the
+        // results stay exact.
+        s.reset();
+        s.run2(&data, &mut out).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64));
+        assert_eq!(s.combination_map().len(), 256);
+
+        s.drop_shells();
+        assert_eq!(s.retained_map_bytes(), 0);
+    }
+
+    #[test]
+    fn scheduler_drop_withdraws_retained_gauge() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
+        let mut out = [0.0f64];
+        s.run(&data, &mut out).unwrap();
+        let contribution = s.retained_map_bytes();
+        assert!(contribution > 0);
+        let gauge_with = smart_memtrack::retained_map_bytes();
+        assert!(gauge_with >= contribution);
+        drop(s);
+        assert!(smart_memtrack::retained_map_bytes() <= gauge_with - contribution);
+    }
+
+    #[test]
+    fn scalar_and_dense_knobs_do_not_change_results() {
+        // The kernel/dense machinery is contract-bound to be bit-identical
+        // to the classic walk over hash maps — compare all four knob
+        // combinations by serialized map and output.
+        let data: Vec<f64> = (0..500).map(|i| (i % 23) as f64).collect();
+        let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
+        for (scalar, dense) in [(false, true), (true, true), (false, false), (true, false)] {
+            let mut s =
+                Scheduler::new(Identity, SchedArgs::new(4, 1).with_trigger_disabled(true), pool4())
+                    .unwrap();
+            s.set_scalar_reduce(scalar);
+            s.set_dense_maps(dense);
+            let mut out = vec![0.0f64; 500];
+            s.run2(&data, &mut out).unwrap();
+            let got = (map_bytes(&s), smart_wire::to_bytes(&out).unwrap());
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "scalar={scalar} dense={dense} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn dense_shells_spill_when_keys_pass_the_bound() {
+        // Identity declares key_bound 1024; a partition offset pushes the
+        // positional keys past it mid-run, forcing the dense shells to
+        // spill to hashing without changing any result.
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let args = SchedArgs::new(2, 1).with_partition(1000, 1064).with_trigger_disabled(true);
+        let mut s = Scheduler::new(Identity, args, pool4()).unwrap();
+        s.run2(&data, &mut []).unwrap();
+        let entries = s.combination_map().to_sorted_entries();
+        assert_eq!(entries.len(), 64);
+        assert_eq!(entries[0].0, 1000);
+        assert_eq!(entries[63].0, 1063);
+        assert!(s.shells.iter().any(|m| !m.is_dense()), "spill should have happened");
     }
 
     #[test]

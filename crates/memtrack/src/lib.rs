@@ -154,6 +154,44 @@ pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Bytes parked in reusable buffers the runtime keeps alive between steps
+/// (per-thread reduction-map shells). These bytes *are* in `current_bytes`
+/// whenever the tracking allocator is registered, but a budget sampling
+/// between steps would otherwise read them as analytics working set; this
+/// gauge lets reports split "retained for reuse" from "live this step".
+static RETAINED_MAPS: AtomicUsize = AtomicUsize::new(0);
+
+/// Adjust the retained-map gauge by a signed delta (clamped at zero).
+/// Contributors (schedulers) publish deltas so several of them sum.
+pub fn adjust_retained_map_bytes(delta: isize) {
+    if delta >= 0 {
+        RETAINED_MAPS.fetch_add(delta as usize, Ordering::Relaxed);
+    } else {
+        let sub = delta.unsigned_abs();
+        // Saturating subtract via CAS loop: a mismatched withdrawal must
+        // not wrap the gauge.
+        let mut cur = RETAINED_MAPS.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(sub);
+            match RETAINED_MAPS.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Current value of the retained-map gauge (see
+/// [`adjust_retained_map_bytes`]).
+pub fn retained_map_bytes() -> usize {
+    RETAINED_MAPS.load(Ordering::Relaxed)
+}
+
 /// Statistics captured by a [`MemScope`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemStats {
@@ -386,5 +424,21 @@ mod tests {
         drop(_big);
         reset_peak();
         assert!(peak_bytes() <= current_bytes() + (1 << 16));
+    }
+
+    #[test]
+    fn retained_map_gauge_sums_deltas_and_saturates() {
+        // Contributions from several "schedulers" sum; withdrawing more
+        // than was deposited clamps at zero instead of wrapping.
+        let before = retained_map_bytes();
+        adjust_retained_map_bytes(1000);
+        adjust_retained_map_bytes(500);
+        assert_eq!(retained_map_bytes(), before + 1500);
+        adjust_retained_map_bytes(-500);
+        assert_eq!(retained_map_bytes(), before + 1000);
+        adjust_retained_map_bytes(-(before as isize) - 1_000_000);
+        assert_eq!(retained_map_bytes(), 0);
+        // Restore whatever other concurrent tests had contributed.
+        adjust_retained_map_bytes(before as isize);
     }
 }

@@ -24,6 +24,13 @@
 //!   state written anywhere else is invisible to the recovery driver, so a
 //!   restart could not see it; deliberate exceptions (the offline baseline
 //!   models file I/O as its cost) carry an explicit suppression.
+//! * **kernel-hot-loop** — no per-element heap allocation (`Vec::new`,
+//!   `vec![`, `Box::new`, `.to_vec()`, `with_capacity`, `String::from`,
+//!   `format!`, `.collect()`) and no `Instant::now` inside `fn reduce_batch*`
+//!   bodies. These kernels run per batch of 4096 chunks in the reduce hot
+//!   loop; an allocation there is a per-batch (often per-element) malloc the
+//!   whole batching seam exists to avoid. Reusable buffers come from
+//!   `BatchSink::take_scratch`/`restore_scratch`.
 //!
 //! Suppress a finding by putting `lint:allow(<rule>)` in a comment on the
 //! offending line or the line directly above it.
@@ -165,10 +172,66 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
     // yield inside alloc paths, and must work before any model is running.
     let sync_exempt = in_facade || path.starts_with("crates/memtrack/") || is_test_path(path);
 
+    // kernel-hot-loop body tracking: `pending` between the `fn reduce_batch*`
+    // signature and its opening brace, `depth >= 1` inside the body.
+    let mut kernel_pending = false;
+    let mut kernel_depth: i32 = 0;
+
     for (idx, raw) in lines.iter().enumerate() {
         let line = strip_comment(raw);
         let lineno = idx + 1;
         let in_test_region = idx >= test_from || is_test_path(path);
+
+        // --- kernel-hot-loop --------------------------------------------
+        // Track whether this line belongs to a `fn reduce_batch*` body via
+        // brace depth (naive about braces in string literals, like the rest
+        // of this scanner — `format!` strings are forbidden in kernels
+        // anyway).
+        if !in_test_region {
+            let was_in_kernel = kernel_depth > 0 || kernel_pending;
+            if kernel_depth == 0 && !kernel_pending && line.contains("fn reduce_batch") {
+                kernel_pending = true;
+            }
+            if kernel_pending || kernel_depth > 0 {
+                for c in line.chars() {
+                    match c {
+                        '{' => {
+                            kernel_pending = false;
+                            kernel_depth += 1;
+                        }
+                        '}' if kernel_depth > 0 => kernel_depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            if was_in_kernel || kernel_depth > 0 {
+                for pat in [
+                    "Vec::new(",
+                    "vec![",
+                    "Box::new(",
+                    ".to_vec()",
+                    "with_capacity(",
+                    "String::from(",
+                    "format!(",
+                    "Instant::now(",
+                    ".collect()",
+                ] {
+                    if line.contains(pat) && !suppressed(&lines, idx, "kernel-hot-loop") {
+                        findings.push(Finding {
+                            path: path.to_owned(),
+                            line: lineno,
+                            rule: "kernel-hot-loop",
+                            message: format!(
+                                "`{pat}` inside a reduce_batch kernel body allocates (or \
+                                 measures) per batch in the reduce hot loop; reuse \
+                                 `BatchSink::take_scratch` or hoist out of the kernel"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
 
         // --- no-direct-sync ---------------------------------------------
         if !sync_exempt && !in_test_region {
@@ -382,6 +445,62 @@ fn selftest() {
         "crates/core/src/seeded.rs",
         "#[cfg(test)]\nmod tests {\n    fn f() { fs::rename(a, b).unwrap(); }\n}\n",
         "no-fs-writes",
+        0,
+    );
+
+    // kernel-hot-loop: fires on allocation or timing inside any
+    // `fn reduce_batch*` body, silent outside kernels, after the body
+    // closes, in test files, and under a suppression.
+    let hot = "fn reduce_batch(&self) {\n    let v = Vec::new();\n}\n";
+    check("crates/analytics/src/seeded.rs", hot, "kernel-hot-loop", 1);
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn reduce_batch(&self) {\n    sink.reduce_default(self, data, batch);\n}\n",
+        "kernel-hot-loop",
+        0,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn other() {\n    let v = Vec::new();\n}\n",
+        "kernel-hot-loop",
+        0,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn reduce_batch(&self) {\n    let t = Instant::now();\n}\n",
+        "kernel-hot-loop",
+        1,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "unsafe fn reduce_batch_avx2(&self) {\n    let s = format!(\"x\");\n}\n",
+        "kernel-hot-loop",
+        1,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn reduce_batch(&self) {\n    if x {\n        let k = keys.to_vec();\n    }\n}\n",
+        "kernel-hot-loop",
+        1,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn reduce_batch(&self) {\n    x();\n}\nfn helper() {\n    let v = Vec::new();\n}\n",
+        "kernel-hot-loop",
+        0,
+    );
+    check("crates/analytics/tests/seeded.rs", hot, "kernel-hot-loop", 0);
+    check(
+        "crates/analytics/src/seeded.rs",
+        "fn reduce_batch(&self) {\n    // lint:allow(kernel-hot-loop): one-time setup\n    \
+         let v = Vec::new();\n}\n",
+        "kernel-hot-loop",
+        0,
+    );
+    check(
+        "crates/analytics/src/seeded.rs",
+        "#[cfg(test)]\nmod tests {\n    fn reduce_batch(&self) { let v = Vec::new(); }\n}\n",
+        "kernel-hot-loop",
         0,
     );
 
