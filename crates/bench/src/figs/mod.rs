@@ -1,7 +1,8 @@
 //! One module per figure of the paper's evaluation section (§5), plus the
 //! §5.2 memory-footprint and §5.3 lines-of-code measurements, plus the
-//! beyond-the-paper placement comparison (`transit`) and fault-tolerance
-//! overhead/recovery measurement (`ftrec`).
+//! beyond-the-paper placement comparison (`transit`), fault-tolerance
+//! overhead/recovery measurement (`ftrec`), and multi-tenant service-tier
+//! ablation (`serve`).
 
 pub mod fig01;
 pub mod fig05;
@@ -14,6 +15,7 @@ pub mod fig11;
 pub mod ft;
 pub mod loc;
 pub mod mem;
+pub mod serve;
 pub mod transit;
 
 use crate::util::{Scale, Table};
@@ -36,5 +38,6 @@ pub fn all() -> Vec<Experiment> {
         ("loc", "lines-of-code reduction vs low-level", loc::run),
         ("transit", "time sharing vs space sharing vs in-transit", transit::run),
         ("ftrec", "checkpoint overhead and recovery time", ft::run),
+        ("serve", "multi-job service tier: shared scan vs N passes", serve::run),
     ]
 }

@@ -4,6 +4,7 @@
 //! smart-bench all [--quick] [--markdown]
 //! smart-bench fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|mem|loc [--quick] [--markdown]
 //! smart-bench list
+//! smart-bench check [file...]       # validate committed BENCH_*.json records
 //! ```
 
 use smart_bench::figs;
@@ -41,6 +42,77 @@ fn emit(id: &str, table: &Table, scale: Scale, markdown: bool, json: bool) {
     }
 }
 
+/// Validate one committed `BENCH_<fig>.json` record: schema version, fig
+/// id matching the file name, and a non-empty sample table. Textual
+/// checks against the shapes `BenchRecord::to_json` emits — enough for CI
+/// to catch a schema drift or a truncated check-in without a JSON parser.
+fn check_record(path: &std::path::Path) -> Result<(), String> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+    let fig = name
+        .strip_prefix("BENCH_")
+        .and_then(|n| n.strip_suffix(".json"))
+        .ok_or_else(|| format!("{name}: not a BENCH_<fig>.json file"))?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{name}: {e}"))?;
+    let version = format!("\"schema_version\": {},", smart_bench::record::SCHEMA_VERSION);
+    if !body.contains(&version) {
+        return Err(format!("{name}: missing or wrong schema_version (want {version})"));
+    }
+    if !body.contains(&format!("\"fig\": \"{fig}\"")) {
+        return Err(format!("{name}: fig id does not match file name `{fig}`"));
+    }
+    for field in ["\"rev\": \"", "\"date_unix\": ", "\"headers\": [\"", "\"rows\": ["] {
+        if !body.contains(field) {
+            return Err(format!("{name}: missing field {field}"));
+        }
+    }
+    let rows_empty = body.contains("\"rows\": [\n    ]") || body.contains("\"rows\": []");
+    if rows_empty {
+        return Err(format!("{name}: sample table has no rows"));
+    }
+    Ok(())
+}
+
+/// `check [file...]` — validate records (default: every `BENCH_*.json` in
+/// the working directory). Exits non-zero on the first malformed record.
+fn check(files: &[String]) {
+    let paths: Vec<std::path::PathBuf> = if files.is_empty() {
+        let mut found: Vec<_> = std::fs::read_dir(".")
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        found
+    } else {
+        files.iter().map(std::path::PathBuf::from).collect()
+    };
+    if paths.is_empty() {
+        eprintln!("no BENCH_*.json records found");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_record(path) {
+            Ok(()) => println!("ok {}", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -63,6 +135,16 @@ fn main() {
             for (id, desc, _) in &experiments {
                 println!("{id:<6} {desc}");
             }
+        }
+        Some("check") => {
+            let files: Vec<String> = args
+                .iter()
+                .skip_while(|a| a.as_str() != "check")
+                .skip(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .collect();
+            check(&files);
         }
         Some("all") => {
             for (id, _, runner) in &experiments {

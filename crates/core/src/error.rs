@@ -55,6 +55,38 @@ pub enum SmartError {
         /// Step at which the fault plan fired.
         step: usize,
     },
+    /// Service admission: the job registry is at its active-job capacity.
+    /// The submission is rejected instead of queued unboundedly; resubmit
+    /// after a job retires (`smart-serve`).
+    Busy {
+        /// Jobs currently admitted (active + pending).
+        active: usize,
+        /// The registry's capacity.
+        cap: usize,
+    },
+    /// Service admission: the tenant's token bucket cannot cover the job's
+    /// cost. Buckets refill per processed time-step (`smart-serve`).
+    QuotaExceeded {
+        /// The tenant whose bucket ran dry.
+        tenant: String,
+        /// Tokens the submission needed.
+        needed: u32,
+        /// Tokens the bucket held.
+        available: u32,
+    },
+    /// A submitted job was cancelled before completing (`smart-serve`).
+    Cancelled {
+        /// The cancelled job's id.
+        job: u64,
+    },
+    /// A submitted job was still running past its deadline step and was
+    /// retired by the service driver (`smart-serve`).
+    DeadlineExceeded {
+        /// The retired job's id.
+        job: u64,
+        /// The deadline (absolute driver step index) that passed.
+        deadline: usize,
+    },
 }
 
 impl SmartError {
@@ -91,6 +123,18 @@ impl fmt::Display for SmartError {
             }
             SmartError::Injected { rank, step } => {
                 write!(f, "injected fault killed rank {rank} at step {step}")
+            }
+            SmartError::Busy { active, cap } => {
+                write!(f, "service registry is busy: {active} of {cap} job slots in use")
+            }
+            SmartError::QuotaExceeded { tenant, needed, available } => write!(
+                f,
+                "tenant `{tenant}` exceeded its quota: job costs {needed} token(s), \
+                 bucket holds {available}"
+            ),
+            SmartError::Cancelled { job } => write!(f, "job {job} was cancelled"),
+            SmartError::DeadlineExceeded { job, deadline } => {
+                write!(f, "job {job} missed its deadline (step {deadline})")
             }
         }
     }
@@ -159,6 +203,20 @@ mod tests {
             SmartError::Context { rank: 0, step: 1, .. } => {}
             other => panic!("re-annotation must keep the innermost frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn admission_errors_name_the_offender() {
+        let e = SmartError::Busy { active: 4, cap: 4 };
+        assert!(e.to_string().contains("4 of 4"), "{e}");
+        let e = SmartError::QuotaExceeded { tenant: "viz".into(), needed: 2, available: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains("viz") && msg.contains('2') && msg.contains('1'), "{msg}");
+        let e = SmartError::Cancelled { job: 9 };
+        assert!(e.to_string().contains("job 9"), "{e}");
+        let e = SmartError::DeadlineExceeded { job: 3, deadline: 17 };
+        let msg = e.to_string();
+        assert!(msg.contains("job 3") && msg.contains("step 17"), "{msg}");
     }
 
     #[test]

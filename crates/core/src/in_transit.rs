@@ -203,6 +203,26 @@ pub struct Producer<In> {
 }
 
 impl<In: Serialize> Producer<In> {
+    /// Build a producer handle outside [`run_in_transit`]: `comm` is this
+    /// rank's world communicator (world rank `index`), and the stream to
+    /// the block-assigned stager is opened with `cfg`. For drivers that
+    /// spawn their own rank threads (the service tier's in-transit driver)
+    /// but must reuse the exact producer-side transport — same stream,
+    /// same error contexts — so the simulation side stays unchanged no
+    /// matter how many jobs the stagers serve.
+    pub fn attach(comm: Communicator, topo: Topology, index: usize, cfg: StreamConfig) -> Self {
+        debug_assert!(index < topo.producers);
+        let stager = topo.stager_world_rank(topo.stager_of(index));
+        Producer { comm, tx: Some(StreamSender::new(stager, cfg)), index, topo, steps_fed: 0 }
+    }
+
+    /// Flush the stream, mark end-of-stream to the stager, and return the
+    /// send-side counters. Companion to [`attach`](Self::attach) for
+    /// drivers that own the producer lifecycle themselves.
+    pub fn finish_stream(self) -> SmartResult<StreamSendStats> {
+        self.finish()
+    }
+
     /// This producer's index (also its world rank): `0..producers`.
     pub fn index(&self) -> usize {
         self.index
@@ -350,14 +370,7 @@ where
             .map(|(p, comm)| {
                 let cfg = stream_cfg.clone();
                 scope.spawn(move || -> SmartResult<ProducerOutcome<R>> {
-                    let stager = topo.stager_world_rank(topo.stager_of(p));
-                    let mut handle = Producer {
-                        comm,
-                        tx: Some(StreamSender::new(stager, cfg)),
-                        index: p,
-                        topo,
-                        steps_fed: 0,
-                    };
+                    let mut handle = Producer::attach(comm, topo, p, cfg);
                     let result = producer(&mut handle)?;
                     let stream = handle.finish()?;
                     Ok(ProducerOutcome { result, stream })

@@ -100,7 +100,7 @@ mod reduce;
 mod scheduler;
 mod shared_slice;
 pub mod space;
-mod stage;
+pub mod stage;
 mod step;
 
 pub use api::{Analytics, Chunk, ComMap, Key, RedObj};
@@ -111,7 +111,7 @@ pub use in_transit::{
     run_in_transit, InTransitConfig, InTransitOk, InTransitOutcome, Placement, Producer,
     ProducerOutcome, StagerOutcome, Topology,
 };
-pub use observer::{NoopObserver, PhaseObserver, RunStats};
+pub use observer::{JobLane, NoopObserver, PhaseObserver, RunStats};
 pub use pipeline::Pipeline;
 pub use redmap::{RedMap, DENSE_KEY_CAP};
 pub use reduce::{Batch, BatchSink};

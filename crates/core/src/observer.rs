@@ -55,6 +55,24 @@ pub trait PhaseObserver {
     fn checkpoint_done(&mut self, bytes: u64, busy: Duration) {
         let _ = (bytes, busy);
     }
+
+    /// One staging pass copied `bytes` of simulation output into the
+    /// staging buffer after `busy` time. Reported once per step in copy
+    /// mode — by `execute` itself, or by the service driver's shared scan
+    /// (which stages once no matter how many jobs consume the step, the
+    /// basis of the shared-scan byte assertion). Zero-copy steps never
+    /// report. Default no-op for pre-service observers.
+    fn staged_done(&mut self, bytes: u64, busy: Duration) {
+        let _ = (bytes, busy);
+    }
+
+    /// The service driver finished running submitted job `job` against one
+    /// time-step: `result_bytes` of wire-serialized output were delivered
+    /// to the job's subscriber, after `busy` execution time. Reported by
+    /// `smart-serve`, never by `execute` itself. Default no-op.
+    fn job_step_done(&mut self, job: u64, result_bytes: u64, busy: Duration) {
+        let _ = (job, result_bytes, busy);
+    }
 }
 
 /// The stats-off sink: reports nothing, and — because
@@ -92,6 +110,20 @@ impl Stopwatch {
     pub(crate) fn elapsed(&self) -> Duration {
         self.0.map(|started| started.elapsed()).unwrap_or_default()
     }
+}
+
+/// Per-job accounting lane inside [`RunStats`]: what one submitted job
+/// consumed across every time-step the service driver ran it against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobLane {
+    /// The job id assigned by the service registry.
+    pub job: u64,
+    /// Time-steps this job executed against.
+    pub steps: usize,
+    /// Wire-serialized result bytes delivered to the job's subscriber.
+    pub result_bytes: u64,
+    /// Busy time spent executing this job's reductions.
+    pub busy: Duration,
 }
 
 /// Phase timings and volumes from the most recent `run*`/`execute` call —
@@ -143,6 +175,14 @@ pub struct RunStats {
     pub ckpt_bytes: u64,
     /// Checkpointing only: snapshots written.
     pub ckpts: usize,
+    /// Bytes copied into the staging buffer, all steps (copy mode and the
+    /// service tier's shared scan only; zero-copy steps contribute nothing).
+    pub staged_bytes: u64,
+    /// Busy time spent inside the staging copy, all steps.
+    pub stage_busy: Duration,
+    /// Service tier only: per-job accounting lanes, sorted by job id. Empty
+    /// for plain `execute` runs.
+    pub jobs: Vec<JobLane>,
 }
 
 impl RunStats {
@@ -178,6 +218,31 @@ impl RunStats {
         self.ckpt_busy += other.ckpt_busy;
         self.ckpt_bytes += other.ckpt_bytes;
         self.ckpts += other.ckpts;
+        self.staged_bytes += other.staged_bytes;
+        self.stage_busy += other.stage_busy;
+        for lane in &other.jobs {
+            self.lane_mut(lane.job).merge(lane);
+        }
+    }
+
+    /// The accounting lane for `job`, created (sorted by id) on first use.
+    fn lane_mut(&mut self, job: u64) -> &mut JobLane {
+        let at = match self.jobs.binary_search_by_key(&job, |l| l.job) {
+            Ok(at) => at,
+            Err(at) => {
+                self.jobs.insert(at, JobLane { job, ..JobLane::default() });
+                at
+            }
+        };
+        &mut self.jobs[at]
+    }
+}
+
+impl JobLane {
+    fn merge(&mut self, other: &JobLane) {
+        self.steps += other.steps;
+        self.result_bytes += other.result_bytes;
+        self.busy += other.busy;
     }
 }
 
@@ -208,6 +273,18 @@ impl PhaseObserver for RunStats {
         self.ckpt_busy += busy;
         self.ckpt_bytes += bytes;
         self.ckpts += 1;
+    }
+
+    fn staged_done(&mut self, bytes: u64, busy: Duration) {
+        self.staged_bytes += bytes;
+        self.stage_busy += busy;
+    }
+
+    fn job_step_done(&mut self, job: u64, result_bytes: u64, busy: Duration) {
+        let lane = self.lane_mut(job);
+        lane.steps += 1;
+        lane.result_bytes += result_bytes;
+        lane.busy += busy;
     }
 }
 
@@ -259,6 +336,53 @@ mod tests {
         assert_eq!(total.split_busy[0], Duration::from_millis(2));
         assert_eq!(total.iters, 2);
         assert_eq!(total.combine_busy, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn staging_and_job_lanes_accumulate() {
+        let mut stats = RunStats::default();
+        stats.staged_done(1024, Duration::from_millis(2));
+        stats.staged_done(1024, Duration::from_millis(3));
+        assert_eq!(stats.staged_bytes, 2048);
+        assert_eq!(stats.stage_busy, Duration::from_millis(5));
+        // Out-of-order job ids land in sorted lanes.
+        stats.job_step_done(7, 100, Duration::from_millis(1));
+        stats.job_step_done(2, 50, Duration::from_millis(4));
+        stats.job_step_done(7, 100, Duration::from_millis(1));
+        assert_eq!(stats.jobs.len(), 2);
+        assert_eq!(
+            stats.jobs[0],
+            JobLane { job: 2, steps: 1, result_bytes: 50, busy: Duration::from_millis(4) }
+        );
+        assert_eq!(
+            stats.jobs[1],
+            JobLane { job: 7, steps: 2, result_bytes: 200, busy: Duration::from_millis(2) }
+        );
+        // The noop sink accepts both callbacks silently (default bodies).
+        NoopObserver.staged_done(1, Duration::ZERO);
+        NoopObserver.job_step_done(1, 1, Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges_job_lanes_by_id() {
+        let mut step = RunStats::default();
+        step.staged_done(512, Duration::from_millis(1));
+        step.job_step_done(3, 10, Duration::from_millis(2));
+        step.job_step_done(5, 20, Duration::from_millis(3));
+        let mut total = RunStats::default();
+        total.job_step_done(5, 1, Duration::from_millis(1));
+        total.absorb(&step);
+        total.absorb(&step);
+        assert_eq!(total.staged_bytes, 1024);
+        assert_eq!(total.jobs.len(), 2);
+        assert_eq!(
+            (total.jobs[0].job, total.jobs[0].steps, total.jobs[0].result_bytes),
+            (3, 2, 20)
+        );
+        assert_eq!(
+            (total.jobs[1].job, total.jobs[1].steps, total.jobs[1].result_bytes),
+            (5, 3, 41)
+        );
     }
 
     #[test]

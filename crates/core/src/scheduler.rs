@@ -369,10 +369,18 @@ impl<A: Analytics> Scheduler<A> {
     {
         let StepSpec { parts, key_mode, mut comm } = spec;
         stage::validate(parts, self.args.chunk_size)?;
+        let measure = observer.enabled();
 
         // Staging: zero-copy pass-through, or the Fig. 9 baseline copy.
         let mut copy_buf = std::mem::take(&mut self.copy_buf);
+        let sw = Stopwatch::new(measure && self.args.copy_input);
         let staged = stage::stage(self.args.copy_input, &mut copy_buf, parts);
+        if measure {
+            if let Some(staged) = &staged {
+                let elems: usize = staged.iter().map(|(_, p)| p.len()).sum();
+                observer.staged_done((elems * std::mem::size_of::<A::In>()) as u64, sw.elapsed());
+            }
+        }
         let parts: &[(usize, &[A::In])] = staged.as_deref().unwrap_or(parts);
 
         // Algorithm 1 line 1: seed the combination map once.
@@ -382,7 +390,6 @@ impl<A: Analytics> Scheduler<A> {
         }
 
         let out_shared = SharedSlice::new(out);
-        let measure = observer.enabled();
 
         for _iter in 0..self.args.num_iters {
             // Reduction (lines 4–10 + Algorithm 2): one split per thread
@@ -935,6 +942,28 @@ mod tests {
         s.set_collect_stats(false);
         s.run(&data, &mut out).unwrap();
         assert_eq!(s.last_stats().iters, 0);
+    }
+
+    #[test]
+    fn copy_mode_reports_staged_bytes_zero_copy_does_not() {
+        let data: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let mut out = [0.0f64];
+
+        let mut copying =
+            Scheduler::new(SumSquares, SchedArgs::new(2, 1).with_copy_input(true), pool4())
+                .unwrap();
+        copying.set_collect_stats(true);
+        copying.run(&data, &mut out).unwrap();
+        assert_eq!(
+            copying.last_stats().staged_bytes,
+            (data.len() * std::mem::size_of::<f64>()) as u64
+        );
+
+        let mut zero_copy = Scheduler::new(SumSquares, SchedArgs::new(2, 1), pool4()).unwrap();
+        zero_copy.set_collect_stats(true);
+        zero_copy.run(&data, &mut out).unwrap();
+        assert_eq!(zero_copy.last_stats().staged_bytes, 0);
+        assert_eq!(zero_copy.last_stats().stage_busy, Duration::ZERO);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use crate::error::{SmartError, SmartResult};
 
 /// Reject partitions whose length is not a whole number of unit chunks.
-pub(crate) fn validate<In>(parts: &[(usize, &[In])], chunk_size: usize) -> SmartResult<()> {
+///
+/// Public so the service tier (`smart-serve`) can validate a step once
+/// before fanning it out to every admitted job.
+pub fn validate<In>(parts: &[(usize, &[In])], chunk_size: usize) -> SmartResult<()> {
     for &(_, input) in parts {
         if input.len() % chunk_size != 0 {
             return Err(SmartError::ChunkMismatch { input_len: input.len(), chunk_size });
@@ -24,7 +27,10 @@ pub(crate) fn validate<In>(parts: &[(usize, &[In])], chunk_size: usize) -> Smart
 /// straight from the caller's slices); in copy mode, fills `buf` with all
 /// partitions back-to-back and returns slices re-cut from it, preserving
 /// each partition's global offset.
-pub(crate) fn stage<'a, In: Clone>(
+///
+/// Public so the service tier can stage *once* per time-step and run every
+/// admitted job's reduction against the same staged buffer (shared scan).
+pub fn stage<'a, In: Clone>(
     copy_input: bool,
     buf: &'a mut Vec<In>,
     parts: &[(usize, &[In])],

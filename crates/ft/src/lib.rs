@@ -14,7 +14,7 @@
 //!   bit-identical to an uninterrupted one.
 //! - [`detect`] — heartbeat probes over the communicator's existing
 //!   timeout/`PeerGone` machinery.
-//! - [`retry`] — bounded exponential backoff for transient failures.
+//! - [`mod@retry`] — bounded exponential backoff for transient failures.
 //! - [`heal`] — [`run_in_transit_healing`], the in-transit drive that
 //!   survives stager death by rerouting credit-windowed streams (replaying
 //!   their unacknowledged suffix) to the rebalanced surviving stagers.

@@ -1,0 +1,540 @@
+//! The serve driver: shared-scan fan-out of one time-step to every
+//! admitted job.
+//!
+//! This is the **only** module in the crate allowed to construct a
+//! [`Scheduler`] — every other path must go through admission
+//! ([`crate::Registry::submit`]), which is what makes quotas and the
+//! active-job cap mean anything. The `serve-admission` lint in
+//! `cargo xtask lint` enforces this boundary textually.
+
+use crate::jobs::{CoalesceKey, JobEvent, JobStepResult};
+use crate::registry::Registry;
+use serde::Serialize;
+use smart_comm::Communicator;
+use smart_core::stage;
+use smart_core::{
+    Analytics, Key, KeyMode, NoopObserver, PhaseObserver, RunStats, SchedArgs, Scheduler,
+    SmartError, SmartResult, StepSpec,
+};
+use smart_pool::SharedPool;
+use smart_sync::atomic::{AtomicBool, Ordering};
+use smart_sync::channel::Sender;
+use smart_sync::Arc;
+use std::any::TypeId;
+use std::time::{Duration, Instant};
+
+/// One job's per-step product: serialized output, serialized canonical
+/// combination map, and the busy time charged to the job.
+type StepProduct = (Vec<u8>, Vec<u8>, Duration);
+
+/// Builds the type-erased job state once a driver adopts a pending job.
+/// Boxed inside [`crate::JobSpec`] so the registry stays generic over the
+/// input element type only.
+pub(crate) trait JobInit<In>: Send {
+    /// Consume the spec's analytics + args and stand up the scheduler.
+    fn build(
+        self: Box<Self>,
+        pool: SharedPool,
+        key_mode: KeyMode,
+        coalesced: bool,
+    ) -> SmartResult<Box<dyn ErasedJob<In>>>;
+}
+
+/// The typed payload behind [`JobInit`]: what [`crate::JobSpec::new`]
+/// captures.
+pub(crate) struct TypedInit<A: Analytics> {
+    pub(crate) analytics: A,
+    pub(crate) args: SchedArgs<A::Extra>,
+    pub(crate) out_len: usize,
+}
+
+impl<In, A> JobInit<In> for TypedInit<A>
+where
+    A: Analytics<In = In> + 'static,
+    A::In: Clone,
+    A::Out: Serialize + Default + Clone,
+{
+    fn build(
+        self: Box<Self>,
+        pool: SharedPool,
+        key_mode: KeyMode,
+        coalesced: bool,
+    ) -> SmartResult<Box<dyn ErasedJob<In>>> {
+        let TypedInit { analytics, mut args, out_len } = *self;
+        // The driver owns staging policy: jobs always reduce from the
+        // shared staged view, never re-copy per job.
+        args.copy_input = false;
+        if coalesced {
+            // A coalesced member's output is derived from the group
+            // leader's combination map; early emission would bypass the
+            // map and make the result un-demultiplexable.
+            args.disable_trigger = true;
+        }
+        let out = vec![A::Out::default(); out_len];
+        let sched = Scheduler::new(analytics, args, pool)?;
+        Ok(Box::new(Typed { sched, key_mode, out }))
+    }
+}
+
+/// Execution-shape fingerprint checked before two jobs coalesce: chunk
+/// size, iteration count, key mode, and reduction-object type.
+pub(crate) type Compat = (usize, usize, KeyMode, TypeId);
+
+/// A running job with its analytics/output types erased, so the driver
+/// can hold a heterogeneous fleet over one input element type.
+pub(crate) trait ErasedJob<In> {
+    fn chunk_size(&self) -> usize;
+    fn compat(&self) -> Compat;
+    fn steps_run(&self) -> usize;
+    /// The combination map in canonical wire form (key-sorted entries).
+    fn snapshot_map(&self) -> SmartResult<Vec<u8>>;
+    /// Run one full reduce/combine step against the staged partitions.
+    /// Returns `(out bytes, map bytes)` in canonical wire form.
+    fn execute(
+        &mut self,
+        parts: &[(usize, &[In])],
+        comm: Option<&mut Communicator>,
+        obs: &mut dyn PhaseObserver,
+    ) -> SmartResult<(Vec<u8>, Vec<u8>)>;
+    /// Derive this job's output from a coalesced leader's map bytes by
+    /// applying this job's own `convert`. Returns out bytes.
+    fn view(&mut self, map_bytes: &[u8]) -> SmartResult<Vec<u8>>;
+    /// Adopt a leader's reduction history on group-leader promotion.
+    fn adopt(&mut self, map_bytes: &[u8], steps: usize) -> SmartResult<()>;
+}
+
+struct Typed<A: Analytics> {
+    sched: Scheduler<A>,
+    key_mode: KeyMode,
+    // Persistent across steps: `convert` only overwrites slots covered by
+    // live keys, so the buffer carries prior values forward exactly like a
+    // long-lived caller buffer would under `Scheduler::execute`.
+    out: Vec<A::Out>,
+}
+
+impl<In, A> ErasedJob<In> for Typed<A>
+where
+    A: Analytics<In = In> + 'static,
+    A::In: Clone,
+    A::Out: Serialize + Default + Clone,
+{
+    fn chunk_size(&self) -> usize {
+        self.sched.args().chunk_size
+    }
+
+    fn compat(&self) -> Compat {
+        (
+            self.sched.args().chunk_size,
+            self.sched.args().num_iters,
+            self.key_mode,
+            TypeId::of::<A::Red>(),
+        )
+    }
+
+    fn steps_run(&self) -> usize {
+        self.sched.steps_run()
+    }
+
+    fn snapshot_map(&self) -> SmartResult<Vec<u8>> {
+        let entries = self.sched.combination_map().to_sorted_entries();
+        smart_wire::to_bytes(&entries).map_err(|e| SmartError::Comm(e.into()))
+    }
+
+    fn execute(
+        &mut self,
+        parts: &[(usize, &[In])],
+        comm: Option<&mut Communicator>,
+        obs: &mut dyn PhaseObserver,
+    ) -> SmartResult<(Vec<u8>, Vec<u8>)> {
+        let spec = StepSpec::new(parts).with_key_mode(self.key_mode).with_comm(comm);
+        self.sched.execute_with(spec, &mut self.out, obs)?;
+        let out = smart_wire::to_bytes(&self.out).map_err(|e| SmartError::Comm(e.into()))?;
+        let map = self.snapshot_map()?;
+        Ok((out, map))
+    }
+
+    fn view(&mut self, map_bytes: &[u8]) -> SmartResult<Vec<u8>> {
+        if !self.out.is_empty() {
+            let entries: Vec<(Key, A::Red)> =
+                smart_wire::from_bytes(map_bytes).map_err(|e| SmartError::Comm(e.into()))?;
+            let out_len = self.out.len();
+            for (key, obj) in &entries {
+                let idx = usize::try_from(*key)
+                    .ok()
+                    .filter(|&i| i < out_len)
+                    .ok_or(SmartError::KeyOutOfRange { key: *key, out_len })?;
+                self.sched.analytics().convert(obj, &mut self.out[idx]);
+            }
+        }
+        smart_wire::to_bytes(&self.out).map_err(|e| SmartError::Comm(e.into()))
+    }
+
+    fn adopt(&mut self, map_bytes: &[u8], steps: usize) -> SmartResult<()> {
+        let entries: Vec<(Key, A::Red)> =
+            smart_wire::from_bytes(map_bytes).map_err(|e| SmartError::Comm(e.into()))?;
+        self.sched.restore(entries, steps);
+        Ok(())
+    }
+}
+
+struct ActiveJob<In> {
+    id: u64,
+    tenant: String,
+    priority: u8,
+    age: u32,
+    deadline: Option<usize>,
+    budget: Option<usize>,
+    steps_done: usize,
+    coalesce: Option<CoalesceKey>,
+    job: Box<dyn ErasedJob<In>>,
+    tx: Sender<JobEvent>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl<In> ActiveJob<In> {
+    /// Strict priority lifted by aging so the lowest-priority job still
+    /// ratchets toward the front slot under sustained contention.
+    fn eff_priority(&self) -> u64 {
+        self.priority as u64 + self.age as u64
+    }
+}
+
+/// What happened to a job within one [`ServeDriver::step`].
+enum Fate {
+    Running,
+    Done,
+    Failed(SmartError),
+    /// Handle dropped: retire silently.
+    Detached,
+}
+
+/// Fans each time-step out to every admitted job over one staging pass.
+///
+/// Feed it steps with [`step`](Self::step) (from a simulation loop or the
+/// in-transit stagers via [`crate::run_in_transit_serve`]); it adopts
+/// pending jobs from its [`Registry`] at each step boundary, executes
+/// every live job against the same staged data, and delivers per-step
+/// results to each job's [`crate::JobHandle`].
+pub struct ServeDriver<In> {
+    registry: Registry<In>,
+    pool: SharedPool,
+    copy_stage: bool,
+    collect_stats: bool,
+    jobs: Vec<ActiveJob<In>>,
+    staging_buf: Vec<In>,
+    step_idx: usize,
+    stats: RunStats,
+}
+
+impl<In: Clone + Send + 'static> ServeDriver<In> {
+    /// A driver adopting jobs from `registry`, executing on `pool`.
+    /// Staging defaults to copy mode — the shared scan stages each step
+    /// once and every job reduces from that buffer.
+    pub fn new(registry: Registry<In>, pool: SharedPool) -> Self {
+        ServeDriver {
+            registry,
+            pool,
+            copy_stage: true,
+            collect_stats: false,
+            jobs: Vec::new(),
+            staging_buf: Vec::new(),
+            step_idx: 0,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Toggle the shared staging copy. Zero-copy (`false`) reduces every
+    /// job straight from the caller's slices — correct, but each job walks
+    /// the simulation's live buffers instead of one service-owned copy.
+    pub fn with_copy_stage(mut self, copy: bool) -> Self {
+        self.copy_stage = copy;
+        self
+    }
+
+    /// Enable per-step timing and byte accounting into [`stats`](Self::stats).
+    pub fn set_collect_stats(&mut self, collect: bool) {
+        self.collect_stats = collect;
+    }
+
+    /// Accumulated statistics: staged bytes (once per step, independent of
+    /// job count), per-job lanes, and absorbed scheduler phase timings.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Jobs currently held by this driver (admitted and not yet retired).
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Time-steps processed so far.
+    pub fn steps_run(&self) -> usize {
+        self.step_idx
+    }
+
+    /// The registry this driver adopts jobs from.
+    pub fn registry(&self) -> &Registry<In> {
+        &self.registry
+    }
+
+    /// Process one simulation time-step: adopt pending jobs, sweep
+    /// cancellations and deadlines, stage the step **once**, execute every
+    /// live job (priority + aging order, coalesced groups once), deliver
+    /// results, retire finished jobs, refill quota buckets.
+    ///
+    /// With `comm`, global combination runs per job in deterministic order
+    /// — every rank of a distributed serve deployment must drive an
+    /// identical job sequence.
+    pub fn step(
+        &mut self,
+        parts: &[(usize, &[In])],
+        mut comm: Option<&mut Communicator>,
+    ) -> SmartResult<()> {
+        // (1) Adopt pending jobs. A failed build is that job's failure,
+        // not the step's.
+        for pending in self.registry.take_pending() {
+            let coalesced = pending.coalesce.is_some();
+            match pending.init.build(self.pool.clone(), pending.key_mode, coalesced) {
+                Ok(job) => self.jobs.push(ActiveJob {
+                    id: pending.id,
+                    tenant: pending.tenant,
+                    priority: pending.priority,
+                    age: 0,
+                    deadline: pending.deadline,
+                    budget: pending.steps,
+                    steps_done: 0,
+                    coalesce: pending.coalesce,
+                    job,
+                    tx: pending.tx,
+                    cancel: pending.cancel,
+                }),
+                Err(e) => {
+                    let _ = pending.tx.send(JobEvent::Failed(e));
+                    self.registry.retire(&pending.tenant, true);
+                }
+            }
+        }
+
+        let mut fate: Vec<Fate> = Vec::with_capacity(self.jobs.len());
+        for j in &self.jobs {
+            if j.cancel.load(Ordering::Acquire) {
+                fate.push(Fate::Failed(SmartError::Cancelled { job: j.id }));
+            } else if j.deadline.is_some_and(|d| self.step_idx >= d) {
+                fate.push(Fate::Failed(SmartError::DeadlineExceeded {
+                    job: j.id,
+                    deadline: j.deadline.unwrap_or(0),
+                }));
+            } else if stage::validate(parts, j.job.chunk_size()).is_err() {
+                fate.push(Fate::Failed(SmartError::BadArgs(format!(
+                    "step partitions are not aligned to job {}'s chunk size {}",
+                    j.id,
+                    j.job.chunk_size()
+                ))));
+            } else {
+                fate.push(Fate::Running);
+            }
+        }
+
+        // (2) Shared scan: stage the step once for every live job.
+        let any_running = fate.iter().any(|f| matches!(f, Fate::Running));
+        let mut buf = std::mem::take(&mut self.staging_buf);
+        {
+            let t0 = self.collect_stats.then(Instant::now);
+            let staged = if self.copy_stage && any_running {
+                stage::stage(true, &mut buf, parts)
+            } else {
+                None
+            };
+            if let (Some(t0), Some(staged)) = (t0, &staged) {
+                let elems: usize = staged.iter().map(|(_, p)| p.len()).sum();
+                self.stats.staged_done((elems * std::mem::size_of::<In>()) as u64, t0.elapsed());
+            }
+            let parts: &[(usize, &[In])] = staged.as_deref().unwrap_or(parts);
+
+            // (3) Execute in priority + aging order; ties break to the
+            // lower job id for cross-rank determinism.
+            let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+            order.sort_by(|&a, &b| {
+                self.jobs[b]
+                    .eff_priority()
+                    .cmp(&self.jobs[a].eff_priority())
+                    .then(self.jobs[a].id.cmp(&self.jobs[b].id))
+            });
+
+            let mut results: Vec<Option<StepProduct>> =
+                (0..self.jobs.len()).map(|_| None).collect();
+            for pos in 0..order.len() {
+                let i = order[pos];
+                if !matches!(fate[i], Fate::Running) || results[i].is_some() {
+                    continue;
+                }
+                // Coalesce group: every later Running job with the same
+                // key and a compatible execution shape rides this leader.
+                let mut group = vec![i];
+                if let Some(key) = self.jobs[i].coalesce.clone() {
+                    let compat = self.jobs[i].job.compat();
+                    for &j in order.iter().skip(pos + 1) {
+                        if matches!(fate[j], Fate::Running)
+                            && results[j].is_none()
+                            && self.jobs[j].coalesce.as_ref() == Some(&key)
+                            && self.jobs[j].job.compat() == compat
+                        {
+                            group.push(j);
+                        }
+                    }
+                    // The leader is the group's oldest member: it carries
+                    // the group's accumulated reduction history.
+                    group.sort_by_key(|&j| self.jobs[j].id);
+                }
+                let leader = group[0];
+                let t0 = self.collect_stats.then(Instant::now);
+                let exec = if self.collect_stats {
+                    let mut step_stats = RunStats::default();
+                    let r =
+                        self.jobs[leader].job.execute(parts, comm.as_deref_mut(), &mut step_stats);
+                    self.stats.absorb(&step_stats);
+                    r
+                } else {
+                    self.jobs[leader].job.execute(parts, comm.as_deref_mut(), &mut NoopObserver)
+                };
+                let busy = t0.map(|t| t.elapsed()).unwrap_or_default();
+                match exec {
+                    Ok((out, map)) => {
+                        for &m in group.iter().skip(1) {
+                            let t1 = self.collect_stats.then(Instant::now);
+                            match self.jobs[m].job.view(&map) {
+                                Ok(member_out) => {
+                                    let view_busy = t1.map(|t| t.elapsed()).unwrap_or_default();
+                                    results[m] = Some((member_out, map.clone(), view_busy));
+                                }
+                                Err(e) => fate[m] = Fate::Failed(e),
+                            }
+                        }
+                        results[leader] = Some((out, map, busy));
+                    }
+                    Err(e) => {
+                        let id = self.jobs[leader].id;
+                        for &m in group.iter().skip(1) {
+                            fate[m] = Fate::Failed(SmartError::BadArgs(format!(
+                                "coalesced leader job {id} failed: {e}"
+                            )));
+                        }
+                        fate[leader] = Fate::Failed(e);
+                    }
+                }
+            }
+
+            // (4) Deliver results; account per job and per tenant.
+            for (i, result) in results.into_iter().enumerate() {
+                let Some((out, map, busy)) = result else { continue };
+                let j = &mut self.jobs[i];
+                let bytes = (out.len() + map.len()) as u64;
+                let sent =
+                    j.tx.send(JobEvent::Step(JobStepResult { step: self.step_idx, out, map }))
+                        .is_ok();
+                if !sent {
+                    fate[i] = Fate::Detached;
+                    continue;
+                }
+                j.steps_done += 1;
+                if self.collect_stats {
+                    self.stats.job_step_done(j.id, bytes, busy);
+                }
+                self.registry.record_job_step(&j.tenant, bytes, busy);
+                if j.budget == Some(j.steps_done) {
+                    fate[i] = Fate::Done;
+                }
+            }
+
+            // (5) Aging: the job that ran first this step resets; every
+            // other runner moves one step closer to the front.
+            let mut first = true;
+            for &i in &order {
+                if !matches!(fate[i], Fate::Running | Fate::Done) {
+                    continue;
+                }
+                let j = &mut self.jobs[i];
+                if first {
+                    j.age = 0;
+                    first = false;
+                } else {
+                    j.age = j.age.saturating_add(1);
+                }
+            }
+        }
+        buf.clear();
+        self.staging_buf = buf;
+
+        // (6) Leader promotion: when a coalesce-group leader retires, hand
+        // its reduction history to the lowest-id survivor so the group's
+        // accumulated map lives on.
+        let mut promotions: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.jobs.len() {
+            if matches!(fate[i], Fate::Running) {
+                continue;
+            }
+            let Some(key) = self.jobs[i].coalesce.clone() else { continue };
+            let compat = self.jobs[i].job.compat();
+            let same_group = |j: usize| {
+                self.jobs[j].coalesce.as_ref() == Some(&key) && self.jobs[j].job.compat() == compat
+            };
+            let is_leader =
+                (0..self.jobs.len()).filter(|&j| same_group(j)).min_by_key(|&j| self.jobs[j].id)
+                    == Some(i);
+            if !is_leader {
+                continue;
+            }
+            let heir = (0..self.jobs.len())
+                .filter(|&j| j != i && matches!(fate[j], Fate::Running) && same_group(j))
+                .min_by_key(|&j| self.jobs[j].id);
+            if let Some(h) = heir {
+                promotions.push((i, h));
+            }
+        }
+        for (from, to) in promotions {
+            let hand_off = self.jobs[from].job.snapshot_map().and_then(|map| {
+                let steps = self.jobs[from].job.steps_run();
+                self.jobs[to].job.adopt(&map, steps)
+            });
+            if let Err(e) = hand_off {
+                fate[to] = Fate::Failed(e);
+            }
+        }
+
+        // (7) Retire: dropping an ActiveJob drops its Scheduler, which
+        // withdraws the retained-map gauge — no shells leak past this
+        // point.
+        let mut kept = Vec::with_capacity(self.jobs.len());
+        for (j, f) in self.jobs.drain(..).zip(fate) {
+            match f {
+                Fate::Running => kept.push(j),
+                Fate::Done => {
+                    let _ = j.tx.send(JobEvent::Done { steps: j.steps_done });
+                    self.registry.retire(&j.tenant, false);
+                }
+                Fate::Failed(e) => {
+                    let _ = j.tx.send(JobEvent::Failed(e));
+                    self.registry.retire(&j.tenant, true);
+                }
+                Fate::Detached => {
+                    self.registry.retire(&j.tenant, true);
+                }
+            }
+        }
+        self.jobs = kept;
+
+        self.registry.refill_step();
+        self.step_idx += 1;
+        Ok(())
+    }
+
+    /// End of stream: complete every live job with [`JobEvent::Done`] and
+    /// return the accumulated statistics.
+    pub fn finish(mut self) -> RunStats {
+        for j in self.jobs.drain(..) {
+            let _ = j.tx.send(JobEvent::Done { steps: j.steps_done });
+            self.registry.retire(&j.tenant, false);
+        }
+        std::mem::take(&mut self.stats)
+    }
+}

@@ -1,0 +1,213 @@
+//! Submitted jobs: specs, handles, and per-step events.
+
+use crate::driver::{JobInit, TypedInit};
+use serde::Serialize;
+use smart_core::{Analytics, KeyMode, SchedArgs, SmartError, SmartResult};
+use smart_sync::atomic::{AtomicBool, Ordering};
+use smart_sync::channel::Receiver;
+use smart_sync::Arc;
+use std::time::Duration;
+
+/// Opt-in coalescing identity: two submitted jobs that declare equal keys
+/// assert they perform the *same reduction* — same `gen_key`/`gen_keys`,
+/// same `accumulate`, same `merge`, same extra data — and may differ only
+/// in `convert`. `analytics` names the analytics kind (e.g. `"histogram"`),
+/// `params` encodes every parameter that shapes the reduction (bin edges,
+/// centroid seed, window size…). The runtime additionally verifies the
+/// execution shape (chunk size, iterations, key mode, reduction-object
+/// type) before coalescing; the semantic half of the contract is the
+/// caller's.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoalesceKey {
+    /// Analytics kind identifier.
+    pub analytics: String,
+    /// Reduction-shaping parameters, serialized however the caller likes —
+    /// compared only for equality.
+    pub params: String,
+}
+
+impl CoalesceKey {
+    /// A coalescing key from its two components.
+    pub fn new(analytics: &str, params: &str) -> Self {
+        CoalesceKey { analytics: analytics.to_string(), params: params.to_string() }
+    }
+}
+
+/// One submitted analytics job: an [`Analytics`] + [`SchedArgs`] pair
+/// wrapped with tenancy, priority, deadline, and budget metadata. Built
+/// with [`JobSpec::new`] and the `with_*` builders, consumed by
+/// [`crate::Registry::submit`].
+pub struct JobSpec<In> {
+    pub(crate) tenant: String,
+    pub(crate) priority: u8,
+    pub(crate) deadline: Option<usize>,
+    pub(crate) steps: Option<usize>,
+    pub(crate) cost: u32,
+    pub(crate) key_mode: KeyMode,
+    pub(crate) coalesce: Option<CoalesceKey>,
+    pub(crate) init: Box<dyn JobInit<In>>,
+}
+
+impl<In: Send + Sync + 'static> JobSpec<In> {
+    /// A job running `analytics` with `args`, producing `out_len` output
+    /// slots per step. Defaults: tenant `"default"`, priority 0, no
+    /// deadline, unbounded step budget, cost 1 token,
+    /// [`KeyMode::Single`], no coalescing.
+    pub fn new<A>(analytics: A, args: SchedArgs<A::Extra>, out_len: usize) -> Self
+    where
+        A: Analytics<In = In> + 'static,
+        A::In: Clone,
+        A::Out: Serialize + Default + Clone,
+    {
+        JobSpec {
+            tenant: "default".to_string(),
+            priority: 0,
+            deadline: None,
+            steps: None,
+            cost: 1,
+            key_mode: KeyMode::Single,
+            coalesce: None,
+            init: Box::new(TypedInit { analytics, args, out_len }),
+        }
+    }
+
+    /// Submit under `tenant` (must be registered with
+    /// [`crate::Registry::add_tenant`]).
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = tenant.to_string();
+        self
+    }
+
+    /// Execution priority within each step (higher runs earlier; ties go
+    /// to the lower job id). Aging prevents starvation of the front slot.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Absolute driver step index by which the job must have completed; a
+    /// job still active when the driver reaches this step is retired with
+    /// [`SmartError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, step: usize) -> Self {
+        self.deadline = Some(step);
+        self
+    }
+
+    /// Step budget: the job completes (with [`JobEvent::Done`]) after
+    /// processing this many time-steps.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Tokens charged against the tenant's bucket at submission (default
+    /// 1).
+    pub fn with_cost(mut self, tokens: u32) -> Self {
+        self.cost = tokens;
+        self
+    }
+
+    /// Key mode for every step this job runs (default
+    /// [`KeyMode::Single`]).
+    pub fn with_key_mode(mut self, key_mode: KeyMode) -> Self {
+        self.key_mode = key_mode;
+        self
+    }
+
+    /// Declare this job coalescible under `key` (see the crate-level
+    /// coalescing contract). Implies early emission is disabled for this
+    /// job.
+    pub fn with_coalesce(mut self, key: CoalesceKey) -> Self {
+        self.coalesce = Some(key);
+        self
+    }
+}
+
+/// One step's results for one job, in canonical wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStepResult {
+    /// The driver step index this result belongs to.
+    pub step: usize,
+    /// `smart_wire` bytes of the job's output buffer after conversion.
+    pub out: Vec<u8>,
+    /// `smart_wire` bytes of the job's combination map in key-sorted
+    /// order — the bit-comparison form shared with the core test suites.
+    pub map: Vec<u8>,
+}
+
+/// Lifecycle events delivered to a [`JobHandle`]. Terminal events
+/// (`Done`/`Failed`) are sent exactly once; no events follow them.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// The job processed one time-step.
+    Step(JobStepResult),
+    /// The job completed (step budget reached, or the driver finished).
+    Done {
+        /// Time-steps the job processed over its lifetime.
+        steps: usize,
+    },
+    /// The job failed or was cancelled; no further events follow.
+    Failed(SmartError),
+}
+
+/// The subscriber's side of a submitted job: poll or block on per-step
+/// [`JobEvent`]s, or cancel. Dropping the handle detaches the job — the
+/// driver retires it at the next step without sending further events.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) tenant: String,
+    pub(crate) rx: Receiver<JobEvent>,
+    pub(crate) cancel: Arc<AtomicBool>,
+}
+
+impl JobHandle {
+    /// The registry-assigned job id (monotonically increasing per
+    /// registry).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenant this job was admitted under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Request cancellation: the driver retires the job (with
+    /// [`SmartError::Cancelled`]) before executing its next step.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// The next event, if one is ready (never blocks).
+    pub fn try_event(&self) -> Option<JobEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until the next event; `None` once the job is retired and
+    /// drained.
+    pub fn recv_event(&self) -> Option<JobEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Block up to `timeout` for the next event.
+    pub fn recv_event_timeout(&self, timeout: Duration) -> Option<JobEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drain the job to completion: collect every per-step result, then
+    /// return them on [`JobEvent::Done`] or surface the failure from
+    /// [`JobEvent::Failed`]. A driver dropped without finishing surfaces
+    /// as [`SmartError::StreamClosed`].
+    pub fn join(self) -> SmartResult<Vec<JobStepResult>> {
+        let mut steps = Vec::new();
+        loop {
+            match self.rx.recv() {
+                Ok(JobEvent::Step(r)) => steps.push(r),
+                Ok(JobEvent::Done { .. }) => return Ok(steps),
+                Ok(JobEvent::Failed(e)) => return Err(e),
+                Err(_) => return Err(SmartError::StreamClosed),
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # smart-serve
+//!
+//! The multi-tenant analytics **service tier** on top of the Smart
+//! execution core. The paper runs exactly one analytics job per
+//! simulation; production in-situ means many users querying the same live
+//! stream concurrently. This crate makes a job a *submitted* value:
+//!
+//! * [`JobSpec`] wraps an [`smart_core::Analytics`] + [`SchedArgs`] with
+//!   tenant, priority, deadline, and step-budget metadata.
+//! * [`Registry`] is the admission gate: a registry-wide active-job cap
+//!   (rejecting with [`SmartError::Busy`]) and a per-tenant token bucket
+//!   ([`SmartError::QuotaExceeded`]) charged at submit and refilled once
+//!   per processed time-step. Admission never queues unboundedly and never
+//!   hangs — rejection is an immediate typed error.
+//! * [`Registry::submit`] returns a [`JobHandle`]: poll or block on
+//!   per-step [`JobEvent`]s, cancel, and observe failure as a typed
+//!   [`SmartError`].
+//! * [`ServeDriver`] fans each arriving time-step out to every admitted
+//!   job over **one** staging pass (stage once via [`smart_core::stage`],
+//!   run N reduce/combine phases against the same staged data), orders
+//!   execution by strict priority with aging, and **coalesces** jobs that
+//!   declare the same reduction ([`CoalesceKey`]) into a single execution
+//!   demultiplexed through each subscriber's own `convert`.
+//! * [`run_in_transit_serve`] turns the in-transit staging ranks into the
+//!   service tier: producers stream each time-step once
+//!   ([`smart_core::Producer`], unchanged), stagers serve many jobs per
+//!   step.
+//!
+//! Per-job accounting flows through the [`smart_core::PhaseObserver`] job
+//! dimension into [`smart_core::RunStats`] ([`smart_core::JobLane`]), and
+//! per-tenant usage is tracked by the registry ([`TenantUsage`]).
+//!
+//! ## Scheduling semantics
+//!
+//! Every admitted job runs against every time-step the driver processes —
+//! skipping a step would change the job's result, so quotas gate
+//! *admission*, not per-step execution. Priority (+ aging) orders
+//! execution *within* a step: under contention, high-priority jobs get
+//! their results first, and aging guarantees no job is permanently last.
+//! The ordering is deterministic (priority desc, then job id asc), which
+//! is what keeps distributed serve drivers on different stagers executing
+//! their global combinations in the same order — a distributed
+//! [`ServeDriver::step`] requires every rank to have admitted the same job
+//! sequence.
+//!
+//! ## Coalescing contract
+//!
+//! Jobs opt in with [`JobSpec::with_coalesce`]. Two jobs coalesce when
+//! their [`CoalesceKey`]s are equal **and** their execution shapes are
+//! compatible (same chunk size, iteration count, key mode, and reduction
+//! object type). The key asserts that the jobs perform the same reduction
+//! (same keys, same accumulate/merge); the runtime then executes the
+//! group's *leader* once per step and derives every other member's output
+//! by applying that member's own `convert` to the leader's combination
+//! map — "same analytics + key space, different convert" costs one
+//! reduction. Coalesced jobs share the group's reduction history (the
+//! leader's combination map persists across steps), so submit group
+//! members together if each must see the full stream. Early emission is
+//! disabled for coalesced jobs: results must flow through the combination
+//! map to be demultiplexable.
+
+mod driver;
+mod jobs;
+mod registry;
+mod transit;
+
+pub use driver::ServeDriver;
+pub use jobs::{CoalesceKey, JobEvent, JobHandle, JobSpec, JobStepResult};
+pub use registry::{Registry, RegistryConfig, TenantQuota, TenantUsage};
+pub use transit::{run_in_transit_serve, ServeOutcome, ServeStagerOutcome};
+
+// Re-exports so service callers need only this crate for the common types.
+pub use smart_core::{KeyMode, SchedArgs, SmartError, SmartResult};

@@ -1,0 +1,316 @@
+//! The admission gate: job registry, per-tenant token buckets, and usage
+//! accounting.
+//!
+//! Admission is decided synchronously at [`Registry::submit`] — the
+//! registry never queues beyond its capacity and never blocks the caller:
+//! over-capacity submissions fail with [`SmartError::Busy`], over-quota
+//! submissions with [`SmartError::QuotaExceeded`]. Token buckets are
+//! deterministic: charged at submit, refilled once per *processed
+//! time-step* by the driver (never by wall clock), so distributed serve
+//! drivers that see the same submission sequence make identical admission
+//! decisions.
+
+use crate::driver::JobInit;
+use crate::jobs::{CoalesceKey, JobEvent, JobHandle, JobSpec};
+use smart_core::{KeyMode, SmartError, SmartResult};
+use smart_sync::atomic::AtomicBool;
+use smart_sync::channel::{self, Sender};
+use smart_sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Registry-wide admission limits.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Maximum jobs admitted at once (pending + running). Submissions past
+    /// this cap are rejected with [`SmartError::Busy`].
+    pub max_active: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig { max_active: 64 }
+    }
+}
+
+/// A tenant's token bucket: `burst` is the bucket capacity (and initial
+/// fill), `refill_per_step` is added after every time-step the serve
+/// driver processes. Each submission costs [`JobSpec::with_cost`] tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Bucket capacity and initial token count.
+    pub burst: u32,
+    /// Tokens restored per processed time-step (capped at `burst`).
+    pub refill_per_step: u32,
+}
+
+impl TenantQuota {
+    /// A quota of `burst` tokens refilling at `refill_per_step`.
+    pub fn new(burst: u32, refill_per_step: u32) -> Self {
+        TenantQuota { burst, refill_per_step }
+    }
+
+    /// A quota that never rejects (for single-tenant deployments).
+    pub fn unlimited() -> Self {
+        TenantQuota { burst: u32::MAX, refill_per_step: u32::MAX }
+    }
+}
+
+/// Per-tenant accounting, updated by admission and by the serve driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Jobs admitted.
+    pub submitted: usize,
+    /// Submissions rejected for insufficient tokens.
+    pub rejected: usize,
+    /// Jobs that completed normally.
+    pub completed: usize,
+    /// Jobs that failed, were cancelled, missed a deadline, or were
+    /// detached (handle dropped).
+    pub failed: usize,
+    /// Job-steps executed across all of the tenant's jobs.
+    pub steps: usize,
+    /// Wire-serialized result bytes delivered to the tenant's handles.
+    pub result_bytes: u64,
+    /// Busy time spent executing the tenant's jobs (zero unless the driver
+    /// collects stats).
+    pub busy: Duration,
+}
+
+struct Tenant {
+    quota: TenantQuota,
+    tokens: u32,
+    usage: TenantUsage,
+}
+
+/// A job admitted but not yet adopted by a driver.
+pub(crate) struct PendingJob<In> {
+    pub(crate) id: u64,
+    pub(crate) tenant: String,
+    pub(crate) priority: u8,
+    pub(crate) deadline: Option<usize>,
+    pub(crate) steps: Option<usize>,
+    pub(crate) key_mode: KeyMode,
+    pub(crate) coalesce: Option<CoalesceKey>,
+    pub(crate) init: Box<dyn JobInit<In>>,
+    pub(crate) tx: Sender<JobEvent>,
+    pub(crate) cancel: Arc<AtomicBool>,
+}
+
+struct Inner<In> {
+    config: RegistryConfig,
+    tenants: BTreeMap<String, Tenant>,
+    pending: Vec<PendingJob<In>>,
+    next_id: u64,
+    active: usize,
+}
+
+/// The job registry: cloneable, thread-safe handle shared between
+/// submitters and the [`crate::ServeDriver`] that executes admitted jobs.
+pub struct Registry<In> {
+    inner: Arc<Mutex<Inner<In>>>,
+}
+
+impl<In> Clone for Registry<In> {
+    fn clone(&self) -> Self {
+        Registry { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<In: Send + 'static> Registry<In> {
+    /// An empty registry with `config` limits and no tenants.
+    pub fn new(config: RegistryConfig) -> Self {
+        Registry {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                tenants: BTreeMap::new(),
+                pending: Vec::new(),
+                next_id: 0,
+                active: 0,
+            })),
+        }
+    }
+
+    /// Register (or re-quota) a tenant. The bucket starts at `burst`.
+    pub fn add_tenant(&self, name: &str, quota: TenantQuota) {
+        let mut inner = self.inner.lock();
+        inner.tenants.insert(
+            name.to_string(),
+            Tenant { quota, tokens: quota.burst, usage: TenantUsage::default() },
+        );
+    }
+
+    /// Admit `spec` or reject it with a typed error — never blocks, never
+    /// queues past capacity. On success the returned [`JobHandle`]
+    /// receives one [`JobEvent::Step`] per processed time-step once a
+    /// driver adopts the job.
+    ///
+    /// # Errors
+    /// * [`SmartError::Busy`] — the registry is at `max_active` jobs.
+    /// * [`SmartError::QuotaExceeded`] — the tenant's bucket cannot cover
+    ///   the job's cost.
+    /// * [`SmartError::BadArgs`] — the tenant was never registered.
+    pub fn submit(&self, spec: JobSpec<In>) -> SmartResult<JobHandle> {
+        let mut inner = self.inner.lock();
+        if inner.active >= inner.config.max_active {
+            return Err(SmartError::Busy { active: inner.active, cap: inner.config.max_active });
+        }
+        let tenant = inner.tenants.get_mut(&spec.tenant).ok_or_else(|| {
+            SmartError::BadArgs(format!(
+                "unknown tenant `{}`; register it with Registry::add_tenant",
+                spec.tenant
+            ))
+        })?;
+        if tenant.tokens < spec.cost {
+            tenant.usage.rejected += 1;
+            return Err(SmartError::QuotaExceeded {
+                tenant: spec.tenant,
+                needed: spec.cost,
+                available: tenant.tokens,
+            });
+        }
+        tenant.tokens -= spec.cost;
+        tenant.usage.submitted += 1;
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.active += 1;
+        let (tx, rx) = channel::unbounded();
+        let cancel = Arc::new(AtomicBool::new(false));
+        inner.pending.push(PendingJob {
+            id,
+            tenant: spec.tenant.clone(),
+            priority: spec.priority,
+            deadline: spec.deadline,
+            steps: spec.steps,
+            key_mode: spec.key_mode,
+            coalesce: spec.coalesce,
+            init: spec.init,
+            tx,
+            cancel: Arc::clone(&cancel),
+        });
+        Ok(JobHandle { id, tenant: spec.tenant, rx, cancel })
+    }
+
+    /// Jobs currently admitted (pending + driver-held).
+    pub fn active_jobs(&self) -> usize {
+        self.inner.lock().active
+    }
+
+    /// The tenant's current token count, if registered.
+    pub fn tokens(&self, tenant: &str) -> Option<u32> {
+        self.inner.lock().tenants.get(tenant).map(|t| t.tokens)
+    }
+
+    /// A snapshot of the tenant's accounting, if registered.
+    pub fn usage(&self, tenant: &str) -> Option<TenantUsage> {
+        self.inner.lock().tenants.get(tenant).map(|t| t.usage.clone())
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.inner.lock().tenants.keys().cloned().collect()
+    }
+
+    /// Drain the pending queue into a driver.
+    pub(crate) fn take_pending(&self) -> Vec<PendingJob<In>> {
+        std::mem::take(&mut self.inner.lock().pending)
+    }
+
+    /// A job left the system (completed, failed, cancelled, or detached).
+    pub(crate) fn retire(&self, tenant: &str, failed: bool) {
+        let mut inner = self.inner.lock();
+        inner.active = inner.active.saturating_sub(1);
+        if let Some(t) = inner.tenants.get_mut(tenant) {
+            if failed {
+                t.usage.failed += 1;
+            } else {
+                t.usage.completed += 1;
+            }
+        }
+    }
+
+    /// Account one executed job-step for `tenant`.
+    pub(crate) fn record_job_step(&self, tenant: &str, bytes: u64, busy: Duration) {
+        let mut inner = self.inner.lock();
+        if let Some(t) = inner.tenants.get_mut(tenant) {
+            t.usage.steps += 1;
+            t.usage.result_bytes += bytes;
+            t.usage.busy += busy;
+        }
+    }
+
+    /// Refill every tenant's bucket for one processed time-step.
+    pub(crate) fn refill_step(&self) {
+        let mut inner = self.inner.lock();
+        for t in inner.tenants.values_mut() {
+            t.tokens = t.tokens.saturating_add(t.quota.refill_per_step).min(t.quota.burst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobSpec;
+    use smart_analytics::Histogram;
+    use smart_core::SchedArgs;
+
+    fn spec() -> JobSpec<f64> {
+        JobSpec::new(Histogram::new(0.0, 1.0, 4), SchedArgs::new(1, 1), 4)
+    }
+
+    #[test]
+    fn busy_rejection_names_the_cap() {
+        let reg: Registry<f64> = Registry::new(RegistryConfig { max_active: 2 });
+        reg.add_tenant("a", TenantQuota::unlimited());
+        let _h1 = reg.submit(spec().with_tenant("a")).unwrap();
+        let _h2 = reg.submit(spec().with_tenant("a")).unwrap();
+        match reg.submit(spec().with_tenant("a")) {
+            Err(SmartError::Busy { active: 2, cap: 2 }) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(reg.active_jobs(), 2);
+    }
+
+    #[test]
+    fn quota_charges_and_rejects_deterministically() {
+        let reg: Registry<f64> = Registry::new(RegistryConfig::default());
+        reg.add_tenant("t", TenantQuota::new(3, 1));
+        let _h = reg.submit(spec().with_tenant("t").with_cost(2)).unwrap();
+        assert_eq!(reg.tokens("t"), Some(1));
+        match reg.submit(spec().with_tenant("t").with_cost(2)) {
+            Err(SmartError::QuotaExceeded { tenant, needed: 2, available: 1 }) => {
+                assert_eq!(tenant, "t");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // One step of refill covers the shortfall; the bucket caps at
+        // burst.
+        reg.refill_step();
+        assert_eq!(reg.tokens("t"), Some(2));
+        let _h2 = reg.submit(spec().with_tenant("t").with_cost(2)).unwrap();
+        for _ in 0..10 {
+            reg.refill_step();
+        }
+        assert_eq!(reg.tokens("t"), Some(3));
+        let usage = reg.usage("t").unwrap();
+        assert_eq!((usage.submitted, usage.rejected), (2, 1));
+    }
+
+    #[test]
+    fn unknown_tenant_is_a_typed_error() {
+        let reg: Registry<f64> = Registry::new(RegistryConfig::default());
+        assert!(matches!(reg.submit(spec().with_tenant("ghost")), Err(SmartError::BadArgs(_))));
+    }
+
+    #[test]
+    fn retire_frees_a_slot() {
+        let reg: Registry<f64> = Registry::new(RegistryConfig { max_active: 1 });
+        reg.add_tenant("a", TenantQuota::unlimited());
+        let _h = reg.submit(spec().with_tenant("a")).unwrap();
+        assert!(matches!(reg.submit(spec().with_tenant("a")), Err(SmartError::Busy { .. })));
+        reg.retire("a", false);
+        let _h2 = reg.submit(spec().with_tenant("a")).unwrap();
+        assert_eq!(reg.usage("a").unwrap().completed, 1);
+    }
+}

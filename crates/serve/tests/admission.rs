@@ -1,0 +1,170 @@
+//! The failure paths the service tier must never turn into hangs: quota
+//! and capacity rejections are immediate typed errors, cancelled and
+//! deadline-expired jobs retire without stalling other tenants, and a
+//! dropped handle detaches its job silently.
+
+use smart_analytics::Histogram;
+use smart_core::SmartError;
+use smart_pool::shared_pool;
+use smart_serve::{
+    JobEvent, JobSpec, Registry, RegistryConfig, SchedArgs, ServeDriver, TenantQuota,
+};
+
+fn spec() -> JobSpec<f64> {
+    JobSpec::new(Histogram::new(0.0, 10.0, 8), SchedArgs::new(1, 1), 8)
+}
+
+fn step_data(t: usize) -> Vec<f64> {
+    (0..16).map(|i| ((t * 31 + i * 7) % 10) as f64).collect()
+}
+
+/// A tenant burning through its quota gets typed rejections while another
+/// tenant's jobs proceed untouched — rejection never queues, never stalls.
+#[test]
+fn quota_rejection_does_not_stall_other_tenants() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("small", TenantQuota::new(1, 0));
+    registry.add_tenant("big", TenantQuota::unlimited());
+
+    let small = registry.submit(spec().with_tenant("small").with_steps(3)).unwrap();
+    match registry.submit(spec().with_tenant("small")) {
+        Err(SmartError::QuotaExceeded { tenant, needed: 1, available: 0 }) => {
+            assert_eq!(tenant, "small");
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    let big = registry.submit(spec().with_tenant("big").with_steps(3)).unwrap();
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    for t in 0..3 {
+        driver.step(&[(0, &step_data(t))], None).unwrap();
+    }
+    assert_eq!(small.join().unwrap().len(), 3, "admitted small-tenant job ran");
+    assert_eq!(big.join().unwrap().len(), 3, "big tenant unaffected by small's rejection");
+    assert_eq!(registry.usage("small").unwrap().rejected, 1);
+    assert_eq!(registry.active_jobs(), 0);
+}
+
+/// The registry cap rejects with `Busy` naming the occupancy; retiring a
+/// job frees the slot.
+#[test]
+fn busy_cap_rejects_and_recovers() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig { max_active: 1 });
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let first = registry.submit(spec().with_tenant("t").with_steps(1)).unwrap();
+    match registry.submit(spec().with_tenant("t")) {
+        Err(SmartError::Busy { active: 1, cap: 1 }) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    driver.step(&[(0, &step_data(0))], None).unwrap();
+    assert_eq!(first.join().unwrap().len(), 1);
+    // The budget-complete job released its slot; admission recovers.
+    let second = registry.submit(spec().with_tenant("t").with_steps(1)).unwrap();
+    driver.step(&[(0, &step_data(1))], None).unwrap();
+    assert_eq!(second.join().unwrap().len(), 1);
+}
+
+/// Cancelling one tenant's job retires it with a typed error before its
+/// next step; every other job keeps stepping.
+#[test]
+fn cancelled_job_does_not_stall_others() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("a", TenantQuota::unlimited());
+    registry.add_tenant("b", TenantQuota::unlimited());
+    let doomed = registry.submit(spec().with_tenant("a")).unwrap();
+    let steady = registry.submit(spec().with_tenant("b").with_steps(3)).unwrap();
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    driver.step(&[(0, &step_data(0))], None).unwrap();
+    let id = doomed.id();
+    doomed.cancel();
+    driver.step(&[(0, &step_data(1))], None).unwrap();
+    driver.step(&[(0, &step_data(2))], None).unwrap();
+
+    match doomed.join() {
+        Err(SmartError::Cancelled { job }) => assert_eq!(job, id),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert_eq!(steady.join().unwrap().len(), 3, "other tenant unaffected by the cancel");
+    assert_eq!(registry.usage("a").unwrap().failed, 1);
+    assert_eq!(registry.usage("b").unwrap().completed, 1);
+    assert_eq!(registry.active_jobs(), 0);
+}
+
+/// A job with an absolute step deadline is retired with
+/// `DeadlineExceeded` the moment the driver reaches that step.
+#[test]
+fn deadline_exceeded_is_typed_and_isolated() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let dead = registry.submit(spec().with_tenant("t").with_deadline(2)).unwrap();
+    let alive = registry.submit(spec().with_tenant("t").with_steps(4)).unwrap();
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    for t in 0..4 {
+        driver.step(&[(0, &step_data(t))], None).unwrap();
+    }
+    let dead_id = dead.id();
+    match dead.join() {
+        Err(SmartError::DeadlineExceeded { job, deadline: 2 }) => assert_eq!(job, dead_id),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(alive.join().unwrap().len(), 4);
+    assert_eq!(registry.active_jobs(), 0);
+}
+
+/// Dropping a handle detaches the job: the driver retires it at the next
+/// step without delivering further events, and the slot frees up.
+#[test]
+fn dropped_handle_detaches_job() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let gone = registry.submit(spec().with_tenant("t")).unwrap();
+    let kept = registry.submit(spec().with_tenant("t").with_steps(2)).unwrap();
+    drop(gone);
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    driver.step(&[(0, &step_data(0))], None).unwrap();
+    assert_eq!(driver.active_jobs(), 1, "detached job retired at first step");
+    driver.step(&[(0, &step_data(1))], None).unwrap();
+    assert_eq!(kept.join().unwrap().len(), 2);
+    assert_eq!(registry.active_jobs(), 0);
+}
+
+/// A job whose partitions do not align with its chunk size fails alone;
+/// co-scheduled jobs with compatible shapes keep running.
+#[test]
+fn shape_mismatch_fails_only_the_offending_job() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    // Chunk size 5 cannot tile a 16-element step.
+    let bad = registry
+        .submit(
+            JobSpec::new(Histogram::new(0.0, 10.0, 8), SchedArgs::new(1, 5), 8).with_tenant("t"),
+        )
+        .unwrap();
+    let good = registry.submit(spec().with_tenant("t").with_steps(2)).unwrap();
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    driver.step(&[(0, &step_data(0))], None).unwrap();
+    driver.step(&[(0, &step_data(1))], None).unwrap();
+    assert!(matches!(bad.join(), Err(SmartError::BadArgs(_))));
+    assert_eq!(good.join().unwrap().len(), 2);
+}
+
+/// Terminal events are exactly once: after `Done`, the channel closes
+/// rather than delivering anything further.
+#[test]
+fn no_events_after_terminal() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let h = registry.submit(spec().with_tenant("t").with_steps(1)).unwrap();
+    let mut driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+    driver.step(&[(0, &step_data(0))], None).unwrap();
+    driver.step(&[(0, &step_data(1))], None).unwrap();
+    drop(driver);
+    assert!(matches!(h.recv_event(), Some(JobEvent::Step(_))));
+    assert!(matches!(h.recv_event(), Some(JobEvent::Done { steps: 1 })));
+    assert!(h.recv_event().is_none(), "channel closed after terminal event");
+}

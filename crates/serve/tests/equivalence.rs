@@ -1,0 +1,426 @@
+//! The service tier's correctness contract: N jobs submitted through the
+//! registry — mixed analytics, mixed tenants, coalesced and not, across
+//! priorities — produce wire-serialized per-step results bit-identical to
+//! N independent `Scheduler::execute` runs, in both the time-sharing and
+//! in-transit placements. Integer-valued inputs keep every f64 merge
+//! exact, so the comparisons really are byte equality.
+
+use serde::Serialize;
+use smart_analytics::{Histogram, KMeans, Moments};
+use smart_core::{Analytics, KeyMode, Scheduler, StepSpec};
+use smart_pool::shared_pool;
+use smart_serve::{
+    CoalesceKey, JobSpec, JobStepResult, Registry, RegistryConfig, SchedArgs, ServeDriver,
+    TenantQuota,
+};
+
+const K: usize = 3;
+const DIMS: usize = 4;
+const KMEANS_ITERS: usize = 2;
+
+fn element(t: usize, i: usize) -> f64 {
+    ((t * 31 + i * 7) % 10) as f64
+}
+
+/// One time-step as two partitions with global offsets, to exercise
+/// multi-partition staging.
+fn step_parts(t: usize, len: usize) -> Vec<(usize, Vec<f64>)> {
+    let half = len / 2;
+    let data: Vec<f64> = (0..len).map(|i| element(t, i)).collect();
+    vec![(0, data[..half].to_vec()), (half, data[half..].to_vec())]
+}
+
+fn centroid_seed() -> Vec<f64> {
+    (0..K * DIMS).map(|i| (i * 5 % 11) as f64).collect()
+}
+
+/// Per-step `(out bytes, map bytes)` of an isolated `Scheduler::execute`
+/// run — the ground truth every submitted job is compared against.
+fn reference_steps<A>(
+    analytics: A,
+    args: SchedArgs<A::Extra>,
+    key_mode: KeyMode,
+    out_len: usize,
+    steps: &[Vec<(usize, Vec<f64>)>],
+) -> Vec<(Vec<u8>, Vec<u8>)>
+where
+    A: Analytics<In = f64> + 'static,
+    A::Out: Serialize + Default + Clone,
+{
+    let pool = shared_pool(2).unwrap();
+    let mut sched = Scheduler::new(analytics, args, pool).unwrap();
+    let mut out = vec![A::Out::default(); out_len];
+    steps
+        .iter()
+        .map(|parts| {
+            let parts: Vec<(usize, &[f64])> =
+                parts.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+            sched.execute(StepSpec::new(&parts).with_key_mode(key_mode), &mut out).unwrap();
+            let out_bytes = smart_wire::to_bytes(&out).unwrap();
+            let map_bytes =
+                smart_wire::to_bytes(&sched.combination_map().to_sorted_entries()).unwrap();
+            (out_bytes, map_bytes)
+        })
+        .collect()
+}
+
+fn assert_steps_match(got: &[JobStepResult], want: &[(Vec<u8>, Vec<u8>)], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: step count");
+    for (r, (out, map)) in got.iter().zip(want) {
+        assert_eq!(&r.out, out, "{label}: out bytes at step {}", r.step);
+        assert_eq!(&r.map, map, "{label}: map bytes at step {}", r.step);
+    }
+}
+
+/// Five jobs — histogram ×3 (two coalesced), moments, k-means — across
+/// four tenants and scrambled priorities, all bit-identical to isolated
+/// runs. Also exercised with a single tenant owning every job.
+#[test]
+fn mixed_jobs_match_isolated_runs() {
+    let steps: Vec<_> = (0..4).map(|t| step_parts(t, 48)).collect();
+
+    for tenants in [vec!["solo"], vec!["a", "b", "c", "d"]] {
+        let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+        for t in &tenants {
+            registry.add_tenant(t, TenantQuota::unlimited());
+        }
+        let tenant = |i: usize| tenants[i % tenants.len()];
+        let hist_key = CoalesceKey::new("histogram", "0:10:24");
+
+        let h1 = registry
+            .submit(
+                JobSpec::new(Histogram::new(0.0, 10.0, 24), SchedArgs::new(2, 1), 24)
+                    .with_tenant(tenant(0))
+                    .with_priority(1)
+                    .with_coalesce(hist_key.clone()),
+            )
+            .unwrap();
+        let h2 = registry
+            .submit(
+                JobSpec::new(Histogram::new(0.0, 10.0, 24), SchedArgs::new(2, 1), 24)
+                    .with_tenant(tenant(1))
+                    .with_priority(7)
+                    .with_coalesce(hist_key.clone()),
+            )
+            .unwrap();
+        // Same analytics kind, different reduction parameters: must NOT
+        // coalesce with h1/h2 (different key), still bit-identical.
+        let h3 = registry
+            .submit(
+                JobSpec::new(Histogram::new(0.0, 10.0, 12), SchedArgs::new(2, 1), 12)
+                    .with_tenant(tenant(2))
+                    .with_coalesce(CoalesceKey::new("histogram", "0:10:12")),
+            )
+            .unwrap();
+        let mo = registry
+            .submit(
+                JobSpec::new(Moments, SchedArgs::new(2, 1), 0)
+                    .with_tenant(tenant(3))
+                    .with_priority(3),
+            )
+            .unwrap();
+        let km = registry
+            .submit(
+                JobSpec::new(
+                    KMeans::new(K, DIMS),
+                    SchedArgs::new(2, DIMS).with_extra(centroid_seed()).with_iters(KMEANS_ITERS),
+                    K,
+                )
+                .with_tenant(tenant(0))
+                .with_priority(5),
+            )
+            .unwrap();
+
+        let pool = shared_pool(2).unwrap();
+        let mut driver = ServeDriver::new(registry.clone(), pool);
+        driver.set_collect_stats(true);
+        for parts in &steps {
+            let parts: Vec<(usize, &[f64])> =
+                parts.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+            driver.step(&parts, None).unwrap();
+        }
+        let stats = driver.finish();
+
+        let hist_ref = reference_steps(
+            Histogram::new(0.0, 10.0, 24),
+            SchedArgs::new(2, 1),
+            KeyMode::Single,
+            24,
+            &steps,
+        );
+        assert_steps_match(&h1.join().unwrap(), &hist_ref, "h1 (coalesced leader)");
+        assert_steps_match(&h2.join().unwrap(), &hist_ref, "h2 (coalesced member)");
+        assert_steps_match(
+            &h3.join().unwrap(),
+            &reference_steps(
+                Histogram::new(0.0, 10.0, 12),
+                SchedArgs::new(2, 1),
+                KeyMode::Single,
+                12,
+                &steps,
+            ),
+            "h3 (uncoalesced histogram)",
+        );
+        assert_steps_match(
+            &mo.join().unwrap(),
+            &reference_steps(Moments, SchedArgs::new(2, 1), KeyMode::Single, 0, &steps),
+            "moments",
+        );
+        assert_steps_match(
+            &km.join().unwrap(),
+            &reference_steps(
+                KMeans::new(K, DIMS),
+                SchedArgs::new(2, DIMS).with_extra(centroid_seed()).with_iters(KMEANS_ITERS),
+                KeyMode::Single,
+                K,
+                &steps,
+            ),
+            "k-means",
+        );
+
+        // Per-job accounting: one lane per job, one entry per step.
+        assert_eq!(stats.jobs.len(), 5, "one lane per job");
+        for lane in &stats.jobs {
+            assert_eq!(lane.steps, steps.len(), "job {} lane steps", lane.job);
+            assert!(lane.result_bytes > 0, "job {} lane bytes", lane.job);
+        }
+        for t in &tenants {
+            assert_eq!(registry.active_jobs(), 0);
+            let usage = registry.usage(t).unwrap();
+            assert_eq!(usage.failed, 0, "tenant {t}");
+        }
+    }
+}
+
+/// The shared scan stages each step exactly once: staged bytes per step
+/// are independent of how many jobs consume the staged buffer.
+#[test]
+fn staged_bytes_independent_of_job_count() {
+    let steps: Vec<_> = (0..3).map(|t| step_parts(t, 32)).collect();
+    let staged_bytes_for = |jobs: usize| -> u64 {
+        let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+        registry.add_tenant("t", TenantQuota::unlimited());
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                registry
+                    .submit(
+                        JobSpec::new(Histogram::new(0.0, 10.0, 16), SchedArgs::new(1, 1), 16)
+                            .with_tenant("t"),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let mut driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+        driver.set_collect_stats(true);
+        for parts in &steps {
+            let parts: Vec<(usize, &[f64])> =
+                parts.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+            driver.step(&parts, None).unwrap();
+        }
+        let stats = driver.finish();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stats.staged_bytes
+    };
+
+    let one = staged_bytes_for(1);
+    let four = staged_bytes_for(4);
+    let expected = (3 * 32 * std::mem::size_of::<f64>()) as u64;
+    assert_eq!(one, expected, "one job stages each step once");
+    assert_eq!(four, expected, "four jobs still stage each step once");
+}
+
+/// A job submitted with a default tenant registered: the minimal path.
+/// Checks the default `JobSpec` tenant wiring end to end.
+#[test]
+fn default_tenant_roundtrip() {
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("default", TenantQuota::unlimited());
+    let h = registry
+        .submit(JobSpec::new(Histogram::new(0.0, 10.0, 8), SchedArgs::new(1, 1), 8).with_steps(2))
+        .unwrap();
+    let mut driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+    for t in 0..2 {
+        let data: Vec<f64> = (0..16).map(|i| element(t, i)).collect();
+        driver.step(&[(0, &data)], None).unwrap();
+    }
+    let results = h.join().unwrap();
+    assert_eq!(results.len(), 2);
+    drop(driver);
+}
+
+/// A coalesced member submitted mid-stream adopts the group's accumulated
+/// reduction history: its first result reflects every step the leader has
+/// seen, exactly like an isolated scheduler that processed them all.
+#[test]
+fn late_coalesced_member_sees_group_history() {
+    let steps: Vec<_> = (0..4).map(|t| step_parts(t, 24)).collect();
+    let key = CoalesceKey::new("histogram", "0:10:16");
+    let spec = || {
+        JobSpec::new(Histogram::new(0.0, 10.0, 16), SchedArgs::new(1, 1), 16)
+            .with_tenant("t")
+            .with_coalesce(key.clone())
+    };
+
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let leader = registry.submit(spec()).unwrap();
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    let run_step = |driver: &mut ServeDriver<f64>, parts: &Vec<(usize, Vec<f64>)>| {
+        let parts: Vec<(usize, &[f64])> = parts.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        driver.step(&parts, None).unwrap();
+    };
+    run_step(&mut driver, &steps[0]);
+    run_step(&mut driver, &steps[1]);
+    let late = registry.submit(spec()).unwrap();
+    run_step(&mut driver, &steps[2]);
+    run_step(&mut driver, &steps[3]);
+    driver.finish();
+
+    let reference = reference_steps(
+        Histogram::new(0.0, 10.0, 16),
+        SchedArgs::new(1, 1),
+        KeyMode::Single,
+        16,
+        &steps,
+    );
+    assert_steps_match(&leader.join().unwrap(), &reference, "leader");
+    let late_results = late.join().unwrap();
+    // The late member's first result is driver step 2 and carries steps
+    // 0..=2 of history through the shared map.
+    assert_steps_match(&late_results, &reference[2..], "late member");
+    assert_eq!(late_results[0].step, 2);
+}
+
+/// When a coalesce-group leader completes, the group's reduction history
+/// is handed to the surviving member, which continues bit-identically.
+#[test]
+fn leader_retirement_promotes_survivor_with_history() {
+    let steps: Vec<_> = (0..4).map(|t| step_parts(t, 24)).collect();
+    let key = CoalesceKey::new("histogram", "0:10:16");
+    let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+    registry.add_tenant("t", TenantQuota::unlimited());
+    let leader = registry
+        .submit(
+            JobSpec::new(Histogram::new(0.0, 10.0, 16), SchedArgs::new(1, 1), 16)
+                .with_tenant("t")
+                .with_coalesce(key.clone())
+                .with_steps(2),
+        )
+        .unwrap();
+    let survivor = registry
+        .submit(
+            JobSpec::new(Histogram::new(0.0, 10.0, 16), SchedArgs::new(1, 1), 16)
+                .with_tenant("t")
+                .with_coalesce(key.clone()),
+        )
+        .unwrap();
+    let mut driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+    for parts in &steps {
+        let parts: Vec<(usize, &[f64])> = parts.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        driver.step(&parts, None).unwrap();
+    }
+    driver.finish();
+
+    let reference = reference_steps(
+        Histogram::new(0.0, 10.0, 16),
+        SchedArgs::new(1, 1),
+        KeyMode::Single,
+        16,
+        &steps,
+    );
+    assert_steps_match(&leader.join().unwrap(), &reference[..2], "leader (2-step budget)");
+    assert_steps_match(&survivor.join().unwrap(), &reference, "promoted survivor");
+}
+
+/// The in-transit service tier: producers stream each step once, every
+/// stager serves the same job fleet, and every job's per-step results are
+/// bit-identical across stagers and to isolated in-situ execution.
+mod in_transit {
+    use super::*;
+    use smart_core::{InTransitConfig, Producer, Topology};
+    use smart_serve::run_in_transit_serve;
+
+    const PRODUCERS: usize = 4;
+    const STAGERS: usize = 2;
+    const PART: usize = 12;
+    const STEPS: usize = 3;
+
+    fn partition(t: usize, p: usize) -> Vec<f64> {
+        (0..PART).map(|i| element(t, p * PART + i)).collect()
+    }
+
+    #[test]
+    fn serve_matches_isolated_execution_across_stagers() {
+        let topo = Topology::new(PRODUCERS, STAGERS);
+        let hist_key = CoalesceKey::new("histogram", "0:10:20");
+        type Made = smart_serve::SmartResult<(ServeDriver<f64>, Vec<smart_serve::JobHandle>)>;
+        let make_serve = |_s: usize| -> Made {
+            let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+            registry.add_tenant("ops", TenantQuota::unlimited());
+            registry.add_tenant("science", TenantQuota::unlimited());
+            // Identical submission sequence on every stager — required by
+            // the distributed-serve contract.
+            let h1 = registry.submit(
+                JobSpec::new(Histogram::new(0.0, 10.0, 20), SchedArgs::new(1, 1), 20)
+                    .with_tenant("ops")
+                    .with_priority(2)
+                    .with_coalesce(hist_key.clone()),
+            )?;
+            let h2 = registry.submit(
+                JobSpec::new(Histogram::new(0.0, 10.0, 20), SchedArgs::new(1, 1), 20)
+                    .with_tenant("science")
+                    .with_coalesce(hist_key.clone()),
+            )?;
+            let mo = registry
+                .submit(JobSpec::new(Moments, SchedArgs::new(1, 1), 0).with_tenant("science"))?;
+            let driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+            Ok((driver, vec![h1, h2, mo]))
+        };
+
+        let outcome = run_in_transit_serve(
+            topo,
+            InTransitConfig::with_window(2),
+            |prod: &mut Producer<f64>| {
+                for t in 0..STEPS {
+                    prod.feed(prod.index() * PART, &partition(t, prod.index()))?;
+                }
+                Ok(())
+            },
+            make_serve,
+        );
+        let (_producers, stagers) = outcome.into_result().unwrap();
+        assert_eq!(stagers.len(), STAGERS);
+
+        // Ground truth: isolated schedulers fed every producer's partition
+        // as one multi-part step.
+        let steps: Vec<Vec<(usize, Vec<f64>)>> = (0..STEPS)
+            .map(|t| (0..PRODUCERS).map(|p| (p * PART, partition(t, p))).collect())
+            .collect();
+        let hist_ref = reference_steps(
+            Histogram::new(0.0, 10.0, 20),
+            SchedArgs::new(1, 1),
+            KeyMode::Single,
+            20,
+            &steps,
+        );
+        let mo_ref = reference_steps(Moments, SchedArgs::new(1, 1), KeyMode::Single, 0, &steps);
+
+        for (s, stager) in stagers.into_iter().enumerate() {
+            assert_eq!(stager.steps, STEPS, "stager {s} steps");
+            let mut handles = stager.handles.into_iter();
+            let (h1, h2, mo) =
+                (handles.next().unwrap(), handles.next().unwrap(), handles.next().unwrap());
+            assert_steps_match(&h1.join().unwrap(), &hist_ref, "transit h1");
+            assert_steps_match(&h2.join().unwrap(), &hist_ref, "transit h2 (coalesced)");
+            assert_steps_match(&mo.join().unwrap(), &mo_ref, "transit moments");
+            // The shared scan held on the service tier: each stager staged
+            // its producers' partitions once per step, regardless of the
+            // three consuming jobs.
+            let elems_per_step: usize = topo.producers_of(s).map(|_| PART).sum();
+            let expected = (STEPS * elems_per_step * std::mem::size_of::<f64>()) as u64;
+            assert_eq!(stager.stats.staged_bytes, expected, "stager {s} staged bytes");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Retained-map accounting across the service tier's failure paths: a
+//! cancelled, completed, or quota-rejected job must never leak a retained
+//! map shell. The memtrack gauge is process-global, so this check lives in
+//! its own test binary where no other test holds schedulers concurrently.
+
+use smart_analytics::Histogram;
+use smart_core::SmartError;
+use smart_memtrack::retained_map_bytes;
+use smart_pool::shared_pool;
+use smart_serve::{JobSpec, Registry, RegistryConfig, SchedArgs, ServeDriver, TenantQuota};
+
+#[test]
+fn failure_paths_release_all_retained_shells() {
+    let baseline = retained_map_bytes();
+
+    let registry: Registry<f64> = Registry::new(RegistryConfig { max_active: 8 });
+    registry.add_tenant("a", TenantQuota::new(2, 0));
+    registry.add_tenant("b", TenantQuota::unlimited());
+    let spec = || JobSpec::new(Histogram::new(0.0, 10.0, 16), SchedArgs::new(1, 1), 16);
+
+    let cancelled = registry.submit(spec().with_tenant("a")).unwrap();
+    let completed = registry.submit(spec().with_tenant("b").with_steps(2)).unwrap();
+    let unbounded = registry.submit(spec().with_tenant("b")).unwrap();
+    // Quota rejection allocates nothing that outlives the error.
+    assert!(matches!(
+        registry.submit(spec().with_tenant("a").with_cost(5)),
+        Err(SmartError::QuotaExceeded { .. })
+    ));
+
+    let mut driver = ServeDriver::new(registry.clone(), shared_pool(1).unwrap());
+    let data: Vec<f64> = (0..32).map(|i| (i % 10) as f64).collect();
+    driver.step(&[(0, &data)], None).unwrap();
+    assert!(retained_map_bytes() >= baseline, "gauge tracks live maps while jobs run");
+    cancelled.cancel();
+    driver.step(&[(0, &data)], None).unwrap();
+    driver.step(&[(0, &data)], None).unwrap();
+
+    // Two jobs retired mid-run (cancel, step budget); the third lives
+    // until the driver finishes.
+    assert!(matches!(cancelled.join(), Err(SmartError::Cancelled { .. })));
+    assert_eq!(completed.join().unwrap().len(), 2);
+    driver.finish();
+    assert_eq!(unbounded.join().unwrap().len(), 3);
+
+    assert_eq!(
+        retained_map_bytes(),
+        baseline,
+        "every retired job withdrew its retained-map contribution"
+    );
+}

@@ -1,0 +1,118 @@
+//! Multi-tenant service tier: three tenants share one Heat3D stream.
+//!
+//! One simulation, one staged scan per time-step, many analytics jobs —
+//! the `smart-serve` deployment model. Tenants get token-bucket quotas,
+//! jobs carry priorities and step budgets, two of the jobs declare the
+//! same reduction and are coalesced into a single execution, and the
+//! registry accounts latency and result bytes per tenant.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use smart_insitu::analytics::{Histogram, Moments};
+use smart_insitu::serve::{
+    CoalesceKey, JobSpec, Registry, RegistryConfig, SchedArgs, ServeDriver, SmartError, TenantQuota,
+};
+use smart_insitu::sim::Heat3D;
+
+const GRID: usize = 20; // 20³ grid on a single simulation rank
+const R: f64 = 0.15;
+const STEPS: usize = 10;
+const BUCKETS: usize = 32;
+const THREADS: usize = 2;
+
+fn main() {
+    // Admission: a small registry with three tenants. `ops` gets a burst
+    // of 1 and no refill — its second submission must bounce.
+    let registry: Registry<f64> = Registry::new(RegistryConfig { max_active: 8 });
+    registry.add_tenant("ops", TenantQuota::new(1, 0));
+    registry.add_tenant("science", TenantQuota::new(4, 1));
+    registry.add_tenant("archive", TenantQuota::unlimited());
+
+    // `ops` and `science` want the same histogram over the temperature
+    // field: same reduction, so they coalesce into one execution per step.
+    let hist = CoalesceKey::new("histogram", "0:100:32");
+    let spec_hist = || {
+        JobSpec::new(Histogram::new(0.0, 100.0, BUCKETS), SchedArgs::new(THREADS, 1), BUCKETS)
+            .with_coalesce(hist.clone())
+    };
+    let ops_hist =
+        registry.submit(spec_hist().with_tenant("ops").with_priority(9)).expect("ops histogram");
+    let sci_hist = registry
+        .submit(spec_hist().with_tenant("science").with_priority(1))
+        .expect("science histogram");
+    // `science` also tracks the field's moments, but only for the first
+    // half of the run.
+    let sci_moments = registry
+        .submit(
+            JobSpec::new(Moments, SchedArgs::new(THREADS, 1), 0)
+                .with_tenant("science")
+                .with_steps(STEPS / 2),
+        )
+        .expect("science moments");
+    // `archive` keeps a coarse histogram with a hard deadline.
+    let archive = registry
+        .submit(
+            JobSpec::new(Histogram::new(0.0, 100.0, 8), SchedArgs::new(THREADS, 1), 8)
+                .with_tenant("archive")
+                .with_deadline(STEPS),
+        )
+        .expect("archive histogram");
+
+    // A second `ops` submission exceeds the tenant's burst: typed
+    // rejection, nothing queued, nothing stalled.
+    match registry.submit(spec_hist().with_tenant("ops")) {
+        Err(SmartError::QuotaExceeded { tenant, needed, available }) => {
+            println!("rejected: tenant `{tenant}` needs {needed} token(s), has {available}");
+        }
+        other => panic!("expected a quota rejection, got {other:?}"),
+    }
+
+    // The stream: one driver staging each Heat3D step once for all jobs.
+    let pool = smart_insitu::pool::shared_pool(THREADS).expect("pool");
+    let mut driver = ServeDriver::new(registry.clone(), pool);
+    driver.set_collect_stats(true);
+    let mut sim = Heat3D::serial(GRID, GRID, GRID, R);
+    for _ in 0..STEPS {
+        let field = sim.step_serial();
+        driver.step(&[(0, field)], None).expect("serve step");
+    }
+    let stats = driver.finish();
+
+    // Per-job results: the coalesced pair is bit-identical.
+    let ops_steps = ops_hist.join().expect("ops job");
+    let sci_steps = sci_hist.join().expect("science job");
+    assert_eq!(ops_steps.len(), STEPS);
+    assert_eq!(
+        ops_steps.last().map(|r| &r.out),
+        sci_steps.last().map(|r| &r.out),
+        "coalesced jobs see the same histogram"
+    );
+    assert_eq!(sci_moments.join().expect("moments job").len(), STEPS / 2);
+    assert_eq!(archive.join().expect("archive job").len(), STEPS);
+
+    println!(
+        "\n{STEPS} steps served to {} jobs; staged {} KiB total (once per step, shared by all)",
+        stats.jobs.len(),
+        stats.staged_bytes / 1024
+    );
+    println!("\nper-tenant accounting:");
+    println!(
+        "{:<10} {:>6} {:>9} {:>9} {:>6} {:>12} {:>12}",
+        "tenant", "jobs", "rejected", "job-steps", "done", "result bytes", "busy"
+    );
+    for tenant in registry.tenants() {
+        let u = registry.usage(&tenant).expect("registered tenant");
+        println!(
+            "{:<10} {:>6} {:>9} {:>9} {:>6} {:>12} {:>12}",
+            tenant,
+            u.submitted,
+            u.rejected,
+            u.steps,
+            u.completed,
+            u.result_bytes,
+            format!("{:.1?}", u.busy),
+        );
+    }
+}

@@ -16,6 +16,7 @@ pub use smart_ft as ft;
 pub use smart_memtrack as memtrack;
 pub use smart_minispark as minispark;
 pub use smart_pool as pool;
+pub use smart_serve as serve;
 pub use smart_sim as sim;
 pub use smart_wire as wire;
 

@@ -31,6 +31,11 @@
 //!   loop; an allocation there is a per-batch (often per-element) malloc the
 //!   whole batching seam exists to avoid. Reusable buffers come from
 //!   `BatchSink::take_scratch`/`restore_scratch`.
+//! * **serve-admission** — inside `crates/serve/src`, only `driver.rs` may
+//!   construct a `Scheduler`. Every other path must go through
+//!   `Registry::submit`, or the service tier's admission control (quotas,
+//!   the active-job cap, per-tenant accounting) silently stops meaning
+//!   anything.
 //!
 //! Suppress a finding by putting `lint:allow(<rule>)` in a comment on the
 //! offending line or the line directly above it.
@@ -285,6 +290,24 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
+        // --- serve-admission --------------------------------------------
+        if path.starts_with("crates/serve/src/")
+            && !path.ends_with("driver.rs")
+            && !in_test_region
+            && line.contains("Scheduler::new(")
+            && !suppressed(&lines, idx, "serve-admission")
+        {
+            findings.push(Finding {
+                path: path.to_owned(),
+                line: lineno,
+                rule: "serve-admission",
+                message: "`Scheduler::new(` in the service tier outside driver.rs bypasses \
+                          admission control; submit a `JobSpec` through `Registry::submit` \
+                          instead"
+                    .to_owned(),
+            });
+        }
+
         // --- no-fs-writes -----------------------------------------------
         if path != "crates/ft/src/store.rs" && !in_test_region {
             for pat in [
@@ -501,6 +524,28 @@ fn selftest() {
         "crates/analytics/src/seeded.rs",
         "#[cfg(test)]\nmod tests {\n    fn reduce_batch(&self) { let v = Vec::new(); }\n}\n",
         "kernel-hot-loop",
+        0,
+    );
+
+    // serve-admission: fires in the service tier outside driver.rs, silent
+    // in driver.rs, in other crates, in test regions, and under a
+    // suppression.
+    let direct = "fn f() { let s = Scheduler::new(a, args, pool)?; }\n";
+    check("crates/serve/src/registry.rs", direct, "serve-admission", 1);
+    check("crates/serve/src/transit.rs", direct, "serve-admission", 1);
+    check("crates/serve/src/driver.rs", direct, "serve-admission", 0);
+    check("crates/core/src/seeded.rs", direct, "serve-admission", 0);
+    check("crates/serve/tests/seeded.rs", direct, "serve-admission", 0);
+    check(
+        "crates/serve/src/registry.rs",
+        "#[cfg(test)]\nmod tests {\n    fn f() { let s = Scheduler::new(a, args, pool)?; }\n}\n",
+        "serve-admission",
+        0,
+    );
+    check(
+        "crates/serve/src/registry.rs",
+        "// lint:allow(serve-admission): doc example\nfn f() { let s = Scheduler::new(a, args, pool)?; }\n",
+        "serve-admission",
         0,
     );
 
