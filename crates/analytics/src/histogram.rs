@@ -190,6 +190,20 @@ impl Analytics for Histogram {
         com.count += red.count;
     }
 
+    /// Wire merge for the POD reduction object: fold the encoded count
+    /// directly instead of round-tripping through a decoded `Bucket`. A
+    /// `Bucket` carries no heap data so this saves no allocation — it
+    /// exercises the fixed-width side of the [`Analytics::merge_wire`] seam.
+    fn merge_wire(
+        &self,
+        de: &mut smart_wire::Deserializer<'_>,
+        com: &mut Bucket,
+    ) -> smart_wire::Result<()> {
+        use serde::Deserialize;
+        com.count += u64::deserialize(de)?;
+        Ok(())
+    }
+
     fn convert(&self, obj: &Bucket, out: &mut u64) {
         *out = obj.count;
     }
@@ -229,6 +243,22 @@ mod tests {
             counts[h.bucket_of(v)] += 1;
         }
         counts
+    }
+
+    /// The wire-merge override must match decode + `merge` exactly.
+    #[test]
+    fn merge_wire_override_matches_owned_merge() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let bytes = smart_wire::to_bytes(&Bucket { count: 41 }).unwrap();
+
+        let mut owned = Bucket { count: 9 };
+        h.merge(&smart_wire::from_bytes(&bytes).unwrap(), &mut owned);
+
+        let mut viewed = Bucket { count: 9 };
+        let mut de = smart_wire::Deserializer::new(&bytes);
+        h.merge_wire(&mut de, &mut viewed).unwrap();
+        assert_eq!(de.remaining(), 0, "override must consume exactly one Bucket");
+        assert_eq!(owned.count, viewed.count);
     }
 
     #[test]

@@ -119,6 +119,34 @@ impl Analytics for KMeans {
         com.size += red.size;
     }
 
+    /// Zero-allocation wire merge: a `ClusterObj` is the analytics' one
+    /// heap-bearing reduction object (two `Vec<f64>`s per cluster), so the
+    /// default decode-then-merge pays two allocations per cluster per
+    /// incoming payload. The encoded layout is field concatenation —
+    /// `centroid` (len + doubles), `sum` (len + doubles), `size` — so this
+    /// override skips the centroid (merge ignores it), folds `sum`
+    /// element-wise straight off the wire, and adds `size`.
+    fn merge_wire(
+        &self,
+        de: &mut smart_wire::Deserializer<'_>,
+        com: &mut ClusterObj,
+    ) -> smart_wire::Result<()> {
+        use serde::Deserialize;
+        let centroid_len = u64::deserialize(&mut *de)? as usize;
+        de.skip(centroid_len.saturating_mul(8))?;
+        let sum_len = u64::deserialize(&mut *de)? as usize;
+        // `zip` in `merge` folds min(lengths) elements; mirror that, then
+        // consume whatever the wire value has beyond it so exactly one
+        // encoded ClusterObj is read even on a (never-expected) mismatch.
+        let folded = sum_len.min(com.sum.len());
+        for c in com.sum.iter_mut().take(folded) {
+            *c += f64::deserialize(&mut *de)?;
+        }
+        de.skip((sum_len - folded).saturating_mul(8))?;
+        com.size += u64::deserialize(&mut *de)?;
+        Ok(())
+    }
+
     fn process_extra_data(&self, extra: Option<&Vec<f64>>, com: &mut ComMap<ClusterObj>) {
         let init = extra.expect("k-means requires initial centroids as extra data");
         assert_eq!(init.len(), self.k * self.dims, "extra data must be k*dims centroids");
@@ -186,6 +214,39 @@ mod tests {
     use super::*;
     use smart_core::{SchedArgs, Scheduler};
     use smart_sim::ClusteredEmulator;
+
+    /// The hand-rolled `merge_wire` must be bit-identical to decode + `merge`
+    /// (the trait's default), including when the wire object's `sum` length
+    /// disagrees with the accumulator's.
+    #[test]
+    fn merge_wire_override_matches_owned_merge() {
+        let km = KMeans::new(2, 3);
+        let incoming =
+            ClusterObj { centroid: vec![9.0, 8.0, 7.0], sum: vec![0.5, -1.25, 3.75], size: 4 };
+        let base =
+            ClusterObj { centroid: vec![1.0, 2.0, 3.0], sum: vec![10.0, 20.0, 30.0], size: 7 };
+        let bytes = smart_wire::to_bytes(&incoming).unwrap();
+
+        let mut owned = base.clone();
+        km.merge(&smart_wire::from_bytes(&bytes).unwrap(), &mut owned);
+
+        let mut viewed = base.clone();
+        let mut de = smart_wire::Deserializer::new(&bytes);
+        km.merge_wire(&mut de, &mut viewed).unwrap();
+        assert_eq!(de.remaining(), 0, "override must consume exactly one ClusterObj");
+        assert_eq!(owned, viewed);
+
+        // Length-mismatched wire value: zip semantics, full consumption.
+        let short = ClusterObj { centroid: vec![], sum: vec![1.0], size: 1 };
+        let bytes = smart_wire::to_bytes(&short).unwrap();
+        let mut owned = base.clone();
+        km.merge(&smart_wire::from_bytes(&bytes).unwrap(), &mut owned);
+        let mut viewed = base.clone();
+        let mut de = smart_wire::Deserializer::new(&bytes);
+        km.merge_wire(&mut de, &mut viewed).unwrap();
+        assert_eq!(de.remaining(), 0);
+        assert_eq!(owned, viewed);
+    }
 
     /// Sequential Lloyd oracle, identical math (including empty-cluster
     /// handling: an empty cluster keeps its centroid).

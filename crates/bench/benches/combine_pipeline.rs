@@ -15,9 +15,9 @@
 //!   (clear-don't-free) vs dropped and reallocated every step.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use smart_analytics::{Histogram, MovingAverage};
+use smart_analytics::{ClusterObj, Histogram, KMeans, MovingAverage};
 use smart_comm::{merge_sorted_entries, run_cluster};
-use smart_core::{RedMap, SchedArgs, Scheduler};
+use smart_core::{fold_entries_view, Analytics, Key, RedMap, SchedArgs, Scheduler};
 use smart_pool::ThreadPool;
 
 /// The scheduler's merge step (scheduler::merge_into) over plain count
@@ -224,10 +224,62 @@ fn bench_map_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wire_view(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_view");
+    group.sample_size(10);
+
+    // One hop of the global combination, k-means shaped: the accumulator
+    // and the incoming payload hold the same `keys` clusters of
+    // heap-bearing `ClusterObj`s (two `dims`-element vectors each) — the
+    // all-keys-overlap regime every post-first-iteration combination is in.
+    let dims = 16usize;
+    let keys = 512usize;
+    let analytics = KMeans::new(keys, dims);
+    let entries: Vec<(Key, ClusterObj)> = (0..keys)
+        .map(|k| {
+            (
+                k as Key,
+                ClusterObj {
+                    centroid: (0..dims).map(|d| (k * 7 + d) as f64).collect(),
+                    sum: (0..dims).map(|d| (k * 3 + d) as f64).collect(),
+                    size: k as u64,
+                },
+            )
+        })
+        .collect();
+    let bytes = smart_wire::to_bytes(&entries).unwrap();
+
+    // Owned reference path (`SMART_WIRE_VIEW=0`): decode the incoming
+    // vector — one allocation per vector field per entry — then merge.
+    group.bench_function(BenchmarkId::new("owned_decode", keys), |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |acc| {
+                let inc: Vec<(Key, ClusterObj)> = smart_wire::from_bytes(&bytes).unwrap();
+                merge_sorted_entries(acc, inc, |com, red| analytics.merge(&red, com)).len()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Zero-copy view path (the default): validate once, fold each entry in
+    // place through `Analytics::merge_wire` — no per-entry allocation.
+    group.bench_function(BenchmarkId::new("view_merge", keys), |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |acc| fold_entries_view(&analytics, acc, &bytes).unwrap().len(),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_local_combine,
     bench_global_combine,
+    bench_wire_view,
     bench_redmap_backends,
     bench_map_reuse
 );

@@ -21,7 +21,7 @@
 
 use crate::util::{fmt_dur, time_it, Scale, Table};
 use smart_analytics::Histogram;
-use smart_comm::run_cluster;
+use smart_comm::{run_cluster, CommConfig, TransportKind};
 use smart_core::space::SpaceShared;
 use smart_core::{
     run_in_transit, InTransitConfig, KeyMode, Placement, Producer, SchedArgs, Scheduler, Topology,
@@ -115,10 +115,11 @@ fn space_sharing(edge: usize, steps: usize) -> Measured {
     }
 }
 
-fn in_transit(edge: usize, steps: usize) -> Measured {
+fn in_transit(edge: usize, steps: usize, kind: TransportKind) -> Measured {
+    let comm = CommConfig { transport: Some(kind), ..CommConfig::default() };
     let outcome = run_in_transit(
         Topology::new(RANKS, STAGERS),
-        InTransitConfig::with_window(WINDOW),
+        InTransitConfig::with_window(WINDOW).with_comm(comm),
         KeyMode::Single,
         |prod: &mut Producer<f64>| {
             let mut sim = slab(edge);
@@ -157,14 +158,9 @@ pub fn run(scale: Scale) -> Table {
         format!("Placement comparison — Heat3D {edge}³/{RANKS} ranks, {steps} steps, histogram"),
         &["placement", "sim-visible step latency", "bytes moved", "staging buffer peak"],
     );
-    for placement in placements {
-        let m = match placement {
-            Placement::TimeSharing => time_sharing(edge, steps),
-            Placement::SpaceSharing { .. } => space_sharing(edge, steps),
-            Placement::InTransit { .. } => in_transit(edge, steps),
-        };
-        table.row(vec![
-            placement.label().to_string(),
+    let fmt_row = |label: String, m: &Measured| {
+        vec![
+            label,
             fmt_dur(m.step_latency),
             if m.bytes_moved == 0 {
                 "(as time-sharing)".to_string()
@@ -172,7 +168,27 @@ pub fn run(scale: Scale) -> Table {
                 format!("{} KiB", m.bytes_moved / 1024)
             },
             format!("{} KiB", m.staging_peak / 1024),
-        ]);
+        ]
+    };
+    for placement in placements {
+        let m = match placement {
+            Placement::TimeSharing => time_sharing(edge, steps),
+            Placement::SpaceSharing { .. } => space_sharing(edge, steps),
+            Placement::InTransit { .. } => in_transit(edge, steps, TransportKind::InProcess),
+        };
+        table.row(fmt_row(placement.label().to_string(), &m));
+    }
+    // Transport ablation: the same in-transit pipeline with the
+    // producer→stager streams and both combination universes on real
+    // sockets — what the sim rank's step latency pays for leaving the
+    // process (serialization is identical; the delta is syscalls + loopback
+    // framing against the in-process row above).
+    for (label, kind) in [
+        ("in-transit (TCP loopback)", TransportKind::Tcp),
+        ("in-transit (UDS)", TransportKind::Uds),
+    ] {
+        let m = in_transit(edge, steps, kind);
+        table.row(fmt_row(label.to_string(), &m));
     }
     table.note(format!(
         "latency = slowest rank's mean step wall time before its output buffer is free; \
@@ -182,6 +198,11 @@ pub fn run(scale: Scale) -> Table {
     table.note(
         "bytes: time sharing counts global combination; in-transit counts the streaming \
          transport (staging-side combination runs on a separate universe)",
+    );
+    table.note(
+        "transport rows rerun the in-transit placement with every universe on TCP loopback \
+         or Unix domain sockets (SMART_TRANSPORT equivalents); results are bit-identical, \
+         only the step latency moves",
     );
     table
 }

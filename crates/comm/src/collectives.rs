@@ -430,12 +430,197 @@ impl Communicator {
         out.sort_unstable_by_key(|&(r, _)| r);
         Ok(out)
     }
+
+    // ---- byte-level collectives -------------------------------------------
+    //
+    // The same trees and rings as the typed collectives above, but moving
+    // caller-encoded payloads. The caller supplies how to `encode` its
+    // accumulator for the wire and how to `fold` an incoming peer payload
+    // into it — which is what lets `smart-core`'s global combination fold
+    // received reduction maps *in place* through a validating wire view
+    // instead of decoding every entry into an owned vector first. Each
+    // variant applies folds in exactly the same order as its typed twin, so
+    // the two paths are bit-identical for deterministic merge operators.
+
+    /// Byte-payload [`broadcast`](Self::broadcast): `root`'s `bytes` are
+    /// forwarded verbatim down the binomial tree; every rank returns them.
+    /// Non-root ranks pass their own (discarded) buffer, usually empty.
+    pub fn broadcast_bytes(&mut self, root: usize, bytes: Vec<u8>) -> CommResult<Vec<u8>> {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Broadcast);
+        let n = self.size();
+        let relative = (self.rank() + n - root) % n;
+
+        let mut current = bytes;
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = (self.rank() + n - mask) % n;
+                current = self.recv_bytes(src, tag)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = (self.rank() + mask) % n;
+                self.send_bytes(dst, tag, current.clone())?;
+            }
+            mask >>= 1;
+        }
+        Ok(current)
+    }
+
+    /// Byte-payload [`reduce`](Self::reduce): children's encoded payloads
+    /// are folded into `value` in binomial-tree (mask) order — the same
+    /// order the typed reduce applies `op`. Returns `Some(acc)` on the
+    /// root, `None` elsewhere.
+    pub fn reduce_bytes_with<Acc>(
+        &mut self,
+        root: usize,
+        value: Acc,
+        mut encode: impl FnMut(&Acc) -> CommResult<Vec<u8>>,
+        mut fold: impl FnMut(Acc, Vec<u8>) -> CommResult<Acc>,
+    ) -> CommResult<Option<Acc>> {
+        if root >= self.size() {
+            return Err(CommError::RankOutOfRange { rank: root, size: self.size() });
+        }
+        let tag = self.coll_tag(Op::Reduce);
+        let n = self.size();
+        let relative = (self.rank() + n - root) % n;
+
+        let mut acc = Some(value);
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let partner_rel = relative | mask;
+                if partner_rel < n {
+                    let src = (partner_rel + root) % n;
+                    let incoming = self.recv_bytes(src, tag)?;
+                    acc = Some(fold(acc.take().expect("acc present"), incoming)?);
+                }
+            } else {
+                let dst = (relative - mask + root) % n;
+                let payload = encode(acc.as_ref().expect("acc present"))?;
+                self.send_bytes(dst, tag, payload)?;
+                acc = None;
+                break;
+            }
+            mask <<= 1;
+        }
+        Ok(if self.rank() == root { acc } else { None })
+    }
+
+    /// Byte-payload [`reduce_scatter`](Self::reduce_scatter): ring steps
+    /// identical to the typed version, but each hop ships `encode(block)`
+    /// and folds the incoming payload with `fold(block, bytes)`.
+    pub fn reduce_scatter_bytes_with<Acc>(
+        &mut self,
+        blocks: Vec<Acc>,
+        mut encode: impl FnMut(&Acc) -> CommResult<Vec<u8>>,
+        mut fold: impl FnMut(Acc, Vec<u8>) -> CommResult<Acc>,
+    ) -> CommResult<Acc> {
+        let n = self.size();
+        if blocks.len() != n {
+            return Err(CommError::ScatterArity { provided: blocks.len(), expected: n });
+        }
+        let mut slots: Vec<Option<Acc>> = blocks.into_iter().map(Some).collect();
+        if n == 1 {
+            return Ok(slots[0].take().expect("one block"));
+        }
+        let tag = self.coll_tag(Op::ReduceScatter);
+        let rank = self.rank();
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        for step in 0..n - 1 {
+            let step_tag = tag | (((step as u64) & 0xFF) << 8);
+            let send_idx = (rank + n - 1 - (step % n)) % n;
+            let recv_idx = (rank + 2 * n - 2 - (step % n)) % n;
+            let payload = encode(slots[send_idx].as_ref().expect("block present"))?;
+            self.send_bytes(next, step_tag, payload)?;
+            let incoming = self.recv_bytes(prev, step_tag)?;
+            let acc = slots[recv_idx].take().expect("block present");
+            slots[recv_idx] = Some(fold(acc, incoming)?);
+        }
+        Ok(slots[rank].take().expect("own block reduced"))
+    }
+
+    /// Byte-payload [`allgather_ring`](Self::allgather_ring): every rank
+    /// contributes `bytes` and returns all ranks' payloads in rank order,
+    /// forwarded verbatim around the ring.
+    pub fn allgather_ring_bytes(&mut self, bytes: Vec<u8>) -> CommResult<Vec<Vec<u8>>> {
+        let n = self.size();
+        let rank = self.rank();
+        let mut slots: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+        slots[rank] = Some(bytes);
+        if n > 1 {
+            let tag = self.coll_tag(Op::AllGather);
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            for step in 0..n - 1 {
+                let step_tag = tag | (((step as u64) & 0xFF) << 8);
+                let send_idx = (rank + n - (step % n)) % n;
+                let recv_idx = (rank + 2 * n - 1 - (step % n)) % n;
+                let payload = slots[send_idx].as_ref().expect("block present").clone();
+                self.send_bytes(next, step_tag, payload)?;
+                let incoming = self.recv_bytes(prev, step_tag)?;
+                slots[recv_idx] = Some(incoming);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every block received")).collect())
+    }
+
+    /// Byte-payload [`allgather_alive`](Self::allgather_alive): identical
+    /// fault protocol (send-all-then-receive, deaths recorded, first
+    /// `PeerGone` returned after both phases), but payloads stay encoded.
+    pub fn allgather_alive_bytes(&mut self, bytes: Vec<u8>) -> CommResult<Vec<(usize, Vec<u8>)>> {
+        let tag = self.coll_tag(Op::AllGatherAlive);
+        let rank = self.rank();
+        let peers: Vec<usize> = self.alive_ranks().into_iter().filter(|&r| r != rank).collect();
+        let mut first_gone: Option<CommError> = None;
+        for &p in &peers {
+            match self.send_bytes(p, tag, bytes.clone()) {
+                Ok(()) => {}
+                Err(CommError::PeerGone { peer }) => {
+                    self.mark_dead(peer);
+                    first_gone.get_or_insert(CommError::PeerGone { peer });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut out: Vec<(usize, Vec<u8>)> = Vec::with_capacity(peers.len() + 1);
+        out.push((rank, bytes));
+        for &p in &peers {
+            if !self.is_alive(p) {
+                continue;
+            }
+            match self.recv_bytes(p, tag) {
+                Ok(v) => out.push((p, v)),
+                Err(CommError::PeerGone { peer }) => {
+                    self.mark_dead(peer);
+                    first_gone.get_or_insert(CommError::PeerGone { peer });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = first_gone {
+            return Err(e);
+        }
+        out.sort_unstable_by_key(|&(r, _)| r);
+        Ok(out)
+    }
 }
 
 /// The shard (owning rank) for `key` among `n` ranks. Deterministic and
 /// uniform: splitmix64-style finalizer over the key, reduced mod `n`, so
 /// every rank routes a given key to the same shard without coordination.
-fn shard_of(key: i64, n: usize) -> usize {
+/// Public so callers driving [`reduce_scatter_bytes_with`] themselves (the
+/// wire-view combination path in `smart-core`) partition identically to
+/// [`Communicator::allreduce_sharded`].
+pub fn shard_of(key: i64, n: usize) -> usize {
     let mut h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     h ^= h >> 33;
     h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);

@@ -62,6 +62,10 @@ pub struct CommConfig {
     /// "only a single thread can call MPI function at a time" (§5.6). The
     /// lock is never held across a blocking receive, so it cannot deadlock.
     pub serialized_sends: bool,
+    /// Which fabric the universe runs on. `None` (the default) consults the
+    /// `SMART_TRANSPORT` environment variable and falls back to the
+    /// in-process channel mesh.
+    pub transport: Option<crate::transport::TransportKind>,
 }
 
 #[cfg(test)]

@@ -49,14 +49,16 @@ mod communicator;
 mod cost;
 mod error;
 pub mod stream;
+pub mod transport;
 
-pub use collectives::merge_sorted_entries;
+pub use collectives::{merge_sorted_entries, shard_of};
 pub use communicator::{Communicator, Mailbox, Tag};
 pub use cost::{CommConfig, CostModel};
 pub use error::{CommError, CommResult};
 pub use stream::{
     StreamConfig, StreamReceiver, StreamRecvStats, StreamSendStats, StreamSender, STREAM_BASE,
 };
+pub use transport::{Frame, Polled, Transport, TransportKind};
 
 use smart_sync::Arc;
 

@@ -1,0 +1,79 @@
+//! The in-process channel backend: rank → thread, send → channel push.
+//!
+//! This is the original `smart-comm` fabric moved behind [`Transport`]. It
+//! is the default for tests and the only backend compiled under loom. Every
+//! endpoint holds a clone of every peer's sender, so the mesh stays
+//! connected as long as any rank is alive; a send only fails once the
+//! destination's receiver has been dropped.
+
+use super::{Frame, Polled, Transport, DEATH_TAG};
+use crate::error::{CommError, CommResult};
+use crate::Tag;
+use smart_sync::channel::{self, Receiver, Sender};
+use std::time::Duration;
+
+pub(crate) struct ChannelTransport {
+    rank: usize,
+    senders: Vec<Sender<Frame>>,
+    rx: Receiver<Frame>,
+}
+
+/// Build the `n` endpoints of a channel mesh.
+pub(crate) fn build(n: usize) -> Vec<Box<dyn Transport>> {
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel::unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| {
+            Box::new(ChannelTransport { rank, senders: senders.clone(), rx }) as Box<dyn Transport>
+        })
+        .collect()
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()> {
+        self.senders[dest]
+            .send(Frame { src: self.rank, tag, payload })
+            .map_err(|_| CommError::PeerGone { peer: dest })
+    }
+
+    fn recv(&mut self) -> Option<Frame> {
+        self.rx.recv().ok()
+    }
+
+    fn try_recv(&mut self) -> Polled {
+        match self.rx.try_recv() {
+            Ok(frame) => Polled::Frame(frame),
+            Err(channel::TryRecvError::Empty) => Polled::Empty,
+            Err(channel::TryRecvError::Disconnected) => Polled::Closed,
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Polled {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Polled::Frame(frame),
+            Err(channel::RecvTimeoutError::Timeout) => Polled::Empty,
+            Err(channel::RecvTimeoutError::Disconnected) => Polled::Closed,
+        }
+    }
+
+    fn notify_death(&mut self) {
+        // Best-effort: a peer whose mailbox is already gone does not need
+        // the notice.
+        for dest in 0..self.senders.len() {
+            if dest != self.rank {
+                let _ = self.senders[dest].send(Frame {
+                    src: self.rank,
+                    tag: DEATH_TAG,
+                    payload: Vec::new(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Generic socket mesh shared by the TCP and Unix-domain backends.
+//!
+//! Topology: every rank owns one listener; connections are **unidirectional**
+//! (rank a's traffic to rank b flows over a stream a opened to b's listener,
+//! b's traffic to a over a separate stream). Outgoing connections are opened
+//! lazily on first send. An accepted connection starts with an 8-byte
+//! little-endian *hello* carrying the sender's rank; after that it carries
+//! frames:
+//!
+//! ```text
+//! [tag: u64 LE][payload len: u64 LE][payload bytes]
+//! ```
+//!
+//! Each accepted connection gets a dedicated reader thread that decodes
+//! frames and pushes them into the endpoint's unbounded event queue. Readers
+//! drain their sockets eagerly, so a sender's `write` never blocks on the
+//! receiving *protocol* being slow — the no-blocking-send contract ring
+//! collectives rely on. On EOF or a read error the reader synthesizes a
+//! death notice from its peer, which is how an abrupt disconnect surfaces as
+//! [`PeerGone`](crate::CommError::PeerGone) rather than a hang.
+//!
+//! Death protocol: `notify_death` writes a [`DEATH_TAG`] frame on every
+//! established outgoing stream, *connects out* to every peer it never talked
+//! to just to deliver hello + death (so a rank that dies silently still
+//! wakes receivers that never heard from it), then wakes its own acceptor
+//! with a self-connection so the listener shuts down.
+
+use super::{Frame, Polled, Transport, DEATH_TAG};
+use crate::error::{CommError, CommResult};
+use crate::Tag;
+use smart_sync::atomic::{AtomicBool, Ordering};
+use smart_sync::channel::{self, Receiver, Sender};
+use smart_sync::Arc;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Sanity cap on a decoded frame length: a corrupt or hostile stream must
+/// not trigger a huge allocation. Far above any real reduction map.
+const MAX_FRAME_LEN: u64 = 1 << 32;
+
+/// The socket flavour a mesh runs over: how to bind, accept, and connect.
+pub(crate) trait Fabric: Send + Sync + 'static {
+    type Addr: Clone + Send + Sync + 'static;
+    type Stream: Read + Write + Send + 'static;
+    type Listener: Send + 'static;
+
+    /// Bind a fresh listener for `rank` and return it with its address.
+    fn bind(rank: usize) -> io::Result<(Self::Listener, Self::Addr)>;
+    /// Block for the next inbound connection.
+    fn accept(listener: &Self::Listener) -> io::Result<Self::Stream>;
+    /// Open a connection to `addr`.
+    fn connect(addr: &Self::Addr) -> io::Result<Self::Stream>;
+    /// Release any on-disk resource behind `addr` (socket files).
+    fn cleanup(_addr: &Self::Addr) {}
+}
+
+pub(crate) struct MeshTransport<F: Fabric> {
+    rank: usize,
+    addrs: Arc<Vec<F::Addr>>,
+    /// Lazily opened outgoing streams, one per peer.
+    outgoing: Vec<Option<F::Stream>>,
+    events_rx: Receiver<Frame>,
+    /// Kept alive so the event queue never disconnects while the endpoint
+    /// exists ([`Polled::Closed`] is defensive, not expected).
+    _events_tx: Sender<Frame>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Build the `n` endpoints of a socket mesh over fabric `F`.
+///
+/// All listeners are bound before any endpoint is handed out, so a lazy
+/// connect from any rank always finds its peer listening.
+pub(crate) fn build<F: Fabric>(n: usize) -> Vec<Box<dyn Transport>> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let (listener, addr) = F::bind(rank).expect("transport: failed to bind listener");
+        listeners.push(listener);
+        addrs.push(addr);
+    }
+    let addrs = Arc::new(addrs);
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let (events_tx, events_rx) = channel::unbounded();
+            let shutdown = Arc::new(AtomicBool::new(false));
+            spawn_acceptor::<F>(listener, n, Sender::clone(&events_tx), Arc::clone(&shutdown));
+            Box::new(MeshTransport::<F> {
+                rank,
+                addrs: Arc::clone(&addrs),
+                outgoing: (0..n).map(|_| None).collect(),
+                events_rx,
+                _events_tx: events_tx,
+                shutdown,
+            }) as Box<dyn Transport>
+        })
+        .collect()
+}
+
+/// Accept loop: one detached thread per endpoint. Exits when the shutdown
+/// flag is set and a (self-)connection wakes it.
+fn spawn_acceptor<F: Fabric>(
+    listener: F::Listener,
+    size: usize,
+    events_tx: Sender<Frame>,
+    shutdown: Arc<AtomicBool>,
+) {
+    smart_sync::thread::spawn(move || loop {
+        let stream = match F::accept(&listener) {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let tx = Sender::clone(&events_tx);
+        smart_sync::thread::spawn(move || reader_loop(stream, size, tx));
+    });
+}
+
+/// Per-connection reader: hello, then frames until death / EOF / error.
+fn reader_loop<S: Read>(mut stream: S, size: usize, events_tx: Sender<Frame>) {
+    let mut hello = [0u8; 8];
+    if stream.read_exact(&mut hello).is_err() {
+        return; // never identified itself: nothing to report
+    }
+    let src = u64::from_le_bytes(hello) as usize;
+    if src >= size {
+        return; // not a rank of this universe
+    }
+    loop {
+        let mut header = [0u8; 16];
+        if stream.read_exact(&mut header).is_err() {
+            // Abrupt disconnect: surface as a death notice so receivers get
+            // PeerGone instead of hanging.
+            let _ = events_tx.send(Frame { src, tag: DEATH_TAG, payload: Vec::new() });
+            return;
+        }
+        let tag = Tag::from_le_bytes(header[..8].try_into().expect("8-byte slice"));
+        let len = u64::from_le_bytes(header[8..].try_into().expect("8-byte slice"));
+        if len > MAX_FRAME_LEN {
+            let _ = events_tx.send(Frame { src, tag: DEATH_TAG, payload: Vec::new() });
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        if stream.read_exact(&mut payload).is_err() {
+            let _ = events_tx.send(Frame { src, tag: DEATH_TAG, payload: Vec::new() });
+            return;
+        }
+        let done = tag == DEATH_TAG;
+        let _ = events_tx.send(Frame { src, tag, payload });
+        if done {
+            return;
+        }
+    }
+}
+
+impl<F: Fabric> MeshTransport<F> {
+    /// The established outgoing stream to `dest`, connecting (hello
+    /// included) on first use.
+    fn stream_to(&mut self, dest: usize) -> CommResult<&mut F::Stream> {
+        if self.outgoing[dest].is_none() {
+            let mut stream =
+                F::connect(&self.addrs[dest]).map_err(|_| CommError::PeerGone { peer: dest })?;
+            stream
+                .write_all(&(self.rank as u64).to_le_bytes())
+                .map_err(|_| CommError::PeerGone { peer: dest })?;
+            self.outgoing[dest] = Some(stream);
+        }
+        Ok(self.outgoing[dest].as_mut().expect("just connected"))
+    }
+}
+
+fn write_frame<S: Write>(stream: &mut S, tag: Tag, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 16];
+    header[..8].copy_from_slice(&tag.to_le_bytes());
+    header[8..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    stream.write_all(&header)?;
+    stream.write_all(payload)
+}
+
+impl<F: Fabric> Transport for MeshTransport<F> {
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()> {
+        let stream = self.stream_to(dest)?;
+        if write_frame(stream, tag, &payload).is_err() {
+            // Connection reset: drop the stream so a later send re-connects
+            // (and re-discovers the death) instead of reusing a broken pipe.
+            self.outgoing[dest] = None;
+            return Err(CommError::PeerGone { peer: dest });
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Option<Frame> {
+        self.events_rx.recv().ok()
+    }
+
+    fn try_recv(&mut self) -> Polled {
+        match self.events_rx.try_recv() {
+            Ok(frame) => Polled::Frame(frame),
+            Err(channel::TryRecvError::Empty) => Polled::Empty,
+            Err(channel::TryRecvError::Disconnected) => Polled::Closed,
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Polled {
+        match self.events_rx.recv_timeout(timeout) {
+            Ok(frame) => Polled::Frame(frame),
+            Err(channel::RecvTimeoutError::Timeout) => Polled::Empty,
+            Err(channel::RecvTimeoutError::Disconnected) => Polled::Closed,
+        }
+    }
+
+    fn notify_death(&mut self) {
+        let size = self.addrs.len();
+        for dest in 0..size {
+            if dest == self.rank {
+                continue;
+            }
+            match self.outgoing[dest].as_mut() {
+                Some(stream) => {
+                    let _ = write_frame(stream, DEATH_TAG, &[]);
+                    let _ = stream.flush();
+                }
+                None => {
+                    // Never talked to this peer: connect out just to deliver
+                    // hello + death, so a receiver blocked on us wakes with
+                    // PeerGone even though we never sent it data.
+                    if let Ok(mut stream) = F::connect(&self.addrs[dest]) {
+                        let _ = stream.write_all(&(self.rank as u64).to_le_bytes());
+                        let _ = write_frame(&mut stream, DEATH_TAG, &[]);
+                        let _ = stream.flush();
+                    }
+                }
+            }
+        }
+        // Wake our own acceptor so it drops the listener and exits.
+        self.shutdown.store(true, Ordering::Release);
+        drop(F::connect(&self.addrs[self.rank]));
+        F::cleanup(&self.addrs[self.rank]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Pluggable fabric beneath [`Communicator`](crate::Communicator).
+//!
+//! A [`Transport`] moves opaque *frames* — `(src, tag, payload)` triples —
+//! between ranks. Everything above it (mailbox matching, collectives, the
+//! credit-windowed stream protocol, fault detection) is transport-agnostic:
+//! the same protocol state machines run over an in-process channel mesh, TCP
+//! loopback sockets, or Unix-domain sockets.
+//!
+//! ## Trait contract
+//!
+//! * **FIFO per (src, dest) pair.** Frames from one sender arrive in the
+//!   order they were sent. No ordering is promised across senders.
+//! * **Death notices.** A rank that is going away calls
+//!   [`notify_death`](Transport::notify_death) exactly once; every peer
+//!   eventually observes a frame from it tagged [`DEATH_TAG`]. FIFO order
+//!   guarantees the death notice follows all real traffic from that rank, so
+//!   receivers can drain pending data before reporting
+//!   [`PeerGone`](crate::CommError::PeerGone).
+//! * **Sends never block on the receiver.** Frames queue in the fabric
+//!   (channel buffers, socket buffers plus an unbounded reader-side queue);
+//!   a send may only fail fast with `PeerGone`. This is what keeps ring
+//!   collectives — where both neighbours send before they receive —
+//!   deadlock-free on every backend.
+//! * **Sends to dead peers.** The channel backend fails fast once the
+//!   peer's receiver is gone; socket backends may buffer a send to a dead
+//!   peer successfully (the OS accepts it) and surface the death on a later
+//!   send or via the death notice. Protocols must treat `PeerGone` from
+//!   *either* side as authoritative and never rely on sends failing.
+//!
+//! Backend selection: [`CommConfig::transport`](crate::CommConfig) wins if
+//! set; otherwise the `SMART_TRANSPORT` environment variable (`inproc`,
+//! `tcp`, `uds`); otherwise in-process channels.
+
+use crate::error::CommResult;
+use crate::Tag;
+use std::time::Duration;
+
+mod channel;
+#[cfg(not(loom))]
+mod mesh;
+#[cfg(not(loom))]
+mod tcp;
+#[cfg(not(loom))]
+mod uds;
+
+/// Control tag carried by the "death notice" a rank broadcasts when its
+/// communicator is dropped, so peers blocked on it wake up with
+/// [`PeerGone`](crate::CommError::PeerGone) instead of hanging forever.
+/// Reserved: user code and collectives never use this tag.
+pub const DEATH_TAG: Tag = u64::MAX;
+
+/// One delivered message: who sent it, its tag, and the payload bytes.
+#[derive(Debug)]
+pub struct Frame {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag ([`DEATH_TAG`] for death notices).
+    pub tag: Tag,
+    /// Opaque payload (empty for death notices).
+    pub payload: Vec<u8>,
+}
+
+/// Result of a non-blocking poll on a transport.
+#[derive(Debug)]
+pub enum Polled {
+    /// A frame was available.
+    Frame(Frame),
+    /// Nothing available right now (or the timeout elapsed).
+    Empty,
+    /// The fabric itself shut down — no more frames will ever arrive.
+    Closed,
+}
+
+/// A rank's endpoint on the message fabric. See the [module docs](self)
+/// for the semantic contract every backend must uphold.
+pub trait Transport: Send {
+    /// Queue `payload` for delivery to `dest` under `tag`. Must not block
+    /// waiting for the receiver to drain.
+    fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()>;
+
+    /// Block until the next frame (from any peer) arrives. `None` means the
+    /// fabric is closed and nothing will ever arrive again.
+    fn recv(&mut self) -> Option<Frame>;
+
+    /// Non-blocking poll for the next frame.
+    fn try_recv(&mut self) -> Polled;
+
+    /// Block up to `timeout` for the next frame; [`Polled::Empty`] on expiry.
+    fn recv_timeout(&mut self, timeout: Duration) -> Polled;
+
+    /// Broadcast this rank's death notice (a [`DEATH_TAG`] frame) to every
+    /// peer, best-effort, and release fabric resources (reader threads,
+    /// listeners, socket files). Called exactly once, from
+    /// [`Communicator::drop`](crate::Communicator).
+    fn notify_death(&mut self);
+}
+
+/// Which fabric a universe runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channel mesh (the default; the only backend under loom).
+    #[default]
+    InProcess,
+    /// TCP over loopback, length-prefixed frames, one connection per
+    /// directed peer pair.
+    Tcp,
+    /// Unix-domain sockets, same framing as TCP; for co-located ranks.
+    Uds,
+}
+
+impl TransportKind {
+    /// Resolve the backend from the `SMART_TRANSPORT` environment variable
+    /// (`inproc` / `tcp` / `uds`, case-insensitive). Unknown or unset values
+    /// fall back to [`TransportKind::InProcess`].
+    pub fn from_env() -> TransportKind {
+        match std::env::var("SMART_TRANSPORT") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "tcp" => TransportKind::Tcp,
+                "uds" | "unix" => TransportKind::Uds,
+                _ => TransportKind::InProcess,
+            },
+            Err(_) => TransportKind::InProcess,
+        }
+    }
+}
+
+/// Build the `n` connected endpoints of a fresh fabric.
+pub(crate) fn build(kind: TransportKind, n: usize) -> Vec<Box<dyn Transport>> {
+    match kind {
+        TransportKind::InProcess => channel::build(n),
+        #[cfg(not(loom))]
+        TransportKind::Tcp => tcp::build(n),
+        #[cfg(not(loom))]
+        TransportKind::Uds => uds::build(n),
+        #[cfg(loom)]
+        _ => panic!("only the in-process transport is available under loom"),
+    }
+}

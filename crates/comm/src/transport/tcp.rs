@@ -1,0 +1,41 @@
+//! TCP-loopback backend: every rank listens on an ephemeral `127.0.0.1`
+//! port; frames are length-prefixed (see [`mesh`](super::mesh) for the wire
+//! layout). `TCP_NODELAY` is set on every stream — frames are small and
+//! latency-sensitive (collective rounds, stream credits), so Nagle
+//! batching only hurts.
+
+use super::mesh::{self, Fabric};
+use super::Transport;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+pub(crate) struct TcpFabric;
+
+impl Fabric for TcpFabric {
+    type Addr = SocketAddr;
+    type Stream = TcpStream;
+    type Listener = TcpListener;
+
+    fn bind(_rank: usize) -> io::Result<(TcpListener, SocketAddr)> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        Ok((listener, addr))
+    }
+
+    fn accept(listener: &TcpListener) -> io::Result<TcpStream> {
+        let (stream, _peer) = listener.accept()?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn connect(addr: &SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+}
+
+/// Build the `n` endpoints of a TCP-loopback mesh.
+pub(crate) fn build(n: usize) -> Vec<Box<dyn Transport>> {
+    mesh::build::<TcpFabric>(n)
+}

@@ -1,0 +1,58 @@
+//! Unix-domain-socket backend for co-located ranks: same framing as TCP
+//! but over `AF_UNIX`, skipping the TCP/IP stack entirely. Socket files
+//! live under the system temp directory, namespaced by process id and a
+//! global counter so concurrent universes in one process never collide;
+//! each rank unlinks its own socket file when it dies.
+
+use super::mesh::{self, Fabric};
+use super::Transport;
+use smart_sync::atomic::{AtomicU64, Ordering};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Distinguishes universes created by the same process.
+static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) struct UdsFabric;
+
+impl Fabric for UdsFabric {
+    type Addr = PathBuf;
+    type Stream = UnixStream;
+    type Listener = UnixListener;
+
+    fn bind(rank: usize) -> io::Result<(UnixListener, PathBuf)> {
+        // One counter bump per *socket*; uniqueness per path is all that
+        // matters, so rank is included only for debuggability.
+        let id = UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "smart-uds-{}-{}-r{}.sock",
+            std::process::id(),
+            id,
+            rank
+        ));
+        let listener = UnixListener::bind(&path)?;
+        Ok((listener, path))
+    }
+
+    fn accept(listener: &UnixListener) -> io::Result<UnixStream> {
+        let (stream, _peer) = listener.accept()?;
+        Ok(stream)
+    }
+
+    fn connect(addr: &PathBuf) -> io::Result<UnixStream> {
+        UnixStream::connect(addr)
+    }
+
+    fn cleanup(addr: &PathBuf) {
+        // Unlinking the socket file is the one legitimate filesystem write
+        // in the transport layer: it is cleanup of our own endpoint, not
+        // experiment output. lint:allow(no-fs-writes)
+        let _ = std::fs::remove_file(addr);
+    }
+}
+
+/// Build the `n` endpoints of a Unix-domain-socket mesh.
+pub(crate) fn build(n: usize) -> Vec<Box<dyn Transport>> {
+    mesh::build::<UdsFabric>(n)
+}

@@ -143,6 +143,29 @@ pub trait Analytics: Send + Sync {
     /// commutative over the distributive fields).
     fn merge(&self, red: &Self::Red, com: &mut Self::Red);
 
+    /// Merge one *encoded* reduction object, positioned under `de`, into
+    /// `com` — the zero-copy seam of global combination's wire-view receive
+    /// path. The default decodes an owned `Self::Red` and delegates to
+    /// [`merge`](Self::merge), which is always correct; analytics with
+    /// heap-bearing reduction objects (k-means clusters and their
+    /// per-dimension vectors) override it to fold the encoded fields
+    /// directly into `com`, allocating nothing.
+    ///
+    /// Contract: the implementation must consume **exactly one** encoded
+    /// `Self::Red` from `de` and leave `com` bit-identical to
+    /// `merge(&decoded, com)`. The wire-view proptests in `smart-core`
+    /// and the analytics equivalence suite pin this for in-tree overrides.
+    fn merge_wire(
+        &self,
+        de: &mut smart_wire::Deserializer<'_>,
+        com: &mut Self::Red,
+    ) -> smart_wire::Result<()> {
+        use serde::Deserialize;
+        let red = Self::Red::deserialize(&mut *de)?;
+        self.merge(&red, com);
+        Ok(())
+    }
+
     /// Seed the combination map from extra input before the first
     /// iteration (e.g. initial centroids). Default: nothing.
     fn process_extra_data(&self, _extra: Option<&Self::Extra>, _com: &mut ComMap<Self::Red>) {}

@@ -9,12 +9,13 @@
 //! the parallel pipeline to go; all strategies produce identical maps (see
 //! DESIGN.md, "Combination pipeline").
 
-use crate::api::{Analytics, ComMap};
+use crate::api::{Analytics, ComMap, Key};
 use crate::error::SmartResult;
 use crate::observer::{PhaseObserver, Stopwatch};
 use crate::redmap::RedMap;
-use smart_comm::Communicator;
+use smart_comm::{CommResult, Communicator};
 use smart_pool::SharedPool;
+use smart_wire::EntriesCursor;
 
 /// How the combination pipeline executes — the local merge of per-thread
 /// partial maps and the global merge across ranks. All three strategies
@@ -112,6 +113,7 @@ pub(crate) fn global_combine<A: Analytics>(
     strategy: CombineStrategy,
     comm: &mut Communicator,
     mut delta: RedMap<A::Red>,
+    wire_view: bool,
     observer: &mut dyn PhaseObserver,
 ) -> SmartResult<RedMap<A::Red>> {
     let measure = observer.enabled();
@@ -121,7 +123,27 @@ pub(crate) fn global_combine<A: Analytics>(
     local.sort_unstable_by_key(|&(k, _)| k);
     // lint:allow(measured-paths): gated on `measure` — zero work when stats are off
     let payload = if measure { smart_wire::encoded_len(&local).unwrap_or(0) } else { 0 };
-    let merged = match strategy {
+    let merged = if wire_view {
+        global_combine_view(analytics, strategy, comm, local)?
+    } else {
+        global_combine_owned(analytics, strategy, comm, local)?
+    };
+    if measure {
+        observer.global_combine_done(payload, comm.sent_bytes() - wire_before, sw.elapsed());
+    }
+    Ok(RedMap::from_entries(merged))
+}
+
+/// The owned receive path: every hop decodes incoming entries into a
+/// `Vec<(Key, Red)>` before merging. Kept as the `wire_view: false`
+/// reference implementation the view path is proptested against.
+fn global_combine_owned<A: Analytics>(
+    analytics: &A,
+    strategy: CombineStrategy,
+    comm: &mut Communicator,
+    local: Vec<(Key, A::Red)>,
+) -> SmartResult<Vec<(Key, A::Red)>> {
+    Ok(match strategy {
         CombineStrategy::Serial | CombineStrategy::Tree => comm.allreduce(local, |acc, inc| {
             smart_comm::merge_sorted_entries(acc, inc, |com, red| analytics.merge(&red, com))
         })?,
@@ -140,11 +162,143 @@ pub(crate) fn global_combine<A: Analytics>(
             }
             acc
         }
-    };
-    if measure {
-        observer.global_combine_done(payload, comm.sent_bytes() - wire_before, sw.elapsed());
+    })
+}
+
+/// The zero-copy receive path: incoming payloads are validated once and
+/// folded through [`fold_entries_view`] — existing keys merge in place via
+/// [`Analytics::merge_wire`] with no per-entry decode, and only genuinely
+/// new keys pay an owned decode. Every strategy applies merges in exactly
+/// the same order as [`global_combine_owned`], so the two paths are
+/// bit-identical for deterministic merge operators.
+fn global_combine_view<A: Analytics>(
+    analytics: &A,
+    strategy: CombineStrategy,
+    comm: &mut Communicator,
+    mut local: Vec<(Key, A::Red)>,
+) -> SmartResult<Vec<(Key, A::Red)>> {
+    let rank = comm.rank();
+    Ok(match strategy {
+        CombineStrategy::Serial | CombineStrategy::Tree => {
+            // Binomial reduce to rank 0 (children folded in mask order,
+            // exactly like the typed reduce), then broadcast of the
+            // encoded result.
+            let reduced = comm.reduce_bytes_with(
+                0,
+                local,
+                |acc| Ok(smart_wire::to_bytes(acc)?),
+                |acc, bytes| fold_entries_view(analytics, acc, &bytes),
+            )?;
+            match reduced {
+                Some(entries) => {
+                    comm.broadcast_bytes(
+                        0,
+                        smart_wire::to_bytes(&entries).map_err(smart_comm::CommError::from)?,
+                    )?;
+                    entries
+                }
+                None => {
+                    let bytes = comm.broadcast_bytes(0, Vec::new())?;
+                    fold_entries_view(analytics, Vec::new(), &bytes)?
+                }
+            }
+        }
+        CombineStrategy::Sharded => {
+            let n = comm.size();
+            if n == 1 {
+                local
+            } else {
+                // Same partitioning as `allreduce_sharded`: keys are unique
+                // (drained from a map) and sorted, so no local coalescing
+                // is needed before sharding.
+                let mut shards: Vec<Vec<(Key, A::Red)>> = (0..n).map(|_| Vec::new()).collect();
+                for (k, v) in local {
+                    shards[smart_comm::shard_of(k, n)].push((k, v));
+                }
+                let mine = comm.reduce_scatter_bytes_with(
+                    shards,
+                    |block| Ok(smart_wire::to_bytes(block)?),
+                    |block, bytes| fold_entries_view(analytics, block, &bytes),
+                )?;
+                let all = comm.allgather_ring_bytes(
+                    smart_wire::to_bytes(&mine).map_err(smart_comm::CommError::from)?,
+                )?;
+                let mut out: Vec<(Key, A::Red)> = Vec::new();
+                let mut mine = Some(mine);
+                for (r, bytes) in all.into_iter().enumerate() {
+                    if r == rank {
+                        // Own shard is still owned: no need to re-decode it.
+                        out.append(&mut mine.take().expect("own shard"));
+                    } else {
+                        out.extend(fold_entries_view(analytics, Vec::new(), &bytes)?);
+                    }
+                }
+                // Shards partition by hash, not range: restore key order.
+                out.sort_unstable_by_key(|&(k, _)| k);
+                out
+            }
+        }
+        CombineStrategy::Gossip => {
+            let payload = smart_wire::to_bytes(&local).map_err(smart_comm::CommError::from)?;
+            let contributions = comm.allgather_alive_bytes(payload)?;
+            // Ascending rank order, like the owned path; the local
+            // contribution folds from its owned entries rather than its
+            // encoded copy.
+            let mut acc: Vec<(i64, A::Red)> = Vec::new();
+            for (r, bytes) in contributions {
+                if r == rank {
+                    acc = smart_comm::merge_sorted_entries(
+                        acc,
+                        std::mem::take(&mut local),
+                        |com, red| analytics.merge(&red, com),
+                    );
+                } else {
+                    acc = fold_entries_view(analytics, acc, &bytes)?;
+                }
+            }
+            acc
+        }
+    })
+}
+
+/// Fold an encoded, key-sorted entry payload into the key-sorted `acc`
+/// through a validating wire view: a streaming merge-join where keys
+/// already in `acc` merge **in place** via [`Analytics::merge_wire`]
+/// (no per-entry allocation) and only keys absent from `acc` decode an
+/// owned value. Produces exactly what
+/// `merge_sorted_entries(acc, from_bytes(bytes), |com, red| merge(&red, com))`
+/// would — the proptests in `tests/wire_view.rs` pin the equivalence —
+/// without materializing the incoming vector.
+///
+/// Public for the combine-pipeline benches and equivalence tests; the
+/// scheduler reaches it through [`global_combine`]'s `wire_view` flag.
+pub fn fold_entries_view<A: Analytics>(
+    analytics: &A,
+    acc: Vec<(Key, A::Red)>,
+    bytes: &[u8],
+) -> CommResult<Vec<(Key, A::Red)>> {
+    let mut cur = EntriesCursor::new(bytes).map_err(smart_comm::CommError::from)?;
+    let mut out: Vec<(Key, A::Red)> = Vec::with_capacity(acc.len().max(cur.remaining()));
+    let mut ai = acc.into_iter().peekable();
+    while let Some(key) = cur.next_key().map_err(smart_comm::CommError::from)? {
+        while ai.peek().is_some_and(|(ka, _)| *ka < key) {
+            out.push(ai.next().expect("peeked"));
+        }
+        match ai.peek() {
+            Some((ka, _)) if *ka == key => {
+                let (k, mut com) = ai.next().expect("peeked");
+                analytics.merge_wire(cur.de(), &mut com).map_err(smart_comm::CommError::from)?;
+                out.push((k, com));
+            }
+            _ => {
+                let red = cur.value::<A::Red>().map_err(smart_comm::CommError::from)?;
+                out.push((key, red));
+            }
+        }
     }
-    Ok(RedMap::from_entries(merged))
+    out.extend(ai);
+    cur.finish().map_err(smart_comm::CommError::from)?;
+    Ok(out)
 }
 
 /// Merge `src` into `dst` with the analytics' merge operator

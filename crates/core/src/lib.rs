@@ -105,7 +105,7 @@ mod step;
 
 pub use api::{Analytics, Chunk, ComMap, Key, RedObj};
 pub use args::SchedArgs;
-pub use combine::CombineStrategy;
+pub use combine::{fold_entries_view, CombineStrategy};
 pub use error::{SmartError, SmartResult};
 pub use in_transit::{
     run_in_transit, InTransitConfig, InTransitOk, InTransitOutcome, Placement, Producer,

@@ -373,6 +373,33 @@ impl<V> RedMap<V> {
         self.slot_mut(key).replace(value)
     }
 
+    /// Merge one externally-held value into `key`'s slot without
+    /// materializing it first: if the key is present, `merge(src, value)`
+    /// folds the source in place; if absent, `decode(src)` produces the
+    /// owned value once. This is the map half of the wire-view receive path
+    /// — `src` is typically a positioned deserializer over a received
+    /// combination payload, and only genuinely new keys pay a decode.
+    ///
+    /// On an `Err` from `decode`, the freshly created slot stays empty
+    /// (`None`); callers discard the map on error paths, so the transient
+    /// hole is never observed.
+    pub fn merge_view<S, E>(
+        &mut self,
+        key: Key,
+        src: &mut S,
+        merge: impl FnOnce(&mut S, &mut V) -> Result<(), E>,
+        decode: impl FnOnce(&mut S) -> Result<V, E>,
+    ) -> Result<(), E> {
+        let slot = self.slot_mut(key);
+        match slot {
+            Some(value) => merge(src, value),
+            None => {
+                *slot = Some(decode(src)?);
+                Ok(())
+            }
+        }
+    }
+
     /// Borrow the value for `key`.
     pub fn get(&self, key: Key) -> Option<&V> {
         match &self.repr {

@@ -61,6 +61,9 @@ pub struct Scheduler<A: Analytics> {
     scalar_reduce: bool,
     /// Honour [`Analytics::key_bound`] with dense direct-indexed shells.
     dense_maps: bool,
+    /// Receive global-combination payloads through the validating wire
+    /// view ([`Analytics::merge_wire`]) instead of owned decodes.
+    wire_view: bool,
     steps_run: usize,
     collect_stats: bool,
     last_stats: RunStats,
@@ -100,6 +103,7 @@ impl<A: Analytics> Scheduler<A> {
             reported_retained: 0,
             scalar_reduce: false,
             dense_maps: true,
+            wire_view: !matches!(std::env::var("SMART_WIRE_VIEW"), Ok(v) if v == "0"),
             steps_run: 0,
             collect_stats: false,
             last_stats: RunStats::default(),
@@ -167,6 +171,16 @@ impl<A: Analytics> Scheduler<A> {
     /// to apply it immediately.
     pub fn set_dense_maps(&mut self, flag: bool) {
         self.dense_maps = flag;
+    }
+
+    /// Enable/disable the zero-copy wire-view receive path of global
+    /// combination (default: enabled, unless `SMART_WIRE_VIEW=0`). With it
+    /// off, every incoming combination payload is decoded into an owned
+    /// entry vector before merging — the reference path the view is
+    /// proptested against. Both paths produce bit-identical maps; this
+    /// knob exists for ablation.
+    pub fn set_wire_view(&mut self, flag: bool) {
+        self.wire_view = flag;
     }
 
     /// Release the retained per-thread reduction-map shells (they are
@@ -436,6 +450,7 @@ impl<A: Analytics> Scheduler<A> {
                         self.combine_strategy,
                         comm,
                         delta,
+                        self.wire_view,
                         observer,
                     )
                     // A comm failure here (typically PeerGone) names the

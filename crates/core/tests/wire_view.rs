@@ -1,0 +1,178 @@
+//! Equivalence proptests for the zero-copy combine path:
+//! [`fold_entries_view`] (validate once, merge borrowed entries in place)
+//! must produce **bit-identical** results to the owned reference path
+//! (decode the incoming vector, then `merge_sorted_entries`), for both the
+//! default [`Analytics::merge_wire`] and a hand-rolled override.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use smart_core::{fold_entries_view, Analytics, Chunk, ComMap, Key};
+
+/// A heap-bearing reduction object: the shape (length-prefixed vector +
+/// scalar) that makes the view path worth having.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VecRed {
+    w: Vec<f64>,
+    n: u64,
+}
+
+impl smart_core::RedObj for VecRed {}
+
+/// Test analytics with the *default* (decode + merge) wire merge.
+struct DefaultWire;
+
+/// Test analytics with a hand-rolled in-place wire merge, mirroring the
+/// k-means override: fold `w` element-wise off the wire, add `n`.
+struct OverrideWire;
+
+fn merge_vecred(red: &VecRed, com: &mut VecRed) {
+    for (c, r) in com.w.iter_mut().zip(&red.w) {
+        *c += r;
+    }
+    com.n += red.n;
+}
+
+macro_rules! vecred_analytics_boilerplate {
+    () => {
+        type In = f64;
+        type Red = VecRed;
+        type Out = u64;
+        type Extra = ();
+
+        fn gen_key(&self, _c: &Chunk, _d: &[f64], _m: &ComMap<VecRed>) -> Key {
+            0
+        }
+        fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, _o: &mut Option<VecRed>) {}
+        fn merge(&self, red: &VecRed, com: &mut VecRed) {
+            merge_vecred(red, com);
+        }
+        fn convert(&self, obj: &VecRed, out: &mut u64) {
+            *out = obj.n;
+        }
+    };
+}
+
+impl Analytics for DefaultWire {
+    vecred_analytics_boilerplate!();
+}
+
+impl Analytics for OverrideWire {
+    vecred_analytics_boilerplate!();
+
+    fn merge_wire(
+        &self,
+        de: &mut smart_wire::Deserializer<'_>,
+        com: &mut VecRed,
+    ) -> smart_wire::Result<()> {
+        let len = u64::deserialize(&mut *de)? as usize;
+        let folded = len.min(com.w.len());
+        for c in com.w.iter_mut().take(folded) {
+            *c += f64::deserialize(&mut *de)?;
+        }
+        de.skip((len - folded).saturating_mul(8))?;
+        com.n += u64::deserialize(&mut *de)?;
+        Ok(())
+    }
+}
+
+/// Key-sorted, key-unique entry vectors — the invariant `global_combine`
+/// maintains (entries are drained from a map and sorted).
+fn entries_strategy() -> impl Strategy<Value = Vec<(Key, VecRed)>> {
+    proptest::collection::vec(
+        (-50i64..50, proptest::collection::vec(-1e6f64..1e6, 0..5), 0u64..1_000_000),
+        0..24,
+    )
+    .prop_map(|raw| {
+        let mut out: Vec<(Key, VecRed)> =
+            raw.into_iter().map(|(k, w, n)| (k, VecRed { w, n })).collect();
+        out.sort_by_key(|&(k, _)| k);
+        out.dedup_by_key(|&mut (k, _)| k);
+        out
+    })
+}
+
+/// The owned reference: decode the payload, then streaming-merge the two
+/// sorted vectors — exactly what `global_combine_owned` does per hop.
+fn owned_reference<A: Analytics<Red = VecRed>>(
+    analytics: &A,
+    acc: Vec<(Key, VecRed)>,
+    bytes: &[u8],
+) -> Vec<(Key, VecRed)> {
+    let inc: Vec<(Key, VecRed)> = smart_wire::from_bytes(bytes).unwrap();
+    smart_comm::merge_sorted_entries(acc, inc, |com, red| analytics.merge(&red, com))
+}
+
+proptest! {
+    /// View path ≡ owned path for the default `merge_wire`, asserted on the
+    /// encoded bytes so the equivalence is bit-level, not just `PartialEq`.
+    #[test]
+    fn view_matches_owned_decode_with_default_merge_wire(
+        acc in entries_strategy(),
+        inc in entries_strategy(),
+    ) {
+        let bytes = smart_wire::to_bytes(&inc).unwrap();
+        let owned = owned_reference(&DefaultWire, acc.clone(), &bytes);
+        let viewed = fold_entries_view(&DefaultWire, acc, &bytes).unwrap();
+        prop_assert_eq!(
+            smart_wire::to_bytes(&viewed).unwrap(),
+            smart_wire::to_bytes(&owned).unwrap()
+        );
+    }
+
+    /// The hand-rolled in-place override must not change results either.
+    #[test]
+    fn view_matches_owned_decode_with_override_merge_wire(
+        acc in entries_strategy(),
+        inc in entries_strategy(),
+    ) {
+        let bytes = smart_wire::to_bytes(&inc).unwrap();
+        let owned = owned_reference(&OverrideWire, acc.clone(), &bytes);
+        let viewed = fold_entries_view(&OverrideWire, acc, &bytes).unwrap();
+        prop_assert_eq!(
+            smart_wire::to_bytes(&viewed).unwrap(),
+            smart_wire::to_bytes(&owned).unwrap()
+        );
+    }
+
+    /// Folding several payloads in sequence (what a binomial reduce hop
+    /// chain does) stays equivalent too.
+    #[test]
+    fn chained_folds_match_chained_owned_merges(
+        acc in entries_strategy(),
+        payloads in proptest::collection::vec(entries_strategy(), 1..4),
+    ) {
+        let mut owned = acc.clone();
+        let mut viewed = acc;
+        for p in &payloads {
+            let bytes = smart_wire::to_bytes(p).unwrap();
+            owned = owned_reference(&OverrideWire, owned, &bytes);
+            viewed = fold_entries_view(&OverrideWire, viewed, &bytes).unwrap();
+        }
+        prop_assert_eq!(
+            smart_wire::to_bytes(&viewed).unwrap(),
+            smart_wire::to_bytes(&owned).unwrap()
+        );
+    }
+}
+
+#[test]
+fn truncated_payload_is_an_error_not_a_panic() {
+    let inc = vec![(3i64, VecRed { w: vec![1.0, 2.0], n: 9 })];
+    let bytes = smart_wire::to_bytes(&inc).unwrap();
+    for cut in 0..bytes.len() {
+        if cut == 0 {
+            continue; // an empty slice fails cursor construction below anyway
+        }
+        let res = fold_entries_view(&OverrideWire, Vec::new(), &bytes[..cut]);
+        assert!(res.is_err(), "truncation at {cut} must surface as a codec error");
+    }
+    assert!(fold_entries_view(&OverrideWire, Vec::new(), &[]).is_err());
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let inc = vec![(1i64, VecRed { w: vec![], n: 1 })];
+    let mut bytes = smart_wire::to_bytes(&inc).unwrap();
+    bytes.push(0xAB);
+    assert!(fold_entries_view(&OverrideWire, Vec::new(), &bytes).is_err());
+}

@@ -1,0 +1,102 @@
+//! Allocation-count assertion for the zero-copy combine path (ISSUE PR 8
+//! acceptance): folding an encoded payload whose keys all already exist in
+//! the accumulator must do **no per-entry allocation** — a constant number
+//! of allocations regardless of entry count — while the owned decode path
+//! allocates at least once per heap-bearing entry.
+//!
+//! This lives in its own integration-test binary (one `#[test]`) so the
+//! process-global allocation counters are not polluted by concurrent test
+//! threads.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{fold_entries_view, Analytics, Chunk, ComMap, Key};
+use smart_memtrack::MemScope;
+
+#[global_allocator]
+static ALLOC: smart_memtrack::TrackingAlloc = smart_memtrack::TrackingAlloc::new();
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VecRed {
+    w: Vec<f64>,
+    n: u64,
+}
+
+impl smart_core::RedObj for VecRed {}
+
+struct InPlace;
+
+impl Analytics for InPlace {
+    type In = f64;
+    type Red = VecRed;
+    type Out = u64;
+    type Extra = ();
+
+    fn gen_key(&self, _c: &Chunk, _d: &[f64], _m: &ComMap<VecRed>) -> Key {
+        0
+    }
+    fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, _o: &mut Option<VecRed>) {}
+    fn merge(&self, red: &VecRed, com: &mut VecRed) {
+        for (c, r) in com.w.iter_mut().zip(&red.w) {
+            *c += r;
+        }
+        com.n += red.n;
+    }
+    fn convert(&self, obj: &VecRed, out: &mut u64) {
+        *out = obj.n;
+    }
+
+    fn merge_wire(
+        &self,
+        de: &mut smart_wire::Deserializer<'_>,
+        com: &mut VecRed,
+    ) -> smart_wire::Result<()> {
+        let len = u64::deserialize(&mut *de)? as usize;
+        let folded = len.min(com.w.len());
+        for c in com.w.iter_mut().take(folded) {
+            *c += f64::deserialize(&mut *de)?;
+        }
+        de.skip((len - folded).saturating_mul(8))?;
+        com.n += u64::deserialize(&mut *de)?;
+        Ok(())
+    }
+}
+
+fn entries(n: usize) -> Vec<(Key, VecRed)> {
+    (0..n).map(|k| (k as Key, VecRed { w: vec![k as f64, 1.0, -2.5], n: k as u64 })).collect()
+}
+
+#[test]
+fn view_fold_is_allocation_free_per_entry() {
+    const N: usize = 4096;
+    let an = InPlace;
+    let acc = entries(N);
+    let bytes = smart_wire::to_bytes(&acc).unwrap();
+
+    // Owned reference: decoding the incoming vector allocates at least one
+    // `Vec<f64>` per entry plus the outer vector.
+    let scope = MemScope::begin();
+    let decoded: Vec<(Key, VecRed)> = smart_wire::from_bytes(&bytes).unwrap();
+    let owned_allocs = scope.finish().alloc_calls;
+    assert!(
+        owned_allocs >= N,
+        "owned decode of {N} heap-bearing entries made only {owned_allocs} allocations"
+    );
+    drop(decoded);
+
+    // View path over the same payload, every key already present: merges
+    // happen in place through `merge_wire`, so the only allocation is the
+    // output vector itself (plus harness noise — bound it well below one
+    // allocation per entry).
+    let scope = MemScope::begin();
+    let out = fold_entries_view(&an, acc, &bytes).unwrap();
+    let view_allocs = scope.finish().alloc_calls;
+    assert_eq!(out.len(), N);
+    assert!(
+        view_allocs < 16,
+        "view fold of {N} matched entries should allocate O(1) times, made {view_allocs}"
+    );
+
+    // The fold really did merge: w[0] doubled, n doubled.
+    assert_eq!(out[3].1.w[0], 6.0);
+    assert_eq!(out[3].1.n, 6);
+}

@@ -31,6 +31,13 @@ impl<'de> Deserializer<'de> {
         self.input.len()
     }
 
+    /// Advance the cursor past `n` bytes without interpreting them — for
+    /// hand-written wire-view merges ([`Analytics::merge_wire`] overrides)
+    /// that know a field's encoded size and don't need its value.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
     #[inline]
     fn take(&mut self, n: usize) -> Result<&'de [u8]> {
         if self.input.len() < n {
@@ -55,7 +62,7 @@ impl<'de> Deserializer<'de> {
     /// (1 byte covers everything except zero-sized elements, for which the
     /// caller passes 0 and no check is possible).
     #[inline]
-    fn read_len(&mut self, min_elem_size: usize) -> Result<usize> {
+    pub(crate) fn read_len(&mut self, min_elem_size: usize) -> Result<usize> {
         let declared = u64::from_le_bytes(self.take_array::<8>()?);
         if let Some(per_elem) = self.input.len().checked_div(min_elem_size) {
             let possible = per_elem as u64;

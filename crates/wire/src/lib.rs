@@ -36,11 +36,13 @@ mod count;
 mod de;
 mod error;
 mod ser;
+mod view;
 
 pub use count::encoded_len;
 pub use de::{from_bytes, Deserializer};
 pub use error::{Error, Result};
 pub use ser::{to_bytes, to_writer, Serializer};
+pub use view::EntriesCursor;
 
 #[cfg(test)]
 mod tests {

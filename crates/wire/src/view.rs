@@ -1,0 +1,177 @@
+//! Zero-copy views over encoded reduction-map entry buffers.
+//!
+//! Global combination ships reduction maps as encoded `Vec<(key, value)>`
+//! payloads. The owned receive path decodes the whole vector — one
+//! allocation for the vector plus one per heap-bearing value — before
+//! merging it into the local map. [`EntriesCursor`] instead validates the
+//! buffer's length prefix once and then walks it *in place*: the caller
+//! reads each key, and either merges the borrowed value bytes directly into
+//! an existing entry (no allocation at all) or decodes just that one value
+//! when the key is new.
+//!
+//! The cursor is format-aware but type-agnostic: it understands the entry
+//! framing (`u64` count, then `key` + value concatenations) and hands the
+//! caller a positioned [`Deserializer`] for each value. The caller must
+//! consume **exactly one encoded value** between keys — under- or
+//! over-consuming desynchronizes the cursor, which the final
+//! [`finish`](EntriesCursor::finish) check catches for the common case of
+//! trailing bytes.
+
+use crate::de::Deserializer;
+use crate::error::{Error, Result};
+use serde::Deserialize;
+
+/// A validating cursor over an encoded `Vec<(i64, V)>` payload.
+///
+/// ```
+/// use smart_wire::{to_bytes, EntriesCursor};
+///
+/// let bytes = to_bytes(&vec![(1i64, 10u64), (2, 20)]).unwrap();
+/// let mut cur = EntriesCursor::new(&bytes).unwrap();
+/// let mut sum = 0;
+/// while let Some(key) = cur.next_key().unwrap() {
+///     sum += key + cur.value::<u64>().unwrap() as i64;
+/// }
+/// cur.finish().unwrap();
+/// assert_eq!(sum, 33);
+/// ```
+pub struct EntriesCursor<'a> {
+    de: Deserializer<'a>,
+    /// Entries not yet yielded.
+    left: usize,
+}
+
+impl<'a> EntriesCursor<'a> {
+    /// Validate the buffer's entry-count prefix and position the cursor on
+    /// the first entry. The count is checked against the buffer size (an
+    /// entry is at least an 8-byte key), so corrupt prefixes fail here
+    /// instead of driving a runaway loop.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        let mut de = Deserializer::new(bytes);
+        let left = de.read_len(8)?;
+        Ok(EntriesCursor { de, left })
+    }
+
+    /// Entries not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.left
+    }
+
+    /// Read the next entry's key, or `None` after the last entry. After
+    /// `Some(key)`, the caller must consume exactly one encoded value via
+    /// [`value`](Self::value) or [`de`](Self::de) before calling this again.
+    pub fn next_key(&mut self) -> Result<Option<i64>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        let key = i64::deserialize(&mut self.de)?;
+        Ok(Some(key))
+    }
+
+    /// The deserializer positioned at the current entry's encoded value —
+    /// for in-place merges that read value fields without allocating.
+    pub fn de(&mut self) -> &mut Deserializer<'a> {
+        &mut self.de
+    }
+
+    /// Decode the current entry's value into an owned `V` (the fallback for
+    /// keys not yet present in the destination map).
+    pub fn value<V: Deserialize<'a>>(&mut self) -> Result<V> {
+        V::deserialize(&mut self.de)
+    }
+
+    /// Assert the buffer was fully consumed: every entry visited and no
+    /// trailing bytes — the same strictness as [`from_bytes`](crate::from_bytes).
+    pub fn finish(self) -> Result<()> {
+        if self.left != 0 {
+            return Err(Error::UnexpectedEof { needed: self.left, remaining: 0 });
+        }
+        let trailing = self.de.remaining();
+        if trailing != 0 {
+            return Err(Error::TrailingBytes(trailing));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::to_bytes;
+
+    #[test]
+    fn cursor_walks_all_entries_in_order() {
+        let entries = vec![(-5i64, vec![1.0f64, 2.0]), (0, vec![]), (7, vec![3.5])];
+        let bytes = to_bytes(&entries).unwrap();
+        let mut cur = EntriesCursor::new(&bytes).unwrap();
+        assert_eq!(cur.remaining(), 3);
+        let mut got = Vec::new();
+        while let Some(key) = cur.next_key().unwrap() {
+            got.push((key, cur.value::<Vec<f64>>().unwrap()));
+        }
+        cur.finish().unwrap();
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn empty_entry_list_is_fine() {
+        let bytes = to_bytes(&Vec::<(i64, u64)>::new()).unwrap();
+        let mut cur = EntriesCursor::new(&bytes).unwrap();
+        assert_eq!(cur.next_key().unwrap(), None);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn absurd_count_prefix_is_rejected_at_construction() {
+        let mut bytes = to_bytes(&vec![(1i64, 2u64)]).unwrap();
+        bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(EntriesCursor::new(&bytes), Err(Error::LengthOverrun { .. })));
+    }
+
+    #[test]
+    fn truncated_value_surfaces_as_eof() {
+        let bytes = to_bytes(&vec![(1i64, 42u64)]).unwrap();
+        let mut cur = EntriesCursor::new(&bytes[..bytes.len() - 4]).unwrap();
+        assert_eq!(cur.next_key().unwrap(), Some(1));
+        assert!(matches!(cur.value::<u64>(), Err(Error::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut bytes = to_bytes(&vec![(1i64, 42u64)]).unwrap();
+        bytes.push(0xAB);
+        let mut cur = EntriesCursor::new(&bytes).unwrap();
+        while let Some(_k) = cur.next_key().unwrap() {
+            let _: u64 = cur.value().unwrap();
+        }
+        assert!(matches!(cur.finish(), Err(Error::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn unvisited_entries_fail_finish() {
+        let bytes = to_bytes(&vec![(1i64, 2u64), (3, 4)]).unwrap();
+        let mut cur = EntriesCursor::new(&bytes).unwrap();
+        assert_eq!(cur.next_key().unwrap(), Some(1));
+        let _: u64 = cur.value().unwrap();
+        assert!(cur.finish().is_err());
+    }
+
+    #[test]
+    fn in_place_field_reads_match_owned_decode() {
+        // Struct-shaped value: fields concatenate, so reading them one by
+        // one through `de()` must land exactly at the next entry.
+        let entries = vec![(10i64, (2u64, 3.5f64)), (11, (4, -1.0))];
+        let bytes = to_bytes(&entries).unwrap();
+        let mut cur = EntriesCursor::new(&bytes).unwrap();
+        let mut got = Vec::new();
+        while let Some(key) = cur.next_key().unwrap() {
+            use serde::Deserialize;
+            let a = u64::deserialize(&mut *cur.de()).unwrap();
+            let b = f64::deserialize(&mut *cur.de()).unwrap();
+            got.push((key, (a, b)));
+        }
+        cur.finish().unwrap();
+        assert_eq!(got, entries);
+    }
+}

@@ -1,0 +1,241 @@
+//! PR 8 acceptance: the transport backend is invisible to results. Every
+//! deployment that moves bytes between ranks — distributed time sharing,
+//! the in-transit pipeline, the multi-tenant service tier, and self-healing
+//! fault recovery — must produce **bit-identical** canonical map bytes on
+//! the in-process channel mesh, TCP loopback, and Unix domain sockets.
+//! Integer-valued inputs keep every f64 merge exact, so the comparisons
+//! really are byte equality.
+
+use smart_insitu::analytics::{Histogram, Moments};
+use smart_insitu::comm::{run_cluster_with, CommConfig, StreamConfig, TransportKind};
+use smart_insitu::core::in_transit::{run_in_transit, InTransitConfig, Producer, Topology};
+use smart_insitu::core::space::SpaceShared;
+use smart_insitu::core::{Analytics, KeyMode, SchedArgs, Scheduler};
+use smart_insitu::ft::{run_in_transit_healing, FaultPlan, FtProducer};
+use smart_insitu::pool::shared_pool;
+use smart_insitu::serve::{
+    run_in_transit_serve, CoalesceKey, JobSpec, JobStepResult, Registry, RegistryConfig,
+    ServeDriver, TenantQuota,
+};
+
+const BACKENDS: [(&str, TransportKind); 3] = [
+    ("inproc", TransportKind::InProcess),
+    ("tcp", TransportKind::Tcp),
+    ("uds", TransportKind::Uds),
+];
+
+const PRODUCERS: usize = 4;
+const STAGERS: usize = 2;
+const PART: usize = 16;
+const STEPS: usize = 3;
+const BUCKETS: usize = 24;
+
+fn comm_cfg(kind: TransportKind) -> CommConfig {
+    CommConfig { transport: Some(kind), ..CommConfig::default() }
+}
+
+fn transit_cfg(kind: TransportKind) -> InTransitConfig {
+    InTransitConfig::with_window(2).with_comm(comm_cfg(kind))
+}
+
+fn element(t: usize, p: usize, i: usize) -> f64 {
+    ((t * 31 + p * 7 + i) % 10) as f64
+}
+
+fn partition(t: usize, p: usize) -> Vec<f64> {
+    (0..PART).map(|i| element(t, p, i)).collect()
+}
+
+fn hist_sched(threads: usize) -> Scheduler<Histogram> {
+    let pool = shared_pool(threads).unwrap();
+    Scheduler::new(Histogram::new(0.0, 10.0, BUCKETS), SchedArgs::new(threads, 1), pool).unwrap()
+}
+
+fn map_bytes<A: Analytics>(s: &Scheduler<A>) -> Vec<u8> {
+    smart_insitu::wire::to_bytes(&s.combination_map().to_sorted_entries()).unwrap()
+}
+
+/// Distributed time sharing, in-transit staging, and (comm-free control)
+/// space sharing of the same histogram, on one backend.
+fn placements_on(kind: TransportKind) -> [Vec<u8>; 3] {
+    // Distributed time sharing: one rank per producer.
+    let time = {
+        let per_rank = run_cluster_with(PRODUCERS, comm_cfg(kind), |mut comm| {
+            let mut s = hist_sched(2);
+            let mut out = vec![0u64; BUCKETS];
+            for t in 0..STEPS {
+                let data = partition(t, comm.rank());
+                s.run_dist(&mut comm, &data, &mut out).unwrap();
+            }
+            map_bytes(&s)
+        });
+        for rank in 1..per_rank.len() {
+            assert_eq!(per_rank[rank], per_rank[0], "time-sharing rank {rank} diverged");
+        }
+        per_rank.into_iter().next().unwrap()
+    };
+
+    // Space sharing moves no inter-rank bytes — it anchors the comparison.
+    let space = {
+        let mut shared = SpaceShared::new(hist_sched(2), 2);
+        let feeder = shared.feeder();
+        let producer = std::thread::spawn(move || {
+            for t in 0..STEPS {
+                let step: Vec<f64> = (0..PRODUCERS).flat_map(|p| partition(t, p)).collect();
+                feeder.feed(&step).unwrap();
+            }
+            feeder.close();
+        });
+        let mut out = vec![0u64; BUCKETS];
+        while shared.run_step(&mut out).unwrap() {}
+        producer.join().unwrap();
+        map_bytes(shared.scheduler())
+    };
+
+    // In transit: producers stream partitions to staging ranks over `kind`.
+    let transit = {
+        let outcome = run_in_transit(
+            Topology::new(PRODUCERS, STAGERS),
+            transit_cfg(kind),
+            KeyMode::Single,
+            |prod: &mut Producer<f64>| {
+                for t in 0..STEPS {
+                    prod.feed(prod.index() * PART, &partition(t, prod.index()))?;
+                }
+                Ok(())
+            },
+            |_s| Ok((hist_sched(1), vec![0u64; BUCKETS])),
+        );
+        let (_producers, stagers) = outcome.into_result().unwrap();
+        for s in 1..stagers.len() {
+            assert_eq!(stagers[s].map_bytes, stagers[0].map_bytes, "stager {s} diverged");
+        }
+        stagers.into_iter().next().unwrap().map_bytes
+    };
+
+    [time, space, transit]
+}
+
+#[test]
+fn three_placements_are_bit_identical_across_backends() {
+    let reference = placements_on(TransportKind::InProcess);
+    assert_eq!(reference[0], reference[1], "time vs space sharing");
+    assert_eq!(reference[0], reference[2], "time sharing vs in transit");
+    for &(name, kind) in &BACKENDS[1..] {
+        let got = placements_on(kind);
+        assert_eq!(got, reference, "backend {name} diverged from inproc");
+    }
+}
+
+/// The service tier over one backend: per-job, per-step `(out, map)` bytes.
+fn serve_on(kind: TransportKind) -> Vec<Vec<JobStepResult>> {
+    let topo = Topology::new(PRODUCERS, STAGERS);
+    let hist_key = CoalesceKey::new("histogram", "0:10:24");
+    type Made =
+        smart_insitu::serve::SmartResult<(ServeDriver<f64>, Vec<smart_insitu::serve::JobHandle>)>;
+    let make_serve = |_s: usize| -> Made {
+        let registry: Registry<f64> = Registry::new(RegistryConfig::default());
+        registry.add_tenant("ops", TenantQuota::unlimited());
+        registry.add_tenant("science", TenantQuota::unlimited());
+        let h1 = registry.submit(
+            JobSpec::new(Histogram::new(0.0, 10.0, BUCKETS), SchedArgs::new(1, 1), BUCKETS)
+                .with_tenant("ops")
+                .with_coalesce(hist_key.clone()),
+        )?;
+        let mo = registry
+            .submit(JobSpec::new(Moments, SchedArgs::new(1, 1), 0).with_tenant("science"))?;
+        let driver = ServeDriver::new(registry, shared_pool(1).unwrap());
+        Ok((driver, vec![h1, mo]))
+    };
+
+    let outcome = run_in_transit_serve(
+        topo,
+        transit_cfg(kind).with_stream(StreamConfig::with_window(2)),
+        |prod: &mut Producer<f64>| {
+            for t in 0..STEPS {
+                prod.feed(prod.index() * PART, &partition(t, prod.index()))?;
+            }
+            Ok(())
+        },
+        make_serve,
+    );
+    let (_producers, stagers) = outcome.into_result().unwrap();
+    let mut per_stager: Vec<Vec<Vec<JobStepResult>>> = stagers
+        .into_iter()
+        .map(|stager| stager.handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>())
+        .collect();
+    for s in 1..per_stager.len() {
+        for (job, (got, want)) in per_stager[s].iter().zip(&per_stager[0]).enumerate() {
+            assert_eq!(got.len(), want.len(), "stager {s} job {job} step count");
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.out, w.out, "stager {s} job {job} out bytes");
+                assert_eq!(g.map, w.map, "stager {s} job {job} map bytes");
+            }
+        }
+    }
+    per_stager.swap_remove(0)
+}
+
+#[test]
+fn serve_tier_is_bit_identical_across_backends() {
+    let reference = serve_on(TransportKind::InProcess);
+    for &(name, kind) in &BACKENDS[1..] {
+        let got = serve_on(kind);
+        assert_eq!(got.len(), reference.len(), "backend {name} job count");
+        for (job, (g_steps, r_steps)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(g_steps.len(), r_steps.len(), "backend {name} job {job} steps");
+            for (g, r) in g_steps.iter().zip(r_steps) {
+                assert_eq!(g.out, r.out, "backend {name} job {job} out bytes");
+                assert_eq!(g.map, r.map, "backend {name} job {job} map bytes");
+            }
+        }
+    }
+}
+
+/// Kill stager 1 mid-run and let the topology heal; return the survivor's
+/// healed map bytes plus the uninterrupted reference bytes, both on `kind`.
+fn healed_on(kind: TransportKind) -> (Vec<u8>, Vec<u8>) {
+    let topo = Topology::new(PRODUCERS, STAGERS);
+    let steps = 6usize;
+    let run = |plan: FaultPlan| {
+        run_in_transit_healing(
+            topo,
+            transit_cfg(kind),
+            KeyMode::Single,
+            plan,
+            |prod: &mut FtProducer<f64>| {
+                let offset = prod.index() * PART;
+                for t in 0..steps {
+                    prod.feed(offset, &partition(t, prod.index()))?;
+                }
+                Ok(prod.index())
+            },
+            |_s| Ok((hist_sched(2), vec![0u64; BUCKETS])),
+        )
+    };
+
+    let reference = run(FaultPlan::none());
+    let ref_stagers: Vec<_> = reference.stagers.into_iter().map(|s| s.unwrap()).collect();
+    assert_eq!(ref_stagers[0].map_bytes, ref_stagers[1].map_bytes);
+
+    let outcome = run(FaultPlan::kill_stager(topo, 1, 2));
+    assert!(outcome.stagers[1].is_err(), "stager 1 must die of its injected fault");
+    let survivor = outcome.stagers[0].as_ref().expect("stager 0 survives and heals");
+    assert!(survivor.heals >= 1, "the death must cost at least one heal retry");
+    assert_eq!(
+        survivor.map_bytes, ref_stagers[0].map_bytes,
+        "healed map must equal the uninterrupted run's"
+    );
+    (survivor.map_bytes.clone(), ref_stagers.into_iter().next().unwrap().map_bytes)
+}
+
+#[test]
+fn ft_recovery_is_bit_identical_across_backends() {
+    let (healed_ref, clean_ref) = healed_on(TransportKind::InProcess);
+    assert_eq!(healed_ref, clean_ref);
+    for &(name, kind) in &BACKENDS[1..] {
+        let (healed, clean) = healed_on(kind);
+        assert_eq!(clean, clean_ref, "backend {name} clean run diverged");
+        assert_eq!(healed, healed_ref, "backend {name} healed run diverged");
+    }
+}

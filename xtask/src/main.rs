@@ -9,6 +9,11 @@
 //!   model-checked shims. Direct `std::sync`, `std::thread`, `parking_lot`
 //!   or `crossbeam` use outside the facade would silently escape the model
 //!   checker.
+//! * **no-direct-net** — raw sockets (`std::net`, `std::os::unix::net`,
+//!   `TcpStream`/`TcpListener`/`UnixStream`/`UnixListener`) appear only
+//!   under `crates/comm/src/transport/`. Everything else speaks through
+//!   the `Transport` trait, so backends stay swappable (`SMART_TRANSPORT`)
+//!   and the death-notice/EOS semantics are enforced in exactly one place.
 //! * **safety-comment** — every `unsafe {` block and `unsafe impl` carries
 //!   a `// SAFETY:` comment (mirrors `clippy::undocumented_unsafe_blocks`,
 //!   which does not cover `unsafe impl` on stable).
@@ -256,6 +261,32 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
             }
         }
 
+        // --- no-direct-net ----------------------------------------------
+        if !path.starts_with("crates/comm/src/transport/") && !in_test_region {
+            for pat in [
+                "std::net",
+                "std::os::unix::net",
+                "TcpStream",
+                "TcpListener",
+                "UnixStream",
+                "UnixListener",
+            ] {
+                if line.contains(pat) && !suppressed(&lines, idx, "no-direct-net") {
+                    findings.push(Finding {
+                        path: path.to_owned(),
+                        line: lineno,
+                        rule: "no-direct-net",
+                        message: format!(
+                            "`{pat}` outside `crates/comm/src/transport/` opens a socket the \
+                             Transport abstraction cannot see; add or extend a transport \
+                             backend instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
         // --- safety-comment ---------------------------------------------
         // `unsafe impl` and `unsafe {` need a `// SAFETY:` comment on the
         // same line or an immediately preceding comment run.
@@ -405,6 +436,32 @@ fn selftest() {
         "crates/core/src/seeded.rs",
         "#[cfg(test)]\nmod tests {\n    use std::thread;\n}\n",
         "no-direct-sync",
+        0,
+    );
+
+    // no-direct-net: fires on raw socket use in runtime code, silent inside
+    // the transport backends, in test files, and under a suppression.
+    let netty = "fn f() { let l = std::net::TcpListener::bind(addr)?; }\n";
+    check("crates/core/src/seeded.rs", netty, "no-direct-net", 1);
+    check("crates/comm/src/communicator.rs", netty, "no-direct-net", 1);
+    check("crates/comm/src/transport/tcp.rs", netty, "no-direct-net", 0);
+    check("crates/comm/tests/seeded.rs", netty, "no-direct-net", 0);
+    check(
+        "crates/serve/src/seeded.rs",
+        "use std::os::unix::net::UnixStream;\n",
+        "no-direct-net",
+        1,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "// lint:allow(no-direct-net): doc reference\nfn f() { let s: TcpStream = x; }\n",
+        "no-direct-net",
+        0,
+    );
+    check(
+        "crates/core/src/seeded.rs",
+        "#[cfg(test)]\nmod tests {\n    use std::net::TcpStream;\n}\n",
+        "no-direct-net",
         0,
     );
 
