@@ -122,10 +122,12 @@ impl Communicator {
                 if partner_rel < n {
                     let src = (partner_rel + root) % n;
                     let incoming: T = self.recv(src, tag)?;
+                    // PANIC-FREE: the receive branch always refills acc; only the send branch takes it, then breaks.
                     acc = Some(op(acc.take().expect("acc present"), incoming));
                 }
             } else {
                 let dst = (relative - mask + root) % n;
+                // PANIC-FREE: acc is taken exactly once, here, and the loop breaks immediately after.
                 let v = acc.take().expect("acc present");
                 self.send(dst, tag, &v)?;
                 break;
@@ -198,8 +200,10 @@ impl Communicator {
         // arrived exactly once.
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         for (rel, v) in collected {
+            // PANIC-FREE: the index is reduced mod n = slots.len(), so it is in bounds.
             slots[(rel as usize + root) % n] = Some(v);
         }
+        // PANIC-FREE: the binomial tree delivers each of the n relative ranks exactly once, filling every slot.
         Ok(Some(slots.into_iter().map(|s| s.expect("every rank gathered")).collect()))
     }
 
@@ -241,6 +245,7 @@ impl Communicator {
                     self.send(dst, tag, &piece)?;
                 }
             }
+            // PANIC-FREE: the loop over exactly `size` pieces always hits dst == root once.
             Ok(mine.expect("root piece present"))
         } else {
             self.recv(root, tag)
@@ -257,6 +262,7 @@ impl Communicator {
     ///
     /// `op(acc, incoming)` must be associative and commutative. `blocks`
     /// must have exactly `size` elements on every rank.
+    // PANIC-FREE: every slot index is reduced mod n = slots.len(), so indexing is in bounds.
     pub fn reduce_scatter<T>(&mut self, blocks: Vec<T>, op: impl Fn(T, T) -> T) -> CommResult<T>
     where
         T: Serialize + DeserializeOwned,
@@ -267,6 +273,7 @@ impl Communicator {
         }
         let mut slots: Vec<Option<T>> = blocks.into_iter().map(Some).collect();
         if n == 1 {
+            // PANIC-FREE: blocks.len() == n == 1 was just checked, and slot 0 starts Some.
             return Ok(slots[0].take().expect("one block"));
         }
         let tag = self.coll_tag(Op::ReduceScatter);
@@ -280,11 +287,14 @@ impl Communicator {
             let step_tag = tag | (((step as u64) & 0xFF) << 8);
             let send_idx = (rank + n - 1 - (step % n)) % n;
             let recv_idx = (rank + 2 * n - 2 - (step % n)) % n;
+            // PANIC-FREE: send_idx is the slot folded (and re-filled) last step, never vacated.
             self.send(next, step_tag, slots[send_idx].as_ref().expect("block present"))?;
             let incoming: T = self.recv(prev, step_tag)?;
+            // PANIC-FREE: each step takes a distinct recv_idx and stores the fold right back.
             let acc = slots[recv_idx].take().expect("block present");
             slots[recv_idx] = Some(op(acc, incoming));
         }
+        // PANIC-FREE: the final step's fold lands on slot `rank` and stores Some.
         Ok(slots[rank].take().expect("own block reduced"))
     }
 
@@ -296,6 +306,7 @@ impl Communicator {
     /// the assembled result, versus the gather-then-broadcast
     /// [`allgather`](Self::allgather) whose root retransmits the full vector
     /// O(log n) times.
+    // PANIC-FREE: every slot index is reduced mod n = slots.len(), so indexing is in bounds.
     pub fn allgather_ring<T>(&mut self, value: T) -> CommResult<Vec<T>>
     where
         T: Serialize + DeserializeOwned,
@@ -314,11 +325,13 @@ impl Communicator {
                 let step_tag = tag | (((step as u64) & 0xFF) << 8);
                 let send_idx = (rank + n - (step % n)) % n;
                 let recv_idx = (rank + 2 * n - 1 - (step % n)) % n;
+                // PANIC-FREE: send_idx is our own slot at step 0 and the slot received last step after.
                 self.send(next, step_tag, slots[send_idx].as_ref().expect("block present"))?;
                 let incoming: T = self.recv(prev, step_tag)?;
                 slots[recv_idx] = Some(incoming);
             }
         }
+        // PANIC-FREE: after n − 1 ring steps every slot has been filled exactly once.
         Ok(slots.into_iter().map(|s| s.expect("every block received")).collect())
     }
 
@@ -362,6 +375,7 @@ impl Communicator {
         }
         let mut shards: Vec<Vec<(i64, T)>> = (0..n).map(|_| Vec::new()).collect();
         for (k, v) in coalesced {
+            // PANIC-FREE: shard_of reduces mod n = shards.len(), so the index is in bounds.
             shards[shard_of(k, n)].push((k, v));
         }
         let mine = self.reduce_scatter(shards, |a, b| merge_sorted_entries(a, b, &merge))?;
@@ -500,10 +514,12 @@ impl Communicator {
                 if partner_rel < n {
                     let src = (partner_rel + root) % n;
                     let incoming = self.recv_bytes(src, tag)?;
+                    // PANIC-FREE: the receive branch always refills acc; only the send branch clears it, then breaks.
                     acc = Some(fold(acc.take().expect("acc present"), incoming)?);
                 }
             } else {
                 let dst = (relative - mask + root) % n;
+                // PANIC-FREE: acc is cleared exactly once, just below, and the loop breaks immediately after.
                 let payload = encode(acc.as_ref().expect("acc present"))?;
                 self.send_bytes(dst, tag, payload)?;
                 acc = None;
@@ -517,6 +533,7 @@ impl Communicator {
     /// Byte-payload [`reduce_scatter`](Self::reduce_scatter): ring steps
     /// identical to the typed version, but each hop ships `encode(block)`
     /// and folds the incoming payload with `fold(block, bytes)`.
+    // PANIC-FREE: every slot index is reduced mod n = slots.len(), so indexing is in bounds.
     pub fn reduce_scatter_bytes_with<Acc>(
         &mut self,
         blocks: Vec<Acc>,
@@ -529,6 +546,7 @@ impl Communicator {
         }
         let mut slots: Vec<Option<Acc>> = blocks.into_iter().map(Some).collect();
         if n == 1 {
+            // PANIC-FREE: blocks.len() == n == 1 was just checked, and slot 0 starts Some.
             return Ok(slots[0].take().expect("one block"));
         }
         let tag = self.coll_tag(Op::ReduceScatter);
@@ -539,18 +557,22 @@ impl Communicator {
             let step_tag = tag | (((step as u64) & 0xFF) << 8);
             let send_idx = (rank + n - 1 - (step % n)) % n;
             let recv_idx = (rank + 2 * n - 2 - (step % n)) % n;
+            // PANIC-FREE: send_idx is the slot folded (and re-filled) last step, never vacated.
             let payload = encode(slots[send_idx].as_ref().expect("block present"))?;
             self.send_bytes(next, step_tag, payload)?;
             let incoming = self.recv_bytes(prev, step_tag)?;
+            // PANIC-FREE: each step takes a distinct recv_idx and stores the fold right back.
             let acc = slots[recv_idx].take().expect("block present");
             slots[recv_idx] = Some(fold(acc, incoming)?);
         }
+        // PANIC-FREE: the final step's fold lands on slot `rank` and stores Some.
         Ok(slots[rank].take().expect("own block reduced"))
     }
 
     /// Byte-payload [`allgather_ring`](Self::allgather_ring): every rank
     /// contributes `bytes` and returns all ranks' payloads in rank order,
     /// forwarded verbatim around the ring.
+    // PANIC-FREE: every slot index is reduced mod n = slots.len(), so indexing is in bounds.
     pub fn allgather_ring_bytes(&mut self, bytes: Vec<u8>) -> CommResult<Vec<Vec<u8>>> {
         let n = self.size();
         let rank = self.rank();
@@ -564,12 +586,14 @@ impl Communicator {
                 let step_tag = tag | (((step as u64) & 0xFF) << 8);
                 let send_idx = (rank + n - (step % n)) % n;
                 let recv_idx = (rank + 2 * n - 1 - (step % n)) % n;
+                // PANIC-FREE: send_idx is our own slot at step 0 and the slot received last step after.
                 let payload = slots[send_idx].as_ref().expect("block present").clone();
                 self.send_bytes(next, step_tag, payload)?;
                 let incoming = self.recv_bytes(prev, step_tag)?;
                 slots[recv_idx] = Some(incoming);
             }
         }
+        // PANIC-FREE: after n − 1 ring steps every slot has been filled exactly once.
         Ok(slots.into_iter().map(|s| s.expect("every block received")).collect())
     }
 
@@ -646,7 +670,9 @@ pub fn merge_sorted_entries<K: Ord, T>(
                 std::cmp::Ordering::Less => ai.next(),
                 std::cmp::Ordering::Greater => bi.next(),
                 std::cmp::Ordering::Equal => {
+                    // PANIC-FREE: both sides just peeked Some, so next() yields on each.
                     let (k, mut va) = ai.next().expect("peeked");
+                    // PANIC-FREE: both sides just peeked Some, so next() yields on each.
                     let (_, vb) = bi.next().expect("peeked");
                     merge(&mut va, vb);
                     Some((k, va))
@@ -656,6 +682,7 @@ pub fn merge_sorted_entries<K: Ord, T>(
             (None, Some(_)) => bi.next(),
             (None, None) => break,
         };
+        // PANIC-FREE: every non-break match arm advanced an iterator that peeked Some.
         out.push(took.expect("one side non-empty"));
     }
     out

@@ -8,12 +8,13 @@ use serde::Serialize;
 use smart_sync::{Arc, Mutex};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-/// Message tag. User code should use tags below `COLLECTIVE_BASE`;
-/// the collectives reserve the space above it.
-pub type Tag = u64;
+/// Message tag. User code should use tags in the `USER` range of the
+/// [`tags`](crate::tags) registry; the runtime's namespaces sit above it.
+pub use crate::tags::Tag;
 
-/// First tag value reserved for internal collective traffic.
-pub const COLLECTIVE_BASE: Tag = 1 << 48;
+/// First tag value reserved for internal collective traffic (see
+/// [`tags`](crate::tags) for the full namespace partition).
+pub use crate::tags::COLLECTIVE_BASE;
 
 /// The receiving side of one rank's frame queue, with an out-of-order
 /// buffer for messages that arrived before they were asked for.

@@ -49,6 +49,7 @@ mod communicator;
 mod cost;
 mod error;
 pub mod stream;
+pub mod tags;
 pub mod transport;
 
 pub use collectives::{merge_sorted_entries, shard_of};
@@ -104,6 +105,7 @@ where
             let handle = smart_sync::thread::Builder::new()
                 .name(format!("smart-rank-{rank}"))
                 .spawn_scoped(scope, move || f(comm))
+                // PANIC-FREE: spawn fails only on OS thread exhaustion at launch; this API documents "# Panics".
                 .expect("failed to spawn rank thread");
             handles.push(handle);
         }

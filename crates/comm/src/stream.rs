@@ -28,9 +28,9 @@
 //!   a hang; a producer that dies surfaces the same way on the stager's
 //!   next data receive.
 //!
-//! Tags in [`STREAM_BASE`]`..COLLECTIVE_BASE` are
-//! reserved for this transport; user point-to-point traffic should stay
-//! below `STREAM_BASE`.
+//! Tags in [`STREAM_BASE`]`..STREAM_LIMIT` are reserved for this transport
+//! (the claim is recorded in [`tags`](crate::tags)); user point-to-point
+//! traffic should stay in the `USER` range.
 
 use crate::communicator::{Communicator, Tag};
 use crate::error::{CommError, CommResult};
@@ -40,8 +40,9 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
-/// First tag value reserved for streaming transport traffic.
-pub const STREAM_BASE: Tag = 1 << 40;
+/// First tag value reserved for streaming transport traffic (the claim is
+/// recorded in [`tags`](crate::tags)).
+pub use crate::tags::STREAM_BASE;
 /// Producer → stager data batches.
 const DATA_TAG: Tag = STREAM_BASE | 1;
 /// Stager → producer credit grants.

@@ -1,0 +1,111 @@
+//! The tag-namespace registry: one place that partitions the `u64` tag
+//! space every message in the workspace shares.
+//!
+//! Point-to-point matching is `(src, tag)`-keyed, so two subsystems using
+//! the same tag against the same peer silently cross-wire — an ft
+//! heartbeat swallowed by a stream receive, a collective frame delivered
+//! to user code. The partition below keeps that impossible by
+//! construction: each subsystem draws its tags from its own half-open
+//! range `[BASE, LIMIT)`, and `cargo xtask lint`'s tag-namespace analysis
+//! proves (a) the claims are pairwise disjoint, (b) every tag constant a
+//! claimed module defines evaluates into its claim, and (c) unclaimed
+//! modules stay inside the `USER` range.
+//!
+//! The `lint:claim` lines are machine-read: they map a source file (by
+//! path suffix) to the namespace it is allowed to mint tags in. A file
+//! with no claim may only use `USER` tags.
+//
+// lint:claim(USER) = -
+// lint:claim(FT_PING) = ft/src/detect.rs
+// lint:claim(FT_CTL) = ft/src/heal.rs
+// lint:claim(STREAM) = comm/src/stream.rs
+// lint:claim(COLLECTIVE) = comm/src/communicator.rs
+// lint:claim(COLLECTIVE) = comm/src/collectives.rs
+
+/// Message tag. One `u64` namespace shared by every layer; the constants
+/// in this module carve it up.
+pub type Tag = u64;
+
+/// User point-to-point traffic: `0 ..= 2^32 - 1`. Application code (and
+/// any module without a `lint:claim`) must stay in this range.
+pub const USER_BASE: Tag = 0;
+/// Exclusive upper bound of the user range.
+pub const USER_LIMIT: Tag = 1 << 32;
+
+/// Fault-detection heartbeats (`smart-ft`'s ping/pong probes).
+pub const FT_PING_BASE: Tag = 1 << 32;
+/// Exclusive upper bound of the heartbeat range.
+pub const FT_PING_LIMIT: Tag = 1 << 33;
+
+/// Heal-drive control exchanges on the staging communicator
+/// (`smart-ft::heal`'s sync/active/commit ops, sequence-stamped).
+pub const FT_CTL_BASE: Tag = 1 << 34;
+/// Exclusive upper bound of the heal-control range.
+pub const FT_CTL_LIMIT: Tag = 1 << 35;
+
+/// Credit-windowed streaming transport (producer↔stager data and credit
+/// messages for in-transit analytics).
+pub const STREAM_BASE: Tag = 1 << 40;
+/// Exclusive upper bound of the streaming range.
+pub const STREAM_LIMIT: Tag = 1 << 41;
+
+/// Internal collective traffic. Collectives stamp a per-communicator
+/// sequence number above bit 16, so the claim runs to the top of the tag
+/// space (exclusive — `u64::MAX` itself is the death notice).
+pub const COLLECTIVE_BASE: Tag = 1 << 48;
+/// Exclusive upper bound of the collective range.
+pub const COLLECTIVE_LIMIT: Tag = u64::MAX;
+
+/// Control tag carried by the "death notice" a rank broadcasts when its
+/// communicator is dropped, so peers blocked on it wake up with
+/// [`PeerGone`](crate::CommError::PeerGone) instead of hanging forever.
+/// A single reserved point outside every range: no subsystem may claim it.
+pub const DEATH_TAG: Tag = u64::MAX;
+
+/// The namespace a tag falls in — diagnostics only; matching never
+/// consults this.
+pub fn namespace_of(tag: Tag) -> &'static str {
+    match tag {
+        DEATH_TAG => "DEATH",
+        t if (FT_PING_BASE..FT_PING_LIMIT).contains(&t) => "FT_PING",
+        t if (FT_CTL_BASE..FT_CTL_LIMIT).contains(&t) => "FT_CTL",
+        t if (STREAM_BASE..STREAM_LIMIT).contains(&t) => "STREAM",
+        t if (COLLECTIVE_BASE..COLLECTIVE_LIMIT).contains(&t) => "COLLECTIVE",
+        t if (USER_BASE..USER_LIMIT).contains(&t) => "USER",
+        _ => "UNCLAIMED",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_are_pairwise_disjoint() {
+        let claims: &[(&str, Tag, Tag)] = &[
+            ("USER", USER_BASE, USER_LIMIT),
+            ("FT_PING", FT_PING_BASE, FT_PING_LIMIT),
+            ("FT_CTL", FT_CTL_BASE, FT_CTL_LIMIT),
+            ("STREAM", STREAM_BASE, STREAM_LIMIT),
+            ("COLLECTIVE", COLLECTIVE_BASE, COLLECTIVE_LIMIT),
+        ];
+        for (i, &(a, ab, al)) in claims.iter().enumerate() {
+            assert!(ab < al, "{a} is empty or inverted");
+            assert!(!(ab..al).contains(&DEATH_TAG), "{a} swallows DEATH_TAG");
+            for &(b, bb, bl) in &claims[i + 1..] {
+                assert!(al <= bb || bl <= ab, "{a} and {b} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn namespace_of_classifies_known_tags() {
+        assert_eq!(namespace_of(7), "USER");
+        assert_eq!(namespace_of(FT_PING_BASE | 1), "FT_PING");
+        assert_eq!(namespace_of(FT_CTL_BASE | (3 << 8) | 1), "FT_CTL");
+        assert_eq!(namespace_of(STREAM_BASE | 2), "STREAM");
+        assert_eq!(namespace_of(COLLECTIVE_BASE | (9 << 16) | 4), "COLLECTIVE");
+        assert_eq!(namespace_of(DEATH_TAG), "DEATH");
+        assert_eq!(namespace_of(1 << 33), "UNCLAIMED");
+    }
+}

@@ -38,7 +38,11 @@ pub(crate) fn build(n: usize) -> Vec<Box<dyn Transport>> {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()> {
-        self.senders[dest]
+        let sender = self
+            .senders
+            .get(dest)
+            .ok_or(CommError::RankOutOfRange { rank: dest, size: self.senders.len() })?;
+        sender
             .send(Frame { src: self.rank, tag, payload })
             .map_err(|_| CommError::PeerGone { peer: dest })
     }

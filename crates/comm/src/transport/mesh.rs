@@ -74,6 +74,7 @@ pub(crate) fn build<F: Fabric>(n: usize) -> Vec<Box<dyn Transport>> {
     let mut listeners = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
     for rank in 0..n {
+        // PANIC-FREE: loopback bind at cluster launch; no ranks are running yet, so failing fast is safe and the only useful behavior.
         let (listener, addr) = F::bind(rank).expect("transport: failed to bind listener");
         listeners.push(listener);
         addrs.push(addr);
@@ -137,7 +138,9 @@ fn reader_loop<S: Read>(mut stream: S, size: usize, events_tx: Sender<Frame>) {
             let _ = events_tx.send(Frame { src, tag: DEATH_TAG, payload: Vec::new() });
             return;
         }
+        // PANIC-FREE: constant split of a fixed 16-byte header; both halves are exactly 8 bytes.
         let tag = Tag::from_le_bytes(header[..8].try_into().expect("8-byte slice"));
+        // PANIC-FREE: constant split of a fixed 16-byte header; both halves are exactly 8 bytes.
         let len = u64::from_le_bytes(header[8..].try_into().expect("8-byte slice"));
         if len > MAX_FRAME_LEN {
             let _ = events_tx.send(Frame { src, tag: DEATH_TAG, payload: Vec::new() });
@@ -159,6 +162,7 @@ fn reader_loop<S: Read>(mut stream: S, size: usize, events_tx: Sender<Frame>) {
 impl<F: Fabric> MeshTransport<F> {
     /// The established outgoing stream to `dest`, connecting (hello
     /// included) on first use.
+    // PANIC-FREE: dest is a communicator-validated rank < size, and outgoing/addrs have one slot per rank.
     fn stream_to(&mut self, dest: usize) -> CommResult<&mut F::Stream> {
         if self.outgoing[dest].is_none() {
             let mut stream =
@@ -168,10 +172,12 @@ impl<F: Fabric> MeshTransport<F> {
                 .map_err(|_| CommError::PeerGone { peer: dest })?;
             self.outgoing[dest] = Some(stream);
         }
+        // PANIC-FREE: the branch above filled the slot if it was empty.
         Ok(self.outgoing[dest].as_mut().expect("just connected"))
     }
 }
 
+// PANIC-FREE: constant ranges into a fixed 16-byte header.
 fn write_frame<S: Write>(stream: &mut S, tag: Tag, payload: &[u8]) -> io::Result<()> {
     let mut header = [0u8; 16];
     header[..8].copy_from_slice(&tag.to_le_bytes());
@@ -181,6 +187,7 @@ fn write_frame<S: Write>(stream: &mut S, tag: Tag, payload: &[u8]) -> io::Result
 }
 
 impl<F: Fabric> Transport for MeshTransport<F> {
+    // PANIC-FREE: dest is a communicator-validated rank; outgoing has one slot per rank.
     fn send(&mut self, dest: usize, tag: Tag, payload: Vec<u8>) -> CommResult<()> {
         let stream = self.stream_to(dest)?;
         if write_frame(stream, tag, &payload).is_err() {
@@ -212,6 +219,7 @@ impl<F: Fabric> Transport for MeshTransport<F> {
         }
     }
 
+    // PANIC-FREE: dest ranges over 0..size = addrs.len() = outgoing.len(), and rank < size.
     fn notify_death(&mut self) {
         let size = self.addrs.len();
         for dest in 0..size {

@@ -46,8 +46,9 @@ mod uds;
 /// Control tag carried by the "death notice" a rank broadcasts when its
 /// communicator is dropped, so peers blocked on it wake up with
 /// [`PeerGone`](crate::CommError::PeerGone) instead of hanging forever.
-/// Reserved: user code and collectives never use this tag.
-pub const DEATH_TAG: Tag = u64::MAX;
+/// Reserved: user code and collectives never use this tag (the point claim
+/// is recorded in [`tags`](crate::tags)).
+pub use crate::tags::DEATH_TAG;
 
 /// One delivered message: who sent it, its tag, and the payload bytes.
 #[derive(Debug)]
@@ -133,6 +134,7 @@ pub(crate) fn build(kind: TransportKind, n: usize) -> Vec<Box<dyn Transport>> {
         #[cfg(not(loom))]
         TransportKind::Uds => uds::build(n),
         #[cfg(loom)]
+        // PANIC-FREE: loom model-checking builds only ever construct the in-process fabric.
         _ => panic!("only the in-process transport is available under loom"),
     }
 }

@@ -30,6 +30,7 @@ pub struct Chunk {
 
 impl Chunk {
     /// The chunk's elements within the local partition.
+    // PANIC-FREE: the scheduler only emits chunks whose range lies inside the partition it was built from.
     #[inline]
     pub fn slice<'a, T>(&self, data: &'a [T]) -> &'a [T] {
         &data[self.local_start..self.local_start + self.len]

@@ -213,6 +213,7 @@ fn global_combine_view<A: Analytics>(
                 // is needed before sharding.
                 let mut shards: Vec<Vec<(Key, A::Red)>> = (0..n).map(|_| Vec::new()).collect();
                 for (k, v) in local {
+                    // PANIC-FREE: shard_of reduces mod n = shards.len(), so the index is in bounds.
                     shards[smart_comm::shard_of(k, n)].push((k, v));
                 }
                 let mine = comm.reduce_scatter_bytes_with(
@@ -228,6 +229,7 @@ fn global_combine_view<A: Analytics>(
                 for (r, bytes) in all.into_iter().enumerate() {
                     if r == rank {
                         // Own shard is still owned: no need to re-decode it.
+                        // PANIC-FREE: r == rank happens exactly once in the enumeration, so mine is still Some here.
                         out.append(&mut mine.take().expect("own shard"));
                     } else {
                         out.extend(fold_entries_view(analytics, Vec::new(), &bytes)?);
@@ -282,10 +284,12 @@ pub fn fold_entries_view<A: Analytics>(
     let mut ai = acc.into_iter().peekable();
     while let Some(key) = cur.next_key().map_err(smart_comm::CommError::from)? {
         while ai.peek().is_some_and(|(ka, _)| *ka < key) {
+            // PANIC-FREE: the loop condition just peeked Some.
             out.push(ai.next().expect("peeked"));
         }
         match ai.peek() {
             Some((ka, _)) if *ka == key => {
+                // PANIC-FREE: this match arm just peeked Some.
                 let (k, mut com) = ai.next().expect("peeked");
                 analytics.merge_wire(cur.de(), &mut com).map_err(smart_comm::CommError::from)?;
                 out.push((k, com));

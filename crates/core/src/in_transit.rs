@@ -248,6 +248,7 @@ impl<In: Serialize> Producer<In> {
     /// [`SmartError::Context`] naming this producer's world rank and the
     /// time-step being fed, wrapping the transport's `PeerGone`.
     pub fn feed(&mut self, offset: usize, step: &[In]) -> SmartResult<()> {
+        // PANIC-FREE: only finish() clears tx, and finish() consumes self, so no later call can observe None.
         let tx = self.tx.as_mut().expect("stream already finished");
         let (rank, at) = (self.index, self.steps_fed);
         tx.feed(&mut self.comm, offset, step).map_err(|e| SmartError::Comm(e).at(rank, at))?;
@@ -256,6 +257,7 @@ impl<In: Serialize> Producer<In> {
     }
 
     fn finish(mut self) -> SmartResult<StreamSendStats> {
+        // PANIC-FREE: finish() consumes self and is the only place that clears tx, so tx is still Some here.
         let tx = self.tx.take().expect("stream already finished");
         let (rank, at) = (self.index, self.steps_fed);
         tx.finish(&mut self.comm).map_err(|e| SmartError::Comm(e).at(rank, at))
@@ -456,6 +458,7 @@ where
         for (s, stager) in stagers.iter_mut().enumerate() {
             if let Ok(stager) = stager {
                 for p in topo.producers_of(s) {
+                    // PANIC-FREE: producers_of yields world ranks < topo.producers = producers.len().
                     if let Ok(prod) = &producers[p] {
                         stager.stats.transit_send_busy += prod.stream.send_busy;
                     }

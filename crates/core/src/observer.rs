@@ -234,6 +234,7 @@ impl RunStats {
                 at
             }
         };
+        // PANIC-FREE: binary_search returned an occupied index, or insert just made `at` occupied.
         &mut self.jobs[at]
     }
 }
@@ -251,6 +252,7 @@ impl PhaseObserver for RunStats {
         if self.split_busy.len() <= tid {
             self.split_busy.resize(tid + 1, Duration::ZERO);
         }
+        // PANIC-FREE: the resize above guarantees tid < split_busy.len().
         self.split_busy[tid] += busy;
     }
 

@@ -123,6 +123,7 @@ where
                 .with_comm(comm.as_deref_mut()),
             &mut self.intermediate,
         )?;
+        // PANIC-FREE: second_input is validated against intermediate.len() at construction.
         let stage2_in = &self.intermediate[self.second_input.clone()];
         let offset = self.second.args().partition_offset;
         self.second.execute(

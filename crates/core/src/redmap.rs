@@ -114,6 +114,7 @@ impl<V> HashCore<V> {
     }
 
     /// Index of the slot holding `key`, if present.
+    // PANIC-FREE: probe indices are masked by len − 1 (len is a power of two), so always in bounds.
     fn find(&self, key: Key) -> Option<usize> {
         if self.slots.is_empty() {
             return None;
@@ -129,6 +130,7 @@ impl<V> HashCore<V> {
         }
     }
 
+    // PANIC-FREE: probe indices are masked by the new capacity − 1 (a power of two), so always in bounds.
     fn reserve(&mut self, additional: usize) {
         let needed = self.len + self.tombs + additional;
         let target_cap = (needed * 8 / 7 + 1).next_power_of_two().max(INITIAL_CAPACITY);
@@ -152,6 +154,7 @@ impl<V> HashCore<V> {
 
     /// Grow/rehash so at least one more entry fits below a 7/8 load factor
     /// (counting tombstones, which degrade probing like live entries).
+    // PANIC-FREE: probe indices are masked by the new capacity − 1 (a power of two), so always in bounds.
     fn ensure_room(&mut self) {
         let cap = self.slots.len();
         if cap == 0 {
@@ -177,10 +180,12 @@ impl<V> HashCore<V> {
         }
     }
 
+    // PANIC-FREE: indices come from find() or are masked by len − 1 (a power of two), so always in bounds.
     fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
         if let Some(i) = self.find(key) {
             match &mut self.slots[i] {
                 Slot::Full { value, .. } => return value,
+                // PANIC-FREE: find() only returns indices of Full slots.
                 _ => unreachable!("find returned a non-full slot"),
             }
         }
@@ -200,10 +205,12 @@ impl<V> HashCore<V> {
         self.len += 1;
         match &mut self.slots[i] {
             Slot::Full { value, .. } => value,
+            // PANIC-FREE: slot i was assigned Full on the line above.
             _ => unreachable!(),
         }
     }
 
+    // PANIC-FREE: find() returns in-bounds indices of Full slots.
     fn remove(&mut self, key: Key) -> Option<V> {
         let i = self.find(key)?;
         let slot = std::mem::replace(&mut self.slots[i], Slot::Tomb);
@@ -211,6 +218,7 @@ impl<V> HashCore<V> {
         self.tombs += 1;
         match slot {
             Slot::Full { value, .. } => value,
+            // PANIC-FREE: find() only returns indices of Full slots.
             _ => unreachable!("find returned a non-full slot"),
         }
     }
@@ -348,6 +356,7 @@ impl<V> RedMap<V> {
     /// The value slot for `key`, creating an empty (`None`) slot if the key
     /// is absent — the runtime hands this to `accumulate`, mirroring the
     /// paper's `unique_ptr<RedObj>&` null-on-first-touch contract.
+    // PANIC-FREE: needs_spill() just guaranteed dense keys index inside the table.
     pub fn slot_mut(&mut self, key: Key) -> &mut Option<V> {
         if self.needs_spill(key) {
             self.spill_to_hash();
@@ -361,6 +370,7 @@ impl<V> RedMap<V> {
                 }
                 match slot {
                     Some(inner) => inner,
+                    // PANIC-FREE: the branch above filled the slot if it was None.
                     None => unreachable!("slot was just created"),
                 }
             }
@@ -401,6 +411,7 @@ impl<V> RedMap<V> {
     }
 
     /// Borrow the value for `key`.
+    // PANIC-FREE: dense access is gated by in_bounds(); hash indices come from find().
     pub fn get(&self, key: Key) -> Option<&V> {
         match &self.repr {
             Repr::Dense(d) => {
@@ -417,6 +428,7 @@ impl<V> RedMap<V> {
     }
 
     /// Mutably borrow the value for `key`.
+    // PANIC-FREE: dense access is gated by in_bounds(); hash indices come from find().
     pub fn get_mut(&mut self, key: Key) -> Option<&mut V> {
         match &mut self.repr {
             Repr::Dense(d) => {
@@ -436,6 +448,7 @@ impl<V> RedMap<V> {
     }
 
     /// `true` if `key` has a live entry.
+    // PANIC-FREE: dense access is gated by in_bounds().
     pub fn contains_key(&self, key: Key) -> bool {
         match &self.repr {
             Repr::Dense(d) => d.in_bounds(key) && d.table[key as usize].is_some(),
@@ -445,6 +458,7 @@ impl<V> RedMap<V> {
 
     /// Remove and return the value for `key`. Out-of-bound keys on the
     /// dense backend cannot have entries, so removal never forces a spill.
+    // PANIC-FREE: dense access is gated by in_bounds().
     pub fn remove(&mut self, key: Key) -> Option<V> {
         match &mut self.repr {
             Repr::Dense(d) => {

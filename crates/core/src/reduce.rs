@@ -295,6 +295,7 @@ pub(crate) fn reduce_parts<A: Analytics>(
     prepare_shells(cfg, parts.len(), shells);
     for (part_idx, &(offset, data)) in parts.iter().enumerate() {
         let base = part_idx * cfg.nthreads;
+        // PANIC-FREE: prepare_shells sized shells to parts.len() × nthreads, covering every window.
         let lent = SharedSlice::new(&mut shells[base..base + cfg.nthreads]);
         let worker = |tid: usize| {
             // SAFETY: worker `tid` touches only shell index `tid` of this

@@ -70,6 +70,7 @@ impl<'a, T> SharedSlice<'a, T> {
         // SAFETY: the caller guarantees no concurrent access to `index`, so
         // this is the only live reference to the slot.
         unsafe {
+            // PANIC-FREE: out-of-bounds panics here are the documented "# Panics" contract.
             *self.data[index].get() = value;
         }
         #[cfg(loom)]
@@ -85,6 +86,7 @@ impl<'a, T> SharedSlice<'a, T> {
         self.track.acquire_mut(index);
         // SAFETY: as for `write` — the disjointness contract makes this the
         // sole reference to the slot for the duration of `f`.
+        // PANIC-FREE: out-of-bounds panics follow write()'s documented "# Panics" contract.
         let r = unsafe { f(&mut *self.data[index].get()) };
         #[cfg(loom)]
         self.track.release_mut(index);

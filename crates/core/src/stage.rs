@@ -48,6 +48,7 @@ pub fn stage<'a, In: Clone>(
     // Re-cut only once the buffer stops growing, so no slice dangles across
     // a reallocation.
     let buf: &'a Vec<In> = buf;
+    // PANIC-FREE: every range was cut from buf.len() as it grew, so all lie inside the final buffer.
     Some(ranges.into_iter().map(|(offset, r)| (offset, &buf[r])).collect())
 }
 

@@ -11,9 +11,10 @@
 use smart_comm::{CommError, CommResult, Communicator, Tag};
 use std::time::Duration;
 
-/// Base tag for fault-tolerance point-to-point traffic. Sits above user
-/// tags and below the streaming transport's `STREAM_BASE` (1 << 40).
-pub const FT_TAG_BASE: Tag = 1 << 32;
+/// Base tag for fault-tolerance point-to-point traffic — the `FT_PING`
+/// namespace claimed in `smart_comm::tags`. Sits above user tags and below
+/// the streaming transport's `STREAM_BASE`.
+pub const FT_TAG_BASE: Tag = smart_comm::tags::FT_PING_BASE;
 
 const PING: Tag = FT_TAG_BASE | 1;
 const PONG: Tag = FT_TAG_BASE | 2;

@@ -46,9 +46,10 @@ use smart_core::{
 };
 
 /// Base tag for the heal drive's control exchanges on the staging
-/// communicator. Disjoint from user tags, from `FT_TAG_BASE` heartbeats,
-/// and from the streaming transport's `STREAM_BASE` (1 << 40).
-pub const FT_CTL_BASE: Tag = 1 << 34;
+/// communicator — the `FT_CTL` namespace claimed in `smart_comm::tags`,
+/// disjoint from user tags, `FT_TAG_BASE` heartbeats, and the streaming
+/// transport's `STREAM_BASE`.
+pub const FT_CTL_BASE: Tag = smart_comm::tags::FT_CTL_BASE;
 
 const OP_SYNC: u64 = 1;
 const OP_ACTIVE: u64 = 2;
@@ -87,6 +88,7 @@ impl<In: Serialize> FtProducer<In> {
     /// World rank of the stager currently receiving this stream (changes
     /// after a reroute).
     pub fn stager(&self) -> usize {
+        // PANIC-FREE: only finish() clears tx, and finish() consumes self, so no later call can observe None.
         self.tx.as_ref().expect("stream already finished").peer()
     }
 
@@ -98,6 +100,7 @@ impl<In: Serialize> FtProducer<In> {
     /// flush delivers the whole unacknowledged suffix to the replacement.
     pub fn feed(&mut self, offset: usize, step: &[In]) -> SmartResult<()> {
         self.plan.check(self.index, self.steps_fed)?;
+        // PANIC-FREE: only finish() clears tx, and finish() consumes self, so no later call can observe None.
         let tx = self.tx.as_mut().expect("stream already finished");
         if let Err(e) = tx.feed(&mut self.comm, offset, step) {
             match e {
@@ -115,6 +118,7 @@ impl<In: Serialize> FtProducer<In> {
     /// i.e. globally committed — rerouting as often as stagers die under
     /// it.
     fn finish(mut self) -> SmartResult<StreamSendStats> {
+        // PANIC-FREE: finish() consumes self and is the only place that clears tx, so tx is still Some here.
         let mut tx = self.tx.take().expect("stream already finished");
         loop {
             match tx.finish_wait_acked(&mut self.comm) {
@@ -425,6 +429,7 @@ where
                             // it matches the producers' own reroute scans.
                             let alive: Vec<bool> =
                                 (0..topo.stagers).map(|i| staging_comm.is_alive(i)).collect();
+                            // PANIC-FREE: rebalanced_producers_of probes stager indices < topo.stagers = alive.len().
                             for p in topo.rebalanced_producers_of(s, |i| alive[i]) {
                                 if !slots.iter().any(|slot| slot.rx.peer() == p) {
                                     slots.push(Slot::new(p));
@@ -541,6 +546,7 @@ where
         for (s, stager) in stagers.iter_mut().enumerate() {
             if let Ok(stager) = stager {
                 for p in topo.producers_of(s) {
+                    // PANIC-FREE: producers_of yields world ranks < topo.producers = producers.len().
                     if let Ok(prod) = &producers[p] {
                         stager.stats.transit_send_busy += prod.stream.send_busy;
                     }

@@ -173,20 +173,27 @@ pub fn encode(epoch: u64, step: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Validate and deserialize a checkpoint record. Every malformation maps to
 /// a typed [`CkptError`]; no input can panic this function.
+// PANIC-FREE: the length guards bound every range — constant ranges sit inside the checked
+// 36-byte minimum, and the `need` ranges follow the exact-length check.
 pub fn decode(bytes: &[u8]) -> Result<CkptRecord, CkptError> {
     if bytes.len() < HEADER_LEN + CRC_LEN {
         return Err(CkptError::Truncated { len: bytes.len(), need: HEADER_LEN + CRC_LEN });
     }
+    // PANIC-FREE: the slice is exactly 4 bytes, so try_into always succeeds.
     let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
     if magic != MAGIC {
         return Err(CkptError::BadMagic { found: magic });
     }
+    // PANIC-FREE: the slice is exactly 4 bytes, so try_into always succeeds.
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
     if version != VERSION {
         return Err(CkptError::BadVersion { found: version });
     }
+    // PANIC-FREE: the slice is exactly 8 bytes, so try_into always succeeds.
     let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    // PANIC-FREE: the slice is exactly 8 bytes, so try_into always succeeds.
     let step = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+    // PANIC-FREE: the slice is exactly 8 bytes, so try_into always succeeds.
     let payload_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice"));
     let need =
         match usize::try_from(payload_len).ok().and_then(|n| n.checked_add(HEADER_LEN + CRC_LEN)) {
@@ -196,6 +203,7 @@ pub fn decode(bytes: &[u8]) -> Result<CkptRecord, CkptError> {
     if bytes.len() != need {
         return Err(CkptError::Truncated { len: bytes.len(), need });
     }
+    // PANIC-FREE: the slice is exactly CRC_LEN = 4 bytes, so try_into always succeeds.
     let stored = u32::from_le_bytes(bytes[need - CRC_LEN..need].try_into().expect("4-byte slice"));
     let computed = crc32(&bytes[..need - CRC_LEN]);
     if stored != computed {
@@ -269,6 +277,7 @@ impl CkptStore {
     fn prune(&self) -> Result<(), CkptError> {
         let epochs = self.epochs()?;
         if epochs.len() > self.retain {
+            // PANIC-FREE: the branch guarantees len − retain ≤ len, so the prefix range is in bounds.
             for &old in &epochs[..epochs.len() - self.retain] {
                 fs::remove_file(self.path_of(old))?;
             }

@@ -1,0 +1,558 @@
+//! An item-level AST over the token stream: delimiter-matched token trees,
+//! plus extraction of the items the analyses reason about — functions (with
+//! bodies), `impl`/`trait` context, `const`/`static` definitions, struct
+//! fields with lock types, and `#[cfg(test)]` regions.
+//!
+//! This is deliberately *not* a full expression grammar. Bodies stay token
+//! trees; each analysis walks them with its own small pattern matcher
+//! (guard scopes, call sites, panic sites, tag arguments). What the tree
+//! layer guarantees — and the text scanner could not — is that nesting is
+//! real (`{}` pairs matched through strings and comments), attributes and
+//! test regions are structural, and every token knows its line.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// A delimiter-matched token tree.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    Leaf(Token),
+    Group {
+        /// `(`, `[`, or `{`.
+        delim: char,
+        /// Line of the opening delimiter.
+        line: usize,
+        items: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { line, .. } => *line,
+        }
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) => t.ident(),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(p))
+    }
+
+    pub fn is_group(&self, delim: char) -> bool {
+        matches!(self, Tree::Group { delim: d, .. } if *d == delim)
+    }
+}
+
+/// Parse source text into a sequence of token trees.
+pub fn parse_trees(src: &str) -> Vec<Tree> {
+    let tokens = lex(src);
+    let mut pos = 0;
+    build_trees(&tokens, &mut pos, None)
+}
+
+fn build_trees(tokens: &[Token], pos: &mut usize, until: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *pos < tokens.len() {
+        let t = &tokens[*pos];
+        match &t.kind {
+            Tok::Open(d) => {
+                let delim = *d;
+                let line = t.line;
+                *pos += 1;
+                let inner = build_trees(tokens, pos, Some(closing(delim)));
+                out.push(Tree::Group { delim, line, items: inner });
+            }
+            Tok::Close(d) => {
+                if Some(*d) == until {
+                    *pos += 1;
+                    return out;
+                }
+                // Stray close (unbalanced source): skip it.
+                *pos += 1;
+            }
+            _ => {
+                out.push(Tree::Leaf(t.clone()));
+                *pos += 1;
+            }
+        }
+    }
+    out
+}
+
+fn closing(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Which lock primitive a field/local holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// A struct field (or static) whose type contains a lock.
+#[derive(Debug, Clone)]
+pub struct LockField {
+    /// Enclosing struct name (or `""` for a static item).
+    pub owner: String,
+    pub field: String,
+    pub kind: LockKind,
+    pub line: usize,
+}
+
+/// A `const` or `static` item.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    pub name: String,
+    /// Type tokens, flattened to strings (`["Tag"]`, `["u64"]`, …).
+    pub ty: Vec<String>,
+    /// Value expression trees (everything between `=` and `;`).
+    pub value: Vec<Tree>,
+    pub line: usize,
+    pub in_test: bool,
+}
+
+/// A function with its body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait`, if any.
+    pub owner: Option<String>,
+    /// Signature trees between the name and the body (generics, params,
+    /// return type, where clause).
+    pub sig: Vec<Tree>,
+    pub body: Vec<Tree>,
+    pub line: usize,
+    /// Inside a `#[cfg(test)]` module or carrying `#[test]`.
+    pub in_test: bool,
+    /// Comment/attribute run directly above the `fn` contains
+    /// `PANIC-FREE:` (function-level justification; checked by the caller
+    /// against raw source lines).
+    pub doc_start_line: usize,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    pub fns: Vec<FnItem>,
+    pub consts: Vec<ConstItem>,
+    pub lock_fields: Vec<LockField>,
+}
+
+/// Parse a file into its item-level AST.
+pub fn parse_file(src: &str) -> FileAst {
+    let trees = parse_trees(src);
+    let mut ast = FileAst::default();
+    collect_items(&trees, None, false, &mut ast);
+    ast
+}
+
+/// Walk an item sequence (file top level, `mod` body, `impl`/`trait` body),
+/// extracting items. `owner` is the enclosing impl/trait self type.
+fn collect_items(trees: &[Tree], owner: Option<&str>, in_test: bool, ast: &mut FileAst) {
+    let mut i = 0;
+    // Start line of the attribute run preceding the current item (for
+    // fn-level justification comments that sit above the attributes).
+    let mut attr_start: Option<usize> = None;
+    let mut attr_is_test = false;
+    let mut attr_cfg_test = false;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(t) if t.is_punct("#") => {
+                // Attribute `#[…]` or inner `#![…]`.
+                let mut j = i + 1;
+                if trees.get(j).is_some_and(|t| t.is_punct("!")) {
+                    j += 1;
+                }
+                if let Some(Tree::Group { delim: '[', items, line }) = trees.get(j) {
+                    if attr_start.is_none() {
+                        attr_start = Some(*line);
+                    }
+                    let words = attr_words(items);
+                    if words.first().map(String::as_str) == Some("test") {
+                        attr_is_test = true;
+                    }
+                    if words.first().map(String::as_str) == Some("cfg")
+                        && words.iter().any(|w| w == "test")
+                        && !words.iter().any(|w| w == "not")
+                    {
+                        attr_cfg_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tree::Leaf(t) => {
+                match t.ident() {
+                    Some("mod") => {
+                        // `mod name { … }` or `mod name;`
+                        let mod_test = in_test || attr_cfg_test;
+                        let mut j = i + 1;
+                        while j < trees.len() && !trees[j].is_group('{') && !trees[j].is_punct(";")
+                        {
+                            j += 1;
+                        }
+                        if let Some(Tree::Group { items, .. }) = trees.get(j) {
+                            collect_items(items, None, mod_test, ast);
+                        }
+                        i = j + 1;
+                        reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                    }
+                    Some("impl") | Some("trait") => {
+                        let is_trait = t.ident() == Some("trait");
+                        let item_test = in_test || attr_cfg_test;
+                        // Find the body `{ … }` at this level; extract the
+                        // self-type name from the header tokens.
+                        let mut j = i + 1;
+                        let mut header: Vec<&Tree> = Vec::new();
+                        while j < trees.len() && !trees[j].is_group('{') && !trees[j].is_punct(";")
+                        {
+                            header.push(&trees[j]);
+                            j += 1;
+                        }
+                        let ty = impl_self_type(&header, is_trait);
+                        if let Some(Tree::Group { items, .. }) = trees.get(j) {
+                            collect_items(items, ty.as_deref(), item_test, ast);
+                        }
+                        i = j + 1;
+                        reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                    }
+                    Some("fn") => {
+                        let name =
+                            trees.get(i + 1).and_then(|t| t.ident()).unwrap_or("").to_string();
+                        let mut j = i + 2;
+                        let sig_start = j;
+                        while j < trees.len() && !trees[j].is_group('{') && !trees[j].is_punct(";")
+                        {
+                            j += 1;
+                        }
+                        let sig: Vec<Tree> = trees[sig_start..j].to_vec();
+                        let body = match trees.get(j) {
+                            Some(Tree::Group { delim: '{', items, .. }) => items.clone(),
+                            _ => Vec::new(), // trait method declaration
+                        };
+                        ast.fns.push(FnItem {
+                            name,
+                            owner: owner.map(str::to_string),
+                            sig,
+                            body,
+                            line: t.line,
+                            in_test: in_test || attr_cfg_test || attr_is_test,
+                            doc_start_line: attr_start.unwrap_or(t.line),
+                        });
+                        i = j + 1;
+                        reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                    }
+                    Some("const") | Some("static") => {
+                        // `const NAME: Ty = value;` — skip `const fn` (the
+                        // `fn` arm handles it next iteration) and `const`
+                        // generics inside signatures (not item position).
+                        if trees.get(i + 1).and_then(|t| t.ident()) == Some("fn") {
+                            i += 1;
+                            continue;
+                        }
+                        let name = match trees.get(i + 1).and_then(|t| t.ident()) {
+                            Some(n) if n != "mut" => n.to_string(),
+                            _ => {
+                                // `static mut NAME` — shift by one.
+                                trees.get(i + 2).and_then(|t| t.ident()).unwrap_or("").to_string()
+                            }
+                        };
+                        let mut j = i + 1;
+                        // Type: between `:` and `=`; value: between `=` and `;`.
+                        let mut ty = Vec::new();
+                        let mut value = Vec::new();
+                        let mut seen_colon = false;
+                        let mut seen_eq = false;
+                        while j < trees.len() && !trees[j].is_punct(";") {
+                            if trees[j].is_punct(":") && !seen_eq {
+                                seen_colon = true;
+                            } else if trees[j].is_punct("=") && !seen_eq {
+                                seen_eq = true;
+                            } else if seen_eq {
+                                value.push(trees[j].clone());
+                            } else if seen_colon {
+                                if let Some(id) = trees[j].ident() {
+                                    ty.push(id.to_string());
+                                }
+                            }
+                            j += 1;
+                        }
+                        // A static whose type mentions a lock is a global lock.
+                        if ty.iter().any(|t| t == "Mutex" || t == "RwLock") {
+                            ast.lock_fields.push(LockField {
+                                owner: String::new(),
+                                field: name.clone(),
+                                kind: if ty.iter().any(|t| t == "RwLock") {
+                                    LockKind::RwLock
+                                } else {
+                                    LockKind::Mutex
+                                },
+                                line: t.line,
+                            });
+                        }
+                        ast.consts.push(ConstItem {
+                            name,
+                            ty,
+                            value,
+                            line: t.line,
+                            in_test: in_test || attr_cfg_test,
+                        });
+                        i = j + 1;
+                        reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                    }
+                    Some("struct") => {
+                        let sname =
+                            trees.get(i + 1).and_then(|t| t.ident()).unwrap_or("").to_string();
+                        let mut j = i + 2;
+                        while j < trees.len()
+                            && !trees[j].is_group('{')
+                            && !trees[j].is_group('(')
+                            && !trees[j].is_punct(";")
+                        {
+                            j += 1;
+                        }
+                        if let Some(Tree::Group { delim: '{', items, .. }) = trees.get(j) {
+                            collect_lock_fields(items, &sname, ast);
+                        }
+                        i = j + 1;
+                        reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                    }
+                    _ => {
+                        i += 1;
+                        if !matches!(
+                            t.ident(),
+                            Some("pub")
+                                | Some("unsafe")
+                                | Some("async")
+                                | Some("extern")
+                                | Some("default")
+                        ) && !t.is_punct("#")
+                        {
+                            // Any other token breaks the attribute run.
+                            reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+                        }
+                    }
+                }
+            }
+            Tree::Group { .. } => {
+                i += 1;
+                reset_attrs(&mut attr_start, &mut attr_is_test, &mut attr_cfg_test);
+            }
+        }
+    }
+}
+
+/// All identifiers inside an attribute's `[…]` group, including nested
+/// groups (`cfg(test)` keeps `test` inside a paren group).
+pub(crate) fn attr_words(items: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(items: &[Tree], out: &mut Vec<String>) {
+        for t in items {
+            match t {
+                Tree::Leaf(l) => {
+                    if let Some(id) = l.ident() {
+                        out.push(id.to_string());
+                    }
+                }
+                Tree::Group { items, .. } => walk(items, out),
+            }
+        }
+    }
+    walk(items, &mut out);
+    out
+}
+
+fn reset_attrs(start: &mut Option<usize>, is_test: &mut bool, cfg_test: &mut bool) {
+    *start = None;
+    *is_test = false;
+    *cfg_test = false;
+}
+
+/// The self-type name of an `impl` header: last path segment of the type
+/// after `for` (trait impls) or after the generics (inherent impls). For
+/// `trait Name …` it is the first identifier.
+fn impl_self_type(header: &[&Tree], is_trait: bool) -> Option<String> {
+    if is_trait {
+        return header.iter().find_map(|t| t.ident()).map(str::to_string);
+    }
+    let for_pos = header.iter().position(|t| t.ident() == Some("for"));
+    let tail: &[&Tree] = match for_pos {
+        Some(p) => &header[p + 1..],
+        None => {
+            // Skip leading generics `<…>` (token-level angles).
+            let mut k = 0;
+            if header.first().is_some_and(|t| t.is_punct("<")) {
+                let mut depth = 0i32;
+                while k < header.len() {
+                    if header[k].is_punct("<") {
+                        depth += 1;
+                    } else if header[k].is_punct(">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    } else if header[k].is_punct(">>") {
+                        depth -= 2;
+                        if depth <= 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            &header[k..]
+        }
+    };
+    // Last identifier before the type's own generics open.
+    let mut name = None;
+    for t in tail {
+        if t.is_punct("<") {
+            break;
+        }
+        if let Some(id) = t.ident() {
+            if !matches!(id, "dyn" | "mut" | "where") {
+                name = Some(id.to_string());
+            }
+        }
+        if t.is_punct("where") {
+            break;
+        }
+    }
+    name
+}
+
+/// Record fields whose type mentions `Mutex`/`RwLock` (including inside
+/// containers like `Arc<Mutex<…>>` or `Vec<Mutex<…>>`).
+fn collect_lock_fields(items: &[Tree], struct_name: &str, ast: &mut FileAst) {
+    // Split on top-level commas: `vis name : type-tokens`.
+    let mut field: Vec<&Tree> = Vec::new();
+    let flush = |field: &mut Vec<&Tree>, ast: &mut FileAst| {
+        let colon = field.iter().position(|t| t.is_punct(":"));
+        if let Some(c) = colon {
+            let name = field[..c].iter().rev().find_map(|t| t.ident());
+            let ty_idents: Vec<&str> = field[c + 1..].iter().filter_map(|t| t.ident()).collect();
+            if let Some(name) = name {
+                if ty_idents.contains(&"Mutex") || ty_idents.contains(&"RwLock") {
+                    ast.lock_fields.push(LockField {
+                        owner: struct_name.to_string(),
+                        field: name.to_string(),
+                        kind: if ty_idents.contains(&"RwLock") {
+                            LockKind::RwLock
+                        } else {
+                            LockKind::Mutex
+                        },
+                        line: field[0].line(),
+                    });
+                }
+            }
+        }
+        field.clear();
+    };
+    let mut angle = 0i32;
+    for t in items {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if t.is_punct(",") && angle <= 0 {
+            flush(&mut field, ast);
+            angle = 0;
+            continue;
+        }
+        field.push(t);
+    }
+    flush(&mut field, ast);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_and_owners() {
+        let ast = parse_file(
+            "impl Registry { fn submit(&self) { x(); } }\n\
+             fn free() {}\n\
+             trait T { fn m(&self) { y(); } fn sig_only(&self); }",
+        );
+        let names: Vec<(&str, Option<&str>)> =
+            ast.fns.iter().map(|f| (f.name.as_str(), f.owner.as_deref())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("submit", Some("Registry")),
+                ("free", None),
+                ("m", Some("T")),
+                ("sig_only", Some("T")),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_resolve_self_type() {
+        let ast = parse_file("impl<'a, T: Send> CircularBuffer<T> { fn len(&self) {} }");
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("CircularBuffer"));
+        let ast = parse_file("impl<F: Fabric> Transport for SocketMesh<F> { fn send(&self) {} }");
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("SocketMesh"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_structural() {
+        let ast = parse_file(
+            "fn runtime() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\n\
+             fn also_runtime() {}",
+        );
+        let tests: Vec<bool> = ast.fns.iter().map(|f| f.in_test).collect();
+        assert_eq!(tests, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn lock_fields_found_through_containers() {
+        let ast = parse_file(
+            "struct S { inner: Arc<Mutex<Inner>>, plain: usize, rw: RwLock<Map>, }\n\
+             static GLOBAL: Mutex<u32> = Mutex::new(0);",
+        );
+        let fields: Vec<(&str, &str, LockKind)> =
+            ast.lock_fields.iter().map(|f| (f.owner.as_str(), f.field.as_str(), f.kind)).collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("S", "inner", LockKind::Mutex),
+                ("S", "rw", LockKind::RwLock),
+                ("", "GLOBAL", LockKind::Mutex),
+            ]
+        );
+    }
+
+    #[test]
+    fn consts_capture_type_and_value() {
+        let ast = parse_file("pub const STREAM_BASE: Tag = 1 << 40;\nconst N: usize = 4;");
+        assert_eq!(ast.consts[0].name, "STREAM_BASE");
+        assert_eq!(ast.consts[0].ty, vec!["Tag"]);
+        assert_eq!(ast.consts[0].value.len(), 3);
+    }
+
+    #[test]
+    fn bodies_nest() {
+        let ast = parse_file("fn f() { if x { g(); } }");
+        assert_eq!(ast.fns.len(), 1);
+        assert!(ast.fns[0].body.iter().any(|t| t.is_group('{')));
+    }
+}

@@ -1,0 +1,447 @@
+//! A minimal Rust lexer: source text → a flat token stream with line
+//! numbers.
+//!
+//! This is the foundation the analyses build on and the reason they are
+//! immune to the false positives/negatives of the line-oriented text
+//! scanner in `xtask`: comments and string literals are *lexed away* here,
+//! so a `.unwrap()` inside a doc example or an error-message string can
+//! never fire a rule, and a statement split across lines can never hide
+//! from one.
+//!
+//! Scope: enough of the Rust lexical grammar to tokenize this workspace —
+//! line/block comments (nested), string/raw-string/byte-string/char
+//! literals, lifetimes, integer/float literals with separators and
+//! suffixes, raw identifiers, and the multi-character operators the
+//! analyses care about (`::`, `<<`, `..`, `->`, …). It does not interpret
+//! — escape sequences inside literals are skipped, not decoded.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `self`, `Mutex`, …).
+    Ident(String),
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal with its parsed value (suffix/underscores stripped;
+    /// values beyond `u128` saturate — irrelevant for `u64` tag math).
+    Int(u128),
+    /// Float literal.
+    Float,
+    /// String, raw-string, byte-string, or C-string literal.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Punctuation/operator, multi-character where it matters (`::`, `<<`).
+    Punct(&'static str),
+    /// Opening delimiter: `(`, `[`, or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]`, or `}`.
+    Close(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, Tok::Punct(q) if *q == p)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "..", "<<", ">>", "&&", "||", "==", "!=", "<=",
+    ">=", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=",
+];
+
+/// Lex `src` into tokens. Unterminated literals and comments are tolerated
+/// (the remainder of the file is consumed); the analyses prefer a best-effort
+/// token stream over refusing to look at a file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): skip to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting per the Rust grammar.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i = skip_string(&chars, i, &mut line);
+                out.push(Token { kind: Tok::Str, line: start_line });
+            }
+            '\'' => {
+                // Lifetime vs char literal. A backslash or a closing quote
+                // two chars ahead means char; otherwise lifetime.
+                let start_line = line;
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to closing quote.
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.push(Token { kind: Tok::Char, line: start_line });
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    out.push(Token { kind: Tok::Char, line: start_line });
+                } else {
+                    // Lifetime: consume ident chars.
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Token { kind: Tok::Lifetime, line: start_line });
+                }
+            }
+            'r' | 'b' | 'c' if is_literal_prefix(&chars, i) => {
+                let start_line = line;
+                let (next, kind) = skip_prefixed_literal(&chars, i, &mut line);
+                i = next;
+                out.push(Token { kind, line: start_line });
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                let (next, kind) = lex_number(&chars, i);
+                i = next;
+                out.push(Token { kind, line: start_line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                out.push(Token { kind: Tok::Ident(s), line });
+            }
+            '(' | '[' | '{' => {
+                out.push(Token { kind: Tok::Open(c), line });
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                out.push(Token { kind: Tok::Close(c), line });
+                i += 1;
+            }
+            _ => {
+                let mut matched = None;
+                for op in OPERATORS {
+                    if src_matches(&chars, i, op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    out.push(Token { kind: Tok::Punct(op), line });
+                    i += op.len();
+                } else {
+                    out.push(Token { kind: Tok::Punct(single_punct(c)), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `true` if position `i` starts a prefixed literal (`r"`, `r#"`, `b"`,
+/// `b'`, `br"`, `c"`, raw ident `r#ident` is handled too).
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    let c = chars[i];
+    match c {
+        'r' => matches!(chars.get(i + 1), Some('"') | Some('#')),
+        'b' => matches!(chars.get(i + 1), Some('"') | Some('\'') | Some('r')),
+        'c' => matches!(chars.get(i + 1), Some('"')),
+        _ => false,
+    }
+}
+
+/// Skip a prefixed literal starting at `i`; returns (next index, token kind).
+fn skip_prefixed_literal(chars: &[char], mut i: usize, line: &mut usize) -> (usize, Tok) {
+    let c = chars[i];
+    if c == 'r' && chars.get(i + 1) == Some(&'#') {
+        // Either a raw string `r#"…"#` or a raw identifier `r#ident`.
+        if chars.get(i + 2).is_some_and(|c| c.is_alphabetic() || *c == '_') {
+            i += 2;
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let s: String = chars[start..i].iter().collect();
+            return (i, Tok::Ident(s));
+        }
+        return (skip_raw_string(chars, i + 1, line), Tok::Str);
+    }
+    if c == 'b' && chars.get(i + 1) == Some(&'r') {
+        return (skip_raw_string(chars, i + 2, line), Tok::Str);
+    }
+    if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+        // Byte literal b'x' / b'\n'.
+        i += 2;
+        if chars.get(i) == Some(&'\\') {
+            i += 1;
+        }
+        while i < chars.len() && chars[i] != '\'' {
+            i += 1;
+        }
+        return (i + 1, Tok::Char);
+    }
+    // r"…", b"…", c"…": ordinary (escaped for b/c) string after the prefix.
+    if c == 'r' {
+        return (skip_raw_string(chars, i + 1, line), Tok::Str);
+    }
+    (skip_string(chars, i + 1, line), Tok::Str)
+}
+
+/// Skip a raw string whose `#…"` sequence starts at `i`; returns index past
+/// the closing quote+hashes.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip an escaped string whose opening quote is at `i`; returns index past
+/// the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Lex a numeric literal at `i`; returns (next index, Int/Float token).
+fn lex_number(chars: &[char], mut i: usize) -> (usize, Tok) {
+    let radix: u32 = if chars[i] == '0' {
+        match chars.get(i + 1) {
+            Some('x') | Some('X') => 16,
+            Some('o') | Some('O') => 8,
+            Some('b') | Some('B') => 2,
+            _ => 10,
+        }
+    } else {
+        10
+    };
+    if radix != 10 {
+        i += 2;
+    }
+    // Value digits (underscores skipped); stop at the first char invalid in
+    // this radix — anything after is a float marker or a type suffix.
+    let mut val: u128 = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '_' {
+            i += 1;
+        } else if let Some(d) = c.to_digit(radix) {
+            val = val.saturating_mul(radix as u128).saturating_add(d as u128);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let mut is_float = false;
+    // Fractional part: `.` followed by a digit (`1..5` is a range, `1.max()`
+    // a method call).
+    if radix == 10
+        && chars.get(i) == Some(&'.')
+        && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+    {
+        is_float = true;
+        i += 1;
+        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if radix == 10
+        && matches!(chars.get(i), Some('e') | Some('E'))
+        && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit() || *d == '+' || *d == '-')
+    {
+        is_float = true;
+        i += 2;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    // Type suffix (`u64`, `usize`, `f32`, …) — does not change the value.
+    if chars.get(i).is_some_and(|c| c.is_alphabetic()) {
+        if chars[i] == 'f' {
+            is_float = true;
+        }
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    if is_float {
+        (i, Tok::Float)
+    } else {
+        (i, Tok::Int(val))
+    }
+}
+
+fn src_matches(chars: &[char], i: usize, pat: &str) -> bool {
+    pat.chars().enumerate().all(|(k, p)| chars.get(i + k) == Some(&p))
+}
+
+/// Intern single-character punctuation as static strings.
+fn single_punct(c: char) -> &'static str {
+    match c {
+        '.' => ".",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '=' => "=",
+        '<' => "<",
+        '>' => ">",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '&' => "&",
+        '|' => "|",
+        '^' => "^",
+        '!' => "!",
+        '?' => "?",
+        '#' => "#",
+        '@' => "@",
+        '$' => "$",
+        '~' => "~",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        let toks = kinds("// a.unwrap()\n/* b.unwrap() */ let s = \".unwrap()\";");
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Ident(s) if s == "unwrap")));
+        assert!(toks.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks, vec![Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("'a 'x' '\\n' 'static");
+        assert_eq!(toks, vec![Tok::Lifetime, Tok::Char, Tok::Char, Tok::Lifetime]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"r#"quote " inside"# r#fn b"bytes" b'x'"##);
+        assert_eq!(toks, vec![Tok::Str, Tok::Ident("fn".into()), Tok::Str, Tok::Char]);
+    }
+
+    #[test]
+    fn numbers_parse() {
+        assert_eq!(kinds("1_000"), vec![Tok::Int(1000)]);
+        assert_eq!(kinds("0xFF"), vec![Tok::Int(255)]);
+        assert_eq!(kinds("1u64"), vec![Tok::Int(1)]);
+        assert_eq!(kinds("1.5"), vec![Tok::Float]);
+        assert_eq!(kinds("0..4"), vec![Tok::Int(0), Tok::Punct(".."), Tok::Int(4)],);
+    }
+
+    #[test]
+    fn shift_operator_survives() {
+        assert_eq!(kinds("1 << 40"), vec![Tok::Int(1), Tok::Punct("<<"), Tok::Int(40)],);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,220 @@
+//! # smart-lint
+//!
+//! AST-grade workspace analyses for invariants the line-oriented text
+//! scanner in `xtask` structurally cannot see — call graphs, lock scopes,
+//! and constant values. Driven by `cargo xtask lint` alongside the
+//! remaining text rules.
+//!
+//! Three semantic analyses:
+//!
+//! * **lock-order** ([`lockorder`]) — walks every function in `pool`,
+//!   `core`, `comm`, `ft`, and `serve`, tracks `smart-sync` Mutex/RwLock
+//!   guard scopes intra-procedurally plus one level of call-graph
+//!   inlining, emits the acquired-while-holding edge set, rejects cycles
+//!   (potential deadlock), and diffs the edges against the committed
+//!   `lint/lock-order.toml` so every new edge is an explicit, reviewed
+//!   change. Regenerate the artifact with `cargo xtask lock-order --write`.
+//! * **panic-free** ([`panicfree`]) — in non-test code of `comm`, `core`,
+//!   `ft`, and `serve`, denies `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   `todo!`/`unimplemented!` and slice indexing that can panic, unless
+//!   the expression carries a `// PANIC-FREE:` justification (or, for
+//!   indexing only, the enclosing `fn` does). Error flow in the
+//!   distributed core goes through `SmartError` — the PeerGone
+//!   never-a-hang discipline extended to never-a-panic.
+//! * **tag-namespace** ([`tagns`]) — resolves the `u64` tag constants and
+//!   ranges claimed in `comm::tags` (stream, ft ping/pong, ft control,
+//!   collectives, serve, `DEATH_TAG`), proves the claims pairwise
+//!   disjoint, and checks that every tag constant and literal-tag send
+//!   site stays inside its module's claimed range.
+//!
+//! Plus the three rules migrated from the retired text versions, now
+//! immune to strings/comments/line-splits: `no-lock-unwrap`,
+//! `no-direct-sync`, and `kernel-hot-loop` (see [`rules`]).
+//!
+//! Findings use the established `path:line: [rule] message` format and the
+//! `lint:allow(<rule>)` escape hatch (same line or the line above). Like
+//! the `xtask` scanner, every analysis is self-testing: [`selftest`] runs
+//! an embedded violation corpus (one seeded bad program and one clean twin
+//! per rule) before any workspace scan, so a broken analyzer fails loudly
+//! instead of reporting a dirty tree as clean.
+//!
+//! The crate is dependency-free by design: like the loom shim in
+//! `smart-sync`, it vendors the little parsing it needs (a Rust lexer and
+//! an item-level AST in [`lexer`]/[`ast`]) instead of pulling `syn`, so it
+//! builds offline and in seconds.
+
+pub mod ast;
+pub mod lexer;
+pub mod lockorder;
+pub mod panicfree;
+pub mod rules;
+mod selftest;
+pub mod tagns;
+
+use std::path::{Path, PathBuf};
+
+/// One analyzer finding, formatted `path:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed source file: workspace-relative path, raw lines (for
+/// justification/suppression comments, which the lexer strips), and the
+/// item-level AST.
+pub struct SourceFile {
+    pub path: String,
+    pub lines: Vec<String>,
+    pub ast: ast::FileAst,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            ast: ast::parse_file(src),
+        }
+    }
+
+    /// `true` if a `lint:allow(rule)` comment covers 1-indexed `line`
+    /// (same line or the line above) — the same contract as the text
+    /// scanner's suppressions.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        let needle = format!("lint:allow({rule})");
+        self.line_has(line, &needle) || (line > 1 && self.line_has(line - 1, &needle))
+    }
+
+    /// `true` if 1-indexed `line` (or the line above) carries `needle`.
+    pub fn line_has(&self, line: usize, needle: &str) -> bool {
+        self.lines.get(line.wrapping_sub(1)).is_some_and(|l| l.contains(needle))
+    }
+
+    /// `true` if the comment/attribute run ending just above 1-indexed
+    /// `line` contains `needle` — used for function-level justifications.
+    pub fn comment_run_above_has(&self, line: usize, needle: &str) -> bool {
+        let mut i = line.saturating_sub(1); // 0-indexed line above `line`
+        while i > 0 {
+            i -= 1;
+            let t = self.lines[i].trim();
+            if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.is_empty() {
+                if t.contains(needle) {
+                    return true;
+                }
+                if t.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        false
+    }
+}
+
+/// The parsed workspace: every `.rs` file under `crates/`, `src/`,
+/// `tests/`, and `examples/`.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Parse every workspace source file under `root`.
+    pub fn load(root: &Path) -> Workspace {
+        let mut paths = Vec::new();
+        for top in ["crates", "src", "tests", "examples"] {
+            walk(&root.join(top), &mut paths);
+        }
+        paths.sort();
+        let files = paths
+            .into_iter()
+            .filter_map(|p| {
+                let src = std::fs::read_to_string(&p).ok()?;
+                let rel = p.strip_prefix(root).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+                Some(SourceFile::parse(&rel, &src))
+            })
+            .collect();
+        Workspace { files }
+    }
+
+    /// Build a workspace from in-memory sources (used by the self-test
+    /// corpus and unit tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace { files: sources.iter().map(|(p, s)| SourceFile::parse(p, s)).collect() }
+    }
+
+    /// Files belonging to one of the given crates' `src` trees.
+    pub fn crate_files<'a>(&'a self, crates: &'a [&str]) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| crates.iter().any(|c| f.path.starts_with(&format!("crates/{c}/src/"))))
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Paths holding test/bench/example code (the analyses target runtime
+/// code; in-file `#[cfg(test)]` modules are excluded structurally by the
+/// AST instead).
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+}
+
+/// Run every analysis over a loaded workspace.
+pub fn analyze(ws: &Workspace, committed_lock_order: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(lockorder::check(ws, committed_lock_order));
+    findings.extend(panicfree::check(ws));
+    findings.extend(tagns::check(ws));
+    findings.extend(rules::check(ws));
+    findings
+}
+
+/// Load the workspace at `root` and run every analysis, reading the
+/// committed lock-order artifact from `lint/lock-order.toml`.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let ws = Workspace::load(root);
+    let committed = std::fs::read_to_string(root.join("lint/lock-order.toml")).ok();
+    analyze(&ws, committed.as_deref())
+}
+
+/// Render the current lock-order edge set as the committed TOML artifact.
+pub fn lock_order_toml(root: &Path) -> String {
+    let ws = Workspace::load(root);
+    lockorder::render_toml(&lockorder::edges(&ws))
+}
+
+/// Run the embedded violation corpus for every analysis. Panics (with the
+/// failing rule and program) on any miss, exactly like the xtask text
+/// scanner's self-test: a broken analyzer must fail loudly.
+pub fn selftest() {
+    selftest::run();
+}

@@ -1,0 +1,856 @@
+//! Lock-order graph analysis.
+//!
+//! Walks every non-test function in the concurrency-bearing crates
+//! (`pool`, `core`, `comm`, `ft`, `serve`), tracks `smart-sync`
+//! Mutex/RwLock guard scopes, and emits the **acquired-while-holding**
+//! edge set: an edge `A -> B` means some execution path acquires lock `B`
+//! while a guard on lock `A` is live. Two checks follow:
+//!
+//! * **cycles** — a cycle in the edge graph (including a self-edge: a lock
+//!   acquired while already held) is a potential deadlock and always
+//!   fails, independent of the committed artifact;
+//! * **drift** — the edge set is diffed against `lint/lock-order.toml`.
+//!   A new edge (or a stale committed one) fails the lint until the
+//!   artifact is regenerated with `cargo xtask lock-order --write` and the
+//!   diff is reviewed. This makes every change to the workspace's lock
+//!   hierarchy an explicit line in a PR.
+//!
+//! ## What counts as a lock, and how guards are scoped
+//!
+//! Lock identities come from declarations, not call syntax: struct fields
+//! and statics whose type mentions `Mutex`/`RwLock` (through containers —
+//! `Arc<Mutex<…>>`, `Vec<Mutex<…>>`), locals `let m = Mutex::new(…)` or
+//! with a lock type annotation, references to those locals, and `fn`
+//! parameters with lock types. Calling `.lock()`/`.read()`/`.write()` on
+//! anything else (`stdout().lock()`, an `io::Read`) is ignored — the
+//! receiver must resolve to a known lock. Labels are `Struct.field` for
+//! fields and `fn.var` for locals/parameters, so the committed artifact
+//! survives line-number churn.
+//!
+//! A `let g = x.lock();` guard is live until the end of its enclosing
+//! block or an explicit `drop(g)`; any other acquisition form is a
+//! statement temporary, live to the end of its statement. `Condvar::wait`
+//! does release the mutex while parked, but the analysis keeps the guard
+//! held — the conservative direction for deadlock edges. One level of
+//! call-graph inlining: calls made while holding a guard contribute the
+//! callee's *direct* acquisitions as edges. Only calls the analysis can
+//! actually resolve are inlined: `self.method(…)` (resolved against the
+//! caller's impl owner, unioned across same-named impls) and free calls
+//! `name(…)` (resolved to free fns). Arbitrary `x.len()` method calls are
+//! *not* matched by bare name — without types, `queue.len()` would alias
+//! every `len` in the workspace and manufacture phantom deadlocks.
+
+use crate::ast::{FnItem, Tree};
+use crate::{Finding, SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose functions participate in the graph.
+pub const LOCK_CRATES: &[&str] = &["pool", "core", "comm", "ft", "serve"];
+
+const RULE: &str = "lock-order";
+
+/// An acquired-while-holding edge with one example site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    pub holder: String,
+    pub acquires: String,
+    /// Example site (`path:line`), not part of edge identity.
+    pub site: String,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    label: String,
+    line: usize,
+}
+
+/// A resolvable call site with the guards held at that point. `callee` is
+/// the resolution key: `Owner::name` for `self.method(…)`, bare `name`
+/// for free calls.
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: String,
+    held: Vec<String>,
+    line: usize,
+}
+
+/// Per-function analysis result.
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Locks acquired anywhere in the body (for one-level inlining).
+    direct: Vec<Acq>,
+    /// Edges from guard scopes inside this body.
+    edges: Vec<Edge>,
+    calls: Vec<CallSite>,
+}
+
+/// Compute the workspace's acquired-while-holding edge set.
+pub fn edges(ws: &Workspace) -> Vec<Edge> {
+    let mut lock_fields: BTreeMap<String, String> = BTreeMap::new(); // field -> label
+    for f in ws.crate_files(LOCK_CRATES) {
+        for lf in &f.ast.lock_fields {
+            let label = if lf.owner.is_empty() {
+                lf.field.clone()
+            } else {
+                format!("{}.{}", lf.owner, lf.field)
+            };
+            // First declaration wins; ambiguity across structs is rare and
+            // benign (the label would merge, which is conservative).
+            lock_fields.entry(lf.field.clone()).or_insert(label);
+        }
+    }
+
+    let mut per_fn: BTreeMap<String, FnLocks> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for file in ws.crate_files(LOCK_CRATES) {
+        for f in &file.ast.fns {
+            if f.in_test || crate::is_test_path(&file.path) {
+                continue;
+            }
+            let key = match &f.owner {
+                Some(o) => format!("{}::{}::{}", file.path, o, f.name),
+                None => format!("{}::{}", file.path, f.name),
+            };
+            let info = analyze_fn(f, file, &lock_fields);
+            // Resolution key mirrors CallSite.callee: owner-qualified for
+            // methods, bare for free fns.
+            let res_key = match &f.owner {
+                Some(o) => format!("{}::{}", o, f.name),
+                None => f.name.clone(),
+            };
+            by_name.entry(res_key).or_default().push(key.clone());
+            per_fn.insert(key, info);
+        }
+    }
+
+    // One level of call-graph inlining: a call made while holding A adds
+    // A -> (callee's direct acquisitions).
+    let mut all: BTreeSet<Edge> = BTreeSet::new();
+    for info in per_fn.values() {
+        for e in &info.edges {
+            all.insert(e.clone());
+        }
+    }
+    for info in per_fn.values() {
+        for call in &info.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let Some(keys) = by_name.get(&call.callee) else { continue };
+            for key in keys {
+                let callee = &per_fn[key];
+                for acq in &callee.direct {
+                    for holder in &call.held {
+                        all.insert(Edge {
+                            holder: holder.clone(),
+                            acquires: acq.label.clone(),
+                            site: format!(
+                                "(via {} at line {}) line {}",
+                                call.callee, call.line, acq.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Edge identity is (holder, acquires): keep the first site per pair.
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for e in all {
+        if seen.insert((e.holder.clone(), e.acquires.clone())) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Walk one function body: guard scopes, acquisitions, calls.
+fn analyze_fn(f: &FnItem, file: &SourceFile, lock_fields: &BTreeMap<String, String>) -> FnLocks {
+    let mut info = FnLocks::default();
+    // Locals known to be locks: name -> label.
+    let mut locals: BTreeMap<String, String> = BTreeMap::new();
+    // Parameters with lock types.
+    for (name, has_lock) in param_locks(&f.sig) {
+        if has_lock {
+            locals.insert(name.clone(), format!("{}.{}", f.name, name));
+        }
+    }
+    let mut held: Vec<(String, Option<String>)> = Vec::new(); // (label, guard var)
+    walk_block(&f.body, f, file, lock_fields, &mut locals, &mut held, &mut info);
+    info
+}
+
+/// Parameter names whose type tokens mention a lock.
+fn param_locks(sig: &[Tree]) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    // The parameter list is the first paren group in the signature.
+    let Some(Tree::Group { items, .. }) = sig.iter().find(|t| t.is_group('(')) else {
+        return out;
+    };
+    let mut param: Vec<&Tree> = Vec::new();
+    let mut angle = 0i32;
+    let flush = |param: &mut Vec<&Tree>, out: &mut Vec<(String, bool)>| {
+        if let Some(c) = param.iter().position(|t| t.is_punct(":")) {
+            let name = param[..c].iter().rev().find_map(|t| t.ident());
+            let has_lock = param[c + 1..]
+                .iter()
+                .filter_map(|t| t.ident())
+                .any(|id| id == "Mutex" || id == "RwLock");
+            if let Some(name) = name {
+                out.push((name.to_string(), has_lock));
+            }
+        }
+        param.clear();
+    };
+    for t in items {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if t.is_punct(",") && angle <= 0 {
+            flush(&mut param, &mut out);
+            angle = 0;
+            continue;
+        }
+        param.push(t);
+    }
+    flush(&mut param, &mut out);
+    out
+}
+
+/// Recursive scope walker. `held` carries live guards; guards bound in a
+/// block pop when the block closes.
+#[allow(clippy::too_many_arguments)]
+fn walk_block(
+    trees: &[Tree],
+    f: &FnItem,
+    file: &SourceFile,
+    lock_fields: &BTreeMap<String, String>,
+    locals: &mut BTreeMap<String, String>,
+    held: &mut Vec<(String, Option<String>)>,
+    info: &mut FnLocks,
+) {
+    let base = held.len();
+    let mut i = 0;
+    // Temporaries acquired in the current statement (popped at `;`).
+    let mut stmt_tmp = 0usize;
+    while i < trees.len() {
+        let t = &trees[i];
+        if t.is_punct(";") {
+            for _ in 0..stmt_tmp {
+                // Temporaries die in reverse order at statement end.
+                let pos = held.iter().rposition(|(_, v)| v.is_none());
+                if let Some(p) = pos {
+                    held.remove(p);
+                }
+            }
+            stmt_tmp = 0;
+            i += 1;
+            continue;
+        }
+        // `let [mut] name … = rhs ;`
+        if t.ident() == Some("let") {
+            let var = trees[i + 1..]
+                .iter()
+                .take_while(|t| !t.is_punct("=") && !t.is_punct(";"))
+                .find_map(|t| match t.ident() {
+                    Some("mut") | Some("ref") => None,
+                    Some(id) => Some(id.to_string()),
+                    None => None,
+                });
+            let semi = find_stmt_end(trees, i);
+            let eq = trees[i..semi].iter().position(|t| t.is_punct("="));
+            if let (Some(var), Some(eq)) = (var, eq) {
+                let rhs = &trees[i + eq + 1..semi];
+                // Track lock-typed locals and aliases so later `.lock()`
+                // receivers resolve.
+                if is_lock_ctor(rhs) || let_annotated_lock(&trees[i..i + eq]) {
+                    locals.insert(var.clone(), format!("{}.{}", f.name, var));
+                } else if let Some(alias) = alias_of_local(rhs, locals) {
+                    locals.insert(var.clone(), alias);
+                }
+                // Pure guard binding: rhs is exactly `<recv>.lock()` (or
+                // read/write) with nothing after the call.
+                if let Some(label) = pure_acquisition(rhs, lock_fields, locals) {
+                    record_acq(&label, rhs.last().map_or(f.line, |t| t.line()), file, held, info);
+                    held.push((label, Some(var)));
+                    i = semi;
+                    continue;
+                }
+            }
+            // Not a guard binding: scan the rhs like any expression.
+            let semi_end = semi.min(trees.len());
+            scan_exprs(
+                &trees[i + 1..semi_end],
+                f,
+                file,
+                lock_fields,
+                locals,
+                held,
+                info,
+                &mut stmt_tmp,
+            );
+            i = semi_end;
+            continue;
+        }
+        // `drop(g)` releases a bound guard early.
+        if t.ident() == Some("drop") {
+            if let Some(Tree::Group { items, .. }) = trees.get(i + 1) {
+                if items.len() == 1 {
+                    if let Some(v) = items[0].ident() {
+                        if let Some(p) = held.iter().position(|(_, g)| g.as_deref() == Some(v)) {
+                            held.remove(p);
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        if let Tree::Group { delim: '{', items, .. } = t {
+            walk_block(items, f, file, lock_fields, locals, held, info);
+            i += 1;
+            continue;
+        }
+        // Anything else: expression scan of this single tree (groups
+        // recurse; leaf patterns match against the following tokens).
+        let consumed = scan_at(trees, i, f, file, lock_fields, locals, held, info, &mut stmt_tmp);
+        i += consumed.max(1);
+    }
+    // Close the block: statement temporaries and block-bound guards die.
+    held.truncate(base);
+}
+
+/// Find the index of the `;` ending the statement starting at `start`
+/// (top level of this tree slice), or the slice end.
+fn find_stmt_end(trees: &[Tree], start: usize) -> usize {
+    trees[start..].iter().position(|t| t.is_punct(";")).map(|p| start + p).unwrap_or(trees.len())
+}
+
+/// Scan a run of expression trees (no statement structure).
+#[allow(clippy::too_many_arguments)]
+fn scan_exprs(
+    trees: &[Tree],
+    f: &FnItem,
+    file: &SourceFile,
+    lock_fields: &BTreeMap<String, String>,
+    locals: &mut BTreeMap<String, String>,
+    held: &mut Vec<(String, Option<String>)>,
+    info: &mut FnLocks,
+    stmt_tmp: &mut usize,
+) {
+    let mut i = 0;
+    while i < trees.len() {
+        let consumed = scan_at(trees, i, f, file, lock_fields, locals, held, info, stmt_tmp);
+        i += consumed.max(1);
+    }
+}
+
+/// Inspect position `i`: record acquisitions/calls; recurse into groups.
+/// Returns tokens consumed.
+#[allow(clippy::too_many_arguments)]
+fn scan_at(
+    trees: &[Tree],
+    i: usize,
+    f: &FnItem,
+    file: &SourceFile,
+    lock_fields: &BTreeMap<String, String>,
+    locals: &mut BTreeMap<String, String>,
+    held: &mut Vec<(String, Option<String>)>,
+    info: &mut FnLocks,
+    stmt_tmp: &mut usize,
+) -> usize {
+    match &trees[i] {
+        Tree::Group { delim: '{', items, .. } => {
+            // Block expression / closure body / match body: full scope.
+            walk_block(items, f, file, lock_fields, locals, held, info);
+            1
+        }
+        Tree::Group { items, .. } => {
+            scan_exprs(items, f, file, lock_fields, locals, held, info, stmt_tmp);
+            1
+        }
+        Tree::Leaf(t) if t.is_punct(".") => {
+            // `.lock()` / `.read()` / `.write()` acquisition?
+            if let (Some(method), Some(args)) =
+                (trees.get(i + 1).and_then(|t| t.ident()), trees.get(i + 2))
+            {
+                if matches!(method, "lock" | "read" | "write") && args.is_group('(') {
+                    if let Some(label) = resolve_receiver(&trees[..i], lock_fields, locals) {
+                        let line = trees[i + 1].line();
+                        record_acq(&label, line, file, held, info);
+                        held.push((label, None));
+                        *stmt_tmp += 1;
+                        return 3;
+                    }
+                }
+                // `self.method(…)` while holding guards → candidate for
+                // one-level inlining (receiver must be exactly `self`; a
+                // bare-name match on e.g. `queue.len()` would alias every
+                // `len` in the workspace).
+                if args.is_group('(') && !matches!(method, "lock" | "read" | "write") {
+                    let recv_is_self = i >= 1
+                        && trees[i - 1].ident() == Some("self")
+                        && !(i >= 2 && (trees[i - 2].is_punct(".") || trees[i - 2].is_punct("::")));
+                    if !held.is_empty() && recv_is_self {
+                        if let Some(owner) = &f.owner {
+                            info.calls.push(CallSite {
+                                callee: format!("{owner}::{method}"),
+                                held: held.iter().map(|(l, _)| l.clone()).collect(),
+                                line: trees[i + 1].line(),
+                            });
+                        }
+                    }
+                    // Recurse into the argument list (closures may lock).
+                    let consumed =
+                        scan_at(trees, i + 2, f, file, lock_fields, locals, held, info, stmt_tmp);
+                    return 2 + consumed;
+                }
+            }
+            1
+        }
+        Tree::Leaf(t) => {
+            // Free call `name(…)` or `Self::name(…)` — not a macro
+            // (`name!`), not a method (previous token `.` handled above).
+            if let Some(name) = t.ident() {
+                let prev_is_dot = i > 0 && trees[i - 1].is_punct(".");
+                let prev_is_path = i > 0 && trees[i - 1].is_punct("::");
+                let next = trees.get(i + 1);
+                if !prev_is_dot
+                    && next.is_some_and(|n| n.is_group('('))
+                    && !matches!(
+                        name,
+                        "if" | "while" | "for" | "match" | "return" | "drop" | "loop"
+                    )
+                    && !held.is_empty()
+                {
+                    // `Self::name(…)` resolves within the caller's impl;
+                    // any other `Path::name(…)` is unresolvable and
+                    // skipped, while a bare `name(…)` resolves to free fns.
+                    let callee = if prev_is_path {
+                        let self_qualified = i >= 2 && trees[i - 2].ident() == Some("Self");
+                        match (&f.owner, self_qualified) {
+                            (Some(owner), true) => Some(format!("{owner}::{name}")),
+                            _ => None,
+                        }
+                    } else {
+                        Some(name.to_string())
+                    };
+                    if let Some(callee) = callee {
+                        info.calls.push(CallSite {
+                            callee,
+                            held: held.iter().map(|(l, _)| l.clone()).collect(),
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+            1
+        }
+    }
+}
+
+/// Record an acquisition: direct set + edges versus every held guard.
+fn record_acq(
+    label: &str,
+    line: usize,
+    file: &SourceFile,
+    held: &[(String, Option<String>)],
+    info: &mut FnLocks,
+) {
+    info.direct.push(Acq { label: label.to_string(), line });
+    for (holder, _) in held {
+        info.edges.push(Edge {
+            holder: holder.clone(),
+            acquires: label.to_string(),
+            site: format!("{}:{}", file.path, line),
+        });
+    }
+}
+
+/// Resolve the receiver chain ending at `tail` (`self.shared.send_lock`,
+/// `pairs[i]`, `m`) to a lock label, or `None` if it is not a known lock.
+fn resolve_receiver(
+    before: &[Tree],
+    lock_fields: &BTreeMap<String, String>,
+    locals: &BTreeMap<String, String>,
+) -> Option<String> {
+    // Walk backwards over idents, `.`, `::`, `self`, and index groups; the
+    // receiver's *last identifier* names the lock.
+    let mut j = before.len();
+    let mut last_ident: Option<&str> = None;
+    while j > 0 {
+        match &before[j - 1] {
+            Tree::Group { delim: '[', .. } => j -= 1,
+            Tree::Leaf(t) if t.is_punct(".") || t.is_punct("::") => j -= 1,
+            Tree::Leaf(t) => {
+                if let Some(id) = t.ident() {
+                    if last_ident.is_none() {
+                        last_ident = Some(id);
+                    }
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let name = last_ident?;
+    // A call like `stdout().lock()` leaves the chain ending in a group —
+    // `last_ident` would then be `stdout`, but the token directly before
+    // the `.` is the call group, so reject that shape.
+    if matches!(before.last(), Some(Tree::Group { delim: '(', .. })) {
+        return None;
+    }
+    locals.get(name).cloned().or_else(|| lock_fields.get(name).cloned())
+}
+
+/// `rhs` constructs a lock: contains `Mutex::new` / `RwLock::new` at the
+/// top level (possibly wrapped in `Arc::new(…)`).
+fn is_lock_ctor(rhs: &[Tree]) -> bool {
+    fn any(trees: &[Tree]) -> bool {
+        trees.iter().any(|t| match t {
+            Tree::Leaf(l) => matches!(l.ident(), Some("Mutex") | Some("RwLock")),
+            Tree::Group { items, .. } => any(items),
+        })
+    }
+    any(rhs)
+}
+
+/// The `let` head (`let mut pairs: Vec<Mutex<…>>`) carries a lock type
+/// annotation.
+fn let_annotated_lock(head: &[Tree]) -> bool {
+    head.iter().any(|t| matches!(t.ident(), Some("Mutex") | Some("RwLock")))
+}
+
+/// `rhs` is `&local` / `&&local` / `local` for a known lock local —
+/// propagate the label through the alias.
+fn alias_of_local(rhs: &[Tree], locals: &BTreeMap<String, String>) -> Option<String> {
+    let idents: Vec<&str> = rhs.iter().filter_map(|t| t.ident()).collect();
+    let ok_shape = rhs.iter().all(|t| matches!(t, Tree::Leaf(l) if l.ident().is_some() || l.is_punct("&") || l.is_punct("mut")));
+    if ok_shape && idents.len() == 1 {
+        return locals.get(idents[0]).cloned();
+    }
+    None
+}
+
+/// `rhs` is exactly `<receiver>.lock()` (or `.read()`/`.write()`) with
+/// nothing trailing: a guard binding rather than a temporary.
+fn pure_acquisition(
+    rhs: &[Tree],
+    lock_fields: &BTreeMap<String, String>,
+    locals: &BTreeMap<String, String>,
+) -> Option<String> {
+    if rhs.len() < 3 {
+        return None;
+    }
+    let n = rhs.len();
+    if !rhs[n - 1].is_group('(') {
+        return None;
+    }
+    let method = rhs[n - 2].ident()?;
+    if !matches!(method, "lock" | "read" | "write") {
+        return None;
+    }
+    if !rhs[n - 3].is_punct(".") {
+        return None;
+    }
+    // No leading deref/borrow (those copy out and drop the guard).
+    if rhs[0].is_punct("*") {
+        return None;
+    }
+    resolve_receiver(&rhs[..n - 3], lock_fields, locals)
+}
+
+// --- the check ---------------------------------------------------------------
+
+/// Compute edges, reject cycles, and diff against the committed artifact.
+pub fn check(ws: &Workspace, committed: Option<&str>) -> Vec<Finding> {
+    let edges = edges(ws);
+    let mut findings = Vec::new();
+
+    // Cycles (self-edges included).
+    for cycle in find_cycles(&edges) {
+        let site =
+            edges.iter().find(|e| e.holder == cycle[0]).map(|e| e.site.clone()).unwrap_or_default();
+        findings.push(Finding {
+            path: site.split(':').next().unwrap_or("lint/lock-order.toml").to_string(),
+            line: site.rsplit(':').next().and_then(|l| l.parse().ok()).unwrap_or(1),
+            rule: RULE,
+            message: format!(
+                "lock-order cycle (potential deadlock): {} -> {}",
+                cycle.join(" -> "),
+                cycle[0]
+            ),
+        });
+    }
+
+    // Drift against the committed artifact.
+    let committed_pairs = committed.map(parse_toml_edges).unwrap_or_default();
+    if committed.is_none() && !edges.is_empty() {
+        findings.push(Finding {
+            path: "lint/lock-order.toml".to_string(),
+            line: 1,
+            rule: RULE,
+            message: "missing committed lock-order artifact; generate it with \
+                      `cargo xtask lock-order --write` and review the edges"
+                .to_string(),
+        });
+        return findings;
+    }
+    for e in &edges {
+        if !committed_pairs.contains(&(e.holder.clone(), e.acquires.clone())) {
+            findings.push(Finding {
+                path: e.site.split(':').next().unwrap_or("?").to_string(),
+                line: e.site.rsplit(':').next().and_then(|l| l.parse().ok()).unwrap_or(1),
+                rule: RULE,
+                message: format!(
+                    "new lock-order edge `{}` -> `{}` not in lint/lock-order.toml; review the \
+                     ordering, then regenerate with `cargo xtask lock-order --write`",
+                    e.holder, e.acquires
+                ),
+            });
+        }
+    }
+    let current: BTreeSet<(String, String)> =
+        edges.iter().map(|e| (e.holder.clone(), e.acquires.clone())).collect();
+    for (holder, acquires) in &committed_pairs {
+        if !current.contains(&(holder.clone(), acquires.clone())) {
+            findings.push(Finding {
+                path: "lint/lock-order.toml".to_string(),
+                line: 1,
+                rule: RULE,
+                message: format!(
+                    "stale committed edge `{holder}` -> `{acquires}` no longer exists; \
+                     regenerate with `cargo xtask lock-order --write`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// All elementary cycles reachable in the edge graph (reported once each,
+/// starting from the lexicographically smallest node).
+fn find_cycles(edges: &[Edge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.holder).or_default().push(&e.acquires);
+    }
+    let mut cycles = Vec::new();
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        let mut stack: Vec<&str> = vec![start];
+        let mut path_set: BTreeSet<&str> = BTreeSet::new();
+        path_set.insert(start);
+        dfs(start, start, &adj, &mut stack, &mut path_set, &mut cycles, &mut seen_cycles);
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    path_set: &mut BTreeSet<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    seen: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == start {
+            // Canonicalize: rotate so the smallest node leads.
+            let mut cyc: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            let min = cyc.iter().enumerate().min_by_key(|(_, s)| (*s).clone()).map(|(i, _)| i);
+            if let Some(m) = min {
+                cyc.rotate_left(m);
+            }
+            if seen.insert(cyc.clone()) {
+                cycles.push(cyc);
+            }
+        } else if !path_set.contains(next) && next > start {
+            // Only explore nodes after `start` so each cycle is found from
+            // its smallest member exactly once.
+            stack.push(next);
+            path_set.insert(next);
+            dfs(next, start, adj, stack, path_set, cycles, seen);
+            stack.pop();
+            path_set.remove(next);
+        }
+    }
+}
+
+// --- artifact ----------------------------------------------------------------
+
+/// Render the edge set as the committed TOML artifact.
+pub fn render_toml(edges: &[Edge]) -> String {
+    let mut out = String::from(
+        "# Lock-order graph — acquired-while-holding edges in pool/core/comm/ft/serve.\n\
+         # Generated by `cargo xtask lock-order --write`; reviewed, not hand-edited.\n\
+         # `cargo xtask lint` fails on any edge added, removed, or cycle formed.\n\
+         version = 1\n",
+    );
+    let mut sorted: Vec<&Edge> = edges.iter().collect();
+    sorted.sort();
+    for e in sorted {
+        out.push_str(&format!(
+            "\n[[edge]]\nholder = \"{}\"\nacquires = \"{}\"\n# e.g. {}\n",
+            e.holder, e.acquires, e.site
+        ));
+    }
+    if edges.is_empty() {
+        out.push_str(
+            "\n# No acquired-while-holding edges: every guard scope in the analyzed\n\
+             # crates is a leaf. New nested locking will show up here as a diff.\n",
+        );
+    }
+    out
+}
+
+/// Parse the `[[edge]]` pairs out of the committed artifact (a minimal,
+/// purpose-built TOML subset — key = "value" lines under `[[edge]]`).
+fn parse_toml_edges(src: &str) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    let mut holder: Option<String> = None;
+    for line in src.lines() {
+        let line = line.trim();
+        if line == "[[edge]]" {
+            holder = None;
+        } else if let Some(v) = line.strip_prefix("holder = ") {
+            holder = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = line.strip_prefix("acquires = ") {
+            if let Some(h) = holder.clone() {
+                out.insert((h, v.trim_matches('"').to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_sources(&[("crates/core/src/seeded.rs", src)])
+    }
+
+    #[test]
+    fn nested_guard_produces_edge() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S { fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); } }");
+        let es = edges(&w);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].holder, "S.a");
+        assert_eq!(es[0].acquires, "S.b");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_and_drop() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S {\n\
+                      fn f(&self) { { let g = self.a.lock(); } let h = self.b.lock(); }\n\
+                      fn g(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); }\n\
+                    }");
+        assert!(edges(&w).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_is_statement_scoped() {
+        let w = ws(
+            "struct S { a: Mutex<Vec<u32>>, b: Mutex<u32> }\n\
+                    impl S { fn f(&self) { let n = self.a.lock().len(); let h = self.b.lock(); } }",
+        );
+        assert!(edges(&w).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S {\n\
+                      fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                      fn g(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+                    }");
+        let findings = check(&w, Some("version = 1\n[[edge]]\nholder = \"S.a\"\nacquires = \"S.b\"\n[[edge]]\nholder = \"S.b\"\nacquires = \"S.a\"\n"));
+        assert!(findings.iter().any(|f| f.message.contains("cycle")), "{findings:?}");
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let w = ws("struct S { a: Mutex<u32> }\n\
+                    impl S { fn f(&self) { let g = self.a.lock(); let h = self.a.lock(); } }");
+        let findings =
+            check(&w, Some("version = 1\n[[edge]]\nholder = \"S.a\"\nacquires = \"S.a\"\n"));
+        assert!(findings.iter().any(|f| f.message.contains("cycle")));
+    }
+
+    #[test]
+    fn one_level_inlining_sees_callee_locks() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S {\n\
+                      fn outer(&self) { let g = self.a.lock(); self.inner(); }\n\
+                      fn inner(&self) { let h = self.b.lock(); }\n\
+                    }");
+        let es = edges(&w);
+        assert!(es.iter().any(|e| e.holder == "S.a" && e.acquires == "S.b"), "{es:?}");
+    }
+
+    #[test]
+    fn bare_name_methods_are_not_inlined() {
+        // `state.queue.len()` under the guard must NOT alias
+        // `CircularBuffer::len` (which locks internally) into a phantom
+        // self-deadlock — only `self.method(…)` calls resolve.
+        let w = ws("struct B { state: Mutex<Vec<u32>> }\n\
+                    impl B {\n\
+                      fn len(&self) -> usize { self.state.lock().len() }\n\
+                      fn push(&self, cv: &Condvar) {\n\
+                        let mut state = self.state.lock();\n\
+                        while state.len() > 0 { cv.wait(&mut state); }\n\
+                      }\n\
+                      fn wait(&self) { let g = self.state.lock(); }\n\
+                    }");
+        assert!(edges(&w).is_empty(), "{:?}", edges(&w));
+    }
+
+    #[test]
+    fn self_qualified_call_is_inlined() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S {\n\
+                      fn outer(&self) { let g = self.a.lock(); Self::inner(self); }\n\
+                      fn inner(&self) { let h = self.b.lock(); }\n\
+                    }");
+        let es = edges(&w);
+        assert!(es.iter().any(|e| e.holder == "S.a" && e.acquires == "S.b"), "{es:?}");
+    }
+
+    #[test]
+    fn unknown_receivers_are_not_locks() {
+        let w = ws("fn f() { let out = std::io::stdout(); let g = out2().lock(); }");
+        assert!(edges(&w).is_empty());
+    }
+
+    #[test]
+    fn new_edge_fails_against_committed_artifact() {
+        let w = ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    impl S { fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); } }");
+        let findings = check(&w, Some("version = 1\n"));
+        assert!(findings.iter().any(|f| f.message.contains("new lock-order edge")));
+        let committed = render_toml(&edges(&w));
+        assert!(check(&w, Some(&committed)).is_empty());
+    }
+
+    #[test]
+    fn stale_edge_fails() {
+        let w = ws("fn f() {}");
+        let findings =
+            check(&w, Some("version = 1\n[[edge]]\nholder = \"X.a\"\nacquires = \"X.b\"\n"));
+        assert!(findings.iter().any(|f| f.message.contains("stale")));
+    }
+}

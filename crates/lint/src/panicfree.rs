@@ -1,0 +1,319 @@
+//! Panic-freedom audit for the distributed core.
+//!
+//! In non-test code of `comm`, `core`, `ft`, and `serve`, a panic is a
+//! correctness bug: a worker that dies mid-collective wedges its peers
+//! (the failure mode the PeerGone discipline exists to prevent), and the
+//! serve tier must survive any one job's input. Error flow goes through
+//! `SmartError`/`CommError`; this analysis denies everything that can
+//! panic instead:
+//!
+//! * `.unwrap()` / `.expect(…)` / `.unwrap_err()` / `.expect_err(…)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * slice/array indexing `x[i]` and bounded slicing `x[a..b]`
+//!
+//! `assert!`/`debug_assert!` are allowed — an assert names an invariant
+//! and is the *sanctioned* way to state one.
+//!
+//! A site is accepted when it carries a justification: a `// PANIC-FREE:
+//! <why this cannot fire>` comment on the same line or the line above, or
+//! a `lint:allow(panic-free)` suppression. For **indexing only**, a
+//! `// PANIC-FREE:` comment in the run directly above the enclosing `fn`
+//! justifies every index in that function — index-heavy loops (the serve
+//! driver's fan-out tables) state their bounds invariant once instead of
+//! 30 times.
+//!
+//! Two index shapes are recognized as panic-free without justification:
+//! the full-range slice `x[..]`, and `x[i]` where `i` is the variable of
+//! an enclosing `for i in 0..<something>.len()` loop.
+
+use crate::ast::{FnItem, Tree};
+use crate::{Finding, SourceFile, Workspace};
+use std::collections::BTreeSet;
+
+/// Crates held to the panic-free standard. `pool` is excluded: it is the
+/// local substrate (a panicking worker thread there is caught by the
+/// latch/teardown path), and `wire`/`bench`/`sync` are not distributed.
+pub const PANIC_FREE_CRATES: &[&str] = &["comm", "core", "ft", "serve"];
+
+const RULE: &str = "panic-free";
+const JUSTIFY: &str = "PANIC-FREE:";
+
+/// Panicking method names (exact idents, so `unwrap_or_else` never matches).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macro names.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede a `[` group without it being an
+/// index expression (array literals in type/pattern/expression position).
+const NON_INDEX_PREV: &[&str] = &[
+    "mut", "ref", "let", "in", "as", "box", "dyn", "move", "return", "break", "continue", "else",
+    "impl", "fn", "where", "unsafe", "const", "static", "pub", "crate", "super", "yield", "become",
+    "if", "while", "match",
+];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in ws.crate_files(PANIC_FREE_CRATES) {
+        if crate::is_test_path(&file.path) {
+            continue;
+        }
+        for f in &file.ast.fns {
+            if f.in_test {
+                continue;
+            }
+            let mut loop_vars = BTreeSet::new();
+            collect_len_bounded_loop_vars(&f.body, &mut loop_vars);
+            let fn_justifies_indexing = file.comment_run_above_has(f.doc_start_line, JUSTIFY);
+            scan(&f.body, file, f, &loop_vars, fn_justifies_indexing, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Loop variables of `for v in 0..<expr>.len() { … }` (the range end must
+/// mention `.len` before the loop body opens): indexing with such a
+/// variable into the measured collection cannot overrun.
+fn collect_len_bounded_loop_vars(trees: &[Tree], out: &mut BTreeSet<String>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Tree::Group { items, .. } = &trees[i] {
+            collect_len_bounded_loop_vars(items, out);
+            i += 1;
+            continue;
+        }
+        if trees[i].ident() == Some("for") {
+            // `for v in 0 .. … len ( ) { … }`
+            let var = trees.get(i + 1).and_then(|t| t.ident());
+            let has_in = trees.get(i + 2).is_some_and(|t| t.ident() == Some("in"));
+            let zero = matches!(
+                trees.get(i + 3),
+                Some(Tree::Leaf(t)) if matches!(t.kind, crate::lexer::Tok::Int(0))
+            );
+            let dots = trees.get(i + 4).is_some_and(|t| t.is_punct(".."));
+            if let (Some(var), true, true, true) = (var, has_in, zero, dots) {
+                let mut j = i + 5;
+                let mut saw_len = false;
+                while j < trees.len() && !trees[j].is_group('{') {
+                    if trees[j].ident() == Some("len") {
+                        saw_len = true;
+                    }
+                    j += 1;
+                }
+                if saw_len {
+                    out.insert(var.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walk one tree level; recurse into groups.
+fn scan(
+    trees: &[Tree],
+    file: &SourceFile,
+    f: &FnItem,
+    loop_vars: &BTreeSet<String>,
+    fn_justifies_indexing: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Group { delim, line, items } => {
+                // Index expression? The `[` group must follow an expression
+                // tail: an identifier (not a keyword) or a close-delimited
+                // group (`foo()[i]`, `x[i][j]`).
+                if *delim == '['
+                    && is_index_position(trees, i)
+                    && !index_is_safe(items, loop_vars)
+                    && !site_justified(file, *line)
+                    && !fn_justifies_indexing
+                {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: *line,
+                        rule: RULE,
+                        message: format!(
+                            "indexing can panic in `{}`; use `.get(…)`, prove the bound \
+                             (`for i in 0..xs.len()`), or justify with `// PANIC-FREE:` \
+                             (site or fn level)",
+                            f.name
+                        ),
+                    });
+                }
+                scan(items, file, f, loop_vars, fn_justifies_indexing, findings);
+                i += 1;
+            }
+            Tree::Leaf(t) => {
+                // `.unwrap()` family.
+                if t.is_punct(".") {
+                    if let Some(m) = trees.get(i + 1).and_then(|t| t.ident()) {
+                        if PANIC_METHODS.contains(&m)
+                            && trees.get(i + 2).is_some_and(|t| t.is_group('('))
+                        {
+                            let line = trees[i + 1].line();
+                            if !site_justified(file, line) {
+                                findings.push(Finding {
+                                    path: file.path.clone(),
+                                    line,
+                                    rule: RULE,
+                                    message: format!(
+                                        "`.{m}()` can panic in `{}`; return a SmartError (`?`, \
+                                         `ok_or`, `map_err`) or justify the invariant with \
+                                         `// PANIC-FREE:`",
+                                        f.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                // `panic!` family.
+                if let Some(name) = t.ident() {
+                    if PANIC_MACROS.contains(&name)
+                        && trees.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                        && !site_justified(file, t.line)
+                    {
+                        findings.push(Finding {
+                            path: file.path.clone(),
+                            line: t.line,
+                            rule: RULE,
+                            message: format!(
+                                "`{name}!` in `{}`; distributed-core code must return a \
+                                 SmartError instead of panicking, or justify with \
+                                 `// PANIC-FREE:`",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// A `[` group at position `i` is an index expression (not an array
+/// literal, slice pattern, attribute, or type).
+fn is_index_position(trees: &[Tree], i: usize) -> bool {
+    let Some(prev) = (i > 0).then(|| &trees[i - 1]) else {
+        return false;
+    };
+    match prev {
+        Tree::Group { delim, .. } => *delim == '(' || *delim == '[',
+        Tree::Leaf(t) => match t.ident() {
+            Some(id) => !NON_INDEX_PREV.contains(&id),
+            // `#[attr]`, `vec![…]`, `= [literal]`, `&[T]`, `: [u8; N]` …
+            None => false,
+        },
+    }
+}
+
+/// Index content provably in bounds: `[..]` (full range, never panics) or
+/// a single len-bounded loop variable.
+fn index_is_safe(items: &[Tree], loop_vars: &BTreeSet<String>) -> bool {
+    if items.len() == 1 {
+        if items[0].is_punct("..") {
+            return true;
+        }
+        if let Some(v) = items[0].ident() {
+            return loop_vars.contains(v);
+        }
+    }
+    false
+}
+
+fn site_justified(file: &SourceFile, line: usize) -> bool {
+    file.allowed(line, RULE)
+        || file.line_has(line, JUSTIFY)
+        || (line > 1 && file.line_has(line - 1, JUSTIFY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("crates/comm/src/seeded.rs", src)]);
+        check(&ws)
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged() {
+        let f = findings("fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Result<u32, E>) -> u32 { x.expect(\"boom\") }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(findings(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_asserts_allowed() {
+        let f = findings(
+            "fn f() { panic!(\"no\"); }\nfn g(x: u8) { match x { 0 => {} _ => unreachable!() } }\nfn h(n: usize) { assert!(n > 0); debug_assert_eq!(n, n); }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn justified_sites_pass() {
+        assert!(findings(
+            "fn f(x: Option<u32>) -> u32 {\n    // PANIC-FREE: x was checked is_some() above\n    x.unwrap()\n}",
+        )
+        .is_empty());
+        assert!(findings("fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic-free)")
+            .is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_unless_proved() {
+        let f = findings("fn f(v: &[u32], i: usize) -> u32 { v[i] }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        // Full-range slice and len-bounded loop var are fine.
+        assert!(findings("fn f(v: &[u32]) -> &[u32] { &v[..] }").is_empty());
+        assert!(findings("fn f(v: &[u32]) { for i in 0..v.len() { touch(v[i]); } }").is_empty());
+    }
+
+    #[test]
+    fn fn_level_justification_covers_indexing_only() {
+        let src = "// PANIC-FREE: i/j always index tables sized in new()\nfn f(v: &[u32], i: usize, j: usize) -> u32 { v[i] + v[j] }";
+        assert!(findings(src).is_empty());
+        // …but does NOT cover unwrap (site must carry its own justification;
+        // the fn body spans lines so the fn-level comment is not adjacent).
+        let src2 = "// PANIC-FREE: tables sized in new()\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}";
+        assert_eq!(findings(src2).len(), 1);
+    }
+
+    #[test]
+    fn array_literals_and_attrs_are_not_indexing() {
+        assert!(findings(
+            "fn f() -> [u8; 4] { let a = [0u8; 4]; let b: [u8; 4] = [1, 2, 3, 4]; a }\n\
+             fn g(v: &mut [u8]) {}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        assert!(findings(
+            "fn f() -> &'static str { \"call .unwrap() and panic!\" }\n// x.unwrap()\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(findings(
+            "#[cfg(test)]\nmod tests { #[test] fn t() { foo().unwrap(); bar()[0]; } }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! Token-level rules migrated from the `xtask` text scanner.
+//!
+//! Three of the original text rules were structurally fragile — a mention
+//! in a doc comment or an error-message string could fire them, and a
+//! line-split call could hide from them. They now run on the lexed,
+//! test-pruned token stream instead, and the text versions are retired:
+//!
+//! * **no-direct-sync** — all lock/channel/thread primitives come from the
+//!   `smart-sync` facade, so the loom build swaps every one of them for
+//!   model-checked shims. Direct `std::sync`, `std::thread`,
+//!   `parking_lot`, or `crossbeam` paths outside the facade would silently
+//!   escape the model checker.
+//! * **no-lock-unwrap** — no `.lock().unwrap()` / `.lock().expect(…)`:
+//!   facade mutexes are not poisoning (parking_lot surface), so unwrapping
+//!   a lock result means someone bypassed the facade or is cargo-culting
+//!   std.
+//! * **kernel-hot-loop** — no per-element heap allocation (`Vec::new`,
+//!   `vec![…]`, `Box::new`, `.to_vec()`, `with_capacity`, `String::from`,
+//!   `format!`, empty `.collect()`) and no `Instant::now` inside
+//!   `fn reduce_batch*` bodies. These kernels run per batch of 4096 chunks
+//!   in the reduce hot loop; an allocation there is a per-batch (often
+//!   per-element) malloc the whole batching seam exists to avoid. Reusable
+//!   buffers come from `BatchSink::take_scratch`/`restore_scratch`.
+//!
+//! The same `lint:allow(<rule>)` suppressions apply.
+
+use crate::ast::{parse_trees, Tree};
+use crate::{Finding, SourceFile, Workspace};
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if crate::is_test_path(&file.path) {
+            continue;
+        }
+        let pruned = pruned_trees(file);
+        let in_facade = file.path.starts_with("crates/sync/");
+        let sync_exempt = in_facade || file.path.starts_with("crates/memtrack/");
+        if !sync_exempt {
+            scan_direct_sync(&pruned, file, &mut findings);
+        }
+        if !in_facade {
+            scan_lock_unwrap(&pruned, file, &mut findings);
+        }
+        for f in &file.ast.fns {
+            if !f.in_test && f.name.starts_with("reduce_batch") {
+                scan_kernel(&f.body, file, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+/// Re-parse the file and drop `#[cfg(test)]`/`#[test]` items, keeping
+/// group structure (the item-level AST keeps only fn/const items; these
+/// rules also need `use` declarations and impl headers).
+fn pruned_trees(file: &SourceFile) -> Vec<Tree> {
+    let src = file.lines.join("\n");
+    prune(&parse_trees(&src))
+}
+
+fn prune(trees: &[Tree]) -> Vec<Tree> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    // An attribute marked the next item as test-only: skip its tokens up
+    // to and including its body group (or a terminating `;`).
+    let mut skipping = false;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(t) if t.is_punct("#") => {
+                let mut j = i + 1;
+                if trees.get(j).is_some_and(|t| t.is_punct("!")) {
+                    j += 1;
+                }
+                if let Some(Tree::Group { delim: '[', items, .. }) = trees.get(j) {
+                    let words = crate::ast::attr_words(items);
+                    let cfg_test = words.first().map(String::as_str) == Some("cfg")
+                        && words.iter().any(|w| w == "test")
+                        && !words.iter().any(|w| w == "not");
+                    if cfg_test || words.first().map(String::as_str) == Some("test") {
+                        skipping = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                out.push(trees[i].clone());
+                i += 1;
+            }
+            Tree::Group { delim, line, items } => {
+                if skipping {
+                    skipping = false; // the skipped item's body
+                } else {
+                    out.push(Tree::Group { delim: *delim, line: *line, items: prune(items) });
+                }
+                i += 1;
+            }
+            Tree::Leaf(t) => {
+                if skipping {
+                    if t.is_punct(";") {
+                        skipping = false; // `#[cfg(test)] use …;`
+                    }
+                } else {
+                    out.push(trees[i].clone());
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `std::sync` / `std::thread` paths and `parking_lot` / `crossbeam` roots.
+fn scan_direct_sync(trees: &[Tree], file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Tree::Group { items, .. } = &trees[i] {
+            scan_direct_sync(items, file, findings);
+            i += 1;
+            continue;
+        }
+        let hit = match trees[i].ident() {
+            Some("std")
+                if trees.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                    && matches!(
+                        trees.get(i + 2).and_then(|t| t.ident()),
+                        Some("sync") | Some("thread")
+                    ) =>
+            {
+                Some(format!("std::{}", trees[i + 2].ident().unwrap_or_default()))
+            }
+            Some(root @ ("parking_lot" | "crossbeam")) => Some(root.to_string()),
+            _ => None,
+        };
+        if let Some(pat) = hit {
+            let line = trees[i].line();
+            if !file.allowed(line, "no-direct-sync") {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line,
+                    rule: "no-direct-sync",
+                    message: format!(
+                        "`{pat}` outside the smart-sync facade escapes loom model checking; \
+                         import from `smart_sync` instead"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `.lock().unwrap()` / `.lock().expect(…)` chains (any line split).
+fn scan_lock_unwrap(trees: &[Tree], file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Tree::Group { items, .. } = &trees[i] {
+            scan_lock_unwrap(items, file, findings);
+            i += 1;
+            continue;
+        }
+        let chain = trees[i].is_punct(".")
+            && trees.get(i + 1).is_some_and(|t| t.ident() == Some("lock"))
+            && trees.get(i + 2).is_some_and(|t| t.is_group('('))
+            && trees.get(i + 3).is_some_and(|t| t.is_punct("."))
+            && matches!(trees.get(i + 4).and_then(|t| t.ident()), Some("unwrap") | Some("expect"))
+            && trees.get(i + 5).is_some_and(|t| t.is_group('('));
+        if chain {
+            let line = trees[i + 4].line();
+            if !file.allowed(line, "no-lock-unwrap")
+                && !file.allowed(trees[i + 1].line(), "no-lock-unwrap")
+            {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line,
+                    rule: "no-lock-unwrap",
+                    message: "facade mutexes do not poison; `.lock().unwrap()` means a std \
+                              mutex bypassed the facade"
+                        .to_string(),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Allocation/measurement patterns inside a `reduce_batch*` body.
+fn scan_kernel(trees: &[Tree], file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < trees.len() {
+        let hit: Option<(&str, usize)> = kernel_pattern_at(trees, i);
+        if let Some((pat, line)) = hit {
+            if !file.allowed(line, "kernel-hot-loop") {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line,
+                    rule: "kernel-hot-loop",
+                    message: format!(
+                        "`{pat}` inside a reduce_batch kernel body allocates (or measures) per \
+                         batch in the reduce hot loop; reuse `BatchSink::take_scratch` or hoist \
+                         out of the kernel"
+                    ),
+                });
+            }
+        }
+        if let Tree::Group { items, .. } = &trees[i] {
+            scan_kernel(items, file, findings);
+        }
+        i += 1;
+    }
+}
+
+/// Match one forbidden kernel pattern starting at `i`.
+fn kernel_pattern_at(trees: &[Tree], i: usize) -> Option<(&'static str, usize)> {
+    let ident = |k: usize| trees.get(i + k).and_then(|t| t.ident());
+    let punct = |k: usize, p: &str| trees.get(i + k).is_some_and(|t| t.is_punct(p));
+    let group = |k: usize, d: char| trees.get(i + k).is_some_and(|t| t.is_group(d));
+    let line = trees[i].line();
+
+    // `Path::method(` forms.
+    for (root, method, pat) in [
+        ("Vec", "new", "Vec::new("),
+        ("Box", "new", "Box::new("),
+        ("String", "from", "String::from("),
+        ("Instant", "now", "Instant::now("),
+    ] {
+        if ident(0) == Some(root) && punct(1, "::") && ident(2) == Some(method) && group(3, '(') {
+            return Some((pat, line));
+        }
+    }
+    // Macros.
+    if ident(0) == Some("vec") && punct(1, "!") {
+        return Some(("vec![", line));
+    }
+    if ident(0) == Some("format") && punct(1, "!") {
+        return Some(("format!(", line));
+    }
+    // `with_capacity(` — any receiver.
+    if ident(0) == Some("with_capacity") && group(1, '(') {
+        return Some(("with_capacity(", line));
+    }
+    // `.to_vec()` and empty `.collect()`.
+    if punct(0, ".") && group(2, '(') {
+        if ident(1) == Some("to_vec") {
+            return Some((".to_vec()", trees[i + 1].line()));
+        }
+        if ident(1) == Some("collect") {
+            if let Some(Tree::Group { items, .. }) = trees.get(i + 2) {
+                if items.is_empty() {
+                    return Some((".collect()", trees[i + 1].line()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(path: &str, src: &str) -> Vec<Finding> {
+        check(&Workspace::from_sources(&[(path, src)]))
+    }
+
+    #[test]
+    fn direct_sync_fires_outside_facade_only() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(findings_for("crates/core/src/x.rs", src).len(), 2);
+        assert!(findings_for("crates/sync/src/x.rs", src).is_empty());
+        assert!(findings_for("crates/core/tests/x.rs", src).is_empty());
+        // Doc-comment and string mentions are invisible post-lex.
+        assert!(findings_for(
+            "crates/core/src/x.rs",
+            "//! Never use `std::sync` here.\nfn f() { let s = \"std::thread\"; }",
+        )
+        .is_empty());
+        // Structural test regions are exempt; `cfg(not(test))` is not a test.
+        assert!(findings_for(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; }",
+        )
+        .is_empty());
+        assert_eq!(
+            findings_for(
+                "crates/core/src/x.rs",
+                "#[cfg(not(test))]\nmod m { use std::sync::Mutex; }",
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lock_unwrap_fires_across_lines() {
+        let split = "fn f() { let g = m\n    .lock()\n    .unwrap(); }";
+        let f = findings_for("crates/core/src/x.rs", split);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-lock-unwrap");
+        assert!(findings_for(
+            "crates/core/src/x.rs",
+            "fn f() { let g = m.lock(); } // plain facade lock",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn kernel_rule_scopes_to_reduce_batch_bodies() {
+        assert_eq!(
+            findings_for(
+                "crates/analytics/src/x.rs",
+                "fn reduce_batch(&self) { let v = Vec::new(); }",
+            )
+            .len(),
+            1
+        );
+        assert!(findings_for(
+            "crates/analytics/src/x.rs",
+            "fn other() { let v = Vec::new(); }\nfn reduce_batch(&self) { x(); }",
+        )
+        .is_empty());
+        assert_eq!(
+            findings_for(
+                "crates/analytics/src/x.rs",
+                "unsafe fn reduce_batch_avx2(&self) { if x { let s = format!(\"x\"); } }",
+            )
+            .len(),
+            1
+        );
+        // A `Vec::new()` in a *string* inside the kernel no longer fires
+        // (text-scanner false positive class).
+        assert!(findings_for(
+            "crates/analytics/src/x.rs",
+            "fn reduce_batch(&self) { let s = \"Vec::new()\"; }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn suppressions_still_work() {
+        assert!(findings_for(
+            "crates/core/src/x.rs",
+            "// lint:allow(no-direct-sync): allocator hook\nuse std::sync::Mutex;",
+        )
+        .is_empty());
+        assert!(findings_for(
+            "crates/analytics/src/x.rs",
+            "fn reduce_batch(&self) {\n    // lint:allow(kernel-hot-loop): one-time setup\n    let v = Vec::new();\n}",
+        )
+        .is_empty());
+    }
+}

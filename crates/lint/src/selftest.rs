@@ -1,0 +1,164 @@
+//! Embedded violation corpus, run before every workspace scan.
+//!
+//! Same discipline as the xtask text scanner's self-test: each analysis is
+//! fed one seeded bad program (which must be caught) and one clean twin
+//! (which must pass) before it is trusted on the real tree, so a broken
+//! analyzer fails loudly instead of reporting a dirty tree as clean.
+
+use crate::{lockorder, panicfree, rules, tagns, Workspace};
+
+fn expect(rule: &str, name: &str, findings: &[crate::Finding], want: usize) {
+    let hits = findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(
+        hits, want,
+        "lint self-test: `{rule}` on corpus `{name}` fired {hits}x, expected {want}: {findings:?}"
+    );
+}
+
+pub fn run() {
+    // --- lock-order ---------------------------------------------------------
+    let cyclic = Workspace::from_sources(&[(
+        "crates/core/src/seeded.rs",
+        "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+         impl S {\n\
+           fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+           fn g(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+         }",
+    )]);
+    let committed = lockorder::render_toml(&lockorder::edges(&cyclic));
+    let f = lockorder::check(&cyclic, Some(&committed));
+    assert!(
+        f.iter().any(|f| f.rule == "lock-order" && f.message.contains("cycle")),
+        "lint self-test: lock-order missed a seeded A->B/B->A cycle: {f:?}"
+    );
+
+    let nested = Workspace::from_sources(&[(
+        "crates/core/src/seeded.rs",
+        "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+         impl S { fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); } }",
+    )]);
+    expect("lock-order", "undeclared-edge", &lockorder::check(&nested, Some("version = 1\n")), 1);
+    let committed = lockorder::render_toml(&lockorder::edges(&nested));
+    expect("lock-order", "declared-edge", &lockorder::check(&nested, Some(&committed)), 0);
+
+    let scoped = Workspace::from_sources(&[(
+        "crates/core/src/seeded.rs",
+        "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+         impl S { fn f(&self) { { let g = self.a.lock(); } let h = self.b.lock(); } }",
+    )]);
+    expect("lock-order", "scoped-guards", &lockorder::check(&scoped, Some("version = 1\n")), 0);
+
+    // --- panic-free ---------------------------------------------------------
+    let seeded = Workspace::from_sources(&[(
+        "crates/comm/src/seeded.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         fn g() { panic!(\"boom\"); }\n\
+         fn h(v: &[u32], i: usize) -> u32 { v[i] }",
+    )]);
+    expect("panic-free", "seeded-panics", &panicfree::check(&seeded), 3);
+
+    let clean = Workspace::from_sources(&[(
+        "crates/comm/src/seeded.rs",
+        "fn f(x: Option<u32>) -> u32 {\n\
+         \x20   // PANIC-FREE: caller checked is_some() on the same path\n\
+         \x20   x.unwrap()\n\
+         }\n\
+         fn h(v: &[u32]) -> u32 { let mut s = 0; for i in 0..v.len() { s += v[i]; } s }\n\
+         fn t(v: &[u32]) -> &[u32] { &v[..] }\n\
+         fn asserts(n: usize) { assert!(n > 0); }",
+    )]);
+    expect("panic-free", "clean-twin", &panicfree::check(&clean), 0);
+    let pool_exempt = Workspace::from_sources(&[(
+        "crates/pool/src/seeded.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    )]);
+    expect("panic-free", "pool-exempt", &panicfree::check(&pool_exempt), 0);
+
+    // --- tag-namespace ------------------------------------------------------
+    const REGISTRY: &str = "\
+        pub type Tag = u64;\n\
+        // lint:claim(USER) = -\n\
+        // lint:claim(STREAM) = comm/src/stream.rs\n\
+        pub const USER_BASE: Tag = 0;\n\
+        pub const USER_LIMIT: Tag = 1 << 32;\n\
+        pub const STREAM_BASE: Tag = 1 << 40;\n\
+        pub const STREAM_LIMIT: Tag = 1 << 41;\n\
+        pub const DEATH_TAG: Tag = u64::MAX;\n";
+    let clean = Workspace::from_sources(&[
+        ("crates/comm/src/tags.rs", REGISTRY),
+        ("crates/comm/src/stream.rs", "const DATA_TAG: Tag = STREAM_BASE | 1;\n"),
+    ]);
+    expect("tag-namespace", "clean-registry", &tagns::check(&clean), 0);
+
+    let overlapping = REGISTRY.replace("1 << 32", "1 << 41");
+    let bad = Workspace::from_sources(&[("crates/comm/src/tags.rs", &overlapping)]);
+    expect("tag-namespace", "overlapping-claims", &tagns::check(&bad), 1);
+
+    let squatter = Workspace::from_sources(&[
+        ("crates/comm/src/tags.rs", REGISTRY),
+        ("crates/serve/src/driver.rs", "const MY_TAG: Tag = (1 << 40) | 7;\n"),
+    ]);
+    expect("tag-namespace", "namespace-squatter", &tagns::check(&squatter), 1);
+
+    let stray_send = Workspace::from_sources(&[
+        ("crates/comm/src/tags.rs", REGISTRY),
+        ("crates/serve/src/driver.rs", "fn f(c: &mut C) { c.send(1, (1u64 << 40) | 3, &x); }\n"),
+    ]);
+    expect("tag-namespace", "stray-send-tag", &tagns::check(&stray_send), 1);
+
+    // --- migrated token rules ----------------------------------------------
+    let rule_corpus: &[(&str, &str, &str, usize)] = &[
+        ("no-direct-sync", "crates/core/src/seeded.rs", "use std::sync::Mutex;\n", 1),
+        ("no-direct-sync", "crates/sync/src/seeded.rs", "use std::sync::Mutex;\n", 0),
+        (
+            "no-direct-sync",
+            "crates/core/src/seeded.rs",
+            "//! Docs may mention `std::sync` freely.\nfn f() { let s = \"parking_lot\"; }\n",
+            0,
+        ),
+        (
+            "no-direct-sync",
+            "crates/core/src/seeded.rs",
+            "#[cfg(test)]\nmod tests { use std::thread; }\n",
+            0,
+        ),
+        (
+            "no-lock-unwrap",
+            "crates/core/src/seeded.rs",
+            "fn f() { let g = m\n    .lock()\n    .unwrap(); }\n",
+            1,
+        ),
+        ("no-lock-unwrap", "crates/core/src/seeded.rs", "fn f() { let g = m.lock(); }\n", 0),
+        (
+            "kernel-hot-loop",
+            "crates/analytics/src/seeded.rs",
+            "fn reduce_batch(&self) { let v = Vec::new(); }\n",
+            1,
+        ),
+        (
+            "kernel-hot-loop",
+            "crates/analytics/src/seeded.rs",
+            "fn reduce_batch(&self) { sink.reduce_default(self, data, batch); }\n\
+             fn helper() { let v = Vec::new(); }\n",
+            0,
+        ),
+        (
+            "kernel-hot-loop",
+            "crates/analytics/src/seeded.rs",
+            "fn reduce_batch(&self) { let s = \"Vec::new()\"; }\n",
+            0,
+        ),
+    ];
+    for (rule, path, src, want) in rule_corpus {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        expect(rule, path, &rules::check(&ws), *want);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn corpus_passes() {
+        super::run();
+    }
+}

@@ -1,0 +1,553 @@
+//! Tag-namespace checker.
+//!
+//! Every message in the workspace shares one `u64` tag space; a collision
+//! (an ft heartbeat matched by a stream receive, a collective frame
+//! swallowed by user code) is a silent cross-wiring that no test reliably
+//! catches. The namespace partition lives in one registry —
+//! `crates/comm/src/tags.rs` — and this analysis *proves* it:
+//!
+//! 1. **Claims parse and evaluate.** Each `<NS>_BASE` / `<NS>_LIMIT`
+//!    constant pair in the registry claims the half-open range
+//!    `[BASE, LIMIT)`; `DEATH_TAG` claims a single point. Values are
+//!    resolved by a small const-expression evaluator (`|  ^  &  <<  >>  +
+//!    -  *  /  %`, parens, `u64::MAX`, references to other constants).
+//! 2. **Claims are pairwise disjoint**, and no range swallows `DEATH_TAG`.
+//! 3. **Modules stay inside their claim.** `// lint:claim(NS) = <path>`
+//!    comments in the registry map a source file to its namespace; every
+//!    tag-typed constant that file defines must evaluate into the claimed
+//!    range. Files with no claim may only define tags in the `USER`
+//!    range — defining a constant inside someone else's namespace is the
+//!    collision this lint exists to prevent.
+//! 4. **Literal send tags stay in range.** A `send`-family call whose tag
+//!    argument (second position) is a constant expression must evaluate
+//!    into the sending module's claim (`USER` for unclaimed modules).
+
+use crate::ast::Tree;
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+const RULE: &str = "tag-namespace";
+
+/// Workspace-relative path of the tag registry.
+pub const REGISTRY: &str = "crates/comm/src/tags.rs";
+
+/// Crates whose send sites are checked.
+const SEND_CRATES: &[&str] = &["comm", "core", "ft", "serve"];
+
+#[derive(Debug, Clone)]
+struct Claim {
+    ns: String,
+    base: u64,
+    /// Exclusive.
+    limit: u64,
+    line: usize,
+}
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(registry) = ws.files.iter().find(|f| f.path.ends_with("comm/src/tags.rs")) else {
+        // No registry in this source set (unit corpora): nothing to prove.
+        return findings;
+    };
+
+    // Global constant environment, resolved to fixpoint so cross-file
+    // references (`STREAM_BASE | 1`) evaluate.
+    let env = build_env(ws);
+
+    // 1. Parse + evaluate the registry's claims.
+    let mut claims: Vec<Claim> = Vec::new();
+    let mut death: Option<u64> = None;
+    for c in &registry.ast.consts {
+        if c.in_test {
+            continue;
+        }
+        if c.name == "DEATH_TAG" {
+            death = eval(&c.value, &env);
+            if death.is_none() {
+                findings.push(reg_finding(registry, c.line, "`DEATH_TAG` does not evaluate"));
+            }
+            continue;
+        }
+        if let Some(ns) = c.name.strip_suffix("_BASE") {
+            let limit_name = format!("{ns}_LIMIT");
+            let Some(limit_const) =
+                registry.ast.consts.iter().find(|l| l.name == limit_name && !l.in_test)
+            else {
+                findings.push(reg_finding(
+                    registry,
+                    c.line,
+                    &format!("claim `{}` has no matching `{limit_name}`", c.name),
+                ));
+                continue;
+            };
+            match (eval(&c.value, &env), eval(&limit_const.value, &env)) {
+                (Some(base), Some(limit)) if base < limit => {
+                    claims.push(Claim { ns: ns.to_string(), base, limit, line: c.line });
+                }
+                (Some(base), Some(limit)) => {
+                    findings.push(reg_finding(
+                        registry,
+                        c.line,
+                        &format!("claim `{ns}` is empty or inverted ({base:#x}..{limit:#x})"),
+                    ));
+                }
+                _ => findings.push(reg_finding(
+                    registry,
+                    c.line,
+                    &format!("claim `{ns}` does not evaluate to constant u64 bounds"),
+                )),
+            }
+        }
+    }
+
+    // 2. Pairwise disjointness (+ DEATH_TAG outside every range).
+    for (i, a) in claims.iter().enumerate() {
+        for b in claims.iter().skip(i + 1) {
+            if a.base < b.limit && b.base < a.limit {
+                findings.push(reg_finding(
+                    registry,
+                    b.line.max(a.line),
+                    &format!(
+                        "namespaces `{}` ({:#x}..{:#x}) and `{}` ({:#x}..{:#x}) overlap",
+                        a.ns, a.base, a.limit, b.ns, b.base, b.limit
+                    ),
+                ));
+            }
+        }
+        if let Some(d) = death {
+            if a.base <= d && d < a.limit {
+                findings.push(reg_finding(
+                    registry,
+                    a.line,
+                    &format!("namespace `{}` swallows DEATH_TAG ({d:#x})", a.ns),
+                ));
+            }
+        }
+    }
+
+    // 3. `lint:claim(NS) = path` mappings.
+    let mut file_ns: BTreeMap<String, String> = BTreeMap::new(); // path suffix -> ns
+    for (idx, line) in registry.lines.iter().enumerate() {
+        if let Some(rest) = line.split("lint:claim(").nth(1) {
+            let Some(ns) = rest.split(')').next() else { continue };
+            let Some(path) = rest.split('=').nth(1).map(str::trim) else { continue };
+            if !claims.iter().any(|c| c.ns == ns) {
+                findings.push(reg_finding(
+                    registry,
+                    idx + 1,
+                    &format!("lint:claim names unknown namespace `{ns}`"),
+                ));
+                continue;
+            }
+            if path != "-" {
+                file_ns.insert(path.to_string(), ns.to_string());
+            }
+        }
+    }
+
+    let user_claim = claims.iter().find(|c| c.ns == "USER").cloned();
+    let claim_for = |path: &str| -> Option<&Claim> {
+        let ns = file_ns.iter().find(|(p, _)| path.ends_with(p.as_str()))?.1;
+        claims.iter().find(|c| &c.ns == ns)
+    };
+
+    // 4. Tag-typed constants stay inside their module's claim.
+    for file in &ws.files {
+        if file.path == registry.path || crate::is_test_path(&file.path) {
+            continue;
+        }
+        let claim = claim_for(&file.path);
+        for c in &file.ast.consts {
+            if c.in_test || !c.ty.iter().any(|t| t == "Tag") {
+                continue;
+            }
+            let Some(v) = eval(&c.value, &env) else { continue };
+            if Some(v) == death {
+                continue;
+            }
+            if file.allowed(c.line, RULE) {
+                continue;
+            }
+            match claim {
+                Some(cl) => {
+                    if !(cl.base <= v && v < cl.limit) {
+                        findings.push(Finding {
+                            path: file.path.clone(),
+                            line: c.line,
+                            rule: RULE,
+                            message: format!(
+                                "tag `{}` = {v:#x} is outside this module's claimed `{}` \
+                                 namespace ({:#x}..{:#x})",
+                                c.name, cl.ns, cl.base, cl.limit
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    // Unclaimed module: only USER-range tags allowed.
+                    if let Some(hit) =
+                        claims.iter().find(|cl| cl.ns != "USER" && cl.base <= v && v < cl.limit)
+                    {
+                        findings.push(Finding {
+                            path: file.path.clone(),
+                            line: c.line,
+                            rule: RULE,
+                            message: format!(
+                                "tag `{}` = {v:#x} lands in the `{}` namespace claimed by \
+                                 another module; claim a range in {REGISTRY} or use a USER tag",
+                                c.name, hit.ns
+                            ),
+                        });
+                    } else if let Some(u) = &user_claim {
+                        if !(u.base <= v && v < u.limit) {
+                            findings.push(Finding {
+                                path: file.path.clone(),
+                                line: c.line,
+                                rule: RULE,
+                                message: format!(
+                                    "tag `{}` = {v:#x} is outside the USER range and unclaimed; \
+                                     claim a namespace in {REGISTRY}",
+                                    c.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 5. Constant-valued tag arguments at send sites.
+    for file in ws.crate_files(SEND_CRATES) {
+        if crate::is_test_path(&file.path) || file.path == registry.path {
+            continue;
+        }
+        let claim = claim_for(&file.path).or(user_claim.as_ref());
+        let Some(claim) = claim else { continue };
+        for f in &file.ast.fns {
+            if f.in_test {
+                continue;
+            }
+            check_send_sites(&f.body, file, claim, death, &env, &mut findings);
+        }
+    }
+
+    findings
+}
+
+fn reg_finding(registry: &SourceFile, line: usize, msg: &str) -> Finding {
+    Finding { path: registry.path.clone(), line, rule: RULE, message: msg.to_string() }
+}
+
+/// Recursively find `.send(dest, TAG, …)`-family calls whose tag argument
+/// is a constant expression, and check it against `claim`.
+fn check_send_sites(
+    trees: &[Tree],
+    file: &SourceFile,
+    claim: &Claim,
+    death: Option<u64>,
+    env: &BTreeMap<String, u64>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Tree::Group { items, .. } = &trees[i] {
+            check_send_sites(items, file, claim, death, env, findings);
+            i += 1;
+            continue;
+        }
+        if trees[i].is_punct(".") {
+            let method = trees.get(i + 1).and_then(|t| t.ident());
+            if let (Some(m), Some(Tree::Group { delim: '(', line, items })) =
+                (method, trees.get(i + 2))
+            {
+                if matches!(m, "send" | "recv" | "send_bytes" | "recv_bytes") {
+                    let args = split_top_commas(items);
+                    if args.len() >= 2 {
+                        if let Some(v) = eval(args[1], env) {
+                            let ok = (claim.base <= v && v < claim.limit)
+                                || Some(v) == death
+                                || file.allowed(*line, RULE);
+                            if !ok {
+                                findings.push(Finding {
+                                    path: file.path.clone(),
+                                    line: *line,
+                                    rule: RULE,
+                                    message: format!(
+                                        "`.{m}(…)` tag {v:#x} is outside this module's `{}` \
+                                         namespace ({:#x}..{:#x}); allocate the tag in {REGISTRY}",
+                                        claim.ns, claim.base, claim.limit
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Split a group's items on top-level commas.
+fn split_top_commas(items: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in items.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&items[start..i]);
+            start = i + 1;
+        }
+    }
+    out.push(&items[start..]);
+    out
+}
+
+// --- constant environment ----------------------------------------------------
+
+/// Evaluate every integer-valued constant in the workspace to fixpoint, so
+/// constants can reference each other across files.
+fn build_env(ws: &Workspace) -> BTreeMap<String, u64> {
+    let mut env = BTreeMap::new();
+    let consts: Vec<_> =
+        ws.files.iter().flat_map(|f| f.ast.consts.iter()).filter(|c| !c.in_test).collect();
+    loop {
+        let mut progressed = false;
+        for c in &consts {
+            if env.contains_key(&c.name) {
+                continue;
+            }
+            if let Some(v) = eval(&c.value, &env) {
+                env.insert(c.name.clone(), v);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return env;
+        }
+    }
+}
+
+// --- const-expression evaluator ----------------------------------------------
+
+/// Evaluate a constant expression over token trees to a `u64`.
+///
+/// Grammar (loosest binding first): `|`, `^`, `&`, `<< >>`, `+ -`, `* / %`,
+/// unary `- !`, atoms (integer literals, parenthesized groups, `u64::MAX`,
+/// `<ident>` / `<path>::<ident>` resolved through `env`). `as <ty>` casts
+/// are ignored (tags are u64 end to end). Anything else → `None`.
+pub fn eval(trees: &[Tree], env: &BTreeMap<String, u64>) -> Option<u64> {
+    let mut pos = 0;
+    let v = parse_bin(trees, &mut pos, 0, env)?;
+    // Trailing unconsumed tokens (other than a cast) mean we did not
+    // understand the expression: refuse rather than misjudge.
+    skip_cast(trees, &mut pos);
+    (pos == trees.len()).then_some(v)
+}
+
+/// Binary-operator precedence tiers, loosest first.
+const TIERS: &[&[&str]] = &[&["|"], &["^"], &["&"], &["<<", ">>"], &["+", "-"], &["*", "/", "%"]];
+
+fn parse_bin(
+    trees: &[Tree],
+    pos: &mut usize,
+    tier: usize,
+    env: &BTreeMap<String, u64>,
+) -> Option<u64> {
+    if tier >= TIERS.len() {
+        return parse_atom(trees, pos, env);
+    }
+    let mut lhs = parse_bin(trees, pos, tier + 1, env)?;
+    loop {
+        skip_cast(trees, pos);
+        let Some(op) =
+            trees.get(*pos).and_then(|t| TIERS[tier].iter().find(|o| t.is_punct(o)).copied())
+        else {
+            return Some(lhs);
+        };
+        *pos += 1;
+        let rhs = parse_bin(trees, pos, tier + 1, env)?;
+        lhs = match op {
+            "|" => lhs | rhs,
+            "^" => lhs ^ rhs,
+            "&" => lhs & rhs,
+            "<<" => lhs.checked_shl(rhs.try_into().ok()?)?,
+            ">>" => lhs.checked_shr(rhs.try_into().ok()?)?,
+            "+" => lhs.checked_add(rhs)?,
+            "-" => lhs.checked_sub(rhs)?,
+            "*" => lhs.checked_mul(rhs)?,
+            "/" => lhs.checked_div(rhs)?,
+            "%" => lhs.checked_rem(rhs)?,
+            _ => return None,
+        };
+    }
+}
+
+fn parse_atom(trees: &[Tree], pos: &mut usize, env: &BTreeMap<String, u64>) -> Option<u64> {
+    match trees.get(*pos)? {
+        Tree::Group { delim: '(', items, .. } => {
+            *pos += 1;
+            eval(items, env)
+        }
+        Tree::Leaf(t) => match &t.kind {
+            Tok::Int(v) => {
+                *pos += 1;
+                u64::try_from(*v).ok()
+            }
+            Tok::Punct("!") => {
+                *pos += 1;
+                Some(!parse_atom(trees, pos, env)?)
+            }
+            Tok::Ident(_) => {
+                // Path: `a::b::NAME` — resolve the final segment.
+                let mut name = t.ident()?;
+                *pos += 1;
+                while trees.get(*pos).is_some_and(|t| t.is_punct("::")) {
+                    name = trees.get(*pos + 1)?.ident()?;
+                    *pos += 2;
+                }
+                if name == "MAX" {
+                    return Some(u64::MAX);
+                }
+                if name == "MIN" {
+                    return Some(0);
+                }
+                env.get(name).copied()
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Skip a trailing `as <type>` cast.
+fn skip_cast(trees: &[Tree], pos: &mut usize) {
+    while trees.get(*pos).is_some_and(|t| t.ident() == Some("as")) {
+        *pos += 1;
+        if trees.get(*pos).is_some_and(|t| t.ident().is_some()) {
+            *pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+
+    fn eval_src(expr: &str, env: &[(&str, u64)]) -> Option<u64> {
+        let ast = parse_file(&format!("const X: u64 = {expr};"));
+        let env: BTreeMap<String, u64> = env.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        eval(&ast.consts[0].value, &env)
+    }
+
+    #[test]
+    fn evaluator_handles_tag_math() {
+        assert_eq!(eval_src("1 << 40", &[]), Some(1 << 40));
+        assert_eq!(eval_src("(1 << 32) | 2", &[]), Some((1u64 << 32) | 2));
+        assert_eq!(eval_src("u64::MAX", &[]), Some(u64::MAX));
+        assert_eq!(eval_src("BASE | 1", &[("BASE", 1 << 40)]), Some((1u64 << 40) | 1));
+        assert_eq!(eval_src("0x10 + 2 * 3", &[]), Some(22));
+        assert_eq!(eval_src("1u64 << 48", &[]), Some(1 << 48));
+        assert_eq!(eval_src("BASE as u64", &[("BASE", 7)]), Some(7));
+        assert_eq!(eval_src("unknown_fn()", &[]), None);
+        assert_eq!(eval_src("x + 1", &[]), None);
+    }
+
+    const REGISTRY_OK: &str = "\
+        pub type Tag = u64;\n\
+        // lint:claim(USER) = -\n\
+        // lint:claim(STREAM) = comm/src/stream.rs\n\
+        // lint:claim(FT_PING) = ft/src/detect.rs\n\
+        pub const USER_BASE: Tag = 0;\n\
+        pub const USER_LIMIT: Tag = 1 << 32;\n\
+        pub const FT_PING_BASE: Tag = 1 << 32;\n\
+        pub const FT_PING_LIMIT: Tag = 1 << 33;\n\
+        pub const STREAM_BASE: Tag = 1 << 40;\n\
+        pub const STREAM_LIMIT: Tag = 1 << 41;\n\
+        pub const DEATH_TAG: Tag = u64::MAX;\n";
+
+    #[test]
+    fn disjoint_claims_pass_overlap_fails() {
+        let ws = Workspace::from_sources(&[("crates/comm/src/tags.rs", REGISTRY_OK)]);
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+
+        let overlapping = REGISTRY_OK.replace("1 << 33", "1 << 41");
+        let ws = Workspace::from_sources(&[("crates/comm/src/tags.rs", &overlapping)]);
+        assert!(check(&ws).iter().any(|f| f.message.contains("overlap")));
+    }
+
+    #[test]
+    fn module_tags_must_stay_in_claim() {
+        let stream_ok = "use crate::tags::{Tag, STREAM_BASE};\n\
+                         const DATA_TAG: Tag = STREAM_BASE | 1;\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/comm/src/stream.rs", stream_ok),
+        ]);
+        assert!(check(&ws).is_empty(), "{:?}", check(&ws));
+
+        let stream_bad = "const DATA_TAG: Tag = 1 << 48;\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/comm/src/stream.rs", stream_bad),
+        ]);
+        assert!(check(&ws).iter().any(|f| f.message.contains("outside this module")));
+    }
+
+    #[test]
+    fn unclaimed_module_cannot_squat_a_namespace() {
+        let squatter = "const MY_TAG: Tag = (1 << 40) | 7;\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/serve/src/driver.rs", squatter),
+        ]);
+        assert!(check(&ws).iter().any(|f| f.message.contains("claimed by another module")));
+    }
+
+    #[test]
+    fn literal_send_tags_are_checked() {
+        let bad = "fn f(c: &mut C) { c.send(1, (1u64 << 40) | 3, &x); }\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/serve/src/driver.rs", bad),
+        ]);
+        assert!(
+            check(&ws).iter().any(|f| f.message.contains("outside this module")),
+            "{:?}",
+            check(&ws)
+        );
+
+        let good = "fn f(c: &mut C) { c.send(1, 7, &x); }\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/serve/src/driver.rs", good),
+        ]);
+        assert!(check(&ws).is_empty());
+
+        // Non-constant tags are not judged.
+        let dynamic = "fn f(c: &mut C, tag: Tag) { c.send(1, tag, &x); }\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/comm/src/tags.rs", REGISTRY_OK),
+            ("crates/serve/src/driver.rs", dynamic),
+        ]);
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn death_tag_inside_a_range_fails() {
+        let swallowing = REGISTRY_OK.replace(
+            "pub const STREAM_LIMIT: Tag = 1 << 41;",
+            "pub const STREAM_LIMIT: Tag = u64::MAX;",
+        );
+        // DEATH_TAG = MAX is not < MAX, so that exact registry is fine; move
+        // DEATH inside the stream range instead.
+        let swallowed = swallowing.replace(
+            "pub const DEATH_TAG: Tag = u64::MAX;",
+            "pub const DEATH_TAG: Tag = (1 << 40) | 9;",
+        );
+        let ws = Workspace::from_sources(&[("crates/comm/src/tags.rs", &swallowed)]);
+        assert!(check(&ws).iter().any(|f| f.message.contains("swallows DEATH_TAG")));
+    }
+}

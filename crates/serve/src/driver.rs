@@ -163,6 +163,7 @@ where
                     .ok()
                     .filter(|&i| i < out_len)
                     .ok_or(SmartError::KeyOutOfRange { key: *key, out_len })?;
+                // PANIC-FREE: idx was range-checked against out_len just above.
                 self.sched.analytics().convert(obj, &mut self.out[idx]);
             }
         }
@@ -285,6 +286,9 @@ impl<In: Clone + Send + 'static> ServeDriver<In> {
     /// With `comm`, global combination runs per job in deterministic order
     /// — every rank of a distributed serve deployment must drive an
     /// identical job sequence.
+    // PANIC-FREE: fate/results/order are built with one element per entry of self.jobs at the top
+    // of the step, jobs are not added or removed until the retire sweep after the last index, and
+    // every index (including coalesce-group members) is drawn from 0..jobs.len() permutations.
     pub fn step(
         &mut self,
         parts: &[(usize, &[In])],

@@ -180,6 +180,7 @@ where
         for (s, stager) in stagers.iter_mut().enumerate() {
             if let Ok(stager) = stager {
                 for p in topo.producers_of(s) {
+                    // PANIC-FREE: producers_of yields world ranks < topo.producers = producers.len().
                     if let Ok(prod) = &producers[p] {
                         stager.stats.transit_send_busy += prod.stream.send_busy;
                     }

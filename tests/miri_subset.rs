@@ -8,7 +8,8 @@
 //! loom suites check *schedules*; this suite checks *pointer discipline*
 //! under Miri's aliasing and validity rules.
 
-use smart_insitu::core::{RedMap, SharedSlice};
+use smart_insitu::core::{fold_entries_view, Analytics, Chunk, Key, RedMap, RedObj, SharedSlice};
+use smart_insitu::wire::EntriesCursor;
 use smart_insitu::{memtrack, wire};
 
 // Register the counting allocator so Miri also exercises the GlobalAlloc
@@ -93,6 +94,153 @@ fn wire_roundtrips_preserve_values() {
     let bytes = wire::to_bytes(&entries).unwrap();
     let back: Vec<(u64, Vec<u32>)> = wire::from_bytes(&bytes).unwrap();
     assert_eq!(back, entries);
+}
+
+/// Heap-bearing reduction object, so the wire view's borrowed reads and
+/// the owned-decode fallback both run under Miri's aliasing rules.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct VecSum(Vec<u64>);
+impl RedObj for VecSum {}
+
+struct VecAdd;
+impl Analytics for VecAdd {
+    type In = u64;
+    type Red = VecSum;
+    type Out = ();
+    type Extra = ();
+
+    fn accumulate(&self, _c: &Chunk, _d: &[u64], _k: Key, obj: &mut Option<VecSum>) {
+        obj.get_or_insert_with(|| VecSum(Vec::new()));
+    }
+
+    fn merge(&self, red: &VecSum, com: &mut VecSum) {
+        if com.0.len() < red.0.len() {
+            com.0.resize(red.0.len(), 0);
+        }
+        for (a, b) in com.0.iter_mut().zip(&red.0) {
+            *a += b;
+        }
+    }
+
+    /// Zero-copy override: fold the encoded `Vec<u64>` into `com` straight
+    /// off the wire buffer — the borrowed path `fold_entries_view` exists
+    /// for, and exactly one encoded `Self::Red` consumed per contract.
+    fn merge_wire(
+        &self,
+        de: &mut smart_insitu::wire::Deserializer<'_>,
+        com: &mut VecSum,
+    ) -> smart_insitu::wire::Result<()> {
+        use serde::Deserialize;
+        let n = u64::deserialize(&mut *de)? as usize;
+        if com.0.len() < n {
+            com.0.resize(n, 0);
+        }
+        for slot in com.0.iter_mut().take(n) {
+            *slot += u64::deserialize(&mut *de)?;
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn entries_cursor_zero_entry_payload() {
+    let bytes = wire::to_bytes(&Vec::<(i64, VecSum)>::new()).unwrap();
+    let mut cur = EntriesCursor::new(&bytes).unwrap();
+    assert_eq!(cur.remaining(), 0);
+    assert_eq!(cur.next_key().unwrap(), None);
+    cur.finish().unwrap();
+
+    // The view fold over an empty payload passes the accumulator through.
+    let acc = vec![(3i64, VecSum(vec![1, 2]))];
+    let out = fold_entries_view(&VecAdd, acc.clone(), &bytes).unwrap();
+    assert_eq!(out, acc);
+}
+
+#[test]
+fn entries_cursor_truncated_buffers_error_not_panic() {
+    let entries = vec![(1i64, VecSum(vec![5, 6, 7])), (4, VecSum(vec![])), (9, VecSum(vec![8]))];
+    let bytes = wire::to_bytes(&entries).unwrap();
+    // Every strict prefix — cuts inside the count, a key, a value length,
+    // and value payloads — must surface as a typed error somewhere in the
+    // walk (never an out-of-bounds read, which Miri would flag).
+    for cut in 0..bytes.len() {
+        let walk = || -> wire::Result<Vec<(i64, VecSum)>> {
+            let mut cur = EntriesCursor::new(&bytes[..cut])?;
+            let mut got = Vec::new();
+            while let Some(key) = cur.next_key()? {
+                got.push((key, cur.value::<VecSum>()?));
+            }
+            cur.finish()?;
+            Ok(got)
+        };
+        assert!(walk().is_err(), "truncation at {cut} went undetected");
+        // The same prefix through the merge-join fold must also error.
+        assert!(fold_entries_view(&VecAdd, Vec::new(), &bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn entries_cursor_max_count_prefixes_are_rejected() {
+    let mut bytes = wire::to_bytes(&vec![(1i64, 2u64), (3, 4)]).unwrap();
+    // An absurd count fails the at-least-8-bytes-per-entry plausibility
+    // check at construction.
+    let good_prefix: [u8; 8] = bytes[..8].try_into().unwrap();
+    bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(EntriesCursor::new(&bytes).is_err());
+
+    // A plausible-but-wrong count (one extra entry) survives construction
+    // and must then die as EOF mid-walk, not walk off the buffer.
+    bytes[..8].copy_from_slice(&3u64.to_le_bytes());
+    let mut cur = EntriesCursor::new(&bytes).unwrap();
+    let mut err = None;
+    loop {
+        match cur.next_key() {
+            Ok(Some(_)) => match cur.value::<u64>() {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            },
+            Ok(None) => break,
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(err.is_some(), "over-count prefix went undetected");
+
+    // Restore the true count: the full walk must succeed again.
+    bytes[..8].copy_from_slice(&good_prefix);
+    let mut cur = EntriesCursor::new(&bytes).unwrap();
+    while let Some(_k) = cur.next_key().unwrap() {
+        let _: u64 = cur.value().unwrap();
+    }
+    cur.finish().unwrap();
+}
+
+#[test]
+fn merge_wire_view_fold_matches_owned_merge() {
+    // Overlapping, disjoint-low and disjoint-high keys, so the merge-join
+    // exercises all three arms: copy-from-acc, in-place merge_wire, and
+    // owned decode of a new key.
+    let acc = vec![(1i64, VecSum(vec![10])), (5, VecSum(vec![1, 1])), (9, VecSum(vec![7]))];
+    let incoming = vec![(0i64, VecSum(vec![2])), (5, VecSum(vec![3, 4, 5])), (12, VecSum(vec![6]))];
+    let bytes = wire::to_bytes(&incoming).unwrap();
+
+    let got = fold_entries_view(&VecAdd, acc.clone(), &bytes).unwrap();
+
+    // Reference: owned decode + merge through the same operator.
+    let mut expect = acc;
+    for (k, red) in wire::from_bytes::<Vec<(i64, VecSum)>>(&bytes).unwrap() {
+        match expect.iter_mut().find(|(ka, _)| *ka == k) {
+            Some((_, com)) => VecAdd.merge(&red, com),
+            None => expect.push((k, red)),
+        }
+    }
+    expect.sort_by_key(|&(k, _)| k);
+    assert_eq!(got, expect);
 }
 
 #[test]

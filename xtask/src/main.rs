@@ -1,14 +1,26 @@
 //! `cargo xtask` — repo automation.
 //!
-//! The only subcommand today is `lint`: a plain-text invariant pass over the
-//! workspace sources (no rustc plugins, no external parser — line scanning
-//! with comment stripping), enforcing rules the compiler cannot:
+//! Subcommands:
 //!
-//! * **no-direct-sync** — all lock/channel/thread primitives come from the
-//!   `smart-sync` facade, so the loom build swaps every one of them for
-//!   model-checked shims. Direct `std::sync`, `std::thread`, `parking_lot`
-//!   or `crossbeam` use outside the facade would silently escape the model
-//!   checker.
+//! * `lint` — the workspace invariant pass. Two engines run back to back,
+//!   each self-testing against a seeded violation corpus first:
+//!
+//!   1. the plain-text scanner below (line scanning with comment
+//!      stripping), for rules that are genuinely line-shaped;
+//!   2. the AST-grade analyzer in `crates/lint` (`smart-lint`): the
+//!      lock-order graph (acquired-while-holding edges diffed against
+//!      `lint/lock-order.toml`, cycles rejected), the panic-freedom audit
+//!      for `comm`/`core`/`ft`/`serve`, the tag-namespace proofs over
+//!      `comm::tags`, and the token-level rules migrated from this file
+//!      (`no-direct-sync`, `no-lock-unwrap`, `kernel-hot-loop` — now
+//!      immune to strings, comments, and line splits).
+//!
+//! * `lock-order [--write]` — print the current lock-order edge set as
+//!   TOML (`--write` regenerates `lint/lock-order.toml`). Run it after
+//!   deliberately adding a nested-lock region, review the diff, commit.
+//!
+//! Text rules still enforced here:
+//!
 //! * **no-direct-net** — raw sockets (`std::net`, `std::os::unix::net`,
 //!   `TcpStream`/`TcpListener`/`UnixStream`/`UnixListener`) appear only
 //!   under `crates/comm/src/transport/`. Everything else speaks through
@@ -21,21 +33,11 @@
 //!   `encoded_len` appear only in `observer.rs` (the Stopwatch/measurement
 //!   gateway). This is the PR-3 invariant: with stats collection off the
 //!   execution core performs *zero* measurement work.
-//! * **no-lock-unwrap** — no `.lock().unwrap()` / `.lock().expect(`: facade
-//!   mutexes are not poisoning (parking_lot surface), so unwrapping a lock
-//!   result means someone bypassed the facade or is cargo-culting std.
 //! * **no-fs-writes** — runtime code mutates the filesystem only through
 //!   the `smart-ft` checkpoint store (`crates/ft/src/store.rs`). Durable
 //!   state written anywhere else is invisible to the recovery driver, so a
 //!   restart could not see it; deliberate exceptions (the offline baseline
 //!   models file I/O as its cost) carry an explicit suppression.
-//! * **kernel-hot-loop** — no per-element heap allocation (`Vec::new`,
-//!   `vec![`, `Box::new`, `.to_vec()`, `with_capacity`, `String::from`,
-//!   `format!`, `.collect()`) and no `Instant::now` inside `fn reduce_batch*`
-//!   bodies. These kernels run per batch of 4096 chunks in the reduce hot
-//!   loop; an allocation there is a per-batch (often per-element) malloc the
-//!   whole batching seam exists to avoid. Reusable buffers come from
-//!   `BatchSink::take_scratch`/`restore_scratch`.
 //! * **serve-admission** — inside `crates/serve/src`, only `driver.rs` may
 //!   construct a `Scheduler`. Every other path must go through
 //!   `Registry::submit`, or the service tier's admission control (quotas,
@@ -43,11 +45,8 @@
 //!   anything.
 //!
 //! Suppress a finding by putting `lint:allow(<rule>)` in a comment on the
-//! offending line or the line directly above it.
-//!
-//! `cargo xtask lint` first runs a built-in self-test seeding one violation
-//! per rule (so a broken scanner fails loudly, not silently), then scans the
-//! tree and reports findings with `path:line: [rule] message`.
+//! offending line or the line directly above it. Findings from both
+//! engines share the `path:line: [rule] message` format.
 
 use std::path::{Path, PathBuf};
 
@@ -71,10 +70,14 @@ fn main() {
     match args.next().as_deref() {
         Some("lint") => {
             selftest();
+            smart_lint::selftest();
             let root = workspace_root();
-            let findings = scan_tree(&root);
+            let mut findings: Vec<String> =
+                scan_tree(&root).iter().map(|f| f.to_string()).collect();
+            findings.extend(smart_lint::check_workspace(&root).iter().map(|f| f.to_string()));
+            findings.sort();
             if findings.is_empty() {
-                eprintln!("xtask lint: self-test ok, tree clean");
+                eprintln!("xtask lint: self-tests ok, tree clean");
             } else {
                 for f in &findings {
                     eprintln!("{f}");
@@ -83,12 +86,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("lock-order") => {
+            let root = workspace_root();
+            let toml = smart_lint::lock_order_toml(&root);
+            if args.next().as_deref() == Some("--write") {
+                let path = root.join("lint/lock-order.toml");
+                if let Some(dir) = path.parent() {
+                    // lint:allow(no-fs-writes): repo tooling writing the
+                    // reviewed lock-order artifact, not runtime state.
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                // lint:allow(no-fs-writes): see above.
+                std::fs::write(&path, &toml).expect("write lint/lock-order.toml");
+                eprintln!("wrote {}", path.display());
+            } else {
+                print!("{toml}");
+            }
+        }
         Some(other) => {
-            eprintln!("unknown xtask subcommand `{other}` (expected: lint)");
+            eprintln!("unknown xtask subcommand `{other}` (expected: lint, lock-order)");
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint | cargo xtask lock-order [--write]");
             std::process::exit(2);
         }
     }
@@ -177,89 +197,10 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
     // Convention in this repo: in-file test modules close out the file.
     let test_from = lines.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(lines.len());
 
-    let in_facade = path.starts_with("crates/sync/");
-    // The allocator cannot depend on the facade: it must not allocate or
-    // yield inside alloc paths, and must work before any model is running.
-    let sync_exempt = in_facade || path.starts_with("crates/memtrack/") || is_test_path(path);
-
-    // kernel-hot-loop body tracking: `pending` between the `fn reduce_batch*`
-    // signature and its opening brace, `depth >= 1` inside the body.
-    let mut kernel_pending = false;
-    let mut kernel_depth: i32 = 0;
-
     for (idx, raw) in lines.iter().enumerate() {
         let line = strip_comment(raw);
         let lineno = idx + 1;
         let in_test_region = idx >= test_from || is_test_path(path);
-
-        // --- kernel-hot-loop --------------------------------------------
-        // Track whether this line belongs to a `fn reduce_batch*` body via
-        // brace depth (naive about braces in string literals, like the rest
-        // of this scanner — `format!` strings are forbidden in kernels
-        // anyway).
-        if !in_test_region {
-            let was_in_kernel = kernel_depth > 0 || kernel_pending;
-            if kernel_depth == 0 && !kernel_pending && line.contains("fn reduce_batch") {
-                kernel_pending = true;
-            }
-            if kernel_pending || kernel_depth > 0 {
-                for c in line.chars() {
-                    match c {
-                        '{' => {
-                            kernel_pending = false;
-                            kernel_depth += 1;
-                        }
-                        '}' if kernel_depth > 0 => kernel_depth -= 1,
-                        _ => {}
-                    }
-                }
-            }
-            if was_in_kernel || kernel_depth > 0 {
-                for pat in [
-                    "Vec::new(",
-                    "vec![",
-                    "Box::new(",
-                    ".to_vec()",
-                    "with_capacity(",
-                    "String::from(",
-                    "format!(",
-                    "Instant::now(",
-                    ".collect()",
-                ] {
-                    if line.contains(pat) && !suppressed(&lines, idx, "kernel-hot-loop") {
-                        findings.push(Finding {
-                            path: path.to_owned(),
-                            line: lineno,
-                            rule: "kernel-hot-loop",
-                            message: format!(
-                                "`{pat}` inside a reduce_batch kernel body allocates (or \
-                                 measures) per batch in the reduce hot loop; reuse \
-                                 `BatchSink::take_scratch` or hoist out of the kernel"
-                            ),
-                        });
-                        break;
-                    }
-                }
-            }
-        }
-
-        // --- no-direct-sync ---------------------------------------------
-        if !sync_exempt && !in_test_region {
-            for pat in ["std::sync", "std::thread", "parking_lot", "crossbeam"] {
-                if line.contains(pat) && !suppressed(&lines, idx, "no-direct-sync") {
-                    findings.push(Finding {
-                        path: path.to_owned(),
-                        line: lineno,
-                        rule: "no-direct-sync",
-                        message: format!(
-                            "`{pat}` outside the smart-sync facade escapes loom model checking; \
-                             import from `smart_sync` instead"
-                        ),
-                    });
-                    break;
-                }
-            }
-        }
 
         // --- no-direct-net ----------------------------------------------
         if !path.starts_with("crates/comm/src/transport/") && !in_test_region {
@@ -365,22 +306,6 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
                 }
             }
         }
-
-        // --- no-lock-unwrap ---------------------------------------------
-        if !in_facade
-            && !in_test_region
-            && (line.contains(".lock().unwrap()") || line.contains(".lock().expect("))
-            && !suppressed(&lines, idx, "no-lock-unwrap")
-        {
-            findings.push(Finding {
-                path: path.to_owned(),
-                line: lineno,
-                rule: "no-lock-unwrap",
-                message: "facade mutexes do not poison; `.lock().unwrap()` means a std mutex \
-                          bypassed the facade"
-                    .to_owned(),
-            });
-        }
     }
     findings
 }
@@ -419,25 +344,6 @@ fn selftest() {
             "self-test: rule `{rule}` on `{name}` fired {hits}×, expected {expect}"
         );
     };
-
-    // no-direct-sync: fires on runtime code, silent in the facade, in test
-    // files, and under a suppression.
-    let seeded = "use std::sync::Mutex;\nfn f() {}\n";
-    check("crates/core/src/seeded.rs", seeded, "no-direct-sync", 1);
-    check("crates/sync/src/seeded.rs", seeded, "no-direct-sync", 0);
-    check("crates/core/tests/seeded.rs", seeded, "no-direct-sync", 0);
-    check(
-        "crates/core/src/seeded.rs",
-        "// lint:allow(no-direct-sync): allocator hook\nuse std::sync::Mutex;\n",
-        "no-direct-sync",
-        0,
-    );
-    check(
-        "crates/core/src/seeded.rs",
-        "#[cfg(test)]\nmod tests {\n    use std::thread;\n}\n",
-        "no-direct-sync",
-        0,
-    );
 
     // no-direct-net: fires on raw socket use in runtime code, silent inside
     // the transport backends, in test files, and under a suppression.
@@ -496,17 +402,6 @@ fn selftest() {
         0,
     );
 
-    // no-lock-unwrap: fires on runtime code, silent in tests.
-    let locky = "fn f() { let g = m.lock().unwrap(); }\n";
-    check("crates/core/src/seeded.rs", locky, "no-lock-unwrap", 1);
-    check(
-        "crates/core/src/seeded.rs",
-        "fn f() { let g = m.lock().expect(\"poisoned\"); }\n",
-        "no-lock-unwrap",
-        1,
-    );
-    check("crates/core/tests/seeded.rs", locky, "no-lock-unwrap", 0);
-
     // no-fs-writes: fires on runtime code, silent in the checkpoint store,
     // in test regions, and under a suppression.
     let writer = "fn f() { std::fs::write(p, b).unwrap(); }\n";
@@ -525,62 +420,6 @@ fn selftest() {
         "crates/core/src/seeded.rs",
         "#[cfg(test)]\nmod tests {\n    fn f() { fs::rename(a, b).unwrap(); }\n}\n",
         "no-fs-writes",
-        0,
-    );
-
-    // kernel-hot-loop: fires on allocation or timing inside any
-    // `fn reduce_batch*` body, silent outside kernels, after the body
-    // closes, in test files, and under a suppression.
-    let hot = "fn reduce_batch(&self) {\n    let v = Vec::new();\n}\n";
-    check("crates/analytics/src/seeded.rs", hot, "kernel-hot-loop", 1);
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn reduce_batch(&self) {\n    sink.reduce_default(self, data, batch);\n}\n",
-        "kernel-hot-loop",
-        0,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn other() {\n    let v = Vec::new();\n}\n",
-        "kernel-hot-loop",
-        0,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn reduce_batch(&self) {\n    let t = Instant::now();\n}\n",
-        "kernel-hot-loop",
-        1,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "unsafe fn reduce_batch_avx2(&self) {\n    let s = format!(\"x\");\n}\n",
-        "kernel-hot-loop",
-        1,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn reduce_batch(&self) {\n    if x {\n        let k = keys.to_vec();\n    }\n}\n",
-        "kernel-hot-loop",
-        1,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn reduce_batch(&self) {\n    x();\n}\nfn helper() {\n    let v = Vec::new();\n}\n",
-        "kernel-hot-loop",
-        0,
-    );
-    check("crates/analytics/tests/seeded.rs", hot, "kernel-hot-loop", 0);
-    check(
-        "crates/analytics/src/seeded.rs",
-        "fn reduce_batch(&self) {\n    // lint:allow(kernel-hot-loop): one-time setup\n    \
-         let v = Vec::new();\n}\n",
-        "kernel-hot-loop",
-        0,
-    );
-    check(
-        "crates/analytics/src/seeded.rs",
-        "#[cfg(test)]\nmod tests {\n    fn reduce_batch(&self) { let v = Vec::new(); }\n}\n",
-        "kernel-hot-loop",
         0,
     );
 
@@ -607,12 +446,6 @@ fn selftest() {
     );
 
     // Comment stripping: mentions in docs never fire.
-    check(
-        "crates/core/src/seeded.rs",
-        "//! Never calls `Instant::now` or `std::sync` directly.\n",
-        "no-direct-sync",
-        0,
-    );
     check(
         "crates/core/src/seeded.rs",
         "//! Never calls `Instant::now` or `std::sync` directly.\n",
