@@ -91,6 +91,13 @@ impl Analytics for GridAggregation {
         // Keys are cell indices: dense and bounded by construction.
         Some(self.cells())
     }
+
+    fn spill_safe(&self) -> bool {
+        // Sum/count folds distribute over merge; the early-emission trigger
+        // is simply disabled while spilling (outputs are identical either
+        // way — emission only changes *when* cells convert).
+        true
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,11 @@ impl Analytics for Grid3DAggregation {
     fn convert(&self, obj: &GridCell, out: &mut f64) {
         *out = if obj.count > 0 { obj.sum / obj.count as f64 } else { 0.0 };
     }
+
+    fn spill_safe(&self) -> bool {
+        // Same distributive sum/count fold as 1-D grid aggregation.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,11 @@ impl Analytics for Histogram {
         Some(self.buckets)
     }
 
+    fn spill_safe(&self) -> bool {
+        // Bucket counts are integer adds: exact under any fragmentation.
+        true
+    }
+
     fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
         // The kernels assume the 1-element unit chunk the histogram is
         // specified with and single-key dispatch; anything else takes the

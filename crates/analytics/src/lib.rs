@@ -14,6 +14,7 @@
 //! | window-based (§4.1's Θ(K) case) | K-nearest-neighbor smoother | [`knn`] |
 //! | statistical (pre-jobs) | value range, central moments | [`stats`] |
 //! | visualization (3-D structural) | block aggregation | [`grid3d`] |
+//! | sketch summaries | Count-Min, HyperLogLog, t-digest, reservoir sample | [`sketch`] |
 //!
 //! Exactly as the paper argues (§3.5), each application is a reduction
 //! object plus a handful of sequential callbacks; no parallelization code
@@ -28,6 +29,7 @@ pub mod knn;
 pub mod linalg;
 pub mod logistic;
 pub mod mutual_info;
+pub mod sketch;
 pub mod stats;
 pub mod window;
 
@@ -38,6 +40,9 @@ pub use kmeans::{ClusterObj, KMeans};
 pub use knn::{KnnObj, KnnSmoother};
 pub use logistic::{LogisticRegression, LrObj};
 pub use mutual_info::{Cell, MutualInformation};
+pub use sketch::{
+    CmSketch, CountMin, HllSketch, HyperLogLog, ResSketch, ReservoirSample, TDigest, TdSketch,
+};
 pub use stats::{Moments, MomentsObj, MomentsSummary, RangeObj, ValueRange};
 pub use window::{
     GaussianSmoother, MovingAverage, MovingMedian, SavitzkyGolay, WinMedianObj, WinObj,

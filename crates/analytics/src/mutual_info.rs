@@ -137,6 +137,12 @@ impl Analytics for MutualInformation {
     fn convert(&self, obj: &Cell, out: &mut u64) {
         *out = obj.count;
     }
+
+    fn spill_safe(&self) -> bool {
+        // Pure counting: integer adds distribute exactly over merge and
+        // gen_key never consults the combination map.
+        true
+    }
 }
 
 #[cfg(test)]

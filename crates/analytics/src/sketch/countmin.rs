@@ -1,0 +1,171 @@
+//! Count-Min sketch: approximate point frequencies in sub-linear space.
+//!
+//! A `depth × width` grid of counters; each element increments one
+//! counter per row (row-seeded hash). A point query reads the *minimum*
+//! across rows, so collisions only ever inflate the answer:
+//! `true ≤ estimate ≤ true + εN` with probability `1 − δ`, for
+//! `ε = e/width` and `δ = e^−depth` (Cormode & Muthukrishnan 2005).
+//!
+//! Counters are integers and merging is element-wise addition —
+//! associative, commutative, exact — so any split/spill/strategy plan
+//! yields the byte-identical sketch.
+
+use super::hash_value;
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// The reduction object: one counter grid plus the stream length.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CmSketch {
+    /// Counters per row.
+    pub width: u32,
+    /// Independent rows.
+    pub depth: u32,
+    /// Row-major `depth × width` counters.
+    pub counters: Vec<u64>,
+    /// Elements folded in (the `N` of the ε-bound).
+    pub items: u64,
+}
+
+impl CmSketch {
+    fn new(width: u32, depth: u32) -> CmSketch {
+        CmSketch { width, depth, counters: vec![0; (width * depth) as usize], items: 0 }
+    }
+
+    fn bucket(&self, row: u32, v: f64) -> usize {
+        let h = hash_value(v, u64::from(row) + 1);
+        (row * self.width + (h % u64::from(self.width)) as u32) as usize
+    }
+
+    fn add(&mut self, v: f64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, v);
+            self.counters[b] += 1;
+        }
+        self.items += 1;
+    }
+
+    /// Estimated occurrences of `v`: the row minimum. Never under-counts.
+    pub fn estimate(&self, v: f64) -> u64 {
+        (0..self.depth).map(|row| self.counters[self.bucket(row, v)]).min().unwrap_or(0)
+    }
+
+    /// The additive error ceiling `εN = (e/width)·items` the sketch
+    /// guarantees with probability `1 − e^−depth`.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E / f64::from(self.width) * self.items as f64
+    }
+}
+
+impl RedObj for CmSketch {}
+
+/// Count-Min frequency sketching under a single key.
+///
+/// Unit chunk: any size (each element folds independently). Output: none —
+/// query the summary via [`CountMin::sketch`] / [`CmSketch::estimate`].
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: u32,
+    depth: u32,
+}
+
+impl CountMin {
+    /// A sketch with explicit dimensions.
+    pub fn new(width: u32, depth: u32) -> CountMin {
+        CountMin { width: width.max(1), depth: depth.max(1) }
+    }
+
+    /// Dimensions from target bounds: over-count at most `epsilon · N`
+    /// with probability at least `1 − delta`.
+    pub fn with_error(epsilon: f64, delta: f64) -> CountMin {
+        let width = (std::f64::consts::E / epsilon).ceil().max(1.0) as u32;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as u32;
+        CountMin::new(width, depth)
+    }
+
+    /// The finished summary from a combination map.
+    pub fn sketch(com: &ComMap<CmSketch>) -> Option<&CmSketch> {
+        com.get(0)
+    }
+}
+
+impl Analytics for CountMin {
+    type In = f64;
+    type Red = CmSketch;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<CmSketch>) {
+        let s = obj.get_or_insert_with(|| CmSketch::new(self.width, self.depth));
+        for &v in chunk.slice(data) {
+            s.add(v);
+        }
+    }
+
+    fn merge(&self, red: &CmSketch, com: &mut CmSketch) {
+        debug_assert_eq!((red.width, red.depth), (com.width, com.depth));
+        for (c, r) in com.counters.iter_mut().zip(&red.counters) {
+            *c += r;
+        }
+        com.items += red.items;
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn spill_safe(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(cm: &CountMin, values: &[f64]) -> CmSketch {
+        let mut obj = None;
+        let chunk = Chunk { local_start: 0, global_start: 0, len: values.len() };
+        cm.accumulate(&chunk, values, 0, &mut obj);
+        obj.unwrap()
+    }
+
+    #[test]
+    fn never_undercounts_and_respects_epsilon_bound() {
+        let cm = CountMin::with_error(0.01, 0.01);
+        let data: Vec<f64> = (0..2000).map(|i| (i % 50) as f64).collect();
+        let s = fill(&cm, &data);
+        assert_eq!(s.items, 2000);
+        for v in 0..50 {
+            let est = s.estimate(v as f64);
+            assert!(est >= 40, "undercount for {v}: {est}");
+            assert!(
+                (est as f64) <= 40.0 + s.error_bound(),
+                "overcount past bound for {v}: {est} > 40 + {}",
+                s.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_exact() {
+        let cm = CountMin::new(64, 4);
+        let a: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| (i % 5) as f64).collect();
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let mut left = fill(&cm, &a);
+        let right = fill(&cm, &b);
+        cm.merge(&right, &mut left);
+        assert_eq!(left, fill(&cm, &whole));
+    }
+
+    #[test]
+    fn unseen_values_estimate_low() {
+        let cm = CountMin::new(1024, 4);
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = fill(&cm, &data);
+        // ε-bound: e/1024 · 100 < 1, so an unseen value estimates 0 with
+        // high probability; allow the bound, not zero.
+        assert!((s.estimate(1e9) as f64) <= s.error_bound().ceil());
+    }
+}

@@ -1,0 +1,177 @@
+//! HyperLogLog: approximate distinct counting in `2^precision` bytes.
+//!
+//! Each element hashes to 64 bits; the top `p` bits pick a register and
+//! the remaining bits' leading-zero count (plus one) is the observation.
+//! A register keeps the *maximum* observation, so merging is element-wise
+//! `max` — associative, commutative, idempotent — and any split/spill
+//! plan produces the byte-identical register file. The estimator is the
+//! bias-corrected harmonic mean (Flajolet et al. 2007) with the
+//! small-range linear-counting correction; its standard relative error
+//! is `≈ 1.04 / √m` for `m = 2^precision` registers.
+
+use super::hash_value;
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// Seed separating the HLL hash stream from the other sketches'.
+const HLL_SEED: u64 = 0x48_4C_4C; // "HLL"
+
+/// The reduction object: one register file.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HllSketch {
+    /// Register-index bits (`m = 2^precision` registers).
+    pub precision: u32,
+    /// One max-rank observation per register.
+    pub registers: Vec<u8>,
+}
+
+impl HllSketch {
+    fn new(precision: u32) -> HllSketch {
+        HllSketch { precision, registers: vec![0; 1 << precision] }
+    }
+
+    fn add(&mut self, v: f64) {
+        let h = hash_value(v, HLL_SEED);
+        let idx = (h >> (64 - self.precision)) as usize;
+        // Rank of the first set bit in the remaining 64−p bits, 1-based;
+        // an all-zero suffix ranks 64−p+1.
+        let rank = ((h << self.precision) | (1 << (self.precision - 1))).leading_zeros() as u8 + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct elements folded in.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| (-f64::from(r)).exp2()).sum();
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range correction: linear counting on empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Standard relative error of the estimator: `1.04 / √m`.
+    pub fn rel_error(&self) -> f64 {
+        1.04 / (self.registers.len() as f64).sqrt()
+    }
+}
+
+impl RedObj for HllSketch {}
+
+/// Distinct counting under a single key.
+///
+/// Unit chunk: any size. Output: none — query via
+/// [`HyperLogLog::sketch`] / [`HllSketch::estimate`].
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    precision: u32,
+}
+
+impl HyperLogLog {
+    /// A sketch with `2^precision` registers. Precision is clamped to
+    /// `[4, 16]` (the estimator's classical operating range).
+    pub fn new(precision: u32) -> HyperLogLog {
+        HyperLogLog { precision: precision.clamp(4, 16) }
+    }
+
+    /// The finished summary from a combination map.
+    pub fn sketch(com: &ComMap<HllSketch>) -> Option<&HllSketch> {
+        com.get(0)
+    }
+}
+
+impl Analytics for HyperLogLog {
+    type In = f64;
+    type Red = HllSketch;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<HllSketch>) {
+        let s = obj.get_or_insert_with(|| HllSketch::new(self.precision));
+        for &v in chunk.slice(data) {
+            s.add(v);
+        }
+    }
+
+    fn merge(&self, red: &HllSketch, com: &mut HllSketch) {
+        debug_assert_eq!(red.precision, com.precision);
+        for (c, r) in com.registers.iter_mut().zip(&red.registers) {
+            *c = (*c).max(*r);
+        }
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn spill_safe(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(hll: &HyperLogLog, values: &[f64]) -> HllSketch {
+        let mut obj = None;
+        let chunk = Chunk { local_start: 0, global_start: 0, len: values.len() };
+        hll.accumulate(&chunk, values, 0, &mut obj);
+        obj.unwrap()
+    }
+
+    #[test]
+    fn estimates_within_three_sigma() {
+        let hll = HyperLogLog::new(12);
+        for &n in &[100usize, 1_000, 20_000] {
+            let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let s = fill(&hll, &data);
+            let est = s.estimate();
+            let tol = 3.0 * s.rel_error() * n as f64;
+            assert!((est - n as f64).abs() <= tol.max(3.0), "n={n} est={est} tol={tol}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let hll = HyperLogLog::new(10);
+        let distinct: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let repeated: Vec<f64> = (0..6400).map(|i| (i % 64) as f64).collect();
+        assert_eq!(fill(&hll, &distinct), fill(&hll, &repeated));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let hll = HyperLogLog::new(10);
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let b: Vec<f64> = (250..750).map(|i| i as f64).collect();
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let mut left = fill(&hll, &a);
+        let right = fill(&hll, &b);
+        hll.merge(&right, &mut left);
+        assert_eq!(left, fill(&hll, &whole));
+    }
+
+    #[test]
+    fn precision_is_clamped() {
+        assert_eq!(fill(&HyperLogLog::new(1), &[1.0]).registers.len(), 16);
+        assert_eq!(fill(&HyperLogLog::new(40), &[1.0]).registers.len(), 1 << 16);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = HllSketch::new(10);
+        assert_eq!(s.estimate(), 0.0);
+    }
+}

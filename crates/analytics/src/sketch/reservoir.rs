@@ -1,0 +1,199 @@
+//! Deterministic reservoir sampling: a uniform `k`-sample of the stream.
+//!
+//! Classic reservoir sampling (Vitter's Algorithm R) draws randomness
+//! per element, which makes the sample depend on processing order —
+//! useless in a framework whose contract is bit-identical results across
+//! thread counts, split layouts, spill plans, and combination
+//! strategies. This variant derives each element's *priority* from a
+//! keyed hash of its **global array index**:
+//!
+//! ```text
+//! priority(i) = splitmix64(seed ⊕ splitmix64(i))
+//! ```
+//!
+//! and keeps the `k` elements with the smallest priorities (bottom-k).
+//! Priorities are a pure function of position, so the winning set is a
+//! *set function* of the stream: any partitioning reaches the same `k`
+//! winners, and merging (union → sort → truncate) is associative,
+//! commutative, and idempotent — the summary is byte-identical across
+//! every execution plan. Against the hash the indices behave as i.i.d.
+//! uniform draws, so the winners are a uniform `k`-subset of positions.
+
+use super::splitmix64;
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// The reduction object: the current bottom-`k` winners.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ResSketch {
+    /// Sample size cap.
+    pub k: usize,
+    /// `(priority, value)` pairs, sorted ascending by priority, at most
+    /// `k` of them.
+    pub entries: Vec<(u64, f64)>,
+    /// Stream length folded in.
+    pub items: u64,
+}
+
+impl ResSketch {
+    fn new(k: usize) -> ResSketch {
+        ResSketch { k, entries: Vec::new(), items: 0 }
+    }
+
+    /// Re-establish the invariant: sorted by priority, truncated to `k`.
+    /// Global indices are distinct so priorities collide only by hash
+    /// accident; the value bits break such ties deterministically.
+    fn settle(&mut self) {
+        self.entries.sort_unstable_by_key(|&(p, v)| (p, v.to_bits()));
+        self.entries.truncate(self.k);
+    }
+
+    fn add(&mut self, priority: u64, v: f64) {
+        self.items += 1;
+        if self.entries.len() == self.k {
+            // PANIC-FREE: len == k and ResSketch::new starts empty, so k > 0 here.
+            if priority >= self.entries[self.k - 1].0 {
+                return; // loses to the current worst winner
+            }
+        }
+        self.entries.push((priority, v));
+        self.settle();
+    }
+
+    /// The sampled values, in priority order.
+    pub fn sample(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|&(_, v)| v)
+    }
+}
+
+impl RedObj for ResSketch {}
+
+/// Uniform `k`-sampling under a single key, deterministic for a fixed
+/// `(k, seed)` regardless of execution plan.
+///
+/// Unit chunk: any size. Output: none — read the sample via
+/// [`ReservoirSample::sketch`] / [`ResSketch::sample`].
+#[derive(Debug, Clone)]
+pub struct ReservoirSample {
+    k: usize,
+    seed: u64,
+}
+
+impl ReservoirSample {
+    /// Sample `k` elements (minimum 1) under `seed`.
+    pub fn new(k: usize, seed: u64) -> ReservoirSample {
+        ReservoirSample { k: k.max(1), seed }
+    }
+
+    /// The priority the sketch assigns to global element index `i`.
+    pub fn priority(&self, i: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(i))
+    }
+
+    /// The finished summary from a combination map.
+    pub fn sketch(com: &ComMap<ResSketch>) -> Option<&ResSketch> {
+        com.get(0)
+    }
+}
+
+impl Analytics for ReservoirSample {
+    type In = f64;
+    type Red = ResSketch;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<ResSketch>) {
+        let s = obj.get_or_insert_with(|| ResSketch::new(self.k));
+        for (i, &v) in chunk.slice(data).iter().enumerate() {
+            s.add(self.priority((chunk.global_start + i) as u64), v);
+        }
+    }
+
+    fn merge(&self, red: &ResSketch, com: &mut ResSketch) {
+        debug_assert_eq!(red.k, com.k);
+        com.entries.extend_from_slice(&red.entries);
+        com.items += red.items;
+        com.settle();
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn spill_safe(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_from(rs: &ReservoirSample, values: &[f64], global_start: usize) -> ResSketch {
+        let mut obj = None;
+        let chunk = Chunk { local_start: 0, global_start, len: values.len() };
+        rs.accumulate(&chunk, values, 0, &mut obj);
+        obj.unwrap()
+    }
+
+    #[test]
+    fn keeps_exactly_k_when_stream_is_larger() {
+        let rs = ReservoirSample::new(16, 7);
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = fill_from(&rs, &data, 0);
+        assert_eq!(s.entries.len(), 16);
+        assert_eq!(s.items, 1000);
+    }
+
+    #[test]
+    fn short_stream_is_kept_whole() {
+        let rs = ReservoirSample::new(32, 7);
+        let s = fill_from(&rs, &[1.0, 2.0, 3.0], 0);
+        assert_eq!(s.entries.len(), 3);
+    }
+
+    #[test]
+    fn split_points_do_not_change_the_sample() {
+        let rs = ReservoirSample::new(8, 99);
+        let data: Vec<f64> = (0..500).map(|i| (i * i % 311) as f64).collect();
+        let whole = fill_from(&rs, &data, 0);
+        for cut in [1, 100, 250, 499] {
+            let mut left = fill_from(&rs, &data[..cut], 0);
+            let right = fill_from(&rs, &data[cut..], cut);
+            rs.merge(&right, &mut left);
+            assert_eq!(left, whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let rs = ReservoirSample::new(8, 3);
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let a = fill_from(&rs, &data[..90], 0);
+        let b = fill_from(&rs, &data[90..], 90);
+        let mut ab = a.clone();
+        rs.merge(&b, &mut ab);
+        let mut ba = b.clone();
+        rs.merge(&a, &mut ba);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_samples() {
+        let data: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let a = fill_from(&ReservoirSample::new(8, 1), &data, 0);
+        let b = fill_from(&ReservoirSample::new(8, 2), &data, 0);
+        assert_ne!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn sample_roughly_uniform_over_positions() {
+        // With k=100 of 1000 positions, the mean sampled value for data[i]=i
+        // should land near 499.5; a wildly skewed picker would not.
+        let rs = ReservoirSample::new(100, 42);
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = fill_from(&rs, &data, 0);
+        let mean: f64 = s.sample().sum::<f64>() / 100.0;
+        assert!((mean - 499.5).abs() < 120.0, "mean {mean}");
+    }
+}

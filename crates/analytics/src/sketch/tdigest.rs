@@ -1,0 +1,230 @@
+//! t-digest: approximate quantiles from a bounded set of centroids.
+//!
+//! Elements accumulate into weighted centroids; when the set outgrows its
+//! buffer it is sorted (by `f64::total_cmp` — a total order, so the pass
+//! is deterministic) and greedily re-clustered so that a centroid sitting
+//! at quantile `q` holds at most `4·W·q·(1−q)/compression` weight
+//! (Dunning's scale-function bound). Weight concentrates at the tails,
+//! which is exactly where quantile queries need resolution: rank error is
+//! `O(q(1−q)/compression)`.
+//!
+//! Merging concatenates centroid sets and re-clusters. The result is
+//! deterministic for a fixed execution plan, but — unlike the other
+//! sketches — the centroid layout depends on *when* compressions happen,
+//! so different split/spill plans yield byte-different digests with the
+//! same error bound. Cross-plan tests compare quantiles by rank error,
+//! not bytes.
+
+use serde::{Deserialize, Serialize};
+use smart_core::{Analytics, Chunk, ComMap, Key, RedObj};
+
+/// Uncompressed centroids a sketch may hold before re-clustering.
+const BUFFER_FACTOR: usize = 8;
+
+/// The reduction object: a weighted centroid set.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TdSketch {
+    /// Accuracy/size knob: more compression → more centroids → tighter
+    /// quantiles.
+    pub compression: f64,
+    /// `(mean, weight)` clusters; compressed form is sorted by mean.
+    pub centroids: Vec<(f64, f64)>,
+    /// Total weight (elements folded in).
+    pub count: u64,
+}
+
+impl TdSketch {
+    fn new(compression: f64) -> TdSketch {
+        TdSketch { compression, centroids: Vec::new(), count: 0 }
+    }
+
+    fn buffer_limit(&self) -> usize {
+        (self.compression as usize).max(8) * BUFFER_FACTOR
+    }
+
+    fn add(&mut self, v: f64) {
+        self.centroids.push((v, 1.0));
+        self.count += 1;
+        if self.centroids.len() > self.buffer_limit() {
+            self.compress();
+        }
+    }
+
+    /// Sort and greedily re-cluster under the scale-function weight bound.
+    fn compress(&mut self) {
+        if self.centroids.len() <= 1 {
+            return;
+        }
+        self.centroids.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = self.centroids.iter().map(|c| c.1).sum();
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.centroids.len());
+        let mut cum = 0.0; // weight fully to the left of the open cluster
+        let (mut mean, mut weight) = self.centroids[0];
+        for &(m, w) in &self.centroids[1..] {
+            let q = (cum + (weight + w) / 2.0) / total;
+            let limit = 4.0 * total * q * (1.0 - q) / self.compression;
+            if weight + w <= limit {
+                // Weighted mean keeps the cluster's centroid exact.
+                mean = (mean * weight + m * w) / (weight + w);
+                weight += w;
+            } else {
+                out.push((mean, weight));
+                cum += weight;
+                mean = m;
+                weight = w;
+            }
+        }
+        out.push((mean, weight));
+        self.centroids = out;
+    }
+
+    /// Approximate value at quantile `q ∈ [0, 1]` — `None` on an empty
+    /// sketch. Interpolates between adjacent centroid means.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut cs = self.centroids.clone();
+        cs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = cs.iter().map(|c| c.1).sum();
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut cum = 0.0;
+        for (i, &(m, w)) in cs.iter().enumerate() {
+            let mid = cum + w / 2.0;
+            if target <= mid || i + 1 == cs.len() {
+                if i == 0 || target >= mid {
+                    return Some(m);
+                }
+                // Interpolate between the previous centroid's mid and ours.
+                let (pm, pw) = cs[i - 1];
+                let prev_mid = cum - pw / 2.0;
+                let t = (target - prev_mid) / (mid - prev_mid);
+                return Some(pm + t * (m - pm));
+            }
+            cum += w;
+        }
+        cs.last().map(|c| c.0)
+    }
+}
+
+impl RedObj for TdSketch {}
+
+/// Streaming quantiles under a single key.
+///
+/// Unit chunk: any size. Output: none — query via [`TDigest::sketch`] /
+/// [`TdSketch::quantile`].
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    compression: f64,
+}
+
+impl TDigest {
+    /// A digest with the given compression (clamped to ≥ 10). Around 100
+    /// is the customary default: ~1% rank error at the median, much
+    /// tighter at the tails.
+    pub fn new(compression: f64) -> TDigest {
+        TDigest { compression: compression.max(10.0) }
+    }
+
+    /// The finished summary from a combination map.
+    pub fn sketch(com: &ComMap<TdSketch>) -> Option<&TdSketch> {
+        com.get(0)
+    }
+}
+
+impl Analytics for TDigest {
+    type In = f64;
+    type Red = TdSketch;
+    type Out = f64;
+    type Extra = ();
+
+    fn accumulate(&self, chunk: &Chunk, data: &[f64], _key: Key, obj: &mut Option<TdSketch>) {
+        let s = obj.get_or_insert_with(|| TdSketch::new(self.compression));
+        for &v in chunk.slice(data) {
+            s.add(v);
+        }
+    }
+
+    fn merge(&self, red: &TdSketch, com: &mut TdSketch) {
+        debug_assert_eq!(red.compression, com.compression);
+        com.centroids.extend_from_slice(&red.centroids);
+        com.count += red.count;
+        com.compress();
+    }
+
+    fn key_bound(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn spill_safe(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(td: &TDigest, values: &[f64]) -> TdSketch {
+        let mut obj = None;
+        let chunk = Chunk { local_start: 0, global_start: 0, len: values.len() };
+        td.accumulate(&chunk, values, 0, &mut obj);
+        obj.unwrap()
+    }
+
+    /// Fraction of the sorted stream at or below `v`.
+    fn true_rank(sorted: &[f64], v: f64) -> f64 {
+        sorted.iter().filter(|&&x| x <= v).count() as f64 / sorted.len() as f64
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let td = TDigest::new(100.0);
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let s = fill(&td, &data);
+        assert_eq!(s.count, 10_000);
+        assert!(s.centroids.len() <= s.buffer_limit());
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let est = s.quantile(q).unwrap();
+            let rank = true_rank(&sorted, est);
+            assert!((rank - q).abs() < 0.02, "q={q} est={est} rank={rank}");
+        }
+    }
+
+    #[test]
+    fn tails_are_exact_extremes() {
+        let td = TDigest::new(50.0);
+        let data: Vec<f64> = (0..5_000).map(|i| (i as f64).sin() * 100.0).collect();
+        let s = fill(&td, &data);
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(s.quantile(0.0).unwrap() >= lo - 1e-9);
+        assert!(s.quantile(1.0).unwrap() <= hi + 1e-9);
+    }
+
+    #[test]
+    fn merge_keeps_rank_error_bounded() {
+        let td = TDigest::new(100.0);
+        let a: Vec<f64> = (0..4_000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (4_000..8_000).map(|i| i as f64).collect();
+        let mut left = fill(&td, &a);
+        let right = fill(&td, &b);
+        td.merge(&right, &mut left);
+        assert_eq!(left.count, 8_000);
+        let mut sorted: Vec<f64> = a.iter().chain(&b).copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        for &q in &[0.05, 0.5, 0.95] {
+            let rank = true_rank(&sorted, left.quantile(q).unwrap());
+            assert!((rank - q).abs() < 0.03, "q={q} rank={rank}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(TdSketch::new(100.0).quantile(0.5), None);
+        let s = fill(&TDigest::new(100.0), &[42.0]);
+        assert_eq!(s.quantile(0.5), Some(42.0));
+    }
+}

@@ -72,6 +72,10 @@ impl Analytics for ValueRange {
         Some(1)
     }
 
+    fn spill_safe(&self) -> bool {
+        true
+    }
+
     fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {
         // Single fixed key: skip the per-chunk gen_key round-trip and fold
         // straight into slot 0, in element order (min/max are order-
@@ -177,6 +181,10 @@ impl Analytics for Moments {
 
     fn key_bound(&self) -> Option<usize> {
         Some(1)
+    }
+
+    fn spill_safe(&self) -> bool {
+        true
     }
 
     fn reduce_batch(&self, data: &[f64], batch: &Batch, sink: &mut BatchSink<'_, '_, Self>) {

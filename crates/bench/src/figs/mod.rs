@@ -1,8 +1,9 @@
 //! One module per figure of the paper's evaluation section (§5), plus the
 //! §5.2 memory-footprint and §5.3 lines-of-code measurements, plus the
 //! beyond-the-paper placement comparison (`transit`), fault-tolerance
-//! overhead/recovery measurement (`ftrec`), and multi-tenant service-tier
-//! ablation (`serve`).
+//! overhead/recovery measurement (`ftrec`), multi-tenant service-tier
+//! ablation (`serve`), and the out-of-core spill-threshold ablation
+//! (`spill`).
 
 pub mod fig01;
 pub mod fig05;
@@ -16,6 +17,7 @@ pub mod ft;
 pub mod loc;
 pub mod mem;
 pub mod serve;
+pub mod spill;
 pub mod transit;
 
 use crate::util::{Scale, Table};
@@ -39,5 +41,6 @@ pub fn all() -> Vec<Experiment> {
         ("transit", "time sharing vs space sharing vs in-transit", transit::run),
         ("ftrec", "checkpoint overhead and recovery time", ft::run),
         ("serve", "multi-job service tier: shared scan vs N passes", serve::run),
+        ("spill", "spill-threshold ablation: bounded-memory reduction + sketches", spill::run),
     ]
 }

@@ -1,0 +1,146 @@
+//! Spill-threshold ablation — bounded-memory reduction vs the unbounded run.
+//!
+//! PR 10's spilling shuffle trades sequential run I/O for resident map
+//! bytes. This experiment sweeps `Scheduler::set_spill_budget` over a
+//! many-key histogram stream and reports, per budget: wall time, sorted
+//! runs written, run bytes, the peak resident map gauge, and whether the
+//! canonical map bytes still equal the unbounded run's (they must — the
+//! shuffle is contract-bound to be bit-identical).
+//!
+//! The notes add the **accuracy-vs-memory** ladder one rung further down:
+//! when even the spilled exact map is more than a query needs, the sketch
+//! apps answer from fixed-size summaries. For the same stream we print
+//! each sketch's summary footprint next to its measured error, so the
+//! exact-spilled-vs-sketch trade is one table.
+
+use crate::util::{fmt_dur, time_it, Scale, Table};
+use smart_analytics::{CountMin, HyperLogLog, TDigest};
+use smart_core::{Analytics, Chunk, SchedArgs, Scheduler};
+use smart_pool::shared_pool;
+
+const THREADS: usize = 2;
+const KEYS: usize = 4096;
+
+/// Synthetic stream with full, deterministic key coverage: every step
+/// touches every histogram bucket, so resident reduction state is the
+/// worst case the budget has to bound.
+fn stream(steps: usize, part: usize) -> Vec<Vec<f64>> {
+    (0..steps).map(|t| (0..part).map(|i| ((t * 31 + i * 7) % KEYS) as f64).collect()).collect()
+}
+
+/// Drive the histogram over the stream under `budget`; returns
+/// (wall, runs, run bytes, peak resident bytes, canonical map bytes).
+fn run_budget(
+    steps: &[Vec<f64>],
+    budget: Option<usize>,
+) -> (std::time::Duration, usize, u64, usize, Vec<u8>) {
+    let pool = shared_pool(THREADS).expect("pool");
+    let mut s = Scheduler::new(
+        smart_analytics::Histogram::new(0.0, KEYS as f64, KEYS),
+        SchedArgs::new(THREADS, 1),
+        pool,
+    )
+    .expect("scheduler");
+    s.set_collect_stats(true);
+    s.set_spill_budget(budget).expect("budget");
+    let mut out = vec![0u64; KEYS];
+    let mut runs = 0usize;
+    let mut bytes = 0u64;
+    let (_, elapsed) = time_it(|| {
+        for step in steps {
+            s.run(step, &mut out).expect("step");
+            runs += s.last_stats().spill_runs;
+            bytes += s.last_stats().spill_bytes;
+        }
+    });
+    let canonical = s.canonical_map_bytes().expect("canonical bytes");
+    (elapsed, runs, bytes, s.peak_map_bytes(), canonical)
+}
+
+/// Fold the whole stream into one reduction object of `app`.
+fn fold<A: Analytics<In = f64>>(app: &A, steps: &[Vec<f64>]) -> A::Red {
+    let mut obj = None;
+    let mut start = 0usize;
+    for step in steps {
+        let chunk = Chunk { local_start: 0, global_start: start, len: step.len() };
+        app.accumulate(&chunk, step, 0, &mut obj);
+        start += step.len();
+    }
+    obj.expect("non-empty stream")
+}
+
+/// Sweep the spill budget; notes carry the sketch accuracy-vs-memory rung.
+pub fn run(scale: Scale) -> Table {
+    let steps = stream(scale.pick(3, 8), scale.pick(16 << 10, 128 << 10));
+    let elems: usize = steps.iter().map(Vec::len).sum();
+
+    let mut table = Table::new(
+        format!(
+            "Spill-threshold ablation — histogram ({KEYS} buckets), {} steps x {} elems, \
+             {THREADS} threads",
+            steps.len(),
+            steps[0].len()
+        ),
+        &["budget", "wall", "runs", "run bytes", "peak resident", "bit-identical"],
+    );
+
+    let (wall, _, _, _, reference) = run_budget(&steps, None);
+    table.row(vec![
+        "unbounded".into(),
+        fmt_dur(wall),
+        "0".into(),
+        "0".into(),
+        "-".into(),
+        "(reference)".into(),
+    ]);
+    for budget in [1 << 20, 256 << 10, 64 << 10, 16 << 10, 4 << 10] {
+        let (wall, runs, bytes, peak, canonical) = run_budget(&steps, Some(budget));
+        table.row(vec![
+            format!("{} KiB", budget >> 10),
+            fmt_dur(wall),
+            runs.to_string(),
+            format!("{} KiB", bytes >> 10),
+            format!("{} KiB", peak >> 10),
+            if canonical == reference { "yes".into() } else { "NO — DIVERGED".into() },
+        ]);
+    }
+
+    // Accuracy-vs-memory: fixed-size summaries of the same stream.
+    let truth: std::collections::BTreeSet<u64> =
+        steps.iter().flatten().map(|v| v.to_bits()).collect();
+    let hll = HyperLogLog::new(12);
+    let hll_est = fold(&hll, &steps).estimate();
+    table.note(format!(
+        "HyperLogLog p=12 (4 KiB registers): {:.0} distinct vs {} true ({:+.2}% error) over {} elems",
+        hll_est,
+        truth.len(),
+        100.0 * (hll_est - truth.len() as f64) / truth.len() as f64,
+        elems
+    ));
+
+    let cm = CountMin::new(1024, 4);
+    let cm_sketch = fold(&cm, &steps);
+    let probe = 0.0f64;
+    let exact = steps.iter().flatten().filter(|v| v.to_bits() == probe.to_bits()).count() as u64;
+    table.note(format!(
+        "Count-Min 1024x4 (32 KiB counters): count({probe}) = {} vs {} exact (overestimate only)",
+        cm_sketch.estimate(probe),
+        exact
+    ));
+
+    let td = TDigest::new(100.0);
+    let td_sketch = fold(&td, &steps);
+    let mut sorted: Vec<f64> = steps.iter().flatten().copied().collect();
+    sorted.sort_by(f64::total_cmp);
+    let est = td_sketch.quantile(0.9).unwrap_or(f64::NAN);
+    let rank = sorted.iter().filter(|&&v| v < est).count() as f64 / sorted.len() as f64;
+    table.note(format!(
+        "t-digest c=100: q90 estimate {est:.1} has true rank {rank:.4} (rank error {:.4})",
+        (rank - 0.9).abs()
+    ));
+    table.note(
+        "bit-identical column compares canonical map bytes against the unbounded run \
+         (tests/spill_equivalence.rs asserts the same across strategies and transports)",
+    );
+    table
+}

@@ -641,7 +641,7 @@ impl Communicator {
 /// The shard (owning rank) for `key` among `n` ranks. Deterministic and
 /// uniform: splitmix64-style finalizer over the key, reduced mod `n`, so
 /// every rank routes a given key to the same shard without coordination.
-/// Public so callers driving [`reduce_scatter_bytes_with`] themselves (the
+/// Public so callers driving [`Communicator::reduce_scatter_bytes_with`] themselves (the
 /// wire-view combination path in `smart-core`) partition identically to
 /// [`Communicator::allreduce_sharded`].
 pub fn shard_of(key: i64, n: usize) -> usize {

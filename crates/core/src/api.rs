@@ -167,6 +167,28 @@ pub trait Analytics: Send + Sync {
         Ok(())
     }
 
+    /// Whether this analytics tolerates the spilling shuffle. Opt-in
+    /// (`false` by default) because spilling changes *when* reduction
+    /// objects merge: one key's chunks may land in several run fragments
+    /// that are only folded together at merge time, so correctness needs
+    ///
+    /// * `accumulate` to distribute over `merge` — folding chunk sets
+    ///   separately and merging must equal folding them all into one
+    ///   object (exact for integer-carried state, the repo's convention
+    ///   for cross-strategy bit-identity);
+    /// * no early emission ([`RedObj::trigger`] never fires);
+    /// * `gen_key`/`accumulate` not reading the combination map (a
+    ///   spilled com map is on disk during reduction);
+    /// * `post_combine` to be the identity (the combined map may never be
+    ///   resident in one piece).
+    ///
+    /// The scheduler engages spilling only when a budget is set *and* this
+    /// returns `true`; otherwise the run stays resident (and a mem budget,
+    /// if set, still guards it).
+    fn spill_safe(&self) -> bool {
+        false
+    }
+
     /// Seed the combination map from extra input before the first
     /// iteration (e.g. initial centroids). Default: nothing.
     fn process_extra_data(&self, _extra: Option<&Self::Extra>, _com: &mut ComMap<Self::Red>) {}

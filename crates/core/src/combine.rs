@@ -116,11 +116,28 @@ pub(crate) fn global_combine<A: Analytics>(
     wire_view: bool,
     observer: &mut dyn PhaseObserver,
 ) -> SmartResult<RedMap<A::Red>> {
+    let mut local = delta.drain_entries();
+    local.sort_unstable_by_key(|&(k, _)| k);
+    let merged = global_combine_entries(analytics, strategy, comm, local, wire_view, observer)?;
+    Ok(RedMap::from_entries(merged))
+}
+
+/// [`global_combine`] on already-sorted entry vectors: the spilling path
+/// merges its on-disk runs straight into a sorted delta vector and feeds
+/// it here, skipping the `RedMap` rebuild on both sides. Dispatch,
+/// measurement, and merge order are byte-for-byte those of the resident
+/// path — this *is* the resident path, minus the map shells around it.
+pub(crate) fn global_combine_entries<A: Analytics>(
+    analytics: &A,
+    strategy: CombineStrategy,
+    comm: &mut Communicator,
+    local: Vec<(Key, A::Red)>,
+    wire_view: bool,
+    observer: &mut dyn PhaseObserver,
+) -> SmartResult<Vec<(Key, A::Red)>> {
     let measure = observer.enabled();
     let sw = Stopwatch::new(measure);
     let wire_before = if measure { comm.sent_bytes() } else { 0 };
-    let mut local = delta.drain_entries();
-    local.sort_unstable_by_key(|&(k, _)| k);
     // lint:allow(measured-paths): gated on `measure` — zero work when stats are off
     let payload = if measure { smart_wire::encoded_len(&local).unwrap_or(0) } else { 0 };
     let merged = if wire_view {
@@ -131,7 +148,7 @@ pub(crate) fn global_combine<A: Analytics>(
     if measure {
         observer.global_combine_done(payload, comm.sent_bytes() - wire_before, sw.elapsed());
     }
-    Ok(RedMap::from_entries(merged))
+    Ok(merged)
 }
 
 /// The owned receive path: every hop decodes incoming entries into a
@@ -273,7 +290,7 @@ fn global_combine_view<A: Analytics>(
 /// without materializing the incoming vector.
 ///
 /// Public for the combine-pipeline benches and equivalence tests; the
-/// scheduler reaches it through [`global_combine`]'s `wire_view` flag.
+/// scheduler reaches it through `global_combine`'s `wire_view` flag.
 pub fn fold_entries_view<A: Analytics>(
     analytics: &A,
     acc: Vec<(Key, A::Red)>,

@@ -87,6 +87,20 @@ pub enum SmartError {
         /// The deadline (absolute driver step index) that passed.
         deadline: usize,
     },
+    /// The live reduction map crossed the configured memory budget with
+    /// spilling disabled (`SMART_MEM_BUDGET` /
+    /// `Scheduler::set_mem_budget`). Raise the budget, or enable the
+    /// spilling shuffle (`SMART_SPILL_BUDGET` /
+    /// `Scheduler::set_spill_budget`) to reduce out-of-core instead.
+    MemBudget {
+        /// The configured budget in bytes.
+        limit: usize,
+        /// Live reduction-map bytes when the budget tripped.
+        used: usize,
+    },
+    /// The spilling shuffle failed to write, validate, or merge an
+    /// on-disk run.
+    Spill(smart_spill::RunError),
 }
 
 impl SmartError {
@@ -136,6 +150,12 @@ impl fmt::Display for SmartError {
             SmartError::DeadlineExceeded { job, deadline } => {
                 write!(f, "job {job} missed its deadline (step {deadline})")
             }
+            SmartError::MemBudget { limit, used } => write!(
+                f,
+                "reduction map holds {used} bytes, over the {limit}-byte memory budget \
+                 (enable spilling with SMART_SPILL_BUDGET to reduce out-of-core)"
+            ),
+            SmartError::Spill(e) => write!(f, "spilling shuffle failed: {e}"),
         }
     }
 }
@@ -145,6 +165,7 @@ impl std::error::Error for SmartError {
         match self {
             SmartError::Comm(e) => Some(e),
             SmartError::Pool(e) => Some(e),
+            SmartError::Spill(e) => Some(e),
             SmartError::Context { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -160,6 +181,12 @@ impl From<smart_comm::CommError> for SmartError {
 impl From<smart_pool::PoolError> for SmartError {
     fn from(e: smart_pool::PoolError) -> Self {
         SmartError::Pool(e)
+    }
+}
+
+impl From<smart_spill::RunError> for SmartError {
+    fn from(e: smart_spill::RunError) -> Self {
+        SmartError::Spill(e)
     }
 }
 
@@ -217,6 +244,17 @@ mod tests {
         let e = SmartError::DeadlineExceeded { job: 3, deadline: 17 };
         let msg = e.to_string();
         assert!(msg.contains("job 3") && msg.contains("step 17"), "{msg}");
+    }
+
+    #[test]
+    fn budget_and_spill_errors_are_specific() {
+        let e = SmartError::MemBudget { limit: 1024, used: 4096 };
+        let msg = e.to_string();
+        assert!(msg.contains("4096") && msg.contains("1024"), "{msg}");
+        assert!(msg.contains("SMART_SPILL_BUDGET"), "must point at the fix: {msg}");
+        let e: SmartError = smart_spill::RunError::CorruptCrc { stored: 1, computed: 2 }.into();
+        assert!(e.to_string().contains("mismatch"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -429,9 +429,7 @@ where
                         stats.transit_recv_busy += rx.stats().recv_busy;
                         stats.transit_bytes += rx.stats().bytes;
                     }
-                    let map_bytes =
-                        smart_wire::to_bytes(&sched.combination_map().to_sorted_entries())
-                            .map_err(|e| SmartError::Comm(e.into()))?;
+                    let map_bytes = sched.canonical_map_bytes()?;
                     Ok(StagerOutcome {
                         out,
                         map_bytes,

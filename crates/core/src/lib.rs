@@ -100,6 +100,7 @@ mod reduce;
 mod scheduler;
 mod shared_slice;
 pub mod space;
+mod spill;
 pub mod stage;
 mod step;
 

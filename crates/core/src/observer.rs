@@ -73,6 +73,16 @@ pub trait PhaseObserver {
     fn job_step_done(&mut self, job: u64, result_bytes: u64, busy: Duration) {
         let _ = (job, result_bytes, busy);
     }
+
+    /// The spilling shuffle drained reduction maps to disk: `runs` sorted
+    /// runs holding `bytes` on disk were written after `busy` time spent
+    /// serializing, framing, and committing (merge time is part of the
+    /// combine phase, not this lane). Reported once per iteration that
+    /// spilled; resident iterations never report. Default no-op for
+    /// pre-spill observers.
+    fn spill_done(&mut self, runs: usize, bytes: u64, busy: Duration) {
+        let _ = (runs, bytes, busy);
+    }
 }
 
 /// The stats-off sink: reports nothing, and — because
@@ -183,6 +193,14 @@ pub struct RunStats {
     /// Service tier only: per-job accounting lanes, sorted by job id. Empty
     /// for plain `execute` runs.
     pub jobs: Vec<JobLane>,
+    /// Spilling shuffle only: sorted runs written to disk. Zero when the
+    /// whole run stayed resident.
+    pub spill_runs: usize,
+    /// Spilling shuffle only: bytes of committed runs on disk.
+    pub spill_bytes: u64,
+    /// Spilling shuffle only: busy time serializing and committing runs
+    /// (stream-merge time counts toward the combine phase instead).
+    pub spill_busy: Duration,
 }
 
 impl RunStats {
@@ -220,6 +238,9 @@ impl RunStats {
         self.ckpts += other.ckpts;
         self.staged_bytes += other.staged_bytes;
         self.stage_busy += other.stage_busy;
+        self.spill_runs += other.spill_runs;
+        self.spill_bytes += other.spill_bytes;
+        self.spill_busy += other.spill_busy;
         for lane in &other.jobs {
             self.lane_mut(lane.job).merge(lane);
         }
@@ -287,6 +308,12 @@ impl PhaseObserver for RunStats {
         lane.steps += 1;
         lane.result_bytes += result_bytes;
         lane.busy += busy;
+    }
+
+    fn spill_done(&mut self, runs: usize, bytes: u64, busy: Duration) {
+        self.spill_runs += runs;
+        self.spill_bytes += bytes;
+        self.spill_busy += busy;
     }
 }
 
@@ -385,6 +412,22 @@ mod tests {
             (total.jobs[1].job, total.jobs[1].steps, total.jobs[1].result_bytes),
             (5, 3, 41)
         );
+    }
+
+    #[test]
+    fn spill_measurements_accumulate_and_absorb() {
+        let mut stats = RunStats::default();
+        stats.spill_done(2, 4096, Duration::from_millis(5));
+        stats.spill_done(1, 1024, Duration::from_millis(2));
+        assert_eq!(stats.spill_runs, 3);
+        assert_eq!(stats.spill_bytes, 5120);
+        assert_eq!(stats.spill_busy, Duration::from_millis(7));
+        let mut total = RunStats::default();
+        total.absorb(&stats);
+        total.absorb(&stats);
+        assert_eq!((total.spill_runs, total.spill_bytes), (6, 10240));
+        // The noop sink accepts the callback silently (default body).
+        NoopObserver.spill_done(1, 1, Duration::ZERO);
     }
 
     #[test]

@@ -37,8 +37,10 @@ use crate::error::{SmartError, SmartResult};
 use crate::observer::{PhaseObserver, Stopwatch};
 use crate::redmap::RedMap;
 use crate::shared_slice::SharedSlice;
+use crate::spill::{self, SpillPlan};
 use crate::step::KeyMode;
 use smart_pool::{split_range, SharedPool};
+use std::time::Duration;
 
 /// Unit chunks handed to one [`Analytics::reduce_batch`] call. Large enough
 /// to amortize the call and let kernels stream, small enough that early
@@ -70,6 +72,29 @@ pub(crate) struct ReduceCfg<'a, A: Analytics> {
     /// Honour [`Analytics::key_bound`] and give shells the dense
     /// direct-indexed backend.
     pub dense_maps: bool,
+    /// When set, a worker shell crossing the plan's per-shell byte
+    /// threshold is drained into a sorted on-disk run at the next batch
+    /// boundary (see [`crate::spill`]).
+    pub spill: Option<SpillPlan<'a>>,
+}
+
+/// What one worker split reports back: its busy time, plus what it
+/// spilled (all zero when spilling is off or the shell stayed under
+/// budget).
+pub(crate) struct SplitReport {
+    pub busy: Duration,
+    pub runs: usize,
+    pub bytes: u64,
+    pub spill_busy: Duration,
+}
+
+/// Aggregate spill activity of one [`reduce_parts`] call, reported to the
+/// observer once per iteration by the scheduler.
+#[derive(Default)]
+pub(crate) struct SpillTally {
+    pub runs: usize,
+    pub bytes: u64,
+    pub busy: Duration,
 }
 
 /// A run of consecutive whole unit chunks inside one worker's split —
@@ -238,6 +263,21 @@ impl<'s, 'out, A: Analytics> BatchSink<'s, 'out, A> {
             None => Ok(()),
         }
     }
+
+    /// Bytes currently held by the worker's reduction map — the spill
+    /// threshold check, run between batches.
+    fn red_bytes(&self) -> usize {
+        self.red.retained_bytes()
+    }
+
+    /// Drain the worker's reduction map for a spill, *freeing* its table
+    /// (a drained-but-retained table would keep the shell over threshold
+    /// and re-trip the check every batch).
+    fn drain_red(&mut self) -> Vec<(Key, A::Red)> {
+        let entries = self.red.drain_entries();
+        *self.red = RedMap::new();
+        entries
+    }
 }
 
 /// Build a fresh map for one shell slot: dense when the analytics declares
@@ -283,7 +323,8 @@ pub(crate) fn prepare_shells<A: Analytics>(
 /// Reduce every partition of the step on the pool, filling the lent
 /// per-thread shells (one per worker per partition, in partition then
 /// thread order — the deterministic merge order local combination relies
-/// on). Worker busy times report through `observer`.
+/// on). Worker busy times report through `observer`; spill activity is
+/// tallied and returned for the scheduler to report once per iteration.
 pub(crate) fn reduce_parts<A: Analytics>(
     cfg: &ReduceCfg<'_, A>,
     pool: &SharedPool,
@@ -291,8 +332,9 @@ pub(crate) fn reduce_parts<A: Analytics>(
     out: &SharedSlice<'_, A::Out>,
     shells: &mut Vec<RedMap<A::Red>>,
     observer: &mut dyn PhaseObserver,
-) -> SmartResult<()> {
+) -> SmartResult<SpillTally> {
     prepare_shells(cfg, parts.len(), shells);
+    let mut tally = SpillTally::default();
     for (part_idx, &(offset, data)) in parts.iter().enumerate() {
         let base = part_idx * cfg.nthreads;
         // PANIC-FREE: prepare_shells sized shells to parts.len() × nthreads, covering every window.
@@ -301,35 +343,47 @@ pub(crate) fn reduce_parts<A: Analytics>(
             // SAFETY: worker `tid` touches only shell index `tid` of this
             // partition's lent window — indices are disjoint across the
             // scoped workers (see shared_slice docs).
-            unsafe { lent.with_mut(tid, |shell| reduce_split(cfg, tid, offset, data, out, shell)) }
-        };
-        let busys = pool.try_run_on_workers(cfg.nthreads, worker)?;
-        for (tid, busy) in busys.into_iter().enumerate() {
-            let busy = busy?;
-            if cfg.measure {
-                observer.split_done(tid, busy);
+            unsafe {
+                lent.with_mut(tid, |shell| {
+                    reduce_split(cfg, part_idx, tid, offset, data, out, shell)
+                })
             }
+        };
+        let reports = pool.try_run_on_workers(cfg.nthreads, worker)?;
+        for (tid, report) in reports.into_iter().enumerate() {
+            let report = report?;
+            if cfg.measure {
+                observer.split_done(tid, report.busy);
+            }
+            tally.runs += report.runs;
+            tally.bytes += report.bytes;
+            tally.busy += report.spill_busy;
         }
     }
-    Ok(())
+    Ok(tally)
 }
 
 /// One worker's split of one partition: reduce batch by batch into the
-/// lent shell, emitting triggered objects early.
+/// lent shell, emitting triggered objects early and draining the shell
+/// into sorted runs whenever it crosses the spill threshold.
 fn reduce_split<A: Analytics>(
     cfg: &ReduceCfg<'_, A>,
+    part: usize,
     tid: usize,
     offset: usize,
     data: &[A::In],
     out: &SharedSlice<'_, A::Out>,
     red: &mut RedMap<A::Red>,
-) -> SmartResult<std::time::Duration> {
+) -> SmartResult<SplitReport> {
     let sw = Stopwatch::new(cfg.measure);
     let chunk_size = cfg.chunk_size;
     let analytics = cfg.analytics;
     let range = split_range(data.len(), cfg.nthreads, tid, chunk_size);
     let whole_chunks = (range.end - range.start) / chunk_size;
     let mut sink = BatchSink::new(cfg.com_map, red, out, cfg.key_mode, cfg.emission_enabled);
+    let mut report =
+        SplitReport { busy: Duration::ZERO, runs: 0, bytes: 0, spill_busy: Duration::ZERO };
+    let mut seq = 0u64;
     let mut done = 0usize;
     while done < whole_chunks {
         let chunks = (whole_chunks - done).min(BATCH_CHUNKS);
@@ -342,8 +396,22 @@ fn reduce_split<A: Analytics>(
         }
         sink.take_error()?;
         done += chunks;
+        if let Some(plan) = &cfg.spill {
+            if sink.red_bytes() > plan.shell_budget {
+                let spill_sw = Stopwatch::new(cfg.measure);
+                let mut entries = sink.drain_red();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                seq += 1;
+                let name = spill::run_name(plan.epoch, part, tid, seq);
+                let summary = spill::write_run(plan.store, &name, &entries)?;
+                report.runs += 1;
+                report.bytes += summary.file_len;
+                report.spill_busy += spill_sw.elapsed();
+            }
+        }
     }
-    Ok(sw.elapsed())
+    report.busy = sw.elapsed();
+    Ok(report)
 }
 
 /// Algorithm 1 lines 20–23: convert the combination map's remaining
@@ -364,7 +432,7 @@ pub(crate) fn convert_remaining<A: Analytics>(
 }
 
 /// Map a key onto an output index, rejecting keys outside the buffer.
-fn checked_index(key: Key, out_len: usize) -> SmartResult<usize> {
+pub(crate) fn checked_index(key: Key, out_len: usize) -> SmartResult<usize> {
     usize::try_from(key)
         .ok()
         .filter(|&i| i < out_len)

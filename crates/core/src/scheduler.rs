@@ -18,10 +18,37 @@ use crate::observer::{NoopObserver, PhaseObserver, RunStats, Stopwatch};
 use crate::redmap::RedMap;
 use crate::reduce;
 use crate::shared_slice::SharedSlice;
+use crate::spill;
 use crate::stage;
 use crate::step::{KeyMode, StepSpec};
 use smart_comm::Communicator;
 use smart_pool::SharedPool;
+use smart_spill::{RunError, SpillStore};
+
+/// Live out-of-core state of one scheduler: a process-private scratch run
+/// store, the current on-disk combination run (when combination state has
+/// spilled), and naming counters. Created lazily on the first spilled
+/// step; the store is removed when the scheduler drops.
+struct SpillRt {
+    store: SpillStore,
+    /// Name of the combination run holding the persistent map, when it
+    /// lives on disk instead of in `com_map`.
+    com_run: Option<String>,
+    /// Next combination-run sequence number.
+    com_seq: u64,
+    /// Per-iteration epoch counter embedded in step-run names.
+    epoch: u64,
+}
+
+/// Resumable scheduler state: the combination entries in canonical
+/// key-sorted order plus the step cursor. See [`Scheduler::snapshot`].
+pub type Snapshot<R> = (Vec<(Key, R)>, usize);
+
+/// Parse a byte-count budget from the environment; unset, empty,
+/// non-numeric, or zero all mean "no budget".
+fn env_budget(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+}
 
 /// A Smart analytics job bound to a thread pool.
 ///
@@ -64,6 +91,18 @@ pub struct Scheduler<A: Analytics> {
     /// Receive global-combination payloads through the validating wire
     /// view ([`Analytics::merge_wire`]) instead of owned decodes.
     wire_view: bool,
+    /// Spilling-shuffle budget: when set (and the analytics opts in via
+    /// [`Analytics::spill_safe`]), worker reduction maps drain to sorted
+    /// on-disk runs instead of growing past it (see [`crate::spill`]).
+    spill_budget: Option<usize>,
+    /// Hard resident-map budget: exceeding it with spilling disengaged is
+    /// a typed [`SmartError::MemBudget`].
+    mem_budget: Option<usize>,
+    /// Lazily created out-of-core state (scratch store + combination run).
+    spill_rt: Option<SpillRt>,
+    /// High-water resident reduction+combination map bytes, sampled each
+    /// iteration while a budget is set.
+    peak_map_bytes: usize,
     steps_run: usize,
     collect_stats: bool,
     last_stats: RunStats,
@@ -104,6 +143,10 @@ impl<A: Analytics> Scheduler<A> {
             scalar_reduce: false,
             dense_maps: true,
             wire_view: !matches!(std::env::var("SMART_WIRE_VIEW"), Ok(v) if v == "0"),
+            spill_budget: env_budget("SMART_SPILL_BUDGET"),
+            mem_budget: env_budget("SMART_MEM_BUDGET"),
+            spill_rt: None,
+            peak_map_bytes: 0,
             steps_run: 0,
             collect_stats: false,
             last_stats: RunStats::default(),
@@ -183,6 +226,63 @@ impl<A: Analytics> Scheduler<A> {
         self.wire_view = flag;
     }
 
+    /// Set (or clear) the spilling-shuffle budget, in bytes of resident
+    /// reduction-map state (env default: `SMART_SPILL_BUDGET`). With a
+    /// budget set and the analytics opted in ([`Analytics::spill_safe`]),
+    /// worker shells crossing their share of the budget drain to sorted
+    /// on-disk runs and the combination map itself lives on disk, streamed
+    /// through a k-way merge each iteration — results stay bit-identical
+    /// to the unbounded run. Clearing the budget folds any on-disk
+    /// combination state back into the resident map.
+    pub fn set_spill_budget(&mut self, budget: Option<usize>) -> SmartResult<()> {
+        if budget.is_none() {
+            self.unspill()?;
+        }
+        self.spill_budget = budget;
+        Ok(())
+    }
+
+    /// The active spilling budget.
+    pub fn spill_budget(&self) -> Option<usize> {
+        self.spill_budget
+    }
+
+    /// Set (or clear) the hard resident-memory budget, in bytes (env
+    /// default: `SMART_MEM_BUDGET`). When the live reduction maps cross it
+    /// on a step where spilling is disengaged, the step fails with
+    /// [`SmartError::MemBudget`] instead of growing without bound.
+    pub fn set_mem_budget(&mut self, budget: Option<usize>) {
+        self.mem_budget = budget;
+    }
+
+    /// The active hard memory budget.
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.mem_budget
+    }
+
+    /// High-water resident reduction+combination map bytes observed while
+    /// a budget was set (0 when no budget has ever been active) — the
+    /// gauge the out-of-core acceptance bound is asserted against.
+    pub fn peak_map_bytes(&self) -> usize {
+        self.peak_map_bytes
+    }
+
+    /// Fold the on-disk combination run (if any) back into the resident
+    /// combination map and delete it.
+    fn unspill(&mut self) -> SmartResult<()> {
+        let Some(rt) = self.spill_rt.as_mut() else { return Ok(()) };
+        let Some(name) = rt.com_run.take() else { return Ok(()) };
+        let mut cursor = rt.store.open(&name).map_err(SmartError::Spill)?;
+        while cursor.advance().map_err(SmartError::Spill)? {
+            let key = cursor.key().unwrap_or(0);
+            let obj = smart_wire::from_bytes(cursor.value())
+                .map_err(|e| SmartError::Spill(RunError::from(e)))?;
+            self.com_map.insert(key, obj);
+        }
+        rt.store.remove(&name).map_err(SmartError::Spill)?;
+        Ok(())
+    }
+
     /// Release the retained per-thread reduction-map shells (they are
     /// rebuilt lazily at the next step). Use when a one-off huge step
     /// should not pin its high-water capacity for the rest of the run.
@@ -206,9 +306,42 @@ impl<A: Analytics> Scheduler<A> {
         self.shells.iter().map(RedMap::retained_bytes).sum()
     }
 
-    /// The combination map (paper Table 1, function 4).
+    /// The combination map (paper Table 1, function 4). Under an engaged
+    /// spilling shuffle the persistent map lives on disk and this resident
+    /// view is empty — use [`canonical_entries`](Self::canonical_entries)
+    /// for a location-independent view.
     pub fn combination_map(&self) -> &ComMap<A::Red> {
         &self.com_map
+    }
+
+    /// The combination map in canonical key-sorted order, wherever it
+    /// lives: streamed from the on-disk combination run when the spilling
+    /// shuffle holds it there, read from the resident map otherwise. This
+    /// is the comparison/checkpoint form the transport, recovery, and
+    /// service layers use.
+    pub fn canonical_entries(&self) -> SmartResult<Vec<(Key, A::Red)>> {
+        if let Some(rt) = &self.spill_rt {
+            if let Some(name) = &rt.com_run {
+                let mut cursor = rt.store.open(name).map_err(SmartError::Spill)?;
+                let mut out = Vec::new();
+                while cursor.advance().map_err(SmartError::Spill)? {
+                    let key = cursor.key().unwrap_or(0);
+                    let obj = smart_wire::from_bytes(cursor.value())
+                        .map_err(|e| SmartError::Spill(RunError::from(e)))?;
+                    out.push((key, obj));
+                }
+                return Ok(out);
+            }
+        }
+        Ok(self.com_map.to_sorted_entries())
+    }
+
+    /// Wire-serialized [`canonical_entries`](Self::canonical_entries) —
+    /// the bit-identity comparison form used across transports, ranks,
+    /// and recovery paths.
+    pub fn canonical_map_bytes(&self) -> SmartResult<Vec<u8>> {
+        smart_wire::to_bytes(&self.canonical_entries()?)
+            .map_err(|e| SmartError::Spill(RunError::from(e)))
     }
 
     /// The analytics implementation.
@@ -232,25 +365,40 @@ impl<A: Analytics> Scheduler<A> {
     pub fn reset(&mut self) {
         self.com_map.clear();
         self.extra_processed = false;
+        self.discard_com_run();
+    }
+
+    /// Delete the on-disk combination run, if one exists (state reset —
+    /// best-effort, the scratch dir is reclaimed on drop anyway).
+    fn discard_com_run(&mut self) {
+        if let Some(rt) = self.spill_rt.as_mut() {
+            if let Some(name) = rt.com_run.take() {
+                let _ = rt.store.remove(&name);
+            }
+        }
     }
 
     /// Capture the scheduler's resumable state: the persistent combination
     /// map in canonical key-sorted order plus the step cursor. This is what
     /// a checkpoint must hold for a restarted scheduler to continue
     /// bit-identically (`smart-ft`'s recovery driver wraps this in a
-    /// CRC-validated on-disk record).
-    pub fn snapshot(&self) -> (Vec<(Key, A::Red)>, usize) {
-        (self.com_map.to_sorted_entries(), self.steps_run)
+    /// CRC-validated on-disk record). Fallible because a spilled
+    /// combination map streams in from its on-disk run.
+    pub fn snapshot(&self) -> SmartResult<Snapshot<A::Red>> {
+        Ok((self.canonical_entries()?, self.steps_run))
     }
 
     /// Restore state captured by [`snapshot`](Self::snapshot): rebuild the
     /// combination map from `entries` and set the step cursor. Extra data
     /// is treated as already processed — its effect lives inside the
-    /// snapshotted map, and re-seeding it would double-count.
+    /// snapshotted map, and re-seeding it would double-count. Any on-disk
+    /// combination run is discarded; the next spilled step moves the
+    /// restored map back out of core.
     pub fn restore(&mut self, entries: Vec<(Key, A::Red)>, steps_run: usize) {
         self.com_map = ComMap::from_entries(entries);
         self.steps_run = steps_run;
         self.extra_processed = true;
+        self.discard_com_run();
     }
 
     /// Single-key analytics on one input block, single rank
@@ -403,13 +551,47 @@ impl<A: Analytics> Scheduler<A> {
             self.extra_processed = true;
         }
 
+        // Out-of-core engagement: budget set, analytics opted in, and no
+        // map distribution (a spilled combination map cannot seed worker
+        // shells). Engaged, workers drain over-budget shells to runs and
+        // the combination map itself lives on disk between steps.
+        let spilling =
+            self.spill_budget.is_some() && self.analytics.spill_safe() && !self.distribute_map;
+        if spilling && self.spill_rt.is_none() {
+            self.spill_rt = Some(SpillRt {
+                store: SpillStore::scratch("sched").map_err(SmartError::Spill)?,
+                com_run: None,
+                com_seq: 0,
+                epoch: 0,
+            });
+        }
+        if !spilling {
+            // A previously spilled combination map must come back resident
+            // before the in-memory path reads it (budget cleared mid-run,
+            // distribution toggled on, …).
+            self.unspill()?;
+        }
+        let track_peak = spilling || self.mem_budget.is_some();
+        // Half the budget for the resident tails, split across shells; the
+        // other half covers merge windows and in-flight entry vectors.
+        let shell_budget =
+            self.spill_budget.unwrap_or(0) / (2 * (parts.len().max(1) * self.args.num_threads));
+
         let out_shared = SharedSlice::new(out);
 
         for _iter in 0..self.args.num_iters {
             // Reduction (lines 4–10 + Algorithm 2): one split per thread
             // into the retained shells, partitions run back-to-back over
             // the same pool.
-            reduce::reduce_parts(
+            let epoch = match self.spill_rt.as_mut() {
+                Some(rt) if spilling => {
+                    let e = rt.epoch;
+                    rt.epoch += 1;
+                    e
+                }
+                _ => 0,
+            };
+            let tally = reduce::reduce_parts(
                 &reduce::ReduceCfg {
                     analytics: &self.analytics,
                     com_map: &self.com_map,
@@ -417,10 +599,24 @@ impl<A: Analytics> Scheduler<A> {
                     chunk_size: self.args.chunk_size,
                     distribute: self.distribute_map,
                     key_mode,
-                    emission_enabled: !self.args.disable_trigger && !out_shared.is_empty(),
+                    // spill_safe analytics never trigger; suppressing
+                    // emission keeps the output path single (convert from
+                    // the merged combination run).
+                    emission_enabled: !spilling
+                        && !self.args.disable_trigger
+                        && !out_shared.is_empty(),
                     measure,
                     scalar_reduce: self.scalar_reduce,
-                    dense_maps: self.dense_maps,
+                    // Dense shells charge their full key-bound footprint
+                    // up front, which would trip the threshold regardless
+                    // of fill; spilled shells stay hashed.
+                    dense_maps: self.dense_maps && !spilling,
+                    spill: match &self.spill_rt {
+                        Some(rt) if spilling => {
+                            Some(spill::SpillPlan { store: &rt.store, shell_budget, epoch })
+                        }
+                        _ => None,
+                    },
                 },
                 &self.pool,
                 parts,
@@ -428,41 +624,64 @@ impl<A: Analytics> Scheduler<A> {
                 &mut self.shells,
                 observer,
             )?;
+            if measure && tally.runs > 0 {
+                observer.spill_done(tally.runs, tally.bytes, tally.busy);
+            }
 
-            // Combination (lines 11–17) into a fresh *delta* map: the delta
-            // holds only this iteration's contribution, so global
-            // combination never re-sums state previous steps already made
-            // global (the combination map persists across time-steps). The
-            // shells are drained in place and stay retained for the next
-            // step.
-            let sw = Stopwatch::new(measure);
-            let mut delta = combine::local_combine(
-                &self.analytics,
-                &self.pool,
-                self.combine_strategy,
-                &mut self.shells,
-                observer,
-            )?;
-            if self.global_combination {
-                if let Some(comm) = comm.as_deref_mut() {
-                    delta = combine::global_combine(
-                        &self.analytics,
-                        self.combine_strategy,
-                        comm,
-                        delta,
-                        self.wire_view,
-                        observer,
-                    )
-                    // A comm failure here (typically PeerGone) names the
-                    // observing rank and the step it was executing, so a
-                    // distributed drive's failure report is actionable.
-                    .map_err(|e| e.at(comm.rank(), self.steps_run))?;
+            if track_peak {
+                let used = self.shells.iter().map(RedMap::retained_bytes).sum::<usize>()
+                    + self.com_map.retained_bytes();
+                self.peak_map_bytes = self.peak_map_bytes.max(used);
+                if !spilling {
+                    if let Some(limit) = self.mem_budget {
+                        if used > limit {
+                            return Err(SmartError::MemBudget { limit, used });
+                        }
+                    }
                 }
             }
-            // Fold the (now global) delta into the persistent combination
-            // map, then line 18.
-            combine::merge_into(&self.analytics, delta, &mut self.com_map);
-            self.analytics.post_combine(&mut self.com_map);
+
+            let sw = Stopwatch::new(measure);
+            if spilling {
+                // Out-of-core combination: merge this iteration's runs and
+                // tails (plus the globally combined delta, distributed)
+                // with the previous combination run into a fresh one.
+                self.spill_combine(comm.as_deref_mut(), observer)?;
+            } else {
+                // Combination (lines 11–17) into a fresh *delta* map: the
+                // delta holds only this iteration's contribution, so global
+                // combination never re-sums state previous steps already
+                // made global (the combination map persists across
+                // time-steps). The shells are drained in place and stay
+                // retained for the next step.
+                let mut delta = combine::local_combine(
+                    &self.analytics,
+                    &self.pool,
+                    self.combine_strategy,
+                    &mut self.shells,
+                    observer,
+                )?;
+                if self.global_combination {
+                    if let Some(comm) = comm.as_deref_mut() {
+                        delta = combine::global_combine(
+                            &self.analytics,
+                            self.combine_strategy,
+                            comm,
+                            delta,
+                            self.wire_view,
+                            observer,
+                        )
+                        // A comm failure here (typically PeerGone) names the
+                        // observing rank and the step it was executing, so a
+                        // distributed drive's failure report is actionable.
+                        .map_err(|e| e.at(comm.rank(), self.steps_run))?;
+                    }
+                }
+                // Fold the (now global) delta into the persistent
+                // combination map, then line 18.
+                combine::merge_into(&self.analytics, delta, &mut self.com_map);
+                self.analytics.post_combine(&mut self.com_map);
+            }
             if measure {
                 observer.iter_done(sw.elapsed());
             }
@@ -470,7 +689,11 @@ impl<A: Analytics> Scheduler<A> {
 
         // Lines 20–23: convert remaining reduction objects into the output.
         if !out_shared.is_empty() {
-            reduce::convert_remaining(&self.analytics, &self.com_map, &out_shared)?;
+            if spilling {
+                self.convert_from_disk(&out_shared)?;
+            } else {
+                reduce::convert_remaining(&self.analytics, &self.com_map, &out_shared)?;
+            }
         }
 
         self.copy_buf = copy_buf;
@@ -480,12 +703,140 @@ impl<A: Analytics> Scheduler<A> {
         self.report_retained();
         Ok(())
     }
+
+    /// The combination phase of a spilled iteration: k-way merge this
+    /// iteration's step runs and resident shell tails — and, distributed,
+    /// the globally combined delta — with the previous combination run,
+    /// streaming straight into a fresh combination run. No stage ever
+    /// holds the whole map resident; the delta the distributed path keeps
+    /// in memory holds only one step's contribution.
+    fn spill_combine(
+        &mut self,
+        comm: Option<&mut Communicator>,
+        observer: &mut dyn PhaseObserver,
+    ) -> SmartResult<()> {
+        let measure = observer.enabled();
+        let sw = Stopwatch::new(measure);
+        let Some(rt) = self.spill_rt.as_mut() else { return Ok(()) };
+
+        let step_runs: Vec<String> = rt
+            .store
+            .run_names()
+            .map_err(SmartError::Spill)?
+            .into_iter()
+            .filter(|n| n.starts_with("r-"))
+            .collect();
+
+        // The previous combination state is the oldest — and therefore
+        // first — merge source: the prior combination run, or whatever is
+        // resident (a restored snapshot, extra-data seeding) on the first
+        // spilled step.
+        let old_com = rt.com_run.take();
+        let com_src: Option<spill::Src<A::Red>> = match &old_com {
+            Some(name) => Some(spill::Src::Run(rt.store.open(name).map_err(SmartError::Spill)?)),
+            None if !self.com_map.is_empty() => {
+                let mut entries = self.com_map.drain_entries();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                Some(spill::Src::mem(entries))
+            }
+            None => None,
+        };
+
+        // This iteration's contribution: step runs in name order (their
+        // zero-padded names sort in (epoch, partition, thread, sequence)
+        // creation order), then the resident tails in shell order — the
+        // same fold order in-memory local combination uses.
+        let mut step_sources: Vec<spill::Src<A::Red>> = Vec::with_capacity(step_runs.len());
+        for name in &step_runs {
+            step_sources.push(spill::Src::Run(rt.store.open(name).map_err(SmartError::Spill)?));
+        }
+        for shell in self.shells.iter_mut() {
+            if shell.is_empty() {
+                continue;
+            }
+            let mut entries = shell.drain_entries();
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            step_sources.push(spill::Src::mem(entries));
+        }
+
+        let next = spill::com_name(rt.com_seq);
+        rt.com_seq += 1;
+
+        match comm {
+            Some(comm) if self.global_combination => {
+                // The rank's delta must be resident for the collectives.
+                let local = spill::merge_to_entries(&self.analytics, step_sources)?;
+                if measure {
+                    observer.local_merge_done(sw.elapsed());
+                }
+                let delta = combine::global_combine_entries(
+                    &self.analytics,
+                    self.combine_strategy,
+                    comm,
+                    local,
+                    self.wire_view,
+                    observer,
+                )
+                .map_err(|e| e.at(comm.rank(), self.steps_run))?;
+                let mut final_sources: Vec<spill::Src<A::Red>> = Vec::with_capacity(2);
+                if let Some(com) = com_src {
+                    final_sources.push(com);
+                }
+                final_sources.push(spill::Src::mem(delta));
+                spill::merge_to_run(&self.analytics, final_sources, &rt.store, &next)?;
+            }
+            _ => {
+                let mut sources: Vec<spill::Src<A::Red>> =
+                    Vec::with_capacity(step_sources.len() + 1);
+                if let Some(com) = com_src {
+                    sources.push(com);
+                }
+                sources.extend(step_sources);
+                spill::merge_to_run(&self.analytics, sources, &rt.store, &next)?;
+                if measure {
+                    observer.local_merge_done(sw.elapsed());
+                }
+            }
+        }
+        rt.com_run = Some(next);
+        if let Some(name) = &old_com {
+            rt.store.remove(name).map_err(SmartError::Spill)?;
+        }
+        for name in &step_runs {
+            rt.store.remove(name).map_err(SmartError::Spill)?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 1 lines 20–23 against an on-disk combination map: stream
+    /// the run's records through a fixed window, converting each into its
+    /// output slot.
+    fn convert_from_disk(&self, out: &SharedSlice<'_, A::Out>) -> SmartResult<()> {
+        let Some(rt) = &self.spill_rt else { return Ok(()) };
+        let Some(name) = &rt.com_run else { return Ok(()) };
+        let mut cursor = rt.store.open(name).map_err(SmartError::Spill)?;
+        while cursor.advance().map_err(SmartError::Spill)? {
+            let key = cursor.key().unwrap_or(0);
+            let idx = reduce::checked_index(key, out.len())?;
+            let obj: A::Red = smart_wire::from_bytes(cursor.value())
+                .map_err(|e| SmartError::Spill(RunError::from(e)))?;
+            // SAFETY: the parallel phase is over; this thread is the only
+            // writer.
+            unsafe { out.with_mut(idx, |o| self.analytics.convert(&obj, o)) };
+        }
+        Ok(())
+    }
 }
 
 impl<A: Analytics> Drop for Scheduler<A> {
     fn drop(&mut self) {
         // Withdraw this scheduler's contribution to the retained-map gauge.
         smart_memtrack::adjust_retained_map_bytes(-(self.reported_retained as isize));
+        // Reclaim the scratch run store (best-effort; it lives under the
+        // temp dir regardless).
+        if let Some(rt) = &self.spill_rt {
+            rt.store.cleanup();
+        }
     }
 }
 
@@ -1029,7 +1380,7 @@ mod tests {
         let mut first = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
         first.run(&step, &mut out).unwrap();
         first.run(&step, &mut out).unwrap();
-        let (entries, cursor) = first.snapshot();
+        let (entries, cursor) = first.snapshot().unwrap();
         assert_eq!(cursor, 2);
         drop(first);
         let mut resumed = Scheduler::new(SumSquares, SchedArgs::new(4, 1), pool4()).unwrap();
@@ -1046,7 +1397,7 @@ mod tests {
         let mut s = Scheduler::new(Iterative, args.clone(), pool4()).unwrap();
         let mut out = [0.0f64];
         s.run(&data, &mut out).unwrap();
-        let (entries, cursor) = s.snapshot();
+        let (entries, cursor) = s.snapshot().unwrap();
         let mut r = Scheduler::new(Iterative, args, pool4()).unwrap();
         r.restore(entries, cursor);
         r.run(&data, &mut out).unwrap();
@@ -1174,5 +1525,143 @@ mod tests {
         core.execute(StepSpec::new(&[(0, &data)]), &mut b).unwrap();
         assert_eq!(a, b);
         assert_eq!(map_bytes(&legacy), map_bytes(&core));
+    }
+
+    /// Many-key counting analytics that opts into the spilling shuffle.
+    /// Counts are integer-carried, so spilled and resident runs must be
+    /// bit-identical, not just numerically close.
+    #[derive(Clone, Serialize, Deserialize, Default, Debug, PartialEq)]
+    struct Cnt {
+        n: u64,
+    }
+    impl RedObj for Cnt {}
+
+    struct CountKeys;
+    impl Analytics for CountKeys {
+        type In = f64;
+        type Red = Cnt;
+        type Out = u64;
+        type Extra = ();
+        fn gen_key(&self, c: &Chunk, d: &[f64], _com: &ComMap<Cnt>) -> Key {
+            d[c.local_start] as Key
+        }
+        fn accumulate(&self, _c: &Chunk, _d: &[f64], _k: Key, obj: &mut Option<Cnt>) {
+            obj.get_or_insert_with(Cnt::default).n += 1;
+        }
+        fn merge(&self, red: &Cnt, com: &mut Cnt) {
+            com.n += red.n;
+        }
+        fn spill_safe(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn spilling_matches_resident_bit_identically() {
+        let data: Vec<f64> = (0..6000).map(|i| (i % 2913) as f64).collect();
+        let mut resident = Scheduler::new(CountKeys, SchedArgs::new(2, 1), pool4()).unwrap();
+        resident.run(&data, &mut []).unwrap();
+
+        let mut spilled = Scheduler::new(CountKeys, SchedArgs::new(2, 1), pool4()).unwrap();
+        spilled.set_spill_budget(Some(16 * 1024)).unwrap();
+        spilled.set_collect_stats(true);
+        spilled.run(&data, &mut []).unwrap();
+
+        let stats = spilled.last_stats();
+        assert!(stats.spill_runs >= 2, "budget never tripped: {} runs", stats.spill_runs);
+        assert!(stats.spill_bytes > 0);
+        assert!(
+            spilled.combination_map().is_empty(),
+            "combined state should live on disk while spilling"
+        );
+        assert_eq!(spilled.canonical_map_bytes().unwrap(), resident.canonical_map_bytes().unwrap());
+    }
+
+    #[test]
+    fn spilling_across_steps_matches_resident() {
+        let mut resident = Scheduler::new(CountKeys, SchedArgs::new(3, 1), pool4()).unwrap();
+        let mut spilled = Scheduler::new(CountKeys, SchedArgs::new(3, 1), pool4()).unwrap();
+        spilled.set_spill_budget(Some(8 * 1024)).unwrap();
+        for step in 0..3 {
+            let data: Vec<f64> = (0..2000).map(|i| ((i * 7 + step * 13) % 1531) as f64).collect();
+            resident.run(&data, &mut []).unwrap();
+            spilled.run(&data, &mut []).unwrap();
+            assert_eq!(
+                spilled.canonical_map_bytes().unwrap(),
+                resident.canonical_map_bytes().unwrap(),
+                "diverged at step {step}"
+            );
+        }
+        let (entries, cursor) = spilled.snapshot().unwrap();
+        assert_eq!(cursor, 3);
+        assert_eq!(entries.len(), 1531);
+    }
+
+    #[test]
+    fn mem_budget_is_a_typed_error_without_spilling() {
+        let data: Vec<f64> = (0..4000).map(|i| i as f64).collect();
+        let mut s = Scheduler::new(CountKeys, SchedArgs::new(1, 1), pool4()).unwrap();
+        // Pin spilling off: an ambient SMART_SPILL_BUDGET (the CI spill job
+        // exports one) must not defuse the hard budget under test.
+        s.set_spill_budget(None).unwrap();
+        s.set_mem_budget(Some(1024));
+        match s.run(&data, &mut []) {
+            Err(SmartError::MemBudget { limit: 1024, used }) => assert!(used > 1024),
+            other => panic!("expected MemBudget, got {other:?}"),
+        }
+        // The same budget with spilling engaged is satisfiable: combined
+        // state streams to disk instead of occupying the map.
+        let mut s = Scheduler::new(CountKeys, SchedArgs::new(1, 1), pool4()).unwrap();
+        s.set_mem_budget(Some(1024));
+        s.set_spill_budget(Some(1024)).unwrap();
+        s.run(&data, &mut []).unwrap();
+    }
+
+    #[test]
+    fn peak_resident_bytes_stay_under_budget() {
+        // ~20k distinct keys: the unbounded resident footprint exceeds the
+        // spill budget by the acceptance factor of 10. An (unreachable)
+        // memory budget turns the peak gauge on for the resident run, which
+        // measures the unbounded high-water mark.
+        let data: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        let mut resident = Scheduler::new(CountKeys, SchedArgs::new(1, 1), pool4()).unwrap();
+        // The baseline must really be unbounded even under an ambient
+        // SMART_SPILL_BUDGET (the CI spill job exports one).
+        resident.set_spill_budget(None).unwrap();
+        resident.set_mem_budget(Some(usize::MAX));
+        resident.run(&data, &mut []).unwrap();
+        let unbounded = resident.peak_map_bytes();
+        assert!(unbounded > 0, "resident peak gauge never recorded");
+
+        let budget = unbounded / 10;
+        let mut spilled = Scheduler::new(CountKeys, SchedArgs::new(1, 1), pool4()).unwrap();
+        spilled.set_spill_budget(Some(budget)).unwrap();
+        spilled.run(&data, &mut []).unwrap();
+        let peak = spilled.peak_map_bytes();
+        assert!(
+            peak <= budget,
+            "peak {peak} over the {budget}-byte budget ({unbounded} unbounded)"
+        );
+        assert_eq!(spilled.canonical_map_bytes().unwrap(), resident.canonical_map_bytes().unwrap());
+    }
+
+    #[test]
+    fn clearing_the_budget_folds_runs_back() {
+        let data: Vec<f64> = (0..3000).map(|i| (i % 1723) as f64).collect();
+        let mut s = Scheduler::new(CountKeys, SchedArgs::new(2, 1), pool4()).unwrap();
+        s.set_spill_budget(Some(8 * 1024)).unwrap();
+        s.run(&data, &mut []).unwrap();
+        assert!(s.combination_map().is_empty());
+
+        s.set_spill_budget(None).unwrap();
+        let entries = s.combination_map().to_sorted_entries();
+        assert_eq!(entries.len(), 1723, "unspill must fold every key back");
+
+        // And the next resident step keeps accumulating on top of it.
+        let mut resident = Scheduler::new(CountKeys, SchedArgs::new(2, 1), pool4()).unwrap();
+        resident.run(&data, &mut []).unwrap();
+        resident.run(&data, &mut []).unwrap();
+        s.run(&data, &mut []).unwrap();
+        assert_eq!(s.canonical_map_bytes().unwrap(), resident.canonical_map_bytes().unwrap());
     }
 }

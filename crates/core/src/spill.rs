@@ -1,0 +1,333 @@
+//! Core side of the spilling shuffle: the reduction phase drains
+//! over-budget reduction maps into sorted on-disk runs (`smart-spill`'s
+//! SMRN format), and the combination phase merges those runs with the
+//! resident tails through a loser-tree k-way merge — feeding the exact
+//! same downstream machinery (global combination strategies, output
+//! conversion) a fully resident run would.
+//!
+//! ## Why the result is bit-identical to the in-memory run
+//!
+//! Spilling fragments one key's contributions across several runs plus a
+//! resident tail, where the in-memory path folds them into a single
+//! reduction object as chunks arrive. [`crate::Analytics::spill_safe`]
+//! makes the two equal: accumulation must distribute over `merge` on
+//! integer-carried state (the repo's cross-strategy bit-identity
+//! convention), so folding the fragments at merge time — in the
+//! deterministic order the loser tree hands them out (run-name order,
+//! which is (partition, thread, sequence) creation order, then shell
+//! order for tails) — reproduces the resident object exactly.
+//!
+//! ## Merge orientation
+//!
+//! Sources are ordered oldest-first: the previous combination run (when
+//! one exists) is source 0, then this iteration's runs, then the resident
+//! tails. The first fragment seen for a key seeds the accumulator and
+//! every later fragment merges in as `merge(incoming, acc)` — the same
+//! orientation as [`crate::combine`]'s `merge_into`, where earlier state
+//! is the combination object and later state the incoming delta.
+
+use crate::api::{Analytics, Key, RedObj};
+use crate::error::{SmartError, SmartResult};
+use smart_spill::{LoserTree, RunCursor, RunError, RunSummary, SpillStore};
+
+/// Per-step spilling configuration lent to the reduction phase.
+pub(crate) struct SpillPlan<'a> {
+    /// The scheduler's scratch run store.
+    pub store: &'a SpillStore,
+    /// Resident-byte threshold per worker shell: a shell crossing it is
+    /// drained into a run at the next batch boundary. The scheduler sizes
+    /// this as `budget / (2 * shells)` so all tails together stay under
+    /// half the budget.
+    pub shell_budget: usize,
+    /// Monotonic per-iteration counter, embedded in run names so an
+    /// iteration's runs sort after every earlier epoch's.
+    pub epoch: u64,
+}
+
+/// Sortable run name for one drained shell fragment. Lexicographic order
+/// over these names is (epoch, partition, thread, sequence) order — the
+/// in-memory fold order local combination uses for shells.
+pub(crate) fn run_name(epoch: u64, part: usize, tid: usize, seq: u64) -> String {
+    format!("r-{epoch:06}-p{part:03}-t{tid:03}-{seq:04}.smrn")
+}
+
+/// Combination-run name: sorts after nothing (combination runs are opened
+/// explicitly, never discovered via `run_names`).
+pub(crate) fn com_name(seq: u64) -> String {
+    format!("com-{seq:06}.smrn")
+}
+
+/// Write sorted `(key, object)` entries as one run. Values are
+/// wire-encoded exactly as global combination would encode them, so the
+/// run's canonical payload is byte-identical to
+/// `smart_wire::to_bytes(&entries)`.
+pub(crate) fn write_run<R: RedObj>(
+    store: &SpillStore,
+    name: &str,
+    entries: &[(Key, R)],
+) -> Result<RunSummary, RunError> {
+    let mut w = store.writer(name)?;
+    for (key, obj) in entries {
+        let bytes = smart_wire::to_bytes(obj)?;
+        w.record(*key, &bytes)?;
+    }
+    w.finish()
+}
+
+/// One sorted source of `(key, reduction object)` records for the k-way
+/// merge: an on-disk run cursor, or an in-memory sorted entry vector (a
+/// resident shell tail, or a globally combined delta).
+pub(crate) enum Src<R> {
+    /// A validated on-disk run, streamed through a fixed window.
+    Run(RunCursor),
+    /// Sorted resident entries; `Option` so values move out during the
+    /// fold without shifting the vector.
+    Mem { entries: Vec<(Key, Option<R>)>, pos: usize },
+}
+
+impl<R: RedObj> Src<R> {
+    /// Wrap a sorted entry vector as a merge source.
+    pub(crate) fn mem(entries: Vec<(Key, R)>) -> Src<R> {
+        Src::Mem { entries: entries.into_iter().map(|(k, v)| (k, Some(v))).collect(), pos: 0 }
+    }
+
+    /// The current record's key, or `None` once exhausted.
+    fn key(&self) -> Option<Key> {
+        match self {
+            Src::Run(c) => c.key(),
+            Src::Mem { entries, pos } => entries.get(*pos).map(|e| e.0),
+        }
+    }
+
+    /// Fold the current record into `acc` (seeding it when empty) and step
+    /// to the next one. Run values merge through the zero-copy wire view
+    /// ([`Analytics::merge_wire`]); memory values merge owned.
+    fn fold_into<A: Analytics<Red = R>>(
+        &mut self,
+        analytics: &A,
+        acc: &mut Option<R>,
+    ) -> SmartResult<()> {
+        match self {
+            Src::Run(c) => {
+                match acc {
+                    Some(com) => {
+                        let mut de = smart_wire::Deserializer::new(c.value());
+                        analytics
+                            .merge_wire(&mut de, com)
+                            .map_err(|e| SmartError::Spill(RunError::from(e)))?;
+                    }
+                    None => {
+                        let obj = smart_wire::from_bytes(c.value())
+                            .map_err(|e| SmartError::Spill(RunError::from(e)))?;
+                        *acc = Some(obj);
+                    }
+                }
+                c.advance().map_err(SmartError::Spill)?;
+            }
+            Src::Mem { entries, pos } => {
+                // PANIC-FREE: callers fold only sources whose key() is Some, so pos indexes a live entry.
+                if let Some(obj) = entries[*pos].1.take() {
+                    match acc {
+                        Some(com) => analytics.merge(&obj, com),
+                        None => *acc = Some(obj),
+                    }
+                }
+                *pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merge `sources` (each sorted ascending by key) into a single sorted
+/// stream of combined `(key, object)` records, delivered to `emit`.
+/// Same-key records across sources fold in source order — the loser tree
+/// breaks key ties by source index — which is the deterministic order the
+/// in-memory combination uses.
+// PANIC-FREE: every index into `sources` is a leaf index of the loser tree,
+// which was built over exactly sources.len() seated leaves.
+pub(crate) fn merge_sources<A: Analytics>(
+    analytics: &A,
+    mut sources: Vec<Src<A::Red>>,
+    emit: &mut dyn FnMut(Key, A::Red) -> SmartResult<()>,
+) -> SmartResult<()> {
+    if sources.is_empty() {
+        return Ok(());
+    }
+    // Cursors open positioned before their first record.
+    for src in &mut sources {
+        if let Src::Run(c) = src {
+            c.advance().map_err(SmartError::Spill)?;
+        }
+    }
+    let k = sources.len();
+    let mut tree = {
+        let mut key = |s: usize| sources[s].key();
+        LoserTree::new(k, &mut key)
+    };
+    loop {
+        // PANIC-FREE: the tree was built over exactly k seated sources, so the winner indexes one.
+        let mut w = tree.winner();
+        let Some(cur) = sources[w].key() else { break };
+        let mut acc: Option<A::Red> = None;
+        loop {
+            // PANIC-FREE: winner indexes a seated source (see above).
+            sources[w].fold_into(analytics, &mut acc)?;
+            {
+                let mut key = |s: usize| sources[s].key();
+                tree.replay(&mut key);
+            }
+            w = tree.winner();
+            // PANIC-FREE: winner indexes a seated source (see above).
+            if sources[w].key() != Some(cur) {
+                break;
+            }
+        }
+        if let Some(obj) = acc {
+            emit(cur, obj)?;
+        }
+    }
+    Ok(())
+}
+
+/// [`merge_sources`] into a sorted entry vector — the distributed path,
+/// which must hold this rank's delta resident to run the global
+/// combination collectives over it.
+pub(crate) fn merge_to_entries<A: Analytics>(
+    analytics: &A,
+    sources: Vec<Src<A::Red>>,
+) -> SmartResult<Vec<(Key, A::Red)>> {
+    let mut out = Vec::new();
+    merge_sources(analytics, sources, &mut |key, obj| {
+        out.push((key, obj));
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// [`merge_sources`] streamed straight into a new combination run — the
+/// single-rank path, where no stage of the merged result is ever resident.
+/// Returns the committed run's summary.
+pub(crate) fn merge_to_run<A: Analytics>(
+    analytics: &A,
+    sources: Vec<Src<A::Red>>,
+    store: &SpillStore,
+    name: &str,
+) -> SmartResult<RunSummary> {
+    let mut writer = store.writer(name).map_err(SmartError::Spill)?;
+    merge_sources(analytics, sources, &mut |key, obj| {
+        let bytes = smart_wire::to_bytes(&obj).map_err(|e| SmartError::Spill(RunError::from(e)))?;
+        writer.record(key, &bytes).map_err(SmartError::Spill)?;
+        Ok(())
+    })?;
+    writer.finish().map_err(SmartError::Spill)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Chunk, ComMap};
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Clone, Serialize, Deserialize, Debug, PartialEq)]
+    struct Cnt(u64);
+    impl RedObj for Cnt {}
+
+    struct Count;
+    impl Analytics for Count {
+        type In = u64;
+        type Red = Cnt;
+        type Out = u64;
+        type Extra = ();
+        fn accumulate(&self, _c: &Chunk, _d: &[u64], _k: Key, obj: &mut Option<Cnt>) {
+            obj.get_or_insert(Cnt(0)).0 += 1;
+        }
+        fn merge(&self, red: &Cnt, com: &mut Cnt) {
+            com.0 += red.0;
+        }
+        fn spill_safe(&self) -> bool {
+            true
+        }
+    }
+
+    fn collect(sources: Vec<Src<Cnt>>) -> Vec<(Key, Cnt)> {
+        merge_to_entries(&Count, sources).unwrap()
+    }
+
+    #[test]
+    fn run_names_sort_in_fold_order() {
+        let mut names = vec![
+            run_name(1, 0, 0, 2),
+            run_name(0, 1, 0, 1),
+            run_name(0, 0, 1, 1),
+            run_name(0, 0, 0, 1),
+        ];
+        let want = names.clone();
+        names.sort_unstable();
+        assert_eq!(names, [want[3].clone(), want[2].clone(), want[1].clone(), want[0].clone()]);
+    }
+
+    #[test]
+    fn mem_only_merge_combines_duplicates_in_source_order() {
+        let a = Src::mem(vec![(1, Cnt(1)), (3, Cnt(10))]);
+        let b = Src::mem(vec![(1, Cnt(2)), (2, Cnt(5)), (3, Cnt(20))]);
+        let got = collect(vec![a, b]);
+        assert_eq!(got, [(1, Cnt(3)), (2, Cnt(5)), (3, Cnt(30))]);
+    }
+
+    #[test]
+    fn run_and_mem_sources_merge_bit_identically_to_resident_fold() {
+        let store = SpillStore::scratch("core-spill-test").unwrap();
+        // Two runs + one tail, overlapping keys.
+        write_run(&store, "r-000000-p000-t000-0001.smrn", &[(0, Cnt(1)), (2, Cnt(2))]).unwrap();
+        write_run(&store, "r-000000-p000-t001-0001.smrn", &[(0, Cnt(4)), (5, Cnt(8))]).unwrap();
+        let sources = vec![
+            Src::Run(store.open("r-000000-p000-t000-0001.smrn").unwrap()),
+            Src::Run(store.open("r-000000-p000-t001-0001.smrn").unwrap()),
+            Src::mem(vec![(2, Cnt(16)), (5, Cnt(32))]),
+        ];
+        let got = collect(sources);
+        // The resident fold: merge everything into one map, sort.
+        let mut map: ComMap<Cnt> = ComMap::new();
+        for (k, v) in
+            [(0, Cnt(1)), (2, Cnt(2)), (0, Cnt(4)), (5, Cnt(8)), (2, Cnt(16)), (5, Cnt(32))]
+        {
+            match map.get_mut(k) {
+                Some(com) => Count.merge(&v, com),
+                None => {
+                    map.insert(k, v);
+                }
+            }
+        }
+        assert_eq!(
+            smart_wire::to_bytes(&got).unwrap(),
+            smart_wire::to_bytes(&map.to_sorted_entries()).unwrap()
+        );
+        store.cleanup();
+    }
+
+    #[test]
+    fn merge_to_run_streams_and_round_trips() {
+        let store = SpillStore::scratch("core-spill-roundtrip").unwrap();
+        let sources = vec![
+            Src::mem(vec![(1, Cnt(1)), (2, Cnt(2))]),
+            Src::mem(vec![(2, Cnt(3)), (9, Cnt(9))]),
+        ];
+        let summary = merge_to_run(&Count, sources, &store, "com-000000.smrn").unwrap();
+        assert_eq!(summary.records, 3);
+        let mut cursor = store.open("com-000000.smrn").unwrap();
+        let mut got = Vec::new();
+        while cursor.advance().unwrap() {
+            let key = cursor.key().unwrap();
+            got.push((key, smart_wire::from_bytes::<Cnt>(cursor.value()).unwrap()));
+        }
+        assert_eq!(got, [(1, Cnt(1)), (2, Cnt(5)), (9, Cnt(9))]);
+        store.cleanup();
+    }
+
+    #[test]
+    fn empty_sources_emit_nothing() {
+        assert!(collect(vec![]).is_empty());
+        assert!(collect(vec![Src::mem(vec![])]).is_empty());
+    }
+}

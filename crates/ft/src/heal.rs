@@ -459,7 +459,8 @@ where
                             // vote above catches boundary deaths) rolls the
                             // scheduler back and retries over the
                             // survivors.
-                            let (snap, cursor) = sched.snapshot();
+                            let (snap, cursor) =
+                                sched.snapshot().map_err(|e| e.at(me, committed))?;
                             let parts: Vec<(usize, &[A::In])> = slots
                                 .iter()
                                 .filter_map(|slot| {
@@ -515,9 +516,7 @@ where
                         stats.transit_recv_busy += slot.rx.stats().recv_busy;
                         stats.transit_bytes += slot.rx.stats().bytes;
                     }
-                    let map_bytes =
-                        smart_wire::to_bytes(&sched.combination_map().to_sorted_entries())
-                            .map_err(|e| SmartError::Comm(e.into()))?;
+                    let map_bytes = sched.canonical_map_bytes().map_err(|e| e.at(me, committed))?;
                     Ok(HealedStagerOutcome {
                         out,
                         map_bytes,

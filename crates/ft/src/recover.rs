@@ -193,7 +193,7 @@ fn checkpoint<A: Analytics>(
 ) -> Result<(), RecoverError> {
     use smart_core::PhaseObserver;
     let started = Instant::now();
-    let (entries, cursor) = sched.snapshot();
+    let (entries, cursor) = sched.snapshot().map_err(RecoverError::Run)?;
     let payload = smart_wire::to_bytes(&entries).map_err(CkptError::from)?;
     let bytes = retry(&cfg.retry, CkptError::is_transient, || {
         store.save(cursor as u64, cursor as u64, &payload)

@@ -1,10 +1,12 @@
 //! Versioned, CRC-validated on-disk snapshots of the combined reduction
 //! object.
 //!
-//! This module is the **only** place in the workspace where the runtime
-//! writes the filesystem (`cargo xtask lint` rule `no-fs-writes`): durable
-//! state that bypassed the store would be invisible to the recovery driver,
-//! so every persisted byte funnels through [`CkptStore`].
+//! This module is one of exactly two places in the workspace where the
+//! runtime writes the filesystem (`cargo xtask lint` rule `no-fs-writes`;
+//! the other is `smart-spill`'s run store, which owns the shared atomic
+//! write primitive both use): durable state that bypassed a sanctioned
+//! store would be invisible to the recovery driver, so every persisted
+//! checkpoint byte funnels through [`CkptStore`].
 //!
 //! Record layout (all integers little-endian):
 //!
@@ -29,10 +31,17 @@
 //! does validate — that fallback is the whole point of retaining more than
 //! one epoch.
 
+use smart_spill::AtomicFile;
 use std::fmt;
-use std::fs::{self, File};
+use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the classic
+/// zlib/PNG checksum. The implementation moved to `smart-spill` (whose
+/// runs share it); re-exported here so the checkpoint format and API stay
+/// byte-for-byte unchanged.
+pub use smart_spill::crc32;
 
 /// File magic: "SMart ChecKpoint".
 pub const MAGIC: [u8; 4] = *b"SMCK";
@@ -142,21 +151,6 @@ impl From<smart_wire::Error> for CkptError {
     }
 }
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the classic
-/// zlib/PNG checksum, computed bitwise so the store needs no lookup tables
-/// and no dependencies.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
-
 /// Serialize a checkpoint record (header + payload + CRC trailer).
 pub fn encode(epoch: u64, step: u64, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
@@ -260,16 +254,9 @@ impl CkptStore {
     pub fn save(&self, epoch: u64, step: u64, payload: &[u8]) -> Result<u64, CkptError> {
         let bytes = encode(epoch, step, payload);
         let tmp = self.dir.join(format!(".ckpt-r{}.tmp", self.rank));
-        let mut file = File::create(&tmp)?;
+        let mut file = AtomicFile::create(tmp)?;
         file.write_all(&bytes)?;
-        file.sync_all()?;
-        drop(file);
-        fs::rename(&tmp, self.path_of(epoch))?;
-        // Make the rename itself durable. Best effort: not every platform
-        // lets a directory be opened and fsynced.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        file.commit(&self.path_of(epoch))?;
         self.prune()?;
         Ok(bytes.len() as u64)
     }

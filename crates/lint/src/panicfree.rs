@@ -33,7 +33,7 @@ use std::collections::BTreeSet;
 /// Crates held to the panic-free standard. `pool` is excluded: it is the
 /// local substrate (a panicking worker thread there is caught by the
 /// latch/teardown path), and `wire`/`bench`/`sync` are not distributed.
-pub const PANIC_FREE_CRATES: &[&str] = &["comm", "core", "ft", "serve"];
+pub const PANIC_FREE_CRATES: &[&str] = &["comm", "core", "ft", "serve", "spill"];
 
 const RULE: &str = "panic-free";
 const JUSTIFY: &str = "PANIC-FREE:";

@@ -37,7 +37,17 @@ pub(crate) trait JobInit<In>: Send {
         pool: SharedPool,
         key_mode: KeyMode,
         coalesced: bool,
+        budgets: JobBudgets,
     ) -> SmartResult<Box<dyn ErasedJob<In>>>;
+}
+
+/// Admission-resolved memory policy handed to the job's scheduler: the
+/// spilling budget (per-job setting or tenant default) and the hard
+/// resident budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct JobBudgets {
+    pub(crate) spill: Option<usize>,
+    pub(crate) mem: Option<usize>,
 }
 
 /// The typed payload behind [`JobInit`]: what [`crate::JobSpec::new`]
@@ -59,6 +69,7 @@ where
         pool: SharedPool,
         key_mode: KeyMode,
         coalesced: bool,
+        budgets: JobBudgets,
     ) -> SmartResult<Box<dyn ErasedJob<In>>> {
         let TypedInit { analytics, mut args, out_len } = *self;
         // The driver owns staging policy: jobs always reduce from the
@@ -71,7 +82,13 @@ where
             args.disable_trigger = true;
         }
         let out = vec![A::Out::default(); out_len];
-        let sched = Scheduler::new(analytics, args, pool)?;
+        let mut sched = Scheduler::new(analytics, args, pool)?;
+        if let Some(spill) = budgets.spill {
+            sched.set_spill_budget(Some(spill))?;
+        }
+        if budgets.mem.is_some() {
+            sched.set_mem_budget(budgets.mem);
+        }
         Ok(Box::new(Typed { sched, key_mode, out }))
     }
 }
@@ -136,8 +153,7 @@ where
     }
 
     fn snapshot_map(&self) -> SmartResult<Vec<u8>> {
-        let entries = self.sched.combination_map().to_sorted_entries();
-        smart_wire::to_bytes(&entries).map_err(|e| SmartError::Comm(e.into()))
+        self.sched.canonical_map_bytes()
     }
 
     fn execute(
@@ -298,7 +314,8 @@ impl<In: Clone + Send + 'static> ServeDriver<In> {
         // not the step's.
         for pending in self.registry.take_pending() {
             let coalesced = pending.coalesce.is_some();
-            match pending.init.build(self.pool.clone(), pending.key_mode, coalesced) {
+            let budgets = JobBudgets { spill: pending.spill_budget, mem: pending.mem_budget };
+            match pending.init.build(self.pool.clone(), pending.key_mode, coalesced, budgets) {
                 Ok(job) => self.jobs.push(ActiveJob {
                     id: pending.id,
                     tenant: pending.tenant,

@@ -45,6 +45,8 @@ pub struct JobSpec<In> {
     pub(crate) cost: u32,
     pub(crate) key_mode: KeyMode,
     pub(crate) coalesce: Option<CoalesceKey>,
+    pub(crate) spill_budget: Option<usize>,
+    pub(crate) mem_budget: Option<usize>,
     pub(crate) init: Box<dyn JobInit<In>>,
 }
 
@@ -67,6 +69,8 @@ impl<In: Send + Sync + 'static> JobSpec<In> {
             cost: 1,
             key_mode: KeyMode::Single,
             coalesce: None,
+            spill_budget: None,
+            mem_budget: None,
             init: Box::new(TypedInit { analytics, args, out_len }),
         }
     }
@@ -119,6 +123,23 @@ impl<In: Send + Sync + 'static> JobSpec<In> {
     /// job.
     pub fn with_coalesce(mut self, key: CoalesceKey) -> Self {
         self.coalesce = Some(key);
+        self
+    }
+
+    /// Spilling-shuffle budget in bytes for this job's scheduler (see
+    /// [`smart_core::Scheduler::set_spill_budget`]). When unset, the job
+    /// inherits its tenant's
+    /// [`TenantQuota::spill_budget`](crate::TenantQuota) at admission.
+    pub fn with_spill_budget(mut self, bytes: usize) -> Self {
+        self.spill_budget = Some(bytes);
+        self
+    }
+
+    /// Hard resident-memory budget in bytes for this job's reduction
+    /// state: exceeding it with spilling disengaged fails the job's step
+    /// with [`SmartError::MemBudget`](smart_core::SmartError).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
         self
     }
 }

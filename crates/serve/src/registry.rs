@@ -42,17 +42,27 @@ pub struct TenantQuota {
     pub burst: u32,
     /// Tokens restored per processed time-step (capped at `burst`).
     pub refill_per_step: u32,
+    /// Default spilling-shuffle budget (bytes) inherited by the tenant's
+    /// jobs that don't set [`crate::JobSpec::with_spill_budget`]. `None`
+    /// leaves the tenant's jobs resident unless they opt in themselves.
+    pub spill_budget: Option<usize>,
 }
 
 impl TenantQuota {
     /// A quota of `burst` tokens refilling at `refill_per_step`.
     pub fn new(burst: u32, refill_per_step: u32) -> Self {
-        TenantQuota { burst, refill_per_step }
+        TenantQuota { burst, refill_per_step, spill_budget: None }
     }
 
     /// A quota that never rejects (for single-tenant deployments).
     pub fn unlimited() -> Self {
-        TenantQuota { burst: u32::MAX, refill_per_step: u32::MAX }
+        TenantQuota { burst: u32::MAX, refill_per_step: u32::MAX, spill_budget: None }
+    }
+
+    /// Give the tenant's jobs a default spilling budget (bytes).
+    pub fn with_spill_budget(mut self, bytes: usize) -> Self {
+        self.spill_budget = Some(bytes);
+        self
     }
 }
 
@@ -92,6 +102,8 @@ pub(crate) struct PendingJob<In> {
     pub(crate) steps: Option<usize>,
     pub(crate) key_mode: KeyMode,
     pub(crate) coalesce: Option<CoalesceKey>,
+    pub(crate) spill_budget: Option<usize>,
+    pub(crate) mem_budget: Option<usize>,
     pub(crate) init: Box<dyn JobInit<In>>,
     pub(crate) tx: Sender<JobEvent>,
     pub(crate) cancel: Arc<AtomicBool>,
@@ -171,6 +183,8 @@ impl<In: Send + 'static> Registry<In> {
         }
         tenant.tokens -= spec.cost;
         tenant.usage.submitted += 1;
+        // Per-job budgets win; otherwise the tenant's default applies.
+        let spill_budget = spec.spill_budget.or(tenant.quota.spill_budget);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.active += 1;
@@ -184,6 +198,8 @@ impl<In: Send + 'static> Registry<In> {
             steps: spec.steps,
             key_mode: spec.key_mode,
             coalesce: spec.coalesce,
+            spill_budget,
+            mem_budget: spec.mem_budget,
             init: spec.init,
             tx,
             cancel: Arc::clone(&cancel),

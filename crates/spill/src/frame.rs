@@ -1,0 +1,281 @@
+//! Run envelope: magic/version prelude, streaming CRC-32, footer codec,
+//! and the typed [`RunError`].
+//!
+//! Pure byte-level code — nothing here touches the filesystem (that is
+//! [`store`](crate::store)'s monopoly). The CRC implementation is the one
+//! `smart-ft` checkpoints have always used (ft re-exports [`crc32`] from
+//! here so its record format is byte-for-byte unchanged), generalized into
+//! the incremental [`Crc32`] hasher so runs of unbounded size checksum in
+//! O(1) memory.
+
+use std::fmt;
+
+/// File magic: "SMart RuN".
+pub const RUN_MAGIC: [u8; 4] = *b"SMRN";
+
+/// Current run format version.
+pub const RUN_VERSION: u32 = 1;
+
+/// Bytes of the prelude (magic + version).
+pub const RUN_HEADER_LEN: usize = 8;
+
+/// Bytes of the footer (record count + payload length + CRC).
+pub const RUN_FOOTER_LEN: usize = 20;
+
+/// The smallest well-formed run: prelude + footer around zero records.
+pub const RUN_MIN_LEN: u64 = (RUN_HEADER_LEN + RUN_FOOTER_LEN) as u64;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the classic
+/// zlib/PNG checksum, computed bitwise so the store needs no lookup tables
+/// and no dependencies. One-shot form of [`Crc32`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher. `crc32(b)` ≡
+/// `{ let mut h = Crc32::new(); h.update(b); h.finalize() }` for any split
+/// of `b` into consecutive `update` calls.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (initial state `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        self.state = crc;
+    }
+
+    /// The checksum over everything absorbed so far.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// The parsed trailer of a run file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFooter {
+    /// Records in the record region.
+    pub records: u64,
+    /// Bytes of the record region (everything between prelude and footer).
+    pub payload_len: u64,
+}
+
+/// What a committed or validated run holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Records in the run.
+    pub records: u64,
+    /// Bytes of the record region.
+    pub payload_len: u64,
+    /// Bytes of the whole file (prelude + records + footer).
+    pub file_len: u64,
+}
+
+/// The 8-byte prelude every run starts with.
+// PANIC-FREE: constant ranges inside the fixed 8-byte array.
+pub fn prelude() -> [u8; RUN_HEADER_LEN] {
+    let mut out = [0u8; RUN_HEADER_LEN];
+    out[..4].copy_from_slice(&RUN_MAGIC);
+    out[4..].copy_from_slice(&RUN_VERSION.to_le_bytes());
+    out
+}
+
+/// Validate a run prelude. `bytes` must hold at least [`RUN_HEADER_LEN`]
+/// bytes; shorter input is reported as [`RunError::Truncated`].
+// PANIC-FREE: `head` is exactly 8 bytes, so the constant ranges are in bounds.
+pub fn check_prelude(bytes: &[u8]) -> Result<(), RunError> {
+    let Some(head) = bytes.get(..RUN_HEADER_LEN) else {
+        return Err(RunError::Truncated { len: bytes.len() as u64, need: RUN_MIN_LEN });
+    };
+    // PANIC-FREE: `head` is exactly 8 bytes, so both constant ranges are in
+    // bounds and both try_into calls see 4-byte slices.
+    let magic: [u8; 4] = head[0..4].try_into().unwrap_or([0; 4]);
+    if magic != RUN_MAGIC {
+        return Err(RunError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap_or([0; 4]));
+    if version != RUN_VERSION {
+        return Err(RunError::BadVersion { found: version });
+    }
+    Ok(())
+}
+
+/// The first 16 footer bytes (count + payload length); the CRC that closes
+/// the file is computed over everything up to and including these.
+// PANIC-FREE: constant ranges inside the fixed 16-byte array.
+pub fn footer_body(records: u64, payload_len: u64) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&records.to_le_bytes());
+    out[8..].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Parse the 20-byte footer into `(footer, stored CRC)`.
+// PANIC-FREE: all ranges are constants inside the fixed 20-byte array.
+pub fn parse_footer(tail: &[u8; RUN_FOOTER_LEN]) -> (RunFooter, u32) {
+    // PANIC-FREE: all ranges are constants inside the fixed 20-byte array.
+    let records = u64::from_le_bytes(tail[0..8].try_into().unwrap_or([0; 8]));
+    let payload_len = u64::from_le_bytes(tail[8..16].try_into().unwrap_or([0; 8]));
+    let stored = u32::from_le_bytes(tail[16..20].try_into().unwrap_or([0; 4]));
+    (RunFooter { records, payload_len }, stored)
+}
+
+/// Why a spill run could not be written or read back.
+#[derive(Debug)]
+pub enum RunError {
+    /// Filesystem failure. The only transient variant — see
+    /// [`is_transient`](Self::is_transient).
+    Io(std::io::Error),
+    /// A record frame or value failed to (de)serialize.
+    Codec(smart_wire::Error),
+    /// The file does not start with [`RUN_MAGIC`] — not a run at all.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The run was written by an incompatible format version.
+    BadVersion {
+        /// The version the prelude claims.
+        found: u32,
+    },
+    /// The file is shorter (or longer) than its footer promises.
+    Truncated {
+        /// Bytes actually present.
+        len: u64,
+        /// Bytes the run needs.
+        need: u64,
+    },
+    /// The checksum does not match the run contents.
+    CorruptCrc {
+        /// CRC stored in the footer.
+        stored: u32,
+        /// CRC computed over the file.
+        computed: u32,
+    },
+}
+
+impl RunError {
+    /// Whether retrying the operation could plausibly succeed. Only I/O
+    /// errors qualify; a corrupt or mis-versioned run stays corrupt no
+    /// matter how often it is re-read.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::Io(_))
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Io(e) => write!(f, "spill run I/O failed: {e}"),
+            RunError::Codec(e) => write!(f, "spill run codec failed: {e}"),
+            RunError::BadMagic { found } => {
+                write!(f, "not a spill run (magic {found:02x?})")
+            }
+            RunError::BadVersion { found } => {
+                write!(f, "spill run format version {found} (this runtime reads {RUN_VERSION})")
+            }
+            RunError::Truncated { len, need } => {
+                write!(f, "truncated spill run: {len} bytes present, {need} needed")
+            }
+            RunError::CorruptCrc { stored, computed } => {
+                write!(f, "spill run CRC mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Io(e) => Some(e),
+            RunError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+impl From<smart_wire::Error> for RunError {
+    fn from(e: smart_wire::Error) -> Self {
+        RunError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn incremental_crc_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 7, 500, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn prelude_roundtrips_and_rejects_garbage() {
+        assert!(check_prelude(&prelude()).is_ok());
+        assert!(matches!(check_prelude(b"SMCK\x01\0\0\0"), Err(RunError::BadMagic { .. })));
+        let mut bad = prelude();
+        bad[4] = 9;
+        assert!(matches!(check_prelude(&bad), Err(RunError::BadVersion { found: 9 })));
+        assert!(matches!(check_prelude(b"SMR"), Err(RunError::Truncated { .. })));
+    }
+
+    #[test]
+    fn footer_roundtrips() {
+        let body = footer_body(42, 1234);
+        let mut tail = [0u8; RUN_FOOTER_LEN];
+        tail[..16].copy_from_slice(&body);
+        tail[16..].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        let (footer, stored) = parse_footer(&tail);
+        assert_eq!(footer, RunFooter { records: 42, payload_len: 1234 });
+        assert_eq!(stored, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn run_error_displays_and_transience() {
+        let io = RunError::from(std::io::Error::other("disk gone"));
+        assert!(io.is_transient());
+        assert!(io.to_string().contains("disk gone"));
+        let crc = RunError::CorruptCrc { stored: 1, computed: 2 };
+        assert!(!crc.is_transient());
+        assert!(crc.to_string().contains("mismatch"));
+    }
+}

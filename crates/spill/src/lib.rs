@@ -1,0 +1,46 @@
+//! # smart-spill
+//!
+//! Out-of-core run store for bounded-memory reduction.
+//!
+//! When a reduction map crosses its memory budget, the reduce phase drains
+//! it — sorted by key — into a *spill run*: an append-only file of
+//! length-framed `(key, wire value)` records (the [`smart_wire::runs`]
+//! framing) wrapped in a CRC-32-validated envelope:
+//!
+//! ```text
+//! offset       size  field
+//! 0            4     magic  b"SMRN"
+//! 4            4     format version (currently 1)
+//! 8            n     records: [rec_len: u32][key: i64][value wire bytes]*
+//! 8 + n        8     record count
+//! 16 + n       8     payload length n in bytes
+//! 24 + n       4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! The envelope trailer (count + length + CRC) lives in a *footer* rather
+//! than a header so the writer streams records without seeking: sizes are
+//! only known once the map is drained. Writes are crash-atomic exactly like
+//! `smart-ft` checkpoints — temp file, fsync, rename, directory fsync —
+//! via the shared [`AtomicFile`] primitive this crate now owns (the ft
+//! store delegates to it). A torn or bit-rotted run fails validation with a
+//! typed [`RunError`], never a panic.
+//!
+//! Stripping the `rec_len` prefixes from a run's record region and
+//! prepending the record count as a `u64` reconstructs the exact canonical
+//! payload `smart_wire::to_bytes(&sorted_entries)` produces, which is why
+//! the spilling reduction path is bit-identical to the in-memory one.
+//!
+//! [`LoserTree`] supplies the k-way merge used to stream runs and the
+//! resident tail back together in key order with one comparison path per
+//! record (log₂ k comparisons, allocation-free per entry).
+
+mod frame;
+mod losertree;
+mod store;
+
+pub use frame::{
+    check_prelude, crc32, footer_body, parse_footer, prelude, Crc32, RunError, RunFooter,
+    RunSummary, RUN_FOOTER_LEN, RUN_HEADER_LEN, RUN_MAGIC, RUN_MIN_LEN, RUN_VERSION,
+};
+pub use losertree::LoserTree;
+pub use store::{AtomicFile, RunCursor, RunWriter, SpillStore};

@@ -1,0 +1,197 @@
+//! Loser-tree k-way merge selection.
+//!
+//! Merging k sorted sources with a binary heap costs ~2·log₂k comparisons
+//! per record (sift down re-compares both children at every level). The
+//! classic tournament *loser tree* (Knuth, TAOCP vol. 3, §5.4.1) costs
+//! exactly ⌈log₂k⌉: each internal node remembers the *loser* of its
+//! subtree's match, so re-seating the winner after its source advances
+//! only replays the matches along one leaf-to-root path.
+//!
+//! The tree never looks at values — it ranks sources by their current key
+//! through a caller-supplied closure, so cursor-backed run sources and
+//! in-memory tail sources merge through the same tree without the tree
+//! borrowing either. Ties rank by source index ascending, which makes the
+//! merge order (and therefore the downstream accumulator fold order)
+//! deterministic: runs are presented oldest-first, matching the order the
+//! fragments were produced in.
+
+/// Sentinel source filling the tree before real sources are seated. Ranks
+/// before everything, so build-time adjustments evict every dummy.
+const DUMMY: usize = usize::MAX;
+
+/// A tournament tree over `k` sources ranked by `(current key, source
+/// index)`; exhausted sources (key `None`) rank after all live ones.
+#[derive(Debug)]
+pub struct LoserTree {
+    /// `tree[0]` is the overall winner; `tree[1..k]` hold match losers.
+    tree: Vec<usize>,
+    k: usize,
+}
+
+/// Rank of a source for match comparisons: dummies first, then live keys
+/// (ties by source index), then exhausted sources (by index, so the tree
+/// drains deterministically).
+fn rank(key: &mut impl FnMut(usize) -> Option<i64>, s: usize) -> (i8, i64, usize) {
+    if s == DUMMY {
+        return (-1, i64::MIN, 0);
+    }
+    match key(s) {
+        Some(k) => (0, k, s),
+        None => (1, 0, s),
+    }
+}
+
+impl LoserTree {
+    /// Build the tournament over sources `0..k`. `key(s)` must report
+    /// source `s`'s current key, or `None` once `s` is exhausted.
+    pub fn new(k: usize, key: &mut impl FnMut(usize) -> Option<i64>) -> LoserTree {
+        assert!(k > 0, "loser tree needs at least one source");
+        let mut lt = LoserTree { tree: vec![DUMMY; k], k };
+        for s in (0..k).rev() {
+            lt.adjust(s, key);
+        }
+        lt
+    }
+
+    /// The source currently holding the smallest `(key, index)` rank. The
+    /// merge is finished when `key(winner())` is `None`.
+    // PANIC-FREE: tree has k ≥ 1 slots, so index 0 is in bounds.
+    pub fn winner(&self) -> usize {
+        self.tree[0]
+    }
+
+    /// Re-seat the winner after its source advanced (or exhausted):
+    /// replays the matches along that source's leaf-to-root path only.
+    pub fn replay(&mut self, key: &mut impl FnMut(usize) -> Option<i64>) {
+        let w = self.winner();
+        self.adjust(w, key);
+    }
+
+    /// Push source `s` up its path; every node keeps the match loser and
+    /// forwards the winner, leaving the overall winner in `tree[0]`.
+    // PANIC-FREE: t starts at (s + k) / 2 < k for s < k (and the DUMMY
+    // winner of an empty replay maps into range via min), then only
+    // shrinks by halving; slot 0 always exists since k ≥ 1.
+    fn adjust(&mut self, s: usize, key: &mut impl FnMut(usize) -> Option<i64>) {
+        let mut s = s;
+        // A replay with a DUMMY winner can only happen before the build
+        // seats real sources; route it along the last leaf's path.
+        let leaf = if s == DUMMY { self.k - 1 } else { s.min(self.k - 1) };
+        let mut t = (leaf + self.k) / 2;
+        while t > 0 {
+            if rank(key, self.tree[t]) < rank(key, s) {
+                std::mem::swap(&mut self.tree[t], &mut s);
+            }
+            t /= 2;
+        }
+        self.tree[0] = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Merge `sources` (each ascending) via the tree; also assert the
+    /// per-record winner sequence is deterministic on ties (lowest source
+    /// index first).
+    fn merge(sources: &[Vec<i64>]) -> Vec<(usize, i64)> {
+        let mut pos = vec![0usize; sources.len()];
+        let mut out = Vec::new();
+        {
+            let mut key = |s: usize| sources[s].get(pos[s]).copied();
+            let mut tree = LoserTree::new(sources.len(), &mut key);
+            loop {
+                let w = tree.winner();
+                let Some(k) = sources[w].get(pos[w]).copied() else { break };
+                out.push((w, k));
+                pos[w] += 1;
+                let mut key = |s: usize| sources[s].get(pos[s]).copied();
+                tree.replay(&mut key);
+            }
+        }
+        out
+    }
+
+    /// Reference merge: stable sort of (key, source, position) triples —
+    /// ties break by source index, then by position within the source.
+    fn reference(sources: &[Vec<i64>]) -> Vec<(usize, i64)> {
+        let mut all: Vec<(i64, usize, usize)> = Vec::new();
+        for (s, src) in sources.iter().enumerate() {
+            for (p, &k) in src.iter().enumerate() {
+                all.push((k, s, p));
+            }
+        }
+        all.sort();
+        all.into_iter().map(|(k, s, _)| (s, k)).collect()
+    }
+
+    #[test]
+    fn single_source_streams_through() {
+        let sources = vec![vec![1, 2, 3]];
+        assert_eq!(merge(&sources), [(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert_eq!(merge(&[vec![]]), []);
+        assert_eq!(merge(&[vec![], vec![1], vec![]]), [(1, 1)]);
+    }
+
+    #[test]
+    fn two_sources_interleave() {
+        let sources = vec![vec![1, 3, 5], vec![2, 4, 6]];
+        assert_eq!(merge(&sources), reference(&sources));
+    }
+
+    #[test]
+    fn ties_go_to_the_lowest_source_index() {
+        let sources = vec![vec![5, 5], vec![5], vec![5, 5, 5]];
+        let got = merge(&sources);
+        assert_eq!(got, reference(&sources));
+        // All six fives, source 0's first.
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let sources = vec![vec![i64::MIN, 0, i64::MAX], vec![i64::MIN, i64::MAX]];
+        assert_eq!(merge(&sources), reference(&sources));
+    }
+
+    #[test]
+    fn uneven_source_counts_match_reference() {
+        // Non-power-of-two k exercises the (s + k) / 2 parent mapping.
+        for k in 1..=9usize {
+            let sources: Vec<Vec<i64>> = (0..k)
+                .map(|s| (0..(s * 3) as i64).map(|i| i * (s as i64 + 1) % 17).collect())
+                .map(|mut v: Vec<i64>| {
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            assert_eq!(merge(&sources), reference(&sources), "k = {k}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn merge_matches_reference(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(-50i64..50, 0..30),
+                    1..12,
+                )
+            ) {
+                let sources: Vec<Vec<i64>> = raw
+                    .into_iter()
+                    .map(|mut v| { v.sort_unstable(); v })
+                    .collect();
+                prop_assert_eq!(merge(&sources), reference(&sources));
+            }
+        }
+    }
+}

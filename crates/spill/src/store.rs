@@ -1,0 +1,619 @@
+//! The run store: crash-atomic writers and validated streaming readers.
+//!
+//! This module is one of exactly two places in the workspace where the
+//! runtime writes the filesystem (`cargo xtask lint` rule `no-fs-writes`;
+//! the other is `smart-ft`'s checkpoint store, which delegates its atomic
+//! write sequence to [`AtomicFile`] here). Durable bytes that bypassed a
+//! sanctioned store would be invisible to recovery and cleanup, so every
+//! spilled run funnels through [`SpillStore`].
+//!
+//! A run is written streaming — records append as the reduction map
+//! drains, sizes land in the footer — and committed with the same
+//! tmp-file / fsync / rename / directory-fsync sequence ft checkpoints
+//! use, so a crash leaves either a complete validated run or an ignorable
+//! temp file, never a half-run under a final name. Reading is two-pass:
+//! [`SpillStore::validate`] streams the whole file through the CRC in
+//! O(1) memory and parses the footer, then [`SpillStore::open`] hands out
+//! a [`RunCursor`] that walks records through a fixed 64 KiB window
+//! (grown only for oversized records), borrowing value bytes straight
+//! from the window — allocation-free per record.
+
+use crate::frame::{
+    check_prelude, footer_body, parse_footer, prelude, Crc32, RunError, RunSummary, RUN_FOOTER_LEN,
+    RUN_HEADER_LEN, RUN_MIN_LEN,
+};
+use smart_sync::atomic::{AtomicU64, Ordering};
+use smart_wire::runs::{self, RECORD_KEY_LEN, RECORD_PREFIX_LEN};
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Buffered-window size for writers and cursors.
+const WINDOW: usize = 64 * 1024;
+
+/// Filename extension of committed runs.
+const RUN_EXT: &str = "smrn";
+
+/// Distinguishes concurrently created scratch stores within one process.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A file that becomes visible under its final name only on [`commit`]
+/// (tmp write → `sync_all` → rename → best-effort directory fsync — the
+/// exact sequence `smart-ft` checkpoints have always used; ft now calls
+/// this type). Dropping an uncommitted `AtomicFile` removes the temp file.
+///
+/// [`commit`]: AtomicFile::commit
+#[derive(Debug)]
+pub struct AtomicFile {
+    file: Option<File>,
+    tmp: PathBuf,
+}
+
+impl AtomicFile {
+    /// Open a temp file at `tmp` (truncating any stale leftover).
+    pub fn create(tmp: PathBuf) -> std::io::Result<AtomicFile> {
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile { file: Some(file), tmp })
+    }
+
+    fn inner(&mut self) -> std::io::Result<&mut File> {
+        self.file.as_mut().ok_or_else(|| std::io::Error::other("atomic file already committed"))
+    }
+
+    /// Fsync, then atomically rename onto `dest`. `dest` must live in the
+    /// same directory as the temp file. The directory itself is fsynced
+    /// best-effort so the rename is durable, matching ft's checkpoint
+    /// discipline.
+    pub fn commit(mut self, dest: &Path) -> std::io::Result<()> {
+        let file = self
+            .file
+            .take()
+            .ok_or_else(|| std::io::Error::other("atomic file already committed"))?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp, dest)?;
+        if let Some(dir) = dest.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner()?.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner()?.flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// A directory of spill runs.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+}
+
+impl SpillStore {
+    /// Open (creating if needed) a run store at `dir`.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<SpillStore, RunError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SpillStore { dir })
+    }
+
+    /// A fresh process-private store under `SMART_SPILL_DIR` (or the
+    /// system temp directory): `smart-spill-<pid>-<seq>[-<tag>]`. The
+    /// sequence number keeps concurrent schedulers in one process apart.
+    pub fn scratch(tag: &str) -> Result<SpillStore, RunError> {
+        let base = match std::env::var_os("SMART_SPILL_DIR") {
+            Some(d) => PathBuf::from(d),
+            None => std::env::temp_dir(),
+        };
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id();
+        let name = if tag.is_empty() {
+            format!("smart-spill-{pid}-{seq}")
+        } else {
+            format!("smart-spill-{pid}-{seq}-{tag}")
+        };
+        SpillStore::create(base.join(name))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute path of the run named `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Begin a new run under `name` (convention: zero-padded sortable
+    /// names ending in `.smrn`, e.g. `r-p003-t001-0007.smrn`). The run is
+    /// invisible until [`RunWriter::finish`] commits it.
+    pub fn writer(&self, name: &str) -> Result<RunWriter, RunError> {
+        RunWriter::start(self, name)
+    }
+
+    /// Names of all committed runs, lexicographically sorted — with the
+    /// zero-padded naming convention that is also creation order.
+    pub fn run_names(&self) -> Result<Vec<String>, RunError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(RUN_EXT) {
+                continue;
+            }
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Stream the whole run through the CRC (O(1) memory) and parse the
+    /// footer. Every malformation — foreign file, stale version, torn
+    /// tail, bit rot, lying footer — maps to a typed [`RunError`]; no run
+    /// content can panic this function.
+    pub fn validate(&self, name: &str) -> Result<RunSummary, RunError> {
+        let mut file = File::open(self.path(name))?;
+        let len = file.metadata()?.len();
+        if len < RUN_MIN_LEN {
+            return Err(RunError::Truncated { len, need: RUN_MIN_LEN });
+        }
+        let mut head = [0u8; RUN_HEADER_LEN];
+        file.read_exact(&mut head)?;
+        check_prelude(&head)?;
+        let mut crc = Crc32::new();
+        crc.update(&head);
+        let mut remaining = len - RUN_MIN_LEN;
+        let mut chunk = vec![0u8; WINDOW];
+        while remaining > 0 {
+            let n = usize::try_from(remaining).map_or(chunk.len(), |r| r.min(chunk.len()));
+            // PANIC-FREE: n was clamped to chunk.len() on the line above.
+            file.read_exact(&mut chunk[..n])?;
+            // PANIC-FREE: same clamp as the read above.
+            crc.update(&chunk[..n]);
+            remaining -= n as u64;
+        }
+        let mut tail = [0u8; RUN_FOOTER_LEN];
+        file.read_exact(&mut tail)?;
+        // PANIC-FREE: constant range inside the fixed 20-byte footer.
+        crc.update(&tail[..16]);
+        let (footer, stored) = parse_footer(&tail);
+        let computed = crc.finalize();
+        if computed != stored {
+            return Err(RunError::CorruptCrc { stored, computed });
+        }
+        if footer.payload_len != len - RUN_MIN_LEN {
+            let need = footer.payload_len.saturating_add(RUN_MIN_LEN);
+            return Err(RunError::Truncated { len, need });
+        }
+        Ok(RunSummary { records: footer.records, payload_len: footer.payload_len, file_len: len })
+    }
+
+    /// Validate `name`, then open a streaming cursor over its records.
+    pub fn open(&self, name: &str) -> Result<RunCursor, RunError> {
+        let summary = self.validate(name)?;
+        RunCursor::open(self.path(name), summary)
+    }
+
+    /// Reconstruct the canonical wire payload of the run's entries — the
+    /// exact bytes `smart_wire::to_bytes(&sorted_entries)` would produce:
+    /// a `u64` record count followed by each record's key and value with
+    /// the `rec_len` frames stripped.
+    pub fn canonical_payload(&self, name: &str) -> Result<Vec<u8>, RunError> {
+        let summary = self.validate(name)?;
+        let frames = summary.records.saturating_mul(RECORD_PREFIX_LEN as u64);
+        let cap = usize::try_from(8 + summary.payload_len.saturating_sub(frames)).unwrap_or(8);
+        let mut out = Vec::with_capacity(cap);
+        out.extend_from_slice(&summary.records.to_le_bytes());
+        let mut cursor = RunCursor::open(self.path(name), summary)?;
+        while cursor.advance()? {
+            // PANIC-FREE: advance() returned true, so a record is current.
+            let key = cursor.key().unwrap_or(0);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(cursor.value());
+        }
+        Ok(out)
+    }
+
+    /// Delete the run named `name`.
+    pub fn remove(&self, name: &str) -> Result<(), RunError> {
+        fs::remove_file(self.path(name))?;
+        Ok(())
+    }
+
+    /// Best-effort removal of the store directory and everything in it.
+    /// Scratch stores call this on scheduler drop; failure is ignored —
+    /// the temp dir is reclaimed by the OS eventually anyway.
+    pub fn cleanup(&self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Streaming writer for one run. Records must be appended in ascending
+/// key order for downstream merges to be correct; the writer checks and
+/// reports violations as a typed error rather than trusting the caller.
+#[derive(Debug)]
+pub struct RunWriter {
+    out: AtomicFile,
+    dest: PathBuf,
+    buf: Vec<u8>,
+    crc: Crc32,
+    records: u64,
+    payload: u64,
+    last_key: Option<i64>,
+}
+
+impl RunWriter {
+    fn start(store: &SpillStore, name: &str) -> Result<RunWriter, RunError> {
+        let dest = store.path(name);
+        let tmp = store.dir.join(format!(".{name}.tmp"));
+        let out = AtomicFile::create(tmp)?;
+        let head = prelude();
+        let mut crc = Crc32::new();
+        crc.update(&head);
+        let mut buf = Vec::with_capacity(WINDOW + WINDOW / 2);
+        buf.extend_from_slice(&head);
+        Ok(RunWriter { out, dest, buf, crc, records: 0, payload: 0, last_key: None })
+    }
+
+    /// Append one record. `value` must already be wire-encoded; `key` must
+    /// be ≥ every key appended before it (runs are sorted by construction —
+    /// an out-of-order key is a caller bug surfaced as a codec error).
+    pub fn record(&mut self, key: i64, value: &[u8]) -> Result<(), RunError> {
+        if self.last_key.is_some_and(|prev| key < prev) {
+            return Err(RunError::Codec(smart_wire::Error::Message(format!(
+                "run records out of order: key {key} after {prev}",
+                prev = self.last_key.unwrap_or(0)
+            ))));
+        }
+        self.last_key = Some(key);
+        let mark = self.buf.len();
+        runs::frame_record(&mut self.buf, key, value)?;
+        // PANIC-FREE: mark was the buffer length before the append.
+        let framed = &self.buf[mark..];
+        self.crc.update(framed);
+        self.payload += framed.len() as u64;
+        self.records += 1;
+        if self.buf.len() >= WINDOW {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Write the footer and commit the run under its final name.
+    pub fn finish(mut self) -> Result<RunSummary, RunError> {
+        let body = footer_body(self.records, self.payload);
+        self.crc.update(&body);
+        let crc = self.crc.finalize();
+        self.buf.extend_from_slice(&body);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.out.write_all(&self.buf)?;
+        // Moving fields out is fine: RunWriter has no Drop of its own, and
+        // AtomicFile's Drop only fires if commit is never reached.
+        let RunWriter { out, dest, records, payload, .. } = self;
+        out.commit(&dest)?;
+        Ok(RunSummary { records, payload_len: payload, file_len: RUN_MIN_LEN + payload })
+    }
+}
+
+/// A streaming reader over one validated run's records.
+///
+/// Current-record style: [`advance`](Self::advance) steps to the next
+/// record (returning `false` past the last), after which
+/// [`key`](Self::key) and [`value`](Self::value) expose it. The value
+/// bytes are borrowed from the cursor's window and stay valid until the
+/// next `advance` — long enough for the merge loop to fold them into an
+/// accumulator without copying.
+#[derive(Debug)]
+pub struct RunCursor {
+    file: File,
+    buf: Vec<u8>,
+    pos: usize,
+    filled: usize,
+    region_left: u64,
+    records_left: u64,
+    cur: Option<(i64, usize, usize)>,
+}
+
+impl RunCursor {
+    fn open(path: PathBuf, summary: RunSummary) -> Result<RunCursor, RunError> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(RUN_HEADER_LEN as u64))?;
+        Ok(RunCursor {
+            file,
+            buf: Vec::new(),
+            pos: 0,
+            filled: 0,
+            region_left: summary.payload_len,
+            records_left: summary.records,
+            cur: None,
+        })
+    }
+
+    /// Refill the window until at least `need` unread bytes are buffered.
+    /// Post-validation this cannot run dry, but a concurrently truncated
+    /// file still surfaces as a typed error, never a panic.
+    fn ensure(&mut self, need: usize) -> Result<(), RunError> {
+        if self.filled - self.pos >= need {
+            return Ok(());
+        }
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos..self.filled, 0);
+            self.filled -= self.pos;
+            self.pos = 0;
+        }
+        let want = need.max(WINDOW);
+        if self.buf.len() < want {
+            self.buf.resize(want, 0);
+        }
+        while self.filled < need {
+            if self.region_left == 0 {
+                return Err(RunError::Truncated { len: self.filled as u64, need: need as u64 });
+            }
+            let cap = self.buf.len() - self.filled;
+            let take = usize::try_from(self.region_left).map_or(cap, |r| r.min(cap));
+            // PANIC-FREE: take ≤ cap = buf.len() - filled.
+            let n = self.file.read(&mut self.buf[self.filled..self.filled + take])?;
+            if n == 0 {
+                return Err(RunError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "spill run shrank while being read",
+                )));
+            }
+            self.filled += n;
+            self.region_left -= n as u64;
+        }
+        Ok(())
+    }
+
+    /// Step to the next record. Returns `false` when the run is exhausted.
+    pub fn advance(&mut self) -> Result<bool, RunError> {
+        self.cur = None;
+        if self.records_left == 0 {
+            return Ok(false);
+        }
+        self.ensure(RECORD_PREFIX_LEN)?;
+        // PANIC-FREE: ensure() buffered at least the 4 prefix bytes.
+        let p = &self.buf[self.pos..self.pos + RECORD_PREFIX_LEN];
+        // PANIC-FREE: p is exactly RECORD_PREFIX_LEN = 4 bytes.
+        let rec_len = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        self.ensure(RECORD_PREFIX_LEN + rec_len.max(RECORD_KEY_LEN))?;
+        // The shared frame parser re-checks bounds and the key-length
+        // minimum against the buffered window, so torn or corrupt frames
+        // that slipped past the CRC (impossible) or raced a writer
+        // (defensive) fail typed here too.
+        let header = runs::read_frame_header(
+            // PANIC-FREE: filled ≤ buf.len() by construction.
+            &self.buf[..self.filled],
+            self.pos,
+        )?;
+        let value_start = self.pos + RECORD_PREFIX_LEN + RECORD_KEY_LEN;
+        let value_end = value_start + header.value_len;
+        self.pos = value_end;
+        self.records_left -= 1;
+        self.cur = Some((header.key, value_start, value_end));
+        Ok(true)
+    }
+
+    /// The current record's key, or `None` before the first
+    /// [`advance`](Self::advance) / after exhaustion.
+    pub fn key(&self) -> Option<i64> {
+        self.cur.map(|(k, _, _)| k)
+    }
+
+    /// The current record's wire-encoded value (empty when no record is
+    /// current). Valid until the next [`advance`](Self::advance).
+    pub fn value(&self) -> &[u8] {
+        match self.cur {
+            // PANIC-FREE: advance() placed start..end inside the filled window.
+            Some((_, start, end)) => &self.buf[start..end],
+            None => &[],
+        }
+    }
+
+    /// Records not yet visited (excluding the current one).
+    pub fn records_left(&self) -> u64 {
+        self.records_left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch() -> SpillStore {
+        SpillStore::scratch("storetest").expect("scratch store")
+    }
+
+    fn write_run(store: &SpillStore, name: &str, entries: &[(i64, u64)]) -> RunSummary {
+        let mut w = store.writer(name).expect("writer");
+        for &(k, v) in entries {
+            w.record(k, &smart_wire::to_bytes(&v).expect("encode")).expect("record");
+        }
+        w.finish().expect("finish")
+    }
+
+    fn read_all(store: &SpillStore, name: &str) -> Vec<(i64, u64)> {
+        let mut cur = store.open(name).expect("open");
+        let mut out = Vec::new();
+        while cur.advance().expect("advance") {
+            out.push((
+                cur.key().expect("key"),
+                smart_wire::from_bytes::<u64>(cur.value()).expect("decode"),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_including_empty_run() {
+        let store = scratch();
+        let entries: Vec<(i64, u64)> = (0..500).map(|i| (i - 250, (i * i) as u64)).collect();
+        let stats = write_run(&store, "r-0001.smrn", &entries);
+        assert_eq!(stats.records, 500);
+        assert_eq!(read_all(&store, "r-0001.smrn"), entries);
+
+        let empty = write_run(&store, "r-0002.smrn", &[]);
+        assert_eq!(empty.records, 0);
+        assert_eq!(empty.file_len, RUN_MIN_LEN);
+        assert!(read_all(&store, "r-0002.smrn").is_empty());
+        store.cleanup();
+    }
+
+    #[test]
+    fn runs_larger_than_the_window_stream_through() {
+        let store = scratch();
+        // Values of ~1 KiB each; 200 records ≈ 3× the 64 KiB window.
+        let big: Vec<(i64, Vec<u64>)> = (0..200).map(|i| (i, vec![i as u64; 128])).collect();
+        let mut w = store.writer("big.smrn").expect("writer");
+        for (k, v) in &big {
+            w.record(*k, &smart_wire::to_bytes(v).expect("encode")).expect("record");
+        }
+        let stats = w.finish().expect("finish");
+        assert!(stats.file_len > 3 * WINDOW as u64);
+        let mut cur = store.open("big.smrn").expect("open");
+        let mut i = 0i64;
+        while cur.advance().expect("advance") {
+            assert_eq!(cur.key(), Some(i));
+            let v: Vec<u64> = smart_wire::from_bytes(cur.value()).expect("decode");
+            assert_eq!(v, vec![i as u64; 128]);
+            i += 1;
+        }
+        assert_eq!(i, 200);
+        store.cleanup();
+    }
+
+    #[test]
+    fn canonical_payload_matches_to_bytes_of_entries() {
+        let store = scratch();
+        let entries: Vec<(i64, u64)> = (0..100).map(|i| (i, i as u64 * 7)).collect();
+        write_run(&store, "c.smrn", &entries);
+        assert_eq!(
+            store.canonical_payload("c.smrn").expect("payload"),
+            smart_wire::to_bytes(&entries).expect("encode")
+        );
+        store.cleanup();
+    }
+
+    #[test]
+    fn run_names_sort_and_ignore_foreign_files() {
+        let store = scratch();
+        write_run(&store, "r-p000-t001-0002.smrn", &[(1, 1)]);
+        write_run(&store, "r-p000-t000-0001.smrn", &[(2, 2)]);
+        std::fs::write(store.path("notes.txt"), b"not a run").expect("write");
+        assert_eq!(
+            store.run_names().expect("names"),
+            ["r-p000-t000-0001.smrn", "r-p000-t001-0002.smrn"]
+        );
+        store.cleanup();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_no_run_behind() {
+        let store = scratch();
+        {
+            let mut w = store.writer("gone.smrn").expect("writer");
+            w.record(1, &smart_wire::to_bytes(&1u64).expect("encode")).expect("record");
+            // dropped without finish()
+        }
+        assert!(store.run_names().expect("names").is_empty());
+        assert!(std::fs::read_dir(store.dir()).expect("dir").next().is_none());
+        store.cleanup();
+    }
+
+    #[test]
+    fn out_of_order_keys_are_rejected() {
+        let store = scratch();
+        let mut w = store.writer("o.smrn").expect("writer");
+        w.record(5, &smart_wire::to_bytes(&1u64).expect("encode")).expect("record");
+        // Equal keys are fine (duplicates merge downstream)…
+        w.record(5, &smart_wire::to_bytes(&2u64).expect("encode")).expect("record");
+        // …but a regression is a bug.
+        assert!(matches!(
+            w.record(4, &smart_wire::to_bytes(&3u64).expect("encode")),
+            Err(RunError::Codec(_))
+        ));
+        store.cleanup();
+    }
+
+    #[test]
+    fn every_truncation_of_a_run_fails_typed() {
+        let store = scratch();
+        let entries: Vec<(i64, u64)> = (0..20).map(|i| (i, i as u64)).collect();
+        write_run(&store, "t.smrn", &entries);
+        let whole = std::fs::read(store.path("t.smrn")).expect("read");
+        for cut in 0..whole.len() {
+            std::fs::write(store.path("torn.smrn"), &whole[..cut]).expect("write");
+            match store.validate("torn.smrn") {
+                Err(RunError::Truncated { .. })
+                | Err(RunError::CorruptCrc { .. })
+                | Err(RunError::BadMagic { .. })
+                | Err(RunError::BadVersion { .. })
+                | Err(RunError::Io(_)) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+        store.cleanup();
+    }
+
+    #[test]
+    fn every_single_byte_flip_fails_typed() {
+        let store = scratch();
+        write_run(&store, "f.smrn", &[(1, 10), (2, 20), (3, 30)]);
+        let whole = std::fs::read(store.path("f.smrn")).expect("read");
+        for i in 0..whole.len() {
+            let mut bad = whole.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(store.path("flip.smrn"), &bad).expect("write");
+            match store.validate("flip.smrn") {
+                Err(e) => assert!(!e.is_transient() || matches!(e, RunError::Io(_)), "{e}"),
+                Ok(_) => panic!("flip at byte {i} validated"),
+            }
+        }
+        store.cleanup();
+    }
+
+    #[test]
+    fn validate_rejects_checkpoint_files() {
+        let store = scratch();
+        std::fs::write(store.path("x.smrn"), b"SMCK\x01\0\0\0morebytesmorebytesmorebytes")
+            .expect("write");
+        assert!(matches!(store.validate("x.smrn"), Err(RunError::BadMagic { .. })));
+        store.cleanup();
+    }
+
+    #[test]
+    fn remove_and_cleanup() {
+        let store = scratch();
+        write_run(&store, "r.smrn", &[(1, 1)]);
+        store.remove("r.smrn").expect("remove");
+        assert!(store.run_names().expect("names").is_empty());
+        let dir = store.dir().to_path_buf();
+        store.cleanup();
+        assert!(!dir.exists());
+    }
+}

@@ -32,7 +32,7 @@ impl<'de> Deserializer<'de> {
     }
 
     /// Advance the cursor past `n` bytes without interpreting them — for
-    /// hand-written wire-view merges ([`Analytics::merge_wire`] overrides)
+    /// hand-written wire-view merges (`Analytics::merge_wire` overrides in `smart-core`)
     /// that know a field's encoded size and don't need its value.
     pub fn skip(&mut self, n: usize) -> Result<()> {
         self.take(n).map(|_| ())

@@ -35,6 +35,7 @@
 mod count;
 mod de;
 mod error;
+pub mod runs;
 mod ser;
 mod view;
 

@@ -1,0 +1,206 @@
+//! Length-framed run records — the entry framing of spilled sorted runs.
+//!
+//! The wire format's entry payload (`u64` count, then `key` + value
+//! concatenations — see [`crate::EntriesCursor`]) cannot be walked without
+//! decoding, because values are not self-delimiting to a reader that does
+//! not know the type. A *spilled run* must be mergeable by a streaming
+//! reader that skips values it has no immediate use for, so each run entry
+//! carries an explicit length frame:
+//!
+//! ```text
+//! [rec_len: u32 LE][key: i64 LE][value: rec_len - 8 wire bytes]
+//! ```
+//!
+//! `rec_len` counts the key plus the value (not itself), so a record
+//! occupies `4 + rec_len` bytes. Stripping the `rec_len` prefixes and
+//! prepending the record count as a `u64` reconstructs the exact canonical
+//! entry payload `to_bytes(&Vec<(i64, V)>)` would produce — the identity
+//! the out-of-core path's bit-for-bit equivalence rests on.
+//!
+//! [`frame_record`] appends one framed record; [`FramedCursor`] walks a
+//! fully buffered record region (`smart-spill`'s streaming reader parses
+//! the same framing incrementally from disk). The cursor is the merge-join
+//! seam: each step yields the key and the *borrowed* value bytes, which the
+//! caller merges in place via `Analytics::merge_wire` or decodes owned.
+
+use crate::error::{Error, Result};
+
+/// Bytes of the `rec_len` prefix.
+pub const RECORD_PREFIX_LEN: usize = 4;
+/// Bytes of the key inside the frame (counted by `rec_len`).
+pub const RECORD_KEY_LEN: usize = 8;
+
+/// Append one framed record (`[rec_len][key][value]`) to `out`.
+///
+/// `value` must already be wire-encoded. Fails with [`Error::LengthOverrun`]
+/// when the value is too large for the `u32` frame (≥ 4 GiB — far beyond
+/// any reduction object this runtime ships).
+pub fn frame_record(out: &mut Vec<u8>, key: i64, value: &[u8]) -> Result<()> {
+    let rec_len =
+        u32::try_from(RECORD_KEY_LEN + value.len()).map_err(|_| Error::LengthOverrun {
+            declared: (RECORD_KEY_LEN + value.len()) as u64,
+            possible: u32::MAX as u64,
+        })?;
+    out.extend_from_slice(&rec_len.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(value);
+    Ok(())
+}
+
+/// Bytes one framed record with `value_len` value bytes occupies.
+pub fn framed_len(value_len: usize) -> usize {
+    RECORD_PREFIX_LEN + RECORD_KEY_LEN + value_len
+}
+
+/// A validating cursor over a buffered region of framed records.
+///
+/// ```
+/// use smart_wire::runs::{frame_record, FramedCursor};
+///
+/// let mut region = Vec::new();
+/// frame_record(&mut region, 3, &smart_wire::to_bytes(&7u64).unwrap()).unwrap();
+/// frame_record(&mut region, 9, &smart_wire::to_bytes(&1u64).unwrap()).unwrap();
+/// let mut cur = FramedCursor::new(&region);
+/// let mut keys = Vec::new();
+/// while let Some((key, value)) = cur.next().unwrap() {
+///     keys.push((key, smart_wire::from_bytes::<u64>(value).unwrap()));
+/// }
+/// assert_eq!(keys, [(3, 7), (9, 1)]);
+/// ```
+pub struct FramedCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FramedCursor<'a> {
+    /// A cursor positioned at the first record of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FramedCursor { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// The next record's key and borrowed value bytes, or `None` at the end
+    /// of the region. A frame that overruns the region (torn tail, corrupt
+    /// length) fails with a typed error instead of panicking.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(i64, &'a [u8])>> {
+        if self.pos == self.bytes.len() {
+            return Ok(None);
+        }
+        let header = read_frame_header(self.bytes, self.pos)?;
+        let value_start = self.pos + RECORD_PREFIX_LEN + RECORD_KEY_LEN;
+        let value_end = value_start + header.value_len;
+        // PANIC-FREE: read_frame_header bounds-checked the whole record
+        // against the region, so value_start..value_end is in range.
+        let value = &self.bytes[value_start..value_end];
+        self.pos = value_end;
+        Ok(Some((header.key, value)))
+    }
+}
+
+/// One parsed frame header.
+pub struct FrameHeader {
+    /// The record's key.
+    pub key: i64,
+    /// Wire bytes of the value that follows the key.
+    pub value_len: usize,
+}
+
+/// Parse and bounds-check the record frame starting at `pos` of `bytes`.
+/// Shared with the streaming run reader, whose buffered window obeys the
+/// same framing.
+pub fn read_frame_header(bytes: &[u8], pos: usize) -> Result<FrameHeader> {
+    let remaining = bytes.len().saturating_sub(pos);
+    let prefix_end = pos + RECORD_PREFIX_LEN;
+    let Some(prefix) = bytes.get(pos..prefix_end) else {
+        return Err(Error::UnexpectedEof { needed: RECORD_PREFIX_LEN, remaining });
+    };
+    // PANIC-FREE: `prefix` was sliced to exactly RECORD_PREFIX_LEN bytes.
+    let rec_len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+    if rec_len < RECORD_KEY_LEN {
+        return Err(Error::LengthOverrun {
+            declared: rec_len as u64,
+            possible: RECORD_KEY_LEN as u64,
+        });
+    }
+    let Some(body) = bytes.get(prefix_end..prefix_end + rec_len) else {
+        return Err(Error::UnexpectedEof { needed: RECORD_PREFIX_LEN + rec_len, remaining });
+    };
+    // PANIC-FREE: `body` holds rec_len >= RECORD_KEY_LEN = 8 bytes.
+    let key = i64::from_le_bytes([
+        body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+    ]);
+    Ok(FrameHeader { key, value_len: rec_len - RECORD_KEY_LEN })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(entries: &[(i64, u64)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(k, v) in entries {
+            frame_record(&mut out, k, &crate::to_bytes(&v).unwrap()).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_keys_and_values() {
+        let entries = [(-5i64, 1u64), (0, 2), (7, u64::MAX)];
+        let bytes = region(&entries);
+        let mut cur = FramedCursor::new(&bytes);
+        let mut got = Vec::new();
+        while let Some((k, v)) = cur.next().unwrap() {
+            got.push((k, crate::from_bytes::<u64>(v).unwrap()));
+        }
+        assert_eq!(got, entries);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn stripping_frames_reconstructs_the_canonical_payload() {
+        let entries = vec![(1i64, 10u64), (2, 20), (3, 30)];
+        let framed = region(&entries);
+        let mut canonical = (entries.len() as u64).to_le_bytes().to_vec();
+        let mut cur = FramedCursor::new(&framed);
+        while let Some((k, v)) = cur.next().unwrap() {
+            canonical.extend_from_slice(&k.to_le_bytes());
+            canonical.extend_from_slice(v);
+        }
+        assert_eq!(canonical, crate::to_bytes(&entries).unwrap());
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let bytes = region(&[(1, 2)]);
+        for cut in 1..bytes.len() {
+            let mut cur = FramedCursor::new(&bytes[..cut]);
+            match cur.next() {
+                Err(Error::UnexpectedEof { .. }) | Err(Error::LengthOverrun { .. }) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn undersized_rec_len_is_rejected() {
+        let mut bytes = region(&[(1, 2)]);
+        bytes[0..4].copy_from_slice(&3u32.to_le_bytes()); // < key length
+        assert!(matches!(
+            FramedCursor::new(&bytes).next(),
+            Err(Error::LengthOverrun { declared: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn framed_len_matches_frame_record() {
+        let mut out = Vec::new();
+        frame_record(&mut out, 1, &[0u8; 13]).unwrap();
+        assert_eq!(out.len(), framed_len(13));
+    }
+}

@@ -18,6 +18,7 @@ pub use smart_minispark as minispark;
 pub use smart_pool as pool;
 pub use smart_serve as serve;
 pub use smart_sim as sim;
+pub use smart_spill as spill;
 pub use smart_wire as wire;
 
 /// Convenience prelude pulling in the types almost every Smart program needs.

@@ -3,8 +3,29 @@
 //! must agree with a sequential oracle.
 
 use proptest::prelude::*;
-use smart_insitu::analytics::{GridAggregation, Histogram, MovingAverage};
+use smart_insitu::analytics::{
+    CountMin, GridAggregation, Histogram, HyperLogLog, MovingAverage, ReservoirSample, TDigest,
+};
 use smart_insitu::prelude::*;
+
+/// Fold `values` into one reduction object of `app` as a single chunk
+/// whose global offset is `global_start` (None on an empty slice).
+fn fold_opt<A: Analytics<In = f64>>(
+    app: &A,
+    values: &[f64],
+    global_start: usize,
+) -> Option<A::Red> {
+    let chunk = Chunk { local_start: 0, global_start, len: values.len() };
+    let mut obj = None;
+    if !values.is_empty() {
+        app.accumulate(&chunk, values, 0, &mut obj);
+    }
+    obj
+}
+
+fn fold<A: Analytics<In = f64>>(app: &A, values: &[f64], global_start: usize) -> A::Red {
+    fold_opt(app, values, global_start).expect("non-empty fold")
+}
 
 fn hist_oracle(data: &[f64], buckets: usize) -> Vec<u64> {
     let h = Histogram::new(-1000.0, 1000.0, buckets);
@@ -112,6 +133,103 @@ proptest! {
             let hi = ((g + 1) * chunk).min(data.len());
             let mean = data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
             prop_assert!((v - mean).abs() < 1e-9);
+        }
+    }
+
+    /// Count-Min merges commute and associate (bit-exactly, so the
+    /// spilling shuffle and the distributed combine may reorder them
+    /// freely), equal the single-pass fold of the concatenation, and never
+    /// undercount.
+    #[test]
+    fn countmin_merge_commutes_and_associates(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..120),
+        b in proptest::collection::vec(-50.0f64..50.0, 1..120),
+        c in proptest::collection::vec(-50.0f64..50.0, 1..120),
+    ) {
+        let app = CountMin::new(32, 4);
+        let (sa, sb, sc) = (fold(&app, &a, 0), fold(&app, &b, 0), fold(&app, &c, 0));
+        // (a ⊕ b) ⊕ c …
+        let mut left = sa.clone();
+        app.merge(&sb, &mut left);
+        app.merge(&sc, &mut left);
+        // … versus (c ⊕ b) ⊕ a.
+        let mut right = sc.clone();
+        app.merge(&sb, &mut right);
+        app.merge(&sa, &mut right);
+        prop_assert_eq!(&left, &right);
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &fold(&app, &whole, 0));
+        let probe = whole[0];
+        let truth = whole.iter().filter(|v| v.to_bits() == probe.to_bits()).count() as u64;
+        prop_assert!(left.estimate(probe) >= truth, "Count-Min must never undercount");
+    }
+
+    /// A HyperLogLog merge is exactly the sketch of the union: registers
+    /// are element-wise maxima, so merge order is invisible.
+    #[test]
+    fn hll_merge_is_the_union(
+        a in proptest::collection::vec(0.0f64..1e6, 1..200),
+        b in proptest::collection::vec(0.0f64..1e6, 1..200),
+    ) {
+        let app = HyperLogLog::new(8);
+        let (sa, sb) = (fold(&app, &a, 0), fold(&app, &b, 0));
+        let mut ab = sa.clone();
+        app.merge(&sb, &mut ab);
+        let mut ba = sb.clone();
+        app.merge(&sa, &mut ba);
+        prop_assert_eq!(&ab, &ba, "HLL merge must commute");
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(&ab, &fold(&app, &whole, 0));
+    }
+
+    /// The bottom-k reservoir is a *set function* of the stream: cutting
+    /// it at any point and merging the halves reproduces the whole-stream
+    /// sample bit-for-bit.
+    #[test]
+    fn reservoir_sample_is_split_invariant(
+        n in 1usize..300,
+        cut in 0usize..301,
+        k in 1usize..40,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let values: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+        let cut = cut % (n + 1);
+        let app = ReservoirSample::new(k, seed);
+        let whole = fold(&app, &values, 0);
+        let (head, tail) = values.split_at(cut);
+        let parts = [fold_opt(&app, head, 0), fold_opt(&app, tail, cut)];
+        let mut merged = None;
+        for part in parts.into_iter().flatten() {
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => app.merge(&part, m),
+            }
+        }
+        prop_assert_eq!(merged.expect("non-empty stream"), whole);
+    }
+
+    /// Merging t-digests keeps quantile answers inside the rank-error
+    /// envelope. Ties make an estimate's true rank an interval
+    /// `[v < est, v <= est]`; q must land within tolerance of it.
+    #[test]
+    fn tdigest_merge_stays_within_rank_error(
+        a in proptest::collection::vec(-100.0f64..100.0, 10..300),
+        b in proptest::collection::vec(-100.0f64..100.0, 10..300),
+    ) {
+        let app = TDigest::new(50.0);
+        let mut merged = fold(&app, &a, 0);
+        app.merge(&fold(&app, &b, 0), &mut merged);
+        let mut sorted: Vec<f64> = a.iter().chain(&b).copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        for q in [0.25, 0.5, 0.75] {
+            let est = merged.quantile(q).unwrap();
+            let lo = sorted.iter().filter(|&&v| v < est).count() as f64 / n;
+            let hi = sorted.iter().filter(|&&v| v <= est).count() as f64 / n;
+            prop_assert!(
+                q >= lo - 0.1 && q <= hi + 0.1,
+                "q={} estimate {} has rank [{}, {}]", q, est, lo, hi
+            );
         }
     }
 

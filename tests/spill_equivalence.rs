@@ -1,0 +1,194 @@
+//! PR 10 acceptance: the spilling shuffle is invisible to results. With a
+//! budget tight enough to force several sorted on-disk runs per step, every
+//! spill-safe analytics app must produce canonical map bytes
+//! **bit-identical** to the unbounded in-memory run — across thread
+//! counts, combine strategies, and transport backends. Integer-valued
+//! inputs keep every f64 merge exact, so the comparisons really are byte
+//! equality. The one deliberately inexact app, the t-digest, is held to
+//! its rank-error bound instead.
+
+use smart_insitu::analytics::{
+    CountMin, Histogram, HyperLogLog, Moments, ReservoirSample, TDigest,
+};
+use smart_insitu::comm::{run_cluster_with, CommConfig, TransportKind};
+use smart_insitu::core::{Analytics, CombineStrategy, SchedArgs, Scheduler};
+use smart_insitu::pool::shared_pool;
+
+const STEPS: usize = 3;
+const RANKS: usize = 4;
+const PART: usize = 2048; // elements per rank per step
+const KEYS: usize = 997; // histogram buckets == live reduction keys
+const BUDGET: usize = 16 << 10;
+
+fn element(t: usize, r: usize, i: usize) -> f64 {
+    ((t * 31 + r * 13 + i * 7) % KEYS) as f64
+}
+
+fn partition(t: usize, r: usize) -> Vec<f64> {
+    (0..PART).map(|i| element(t, r, i)).collect()
+}
+
+fn step_concat(t: usize) -> Vec<f64> {
+    (0..RANKS).flat_map(|r| partition(t, r)).collect()
+}
+
+fn hist() -> Histogram {
+    Histogram::new(0.0, KEYS as f64, KEYS)
+}
+
+/// Drive `make()`'s app over the synthetic stream on one process and
+/// return `(canonical map bytes, spill runs written)`.
+fn run_local<A>(
+    make: &dyn Fn() -> A,
+    out_len: usize,
+    threads: usize,
+    strategy: CombineStrategy,
+    budget: Option<usize>,
+) -> (Vec<u8>, usize)
+where
+    A: Analytics<In = f64>,
+    A::Out: Default,
+{
+    let pool = shared_pool(threads).unwrap();
+    let mut s = Scheduler::new(make(), SchedArgs::new(threads, 1), pool).unwrap();
+    s.set_combine_strategy(strategy);
+    s.set_collect_stats(true);
+    s.set_spill_budget(budget).unwrap();
+    let mut out: Vec<A::Out> = (0..out_len).map(|_| A::Out::default()).collect();
+    let mut runs = 0;
+    for t in 0..STEPS {
+        s.run(&step_concat(t), &mut out).unwrap();
+        runs += s.last_stats().spill_runs;
+    }
+    if budget.is_some() {
+        // Engaged, the persistent combination map lives on disk: the
+        // resident view must be empty even though the canonical bytes
+        // below are non-trivial.
+        assert!(s.combination_map().is_empty(), "spilled map must not be resident");
+    }
+    (s.canonical_map_bytes().unwrap(), runs)
+}
+
+#[test]
+fn spilled_histogram_matches_resident_across_threads_and_strategies() {
+    let (reference, no_runs) = run_local(&hist, KEYS, 2, CombineStrategy::default(), None);
+    assert_eq!(no_runs, 0, "unbounded run must write no spill runs");
+    for threads in [1usize, 2, 4] {
+        for strategy in [CombineStrategy::Sharded, CombineStrategy::Gossip] {
+            let (bytes, runs) = run_local(&hist, KEYS, threads, strategy, Some(BUDGET));
+            assert!(
+                runs >= 2,
+                "budget must force at least two runs (threads={threads}, {strategy:?}, got {runs})"
+            );
+            assert_eq!(bytes, reference, "threads={threads} {strategy:?} diverged");
+        }
+    }
+}
+
+/// Every sketch summary lives under key 0, so a deliberately tiny budget
+/// pushes even the single-entry shells out of core. Count-Min,
+/// HyperLogLog, and the bottom-k reservoir merge exactly; Moments rides
+/// along as the plain-statistics control.
+#[test]
+fn sketch_apps_spill_bit_identically() {
+    fn check<A>(make: &dyn Fn() -> A, name: &str)
+    where
+        A: Analytics<In = f64>,
+        A::Out: Default,
+    {
+        let (reference, _) = run_local(make, 1, 2, CombineStrategy::default(), None);
+        for threads in [1usize, 4] {
+            let (spilled, _) = run_local(make, 1, threads, CombineStrategy::Sharded, Some(64));
+            assert_eq!(spilled, reference, "{name} (threads={threads}) diverged under spill");
+        }
+    }
+    check(&|| CountMin::new(64, 4), "count-min");
+    check(&|| HyperLogLog::new(10), "hyperloglog");
+    check(&|| ReservoirSample::new(32, 7), "reservoir");
+    check(&|| Moments, "moments");
+}
+
+/// The t-digest trades bit-identity for bounded rank error: spilled and
+/// resident plans may cluster differently, but both must answer quantile
+/// queries within the digest's accuracy envelope.
+#[test]
+fn tdigest_spills_within_rank_error() {
+    let run = |budget: Option<usize>| {
+        let pool = shared_pool(2).unwrap();
+        let mut s = Scheduler::new(TDigest::new(100.0), SchedArgs::new(2, 1), pool).unwrap();
+        s.set_spill_budget(budget).unwrap();
+        let mut out = [0.0f64];
+        for t in 0..STEPS {
+            s.run(&step_concat(t), &mut out).unwrap();
+        }
+        s.canonical_entries().unwrap().into_iter().next().expect("one digest").1
+    };
+    let resident = run(None);
+    let spilled = run(Some(64));
+
+    let mut sorted: Vec<f64> = (0..STEPS).flat_map(step_concat).collect();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    for q in [0.1, 0.5, 0.9] {
+        for (name, digest) in [("resident", &resident), ("spilled", &spilled)] {
+            let est = digest.quantile(q).unwrap();
+            // The input has heavy ties, so an estimate's true rank is an
+            // interval [v < est, v <= est]; q must fall within 3% of it.
+            let lo = sorted.iter().filter(|&&v| v < est).count() as f64 / n;
+            let hi = sorted.iter().filter(|&&v| v <= est).count() as f64 / n;
+            assert!(
+                q >= lo - 0.03 && q <= hi + 0.03,
+                "{name} digest q={q}: estimate {est} has rank [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// Distributed time sharing with per-rank spilling: each rank's shells
+/// drain to its own run store, the globally combined map is streamed back
+/// out of core, and every rank's canonical bytes equal the unbounded
+/// cluster's — on the in-process mesh and TCP loopback alike.
+#[test]
+fn spilled_distributed_runs_match_unbounded_across_backends() {
+    fn dist_on(
+        kind: TransportKind,
+        strategy: CombineStrategy,
+        budget: Option<usize>,
+    ) -> (Vec<u8>, usize) {
+        let cfg = CommConfig { transport: Some(kind), ..CommConfig::default() };
+        let per_rank = run_cluster_with(RANKS, cfg, move |mut comm| {
+            let pool = shared_pool(2).unwrap();
+            let mut s = Scheduler::new(hist(), SchedArgs::new(2, 1), pool).unwrap();
+            s.set_combine_strategy(strategy);
+            s.set_collect_stats(true);
+            s.set_spill_budget(budget).unwrap();
+            let mut out = vec![0u64; KEYS];
+            let mut runs = 0;
+            for t in 0..STEPS {
+                let data = partition(t, comm.rank());
+                s.run_dist(&mut comm, &data, &mut out).unwrap();
+                runs += s.last_stats().spill_runs;
+            }
+            (s.canonical_map_bytes().unwrap(), runs)
+        });
+        let mut min_runs = usize::MAX;
+        for (rank, (bytes, runs)) in per_rank.iter().enumerate() {
+            assert_eq!(bytes, &per_rank[0].0, "rank {rank} diverged");
+            min_runs = min_runs.min(*runs);
+        }
+        (per_rank.into_iter().next().unwrap().0, min_runs)
+    }
+
+    let (reference, none) = dist_on(TransportKind::InProcess, CombineStrategy::default(), None);
+    assert_eq!(none, 0, "unbounded cluster must write no spill runs");
+    for (name, kind) in [("inproc", TransportKind::InProcess), ("tcp", TransportKind::Tcp)] {
+        for strategy in [CombineStrategy::Sharded, CombineStrategy::Gossip] {
+            let (bytes, min_runs) = dist_on(kind, strategy, Some(BUDGET));
+            assert!(
+                min_runs >= 2,
+                "every rank must spill at least twice ({name}, {strategy:?}, got {min_runs})"
+            );
+            assert_eq!(bytes, reference, "{name} {strategy:?} diverged from unbounded");
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! Integer-valued inputs keep every f64 merge exact, so the comparisons
 //! really are byte equality.
 
-use smart_insitu::analytics::{Histogram, Moments};
+use smart_insitu::analytics::{Histogram, HyperLogLog, Moments};
 use smart_insitu::comm::{run_cluster_with, CommConfig, StreamConfig, TransportKind};
 use smart_insitu::core::in_transit::{run_in_transit, InTransitConfig, Producer, Topology};
 use smart_insitu::core::space::SpaceShared;
@@ -29,6 +29,10 @@ const STAGERS: usize = 2;
 const PART: usize = 16;
 const STEPS: usize = 3;
 const BUCKETS: usize = 24;
+
+/// Tight enough that even the 24-bucket shells cross their share and
+/// drain to sorted on-disk runs (PR 10's spilling shuffle).
+const SPILL_BUDGET: usize = 256;
 
 fn comm_cfg(kind: TransportKind) -> CommConfig {
     CommConfig { transport: Some(kind), ..CommConfig::default() }
@@ -127,6 +131,88 @@ fn three_placements_are_bit_identical_across_backends() {
     }
 }
 
+/// A histogram scheduler whose reduction spills: shells drain to sorted
+/// runs and the combination map lives on disk between steps.
+fn spilled_hist_sched(threads: usize) -> Scheduler<Histogram> {
+    let mut s = hist_sched(threads);
+    s.set_spill_budget(Some(SPILL_BUDGET)).unwrap();
+    s
+}
+
+/// The same three placements with the spilling shuffle engaged on every
+/// rank/stager; canonical bytes come off the on-disk combination runs.
+fn spilled_placements_on(kind: TransportKind) -> [Vec<u8>; 3] {
+    let time = {
+        let per_rank = run_cluster_with(PRODUCERS, comm_cfg(kind), |mut comm| {
+            let mut s = spilled_hist_sched(2);
+            let mut out = vec![0u64; BUCKETS];
+            for t in 0..STEPS {
+                let data = partition(t, comm.rank());
+                s.run_dist(&mut comm, &data, &mut out).unwrap();
+            }
+            // The persistent map must really be out of core.
+            assert!(s.combination_map().is_empty(), "spilled map must not be resident");
+            s.canonical_map_bytes().unwrap()
+        });
+        for rank in 1..per_rank.len() {
+            assert_eq!(per_rank[rank], per_rank[0], "spilled time-sharing rank {rank} diverged");
+        }
+        per_rank.into_iter().next().unwrap()
+    };
+
+    let space = {
+        let mut shared = SpaceShared::new(spilled_hist_sched(2), 2);
+        let feeder = shared.feeder();
+        let producer = std::thread::spawn(move || {
+            for t in 0..STEPS {
+                let step: Vec<f64> = (0..PRODUCERS).flat_map(|p| partition(t, p)).collect();
+                feeder.feed(&step).unwrap();
+            }
+            feeder.close();
+        });
+        let mut out = vec![0u64; BUCKETS];
+        while shared.run_step(&mut out).unwrap() {}
+        producer.join().unwrap();
+        shared.scheduler().canonical_map_bytes().unwrap()
+    };
+
+    let transit = {
+        let outcome = run_in_transit(
+            Topology::new(PRODUCERS, STAGERS),
+            transit_cfg(kind),
+            KeyMode::Single,
+            |prod: &mut Producer<f64>| {
+                for t in 0..STEPS {
+                    prod.feed(prod.index() * PART, &partition(t, prod.index()))?;
+                }
+                Ok(())
+            },
+            |_s| Ok((spilled_hist_sched(1), vec![0u64; BUCKETS])),
+        );
+        let (_producers, stagers) = outcome.into_result().unwrap();
+        for s in 1..stagers.len() {
+            assert_eq!(stagers[s].map_bytes, stagers[0].map_bytes, "spilled stager {s} diverged");
+        }
+        stagers.into_iter().next().unwrap().map_bytes
+    };
+
+    [time, space, transit]
+}
+
+#[test]
+fn spilled_placements_are_bit_identical_to_the_resident_reference() {
+    let resident = placements_on(TransportKind::InProcess);
+    for &(name, kind) in &BACKENDS[..2] {
+        let spilled = spilled_placements_on(kind);
+        for (placement, bytes) in ["time", "space", "transit"].iter().zip(&spilled) {
+            assert_eq!(
+                bytes, &resident[0],
+                "spilled {placement} sharing on {name} diverged from the resident run"
+            );
+        }
+    }
+}
+
 /// The service tier over one backend: per-job, per-step `(out, map)` bytes.
 fn serve_on(kind: TransportKind) -> Vec<Vec<JobStepResult>> {
     let topo = Topology::new(PRODUCERS, STAGERS);
@@ -144,8 +230,21 @@ fn serve_on(kind: TransportKind) -> Vec<Vec<JobStepResult>> {
         )?;
         let mo = registry
             .submit(JobSpec::new(Moments, SchedArgs::new(1, 1), 0).with_tenant("science"))?;
+        // The same histogram under the spilling shuffle: its per-step
+        // results must be byte-identical to the resident job's.
+        let h2 = registry.submit(
+            JobSpec::new(Histogram::new(0.0, 10.0, BUCKETS), SchedArgs::new(1, 1), BUCKETS)
+                .with_tenant("ops")
+                .with_spill_budget(SPILL_BUDGET),
+        )?;
+        // A mergeable-summary app as an ordinary tenant job, also spilled.
+        let hll = registry.submit(
+            JobSpec::new(HyperLogLog::new(10), SchedArgs::new(1, 1), 1)
+                .with_tenant("science")
+                .with_spill_budget(SPILL_BUDGET),
+        )?;
         let driver = ServeDriver::new(registry, shared_pool(1).unwrap());
-        Ok((driver, vec![h1, mo]))
+        Ok((driver, vec![h1, mo, h2, hll]))
     };
 
     let outcome = run_in_transit_serve(
@@ -173,6 +272,14 @@ fn serve_on(kind: TransportKind) -> Vec<Vec<JobStepResult>> {
             }
         }
     }
+    // Job 2 is job 0 with the spilling shuffle engaged — the budget must
+    // not change a single byte of any step's output or map.
+    let rows = &per_stager[0];
+    assert_eq!(rows[2].len(), rows[0].len(), "spilled histogram step count");
+    for (step, (spilled, resident)) in rows[2].iter().zip(&rows[0]).enumerate() {
+        assert_eq!(spilled.out, resident.out, "spilled histogram out diverged at step {step}");
+        assert_eq!(spilled.map, resident.map, "spilled histogram map diverged at step {step}");
+    }
     per_stager.swap_remove(0)
 }
 
@@ -194,7 +301,9 @@ fn serve_tier_is_bit_identical_across_backends() {
 
 /// Kill stager 1 mid-run and let the topology heal; return the survivor's
 /// healed map bytes plus the uninterrupted reference bytes, both on `kind`.
-fn healed_on(kind: TransportKind) -> (Vec<u8>, Vec<u8>) {
+/// With `spill` set, every stager runs under the spilling shuffle, so
+/// rollback and replay happen with the combination map on disk.
+fn healed_on_with(kind: TransportKind, spill: Option<usize>) -> (Vec<u8>, Vec<u8>) {
     let topo = Topology::new(PRODUCERS, STAGERS);
     let steps = 6usize;
     let run = |plan: FaultPlan| {
@@ -210,7 +319,11 @@ fn healed_on(kind: TransportKind) -> (Vec<u8>, Vec<u8>) {
                 }
                 Ok(prod.index())
             },
-            |_s| Ok((hist_sched(2), vec![0u64; BUCKETS])),
+            move |_s| {
+                let mut sched = hist_sched(2);
+                sched.set_spill_budget(spill)?;
+                Ok((sched, vec![0u64; BUCKETS]))
+            },
         )
     };
 
@@ -231,11 +344,24 @@ fn healed_on(kind: TransportKind) -> (Vec<u8>, Vec<u8>) {
 
 #[test]
 fn ft_recovery_is_bit_identical_across_backends() {
-    let (healed_ref, clean_ref) = healed_on(TransportKind::InProcess);
+    let (healed_ref, clean_ref) = healed_on_with(TransportKind::InProcess, None);
     assert_eq!(healed_ref, clean_ref);
     for &(name, kind) in &BACKENDS[1..] {
-        let (healed, clean) = healed_on(kind);
+        let (healed, clean) = healed_on_with(kind, None);
         assert_eq!(clean, clean_ref, "backend {name} clean run diverged");
         assert_eq!(healed, healed_ref, "backend {name} healed run diverged");
+    }
+}
+
+/// Self-healing with the spilling shuffle engaged: the stager dies, the
+/// survivor rolls back to a snapshot streamed off its on-disk combination
+/// run, replays, and still lands on the byte-exact resident result.
+#[test]
+fn ft_recovery_with_runs_on_disk_is_bit_identical() {
+    let (_, resident_clean) = healed_on_with(TransportKind::InProcess, None);
+    for (name, kind) in [("inproc", TransportKind::InProcess), ("tcp", TransportKind::Tcp)] {
+        let (healed, clean) = healed_on_with(kind, Some(SPILL_BUDGET));
+        assert_eq!(clean, resident_clean, "{name}: spilled clean run diverged from resident");
+        assert_eq!(healed, clean, "{name}: spilled healed run diverged from its clean run");
     }
 }

@@ -34,8 +34,9 @@
 //!   gateway). This is the PR-3 invariant: with stats collection off the
 //!   execution core performs *zero* measurement work.
 //! * **no-fs-writes** — runtime code mutates the filesystem only through
-//!   the `smart-ft` checkpoint store (`crates/ft/src/store.rs`). Durable
-//!   state written anywhere else is invisible to the recovery driver, so a
+//!   the `smart-ft` checkpoint store (`crates/ft/src/store.rs`) and the
+//!   `smart-spill` run store (`crates/spill/src/store.rs`). Durable state
+//!   written anywhere else is invisible to the recovery driver, so a
 //!   restart could not see it; deliberate exceptions (the offline baseline
 //!   models file I/O as its cost) carry an explicit suppression.
 //! * **serve-admission** — inside `crates/serve/src`, only `driver.rs` may
@@ -281,7 +282,10 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
         }
 
         // --- no-fs-writes -----------------------------------------------
-        if path != "crates/ft/src/store.rs" && !in_test_region {
+        // Sanctioned write sites: the checkpoint store and the spill run
+        // store — both CRC-framed, atomically-committed, recovery-visible.
+        let fs_write_site = path == "crates/ft/src/store.rs" || path == "crates/spill/src/store.rs";
+        if !fs_write_site && !in_test_region {
             for pat in [
                 "fs::write",
                 "fs::create_dir",
@@ -298,8 +302,9 @@ fn scan_file(path: &str, content: &str) -> Vec<Finding> {
                         line: lineno,
                         rule: "no-fs-writes",
                         message: format!(
-                            "`{pat}` outside the smart-ft checkpoint store writes state the \
-                             recovery driver cannot see; go through `smart_ft::store::CkptStore`"
+                            "`{pat}` outside the smart-ft checkpoint store and the smart-spill \
+                             run store writes state the recovery driver cannot see; go through \
+                             `smart_ft::store::CkptStore` or `smart_spill::SpillStore`"
                         ),
                     });
                     break;
@@ -407,8 +412,12 @@ fn selftest() {
     let writer = "fn f() { std::fs::write(p, b).unwrap(); }\n";
     check("crates/core/src/seeded.rs", writer, "no-fs-writes", 1);
     check("crates/ft/src/store.rs", writer, "no-fs-writes", 0);
+    check("crates/spill/src/store.rs", writer, "no-fs-writes", 0);
     check("crates/core/tests/seeded.rs", writer, "no-fs-writes", 0);
     check("crates/core/src/seeded.rs", "let f = File::create(p)?;\n", "no-fs-writes", 1);
+    // The spill store being sanctioned must not loosen the rule elsewhere:
+    // a raw create in the execution core still fires.
+    check("crates/core/src/spill.rs", "let f = File::create(p)?;\n", "no-fs-writes", 1);
     check("crates/core/src/seeded.rs", "fs::remove_dir_all(&dir)?;\n", "no-fs-writes", 1);
     check(
         "crates/baseline/src/offline.rs",
